@@ -1,0 +1,82 @@
+//! Real wall-clock benchmarks of the compression codecs (encode/decode
+//! throughput of our implementations, as opposed to the virtual-time
+//! experiment binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use griffin_codec::{BlockedList, Codec, DEFAULT_BLOCK_LEN};
+use griffin_workload::{gen_docid_list, GapProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let ids = gen_docid_list(&mut rng, 100_000, 4_000_000, GapProfile::HeavyTailed);
+    let mut g = c.benchmark_group("encode");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    for codec in [Codec::PforDelta, Codec::EliasFano, Codec::Varint] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{codec:?}")),
+            &codec,
+            |b, &codec| {
+                b.iter(|| BlockedList::compress(&ids, codec, DEFAULT_BLOCK_LEN));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let ids = gen_docid_list(&mut rng, 100_000, 4_000_000, GapProfile::HeavyTailed);
+    let mut g = c.benchmark_group("decode");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    for codec in [Codec::PforDelta, Codec::EliasFano, Codec::Varint] {
+        let list = BlockedList::compress(&ids, codec, DEFAULT_BLOCK_LEN);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{codec:?}")),
+            &list,
+            |b, list| {
+                b.iter(|| {
+                    let out = list.decompress();
+                    assert_eq!(out.len(), ids.len());
+                    out
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_block_decode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let ids = gen_docid_list(&mut rng, 12_800, 500_000, GapProfile::HeavyTailed);
+    let mut g = c.benchmark_group("single_block_decode");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for codec in [Codec::PforDelta, Codec::EliasFano] {
+        let list = BlockedList::compress(&ids, codec, DEFAULT_BLOCK_LEN);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{codec:?}")),
+            &list,
+            |b, list| {
+                let mut out = Vec::with_capacity(DEFAULT_BLOCK_LEN);
+                b.iter(|| {
+                    out.clear();
+                    list.decode_block_into(50, &mut out);
+                    out.len()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_block_decode);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Real wall-clock benchmark of the full query pipeline (all three
+//! execution modes over a small synthetic index). Measures our
+//! implementation's host-side speed — the virtual-time figures come from
+//! the `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use griffin::{ExecMode, Griffin};
+use griffin_bench::setup::k20;
+use griffin_gpu_sim::Gpu;
+use griffin_index::TermId;
+use griffin_workload::{build_list_index, ListIndexSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let spec = ListIndexSpec {
+        num_terms: 12,
+        num_docs: 500_000,
+        max_list_len: 120_000,
+        ..Default::default()
+    };
+    let (index, _) = build_list_index(&spec, &mut rng);
+    let gpu = Gpu::new(k20());
+    let griffin = Griffin::new(&gpu, index.meta(), index.block_len());
+    // Three terms spanning the size spectrum.
+    let mut by_df: Vec<u32> = (0..index.num_terms() as u32).collect();
+    by_df.sort_by_key(|&t| index.doc_freq(TermId(t)));
+    let q = vec![
+        TermId(by_df[2]),
+        TermId(by_df[by_df.len() / 2]),
+        TermId(by_df[by_df.len() - 1]),
+    ];
+
+    let mut g = c.benchmark_group("end_to_end_query");
+    g.sample_size(10);
+    for mode in [ExecMode::CpuOnly, ExecMode::GpuOnly, ExecMode::Hybrid] {
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| griffin.process_query(&index, &q, 10, mode))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Real wall-clock benchmarks of the GPU-simulator kernels: how fast the
+//! *simulator itself* executes Para-EF, MergePath and the supporting
+//! kernels (functional execution + sampled tracing). This is the cost a
+//! user of this reproduction pays, distinct from the modelled K20 times.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use griffin_bench::setup::k20;
+use griffin_codec::{BlockedList, Codec, DEFAULT_BLOCK_LEN};
+use griffin_gpu::mergepath::{self, MergePathConfig};
+use griffin_gpu::transfer::DeviceEfList;
+use griffin_gpu::{para_ef, scan};
+use griffin_gpu_sim::Gpu;
+use griffin_workload::{gen_docid_list, GapProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 200_000;
+
+fn bench_para_ef(c: &mut Criterion) {
+    let gpu = Gpu::new(k20());
+    let mut rng = StdRng::seed_from_u64(1);
+    let ids = gen_docid_list(&mut rng, N, 8_000_000, GapProfile::HeavyTailed);
+    let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+    let dev = DeviceEfList::upload(&gpu, &list);
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.bench_function("para_ef_decompress", |b| {
+        b.iter(|| {
+            let out = para_ef::decompress(&gpu, &dev);
+            gpu.free(out);
+        })
+    });
+    g.finish();
+}
+
+fn bench_mergepath(c: &mut Criterion) {
+    let gpu = Gpu::new(k20());
+    let a: Vec<u32> = (0..N as u32).map(|i| i * 3).collect();
+    let b_host: Vec<u32> = (0..N as u32).map(|i| i * 2 + 1).collect();
+    let da = gpu.htod(&a);
+    let db = gpu.htod(&b_host);
+    let cfg = MergePathConfig::for_device(gpu.config());
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(2 * N as u64));
+    g.sample_size(10);
+    g.bench_function("mergepath_intersect", |b| {
+        b.iter(|| {
+            let m = mergepath::intersect(&gpu, &da, N, &db, N, &cfg);
+            m.free(&gpu);
+        })
+    });
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let gpu = Gpu::new(k20());
+    let data: Vec<u32> = (0..N as u32).map(|i| i % 7).collect();
+    let src = gpu.htod(&data);
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.bench_function("exclusive_scan", |b| {
+        b.iter(|| {
+            let (out, total) = scan::exclusive_scan(&gpu, &src, N);
+            gpu.free(out);
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_para_ef, bench_mergepath, bench_scan);
+criterion_main!(benches);

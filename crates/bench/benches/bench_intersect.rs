@@ -1,0 +1,81 @@
+//! Real wall-clock benchmarks of the CPU intersection algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use griffin_codec::{BlockedList, Codec, DEFAULT_BLOCK_LEN};
+use griffin_cpu::intersect::{binary_intersect_decoded, merge_intersect, skip_intersect};
+use griffin_cpu::WorkCounters;
+use griffin_workload::{gen_ratio_pair_opts, PairShape, RatioGroup};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_comparable_lengths(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (short, long) = gen_ratio_pair_opts(
+        &mut rng,
+        RatioGroup { lo: 4, hi: 8 },
+        200_000,
+        0.3,
+        8_000_000,
+        PairShape::independent(),
+    );
+    let compressed = BlockedList::compress(&long, Codec::PforDelta, DEFAULT_BLOCK_LEN);
+    let mut g = c.benchmark_group("intersect_ratio4-8");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements((short.len() + long.len()) as u64));
+
+    g.bench_function("merge", |b| {
+        b.iter(|| {
+            let mut w = WorkCounters::default();
+            merge_intersect(&short, &long, &mut w).len()
+        })
+    });
+    g.bench_function("binary", |b| {
+        b.iter(|| {
+            let mut w = WorkCounters::default();
+            binary_intersect_decoded(&short, &long, &mut w).len()
+        })
+    });
+    g.bench_function("skip_compressed", |b| {
+        b.iter(|| {
+            let mut w = WorkCounters::default();
+            skip_intersect(&short, &compressed, &mut w).len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_high_ratio(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (short, long) = gen_ratio_pair_opts(
+        &mut rng,
+        RatioGroup { lo: 256, hi: 512 },
+        500_000,
+        0.3,
+        20_000_000,
+        PairShape::intermediate(),
+    );
+    let compressed = BlockedList::compress(&long, Codec::PforDelta, DEFAULT_BLOCK_LEN);
+    let mut g = c.benchmark_group("intersect_ratio256-512");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    g.bench_function("skip_compressed", |b| {
+        b.iter(|| {
+            let mut w = WorkCounters::default();
+            skip_intersect(&short, &compressed, &mut w).len()
+        })
+    });
+    g.bench_function("merge_decompressed", |b| {
+        b.iter(|| {
+            let mut w = WorkCounters::default();
+            merge_intersect(&short, &long, &mut w).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_comparable_lengths, bench_high_ratio);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Real wall-clock benchmarks of scoring and top-k selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use griffin_cpu::{topk, Bm25, WorkCounters};
+use griffin_index::CorpusMeta;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_bm25(c: &mut Criterion) {
+    let bm = Bm25::default();
+    let meta = CorpusMeta::uniform(10_000_000, 300);
+    let mut rng = StdRng::seed_from_u64(1);
+    let tfs: Vec<u32> = (0..100_000).map(|_| rng.gen_range(1..50)).collect();
+    let mut g = c.benchmark_group("rank");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(tfs.len() as u64));
+    g.bench_function("bm25_contributions", |b| {
+        let idf = bm.idf(meta.num_docs, 12_345);
+        b.iter(|| {
+            tfs.iter()
+                .map(|&tf| bm.contribution(idf, tf, 300.0, meta.avg_doc_len))
+                .sum::<f32>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("topk");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [1_000usize, 100_000] {
+        let docids: Vec<u32> = (0..n as u32).collect();
+        let scores: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() * 50.0).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("partial_sort_k10", n), &n, |b, _| {
+            b.iter(|| {
+                let mut w = WorkCounters::default();
+                topk::top_k(&docids, &scores, 10, &mut w)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bm25, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! **Fig. 10** — inverted-list size distribution (workload validation).
+//!
+//! Paper: CDF over their ClueWeb12-derived lists — most lists between 1K
+//! and 1M elements, maximum 26M. Our generator must reproduce this shape
+//! for the other experiments to be representative.
+
+use griffin_bench::report::Table;
+use griffin_bench::setup::scaled;
+use griffin_workload::{sample_list_len, size_cdf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let n = scaled(20_000);
+    let sizes: Vec<usize> = (0..n).map(|_| sample_list_len(&mut rng, 26_000_000)).collect();
+
+    let thresholds = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 26_000_000];
+    let cdf = size_cdf(&sizes, &thresholds);
+
+    let mut t = Table::new(
+        "Fig. 10: Inverted List Size Distribution (CDF %)",
+        &["list size", "generated", "paper (approx)"],
+    );
+    // Approximate CDF values read off the paper's Fig. 10.
+    let paper = [5.0, 25.0, 55.0, 85.0, 99.0, 100.0];
+    for ((&th, &c), &p) in thresholds.iter().zip(&cdf).zip(&paper) {
+        t.row(&[
+            format!("{th}"),
+            format!("{:.1}", c * 100.0),
+            format!("~{p:.0}"),
+        ]);
+    }
+    t.print();
+    println!("\nmax generated list: {}", sizes.iter().max().unwrap());
+}

@@ -1,0 +1,37 @@
+//! **Fig. 11** — query term-count distribution (workload validation).
+//!
+//! Paper: ~27% of TREC queries have 2 terms, 33% have 3, 24% have 4, with
+//! a tail at 5, 6 and >6 — "multiple rounds of list intersections are
+//! common, indicating that the query characteristics change often."
+
+use griffin_bench::report::Table;
+use griffin_bench::setup::scaled;
+use griffin_workload::QueryLogSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = QueryLogSpec::default();
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = scaled(50_000);
+    let mut hist = [0usize; 16];
+    for _ in 0..n {
+        let c = spec.sample_term_count(&mut rng).min(7);
+        hist[c] += 1;
+    }
+
+    let mut t = Table::new(
+        "Fig. 11: Number of Terms Distribution (%)",
+        &["#terms", "generated", "paper"],
+    );
+    let paper = [(2, 27.0), (3, 33.0), (4, 24.0), (5, 9.0), (6, 4.0), (7, 3.0)];
+    for (terms, p) in paper {
+        let label = if terms >= 7 { "> 6".to_string() } else { terms.to_string() };
+        t.row(&[
+            label,
+            format!("{:.1}", hist[terms] as f64 / n as f64 * 100.0),
+            format!("{p:.0}"),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,67 @@
+//! **Fig. 12** — decompression speed: Para-EF (Griffin-GPU) vs CPU
+//! PforDelta, grouped by list size.
+//!
+//! Paper: speedup < 2 at 1K–10K elements, growing to ~11–29.6× at 1M–10M.
+//! Two effects drive the shape: longer lists saturate the GPU, and they
+//! amortize the transfer + allocation overheads (which the GPU timing
+//! includes here, as in the paper).
+
+use griffin_bench::report::{ms, speedup, Table};
+use griffin_bench::setup::{k20, scaled, size_axis};
+use griffin_codec::{BlockedList, Codec, DEFAULT_BLOCK_LEN};
+use griffin_cpu::decode::decode_list;
+use griffin_cpu::{CpuCostModel, WorkCounters};
+use griffin_gpu::para_ef;
+use griffin_gpu::transfer::DeviceEfList;
+use griffin_gpu_sim::{Gpu, VirtualNanos};
+use griffin_workload::{gen_docid_list, GapProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let gpu = Gpu::new(k20());
+    let model = CpuCostModel::default();
+    let mut rng = StdRng::seed_from_u64(12);
+    let lists_per_size = scaled(5);
+
+    let mut t = Table::new(
+        "Fig. 12: Decompression Speed Comparison (avg virtual ms)",
+        &["list size", "CPU PforDelta", "GPU Para-EF", "speedup"],
+    );
+
+    for n in size_axis() {
+        let mut cpu_total = VirtualNanos::ZERO;
+        let mut gpu_total = VirtualNanos::ZERO;
+        for _ in 0..lists_per_size {
+            let ids = gen_docid_list(&mut rng, n, (n as u32).saturating_mul(40).max(1000), GapProfile::HeavyTailed);
+
+            // CPU: decode the PforDelta form.
+            let pfor = BlockedList::compress(&ids, Codec::PforDelta, DEFAULT_BLOCK_LEN);
+            let mut w = WorkCounters::default();
+            let decoded = decode_list(&pfor, &mut w);
+            assert_eq!(decoded.len(), n);
+            cpu_total += model.time(&w);
+
+            // GPU: ship the EF form and run Para-EF (includes transfer +
+            // allocation, which only large lists amortize).
+            let ef = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+            let ((), t_gpu) = gpu.time(|g| {
+                let dev = DeviceEfList::upload(g, &ef);
+                let out = para_ef::decompress(g, &dev);
+                dev.free(g);
+                g.free(out);
+            });
+            gpu_total += t_gpu;
+        }
+        let cpu_avg = cpu_total / lists_per_size as u64;
+        let gpu_avg = gpu_total / lists_per_size as u64;
+        t.row(&[
+            format!("{n}"),
+            ms(cpu_avg),
+            ms(gpu_avg),
+            speedup(gpu_avg.speedup_over(cpu_avg)),
+        ]);
+    }
+    t.print();
+    println!("\n(paper's shape: speedup <2x at 1K-10K, rising to ~11-29.6x at 1M-10M)");
+}

@@ -1,0 +1,68 @@
+//! **Fig. 13** — list intersection on comparable-length pairs: CPU merge,
+//! CPU binary, GPU merge (MergePath), GPU binary (parallel binary search).
+//!
+//! Paper (pairs with ratio < 16, longer list 1K–10M): merge beats binary
+//! on both processors at these ratios; GPU merge reaches up to 87× over
+//! CPU merge and up to 2.29× over GPU binary; CPU binary is slowest.
+
+use griffin_bench::intersect_harness::{time_algo, Algo, Pair};
+use griffin_bench::report::{ms, Table};
+use griffin_bench::setup::{k20, scaled, size_axis};
+use griffin_cpu::CpuCostModel;
+use griffin_gpu_sim::{Gpu, VirtualNanos};
+use griffin_workload::{gen_ratio_pair_opts, PairShape, RatioGroup};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let gpu = Gpu::new(k20());
+    let model = CpuCostModel::default();
+    let mut rng = StdRng::seed_from_u64(13);
+    let pairs_per_size = scaled(4);
+    let group = RatioGroup { lo: 2, hi: 16 }; // comparable lengths
+
+    let mut t = Table::new(
+        "Fig. 13: List Intersection Comparison (avg virtual ms, ratio < 16)",
+        &["longer list", "CPU merge", "CPU binary", "GPU merge", "GPU binary"],
+    );
+
+    for n in size_axis() {
+        let mut totals = [VirtualNanos::ZERO; 4];
+        for _ in 0..pairs_per_size {
+            let (short, long) = gen_ratio_pair_opts(
+                &mut rng,
+                group,
+                n,
+                0.3,
+                (n as u32).saturating_mul(30).max(10_000),
+                PairShape::independent(),
+            );
+            let pair = Pair::new(short, &long);
+            // Pure-kernel comparison: inputs decompressed and resident, as in
+            // the paper's microbenchmark; "GPU binary" is the prior-work
+            // baseline (binary search over the full decompressed list).
+            for (i, algo) in [
+                Algo::CpuMergeResident,
+                Algo::CpuBinaryResident,
+                Algo::GpuMergeResident,
+                Algo::GpuBinaryResident,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                totals[i] += time_algo(&gpu, &model, &pair, algo);
+            }
+        }
+        let avg = |i: usize| totals[i] / pairs_per_size as u64;
+        t.row(&[
+            format!("{n}"),
+            ms(avg(0)),
+            ms(avg(1)),
+            ms(avg(2)),
+            ms(avg(3)),
+        ]);
+    }
+    t.print();
+    println!("\n(paper's shape at the large sizes: GPU merge fastest, then GPU");
+    println!(" binary, then CPU merge; CPU binary slowest)");
+}

@@ -1,0 +1,63 @@
+//! **Fig. 7** — ranking performance: CPU `partial_sort` vs GPU
+//! bucketSelect vs GPU radix sort over result-list sizes 1K–10M.
+//!
+//! Paper: the CPU wins across the board; result lists are too small to
+//! amortize GPU launch/allocation/transfer overheads. (Queries rarely
+//! produce more than a few thousand matches, making the small sizes the
+//! relevant ones.)
+
+use griffin_bench::report::{ms, Table};
+use griffin_bench::setup::{k20, size_axis};
+use griffin_cpu::{topk, CpuCostModel, WorkCounters};
+use griffin_gpu::{bucket_select, radix_sort};
+use griffin_gpu_sim::Gpu;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let gpu = Gpu::new(k20());
+    let model = CpuCostModel::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let k = 10;
+
+    let mut t = Table::new(
+        "Fig. 7: Ranking Performance Comparison (virtual ms, k=10)",
+        &["list size", "CPU partial_sort", "GPU bucketSelect", "GPU radixSort"],
+    );
+
+    for n in size_axis() {
+        let docids: Vec<u32> = (0..n as u32).collect();
+        let scores: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() * 100.0).collect();
+
+        // CPU partial_sort.
+        let mut w = WorkCounters::default();
+        let cpu_top = topk::top_k(&docids, &scores, k, &mut w);
+        let cpu_time = model.time(&w);
+
+        // GPU rankers operate on device-resident results (as they would
+        // inside Griffin-GPU); the clock includes their readbacks.
+        let d_docids = gpu.htod(&docids);
+        let d_scores = gpu.htod(&scores);
+
+        let (bucket_top, bucket_time) =
+            gpu.time(|g| bucket_select::top_k_by_bucket_select(g, &d_docids, &d_scores, n, k));
+        let (radix_top, radix_time) =
+            gpu.time(|g| radix_sort::top_k_by_sort(g, &d_docids, &d_scores, n, k));
+        gpu.free(d_docids);
+        gpu.free(d_scores);
+
+        // All three must agree on the winning scores.
+        let s = |v: &[(u32, f32)]| v.iter().map(|&(_, s)| s).collect::<Vec<_>>();
+        assert_eq!(s(&cpu_top), s(&bucket_top), "bucketSelect disagrees at n={n}");
+        assert_eq!(s(&cpu_top), s(&radix_top), "radixSort disagrees at n={n}");
+
+        t.row(&[
+            format!("{n}"),
+            ms(cpu_time),
+            ms(bucket_time),
+            ms(radix_time),
+        ]);
+    }
+    t.print();
+    println!("\n(paper's shape: CPU lowest at every size; GPU radix worst at scale)");
+}

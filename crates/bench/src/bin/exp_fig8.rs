@@ -1,0 +1,68 @@
+//! **Fig. 8** — the GPU/CPU crossover: intersection latency per
+//! list-length-ratio group, Griffin-GPU vs the CPU implementation.
+//!
+//! Paper: with the longer list fixed to [1M, 2M] elements and 100 pairs
+//! per group, Griffin-GPU wins below ratio ≈128 and the CPU wins above —
+//! the constant Griffin's scheduler is built on, analytically tied to the
+//! 128-element block size.
+
+use griffin_bench::intersect_harness::{time_algo, Algo, Pair};
+use griffin_bench::report::{ms, speedup, Table};
+use griffin_bench::setup::{k20, scaled};
+use griffin_cpu::CpuCostModel;
+use griffin_gpu_sim::{Gpu, VirtualNanos};
+use griffin_workload::{gen_ratio_pair, RATIO_GROUPS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let gpu = Gpu::new(k20());
+    let model = CpuCostModel::default();
+    let mut rng = StdRng::seed_from_u64(8);
+    let pairs_per_group = scaled(6);
+    // Paper range [1M, 2M]; keep it (scale only affects the sample count).
+    println!(
+        "{pairs_per_group} pairs per ratio group, longer list in [1M, 2M] \
+         (GRIFFIN_SCALE to adjust)"
+    );
+
+    let mut t = Table::new(
+        "Fig. 8: GPU/CPU Cross Over Point (avg virtual ms per intersection)",
+        &["ratio group", "Griffin-GPU", "CPU impl", "GPU/CPU", "winner"],
+    );
+
+    let mut crossover: Option<String> = None;
+    for group in RATIO_GROUPS {
+        let mut gpu_total = VirtualNanos::ZERO;
+        let mut cpu_total = VirtualNanos::ZERO;
+        for _ in 0..pairs_per_group {
+            let long_len = rng.gen_range(1_000_000..2_000_000);
+            let (short, long) = gen_ratio_pair(&mut rng, group, long_len, 0.3, 60_000_000);
+            let pair = Pair::new(short, &long);
+            // Fig. 8 is the experiment that *determines* the GPU/CPU
+            // crossover, so the GPU side is Griffin-GPU's merge-based
+            // intersection (its default below the crossover); the CPU side
+            // is the production CPU engine.
+            gpu_total += time_algo(&gpu, &model, &pair, Algo::GpuMerge);
+            cpu_total += time_algo(&gpu, &model, &pair, Algo::CpuAuto);
+        }
+        let gpu_avg = gpu_total / pairs_per_group as u64;
+        let cpu_avg = cpu_total / pairs_per_group as u64;
+        let winner = if gpu_avg <= cpu_avg { "GPU" } else { "CPU" };
+        if winner == "CPU" && crossover.is_none() {
+            crossover = Some(group.label());
+        }
+        t.row(&[
+            group.label(),
+            ms(gpu_avg),
+            ms(cpu_avg),
+            speedup(cpu_avg.as_nanos() as f64 / gpu_avg.as_nanos().max(1) as f64),
+            winner.to_string(),
+        ]);
+    }
+    t.print();
+    match crossover {
+        Some(g) => println!("\nfirst CPU-winning group: {g} (paper: [128,256))"),
+        None => println!("\nGPU won every group — crossover above [512,1024)"),
+    }
+}

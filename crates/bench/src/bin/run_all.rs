@@ -1,0 +1,34 @@
+//! Runs every experiment binary in paper order. Equivalent to invoking
+//! each `exp_*` binary; honours `GRIFFIN_SCALE` / `GRIFFIN_FULL`.
+//!
+//! ```text
+//! cargo run -p griffin-bench --release --bin run_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        "exp_table1",
+        "exp_fig7",
+        "exp_fig8",
+        "exp_fig9",
+        "exp_fig10",
+        "exp_fig11",
+        "exp_fig12",
+        "exp_fig13",
+        "exp_fig14",
+        "exp_fig15",
+    ];
+    // Experiment binaries live next to this one.
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("binary directory");
+    for exp in exps {
+        println!("\n################ {exp} ################");
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed with {status}");
+    }
+    println!("\nall experiments completed");
+}

@@ -1,0 +1,106 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A right-aligned text table with a title, printed in the style of the
+/// paper's figures/tables.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a speedup like the paper quotes them ("10.4x").
+pub fn speedup(x: f64) -> String {
+    if x.is_nan() || x.is_infinite() {
+        "-".to_string()
+    } else {
+        format!("{x:.1}x")
+    }
+}
+
+/// Formats virtual time in ms with three decimals.
+pub fn ms(t: griffin_gpu_sim::VirtualNanos) -> String {
+    format!("{:.3}", t.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["size", "time"]);
+        t.row(&["1K".into(), "0.5".into()]);
+        t.row(&["1000K".into(), "12.25".into()]);
+        let s = t.render();
+        assert!(s.contains("=== Demo ==="));
+        assert!(s.contains("size"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines equal width.
+        assert_eq!(lines[4].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_mismatched_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(speedup(10.44), "10.4x");
+        assert_eq!(speedup(f64::NAN), "-");
+    }
+}

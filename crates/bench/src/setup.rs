@@ -1,0 +1,61 @@
+//! Shared experiment configuration: scaling knobs and the device profile.
+
+use griffin_gpu_sim::DeviceConfig;
+
+/// `GRIFFIN_SCALE` multiplies sample counts (default 1.0). The paper runs
+/// e.g. 100 pairs per ratio group and 10 000 queries; the defaults here
+/// are sized to finish in minutes on a laptop while preserving shapes.
+pub fn scale() -> f64 {
+    std::env::var("GRIFFIN_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v: &f64| v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// `GRIFFIN_FULL=1` includes the largest (10M-element) size points, which
+/// take substantially longer to simulate.
+pub fn full_scale() -> bool {
+    std::env::var("GRIFFIN_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Applies the scale factor to a sample count, with a floor of 1.
+pub fn scaled(base: usize) -> usize {
+    ((base as f64 * scale()) as usize).max(1)
+}
+
+/// The experiment device: a Tesla K20 with performance tracing sampled at
+/// one warp in 16 (functional execution stays exact; only the counter
+/// extrapolation is sampled — plenty for multi-million-thread launches).
+pub fn k20() -> DeviceConfig {
+    DeviceConfig {
+        trace_sample_stride: 16,
+        ..DeviceConfig::tesla_k20()
+    }
+}
+
+/// The size axis used by Figs. 7, 12 and 13 (1K → 10M); the 10M point only
+/// with [`full_scale`].
+pub fn size_axis() -> Vec<usize> {
+    let mut sizes = vec![1_000, 10_000, 100_000, 1_000_000];
+    if full_scale() {
+        sizes.push(10_000_000);
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        // Tests run without the env vars set.
+        if std::env::var("GRIFFIN_SCALE").is_err() {
+            assert_eq!(scale(), 1.0);
+            assert_eq!(scaled(8), 8);
+        }
+        assert!(size_axis().len() >= 4);
+        assert_eq!(k20().trace_sample_stride, 16);
+    }
+}

@@ -1,0 +1,88 @@
+//! Delta (d-gap) transforms for sorted docID sequences (paper §2.1.1).
+//!
+//! A block's docIDs are stored relative to a `base` — the docID immediately
+//! preceding the block (for the first block of a list, 0 with the
+//! convention that docIDs start at 1; the index builder guarantees this).
+
+/// Converts strictly increasing `docids` (all greater than `base`) into
+/// d-gaps: `gaps[0] = docids[0] - base`, `gaps[i] = docids[i] - docids[i-1]`.
+pub fn to_gaps(docids: &[u32], base: u32, out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(docids.len());
+    let mut prev = base;
+    for (i, &d) in docids.iter().enumerate() {
+        // Strictly increasing within the list; the first element may equal
+        // the base (docID 0 at the head of a list whose base is 0).
+        debug_assert!(
+            if i == 0 { d >= prev } else { d > prev },
+            "docids must be strictly increasing above base ({d} vs {prev})"
+        );
+        out.push(d - prev);
+        prev = d;
+    }
+}
+
+/// Inverse of [`to_gaps`].
+pub fn from_gaps(gaps: &[u32], base: u32, out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(gaps.len());
+    let mut acc = base;
+    for &g in gaps {
+        acc += g;
+        out.push(acc);
+    }
+}
+
+/// In-place prefix-sum reconstruction used by decoders that already have
+/// the gaps in the output buffer.
+pub fn prefix_sum_in_place(buf: &mut [u32], base: u32) {
+    let mut acc = base;
+    for v in buf {
+        acc += *v;
+        *v = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_roundtrip() {
+        let ids = vec![100, 121, 163, 172, 185, 214, 282, 300, 347];
+        let mut gaps = Vec::new();
+        to_gaps(&ids, 0, &mut gaps);
+        // Paper Fig. 3's example d-gaps (first value kept absolute).
+        assert_eq!(gaps, vec![100, 21, 42, 9, 13, 29, 68, 18, 47]);
+        let mut back = Vec::new();
+        from_gaps(&gaps, 0, &mut back);
+        assert_eq!(back, ids);
+    }
+
+    #[test]
+    fn nonzero_base() {
+        let ids = vec![11, 15, 17];
+        let mut gaps = Vec::new();
+        to_gaps(&ids, 10, &mut gaps);
+        assert_eq!(gaps, vec![1, 4, 2]);
+        let mut back = Vec::new();
+        from_gaps(&gaps, 10, &mut back);
+        assert_eq!(back, ids);
+    }
+
+    #[test]
+    fn prefix_sum_matches_from_gaps() {
+        let mut gaps = vec![3, 1, 1, 10];
+        prefix_sum_in_place(&mut gaps, 5);
+        assert_eq!(gaps, vec![8, 9, 10, 20]);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let mut out = Vec::new();
+        to_gaps(&[], 7, &mut out);
+        assert!(out.is_empty());
+        from_gaps(&[], 7, &mut out);
+        assert!(out.is_empty());
+    }
+}

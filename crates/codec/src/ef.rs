@@ -1,0 +1,239 @@
+//! Elias–Fano (quasi-succinct) encoding — paper Fig. 4 and §3.1.1.
+//!
+//! For a non-decreasing sequence of `n` values bounded by `U`, each value is
+//! split into `b = floor(log2(U/n))` low bits, stored verbatim in the
+//! *low-bits array*, and its remaining high bits, stored as a unary-coded
+//! gap stream in the *high-bits array*: each element contributes
+//! `high[i] - high[i-1]` zeros and one terminating `1`.
+//!
+//! Decompression recovers `high[i]` as `(bit position of the i-th one) - i`
+//! — a pure function of popcounts over the high-bits words, which is what
+//! makes the scheme parallel-friendly (Griffin-GPU's Para-EF exploits
+//! exactly this; see `griffin-gpu::para_ef`).
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// One Elias–Fano-encoded block of values (relative to an external base).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EfBlock {
+    /// Number of encoded values.
+    pub count: u32,
+    /// Low bits per value.
+    pub b: u32,
+    /// Unary-coded high-bits stream, 32-bit words, LSB-first.
+    pub hb_words: Vec<u32>,
+    /// Packed low-bits stream, `count * b` bits.
+    pub lb_words: Vec<u32>,
+}
+
+/// Chooses the low-bit width for `n` values in universe `[0, u]`.
+pub fn low_bits_for(n: usize, u: u32) -> u32 {
+    if n == 0 || u == 0 {
+        return 0;
+    }
+    let ratio = u as u64 / n as u64;
+    if ratio <= 1 {
+        0
+    } else {
+        63 - ratio.leading_zeros() // floor(log2(ratio))
+    }
+}
+
+impl EfBlock {
+    /// Encodes `values`, which must be non-decreasing. Values are typically
+    /// docIDs relative to the block base.
+    pub fn encode(values: &[u32]) -> EfBlock {
+        let n = values.len();
+        if n == 0 {
+            return EfBlock {
+                count: 0,
+                b: 0,
+                hb_words: Vec::new(),
+                lb_words: Vec::new(),
+            };
+        }
+        let max = *values.last().expect("non-empty");
+        debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "values must be sorted");
+        let b = low_bits_for(n, max);
+
+        let mut hb = BitWriter::new();
+        let mut lb = BitWriter::new();
+        let mut prev_high = 0u32;
+        for &v in values {
+            let high = v >> b;
+            hb.write_unary(high - prev_high);
+            prev_high = high;
+            if b > 0 {
+                lb.write_bits(v, b);
+            }
+        }
+        EfBlock {
+            count: n as u32,
+            b,
+            hb_words: hb.finish(),
+            lb_words: lb.finish(),
+        }
+    }
+
+    /// Decodes all values, appending them to `out` with `base` added.
+    pub fn decode_into(&self, base: u32, out: &mut Vec<u32>) {
+        out.reserve(self.count as usize);
+        let mut hb = BitReader::new(&self.hb_words);
+        let mut lb = BitReader::new(&self.lb_words);
+        let mut high = 0u32;
+        for _ in 0..self.count {
+            high += hb.read_unary();
+            let low = if self.b > 0 { lb.read_bits(self.b) } else { 0 };
+            out.push(base + ((high << self.b) | low));
+        }
+    }
+
+    /// Random access to the `i`-th value (relative). Linear in the high-bits
+    /// stream; used by tests and by binary search *within* a decoded block
+    /// the CPU engine performs on skipped lookups.
+    pub fn get(&self, i: usize) -> u32 {
+        assert!((i as u32) < self.count, "index {i} out of {}", self.count);
+        let mut hb = BitReader::new(&self.hb_words);
+        let mut high = 0u32;
+        for _ in 0..=i {
+            high += hb.read_unary();
+        }
+        let low = if self.b > 0 {
+            let mut lb = BitReader::at(&self.lb_words, i * self.b as usize);
+            lb.read_bits(self.b)
+        } else {
+            0
+        };
+        (high << self.b) | low
+    }
+
+    /// Size of the encoded block in bits (excluding framing).
+    pub fn size_bits(&self) -> usize {
+        // The high-bits stream logically ends at the last terminator; use
+        // word-granular size since that is what we store and ship.
+        (self.hb_words.len() + self.lb_words.len()) * 32
+    }
+
+    /// Serializes into a word stream: `[header, hb_words..., lb_words...]`.
+    ///
+    /// Header layout: `count:16 | b:6 | hb_len:10`.
+    pub fn to_words(&self, out: &mut Vec<u32>) {
+        assert!(self.count < (1 << 16));
+        assert!(self.b < (1 << 6));
+        assert!(
+            self.hb_words.len() < (1 << 10),
+            "high-bits array too long: {}",
+            self.hb_words.len()
+        );
+        out.push(self.count | (self.b << 16) | ((self.hb_words.len() as u32) << 22));
+        out.extend_from_slice(&self.hb_words);
+        out.extend_from_slice(&self.lb_words);
+    }
+
+    /// Inverse of [`to_words`].
+    pub fn from_words(words: &[u32]) -> EfBlock {
+        let header = words[0];
+        let count = header & 0xFFFF;
+        let b = (header >> 16) & 0x3F;
+        let hb_len = (header >> 22) as usize;
+        let lb_len = ((count as usize) * b as usize).div_ceil(32);
+        let hb_words = words[1..1 + hb_len].to_vec();
+        let lb_words = words[1 + hb_len..1 + hb_len + lb_len].to_vec();
+        EfBlock {
+            count,
+            b,
+            hb_words,
+            lb_words,
+        }
+    }
+
+    /// Number of words [`to_words`] produces.
+    pub fn words_len(&self) -> usize {
+        1 + self.hb_words.len() + self.lb_words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig4_example() {
+        // Paper Fig. 4: sequence (5,6,8,15,18,33), U=36, b = floor(log2(36/6)) = 2.
+        let values = [5u32, 6, 8, 15, 18, 33];
+        let blk = EfBlock::encode(&values);
+        // Our b uses max value (33): floor(log2(33/6)) = 2, same as paper.
+        assert_eq!(blk.b, 2);
+        let mut out = Vec::new();
+        blk.decode_into(0, &mut out);
+        assert_eq!(out, values);
+        // Low bits of each value (paper's low-bits array 01,10,00,11,10,01).
+        let lows: Vec<u32> = values.iter().map(|v| v & 0b11).collect();
+        assert_eq!(lows, vec![1, 2, 0, 3, 2, 1]);
+    }
+
+    #[test]
+    fn roundtrip_various_shapes() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 0, 0], // duplicates allowed (non-decreasing)
+            vec![1, 2, 3, 4, 5],
+            (0..128).map(|i| i * 1000).collect(),
+            (0..128).collect(),
+            vec![u32::MAX / 2, u32::MAX / 2 + 1],
+        ];
+        for values in cases {
+            let blk = EfBlock::encode(&values);
+            let mut out = Vec::new();
+            blk.decode_into(0, &mut out);
+            assert_eq!(out, values, "roundtrip failed for {values:?}");
+        }
+    }
+
+    #[test]
+    fn decode_applies_base() {
+        let values = [3u32, 10, 20];
+        let blk = EfBlock::encode(&values);
+        let mut out = Vec::new();
+        blk.decode_into(100, &mut out);
+        assert_eq!(out, vec![103, 110, 120]);
+    }
+
+    #[test]
+    fn random_access_matches_decode() {
+        let values: Vec<u32> = (0..200).map(|i| i * 37 + (i % 5)).collect();
+        let blk = EfBlock::encode(&values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(blk.get(i), v, "get({i})");
+        }
+    }
+
+    #[test]
+    fn word_serialization_roundtrip() {
+        let values: Vec<u32> = (0..128).map(|i| i * 321).collect();
+        let blk = EfBlock::encode(&values);
+        let mut words = Vec::new();
+        blk.to_words(&mut words);
+        assert_eq!(words.len(), blk.words_len());
+        let back = EfBlock::from_words(&words);
+        assert_eq!(back, blk);
+    }
+
+    #[test]
+    fn dense_lists_compress_below_32_bits() {
+        // 128 consecutive-ish docids: EF should be far below 32 bits/int.
+        let values: Vec<u32> = (0..128).map(|i| i * 3).collect();
+        let blk = EfBlock::encode(&values);
+        let bits_per_int = blk.size_bits() as f64 / 128.0;
+        assert!(bits_per_int < 8.0, "{bits_per_int} bits/int");
+    }
+
+    #[test]
+    fn low_bits_formula() {
+        assert_eq!(low_bits_for(6, 36), 2);
+        assert_eq!(low_bits_for(128, 128), 0);
+        assert_eq!(low_bits_for(1, 1 << 20), 20);
+        assert_eq!(low_bits_for(0, 100), 0);
+    }
+}

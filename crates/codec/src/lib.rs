@@ -1,0 +1,34 @@
+//! # griffin-codec — inverted-list compression
+//!
+//! The compression substrate of the Griffin reproduction (paper §2.1.1 and
+//! §3.1.1). Inverted lists are stored in 128-element blocks; each block is
+//! independently compressed so query processing can skip and decompress
+//! blocks selectively (the foundation of the paper's ratio-128 crossover
+//! analysis).
+//!
+//! Three codecs are provided:
+//!
+//! * [`pfordelta`] — the CPU-favoured scheme (paper Fig. 3): d-gaps packed
+//!   in `b`-bit slots, with out-of-range *exceptions* stored uncompressed at
+//!   the block tail and chained through the slots in linked-list manner.
+//! * [`ef`] — Elias–Fano / quasi-succinct encoding (paper Fig. 4): each
+//!   value splits into `b` low bits stored verbatim and high bits stored as
+//!   a unary-coded gap stream. This is the scheme Griffin-GPU parallelizes
+//!   (Para-EF), because element decompression has almost no sequential
+//!   dependency.
+//! * [`varint`] — byte-aligned VByte, a simple baseline.
+//!
+//! [`blocks`] frames any codec into a blocked list with per-block skip
+//! metadata, and [`stats`] measures compression ratios (paper Table 1).
+
+pub mod bitio;
+pub mod blocks;
+pub mod dgap;
+pub mod ef;
+pub mod pfordelta;
+pub mod stats;
+pub mod varint;
+
+pub use blocks::{BlockedList, BlockedListIter, Codec, SkipEntry, DEFAULT_BLOCK_LEN};
+pub use ef::EfBlock;
+pub use stats::CompressionStats;

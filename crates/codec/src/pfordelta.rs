@@ -1,0 +1,320 @@
+//! PforDelta — the CPU-favoured codec (paper Fig. 3 and §2.1.1).
+//!
+//! A block of d-gaps is packed into fixed `b`-bit *slots*, where `b` is the
+//! smallest width covering ~90% of the values. Values that do not fit
+//! (*exceptions*) keep their slot, but the slot instead stores the offset to
+//! the **next** exception, forming a linked list threaded through the block;
+//! the actual exception values are stored uncompressed after the slots.
+//!
+//! This linked list is exactly why the paper rejects PforDelta on the GPU:
+//! the exception chain must be walked sequentially, which serializes
+//! decompression and causes thread divergence (§2.3).
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Fraction of values the regular slots must cover when choosing `b`.
+const REGULAR_COVERAGE: f64 = 0.90;
+
+/// An encoded PforDelta block (of d-gaps, relative values, or any small
+/// u32s — the codec is oblivious to the gap transform).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PforBlock {
+    pub count: u32,
+    /// Slot width in bits (0 ⇒ every value is an exception).
+    pub b: u32,
+    /// Index of the first exception (== `count` when there are none).
+    pub first_exception: u32,
+    /// Packed `count * b`-bit slot array.
+    pub slot_words: Vec<u32>,
+    /// Uncompressed exception values, in chain (ascending index) order.
+    pub exceptions: Vec<u32>,
+}
+
+/// Smallest `b` such that at least [`REGULAR_COVERAGE`] of `values` fit in
+/// `b` bits. Returns 32 if the distribution is so heavy that full width is
+/// needed.
+pub fn choose_b(values: &[u32]) -> u32 {
+    if values.is_empty() {
+        return 0;
+    }
+    let allowed = (values.len() as f64 * (1.0 - REGULAR_COVERAGE)).floor() as usize;
+    let mut width_hist = [0usize; 33];
+    for &v in values {
+        width_hist[(32 - v.leading_zeros()) as usize] += 1;
+    }
+    let mut cum = 0usize;
+    for b in 0..=32u32 {
+        cum += width_hist[b as usize];
+        let oversize = values.len() - cum;
+        if oversize <= allowed {
+            return b;
+        }
+    }
+    32
+}
+
+impl PforBlock {
+    /// Encodes `values`. Exceptions are values `>= 2^b`, plus *forced*
+    /// exceptions inserted whenever the gap between consecutive exceptions
+    /// exceeds what a `b`-bit offset can express.
+    pub fn encode(values: &[u32]) -> PforBlock {
+        let n = values.len();
+        if n == 0 {
+            return PforBlock {
+                count: 0,
+                b: 0,
+                first_exception: 0,
+                slot_words: Vec::new(),
+                exceptions: Vec::new(),
+            };
+        }
+        let b = choose_b(values);
+        if b == 0 || b == 32 {
+            // b == 0: slots cannot hold chain offsets, so everything is an
+            // exception. b == 32: raw storage, no exceptions possible.
+            // Both degenerate into "store raw"; flag with b = 32.
+            let mut w = BitWriter::new();
+            for &v in values {
+                w.write_bits(v, 32);
+            }
+            return PforBlock {
+                count: n as u32,
+                b: 32,
+                first_exception: n as u32,
+                slot_words: w.finish(),
+                exceptions: Vec::new(),
+            };
+        }
+
+        let limit = 1u64 << b; // values >= limit are exceptions
+        let max_offset = (limit - 1) as usize; // chain offset fits in b bits
+
+        // Collect exception indices: natural + forced (chain reachability).
+        let mut exc_idx: Vec<usize> = Vec::new();
+        let mut last_exc: Option<usize> = None;
+        for (i, &v) in values.iter().enumerate() {
+            if u64::from(v) >= limit {
+                // Back-fill forced exceptions so the chain can reach i in
+                // hops of at most `max_offset` slots. (The first exception
+                // needs no hop: the header addresses it directly.)
+                if let Some(mut le) = last_exc {
+                    while i - le > max_offset {
+                        le += max_offset;
+                        exc_idx.push(le);
+                    }
+                }
+                exc_idx.push(i);
+                last_exc = Some(i);
+            }
+        }
+
+        let first_exception = *exc_idx.first().unwrap_or(&n) as u32;
+        let is_exc = {
+            let mut flags = vec![false; n];
+            for &i in &exc_idx {
+                flags[i] = true;
+            }
+            flags
+        };
+
+        let mut slots = BitWriter::new();
+        let mut exceptions = Vec::with_capacity(exc_idx.len());
+        let mut chain_pos = 0usize; // position within exc_idx
+        for (i, &v) in values.iter().enumerate() {
+            if is_exc[i] {
+                exceptions.push(v);
+                let next = exc_idx.get(chain_pos + 1).copied();
+                let offset = match next {
+                    Some(nx) => (nx - i - 1) as u32,
+                    None => 0,
+                };
+                debug_assert!(u64::from(offset) < limit);
+                slots.write_bits(offset, b);
+                chain_pos += 1;
+            } else {
+                slots.write_bits(v, b);
+            }
+        }
+
+        PforBlock {
+            count: n as u32,
+            b,
+            first_exception,
+            slot_words: slots.finish(),
+            exceptions,
+        }
+    }
+
+    /// Decodes the block, appending the original values to `out`.
+    pub fn decode_into(&self, out: &mut Vec<u32>) {
+        let n = self.count as usize;
+        out.reserve(n);
+        let start = out.len();
+        let mut r = BitReader::new(&self.slot_words);
+        if self.b == 32 {
+            for _ in 0..n {
+                out.push(r.read_bits(32));
+            }
+            return;
+        }
+        for _ in 0..n {
+            out.push(r.read_bits(self.b));
+        }
+        // Walk the exception chain, patching values. The slot of exception
+        // `i` holds the offset to the next exception.
+        let mut idx = self.first_exception as usize;
+        for (k, &value) in self.exceptions.iter().enumerate() {
+            debug_assert!(idx < n, "exception chain escaped the block");
+            let offset = out[start + idx];
+            out[start + idx] = value;
+            if k + 1 < self.exceptions.len() {
+                idx = idx + offset as usize + 1;
+            }
+        }
+    }
+
+    /// Encoded size in bits (word-granular, as stored).
+    pub fn size_bits(&self) -> usize {
+        (2 + self.slot_words.len() + self.exceptions.len()) * 32
+    }
+
+    /// Serializes into a word stream:
+    /// `[count:16|b:6|_, first_exception:16|num_exceptions:16, slots..., exceptions...]`.
+    pub fn to_words(&self, out: &mut Vec<u32>) {
+        assert!(self.count < (1 << 16));
+        assert!(self.exceptions.len() < (1 << 16));
+        out.push(self.count | (self.b << 16));
+        out.push(self.first_exception | ((self.exceptions.len() as u32) << 16));
+        out.extend_from_slice(&self.slot_words);
+        out.extend_from_slice(&self.exceptions);
+    }
+
+    /// Inverse of [`to_words`].
+    pub fn from_words(words: &[u32]) -> PforBlock {
+        let count = words[0] & 0xFFFF;
+        let b = (words[0] >> 16) & 0x3F;
+        let first_exception = words[1] & 0xFFFF;
+        let num_exc = (words[1] >> 16) as usize;
+        let slot_len = (count as usize * b as usize).div_ceil(32);
+        let slot_words = words[2..2 + slot_len].to_vec();
+        let exceptions = words[2 + slot_len..2 + slot_len + num_exc].to_vec();
+        PforBlock {
+            count,
+            b,
+            first_exception,
+            slot_words,
+            exceptions,
+        }
+    }
+
+    pub fn words_len(&self) -> usize {
+        2 + self.slot_words.len() + self.exceptions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32]) -> PforBlock {
+        let blk = PforBlock::encode(values);
+        let mut out = Vec::new();
+        blk.decode_into(&mut out);
+        assert_eq!(out, values, "roundtrip failed (b={})", blk.b);
+        blk
+    }
+
+    #[test]
+    fn paper_fig3_style_block() {
+        // Paper Fig. 3 d-gaps: (21,42,9,13,29,68,18,47) with b = 5 making
+        // 42, 68, 47 exceptions.
+        let gaps = [21u32, 42, 9, 13, 29, 68, 18, 47];
+        let blk = roundtrip(&gaps);
+        // Our 90% rule on 8 values allows 0 exceptions -> picks b = 7.
+        // Force the paper's layout by checking the exception mechanics on a
+        // block shaped so b = 5 emerges: replicate the small values.
+        let mut many = Vec::new();
+        for _ in 0..16 {
+            many.extend_from_slice(&[21, 9, 13, 29, 18]);
+        }
+        many.extend_from_slice(&[42, 68, 47]); // few large values -> exceptions
+        let blk2 = roundtrip(&many);
+        assert!(blk2.b == 5, "expected 5-bit slots, got {}", blk2.b);
+        assert_eq!(blk2.exceptions, vec![42, 68, 47]);
+        let _ = blk;
+    }
+
+    #[test]
+    fn no_exception_block() {
+        let values: Vec<u32> = (0..128).map(|i| i % 30).collect();
+        let blk = roundtrip(&values);
+        assert_eq!(blk.first_exception, 128);
+        assert!(blk.exceptions.is_empty());
+    }
+
+    #[test]
+    fn all_large_values_degenerate_to_raw() {
+        let values: Vec<u32> = (0..64).map(|i| u32::MAX - i).collect();
+        let blk = roundtrip(&values);
+        assert_eq!(blk.b, 32);
+    }
+
+    #[test]
+    fn forced_exceptions_bridge_long_gaps() {
+        // One huge value at each end, tiny values between: with a small b
+        // the chain cannot jump the middle, so forced exceptions appear.
+        let mut values = vec![1u32 << 20];
+        values.extend(std::iter::repeat(1).take(126));
+        values.push(1 << 20);
+        let blk = roundtrip(&values);
+        assert!(
+            blk.exceptions.len() > 2,
+            "expected forced exceptions, got {:?}",
+            blk.exceptions.len()
+        );
+    }
+
+    #[test]
+    fn exception_heavy_tail_distribution() {
+        // Zipf-ish gaps: mostly small with occasional huge outliers.
+        let values: Vec<u32> = (0..128)
+            .map(|i| if i % 13 == 0 { 100_000 + i } else { i % 17 })
+            .collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn zeros_and_empty() {
+        roundtrip(&[]);
+        roundtrip(&[0]);
+        roundtrip(&vec![0u32; 128]);
+    }
+
+    #[test]
+    fn word_serialization_roundtrip() {
+        let values: Vec<u32> = (0..128)
+            .map(|i| if i % 20 == 0 { 1 << 18 } else { i * 3 % 40 })
+            .collect();
+        let blk = PforBlock::encode(&values);
+        let mut words = Vec::new();
+        blk.to_words(&mut words);
+        assert_eq!(words.len(), blk.words_len());
+        let back = PforBlock::from_words(&words);
+        assert_eq!(back, blk);
+        let mut out = Vec::new();
+        back.decode_into(&mut out);
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn choose_b_respects_coverage() {
+        // 100 values: 95 fit in 4 bits, 5 need 20 bits -> b should be 4ish.
+        let mut values = vec![10u32; 95];
+        values.extend(vec![1 << 19; 5]);
+        let b = choose_b(&values);
+        assert!(b <= 5, "b = {b}");
+        // All values equal -> exact width.
+        assert_eq!(choose_b(&vec![7u32; 50]), 3);
+        assert_eq!(choose_b(&[]), 0);
+    }
+}

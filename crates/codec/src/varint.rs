@@ -1,0 +1,95 @@
+//! Byte-aligned variable-length integers (VByte) — the simple baseline
+//! codec, also used for the term-frequency side files in the index.
+
+/// Appends `v` as 1–5 VByte bytes (7 data bits per byte, high bit = more).
+pub fn encode_u32(v: u32, out: &mut Vec<u8>) {
+    let mut v = v;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one VByte value starting at `pos`; returns (value, new_pos).
+pub fn decode_u32(bytes: &[u8], pos: usize) -> (u32, usize) {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    let mut p = pos;
+    loop {
+        let byte = bytes[p];
+        p += 1;
+        v |= u32::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return (v, p);
+        }
+        shift += 7;
+        assert!(shift < 35, "malformed varint");
+    }
+}
+
+/// Encodes a slice of values.
+pub fn encode_slice(values: &[u32], out: &mut Vec<u8>) {
+    for &v in values {
+        encode_u32(v, out);
+    }
+}
+
+/// Decodes exactly `n` values starting at `pos`; returns the new position.
+pub fn decode_n(bytes: &[u8], pos: usize, n: usize, out: &mut Vec<u32>) -> usize {
+    let mut p = pos;
+    out.reserve(n);
+    for _ in 0..n {
+        let (v, np) = decode_u32(bytes, p);
+        out.push(v);
+        p = np;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_values() {
+        for v in [0u32, 1, 127] {
+            let mut buf = Vec::new();
+            encode_u32(v, &mut buf);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(decode_u32(&buf, 0), (v, 1));
+        }
+    }
+
+    #[test]
+    fn boundary_widths() {
+        let cases = [
+            (127u32, 1usize),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u32::MAX, 5),
+        ];
+        for (v, len) in cases {
+            let mut buf = Vec::new();
+            encode_u32(v, &mut buf);
+            assert_eq!(buf.len(), len, "width of {v}");
+            assert_eq!(decode_u32(&buf, 0).0, v);
+        }
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let values: Vec<u32> = (0..1000).map(|i| i * 31 % 70_000).collect();
+        let mut buf = Vec::new();
+        encode_slice(&values, &mut buf);
+        let mut out = Vec::new();
+        let end = decode_n(&buf, 0, values.len(), &mut out);
+        assert_eq!(end, buf.len());
+        assert_eq!(out, values);
+    }
+}

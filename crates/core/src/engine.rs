@@ -1,0 +1,460 @@
+//! The hybrid query engine: one query, two processors, per-operation
+//! migration (paper Fig. 1(d)).
+
+use griffin_cpu::engine::Strategy;
+use griffin_cpu::{CpuEngine, Intermediate, WorkCounters};
+use griffin_gpu::{DeviceIntermediate, GpuEngine, GpuStrategy};
+use griffin_gpu_sim::{Gpu, VirtualNanos};
+use griffin_index::{CorpusMeta, InvertedIndex, TermId};
+
+use crate::sched::{Proc, Scheduler};
+
+/// How a query is executed (the paper's three evaluated configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The highly optimized CPU baseline (Fig. 1(a)).
+    CpuOnly,
+    /// Griffin-GPU running alone (Fig. 1(b)).
+    GpuOnly,
+    /// Griffin: dynamic per-operation scheduling (Fig. 1(d)).
+    Hybrid,
+}
+
+/// One step in a query's execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTrace {
+    pub op: StepOp,
+    pub proc: Proc,
+    pub time: VirtualNanos,
+    /// Intermediate length after the step.
+    pub inter_len: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOp {
+    /// Decompress + score the first list.
+    Init,
+    /// Pairwise intersection with the i-th planned term.
+    Intersect(usize),
+    /// Intermediate migration across PCIe.
+    Migrate,
+    /// Final top-k ranking (always CPU, per the Fig. 7 finding).
+    TopK,
+}
+
+/// Result of a query under any mode.
+#[derive(Debug, Clone)]
+pub struct GriffinOutput {
+    /// Top-k (docid, score), best first.
+    pub topk: Vec<(u32, f32)>,
+    /// End-to-end virtual latency.
+    pub time: VirtualNanos,
+    /// Per-operation trace (empty for the non-hybrid modes' inner steps).
+    pub steps: Vec<StepTrace>,
+}
+
+/// Where the intermediate currently lives.
+enum Inter {
+    Host(Intermediate),
+    Device(DeviceIntermediate),
+}
+
+impl Inter {
+    fn len(&self) -> usize {
+        match self {
+            Inter::Host(h) => h.len(),
+            Inter::Device(d) => d.len,
+        }
+    }
+
+    fn loc(&self) -> Proc {
+        match self {
+            Inter::Host(_) => Proc::Cpu,
+            Inter::Device(_) => Proc::Gpu,
+        }
+    }
+}
+
+/// The Griffin system: CPU engine + Griffin-GPU engine + scheduler.
+pub struct Griffin<'g> {
+    pub cpu: CpuEngine,
+    pub gpu: GpuEngine<'g>,
+    pub scheduler: Scheduler,
+    device: &'g Gpu,
+}
+
+impl<'g> Griffin<'g> {
+    pub fn new(device: &'g Gpu, meta: &CorpusMeta, block_len: usize) -> Griffin<'g> {
+        Griffin {
+            cpu: CpuEngine::new(),
+            gpu: GpuEngine::new(device, meta),
+            scheduler: Scheduler::for_block_len(block_len),
+            device,
+        }
+    }
+
+    /// String-level convenience: looks the words up in the dictionary and
+    /// runs the conjunctive query under `mode`. Words missing from the
+    /// vocabulary make the conjunction empty, so the result is empty.
+    pub fn search(
+        &self,
+        index: &InvertedIndex,
+        words: &[&str],
+        k: usize,
+        mode: ExecMode,
+    ) -> GriffinOutput {
+        let mut terms = Vec::with_capacity(words.len());
+        for w in words {
+            match index.lookup(w) {
+                Some(t) => terms.push(t),
+                None => {
+                    return GriffinOutput {
+                        topk: Vec::new(),
+                        time: VirtualNanos::ZERO,
+                        steps: Vec::new(),
+                    }
+                }
+            }
+        }
+        self.process_query(index, &terms, k, mode)
+    }
+
+    /// Processes one conjunctive query, returning the top-k and the
+    /// virtual latency under the chosen mode.
+    pub fn process_query(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        k: usize,
+        mode: ExecMode,
+    ) -> GriffinOutput {
+        match mode {
+            ExecMode::CpuOnly => {
+                let out = self.cpu.process_query(index, terms, k);
+                GriffinOutput {
+                    topk: out.topk,
+                    time: out.time,
+                    steps: Vec::new(),
+                }
+            }
+            ExecMode::GpuOnly => {
+                let (topk, gpu_time, rank_w) = self.gpu.process_query(index, terms, k);
+                let rank_time = self.cpu.model.time(&rank_w);
+                GriffinOutput {
+                    topk,
+                    time: gpu_time + rank_time,
+                    steps: Vec::new(),
+                }
+            }
+            ExecMode::Hybrid => self.process_hybrid(index, terms, k),
+        }
+    }
+
+    fn process_hybrid(&self, index: &InvertedIndex, terms: &[TermId], k: usize) -> GriffinOutput {
+        let mut steps: Vec<StepTrace> = Vec::new();
+        let mut total = VirtualNanos::ZERO;
+        let planned = self.cpu.plan(index, terms);
+        let Some((&first, rest)) = planned.split_first() else {
+            return GriffinOutput {
+                topk: Vec::new(),
+                time: VirtualNanos::ZERO,
+                steps,
+            };
+        };
+
+        // Initial placement: decide on the first pairwise ratio (or the
+        // lone list's home if the query has a single term).
+        let first_len = index.doc_freq(first);
+        let initial = match rest.first() {
+            Some(&second) => {
+                self.scheduler
+                    .decide(first_len, index.doc_freq(second), Proc::Cpu)
+            }
+            None => Proc::Cpu,
+        };
+
+        let mut inter: Inter = match initial {
+            Proc::Gpu => {
+                let ((), t_up, dev_inter) = {
+                    let start = self.device.now();
+                    let postings = self.gpu.upload(index, first);
+                    let dev = self.gpu.init_intermediate(&postings);
+                    self.gpu.release(postings);
+                    ((), self.device.now() - start, dev)
+                };
+                total += t_up;
+                steps.push(StepTrace {
+                    op: StepOp::Init,
+                    proc: Proc::Gpu,
+                    time: t_up,
+                    inter_len: dev_inter.len,
+                });
+                Inter::Device(dev_inter)
+            }
+            Proc::Cpu => {
+                let mut w = WorkCounters::default();
+                let host = self.cpu.init_intermediate(index, first, &mut w);
+                let t = self.cpu.model.time(&w);
+                total += t;
+                steps.push(StepTrace {
+                    op: StepOp::Init,
+                    proc: Proc::Cpu,
+                    time: t,
+                    inter_len: host.len(),
+                });
+                Inter::Host(host)
+            }
+        };
+
+        for (i, &term) in rest.iter().enumerate() {
+            if inter.len() == 0 {
+                break;
+            }
+            let long_len = index.doc_freq(term);
+            let target = self.scheduler.decide(inter.len(), long_len, inter.loc());
+
+            // Migrate the intermediate if the scheduler moved the op.
+            if target != inter.loc() {
+                let (migrated, t) = self.migrate(inter, target);
+                inter = migrated;
+                total += t;
+                steps.push(StepTrace {
+                    op: StepOp::Migrate,
+                    proc: target,
+                    time: t,
+                    inter_len: inter.len(),
+                });
+            }
+
+            let (next, t) = match (inter, target) {
+                (Inter::Device(dev), Proc::Gpu) => {
+                    let start = self.device.now();
+                    let postings = self.gpu.upload(index, term);
+                    let out =
+                        self.gpu
+                            .intersect_step(dev, &postings, index.block_len(), GpuStrategy::Auto);
+                    self.gpu.release(postings);
+                    (Inter::Device(out), self.device.now() - start)
+                }
+                (Inter::Host(host), Proc::Cpu) => {
+                    let mut w = WorkCounters::default();
+                    let out =
+                        self.cpu
+                            .intersect_step(index, &host, term, Strategy::Auto, &mut w);
+                    (Inter::Host(out), self.cpu.model.time(&w))
+                }
+                _ => unreachable!("intermediate was just migrated to the target"),
+            };
+            inter = next;
+            total += t;
+            steps.push(StepTrace {
+                op: StepOp::Intersect(i + 1),
+                proc: target,
+                time: t,
+                inter_len: inter.len(),
+            });
+        }
+
+        // Results come home; ranking runs on the CPU (Fig. 7).
+        let host = match inter {
+            Inter::Device(dev) => {
+                let start = self.device.now();
+                let (docids, scores) = self.gpu.download(dev);
+                let t = self.device.now() - start;
+                total += t;
+                steps.push(StepTrace {
+                    op: StepOp::Migrate,
+                    proc: Proc::Cpu,
+                    time: t,
+                    inter_len: docids.len(),
+                });
+                Intermediate { docids, scores }
+            }
+            Inter::Host(h) => h,
+        };
+        let mut w = WorkCounters::default();
+        let topk = griffin_cpu::topk::top_k(&host.docids, &host.scores, k, &mut w);
+        let t_rank = self.cpu.model.time(&w);
+        total += t_rank;
+        steps.push(StepTrace {
+            op: StepOp::TopK,
+            proc: Proc::Cpu,
+            time: t_rank,
+            inter_len: topk.len(),
+        });
+
+        GriffinOutput {
+            topk,
+            time: total,
+            steps,
+        }
+    }
+
+    /// Moves the intermediate across PCIe.
+    fn migrate(&self, inter: Inter, target: Proc) -> (Inter, VirtualNanos) {
+        match (inter, target) {
+            (Inter::Host(h), Proc::Gpu) => {
+                let start = self.device.now();
+                let score_bits: Vec<u32> = h.scores.iter().map(|s| s.to_bits()).collect();
+                let bufs = self.device.htod_packed(&[&h.docids, &score_bits]);
+                let mut it = bufs.into_iter();
+                let docids = it.next().expect("docids");
+                let scores = it.next().expect("scores").cast::<f32>();
+                let dev = DeviceIntermediate {
+                    len: h.docids.len(),
+                    docids,
+                    scores,
+                };
+                (Inter::Device(dev), self.device.now() - start)
+            }
+            (Inter::Device(dev), Proc::Cpu) => {
+                let start = self.device.now();
+                let (docids, scores) = self.gpu.download(dev);
+                (
+                    Inter::Host(Intermediate { docids, scores }),
+                    self.device.now() - start,
+                )
+            }
+            (other, _) => (other, VirtualNanos::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_codec::Codec;
+    use griffin_gpu_sim::DeviceConfig;
+    use griffin_index::InvertedIndex;
+    use griffin_workload::{gen_docid_list, GapProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_index(lens: &[usize], num_docs: u32) -> InvertedIndex {
+        let mut rng = StdRng::seed_from_u64(11);
+        let lists: Vec<Vec<u32>> = lens
+            .iter()
+            .map(|&len| gen_docid_list(&mut rng, len, num_docs, GapProfile::HeavyTailed))
+            .collect();
+        InvertedIndex::from_docid_lists(&lists, num_docs, Codec::EliasFano, 128)
+    }
+
+    fn terms(idx: &InvertedIndex, n: usize) -> Vec<TermId> {
+        (0..n).map(|i| idx.lookup(&format!("t{i}")).unwrap()).collect()
+    }
+
+    #[test]
+    fn all_modes_return_identical_results() {
+        let idx = test_index(&[3_000, 20_000, 60_000], 500_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 3);
+
+        let cpu = griffin.process_query(&idx, &q, 10, ExecMode::CpuOnly);
+        let gpu_only = griffin.process_query(&idx, &q, 10, ExecMode::GpuOnly);
+        let hybrid = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+
+        let ids = |o: &GriffinOutput| o.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>();
+        assert_eq!(ids(&cpu), ids(&gpu_only));
+        assert_eq!(ids(&cpu), ids(&hybrid));
+        for ((_, a), (_, b)) in cpu.topk.iter().zip(&hybrid.topk) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        assert!(!cpu.topk.is_empty(), "test query should match something");
+    }
+
+    #[test]
+    fn hybrid_trace_records_migration_when_ratio_flips() {
+        // Comparable first pair (GPU) then a hugely longer list (CPU).
+        let idx = test_index(&[10_000, 60_000, 1_500_000], 4_000_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 3);
+        let out = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+
+        let procs: Vec<Proc> = out
+            .steps
+            .iter()
+            .filter(|s| matches!(s.op, StepOp::Init | StepOp::Intersect(_)))
+            .map(|s| s.proc)
+            .collect();
+        assert_eq!(procs.first(), Some(&Proc::Gpu), "starts on GPU: {:?}", out.steps);
+        assert_eq!(procs.last(), Some(&Proc::Cpu), "finishes on CPU: {:?}", out.steps);
+        assert!(
+            out.steps.iter().any(|s| s.op == StepOp::Migrate),
+            "expected a migration step"
+        );
+        // Migration time must be accounted.
+        let migrate_time: VirtualNanos = out
+            .steps
+            .iter()
+            .filter(|s| s.op == StepOp::Migrate)
+            .map(|s| s.time)
+            .sum();
+        assert!(migrate_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn device_memory_reclaimed_after_hybrid_query() {
+        let idx = test_index(&[1_000, 5_000, 20_000], 200_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 3);
+        let _ = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+        // Only the engine-owned state (cached hot lists) may remain; all
+        // per-query buffers are gone after shutdown.
+        griffin.gpu.shutdown();
+        assert_eq!(gpu.mem_in_use(), 0);
+    }
+
+    #[test]
+    fn single_term_query_runs_on_cpu() {
+        let idx = test_index(&[5_000], 100_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 1);
+        let out = griffin.process_query(&idx, &q, 5, ExecMode::Hybrid);
+        assert_eq!(out.topk.len(), 5);
+        assert!(out.steps.iter().all(|s| s.proc == Proc::Cpu));
+    }
+
+    #[test]
+    fn string_search_convenience() {
+        let mut b = griffin_index::IndexBuilder::new(Codec::EliasFano);
+        b.add_text("rust gpu simulator");
+        b.add_text("rust cpu engine");
+        b.add_text("gpu engine rust");
+        let idx = b.build();
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let hits = griffin.search(&idx, &["rust", "engine"], 10, ExecMode::Hybrid);
+        let mut docs: Vec<u32> = hits.topk.iter().map(|&(d, _)| d).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![1, 2]);
+        // Unknown words empty the conjunction.
+        let none = griffin.search(&idx, &["rust", "nonexistent"], 10, ExecMode::Hybrid);
+        assert!(none.topk.is_empty());
+    }
+
+    #[test]
+    fn empty_query() {
+        let idx = test_index(&[1_000], 50_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let out = griffin.process_query(&idx, &[], 10, ExecMode::Hybrid);
+        assert!(out.topk.is_empty());
+        assert_eq!(out.time, VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn times_are_positive_and_steps_sum_to_total() {
+        let idx = test_index(&[2_000, 30_000], 500_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 2);
+        let out = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+        let step_sum: VirtualNanos = out.steps.iter().map(|s| s.time).sum();
+        assert_eq!(step_sum, out.time);
+        assert!(out.time.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # griffin — uniting CPU and GPU for intra-query parallelism
+//!
+//! The paper's primary contribution (PPoPP'18): an information-retrieval
+//! query engine that processes *parts of a single query* on whichever
+//! processor suits the operation's current characteristics, migrating
+//! execution between a state-of-the-art CPU engine ([`griffin_cpu`]) and
+//! the Griffin-GPU engine ([`griffin_gpu`]) as the query's list-length
+//! ratios drift.
+//!
+//! The key observation (paper §3.2): as SvS processing proceeds, the
+//! intermediate result shrinks monotonically while the remaining lists
+//! grow, so the length ratio of each pairwise intersection rises. Below a
+//! crossover ratio tied to the 128-element block size, the GPU's
+//! parallel decompression + MergePath intersection wins; above it, the
+//! CPU's skip-pointer binary search — which avoids decompressing skipped
+//! blocks entirely — wins. Griffin's [`sched::Scheduler`] applies this
+//! rule *per operation*, accounting for where the data currently lives
+//! (PCIe transfers are charged by the device model).
+//!
+//! [`engine::Griffin`] is the entry point; [`serving`] adds the
+//! multi-query event simulation behind the paper's end-to-end (Fig. 14)
+//! and tail-latency (Fig. 15) studies.
+
+pub mod engine;
+pub mod sched;
+pub mod serving;
+
+pub use engine::{ExecMode, Griffin, GriffinOutput, StepOp, StepTrace};
+pub use sched::{Proc, Scheduler};
+pub use serving::{Job, Resource, ServingSim, StageReq};

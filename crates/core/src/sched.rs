@@ -1,0 +1,175 @@
+//! The dynamic intra-query scheduler (paper §3.2).
+//!
+//! Before each pairwise intersection, Griffin compares the long list's
+//! length to the intermediate result's length. If the ratio is below the
+//! crossover threshold the operation runs on the GPU, otherwise on the
+//! CPU. The threshold defaults to the compression block size: the paper
+//! proves that at ratio = block size the short list has fewer elements
+//! than the long list has blocks, so skippable blocks are guaranteed to
+//! exist — exactly when the CPU's skip search starts beating brute-force
+//! parallel decompression ("the value of 128 is closely related to the
+//! fact that we compress the list in 128-element blocks").
+//!
+//! The placement-aware refinement adds hysteresis: when the intermediate
+//! already lives on the device, a borderline operation stays there, since
+//! migrating costs a PCIe round trip that a marginal CPU win cannot repay.
+
+/// Which processor an operation runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proc {
+    Cpu,
+    Gpu,
+}
+
+/// The ratio-crossover scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    /// GPU/CPU crossover ratio (paper default: the block size, 128).
+    pub ratio_threshold: usize,
+    /// Hysteresis: borderline ops stay on the processor holding the data.
+    pub placement_aware: bool,
+    /// Multiplier applied to the threshold when the data is already
+    /// device-resident (only with `placement_aware`).
+    pub hysteresis: f64,
+    /// Operations whose long list is shorter than this always run on the
+    /// CPU: tiny kernels cannot amortize launch/allocation/PCIe overheads
+    /// ("these costs occur just once, so running larger, more complex
+    /// query operations can amortize them" — paper §2.3). The paper's
+    /// crossover study itself only measures lists of 1M–2M elements.
+    pub min_gpu_work: usize,
+}
+
+impl Scheduler {
+    /// Scheduler for an index compressed in `block_len`-element blocks.
+    pub fn for_block_len(block_len: usize) -> Scheduler {
+        Scheduler {
+            ratio_threshold: block_len,
+            placement_aware: true,
+            hysteresis: 2.0,
+            min_gpu_work: 8_192,
+        }
+    }
+
+    /// A paper-faithful static scheduler (no placement awareness), for the
+    /// ablation study.
+    pub fn paper_static(block_len: usize) -> Scheduler {
+        Scheduler {
+            ratio_threshold: block_len,
+            placement_aware: false,
+            hysteresis: 1.0,
+            min_gpu_work: 0,
+        }
+    }
+
+    /// Decides where the next pairwise intersection should run.
+    ///
+    /// * `short_len` — current intermediate length (or the shortest list
+    ///   for the first operation);
+    /// * `long_len` — the next list's length;
+    /// * `current` — where the intermediate currently lives.
+    pub fn decide(&self, short_len: usize, long_len: usize, current: Proc) -> Proc {
+        if short_len == 0 {
+            // Empty intermediate: nothing to do anywhere; prefer where the
+            // data is to avoid a pointless transfer.
+            return current;
+        }
+        if long_len < self.min_gpu_work {
+            return Proc::Cpu;
+        }
+        let ratio = long_len as f64 / short_len as f64;
+        let mut threshold = self.ratio_threshold as f64;
+        if self.placement_aware && current == Proc::Gpu {
+            threshold *= self.hysteresis;
+        }
+        if ratio < threshold {
+            Proc::Gpu
+        } else {
+            Proc::Cpu
+        }
+    }
+
+    /// The paper's block-skipping guarantee (§3.2, Fig. 9): with ratio
+    /// above the block size, the short list has fewer elements than the
+    /// long list has blocks, so at least one block is skippable.
+    pub fn skippable_blocks_guaranteed(
+        &self,
+        short_len: usize,
+        long_len: usize,
+        block_len: usize,
+    ) -> bool {
+        let blocks = long_len.div_ceil(block_len);
+        short_len < blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_ratio_goes_to_gpu() {
+        let s = Scheduler::for_block_len(128);
+        assert_eq!(s.decide(10_000, 100_000, Proc::Cpu), Proc::Gpu); // ratio 10
+        assert_eq!(s.decide(10_000, 1_000_000, Proc::Cpu), Proc::Gpu); // ratio 100
+    }
+
+    #[test]
+    fn high_ratio_goes_to_cpu() {
+        let s = Scheduler::for_block_len(128);
+        assert_eq!(s.decide(1_000, 1_000_000, Proc::Cpu), Proc::Cpu); // ratio 1000
+        assert_eq!(s.decide(1_000, 128_000, Proc::Cpu), Proc::Cpu); // exactly 128
+    }
+
+    #[test]
+    fn hysteresis_keeps_borderline_ops_on_gpu() {
+        let s = Scheduler::for_block_len(128);
+        // Ratio 150: above 128 but below 256.
+        assert_eq!(s.decide(1_000, 150_000, Proc::Gpu), Proc::Gpu);
+        assert_eq!(s.decide(1_000, 150_000, Proc::Cpu), Proc::Cpu);
+        // Far above the threshold migrates regardless.
+        assert_eq!(s.decide(1_000, 500_000, Proc::Gpu), Proc::Cpu);
+    }
+
+    #[test]
+    fn static_scheduler_ignores_placement() {
+        let s = Scheduler::paper_static(128);
+        assert_eq!(s.decide(1_000, 150_000, Proc::Gpu), Proc::Cpu);
+    }
+
+    #[test]
+    fn threshold_follows_block_size() {
+        let s64 = Scheduler::paper_static(64);
+        let s256 = Scheduler::paper_static(256);
+        // Ratio 100: above 64's threshold, below 256's.
+        assert_eq!(s64.decide(1_000, 100_000, Proc::Cpu), Proc::Cpu);
+        assert_eq!(s256.decide(1_000, 100_000, Proc::Cpu), Proc::Gpu);
+    }
+
+    #[test]
+    fn skippable_block_guarantee_matches_fig9() {
+        let s = Scheduler::for_block_len(128);
+        // λ > 128 ⇒ |R| < |S|/128 = #blocks ⇒ skippable blocks exist.
+        assert!(s.skippable_blocks_guaranteed(100, 128_000, 128)); // 1000 blocks
+        // λ = 1: every block relevant (short maps into all of them).
+        assert!(!s.skippable_blocks_guaranteed(128_000, 128_000, 128));
+    }
+
+    #[test]
+    fn tiny_operations_stay_on_cpu() {
+        let s = Scheduler::for_block_len(128);
+        // Ratio 2 would favour the GPU, but 100-element lists cannot
+        // amortize launch overheads.
+        assert_eq!(s.decide(50, 100, Proc::Cpu), Proc::Cpu);
+        assert_eq!(s.decide(50, 100, Proc::Gpu), Proc::Cpu);
+        // The paper-static ablation has no floor.
+        let p = Scheduler::paper_static(128);
+        assert_eq!(p.decide(50, 100, Proc::Cpu), Proc::Gpu);
+    }
+
+    #[test]
+    fn empty_intermediate_stays_put() {
+        let s = Scheduler::for_block_len(128);
+        assert_eq!(s.decide(0, 1_000_000, Proc::Gpu), Proc::Gpu);
+        assert_eq!(s.decide(0, 1_000_000, Proc::Cpu), Proc::Cpu);
+    }
+}

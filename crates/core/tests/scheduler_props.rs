@@ -1,0 +1,120 @@
+//! Property-based tests of the scheduler and the serving simulator.
+
+use griffin::serving::{Job, Resource, ServingSim, StageReq};
+use griffin::{Proc, Scheduler};
+use griffin_gpu_sim::VirtualNanos;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Above the minimum-work floor, the decision is monotone in the
+    /// ratio: if some ratio goes to the CPU, every higher ratio (same
+    /// placement) must too. (Below the floor everything is CPU by
+    /// definition, so monotonicity only holds per-side of the floor.)
+    #[test]
+    fn decision_is_monotone_in_ratio(short in 1usize..1_000_000,
+                                     long in 1usize..100_000_000,
+                                     longer in 0usize..100_000_000) {
+        let s = Scheduler::for_block_len(128);
+        let long = long.max(s.min_gpu_work);
+        for current in [Proc::Cpu, Proc::Gpu] {
+            if s.decide(short, long, current) == Proc::Cpu {
+                let bigger = long.saturating_add(longer);
+                prop_assert_eq!(s.decide(short, bigger, current), Proc::Cpu,
+                    "short={} long={} bigger={} current={:?}", short, long, bigger, current);
+            }
+        }
+        // Below the floor the answer is always CPU.
+        if s.min_gpu_work > 1 {
+            prop_assert_eq!(s.decide(short, s.min_gpu_work - 1, Proc::Gpu), Proc::Cpu);
+        }
+    }
+
+    /// Hysteresis only ever *keeps* work on the current processor — it can
+    /// never flip a decision toward a migration.
+    #[test]
+    fn hysteresis_never_forces_migration(short in 1usize..1_000_000,
+                                         long in 1usize..100_000_000) {
+        let aware = Scheduler::for_block_len(128);
+        let static_ = Scheduler {
+            placement_aware: false,
+            hysteresis: 1.0,
+            ..aware.clone()
+        };
+        for current in [Proc::Cpu, Proc::Gpu] {
+            let a = aware.decide(short, long, current);
+            let s = static_.decide(short, long, current);
+            if a != s {
+                // Disagreements must be the aware scheduler *staying put*.
+                prop_assert_eq!(a, current);
+            }
+        }
+    }
+
+    /// The paper's Fig. 9 guarantee, as a property over all sizes.
+    #[test]
+    fn skippable_guarantee_matches_definition(short in 1usize..100_000,
+                                              long in 1usize..10_000_000,
+                                              block in prop::sample::select(vec![64usize, 128, 256])) {
+        let s = Scheduler::for_block_len(block);
+        let guaranteed = s.skippable_blocks_guaranteed(short, long, block);
+        prop_assert_eq!(guaranteed, short < long.div_ceil(block));
+        // Ratio above block size with full blocks implies the guarantee.
+        if short > 0 && long >= short * block && long % block == 0 && long / short > block {
+            prop_assert!(s.skippable_blocks_guaranteed(short, long, block));
+        }
+    }
+
+    /// Serving causality: no job finishes before its arrival plus its own
+    /// service demand; work is conserved.
+    #[test]
+    fn serving_respects_causality(durations in vec(vec(1u64..10_000, 1..4), 1..40),
+                                  gaps in vec(0u64..5_000, 1..40),
+                                  workers in 1usize..6) {
+        let n = durations.len().min(gaps.len());
+        let mut arrival = VirtualNanos::ZERO;
+        let mut jobs = Vec::new();
+        for i in 0..n {
+            arrival += VirtualNanos::from_nanos(gaps[i]);
+            jobs.push(Job {
+                arrival,
+                stages: durations[i]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &d)| StageReq {
+                        resource: if k % 2 == 0 { Resource::Cpu } else { Resource::Gpu },
+                        duration: VirtualNanos::from_nanos(d),
+                    })
+                    .collect(),
+            });
+        }
+        let lat = ServingSim::new(workers).run(&jobs);
+        prop_assert_eq!(lat.len(), jobs.len());
+        for (job, &l) in jobs.iter().zip(&lat) {
+            let service: VirtualNanos = job.stages.iter().map(|s| s.duration).sum();
+            prop_assert!(l >= service, "latency {} below service {}", l, service);
+        }
+    }
+
+    /// More workers never hurt: latencies under w+1 cores are <= under w
+    /// for single-stage CPU jobs (a standard queueing sanity property).
+    #[test]
+    fn extra_workers_never_hurt(durations in vec(1u64..50_000, 2..60)) {
+        let jobs: Vec<Job> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Job {
+                arrival: VirtualNanos::from_nanos(i as u64 * 500),
+                stages: vec![StageReq {
+                    resource: Resource::Cpu,
+                    duration: VirtualNanos::from_nanos(d),
+                }],
+            })
+            .collect();
+        let few: u64 = ServingSim::new(2).run(&jobs).iter().map(|l| l.as_nanos()).sum();
+        let many: u64 = ServingSim::new(4).run(&jobs).iter().map(|l| l.as_nanos()).sum();
+        prop_assert!(many <= few, "4 cores {many} vs 2 cores {few}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Instrumented block decompression: bit-exact decoding that counts the
+//! work it performs for the cost model.
+
+use griffin_codec::pfordelta::PforBlock;
+use griffin_codec::{BlockedList, Codec};
+use griffin_index::CompressedPostingList;
+
+use crate::cost::WorkCounters;
+
+/// Decodes block `i` of `list`, appending docIDs to `out` and charging the
+/// counters for the codec-specific work.
+pub fn decode_block(list: &BlockedList, i: usize, out: &mut Vec<u32>, w: &mut WorkCounters) {
+    let skip = &list.skips[i];
+    let count = u64::from(skip.count);
+    w.blocks_decoded += 1;
+    w.bytes_touched += u64::from(skip.word_len) * 4 + count * 4;
+    match list.codec {
+        Codec::PforDelta => {
+            // Count the real exceptions in this block (the chain walk is
+            // the data-dependent, serializing part of PforDelta).
+            let words =
+                &list.words[skip.word_start as usize..(skip.word_start + skip.word_len) as usize];
+            let blk = PforBlock::from_words(words);
+            w.pfor_elements += count;
+            w.pfor_exceptions += blk.exceptions.len() as u64;
+        }
+        Codec::EliasFano => {
+            w.ef_elements += count;
+        }
+        Codec::Varint => {
+            w.varint_elements += count;
+        }
+    }
+    list.decode_block_into(i, out);
+}
+
+/// Fully decompresses `list`, counting all work.
+pub fn decode_list(list: &BlockedList, w: &mut WorkCounters) -> Vec<u32> {
+    let mut out = Vec::with_capacity(list.len());
+    for i in 0..list.num_blocks() {
+        decode_block(list, i, &mut out, w);
+    }
+    out
+}
+
+/// Fully decompresses a posting list (docIDs and term frequencies).
+pub fn decode_postings(list: &CompressedPostingList, w: &mut WorkCounters) -> (Vec<u32>, Vec<u32>) {
+    let mut docids = Vec::with_capacity(list.len());
+    let mut tfs = Vec::with_capacity(list.len());
+    for i in 0..list.num_blocks() {
+        let before = docids.len();
+        decode_block(&list.docs, i, &mut docids, w);
+        let mut blk_tfs = Vec::new();
+        list.decode_block_into_tfs_only(i, &mut blk_tfs);
+        w.varint_elements += (docids.len() - before) as u64;
+        tfs.extend_from_slice(&blk_tfs);
+    }
+    (docids, tfs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_codec::DEFAULT_BLOCK_LEN;
+
+    fn docids(n: u32) -> Vec<u32> {
+        (0..n).map(|i| i * 5 + 2).collect()
+    }
+
+    #[test]
+    fn decode_list_counts_work() {
+        let ids = docids(1000);
+        let list = BlockedList::compress(&ids, Codec::PforDelta, DEFAULT_BLOCK_LEN);
+        let mut w = WorkCounters::default();
+        let out = decode_list(&list, &mut w);
+        assert_eq!(out, ids);
+        assert_eq!(w.blocks_decoded, 8);
+        assert_eq!(w.pfor_elements, 1000);
+        assert!(w.bytes_touched > 4000, "decoded output bytes counted");
+    }
+
+    #[test]
+    fn ef_work_counted_separately() {
+        let ids = docids(500);
+        let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let mut w = WorkCounters::default();
+        decode_list(&list, &mut w);
+        assert_eq!(w.ef_elements, 500);
+        assert_eq!(w.pfor_elements, 0);
+    }
+
+    #[test]
+    fn single_block_decode() {
+        let ids = docids(300);
+        let list = BlockedList::compress(&ids, Codec::Varint, DEFAULT_BLOCK_LEN);
+        let mut w = WorkCounters::default();
+        let mut out = Vec::new();
+        decode_block(&list, 1, &mut out, &mut w);
+        assert_eq!(out, &ids[128..256]);
+        assert_eq!(w.blocks_decoded, 1);
+        assert_eq!(w.varint_elements, 128);
+    }
+}

@@ -1,0 +1,338 @@
+//! The CPU query-processing pipeline (SvS + incremental BM25 + top-k).
+//!
+//! Exposed both as a whole-query engine ([`CpuEngine::process_query`]) and
+//! as individual steps ([`CpuEngine::init_intermediate`],
+//! [`CpuEngine::intersect_step`]) so Griffin's hybrid scheduler can run any
+//! single step on the CPU while others run on the GPU.
+
+use griffin_gpu_sim::VirtualNanos;
+use griffin_index::{InvertedIndex, TermId};
+
+use crate::cost::{CpuCostModel, WorkCounters};
+use crate::decode;
+use crate::intersect::{self, Matches};
+use crate::rank::Bm25;
+use crate::topk;
+
+/// The running state of a query between pairwise intersections: the
+/// surviving docIDs and their accumulated partial BM25 scores.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Intermediate {
+    pub docids: Vec<u32>,
+    pub scores: Vec<f32>,
+}
+
+impl Intermediate {
+    pub fn len(&self) -> usize {
+        self.docids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docids.is_empty()
+    }
+}
+
+/// How a pairwise intersection should be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Decompress the long list fully, then linear merge.
+    Merge,
+    /// Skip-pointer search into the compressed long list.
+    SkipBinary,
+    /// Decompress fully, then binary search (Fig. 13's "CPU binary").
+    PureBinary,
+    /// Pick by length ratio (the engine's production behaviour).
+    Auto,
+}
+
+/// Result of a full query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Top-k (docid, score), best first.
+    pub topk: Vec<(u32, f32)>,
+    /// Modelled single-core execution time.
+    pub time: VirtualNanos,
+    /// The work that time was computed from.
+    pub counters: WorkCounters,
+}
+
+/// The CPU query engine.
+#[derive(Debug, Clone, Default)]
+pub struct CpuEngine {
+    pub model: CpuCostModel,
+    pub bm25: Bm25,
+    /// `Auto` switches from merge to skip-binary at this long/short ratio.
+    pub merge_ratio_threshold: usize,
+}
+
+impl CpuEngine {
+    pub fn new() -> Self {
+        CpuEngine {
+            model: CpuCostModel::default(),
+            bm25: Bm25::default(),
+            merge_ratio_threshold: 16,
+        }
+    }
+
+    /// Orders the query's terms by ascending document frequency (SvS starts
+    /// with the two rarest terms). Unknown terms yield `None` (empty result).
+    pub fn plan(&self, index: &InvertedIndex, terms: &[TermId]) -> Vec<TermId> {
+        let mut ts = terms.to_vec();
+        ts.sort_by_key(|&t| index.doc_freq(t));
+        ts
+    }
+
+    /// Decompresses the first (shortest) list into an [`Intermediate`] with
+    /// the term's BM25 contributions as initial scores.
+    pub fn init_intermediate(
+        &self,
+        index: &InvertedIndex,
+        term: TermId,
+        w: &mut WorkCounters,
+    ) -> Intermediate {
+        let list = index.list(term);
+        let (docids, tfs) = {
+            let mut ids = Vec::with_capacity(list.len());
+            let mut tfs = Vec::with_capacity(list.len());
+            for b in 0..list.num_blocks() {
+                decode::decode_block(&list.docs, b, &mut ids, w);
+                list.decode_block_into_tfs_only(b, &mut tfs);
+            }
+            w.varint_elements += tfs.len() as u64;
+            (ids, tfs)
+        };
+        let idf = self.bm25.idf(index.num_docs(), list.len() as u32);
+        let meta = index.meta();
+        let scores: Vec<f32> = docids
+            .iter()
+            .zip(&tfs)
+            .map(|(&d, &tf)| {
+                self.bm25
+                    .contribution(idf, tf, meta.doc_len(d), meta.avg_doc_len)
+            })
+            .collect();
+        w.scored += docids.len() as u64;
+        Intermediate { docids, scores }
+    }
+
+    /// Intersects the intermediate with `term`'s list, adding the term's
+    /// BM25 contributions to the survivors' scores.
+    pub fn intersect_step(
+        &self,
+        index: &InvertedIndex,
+        inter: &Intermediate,
+        term: TermId,
+        strategy: Strategy,
+        w: &mut WorkCounters,
+    ) -> Intermediate {
+        let list = index.list(term);
+        let ratio = if inter.is_empty() {
+            usize::MAX
+        } else {
+            list.len() / inter.len().max(1)
+        };
+        let strategy = match strategy {
+            Strategy::Auto => {
+                if ratio >= self.merge_ratio_threshold {
+                    Strategy::SkipBinary
+                } else {
+                    Strategy::Merge
+                }
+            }
+            s => s,
+        };
+
+        let matches: Matches = match strategy {
+            Strategy::SkipBinary => intersect::skip_intersect(&inter.docids, &list.docs, w),
+            Strategy::Merge => {
+                let long = decode::decode_list(&list.docs, w);
+                intersect::merge_intersect(&inter.docids, &long, w)
+            }
+            Strategy::PureBinary => {
+                let long = decode::decode_list(&list.docs, w);
+                intersect::binary_intersect_decoded(&inter.docids, &long, w)
+            }
+            Strategy::Auto => unreachable!("resolved above"),
+        };
+
+        // Gather the new term's tfs for the survivors and accumulate score.
+        let tfs = intersect::gather_tfs(list, &matches.b_idx, w);
+        let idf = self.bm25.idf(index.num_docs(), list.len() as u32);
+        let meta = index.meta();
+        let scores: Vec<f32> = matches
+            .docids
+            .iter()
+            .zip(matches.a_idx.iter())
+            .zip(&tfs)
+            .map(|((&d, &ai), &tf)| {
+                inter.scores[ai as usize]
+                    + self
+                        .bm25
+                        .contribution(idf, tf, meta.doc_len(d), meta.avg_doc_len)
+            })
+            .collect();
+        w.scored += matches.docids.len() as u64;
+        Intermediate {
+            docids: matches.docids,
+            scores,
+        }
+    }
+
+    /// Full conjunctive query: SvS over all terms, BM25, top-k.
+    pub fn process_query(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        k: usize,
+    ) -> QueryOutput {
+        let mut w = WorkCounters::default();
+        let planned = self.plan(index, terms);
+        let Some((&first, rest)) = planned.split_first() else {
+            return QueryOutput {
+                topk: Vec::new(),
+                time: VirtualNanos::ZERO,
+                counters: w,
+            };
+        };
+        let mut inter = self.init_intermediate(index, first, &mut w);
+        for &t in rest {
+            if inter.is_empty() {
+                break;
+            }
+            inter = self.intersect_step(index, &inter, t, Strategy::Auto, &mut w);
+        }
+        let topk = topk::top_k(&inter.docids, &inter.scores, k, &mut w);
+        QueryOutput {
+            topk,
+            time: self.model.time(&w),
+            counters: w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_codec::Codec;
+    use griffin_index::IndexBuilder;
+
+    fn small_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new(Codec::EliasFano);
+        b.add_text("ppopp vienna austria 2018 parallel");
+        b.add_text("vienna austria travel");
+        b.add_text("ppopp 2018 gpu paper austria");
+        b.add_text("gpu parallel merge");
+        b.add_text("austria 2018 ppopp vienna");
+        b.build()
+    }
+
+    fn tids(idx: &InvertedIndex, terms: &[&str]) -> Vec<TermId> {
+        terms.iter().map(|t| idx.lookup(t).unwrap()).collect()
+    }
+
+    #[test]
+    fn conjunctive_query_finds_all_terms_docs() {
+        let idx = small_index();
+        let engine = CpuEngine::new();
+        let q = tids(&idx, &["ppopp", "austria", "2018"]);
+        let out = engine.process_query(&idx, &q, 10);
+        let docs: Vec<u32> = out.topk.iter().map(|&(d, _)| d).collect();
+        let mut sorted = docs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2, 4]);
+        assert!(out.time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn empty_intersection_yields_no_results() {
+        let idx = small_index();
+        let engine = CpuEngine::new();
+        let q = tids(&idx, &["travel", "merge"]);
+        let out = engine.process_query(&idx, &q, 10);
+        assert!(out.topk.is_empty());
+    }
+
+    #[test]
+    fn scores_are_sums_of_term_contributions() {
+        let idx = small_index();
+        let engine = CpuEngine::new();
+        let q = tids(&idx, &["ppopp", "austria"]);
+        let out = engine.process_query(&idx, &q, 10);
+        // Every returned score must exceed any single-term contribution
+        // (two positive terms summed).
+        for &(_, s) in &out.topk {
+            assert!(s > 0.0);
+        }
+        // Determinism.
+        let out2 = engine.process_query(&idx, &q, 10);
+        assert_eq!(out.topk, out2.topk);
+    }
+
+    #[test]
+    fn strategies_agree_on_results() {
+        // Synthetic index with one short and one long list.
+        let short: Vec<u32> = (0..64u32).map(|i| i * 97 + 5).collect();
+        let long: Vec<u32> = (0..8192u32).map(|i| i * 2 + 1).collect();
+        let idx = griffin_index::InvertedIndex::from_docid_lists(
+            &[short.clone(), long.clone()],
+            20_000,
+            Codec::EliasFano,
+            128,
+        );
+        let engine = CpuEngine::new();
+        let t0 = idx.lookup("t0").unwrap();
+        let t1 = idx.lookup("t1").unwrap();
+        let mut w = WorkCounters::default();
+        let inter = engine.init_intermediate(&idx, t0, &mut w);
+
+        let mut results = Vec::new();
+        for s in [Strategy::Merge, Strategy::SkipBinary, Strategy::PureBinary] {
+            let mut w = WorkCounters::default();
+            let r = engine.intersect_step(&idx, &inter, t1, s, &mut w);
+            results.push(r);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn skip_binary_is_cheaper_at_high_ratio() {
+        let short: Vec<u32> = (0..32u32).map(|i| i * 50_000 + 3).collect();
+        let long: Vec<u32> = (0..1_000_000u32).map(|i| i * 2).collect();
+        let idx = griffin_index::InvertedIndex::from_docid_lists(
+            &[short, long],
+            2_000_001,
+            Codec::EliasFano,
+            128,
+        );
+        let engine = CpuEngine::new();
+        let t0 = idx.lookup("t0").unwrap();
+        let t1 = idx.lookup("t1").unwrap();
+        let mut w0 = WorkCounters::default();
+        let inter = engine.init_intermediate(&idx, t0, &mut w0);
+
+        let mut w_merge = WorkCounters::default();
+        engine.intersect_step(&idx, &inter, t1, Strategy::Merge, &mut w_merge);
+        let mut w_skip = WorkCounters::default();
+        engine.intersect_step(&idx, &inter, t1, Strategy::SkipBinary, &mut w_skip);
+
+        let t_merge = engine.model.time(&w_merge);
+        let t_skip = engine.model.time(&w_skip);
+        assert!(
+            t_skip.as_nanos() * 20 < t_merge.as_nanos(),
+            "skip {} vs merge {}",
+            t_skip,
+            t_merge
+        );
+    }
+
+    #[test]
+    fn plan_orders_by_document_frequency() {
+        let idx = small_index();
+        let engine = CpuEngine::new();
+        let q = tids(&idx, &["austria", "travel", "ppopp"]);
+        let planned = engine.plan(&idx, &q);
+        let dfs: Vec<usize> = planned.iter().map(|&t| idx.doc_freq(t)).collect();
+        assert!(dfs.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,304 @@
+//! Pairwise list-intersection algorithms on the CPU (paper §2.1.2, §2.2).
+//!
+//! Three strategies, matching the paper's CPU discussion:
+//!
+//! * [`merge_intersect`] — linear two-pointer merge over decompressed
+//!   lists; the right choice when lengths are comparable (ample spatial
+//!   locality, predictable branches).
+//! * [`skip_intersect`] — for each element of the short list, binary search
+//!   the *skip pointers* of the compressed long list, decompress only the
+//!   candidate block, and binary search inside it. When the ratio is large
+//!   this skips most comparisons *and* most decompression.
+//! * [`binary_intersect_decoded`] — plain binary search over a decompressed
+//!   long list; the "CPU binary" baseline of Fig. 13.
+//!
+//! All functions produce [`Matches`]: the common docIDs plus, for each
+//! match, the element's position in both inputs, so the engine can gather
+//! term frequencies for scoring without re-searching.
+
+use griffin_codec::BlockedList;
+use griffin_index::CompressedPostingList;
+
+use crate::cost::WorkCounters;
+use crate::decode::decode_block;
+
+/// The result of a pairwise intersection, with provenance indices.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Matches {
+    /// Common docIDs, ascending.
+    pub docids: Vec<u32>,
+    /// For each match, its index in the first (short) input.
+    pub a_idx: Vec<u32>,
+    /// For each match, its index in the second (long) input — a global
+    /// element index for compressed inputs.
+    pub b_idx: Vec<u32>,
+}
+
+impl Matches {
+    pub fn len(&self) -> usize {
+        self.docids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docids.is_empty()
+    }
+
+    fn push(&mut self, docid: u32, a: usize, b: usize) {
+        self.docids.push(docid);
+        self.a_idx.push(a as u32);
+        self.b_idx.push(b as u32);
+    }
+}
+
+/// Linear merge intersection of two sorted, decompressed lists.
+pub fn merge_intersect(a: &[u32], b: &[u32], w: &mut WorkCounters) -> Matches {
+    let mut out = Matches::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        w.merge_steps += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i], i, j);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    w.emitted += out.len() as u64;
+    out
+}
+
+/// Counts probes of a manual binary search for `target` in
+/// `hay[lo..hi)`; returns `Ok(pos)` on hit, `Err(insertion_pos)` on miss.
+fn counted_binary_search(
+    hay: &[u32],
+    mut lo: usize,
+    mut hi: usize,
+    target: u32,
+    probes: &mut u64,
+) -> Result<usize, usize> {
+    while lo < hi {
+        *probes += 1;
+        let mid = lo + (hi - lo) / 2;
+        match hay[mid].cmp(&target) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Binary-search intersection over fully decompressed inputs ("CPU binary").
+/// The search window's low bound advances monotonically since `a` is sorted.
+pub fn binary_intersect_decoded(a: &[u32], b: &[u32], w: &mut WorkCounters) -> Matches {
+    let mut out = Matches::default();
+    let mut lo = 0usize;
+    for (i, &v) in a.iter().enumerate() {
+        match counted_binary_search(b, lo, b.len(), v, &mut w.probes) {
+            Ok(pos) => {
+                out.push(v, i, pos);
+                lo = pos + 1;
+            }
+            Err(pos) => lo = pos,
+        }
+        if lo >= b.len() {
+            break;
+        }
+    }
+    w.emitted += out.len() as u64;
+    out
+}
+
+/// Skip-pointer intersection: `short` (decompressed) against `long`
+/// (compressed). Only candidate blocks of `long` are decompressed; a
+/// one-block cache exploits the monotone access pattern. Returned `b_idx`
+/// are global element indices into `long`.
+pub fn skip_intersect(short: &[u32], long: &BlockedList, w: &mut WorkCounters) -> Matches {
+    let mut out = Matches::default();
+    if long.num_blocks() == 0 {
+        return out;
+    }
+    let mut cached_block = usize::MAX;
+    let mut block_buf: Vec<u32> = Vec::new();
+    let mut skip_lo = 0usize; // blocks before this can't match (short sorted)
+
+    for (i, &v) in short.iter().enumerate() {
+        // Binary search the skip pointers for the first block whose
+        // last_docid >= v.
+        let mut lo = skip_lo;
+        let mut hi = long.num_blocks();
+        while lo < hi {
+            w.skip_probes += 1;
+            let mid = lo + (hi - lo) / 2;
+            if long.skips[mid].last_docid < v {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo >= long.num_blocks() {
+            break; // v and everything after it is beyond the long list
+        }
+        skip_lo = lo;
+        let skip = &long.skips[lo];
+        if v < skip.first_docid {
+            continue; // falls in the gap before this block
+        }
+        if cached_block != lo {
+            block_buf.clear();
+            decode_block(long, lo, &mut block_buf, w);
+            cached_block = lo;
+        }
+        if let Ok(pos) = counted_binary_search(&block_buf, 0, block_buf.len(), v, &mut w.probes) {
+            out.push(v, i, skip.elem_start as usize + pos);
+        }
+    }
+    w.emitted += out.len() as u64;
+    out
+}
+
+/// Gathers the term frequencies of `long`-side matches. `b_idx` must be
+/// ascending (which [`skip_intersect`]/[`merge_intersect`] guarantee).
+pub fn gather_tfs(list: &CompressedPostingList, b_idx: &[u32], w: &mut WorkCounters) -> Vec<u32> {
+    let mut out = Vec::with_capacity(b_idx.len());
+    let mut cached_block = usize::MAX;
+    let mut tf_buf: Vec<u32> = Vec::new();
+    for &gi in b_idx {
+        let gi = gi as usize;
+        // Block index from the element index: blocks are block_len-sized
+        // except the last, so integer division is exact.
+        let blk = gi / list.docs.block_len;
+        if blk != cached_block {
+            tf_buf.clear();
+            list.decode_block_into_tfs_only(blk, &mut tf_buf);
+            w.varint_elements += tf_buf.len() as u64;
+            w.blocks_decoded += 1;
+            cached_block = blk;
+        }
+        out.push(tf_buf[gi - blk * list.docs.block_len]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_codec::{Codec, DEFAULT_BLOCK_LEN};
+    use griffin_index::Posting;
+
+    fn wc() -> WorkCounters {
+        WorkCounters::default()
+    }
+
+    #[test]
+    fn paper_example_intersection() {
+        // ℓ(PPoPP) ∩ ℓ(Austria) ∩ ℓ(2018) from paper §2.1.2.
+        let ppopp = vec![11u32, 15, 17, 38, 60];
+        let austria = vec![3u32, 5, 8, 11, 13, 15, 17, 38, 46, 60, 65];
+        let y2018 = vec![2u32, 4, 6, 11, 13, 14, 15, 19, 25, 33, 38, 60, 70];
+        let mut w = wc();
+        let m1 = merge_intersect(&ppopp, &austria, &mut w);
+        assert_eq!(m1.docids, vec![11, 15, 17, 38, 60]);
+        let m2 = merge_intersect(&m1.docids, &y2018, &mut w);
+        assert_eq!(m2.docids, vec![11, 15, 38, 60]);
+    }
+
+    #[test]
+    fn merge_indices_point_back() {
+        let a = vec![1u32, 5, 9, 12];
+        let b = vec![2u32, 5, 9, 13];
+        let m = merge_intersect(&a, &b, &mut wc());
+        assert_eq!(m.docids, vec![5, 9]);
+        assert_eq!(m.a_idx, vec![1, 2]);
+        assert_eq!(m.b_idx, vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_counts_steps() {
+        let a = vec![1u32, 3, 5];
+        let b = vec![2u32, 4, 6];
+        let mut w = wc();
+        merge_intersect(&a, &b, &mut w);
+        assert!(w.merge_steps >= 5, "steps = {}", w.merge_steps);
+    }
+
+    #[test]
+    fn binary_matches_merge() {
+        let a: Vec<u32> = (0..100).map(|i| i * 7).collect();
+        let b: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let m1 = merge_intersect(&a, &b, &mut wc());
+        let m2 = binary_intersect_decoded(&a, &b, &mut wc());
+        assert_eq!(m1.docids, m2.docids);
+        assert_eq!(m1.b_idx, m2.b_idx);
+    }
+
+    #[test]
+    fn skip_intersect_matches_merge_and_skips_blocks() {
+        let short: Vec<u32> = (0..50u32).map(|i| i * 4001 + 7).collect();
+        let long: Vec<u32> = (0..100_000u32).map(|i| i * 2 + 1).collect();
+        let compressed = BlockedList::compress(&long, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+
+        let mut w_merge = wc();
+        let expect = merge_intersect(&short, &long, &mut w_merge);
+
+        let mut w_skip = wc();
+        let got = skip_intersect(&short, &compressed, &mut w_skip);
+        assert_eq!(got.docids, expect.docids);
+        assert_eq!(got.b_idx, expect.b_idx);
+
+        // The whole point: far fewer blocks touched than exist.
+        assert!(
+            w_skip.blocks_decoded < compressed.num_blocks() as u64 / 4,
+            "decoded {} of {} blocks",
+            w_skip.blocks_decoded,
+            compressed.num_blocks()
+        );
+    }
+
+    #[test]
+    fn skip_intersect_handles_gaps_and_overruns() {
+        // Long list with docid gaps between blocks; short list probing the
+        // gaps and beyond the end.
+        let long: Vec<u32> = (0..300u32).map(|i| i * 10).collect();
+        let compressed = BlockedList::compress(&long, Codec::PforDelta, 128);
+        let short = vec![5u32, 15, 1275, 2990, 5000, 6000];
+        let m = skip_intersect(&short, &compressed, &mut wc());
+        assert_eq!(m.docids, vec![2990]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<u32> = vec![];
+        let some = vec![1u32, 2];
+        assert!(merge_intersect(&empty, &some, &mut wc()).is_empty());
+        assert!(binary_intersect_decoded(&empty, &some, &mut wc()).is_empty());
+        let list = BlockedList::compress(&some, Codec::EliasFano, 128);
+        assert!(skip_intersect(&empty, &list, &mut wc()).is_empty());
+    }
+
+    #[test]
+    fn gather_tfs_aligns_with_matches() {
+        let postings: Vec<Posting> = (0..400u32)
+            .map(|i| Posting {
+                docid: i * 3,
+                tf: i % 7 + 1,
+            })
+            .collect();
+        let list =
+            CompressedPostingList::compress(&postings, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let b_idx = vec![0u32, 127, 128, 399];
+        let tfs = gather_tfs(&list, &b_idx, &mut wc());
+        assert_eq!(
+            tfs,
+            vec![
+                postings[0].tf,
+                postings[127].tf,
+                postings[128].tf,
+                postings[399].tf
+            ]
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Virtual time: the single time domain shared by the GPU simulator, the CPU
+//! cost model, and the serving simulator.
+//!
+//! All Griffin experiments report *virtual* nanoseconds so the reproduced
+//! figures are deterministic and independent of the host machine. The type is
+//! a thin wrapper over `u64` nanoseconds with saturating arithmetic (an
+//! experiment that overflows 580 years of virtual time is a bug, not a
+//! wrap-around).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualNanos(u64);
+
+impl VirtualNanos {
+    pub const ZERO: VirtualNanos = VirtualNanos(0);
+
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        VirtualNanos(ns)
+    }
+
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualNanos(us * 1_000)
+    }
+
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualNanos(ms * 1_000_000)
+    }
+
+    /// Builds a span from a (possibly fractional) nanosecond count produced
+    /// by the analytic models. Negative and NaN inputs clamp to zero.
+    #[inline]
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        if ns.is_finite() && ns > 0.0 {
+            VirtualNanos(ns.round() as u64)
+        } else {
+            VirtualNanos(0)
+        }
+    }
+
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        VirtualNanos(self.0.saturating_sub(rhs.0))
+    }
+
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        VirtualNanos(self.0.max(rhs.0))
+    }
+
+    #[inline]
+    pub fn min(self, rhs: Self) -> Self {
+        VirtualNanos(self.0.min(rhs.0))
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Ratio of two spans, used when reporting speedups. Returns `f64::NAN`
+    /// if `rhs` is zero.
+    pub fn speedup_over(self, rhs: Self) -> f64 {
+        if self.0 == 0 {
+            return f64::NAN;
+        }
+        rhs.0 as f64 / self.0 as f64
+    }
+}
+
+impl Add for VirtualNanos {
+    type Output = VirtualNanos;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        VirtualNanos(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for VirtualNanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for VirtualNanos {
+    type Output = VirtualNanos;
+    /// Saturating: virtual spans never go negative.
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        VirtualNanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for VirtualNanos {
+    type Output = VirtualNanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        VirtualNanos(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for VirtualNanos {
+    type Output = VirtualNanos;
+    #[inline]
+    fn div(self, rhs: u64) -> Self {
+        VirtualNanos(self.0 / rhs.max(1))
+    }
+}
+
+impl Sum for VirtualNanos {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(VirtualNanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for VirtualNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(VirtualNanos::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(VirtualNanos::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(VirtualNanos::from_nanos(1500).as_micros_f64(), 1.5);
+        assert_eq!(VirtualNanos::from_millis(1).as_secs_f64(), 1e-3);
+    }
+
+    #[test]
+    fn f64_construction_clamps() {
+        assert_eq!(VirtualNanos::from_nanos_f64(-5.0), VirtualNanos::ZERO);
+        assert_eq!(VirtualNanos::from_nanos_f64(f64::NAN), VirtualNanos::ZERO);
+        assert_eq!(VirtualNanos::from_nanos_f64(2.6).as_nanos(), 3);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let big = VirtualNanos::from_nanos(u64::MAX);
+        assert_eq!(big + VirtualNanos::from_nanos(1), big);
+        let small = VirtualNanos::from_nanos(1);
+        assert_eq!(small - big, VirtualNanos::ZERO);
+        assert_eq!(big * 2, big);
+    }
+
+    #[test]
+    fn div_by_zero_is_guarded() {
+        assert_eq!(VirtualNanos::from_nanos(10) / 0, VirtualNanos::from_nanos(10));
+        assert_eq!(VirtualNanos::from_nanos(10) / 2, VirtualNanos::from_nanos(5));
+    }
+
+    #[test]
+    fn speedup() {
+        let a = VirtualNanos::from_nanos(100);
+        let b = VirtualNanos::from_nanos(1000);
+        assert_eq!(a.speedup_over(b), 10.0);
+        assert!(VirtualNanos::ZERO.speedup_over(b).is_nan());
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: VirtualNanos = (1..=4).map(VirtualNanos::from_millis).sum();
+        assert_eq!(total, VirtualNanos::from_millis(10));
+        assert_eq!(format!("{}", VirtualNanos::from_nanos(999)), "999ns");
+        assert_eq!(format!("{}", VirtualNanos::from_micros(1)), "1.000us");
+        assert_eq!(format!("{}", VirtualNanos::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", VirtualNanos::from_millis(2500)), "2.500s");
+    }
+}

@@ -1,0 +1,434 @@
+//! The simulated device: memory management, transfers, kernel launches, and
+//! the virtual clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::clock::VirtualNanos;
+use crate::config::DeviceConfig;
+use crate::kernel::{run_block, Kernel, LaunchConfig};
+use crate::mem::{DeviceBuffer, DeviceWord, MemStats, Pool, WriteLog};
+use crate::pcie::transfer_time;
+use crate::timing::{kernel_time, TimeBreakdown};
+use crate::tracer::LaunchCounters;
+
+/// Result of one kernel launch: how long it took in virtual time, the
+/// performance counters behind that number, and the timing breakdown.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    pub time: VirtualNanos,
+    pub breakdown: TimeBreakdown,
+    pub counters: LaunchCounters,
+    pub config: LaunchConfig,
+}
+
+/// A simulated GPU.
+///
+/// All operations advance the device's virtual clock by their modelled
+/// cost; callers read the clock with [`Gpu::now`] or measure spans with
+/// [`Gpu::time`]. The functional results of kernels are bit-exact.
+pub struct Gpu {
+    cfg: DeviceConfig,
+    pool: Mutex<Pool>,
+    clock_ns: AtomicU64,
+    stats: MemStats,
+    /// Below this many threads a launch runs on one host thread (spawning
+    /// costs more than it saves).
+    parallel_threshold: u64,
+}
+
+impl Gpu {
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Gpu {
+            cfg,
+            pool: Mutex::new(Pool::default()),
+            clock_ns: AtomicU64::new(0),
+            stats: MemStats::default(),
+            parallel_threshold: 1 << 15,
+        }
+    }
+
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time on this device.
+    pub fn now(&self) -> VirtualNanos {
+        VirtualNanos::from_nanos(self.clock_ns.load(Ordering::Relaxed))
+    }
+
+    /// Advance the clock by an externally computed cost (used by engines to
+    /// charge work that happens "on" the device outside a kernel).
+    pub fn advance(&self, by: VirtualNanos) {
+        self.clock_ns.fetch_add(by.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Reset the clock to zero (experiments reuse one device).
+    pub fn reset_clock(&self) {
+        self.clock_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Measure the virtual time consumed by `f`.
+    pub fn time<R>(&self, f: impl FnOnce(&Gpu) -> R) -> (R, VirtualNanos) {
+        let start = self.now();
+        let r = f(self);
+        (r, self.now() - start)
+    }
+
+    /// Device memory currently allocated, in bytes.
+    pub fn mem_in_use(&self) -> u64 {
+        self.pool.lock().bytes_in_use
+    }
+
+    /// Allocate an uninitialized (zeroed) buffer of `len` elements.
+    /// Charges the `cudaMalloc` overhead.
+    pub fn alloc<T: DeviceWord>(&self, len: usize) -> DeviceBuffer<T> {
+        let mut pool = self.pool.lock();
+        let (id, generation) = pool.alloc(vec![0u32; len]);
+        let in_use = pool.bytes_in_use;
+        assert!(
+            in_use <= self.cfg.global_mem_bytes,
+            "device out of memory: {in_use} > {}",
+            self.cfg.global_mem_bytes
+        );
+        drop(pool);
+        self.stats.on_alloc();
+        self.stats.track_peak(in_use);
+        self.advance(VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns));
+        DeviceBuffer::new(id, len, generation)
+    }
+
+    /// Allocate and fill from host memory: `cudaMalloc` + host→device DMA.
+    pub fn htod<T: DeviceWord>(&self, host: &[T]) -> DeviceBuffer<T> {
+        let words: Vec<u32> = host.iter().map(|v| v.to_word()).collect();
+        let bytes = words.len() as u64 * 4;
+        let mut pool = self.pool.lock();
+        let (id, generation) = pool.alloc(words);
+        let in_use = pool.bytes_in_use;
+        assert!(
+            in_use <= self.cfg.global_mem_bytes,
+            "device out of memory: {in_use} > {}",
+            self.cfg.global_mem_bytes
+        );
+        drop(pool);
+        self.stats.on_alloc();
+        self.stats.track_peak(in_use);
+        self.stats.htod_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.advance(VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns));
+        self.advance(transfer_time(&self.cfg.pcie, bytes));
+        DeviceBuffer::new(id, host.len(), generation)
+    }
+
+    /// Allocate-and-fill several arrays with a *single* DMA transfer (one
+    /// PCIe latency charge for the combined payload) — models packing
+    /// multiple arrays into one `cudaMemcpy`, which any serious
+    /// implementation does for per-list metadata.
+    pub fn htod_packed(&self, parts: &[&[u32]]) -> Vec<DeviceBuffer<u32>> {
+        let total_bytes: u64 = parts.iter().map(|p| p.len() as u64 * 4).sum();
+        let mut out = Vec::with_capacity(parts.len());
+        let mut pool = self.pool.lock();
+        for part in parts {
+            let (id, generation) = pool.alloc(part.to_vec());
+            out.push(DeviceBuffer::new(id, part.len(), generation));
+        }
+        let in_use = pool.bytes_in_use;
+        assert!(
+            in_use <= self.cfg.global_mem_bytes,
+            "device out of memory: {in_use} > {}",
+            self.cfg.global_mem_bytes
+        );
+        drop(pool);
+        self.stats.on_alloc();
+        self.stats.track_peak(in_use);
+        self.stats
+            .htod_bytes
+            .fetch_add(total_bytes, Ordering::Relaxed);
+        self.advance(VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns));
+        self.advance(transfer_time(&self.cfg.pcie, total_bytes));
+        out
+    }
+
+    /// Copy a buffer back to the host: device→host DMA.
+    pub fn dtoh<T: DeviceWord>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let pool = self.pool.lock();
+        let out: Vec<T> = pool.words(buf.id).iter().map(|&w| T::from_word(w)).collect();
+        drop(pool);
+        let bytes = buf.size_bytes();
+        self.stats.dtoh_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.advance(transfer_time(&self.cfg.pcie, bytes));
+        out
+    }
+
+    /// Copy a prefix of a buffer back to the host (common after compaction
+    /// kernels where only `len` of the allocation is meaningful).
+    pub fn dtoh_prefix<T: DeviceWord>(&self, buf: &DeviceBuffer<T>, len: usize) -> Vec<T> {
+        assert!(len <= buf.len());
+        let pool = self.pool.lock();
+        let out: Vec<T> = pool.words(buf.id)[..len]
+            .iter()
+            .map(|&w| T::from_word(w))
+            .collect();
+        drop(pool);
+        let bytes = len as u64 * 4;
+        self.stats.dtoh_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.advance(transfer_time(&self.cfg.pcie, bytes));
+        out
+    }
+
+    /// Read a single element without charging transfer time (host-side
+    /// debugging/tests only).
+    pub fn peek<T: DeviceWord>(&self, buf: &DeviceBuffer<T>, idx: usize) -> T {
+        let pool = self.pool.lock();
+        T::from_word(pool.words(buf.id)[idx])
+    }
+
+    /// Release a buffer. Charges the `cudaFree` overhead.
+    pub fn free<T: DeviceWord>(&self, buf: DeviceBuffer<T>) {
+        self.pool.lock().free(buf.id);
+        self.stats.on_free();
+        self.advance(VirtualNanos::from_nanos(self.cfg.free_overhead_ns));
+    }
+
+    /// Time to move `bytes` across PCIe (exposed for scheduler estimates).
+    pub fn pcie_time(&self, bytes: u64) -> VirtualNanos {
+        transfer_time(&self.cfg.pcie, bytes)
+    }
+
+    /// Launch a kernel and advance the clock by its modelled duration.
+    pub fn launch<K: Kernel>(&self, kernel: &K, lc: LaunchConfig) -> LaunchReport {
+        let mut pool = self.pool.lock();
+        let warps_per_block = lc.block_dim.div_ceil(self.cfg.warp_size);
+        let total_warps = u64::from(lc.grid_dim) * u64::from(warps_per_block);
+
+        let (mut counters, logs) = if lc.total_threads() < self.parallel_threshold
+            || lc.grid_dim == 1
+        {
+            let mut counters = LaunchCounters::default();
+            let mut log = WriteLog::default();
+            for b in 0..lc.grid_dim {
+                run_block(kernel, &self.cfg, lc, b, &pool, &mut log, &mut counters);
+            }
+            (counters, vec![log])
+        } else {
+            self.launch_parallel(kernel, lc, &pool)
+        };
+
+        counters.total_warps = total_warps;
+        counters.stores_applied = logs.iter().map(|l| l.stores() as u64).sum();
+        counters.extrapolate();
+
+        for log in logs {
+            if !log.is_empty() {
+                log.apply(&mut pool);
+            }
+        }
+        drop(pool);
+
+        let breakdown = kernel_time(&self.cfg, &counters);
+        let time = breakdown.total();
+        self.advance(time);
+        LaunchReport {
+            time,
+            breakdown,
+            counters,
+            config: lc,
+        }
+    }
+
+    /// Execute blocks on multiple host threads. Each worker owns a write
+    /// log and counter set; logs are applied in worker order (deterministic
+    /// because workers own contiguous block ranges).
+    fn launch_parallel<K: Kernel>(
+        &self,
+        kernel: &K,
+        lc: LaunchConfig,
+        pool: &Pool,
+    ) -> (LaunchCounters, Vec<WriteLog>) {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(lc.grid_dim as usize)
+            .max(1);
+        let chunk = (lc.grid_dim as usize).div_ceil(workers);
+        let cfg = &self.cfg;
+
+        let mut results: Vec<(LaunchCounters, WriteLog)> = Vec::with_capacity(workers);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let first = w * chunk;
+                let last = ((w + 1) * chunk).min(lc.grid_dim as usize);
+                if first >= last {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut counters = LaunchCounters::default();
+                    let mut log = WriteLog::default();
+                    for b in first..last {
+                        run_block(kernel, cfg, lc, b as u32, pool, &mut log, &mut counters);
+                    }
+                    (counters, log)
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("kernel block executor panicked"));
+            }
+        })
+        .expect("launch scope failed");
+
+        let mut counters = LaunchCounters::default();
+        let mut logs = Vec::with_capacity(results.len());
+        for (c, log) in results {
+            counters.merge(&c);
+            logs.push(log);
+        }
+        (counters, logs)
+    }
+
+    /// Aggregate transfer/allocation statistics for reports.
+    pub fn stats(&self) -> DeviceStatsSnapshot {
+        DeviceStatsSnapshot {
+            allocs: self.stats.allocs.load(Ordering::Relaxed),
+            frees: self.stats.frees.load(Ordering::Relaxed),
+            htod_bytes: self.stats.htod_bytes.load(Ordering::Relaxed),
+            dtoh_bytes: self.stats.dtoh_bytes.load(Ordering::Relaxed),
+            peak_bytes: self.stats.peak_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of device statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStatsSnapshot {
+    pub allocs: u64,
+    pub frees: u64,
+    pub htod_bytes: u64,
+    pub dtoh_bytes: u64,
+    pub peak_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ThreadCtx;
+
+    struct AddOne {
+        src: DeviceBuffer<u32>,
+        dst: DeviceBuffer<u32>,
+        n: usize,
+    }
+
+    impl Kernel for AddOne {
+        type State = ();
+        fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
+            let i = t.global_thread_idx();
+            if t.branch(i < self.n) {
+                let v: u32 = t.ld(&self.src, i);
+                t.alu(1);
+                t.st(&self.dst, i, v + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn functional_roundtrip() {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let data: Vec<u32> = (0..500).collect();
+        let src = gpu.htod(&data);
+        let dst = gpu.alloc::<u32>(500);
+        gpu.launch(
+            &AddOne {
+                src,
+                dst: dst.clone(),
+                n: 500,
+            },
+            LaunchConfig::cover(500, 128),
+        );
+        let out = gpu.dtoh(&dst);
+        assert_eq!(out.len(), 500);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn parallel_and_serial_paths_agree() {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let n = 200_000; // forces the parallel path
+        let data: Vec<u32> = (0..n as u32).collect();
+        let src = gpu.htod(&data);
+        let dst = gpu.alloc::<u32>(n);
+        let report = gpu.launch(
+            &AddOne {
+                src,
+                dst: dst.clone(),
+                n,
+            },
+            LaunchConfig::cover(n, 256),
+        );
+        assert_eq!(report.counters.stores_applied, n as u64);
+        let out = gpu.dtoh(&dst);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn clock_advances_with_every_operation() {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let t0 = gpu.now();
+        let buf = gpu.htod(&[1u32, 2, 3]);
+        let t1 = gpu.now();
+        assert!(t1 > t0, "htod must charge time");
+        let _ = gpu.dtoh(&buf);
+        let t2 = gpu.now();
+        assert!(t2 > t1, "dtoh must charge time");
+        gpu.free(buf);
+        assert!(gpu.now() > t2, "free must charge time");
+    }
+
+    #[test]
+    fn alloc_free_accounting() {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let a = gpu.alloc::<u32>(1000);
+        assert_eq!(gpu.mem_in_use(), 4000);
+        let b = gpu.alloc::<u32>(500);
+        assert_eq!(gpu.mem_in_use(), 6000);
+        gpu.free(a);
+        assert_eq!(gpu.mem_in_use(), 2000);
+        gpu.free(b);
+        assert_eq!(gpu.mem_in_use(), 0);
+        let s = gpu.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 2);
+        assert_eq!(s.peak_bytes, 6000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn oom_panics() {
+        let gpu = Gpu::new(DeviceConfig::test_tiny()); // 64 MB
+        let _ = gpu.alloc::<u32>(20 * 1024 * 1024); // 80 MB
+    }
+
+    #[test]
+    fn time_helper_measures_span() {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let (_, t) = gpu.time(|g| {
+            let b = g.htod(&[0u32; 1024]);
+            g.free(b);
+        });
+        assert!(t.as_nanos() > 0);
+    }
+
+    #[test]
+    fn dtoh_prefix_returns_prefix_and_charges_less() {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let buf = gpu.htod(&(0u32..1000).collect::<Vec<_>>());
+        let t0 = gpu.now();
+        let few = gpu.dtoh_prefix(&buf, 10);
+        let t_few = gpu.now() - t0;
+        assert_eq!(few, (0u32..10).collect::<Vec<_>>());
+        let t1 = gpu.now();
+        let _all = gpu.dtoh(&buf);
+        let t_all = gpu.now() - t1;
+        assert!(t_all >= t_few);
+    }
+}

@@ -1,0 +1,292 @@
+//! The kernel programming model: grids, blocks, warps, phases, and the
+//! [`ThreadCtx`] through which kernel code touches device state.
+
+use crate::config::DeviceConfig;
+use crate::mem::{DeviceBuffer, DeviceWord, Pool, WriteLog};
+use crate::tracer::{LaunchCounters, Op, WarpTraceState};
+
+/// Launch geometry: a 1-D grid of 1-D blocks (all kernels in this
+/// reproduction are naturally 1-D over list elements or partitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+}
+
+impl LaunchConfig {
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        assert!(grid_dim > 0 && block_dim > 0, "empty launch");
+        LaunchConfig { grid_dim, block_dim }
+    }
+
+    /// Enough `block_dim`-sized blocks to cover `n` elements, one thread
+    /// per element (the CUDA `(n + b - 1) / b` idiom).
+    pub fn cover(n: usize, block_dim: u32) -> Self {
+        assert!(block_dim > 0, "zero block_dim");
+        let grid = n.div_ceil(block_dim as usize).max(1);
+        LaunchConfig::new(grid as u32, block_dim)
+    }
+
+    pub fn total_threads(&self) -> u64 {
+        u64::from(self.grid_dim) * u64::from(self.block_dim)
+    }
+}
+
+/// Alias kept for readers used to CUDA's `dim3`; grids here are 1-D.
+pub type Dim = u32;
+
+/// A GPU kernel.
+///
+/// A kernel executes `phases()` phases; between consecutive phases there is
+/// an implicit block-wide barrier (`__syncthreads`). Per-thread registers
+/// that must survive a barrier live in `State`.
+///
+/// Global memory loads observe the launch-time snapshot; stores retire when
+/// the launch completes. Shared memory is coherent across phases within a
+/// block.
+pub trait Kernel: Sync {
+    /// Per-thread register state carried across phases.
+    type State: Default + Send;
+
+    /// Number of phases (barrier-separated sections). Default 1 (no barrier).
+    fn phases(&self) -> usize {
+        1
+    }
+
+    /// Shared-memory words requested per block.
+    fn shared_mem_words(&self, block_dim: u32) -> usize {
+        let _ = block_dim;
+        0
+    }
+
+    /// Body of one thread for one phase.
+    fn run_phase(&self, phase: usize, t: &mut ThreadCtx<'_>, state: &mut Self::State);
+}
+
+/// Execution context of one thread (lane) during one phase.
+///
+/// All device-state access and all cost charging flows through this type.
+pub struct ThreadCtx<'a> {
+    /// Index of this thread's block within the grid.
+    pub block_idx: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// This thread's index within its block.
+    pub thread_idx: u32,
+    /// Blocks in the grid.
+    pub grid_dim: u32,
+
+    pool: &'a Pool,
+    writes: &'a mut WriteLog,
+    shared: &'a mut [u32],
+    trace: Option<&'a mut WarpTraceState>,
+    transaction_bytes: u32,
+    branch_site: usize,
+    mem_site: usize,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Global linear thread index (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    pub fn global_thread_idx(&self) -> usize {
+        self.block_idx as usize * self.block_dim as usize + self.thread_idx as usize
+    }
+
+    /// Total threads in the launch.
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.grid_dim as usize * self.block_dim as usize
+    }
+
+    /// Lane within the warp.
+    #[inline]
+    pub fn lane_id(&self) -> u32 {
+        self.thread_idx % 32
+    }
+
+    /// Warp index within the block.
+    #[inline]
+    pub fn warp_in_block(&self) -> u32 {
+        self.thread_idx / 32
+    }
+
+    /// Load one element from global memory.
+    #[inline]
+    pub fn ld<T: DeviceWord>(&mut self, buf: &DeviceBuffer<T>, idx: usize) -> T {
+        let words = self.pool.words(buf.id);
+        debug_assert!(
+            self.pool.generation(buf.id) == buf.generation,
+            "stale device buffer handle (use-after-free)"
+        );
+        assert!(
+            idx < buf.len,
+            "device load out of bounds: {idx} >= {} (buffer {:?})",
+            buf.len,
+            buf.id
+        );
+        let w = words[idx];
+        if let Some(tr) = self.trace.as_deref_mut() {
+            let addr = (u64::from(buf.id.0) << 40) | (idx as u64 * 4);
+            tr.record_gmem(self.mem_site, addr, self.transaction_bytes);
+        }
+        self.mem_site += 1;
+        T::from_word(w)
+    }
+
+    /// Store one element to global memory (visible after the launch).
+    #[inline]
+    pub fn st<T: DeviceWord>(&mut self, buf: &DeviceBuffer<T>, idx: usize, v: T) {
+        assert!(
+            idx < buf.len,
+            "device store out of bounds: {idx} >= {} (buffer {:?})",
+            buf.len,
+            buf.id
+        );
+        self.writes.push(buf.id, idx, v.to_word());
+        if let Some(tr) = self.trace.as_deref_mut() {
+            let addr = (u64::from(buf.id.0) << 40) | (idx as u64 * 4);
+            tr.record_gmem(self.mem_site, addr, self.transaction_bytes);
+        }
+        self.mem_site += 1;
+    }
+
+    /// Load a word from block-shared memory.
+    #[inline]
+    pub fn ld_shared(&mut self, idx: usize) -> u32 {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.counters.smem_accesses += 1;
+        }
+        self.shared[idx]
+    }
+
+    /// Store a word to block-shared memory (visible to later phases; within
+    /// a phase, visibility follows lane execution order as on real hardware
+    /// without a barrier — don't rely on it).
+    #[inline]
+    pub fn st_shared(&mut self, idx: usize, v: u32) {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.counters.smem_accesses += 1;
+        }
+        self.shared[idx] = v;
+    }
+
+    /// Block-local atomic add; returns the previous value.
+    #[inline]
+    pub fn atomic_add_shared(&mut self, idx: usize, v: u32) -> u32 {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.counters.atomics += 1;
+        }
+        let old = self.shared[idx];
+        self.shared[idx] = old.wrapping_add(v);
+        old
+    }
+
+    /// Number of shared-memory words available to this block.
+    #[inline]
+    pub fn shared_len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Charge `n` simple ALU ops.
+    #[inline]
+    pub fn alu(&mut self, n: u32) {
+        self.op(Op::Alu, n);
+    }
+
+    /// Charge `n` ops of class `op`.
+    #[inline]
+    pub fn op(&mut self, op: Op, n: u32) {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.counters.ops[op.idx()] += u64::from(n);
+        }
+    }
+
+    /// Record a branch and return its condition, so kernel code reads
+    /// naturally: `if t.branch(a < b) { ... }`. Divergence is detected by
+    /// comparing outcomes across the warp's lanes at the same branch site.
+    #[inline]
+    pub fn branch(&mut self, cond: bool) -> bool {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.record_branch(self.branch_site, cond);
+        }
+        self.branch_site += 1;
+        cond
+    }
+}
+
+/// Runs all phases of `kernel` for one block, accumulating stores into
+/// `writes` and sampled counters into `counters`.
+pub(crate) fn run_block<K: Kernel>(
+    kernel: &K,
+    cfg: &DeviceConfig,
+    lc: LaunchConfig,
+    block_idx: u32,
+    pool: &Pool,
+    writes: &mut WriteLog,
+    counters: &mut LaunchCounters,
+) {
+    let bdim = lc.block_dim;
+    assert!(
+        bdim <= cfg.max_threads_per_block,
+        "block_dim {bdim} exceeds device limit {}",
+        cfg.max_threads_per_block
+    );
+    let smem_words = kernel.shared_mem_words(bdim);
+    assert!(
+        smem_words <= cfg.shared_mem_words_per_block,
+        "kernel requests {smem_words} shared words, device has {}",
+        cfg.shared_mem_words_per_block
+    );
+    let mut shared = vec![0u32; smem_words];
+    let mut states: Vec<K::State> = (0..bdim).map(|_| K::State::default()).collect();
+
+    let warp_size = cfg.warp_size;
+    let warps_in_block = bdim.div_ceil(warp_size);
+    let stride = cfg.trace_sample_stride.max(1);
+    let mut traces: Vec<Option<WarpTraceState>> = (0..warps_in_block)
+        .map(|w| {
+            let global_warp = u64::from(block_idx) * u64::from(warps_in_block) + u64::from(w);
+            (global_warp % u64::from(stride) == 0).then(WarpTraceState::default)
+        })
+        .collect();
+
+    let phases = kernel.phases();
+    for phase in 0..phases {
+        for w in 0..warps_in_block {
+            let mut tr = traces[w as usize].as_mut();
+            let first = w * warp_size;
+            let last = (first + warp_size).min(bdim);
+            for tid in first..last {
+                let mut ctx = ThreadCtx {
+                    block_idx,
+                    block_dim: bdim,
+                    thread_idx: tid,
+                    grid_dim: lc.grid_dim,
+                    pool,
+                    writes,
+                    shared: &mut shared,
+                    trace: tr.as_deref_mut(),
+                    transaction_bytes: cfg.transaction_bytes,
+                    branch_site: 0,
+                    mem_site: 0,
+                };
+                kernel.run_phase(phase, &mut ctx, &mut states[tid as usize]);
+            }
+            if let Some(tr) = traces[w as usize].as_mut() {
+                tr.reset_phase();
+            }
+        }
+    }
+
+    for tr in traces.into_iter().flatten() {
+        let mut tr = tr;
+        tr.flush_sites();
+        if tr.counters.active_lanes == 0 {
+            // active_lanes not tracked per-op; mark the warp live.
+            tr.counters.active_lanes = warp_size.min(bdim);
+        }
+        counters.absorb(&tr.counters);
+    }
+}

@@ -1,0 +1,332 @@
+//! Device memory: a pool of word-addressed buffers plus the write log that
+//! gives launches their "visible at retire" store semantics.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Types that can live in device memory. Device buffers are word-addressed
+/// (32-bit), matching how the kernels in this reproduction treat data
+/// (docIDs, frequencies, compressed words, float scores via their bit
+/// patterns).
+pub trait DeviceWord: Copy + Send + Sync + 'static {
+    fn to_word(self) -> u32;
+    fn from_word(w: u32) -> Self;
+}
+
+impl DeviceWord for u32 {
+    #[inline]
+    fn to_word(self) -> u32 {
+        self
+    }
+    #[inline]
+    fn from_word(w: u32) -> Self {
+        w
+    }
+}
+
+impl DeviceWord for i32 {
+    #[inline]
+    fn to_word(self) -> u32 {
+        self as u32
+    }
+    #[inline]
+    fn from_word(w: u32) -> Self {
+        w as i32
+    }
+}
+
+impl DeviceWord for f32 {
+    #[inline]
+    fn to_word(self) -> u32 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_word(w: u32) -> Self {
+        f32::from_bits(w)
+    }
+}
+
+/// Opaque identifier of a buffer within one device's pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) u32);
+
+/// A typed handle to device memory. Handles are cheap to clone and do not
+/// own the storage; freeing is explicit through [`crate::Gpu::free`] (the
+/// experiments account allocation/free overheads deliberately).
+#[derive(Debug)]
+pub struct DeviceBuffer<T: DeviceWord> {
+    pub(crate) id: BufferId,
+    pub(crate) len: usize,
+    /// Generation guard: detects use-after-free in debug paths.
+    pub(crate) generation: u32,
+    _marker: PhantomData<T>,
+}
+
+impl<T: DeviceWord> Clone for DeviceBuffer<T> {
+    fn clone(&self) -> Self {
+        DeviceBuffer {
+            id: self.id,
+            len: self.len,
+            generation: self.generation,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: DeviceWord> DeviceBuffer<T> {
+    pub(crate) fn new(id: BufferId, len: usize, generation: u32) -> Self {
+        DeviceBuffer {
+            id,
+            len,
+            generation,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of `T` elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes (each element is one 32-bit word).
+    pub fn size_bytes(&self) -> u64 {
+        self.len as u64 * 4
+    }
+
+    /// Reinterprets the handle as a different word type (e.g. viewing a
+    /// `DeviceBuffer<f32>` of scores as raw `u32` words for a radix pass).
+    pub fn cast<U: DeviceWord>(&self) -> DeviceBuffer<U> {
+        DeviceBuffer::new(self.id, self.len, self.generation)
+    }
+}
+
+pub(crate) struct RawBuf {
+    pub(crate) words: Vec<u32>,
+    pub(crate) generation: u32,
+    pub(crate) live: bool,
+}
+
+/// The device memory pool. Immutable (`&Pool`) during a launch; write logs
+/// are applied between launches.
+#[derive(Default)]
+pub(crate) struct Pool {
+    pub(crate) bufs: Vec<RawBuf>,
+    free_slots: Vec<u32>,
+    pub(crate) bytes_in_use: u64,
+}
+
+impl Pool {
+    pub(crate) fn alloc(&mut self, words: Vec<u32>) -> (BufferId, u32) {
+        self.bytes_in_use += words.len() as u64 * 4;
+        // Reuse a dead slot if available to keep the pool compact.
+        if let Some(slot) = self.free_slots.pop() {
+            let b = &mut self.bufs[slot as usize];
+            let generation = b.generation + 1;
+            *b = RawBuf {
+                words,
+                generation,
+                live: true,
+            };
+            return (BufferId(slot), generation);
+        }
+        self.bufs.push(RawBuf {
+            words,
+            generation: 0,
+            live: true,
+        });
+        (BufferId((self.bufs.len() - 1) as u32), 0)
+    }
+
+    pub(crate) fn free(&mut self, id: BufferId) -> u64 {
+        let b = &mut self.bufs[id.0 as usize];
+        assert!(b.live, "double free of device buffer {id:?}");
+        let bytes = b.words.len() as u64 * 4;
+        self.bytes_in_use -= bytes;
+        b.live = false;
+        b.words = Vec::new();
+        self.free_slots.push(id.0);
+        bytes
+    }
+
+    #[inline]
+    pub(crate) fn generation(&self, id: BufferId) -> u32 {
+        self.bufs[id.0 as usize].generation
+    }
+
+    #[inline]
+    pub(crate) fn words(&self, id: BufferId) -> &[u32] {
+        let b = &self.bufs[id.0 as usize];
+        debug_assert!(b.live, "access to freed device buffer {id:?}");
+        &b.words
+    }
+}
+
+/// A log of global-memory stores performed by one executor thread during a
+/// launch. Contiguous stores to consecutive indices of the same buffer are
+/// run-length packed, which makes the common "thread *i* writes slot *i*"
+/// pattern cost O(1) amortized.
+#[derive(Default)]
+pub struct WriteLog {
+    runs: Vec<WriteRun>,
+}
+
+struct WriteRun {
+    buf: BufferId,
+    start: usize,
+    words: Vec<u32>,
+}
+
+impl WriteLog {
+    pub(crate) fn push(&mut self, buf: BufferId, idx: usize, word: u32) {
+        if let Some(last) = self.runs.last_mut() {
+            if last.buf == buf && idx == last.start + last.words.len() {
+                last.words.push(word);
+                return;
+            }
+        }
+        self.runs.push(WriteRun {
+            buf,
+            start: idx,
+            words: vec![word],
+        });
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    pub(crate) fn stores(&self) -> usize {
+        self.runs.iter().map(|r| r.words.len()).sum()
+    }
+
+    /// Applies all logged stores to the pool. Later runs win on overlap,
+    /// mirroring the "unspecified but some-thread-wins" CUDA semantics for
+    /// conflicting unsynchronized stores.
+    pub(crate) fn apply(self, pool: &mut Pool) {
+        for run in self.runs {
+            let b = &mut pool.bufs[run.buf.0 as usize];
+            debug_assert!(b.live, "store to freed device buffer");
+            let end = run.start + run.words.len();
+            assert!(
+                end <= b.words.len(),
+                "device store out of bounds: {}..{} in buffer of {} words",
+                run.start,
+                end,
+                b.words.len()
+            );
+            b.words[run.start..end].copy_from_slice(&run.words);
+        }
+    }
+}
+
+/// Device-wide statistics kept by the [`crate::Gpu`].
+#[derive(Debug, Default)]
+pub struct MemStats {
+    pub allocs: AtomicU64,
+    pub frees: AtomicU64,
+    pub htod_bytes: AtomicU64,
+    pub dtoh_bytes: AtomicU64,
+    pub peak_bytes: AtomicU64,
+}
+
+impl MemStats {
+    pub(crate) fn on_alloc(&self) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn on_free(&self) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn track_peak(&self, in_use: u64) {
+        self.peak_bytes.fetch_max(in_use, Ordering::Relaxed);
+    }
+}
+
+/// Shared, cloneable view of the stats for reporting.
+pub type SharedMemStats = Arc<MemStats>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_word_roundtrips() {
+        assert_eq!(u32::from_word(42u32.to_word()), 42);
+        assert_eq!(i32::from_word((-7i32).to_word()), -7);
+        let f = 3.25f32;
+        assert_eq!(f32::from_word(f.to_word()), f);
+    }
+
+    #[test]
+    fn pool_alloc_free_reuse() {
+        let mut pool = Pool::default();
+        let (a, _) = pool.alloc(vec![1, 2, 3]);
+        assert_eq!(pool.bytes_in_use, 12);
+        let freed = pool.free(a);
+        assert_eq!(freed, 12);
+        assert_eq!(pool.bytes_in_use, 0);
+        // Slot is reused with a bumped generation.
+        let (b, gen) = pool.alloc(vec![9]);
+        assert_eq!(a, b);
+        assert_eq!(gen, 1);
+        assert_eq!(pool.words(b), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn pool_double_free_panics() {
+        let mut pool = Pool::default();
+        let (a, _) = pool.alloc(vec![1]);
+        pool.free(a);
+        pool.free(a);
+    }
+
+    #[test]
+    fn write_log_run_length_packs() {
+        let mut pool = Pool::default();
+        let (a, _) = pool.alloc(vec![0; 8]);
+        let mut log = WriteLog::default();
+        for i in 0..8 {
+            log.push(a, i, i as u32 * 10);
+        }
+        assert_eq!(log.runs.len(), 1, "contiguous stores should pack into one run");
+        assert_eq!(log.stores(), 8);
+        log.apply(&mut pool);
+        assert_eq!(pool.words(a), &[0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn write_log_later_run_wins_on_overlap() {
+        let mut pool = Pool::default();
+        let (a, _) = pool.alloc(vec![0; 4]);
+        let mut log = WriteLog::default();
+        log.push(a, 1, 5);
+        log.push(a, 3, 7); // breaks the run
+        log.push(a, 1, 9); // overlaps the first store
+        log.apply(&mut pool);
+        assert_eq!(pool.words(a), &[0, 9, 0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_log_bounds_checked_on_apply() {
+        let mut pool = Pool::default();
+        let (a, _) = pool.alloc(vec![0; 2]);
+        let mut log = WriteLog::default();
+        log.push(a, 2, 1);
+        log.apply(&mut pool);
+    }
+
+    #[test]
+    fn buffer_handle_cast_preserves_identity() {
+        let buf: DeviceBuffer<f32> = DeviceBuffer::new(BufferId(3), 10, 0);
+        let as_u32: DeviceBuffer<u32> = buf.cast();
+        assert_eq!(as_u32.id, buf.id);
+        assert_eq!(as_u32.len(), 10);
+        assert_eq!(as_u32.size_bytes(), 40);
+    }
+}

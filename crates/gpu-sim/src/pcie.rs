@@ -1,0 +1,58 @@
+//! PCIe transfer model: fixed per-transfer latency plus a bandwidth term.
+//!
+//! The paper's scheduler exists precisely because these transfers are not
+//! free: moving the intermediate result between host and device costs real
+//! time that must be weighed against the processing-speed difference.
+
+use crate::clock::VirtualNanos;
+use crate::config::PcieConfig;
+
+/// Time to move `bytes` across the link in one DMA transfer.
+pub fn transfer_time(cfg: &PcieConfig, bytes: u64) -> VirtualNanos {
+    let bw_ns = bytes as f64 / cfg.bandwidth_bytes_per_sec * 1e9;
+    VirtualNanos::from_nanos(cfg.latency_ns) + VirtualNanos::from_nanos_f64(bw_ns)
+}
+
+/// Effective bandwidth (bytes/s) achieved for a transfer of `bytes`,
+/// accounting for the fixed latency. Useful for model sanity checks.
+pub fn effective_bandwidth(cfg: &PcieConfig, bytes: u64) -> f64 {
+    let t = transfer_time(cfg, bytes);
+    if t.is_zero() {
+        return 0.0;
+    }
+    bytes as f64 / t.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> PcieConfig {
+        PcieConfig {
+            bandwidth_bytes_per_sec: 8.0e9,
+            latency_ns: 10_000,
+        }
+    }
+
+    #[test]
+    fn small_transfer_is_latency_bound() {
+        let t = transfer_time(&link(), 4);
+        // 4 bytes at 8 GB/s is half a nanosecond; latency dominates.
+        assert!(t.as_nanos() >= 10_000 && t.as_nanos() < 10_010);
+    }
+
+    #[test]
+    fn large_transfer_is_bandwidth_bound() {
+        let t = transfer_time(&link(), 80_000_000); // 80 MB
+        // 80 MB / 8 GB/s = 10 ms >> 10 us latency.
+        assert!((t.as_millis_f64() - 10.0).abs() < 0.1, "{t}");
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_peak() {
+        let small = effective_bandwidth(&link(), 1024);
+        let large = effective_bandwidth(&link(), 1 << 30);
+        assert!(small < 1.0e9, "small transfers can't reach peak: {small}");
+        assert!(large > 7.9e9, "large transfers should approach 8 GB/s: {large}");
+    }
+}

@@ -1,0 +1,183 @@
+//! The analytic kernel timing model.
+//!
+//! Converts extrapolated [`LaunchCounters`] into virtual time using an
+//! occupancy/roofline model with three terms, taking their maximum (the
+//! device overlaps compute with memory, and a launch cannot finish before
+//! its critical path):
+//!
+//! 1. **Issue-throughput bound** — total warp-instructions divided by the
+//!    device's aggregate issue width, inflated by the measured
+//!    branch-divergence rate (a divergent warp executes both sides).
+//! 2. **Memory-bandwidth bound** — coalesced transactions × transaction
+//!    width divided by device bandwidth.
+//! 3. **Latency floor** — for launches too small to fill the machine,
+//!    `waves × (per-warp issue cycles + per-warp memory latency)`. This is
+//!    what makes tiny kernels slow relative to their work, the effect the
+//!    paper leans on ("these costs occur just once, so running larger, more
+//!    complex query operations can amortize them").
+//!
+//! The fixed kernel-launch overhead is added on top.
+
+use crate::clock::VirtualNanos;
+use crate::config::DeviceConfig;
+use crate::tracer::{LaunchCounters, Op};
+
+/// Detailed timing breakdown for one launch, surfaced for tests and model
+/// ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    pub launch_overhead_ns: f64,
+    pub compute_ns: f64,
+    pub memory_ns: f64,
+    pub latency_floor_ns: f64,
+    pub total_ns: f64,
+}
+
+/// Total issue cycles (warp-granularity) implied by the counters.
+fn issue_cycles(cfg: &DeviceConfig, c: &LaunchCounters) -> f64 {
+    let k = &cfg.costs;
+    let lane_cycles = c.ops[Op::Alu.idx()] as f64 * k.alu_cpi
+        + c.ops[Op::Mul.idx()] as f64 * k.mul_cpi
+        + c.ops[Op::Popc.idx()] as f64 * k.popc_cpi
+        + c.branches as f64 * k.branch_cpi
+        + c.smem_accesses as f64 * k.smem_cpi
+        + c.gmem_accesses as f64 * k.gmem_issue_cpi;
+    // Lanes execute in lockstep: lane-summed ops issue as warp instructions.
+    let warp_cycles = lane_cycles / f64::from(cfg.warp_size);
+    // Divergent branches serialize both paths; penalize the instruction
+    // stream by the measured divergence rate.
+    let divergence = 1.0 + k.divergence_penalty * c.divergence_rate();
+    // Atomics serialize per conflicting access; charge them at lane
+    // granularity (pessimistic: all conflict).
+    warp_cycles * divergence + c.atomics as f64 * k.atomic_cpi
+}
+
+/// Computes the virtual duration of a kernel launch.
+pub fn kernel_time(cfg: &DeviceConfig, c: &LaunchCounters) -> TimeBreakdown {
+    let ns_per_cycle = cfg.ns_per_cycle();
+    let cycles = issue_cycles(cfg, c);
+
+    // 1. Throughput bound.
+    let compute_ns = cycles / cfg.issue_width_warps() * ns_per_cycle;
+
+    // 2. Bandwidth bound.
+    let bytes = c.gmem_bytes(cfg.transaction_bytes) as f64;
+    let memory_ns = bytes / cfg.global_bandwidth_bytes_per_sec * 1e9;
+
+    // 3. Latency floor.
+    let total_warps = c.total_warps.max(1) as f64;
+    let waves = (total_warps / cfg.max_resident_warps() as f64).ceil();
+    let per_warp_issue = cycles / total_warps;
+    let per_warp_mem_latency = c.gmem_transactions as f64 / total_warps
+        * cfg.costs.gmem_latency_cycles
+        / cfg.costs.mem_level_parallelism.max(1.0);
+    let latency_floor_ns = waves * (per_warp_issue + per_warp_mem_latency) * ns_per_cycle;
+
+    let body = compute_ns.max(memory_ns).max(latency_floor_ns);
+    let launch_overhead_ns = cfg.kernel_launch_overhead_ns as f64;
+    TimeBreakdown {
+        launch_overhead_ns,
+        compute_ns,
+        memory_ns,
+        latency_floor_ns,
+        total_ns: launch_overhead_ns + body,
+    }
+}
+
+impl TimeBreakdown {
+    pub fn total(&self) -> VirtualNanos {
+        VirtualNanos::from_nanos_f64(self.total_ns)
+    }
+
+    /// Which term bound the launch (for diagnostics).
+    pub fn bound_by(&self) -> &'static str {
+        if self.compute_ns >= self.memory_ns && self.compute_ns >= self.latency_floor_ns {
+            "compute"
+        } else if self.memory_ns >= self.latency_floor_ns {
+            "memory"
+        } else {
+            "latency"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn counters(total_warps: u64) -> LaunchCounters {
+        LaunchCounters {
+            total_warps,
+            traced_warps: total_warps,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let cfg = DeviceConfig::tesla_k20();
+        let t = kernel_time(&cfg, &counters(1));
+        assert_eq!(t.total().as_nanos(), cfg.kernel_launch_overhead_ns);
+    }
+
+    #[test]
+    fn compute_bound_scales_with_ops() {
+        let cfg = DeviceConfig::tesla_k20();
+        let mut c = counters(100_000);
+        c.ops[Op::Alu.idx()] = 100_000 * 32 * 100; // 100 alu per lane
+        let t1 = kernel_time(&cfg, &c);
+        c.ops[Op::Alu.idx()] *= 2;
+        let t2 = kernel_time(&cfg, &c);
+        assert!(t2.total_ns > t1.total_ns * 1.5);
+        assert_eq!(t1.bound_by(), "compute");
+    }
+
+    #[test]
+    fn memory_bound_when_traffic_dominates() {
+        let cfg = DeviceConfig::tesla_k20();
+        let mut c = counters(100_000);
+        // Huge transaction count, negligible compute.
+        c.gmem_transactions = 50_000_000;
+        c.gmem_accesses = 50_000_000;
+        let t = kernel_time(&cfg, &c);
+        assert_eq!(t.bound_by(), "memory");
+        // 50M * 128B = 6.4 GB at 208 GB/s ~= 30.8 ms.
+        assert!((t.memory_ns / 1e6 - 30.77).abs() < 0.5, "{}", t.memory_ns);
+    }
+
+    #[test]
+    fn small_launch_hits_latency_floor() {
+        let cfg = DeviceConfig::tesla_k20();
+        let mut c = counters(4); // 4 warps: far below residency
+        c.gmem_transactions = 40; // 10 transactions per warp
+        c.gmem_accesses = 40 * 32;
+        let t = kernel_time(&cfg, &c);
+        assert_eq!(t.bound_by(), "latency");
+    }
+
+    #[test]
+    fn divergence_inflates_compute() {
+        let cfg = DeviceConfig::tesla_k20();
+        let mut c = counters(100_000);
+        c.ops[Op::Alu.idx()] = 100_000 * 32 * 50;
+        c.branch_sites = 1000;
+        let base = kernel_time(&cfg, &c).compute_ns;
+        c.divergent_sites = 1000; // 100% divergence
+        let div = kernel_time(&cfg, &c).compute_ns;
+        assert!((div / base - 2.0).abs() < 0.01, "{div} vs {base}");
+    }
+
+    #[test]
+    fn more_waves_raise_latency_floor() {
+        let cfg = DeviceConfig::tesla_k20();
+        let resident = cfg.max_resident_warps();
+        let mut c1 = counters(resident);
+        c1.gmem_transactions = resident * 4;
+        let mut c2 = counters(resident * 3);
+        c2.gmem_transactions = resident * 3 * 4;
+        let f1 = kernel_time(&cfg, &c1).latency_floor_ns;
+        let f2 = kernel_time(&cfg, &c2).latency_floor_ns;
+        assert!((f2 / f1 - 3.0).abs() < 0.01);
+    }
+}

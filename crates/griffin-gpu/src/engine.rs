@@ -1,0 +1,639 @@
+//! The Griffin-GPU query engine: composes transfers, Para-EF, MergePath /
+//! parallel binary search, and on-device BM25 accumulation into query
+//! steps, mirroring the CPU engine's step API so Griffin's scheduler can
+//! mix them freely.
+//!
+//! Like the paper's prototype, final ranking runs on the CPU
+//! (`partial_sort` won the Fig. 7 study); the engine ships back only the
+//! surviving (docid, score) pairs.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use griffin_cpu::cost::WorkCounters;
+use griffin_cpu::rank::Bm25;
+use griffin_cpu::topk;
+use griffin_gpu_sim::{DeviceBuffer, Gpu, Kernel, LaunchConfig, Op, ThreadCtx, VirtualNanos};
+use griffin_index::{CorpusMeta, InvertedIndex, TermId};
+
+use crate::gpu_binary;
+use crate::mergepath::{self, MergePathConfig};
+use crate::para_ef;
+use crate::transfer::DevicePostings;
+
+const BLOCK_DIM: u32 = 256;
+
+/// Which intersection kernel to use for a pairwise step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuStrategy {
+    /// Load-balanced MergePath over fully decompressed lists.
+    MergePath,
+    /// Parallel binary search over skip pointers with selective block
+    /// decompression.
+    BinarySearch,
+    /// Pick by length ratio (Griffin-GPU's §3.1.2 behaviour).
+    Auto,
+}
+
+/// The query's running state on the device: surviving docIDs and their
+/// accumulated partial BM25 scores.
+pub struct DeviceIntermediate {
+    pub docids: DeviceBuffer<u32>,
+    pub scores: DeviceBuffer<f32>,
+    pub len: usize,
+}
+
+impl DeviceIntermediate {
+    pub fn free(self, gpu: &Gpu) {
+        gpu.free(self.docids);
+        gpu.free(self.scores);
+    }
+}
+
+/// BM25 parameters in kernel-friendly form.
+#[derive(Clone, Copy)]
+struct ScoreParams {
+    idf: f32,
+    k1: f32,
+    b: f32,
+    avg_doc_len: f32,
+}
+
+/// Initial scoring: `scores[i] = contribution(tf[i], doc_len(docids[i]))`.
+struct ScoreInitKernel {
+    docids: DeviceBuffer<u32>,
+    tfs: DeviceBuffer<u32>,
+    scores: DeviceBuffer<f32>,
+    doc_lens: Option<DeviceBuffer<u32>>,
+    p: ScoreParams,
+    n: usize,
+}
+
+/// The BM25 term contribution, in exactly the operation order of
+/// `griffin_cpu::rank::Bm25::contribution` so CPU and GPU scores are
+/// bit-identical.
+#[inline]
+fn contribution(t: &mut ThreadCtx<'_>, p: ScoreParams, tf: u32, doc_len: f32) -> f32 {
+    let tf = tf as f32;
+    let norm = if p.avg_doc_len > 0.0 {
+        p.k1 * (1.0 - p.b + p.b * doc_len / p.avg_doc_len)
+    } else {
+        p.k1
+    };
+    t.op(Op::Mul, 6);
+    p.idf * (tf * (p.k1 + 1.0)) / (tf + norm)
+}
+
+#[inline]
+fn doc_len_of(
+    t: &mut ThreadCtx<'_>,
+    doc_lens: &Option<DeviceBuffer<u32>>,
+    docid: u32,
+    avg: f32,
+) -> f32 {
+    match doc_lens {
+        Some(buf) if (docid as usize) < buf.len() => t.ld(buf, docid as usize) as f32,
+        _ => avg,
+    }
+}
+
+impl Kernel for ScoreInitKernel {
+    type State = ();
+    fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
+        let i = t.global_thread_idx();
+        if t.branch(i < self.n) {
+            let d = t.ld(&self.docids, i);
+            let tf = t.ld(&self.tfs, i);
+            let dl = doc_len_of(t, &self.doc_lens, d, self.p.avg_doc_len);
+            let s = contribution(t, self.p, tf, dl);
+            t.st(&self.scores, i, s);
+        }
+    }
+}
+
+/// Score accumulation after an intersection:
+/// `out[i] = old[a_idx[i]] + contribution(tf[b_idx[i]], doc_len)`.
+struct ScoreAccumKernel {
+    docids: DeviceBuffer<u32>,
+    old_scores: DeviceBuffer<f32>,
+    a_idx: DeviceBuffer<u32>,
+    tfs: DeviceBuffer<u32>, // indexed by b_idx (full) or by match (gathered)
+    b_idx: Option<DeviceBuffer<u32>>, // None => tfs already match-aligned
+    out_scores: DeviceBuffer<f32>,
+    doc_lens: Option<DeviceBuffer<u32>>,
+    p: ScoreParams,
+    n: usize,
+}
+
+impl Kernel for ScoreAccumKernel {
+    type State = ();
+    fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
+        let i = t.global_thread_idx();
+        if t.branch(i < self.n) {
+            let d = t.ld(&self.docids, i);
+            let ai = t.ld(&self.a_idx, i) as usize;
+            let old = t.ld(&self.old_scores, ai);
+            let tf = match &self.b_idx {
+                Some(bidx) => {
+                    let bi = t.ld(bidx, i) as usize;
+                    t.ld(&self.tfs, bi)
+                }
+                None => t.ld(&self.tfs, i),
+            };
+            let dl = doc_len_of(t, &self.doc_lens, d, self.p.avg_doc_len);
+            let s = old + contribution(t, self.p, tf, dl);
+            t.alu(1);
+            t.st(&self.out_scores, i, s);
+        }
+    }
+}
+
+/// Gathers the tf of each match by decoding its block's VByte run up to
+/// the match position (used on the binary-search path, where only a few
+/// blocks were touched and a full tf decode would be wasted work).
+struct TfGatherKernel {
+    tf_words: DeviceBuffer<u32>,
+    tf_offsets: DeviceBuffer<u32>,
+    b_idx: DeviceBuffer<u32>,
+    out: DeviceBuffer<u32>,
+    block_len: usize,
+    n: usize,
+}
+
+impl Kernel for TfGatherKernel {
+    type State = ();
+    fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
+        let i = t.global_thread_idx();
+        if !t.branch(i < self.n) {
+            return;
+        }
+        let gi = t.ld(&self.b_idx, i) as usize;
+        let blk = gi / self.block_len;
+        let within = gi - blk * self.block_len;
+        let mut byte = t.ld(&self.tf_offsets, blk) as usize;
+        let mut value = 0u32;
+        for _ in 0..=within {
+            value = 0;
+            let mut shift = 0u32;
+            loop {
+                let w = t.ld(&self.tf_words, byte / 4);
+                let bv = (w >> (8 * (byte % 4))) & 0xFF;
+                byte += 1;
+                value |= (bv & 0x7F) << shift;
+                t.alu(3);
+                if !t.branch(bv & 0x80 != 0) {
+                    break;
+                }
+                shift += 7;
+            }
+        }
+        t.st(&self.out, i, value);
+    }
+}
+
+/// The Griffin-GPU engine.
+pub struct GpuEngine<'g> {
+    pub gpu: &'g Gpu,
+    pub bm25: Bm25,
+    pub mp_config: MergePathConfig,
+    /// `Auto` switches MergePath → binary search at this long/short ratio
+    /// (the paper ties it to the 128-element block size; see §3.2).
+    pub binary_ratio_threshold: usize,
+    doc_lens: Option<DeviceBuffer<u32>>,
+    avg_doc_len: f32,
+    num_docs: u32,
+    cache: RefCell<ListCache>,
+}
+
+/// LRU cache of device-resident posting lists.
+///
+/// The paper's prototype re-ships lists per query; its related-work
+/// section criticizes caching *everything* on the 5 GB device as
+/// unscalable, and its future work calls for "more advanced scheduling
+/// and data transfer management". This bounded LRU is that extension: hot
+/// lists (Zipf-distributed query terms hit few lists) stay resident, cold
+/// lists are evicted. Disable with [`GpuEngine::set_cache_budget`] (0) for
+/// the paper-faithful per-query-transfer behaviour (the ablation bench
+/// measures both).
+struct ListCache {
+    map: HashMap<TermId, CacheEntry>,
+    clock: u64,
+    bytes: u64,
+    budget: u64,
+}
+
+struct CacheEntry {
+    postings: Rc<DevicePostings>,
+    last_used: u64,
+    bytes: u64,
+}
+
+impl ListCache {
+    fn evict_to_fit(&mut self, gpu: &Gpu) {
+        while self.bytes > self.budget {
+            // Oldest entry not currently borrowed by a query step.
+            let victim = self
+                .map
+                .iter()
+                .filter(|(_, e)| Rc::strong_count(&e.postings) == 1)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&t, _)| t);
+            let Some(t) = victim else { break };
+            let e = self.map.remove(&t).expect("victim exists");
+            self.bytes -= e.bytes;
+            let postings = Rc::try_unwrap(e.postings).ok().expect("count was 1");
+            postings.free(gpu);
+        }
+    }
+}
+
+impl<'g> GpuEngine<'g> {
+    /// Creates an engine for a uniform-length corpus (synthetic workloads).
+    pub fn new(gpu: &'g Gpu, meta: &CorpusMeta) -> GpuEngine<'g> {
+        let doc_lens = if meta.doc_lens.is_empty() {
+            None
+        } else {
+            Some(gpu.htod(&meta.doc_lens))
+        };
+        GpuEngine {
+            gpu,
+            bm25: Bm25::default(),
+            mp_config: MergePathConfig::for_device(gpu.config()),
+            binary_ratio_threshold: 128,
+            doc_lens,
+            avg_doc_len: meta.avg_doc_len,
+            num_docs: meta.num_docs,
+            cache: RefCell::new(ListCache {
+                map: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+                budget: gpu.config().global_mem_bytes * 3 / 4,
+            }),
+        }
+    }
+
+    /// Sets the device-cache budget in bytes (0 disables caching and
+    /// restores the paper's per-query transfer behaviour).
+    pub fn set_cache_budget(&self, bytes: u64) {
+        let mut cache = self.cache.borrow_mut();
+        cache.budget = bytes;
+        cache.evict_to_fit(self.gpu);
+    }
+
+    fn params(&self, doc_freq: u32) -> ScoreParams {
+        ScoreParams {
+            idf: self.bm25.idf(self.num_docs, doc_freq),
+            k1: self.bm25.k1,
+            b: self.bm25.b,
+            avg_doc_len: self.avg_doc_len,
+        }
+    }
+
+    /// Returns the term's device-resident posting list, shipping it over
+    /// PCIe on a cache miss (and possibly evicting cold lists).
+    pub fn upload(&self, index: &InvertedIndex, term: TermId) -> Rc<DevicePostings> {
+        let mut cache = self.cache.borrow_mut();
+        cache.clock += 1;
+        let clock = cache.clock;
+        if let Some(e) = cache.map.get_mut(&term) {
+            e.last_used = clock;
+            return Rc::clone(&e.postings);
+        }
+        drop(cache);
+        let postings = Rc::new(DevicePostings::upload(self.gpu, index.list(term)));
+        let bytes = postings.docs.bytes_shipped
+            + postings.tf_words.size_bytes()
+            + postings.tf_offsets.size_bytes();
+        let mut cache = self.cache.borrow_mut();
+        if bytes <= cache.budget {
+            cache.bytes += bytes;
+            cache.map.insert(
+                term,
+                CacheEntry {
+                    postings: Rc::clone(&postings),
+                    last_used: clock,
+                    bytes,
+                },
+            );
+            cache.evict_to_fit(self.gpu);
+        }
+        postings
+    }
+
+    /// Releases a list obtained from [`GpuEngine::upload`]: cached lists
+    /// stay resident; uncached (over-budget) ones are freed immediately.
+    pub fn release(&self, postings: Rc<DevicePostings>) {
+        if let Ok(p) = Rc::try_unwrap(postings) {
+            p.free(self.gpu);
+        }
+    }
+
+    /// Decompresses the first (shortest) list and scores it.
+    pub fn init_intermediate(&self, postings: &DevicePostings) -> DeviceIntermediate {
+        let gpu = self.gpu;
+        let n = postings.len();
+        let docids = para_ef::decompress(gpu, &postings.docs);
+        let tfs = para_ef::decode_tfs(gpu, postings);
+        let scores = gpu.alloc::<f32>(n);
+        if n > 0 {
+            gpu.launch(
+                &ScoreInitKernel {
+                    docids: docids.clone(),
+                    tfs: tfs.clone(),
+                    scores: scores.clone(),
+                    doc_lens: self.doc_lens.clone(),
+                    p: self.params(n as u32),
+                    n,
+                },
+                LaunchConfig::cover(n, BLOCK_DIM),
+            );
+        }
+        gpu.free(tfs);
+        DeviceIntermediate {
+            docids,
+            scores,
+            len: n,
+        }
+    }
+
+    /// One pairwise intersection step; consumes (frees) the old
+    /// intermediate.
+    pub fn intersect_step(
+        &self,
+        inter: DeviceIntermediate,
+        postings: &DevicePostings,
+        block_len: usize,
+        strategy: GpuStrategy,
+    ) -> DeviceIntermediate {
+        let gpu = self.gpu;
+        let long_len = postings.len();
+        let ratio = if inter.len == 0 {
+            usize::MAX
+        } else {
+            long_len / inter.len
+        };
+        let strategy = match strategy {
+            GpuStrategy::Auto => {
+                if ratio >= self.binary_ratio_threshold {
+                    GpuStrategy::BinarySearch
+                } else {
+                    GpuStrategy::MergePath
+                }
+            }
+            s => s,
+        };
+        if inter.len == 0 || long_len == 0 {
+            let empty = DeviceIntermediate {
+                docids: gpu.alloc(0),
+                scores: gpu.alloc(0),
+                len: 0,
+            };
+            inter.free(gpu);
+            return empty;
+        }
+        let p = self.params(long_len as u32);
+
+        match strategy {
+            GpuStrategy::MergePath => {
+                // Comparable lengths: every block is needed anyway, so
+                // decompress both sides fully (docids and tfs).
+                let long_docids = para_ef::decompress(gpu, &postings.docs);
+                let long_tfs = para_ef::decode_tfs(gpu, postings);
+                let matches = mergepath::intersect(
+                    gpu,
+                    &inter.docids,
+                    inter.len,
+                    &long_docids,
+                    long_len,
+                    &self.mp_config,
+                );
+                let scores = gpu.alloc::<f32>(matches.len);
+                if matches.len > 0 {
+                    gpu.launch(
+                        &ScoreAccumKernel {
+                            docids: matches.docids.clone(),
+                            old_scores: inter.scores.clone(),
+                            a_idx: matches.a_idx.clone(),
+                            tfs: long_tfs.clone(),
+                            b_idx: Some(matches.b_idx.clone()),
+                            out_scores: scores.clone(),
+                            doc_lens: self.doc_lens.clone(),
+                            p,
+                            n: matches.len,
+                        },
+                        LaunchConfig::cover(matches.len, BLOCK_DIM),
+                    );
+                }
+                gpu.free(long_docids);
+                gpu.free(long_tfs);
+                let out = DeviceIntermediate {
+                    len: matches.len,
+                    docids: matches.docids,
+                    scores,
+                };
+                gpu.free(matches.a_idx);
+                gpu.free(matches.b_idx);
+                inter.free(gpu);
+                out
+            }
+            GpuStrategy::BinarySearch => {
+                let result =
+                    gpu_binary::intersect(gpu, &inter.docids, inter.len, &postings.docs, block_len);
+                let matches = result.matches;
+                let scores = gpu.alloc::<f32>(matches.len);
+                if matches.len > 0 {
+                    // Gather only the matched tfs (their blocks are few).
+                    let tfs = gpu.alloc::<u32>(matches.len);
+                    gpu.launch(
+                        &TfGatherKernel {
+                            tf_words: postings.tf_words.clone(),
+                            tf_offsets: postings.tf_offsets.clone(),
+                            b_idx: matches.b_idx.clone(),
+                            out: tfs.clone(),
+                            block_len,
+                            n: matches.len,
+                        },
+                        LaunchConfig::cover(matches.len, BLOCK_DIM),
+                    );
+                    gpu.launch(
+                        &ScoreAccumKernel {
+                            docids: matches.docids.clone(),
+                            old_scores: inter.scores.clone(),
+                            a_idx: matches.a_idx.clone(),
+                            tfs: tfs.clone(),
+                            b_idx: None,
+                            out_scores: scores.clone(),
+                            doc_lens: self.doc_lens.clone(),
+                            p,
+                            n: matches.len,
+                        },
+                        LaunchConfig::cover(matches.len, BLOCK_DIM),
+                    );
+                    gpu.free(tfs);
+                }
+                let out = DeviceIntermediate {
+                    len: matches.len,
+                    docids: matches.docids,
+                    scores,
+                };
+                gpu.free(matches.a_idx);
+                gpu.free(matches.b_idx);
+                inter.free(gpu);
+                out
+            }
+            GpuStrategy::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// Ships the intermediate's (docid, score) pairs back to the host and
+    /// frees it.
+    pub fn download(&self, inter: DeviceIntermediate) -> (Vec<u32>, Vec<f32>) {
+        let docids = self.gpu.dtoh_prefix(&inter.docids, inter.len);
+        let scores = self.gpu.dtoh_prefix(&inter.scores, inter.len);
+        inter.free(self.gpu);
+        (docids, scores)
+    }
+
+    /// Full GPU-only query ("Griffin-GPU running alone" in the paper's
+    /// evaluation): all intersections on the device, final ranking on the
+    /// CPU via `partial_sort` (the Fig. 7 winner). Returns the top-k, the
+    /// GPU virtual time, and the CPU ranking counters for the caller's
+    /// cost model.
+    pub fn process_query(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        k: usize,
+    ) -> (Vec<(u32, f32)>, VirtualNanos, WorkCounters) {
+        let gpu = self.gpu;
+        let mut rank_w = WorkCounters::default();
+        let start = gpu.now();
+        let mut planned = terms.to_vec();
+        planned.sort_by_key(|&t| index.doc_freq(t));
+        let Some((&first, rest)) = planned.split_first() else {
+            return (Vec::new(), VirtualNanos::ZERO, rank_w);
+        };
+        let first_postings = self.upload(index, first);
+        let mut inter = self.init_intermediate(&first_postings);
+        self.release(first_postings);
+        for &t in rest {
+            if inter.len == 0 {
+                break;
+            }
+            let postings = self.upload(index, t);
+            inter = self.intersect_step(inter, &postings, index.block_len(), GpuStrategy::Auto);
+            self.release(postings);
+        }
+        let (docids, scores) = self.download(inter);
+        let gpu_time = gpu.now() - start;
+        let topk = topk::top_k(&docids, &scores, k, &mut rank_w);
+        (topk, gpu_time, rank_w)
+    }
+
+    /// Frees engine-owned device state (the list cache and the doc-length
+    /// table).
+    pub fn shutdown(self) {
+        let mut cache = self.cache.into_inner();
+        for (_, e) in cache.map.drain() {
+            let postings = Rc::try_unwrap(e.postings)
+                .ok()
+                .expect("no query steps outstanding at shutdown");
+            postings.free(self.gpu);
+        }
+        if let Some(b) = self.doc_lens {
+            self.gpu.free(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_codec::Codec;
+    use griffin_cpu::CpuEngine;
+    use griffin_gpu_sim::DeviceConfig;
+    use griffin_index::InvertedIndex;
+
+    fn synthetic_index(lists: &[Vec<u32>], num_docs: u32) -> InvertedIndex {
+        InvertedIndex::from_docid_lists(lists, num_docs, Codec::EliasFano, 128)
+    }
+
+    fn term(idx: &InvertedIndex, i: usize) -> TermId {
+        idx.lookup(&format!("t{i}")).expect("term exists")
+    }
+
+    #[test]
+    fn gpu_query_matches_cpu_query() {
+        let lists = vec![
+            (0..400u32).map(|i| i * 31 + 5).collect::<Vec<_>>(),
+            (0..3000u32).map(|i| i * 4 + 1).collect::<Vec<_>>(),
+            (0..8000u32).map(|i| i * 2 + 1).collect::<Vec<_>>(),
+        ];
+        let idx = synthetic_index(&lists, 20_000);
+        let terms: Vec<TermId> = (0..3).map(|i| term(&idx, i)).collect();
+
+        let cpu = CpuEngine::new();
+        let cpu_out = cpu.process_query(&idx, &terms, 10);
+
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let engine = GpuEngine::new(&gpu, idx.meta());
+        let (gpu_topk, gpu_time, _) = engine.process_query(&idx, &terms, 10);
+
+        assert_eq!(cpu_out.topk.len(), gpu_topk.len());
+        for (c, g) in cpu_out.topk.iter().zip(&gpu_topk) {
+            assert_eq!(c.0, g.0, "docids must agree");
+            assert!((c.1 - g.1).abs() < 1e-5, "scores must agree: {c:?} {g:?}");
+        }
+        assert!(gpu_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn strategies_produce_identical_intermediates() {
+        let short: Vec<u32> = (0..100u32).map(|i| i * 211 + 7).collect();
+        let long: Vec<u32> = (0..20_000u32).map(|i| i * 2 + 1).collect();
+        let idx = synthetic_index(&[short, long], 50_000);
+
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let engine = GpuEngine::new(&gpu, idx.meta());
+        let t0 = engine.upload(&idx, term(&idx, 0));
+        let t1 = engine.upload(&idx, term(&idx, 1));
+
+        let mut results = Vec::new();
+        for strategy in [GpuStrategy::MergePath, GpuStrategy::BinarySearch] {
+            let inter = engine.init_intermediate(&t0);
+            let inter = engine.intersect_step(inter, &t1, idx.block_len(), strategy);
+            results.push(engine.download(inter));
+        }
+        assert_eq!(results[0], results[1]);
+        assert!(!results[0].0.is_empty(), "test needs a non-empty intersection");
+    }
+
+    #[test]
+    fn empty_intersection_handled() {
+        let evens: Vec<u32> = (0..1000u32).map(|i| i * 2).collect();
+        let odds: Vec<u32> = (0..1000u32).map(|i| i * 2 + 1).collect();
+        let idx = synthetic_index(&[evens, odds], 3_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let engine = GpuEngine::new(&gpu, idx.meta());
+        let terms = vec![term(&idx, 0), term(&idx, 1)];
+        let (topk, _, _) = engine.process_query(&idx, &terms, 10);
+        assert!(topk.is_empty());
+    }
+
+    #[test]
+    fn device_memory_is_reclaimed_after_query() {
+        let lists = vec![
+            (0..500u32).map(|i| i * 13).collect::<Vec<_>>(),
+            (0..5_000u32).map(|i| i * 3).collect::<Vec<_>>(),
+        ];
+        let idx = synthetic_index(&lists, 20_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let engine = GpuEngine::new(&gpu, idx.meta());
+        let terms = vec![term(&idx, 0), term(&idx, 1)];
+        let _ = engine.process_query(&idx, &terms, 10);
+        // Cached lists persist across queries; shutdown drains them.
+        engine.shutdown();
+        assert_eq!(gpu.mem_in_use(), 0, "all device buffers must be freed");
+    }
+}

@@ -1,0 +1,31 @@
+//! # griffin-gpu — the Griffin-GPU search engine (paper §3.1)
+//!
+//! The GPU side of Griffin, running on the [`griffin_gpu_sim`] device. Two
+//! key algorithms:
+//!
+//! * **Para-EF decompression** ([`para_ef`], paper Algorithm 1): popcount
+//!   over the Elias–Fano high-bits words, a device-wide prefix sum, a
+//!   scatter phase that assigns one thread per decompressed element, and a
+//!   recover phase that reconstructs each value independently.
+//! * **MergePath intersection** ([`mergepath`], paper Figs. 5–6, after
+//!   Green et al.): diagonal binary searches find perfectly load-balanced
+//!   partitions of the two lists; each partition is merged serially in
+//!   shared memory, with no inter-thread synchronization.
+//!
+//! Plus the supporting cast: parallel binary search over skip pointers with
+//! selective block decompression ([`gpu_binary`]), device-wide scan
+//! ([`scan`]), GPU bucket-select and radix-sort rankers for the Fig. 7
+//! study ([`bucket_select`], [`radix_sort`]), device list layouts and
+//! transfers ([`transfer`]), and the query-step engine ([`engine`]).
+
+pub mod bucket_select;
+pub mod engine;
+pub mod gpu_binary;
+pub mod mergepath;
+pub mod para_ef;
+pub mod radix_sort;
+pub mod scan;
+pub mod transfer;
+
+pub use engine::{DeviceIntermediate, GpuEngine, GpuStrategy};
+pub use transfer::{DeviceEfList, DevicePostings};

@@ -1,0 +1,586 @@
+//! GPU MergePath list intersection (paper §3.1.2, Figs. 5–6; after Green,
+//! McColl & Bader's GPU Merge Path).
+//!
+//! Merging two sorted lists A and B is a monotone path through the
+//! |A|×|B| grid; drawing `p` equally spaced cross-diagonals and binary
+//! searching *along each diagonal* for its crossing with the merge path
+//! yields `p` perfectly even partitions (the load-balancing property
+//! previous GPU IR systems lacked). Each partition is then intersected
+//! serially by one thread, with both sub-lists staged in shared memory by
+//! coalesced cooperative loads — no synchronization during the merge.
+//!
+//! Because docID lists are duplicate-free *sets*, we add the classic
+//! boundary adjustment: when a diagonal lands between an equal pair
+//! `A[a-1] == B[b]`, the B element is pulled into the earlier partition so
+//! the match cannot straddle the boundary.
+//!
+//! Pipeline: partition kernel → merge kernel (matches to per-partition
+//! slabs) → scan of per-partition counts → compaction kernel.
+
+use griffin_gpu_sim::{DeviceBuffer, DeviceConfig, Gpu, Kernel, LaunchConfig, ThreadCtx};
+
+use crate::scan::exclusive_scan;
+
+/// Geometry of a MergePath launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergePathConfig {
+    /// Combined elements (from A and B) per partition / per thread.
+    pub items_per_partition: usize,
+    /// Threads per block; a block stages `block_dim * items_per_partition`
+    /// elements in shared memory.
+    pub block_dim: u32,
+}
+
+impl Default for MergePathConfig {
+    fn default() -> Self {
+        MergePathConfig {
+            items_per_partition: 32,
+            block_dim: 128,
+        }
+    }
+}
+
+impl MergePathConfig {
+    /// Largest default-shaped config whose staging fits the device's
+    /// shared memory.
+    pub fn for_device(cfg: &DeviceConfig) -> Self {
+        let mut c = MergePathConfig::default();
+        while c.shared_words_needed() > cfg.shared_mem_words_per_block && c.block_dim > 32 {
+            c.block_dim /= 2;
+        }
+        while c.shared_words_needed() > cfg.shared_mem_words_per_block && c.items_per_partition > 8
+        {
+            c.items_per_partition /= 2;
+        }
+        assert!(
+            c.shared_words_needed() <= cfg.shared_mem_words_per_block,
+            "device shared memory too small for MergePath staging"
+        );
+        c
+    }
+
+    /// Worst-case staged elements per block (+2 boundary-adjustment slack).
+    fn shared_words_needed(&self) -> usize {
+        2 * self.block_dim as usize * self.items_per_partition + 2
+    }
+
+    /// Max matches one partition can produce.
+    fn partition_capacity(&self) -> usize {
+        self.items_per_partition / 2 + 1
+    }
+}
+
+/// Intersection output, resident on the device.
+pub struct DeviceMatches {
+    /// Common docIDs, ascending.
+    pub docids: DeviceBuffer<u32>,
+    /// Position of each match in A.
+    pub a_idx: DeviceBuffer<u32>,
+    /// Position of each match in B.
+    pub b_idx: DeviceBuffer<u32>,
+    pub len: usize,
+}
+
+impl DeviceMatches {
+    pub fn free(self, gpu: &Gpu) {
+        gpu.free(self.docids);
+        gpu.free(self.a_idx);
+        gpu.free(self.b_idx);
+    }
+
+    pub(crate) fn empty(gpu: &Gpu) -> DeviceMatches {
+        DeviceMatches {
+            docids: gpu.alloc(0),
+            a_idx: gpu.alloc(0),
+            b_idx: gpu.alloc(0),
+            len: 0,
+        }
+    }
+}
+
+/// Finds the *block-level* partition boundaries: one thread per block
+/// diagonal (spaced `block_dim * items_per_partition` elements apart).
+/// Thread-level partitioning happens later, in shared memory — this
+/// two-level scheme is what keeps the diagonal searches off global memory
+/// (the moderngpu design the paper builds on).
+struct PartitionKernel {
+    a: DeviceBuffer<u32>,
+    b: DeviceBuffer<u32>,
+    a_bounds: DeviceBuffer<u32>,
+    b_bounds: DeviceBuffer<u32>,
+    m: usize,
+    n: usize,
+    ipp: usize,
+    num_bounds: usize, // p + 1
+}
+
+impl Kernel for PartitionKernel {
+    type State = ();
+    fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
+        let i = t.global_thread_idx();
+        if !t.branch(i < self.num_bounds) {
+            return;
+        }
+        let d = (i * self.ipp).min(self.m + self.n);
+        // Binary search along the cross diagonal: smallest a in
+        // [max(0, d-n), min(d, m)] with A[a] > B[d-a-1]
+        // (out-of-range B reads as +inf: advancing a is forced).
+        let mut lo = d.saturating_sub(self.n);
+        let mut hi = d.min(self.m);
+        while t.branch(lo < hi) {
+            let mid = lo + (hi - lo) / 2;
+            let bj = d - mid - 1;
+            let av = t.ld(&self.a, mid);
+            let bv = if t.branch(bj < self.n) {
+                t.ld(&self.b, bj)
+            } else {
+                u32::MAX
+            };
+            t.alu(2);
+            if t.branch(av <= bv) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let a = lo;
+        let mut b = d - a;
+        // Set-intersection boundary adjustment: keep an equal pair on the
+        // same side of the cut.
+        if t.branch(a > 0 && b < self.n) {
+            let last_a = t.ld(&self.a, a - 1);
+            let first_b = t.ld(&self.b, b);
+            if t.branch(last_a == first_b) {
+                b += 1;
+            }
+        }
+        t.st(&self.a_bounds, i, a as u32);
+        t.st(&self.b_bounds, i, b as u32);
+    }
+}
+
+/// Stages each block's A/B ranges in shared memory, finds thread-level
+/// partition boundaries by diagonal binary search *in shared memory*, then
+/// each thread serially intersects its partition, writing matches to a
+/// per-partition slab and its match count to `counts`.
+///
+/// Shared layout: `[A staged | B staged | a_cuts (bd+1) | b_cuts (bd+1)]`.
+struct MergeKernel {
+    a: DeviceBuffer<u32>,
+    b: DeviceBuffer<u32>,
+    a_bounds: DeviceBuffer<u32>,
+    b_bounds: DeviceBuffer<u32>,
+    temp_docid: DeviceBuffer<u32>,
+    temp_aidx: DeviceBuffer<u32>,
+    temp_bidx: DeviceBuffer<u32>,
+    counts: DeviceBuffer<u32>,
+    num_blocks: usize,
+    n: usize,
+    cfg: MergePathConfig,
+}
+
+#[derive(Default)]
+struct MergeState {
+    // Block-range info computed in phase 0 (register-resident in a real
+    // kernel).
+    a_start: u32,
+    b_start: u32,
+    a_len: u32,
+    b_len: u32,
+}
+
+impl Kernel for MergeKernel {
+    type State = MergeState;
+
+    fn phases(&self) -> usize {
+        3
+    }
+
+    fn shared_mem_words(&self, block_dim: u32) -> usize {
+        self.cfg.shared_words_needed() + 2 * (block_dim as usize + 1)
+    }
+
+    fn run_phase(&self, phase: usize, t: &mut ThreadCtx<'_>, s: &mut MergeState) {
+        let bd = t.block_dim as usize;
+        let blk = t.block_idx as usize;
+        if blk >= self.num_blocks {
+            return;
+        }
+        let ipp = self.cfg.items_per_partition;
+        let cuts_base = self.cfg.shared_words_needed();
+
+        if phase == 0 {
+            // Every thread reads the block's range bounds (broadcast loads),
+            // then the block cooperatively stages A and B.
+            let a_start = t.ld(&self.a_bounds, blk);
+            let a_end = t.ld(&self.a_bounds, blk + 1);
+            let b_start = t.ld(&self.b_bounds, blk);
+            // Stage one extra B element: a thread-level boundary adjusted
+            // for an equal pair may reach one past the block's raw bound.
+            let b_end = (t.ld(&self.b_bounds, blk + 1) + 1)
+                .min(self.n as u32)
+                .max(b_start);
+            s.a_start = a_start;
+            s.b_start = b_start;
+            s.a_len = a_end - a_start;
+            s.b_len = b_end - b_start;
+            let a_len = s.a_len as usize;
+            let b_len = s.b_len as usize;
+            let tid = t.thread_idx as usize;
+            // Strided, coalesced cooperative loads.
+            let mut i = tid;
+            while t.branch(i < a_len) {
+                let v = t.ld(&self.a, a_start as usize + i);
+                t.st_shared(i, v);
+                i += bd;
+            }
+            let mut j = tid;
+            while t.branch(j < b_len) {
+                let v = t.ld(&self.b, b_start as usize + j);
+                t.st_shared(a_len + j, v);
+                j += bd;
+            }
+            return;
+        }
+
+        let a_len = s.a_len as usize;
+        // The raw block B range (without the +1 slack) bounds the diagonal
+        // search; the slack element is only readable by adjusted cuts.
+        let b_raw = {
+            // Recover the unslacked length: the diagonal space covers
+            // exactly the elements this block owns.
+            let total = bd * ipp;
+            (s.b_len as usize).min(total)
+        };
+
+        if phase == 1 {
+            // Thread-level diagonal binary search, entirely in shared
+            // memory. Thread tid finds the cut for diagonal tid * ipp.
+            let tid = t.thread_idx as usize;
+            let d = (tid * ipp).min(a_len + b_raw);
+            let mut lo = d.saturating_sub(b_raw);
+            let mut hi = d.min(a_len);
+            while t.branch(lo < hi) {
+                let mid = lo + (hi - lo) / 2;
+                let bj = d - mid - 1;
+                let av = t.ld_shared(mid);
+                let bv = if t.branch(bj < b_raw) {
+                    t.ld_shared(a_len + bj)
+                } else {
+                    u32::MAX
+                };
+                t.alu(2);
+                if t.branch(av <= bv) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let a_cut = lo;
+            let mut b_cut = d - lo;
+            // Set-intersection boundary adjustment (local).
+            if t.branch(a_cut > 0 && b_cut < s.b_len as usize) {
+                let last_a = t.ld_shared(a_cut - 1);
+                let first_b = t.ld_shared(a_len + b_cut);
+                if t.branch(last_a == first_b) {
+                    b_cut += 1;
+                }
+            }
+            t.st_shared(cuts_base + tid, a_cut as u32);
+            t.st_shared(cuts_base + bd + 1 + tid, b_cut as u32);
+            if t.branch(tid == bd - 1) {
+                // Sentinel cut: the end of the block's staged data.
+                t.st_shared(cuts_base + bd, a_len as u32);
+                t.st_shared(cuts_base + bd + 1 + bd, s.b_len);
+            }
+            return;
+        }
+
+        // Phase 2: serial intersection of this thread's partition.
+        let tid = t.thread_idx as usize;
+        let pi = blk * bd + tid;
+        let a_lo = t.ld_shared(cuts_base + tid) as usize;
+        let a_hi = t.ld_shared(cuts_base + tid + 1) as usize;
+        let b_lo = t.ld_shared(cuts_base + bd + 1 + tid) as usize;
+        let b_hi = (t.ld_shared(cuts_base + bd + 1 + tid + 1) as usize).max(b_lo);
+        let cap = self.cfg.partition_capacity();
+        let slab = pi * cap;
+
+        let mut ai = a_lo;
+        let mut bi = b_lo;
+        let mut out = 0usize;
+        while t.branch(ai < a_hi && bi < b_hi) {
+            let av = t.ld_shared(ai);
+            let bv = t.ld_shared(a_len + bi);
+            t.alu(2);
+            if t.branch(av == bv) {
+                t.st(&self.temp_docid, slab + out, av);
+                t.st(&self.temp_aidx, slab + out, s.a_start + ai as u32);
+                t.st(&self.temp_bidx, slab + out, s.b_start + bi as u32);
+                out += 1;
+                ai += 1;
+                bi += 1;
+            } else if t.branch(av < bv) {
+                ai += 1;
+            } else {
+                bi += 1;
+            }
+        }
+        t.st(&self.counts, pi, out as u32);
+    }
+}
+
+/// Copies each partition's matches to its final, scan-assigned position.
+struct CompactKernel {
+    temp_docid: DeviceBuffer<u32>,
+    temp_aidx: DeviceBuffer<u32>,
+    temp_bidx: DeviceBuffer<u32>,
+    counts: DeviceBuffer<u32>,
+    offsets: DeviceBuffer<u32>,
+    out_docid: DeviceBuffer<u32>,
+    out_aidx: DeviceBuffer<u32>,
+    out_bidx: DeviceBuffer<u32>,
+    num_partitions: usize,
+    cap: usize,
+}
+
+impl Kernel for CompactKernel {
+    type State = ();
+    fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
+        let pi = t.global_thread_idx();
+        if !t.branch(pi < self.num_partitions) {
+            return;
+        }
+        let count = t.ld(&self.counts, pi) as usize;
+        let dst = t.ld(&self.offsets, pi) as usize;
+        let slab = pi * self.cap;
+        let mut k = 0usize;
+        while t.branch(k < count) {
+            let d = t.ld(&self.temp_docid, slab + k);
+            let a = t.ld(&self.temp_aidx, slab + k);
+            let b = t.ld(&self.temp_bidx, slab + k);
+            t.st(&self.out_docid, dst + k, d);
+            t.st(&self.out_aidx, dst + k, a);
+            t.st(&self.out_bidx, dst + k, b);
+            k += 1;
+        }
+    }
+}
+
+/// Intersects two decompressed, device-resident sorted docID lists.
+pub fn intersect(
+    gpu: &Gpu,
+    a: &DeviceBuffer<u32>,
+    m: usize,
+    b: &DeviceBuffer<u32>,
+    n: usize,
+    cfg: &MergePathConfig,
+) -> DeviceMatches {
+    if m == 0 || n == 0 {
+        return DeviceMatches::empty(gpu);
+    }
+    let bd = cfg.block_dim as usize;
+    // Two-level partitioning: the global kernel cuts block-sized diagonals;
+    // threads refine within shared memory.
+    let ipp_block = cfg.items_per_partition * bd;
+    let p_blocks = (m + n).div_ceil(ipp_block);
+    let num_bounds = p_blocks + 1;
+    // Thread-level partitions (one per thread across all blocks).
+    let p = p_blocks * bd;
+
+    let a_bounds = gpu.alloc::<u32>(num_bounds);
+    let b_bounds = gpu.alloc::<u32>(num_bounds);
+    gpu.launch(
+        &PartitionKernel {
+            a: a.clone(),
+            b: b.clone(),
+            a_bounds: a_bounds.clone(),
+            b_bounds: b_bounds.clone(),
+            m,
+            n,
+            ipp: ipp_block,
+            num_bounds,
+        },
+        LaunchConfig::cover(num_bounds, cfg.block_dim),
+    );
+
+    let cap = cfg.partition_capacity();
+    let temp_docid = gpu.alloc::<u32>(p * cap);
+    let temp_aidx = gpu.alloc::<u32>(p * cap);
+    let temp_bidx = gpu.alloc::<u32>(p * cap);
+    let counts = gpu.alloc::<u32>(p);
+    gpu.launch(
+        &MergeKernel {
+            a: a.clone(),
+            b: b.clone(),
+            a_bounds: a_bounds.clone(),
+            b_bounds: b_bounds.clone(),
+            temp_docid: temp_docid.clone(),
+            temp_aidx: temp_aidx.clone(),
+            temp_bidx: temp_bidx.clone(),
+            counts: counts.clone(),
+            num_blocks: p_blocks,
+            n,
+            cfg: *cfg,
+        },
+        LaunchConfig::new(p_blocks as u32, cfg.block_dim),
+    );
+
+    let (offsets, total) = exclusive_scan(gpu, &counts, p);
+    let total = total as usize;
+    let out_docid = gpu.alloc::<u32>(total);
+    let out_aidx = gpu.alloc::<u32>(total);
+    let out_bidx = gpu.alloc::<u32>(total);
+    if total > 0 {
+        gpu.launch(
+            &CompactKernel {
+                temp_docid: temp_docid.clone(),
+                temp_aidx: temp_aidx.clone(),
+                temp_bidx: temp_bidx.clone(),
+                counts: counts.clone(),
+                offsets: offsets.clone(),
+                out_docid: out_docid.clone(),
+                out_aidx: out_aidx.clone(),
+                out_bidx: out_bidx.clone(),
+                num_partitions: p,
+                cap,
+            },
+            LaunchConfig::cover(p, cfg.block_dim),
+        );
+    }
+
+    gpu.free(a_bounds);
+    gpu.free(b_bounds);
+    gpu.free(temp_docid);
+    gpu.free(temp_aidx);
+    gpu.free(temp_bidx);
+    gpu.free(counts);
+    gpu.free(offsets);
+
+    DeviceMatches {
+        docids: out_docid,
+        a_idx: out_aidx,
+        b_idx: out_bidx,
+        len: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_gpu_sim::DeviceConfig;
+
+    fn host_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn check(a: Vec<u32>, b: Vec<u32>) {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let cfg = MergePathConfig::for_device(gpu.config());
+        let da = gpu.htod(&a);
+        let db = gpu.htod(&b);
+        let matches = intersect(&gpu, &da, a.len(), &db, b.len(), &cfg);
+        let got = gpu.dtoh_prefix(&matches.docids, matches.len);
+        let expect = host_intersect(&a, &b);
+        assert_eq!(got, expect);
+        // Provenance indices must point at the right elements.
+        let a_idx = gpu.dtoh_prefix(&matches.a_idx, matches.len);
+        let b_idx = gpu.dtoh_prefix(&matches.b_idx, matches.len);
+        for (k, &d) in got.iter().enumerate() {
+            assert_eq!(a[a_idx[k] as usize], d);
+            assert_eq!(b[b_idx[k] as usize], d);
+        }
+    }
+
+    #[test]
+    fn paper_fig6_example() {
+        // A = (1,3,4,6,7,9,15,25,31), B = (1,3,7,10,18,25,31) ->
+        // intersection (1,3,7,25,31).
+        check(
+            vec![1, 3, 4, 6, 7, 9, 15, 25, 31],
+            vec![1, 3, 7, 10, 18, 25, 31],
+        );
+    }
+
+    #[test]
+    fn disjoint_lists() {
+        check(
+            (0..500).map(|i| i * 2).collect(),
+            (0..500).map(|i| i * 2 + 1).collect(),
+        );
+    }
+
+    #[test]
+    fn identical_lists() {
+        let v: Vec<u32> = (0..1000).map(|i| i * 3 + 1).collect();
+        check(v.clone(), v);
+    }
+
+    #[test]
+    fn matches_on_partition_boundaries() {
+        // Dense overlap so equal pairs land on many diagonal boundaries.
+        let a: Vec<u32> = (0..4096).collect();
+        let b: Vec<u32> = (0..4096).filter(|i| i % 3 != 1).collect();
+        check(a, b);
+    }
+
+    #[test]
+    fn very_different_lengths() {
+        let a: Vec<u32> = (0..32).map(|i| i * 997).collect();
+        let b: Vec<u32> = (0..20_000).collect();
+        check(a, b);
+    }
+
+    #[test]
+    fn empty_sides() {
+        check(vec![], vec![1, 2, 3]);
+        check(vec![1, 2, 3], vec![]);
+    }
+
+    #[test]
+    fn pseudo_random_lists() {
+        let mut state = 7u64;
+        let mut next = |max: u32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32 % max
+        };
+        for trial in 0..5u32 {
+            let mut a: Vec<u32> = (0..2000 + trial * 100).map(|_| next(50_000)).collect();
+            let mut b: Vec<u32> = (0..1500).map(|_| next(50_000)).collect();
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            check(a, b);
+        }
+    }
+
+    #[test]
+    fn temp_memory_is_released() {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let cfg = MergePathConfig::for_device(gpu.config());
+        let a: Vec<u32> = (0..3000).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..3000).map(|i| i * 3).collect();
+        let da = gpu.htod(&a);
+        let db = gpu.htod(&b);
+        let before = gpu.mem_in_use();
+        let matches = intersect(&gpu, &da, a.len(), &db, b.len(), &cfg);
+        let expect_extra = matches.docids.size_bytes() * 3;
+        assert_eq!(gpu.mem_in_use(), before + expect_extra);
+    }
+}

@@ -1,0 +1,267 @@
+//! Device-resident layouts of compressed posting lists, and the transfers
+//! that put them there.
+//!
+//! A [`DeviceEfList`] is the GPU image of an Elias–Fano [`BlockedList`]:
+//! the concatenated high-bits and low-bits words, per-block metadata
+//! (Para-EF needs to know which block owns each word), and the skip table
+//! (first/last docID per block) for the parallel binary-search path.
+//! Everything is shipped in a single packed DMA.
+
+use griffin_codec::{BlockedList, Codec, EfBlock};
+use griffin_gpu_sim::{DeviceBuffer, Gpu};
+use griffin_index::CompressedPostingList;
+
+/// GPU image of one EF-compressed docID list.
+pub struct DeviceEfList {
+    /// Total elements.
+    pub len: usize,
+    pub num_blocks: usize,
+    /// Concatenated high-bits words of all blocks.
+    pub hb: DeviceBuffer<u32>,
+    /// Concatenated low-bits words of all blocks.
+    pub lb: DeviceBuffer<u32>,
+    /// Per block: index of its first word in `hb`.
+    pub block_hb_start: DeviceBuffer<u32>,
+    /// Per block: index of its first word in `lb`.
+    pub block_lb_start: DeviceBuffer<u32>,
+    /// Per block: index of its first element in the list.
+    pub block_elem_start: DeviceBuffer<u32>,
+    /// Per block: low-bit width `b`.
+    pub block_b: DeviceBuffer<u32>,
+    /// Per block: decode base (docID preceding the block).
+    pub block_base: DeviceBuffer<u32>,
+    /// Per `hb` word: the block that owns it.
+    pub word_block: DeviceBuffer<u32>,
+    /// Skip table: per block first docID.
+    pub skip_first: DeviceBuffer<u32>,
+    /// Skip table: per block last docID.
+    pub skip_last: DeviceBuffer<u32>,
+    /// Total `hb` words (the quantity Para-EF's popcount phase covers).
+    pub hb_words: usize,
+    /// Largest per-block high-bits word count (sizes the block-local
+    /// decoder's shared memory).
+    pub max_block_hb_words: usize,
+    /// Bytes shipped over PCIe for this list.
+    pub bytes_shipped: u64,
+}
+
+/// Host-side staging of the flattened arrays (kept separate so tests can
+/// inspect the layout without a device).
+pub struct EfListImage {
+    pub hb: Vec<u32>,
+    pub lb: Vec<u32>,
+    pub block_hb_start: Vec<u32>,
+    pub block_lb_start: Vec<u32>,
+    pub block_elem_start: Vec<u32>,
+    pub block_b: Vec<u32>,
+    pub block_base: Vec<u32>,
+    pub word_block: Vec<u32>,
+    pub skip_first: Vec<u32>,
+    pub skip_last: Vec<u32>,
+    pub len: usize,
+}
+
+impl EfListImage {
+    /// Flattens an EF [`BlockedList`] into the device layout.
+    pub fn build(list: &BlockedList) -> EfListImage {
+        assert!(
+            matches!(list.codec, Codec::EliasFano),
+            "device lists must be Elias–Fano compressed (got {:?})",
+            list.codec
+        );
+        let nb = list.num_blocks();
+        let mut img = EfListImage {
+            hb: Vec::new(),
+            lb: Vec::new(),
+            block_hb_start: Vec::with_capacity(nb),
+            block_lb_start: Vec::with_capacity(nb),
+            block_elem_start: Vec::with_capacity(nb),
+            block_b: Vec::with_capacity(nb),
+            block_base: Vec::with_capacity(nb),
+            word_block: Vec::new(),
+            skip_first: Vec::with_capacity(nb),
+            skip_last: Vec::with_capacity(nb),
+            len: list.len(),
+        };
+        for (i, skip) in list.skips.iter().enumerate() {
+            let words =
+                &list.words[skip.word_start as usize..(skip.word_start + skip.word_len) as usize];
+            let blk = EfBlock::from_words(words);
+            img.block_hb_start.push(img.hb.len() as u32);
+            img.block_lb_start.push(img.lb.len() as u32);
+            img.block_elem_start.push(skip.elem_start);
+            img.block_b.push(blk.b);
+            img.block_base.push(list.block_base(i));
+            for _ in 0..blk.hb_words.len() {
+                img.word_block.push(i as u32);
+            }
+            img.hb.extend_from_slice(&blk.hb_words);
+            img.lb.extend_from_slice(&blk.lb_words);
+            img.skip_first.push(skip.first_docid);
+            img.skip_last.push(skip.last_docid);
+        }
+        img
+    }
+}
+
+impl DeviceEfList {
+    /// Ships the list to the device in one packed transfer.
+    pub fn upload(gpu: &Gpu, list: &BlockedList) -> DeviceEfList {
+        let img = EfListImage::build(list);
+        let hb_words = img.hb.len();
+        let max_block_hb_words = img
+            .block_hb_start
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .chain(img.block_hb_start.last().map(|&s| img.hb.len() - s as usize))
+            .max()
+            .unwrap_or(0);
+        let bytes_shipped: u64 = [
+            img.hb.len(),
+            img.lb.len(),
+            img.block_hb_start.len() * 5, // the five per-block arrays
+            img.word_block.len(),
+            img.skip_first.len() * 2,
+        ]
+        .iter()
+        .map(|&w| w as u64 * 4)
+        .sum();
+        let bufs = gpu.htod_packed(&[
+            &img.hb,
+            &img.lb,
+            &img.block_hb_start,
+            &img.block_lb_start,
+            &img.block_elem_start,
+            &img.block_b,
+            &img.block_base,
+            &img.word_block,
+            &img.skip_first,
+            &img.skip_last,
+        ]);
+        let mut it = bufs.into_iter();
+        DeviceEfList {
+            len: img.len,
+            num_blocks: list.num_blocks(),
+            hb: it.next().expect("hb"),
+            lb: it.next().expect("lb"),
+            block_hb_start: it.next().expect("block_hb_start"),
+            block_lb_start: it.next().expect("block_lb_start"),
+            block_elem_start: it.next().expect("block_elem_start"),
+            block_b: it.next().expect("block_b"),
+            block_base: it.next().expect("block_base"),
+            word_block: it.next().expect("word_block"),
+            skip_first: it.next().expect("skip_first"),
+            skip_last: it.next().expect("skip_last"),
+            hb_words,
+            max_block_hb_words,
+            bytes_shipped,
+        }
+    }
+
+    /// Releases all device memory of this list.
+    pub fn free(self, gpu: &Gpu) {
+        gpu.free(self.hb);
+        gpu.free(self.lb);
+        gpu.free(self.block_hb_start);
+        gpu.free(self.block_lb_start);
+        gpu.free(self.block_elem_start);
+        gpu.free(self.block_b);
+        gpu.free(self.block_base);
+        gpu.free(self.word_block);
+        gpu.free(self.skip_first);
+        gpu.free(self.skip_last);
+    }
+}
+
+/// GPU image of a full posting list: EF docIDs plus the VByte term
+/// frequencies (packed bytes + per-block offsets) for on-device scoring.
+pub struct DevicePostings {
+    pub docs: DeviceEfList,
+    /// VByte tf stream packed into words (4 bytes per word, LE).
+    pub tf_words: DeviceBuffer<u32>,
+    /// Per block: byte offset of its tf run (num_blocks + 1 entries).
+    pub tf_offsets: DeviceBuffer<u32>,
+}
+
+impl DevicePostings {
+    pub fn upload(gpu: &Gpu, list: &CompressedPostingList) -> DevicePostings {
+        let docs = DeviceEfList::upload(gpu, &list.docs);
+        let (tf_bytes, tf_offsets) = list.tf_raw();
+        let mut tf_words = Vec::with_capacity(tf_bytes.len().div_ceil(4));
+        for chunk in tf_bytes.chunks(4) {
+            let mut w = 0u32;
+            for (i, &b) in chunk.iter().enumerate() {
+                w |= u32::from(b) << (8 * i);
+            }
+            tf_words.push(w);
+        }
+        let bufs = gpu.htod_packed(&[&tf_words, tf_offsets]);
+        let mut it = bufs.into_iter();
+        DevicePostings {
+            docs,
+            tf_words: it.next().expect("tf_words"),
+            tf_offsets: it.next().expect("tf_offsets"),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.docs.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.len == 0
+    }
+
+    pub fn free(self, gpu: &Gpu) {
+        self.docs.free(gpu);
+        gpu.free(self.tf_words);
+        gpu.free(self.tf_offsets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_codec::DEFAULT_BLOCK_LEN;
+    use griffin_gpu_sim::DeviceConfig;
+
+    fn docids(n: u32) -> Vec<u32> {
+        (0..n).map(|i| i * 6 + 3).collect()
+    }
+
+    #[test]
+    fn image_layout_is_consistent() {
+        let ids = docids(500);
+        let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let img = EfListImage::build(&list);
+        assert_eq!(img.len, 500);
+        assert_eq!(img.block_hb_start.len(), 4);
+        assert_eq!(img.word_block.len(), img.hb.len());
+        // word_block must be non-decreasing and match block starts.
+        for (b, &start) in img.block_hb_start.iter().enumerate() {
+            assert_eq!(img.word_block[start as usize], b as u32);
+        }
+        assert_eq!(img.skip_first[0], ids[0]);
+        assert_eq!(*img.skip_last.last().unwrap(), *ids.last().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "Elias–Fano")]
+    fn rejects_non_ef_lists() {
+        let list = BlockedList::compress(&docids(10), Codec::PforDelta, 128);
+        EfListImage::build(&list);
+    }
+
+    #[test]
+    fn upload_charges_transfer_and_allocates() {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let list = BlockedList::compress(&docids(1000), Codec::EliasFano, 128);
+        let t0 = gpu.now();
+        let dev = DeviceEfList::upload(&gpu, &list);
+        assert!(gpu.now() > t0);
+        assert!(dev.bytes_shipped > 0);
+        assert!(gpu.mem_in_use() > 0);
+        dev.free(&gpu);
+        assert_eq!(gpu.mem_in_use(), 0);
+    }
+}

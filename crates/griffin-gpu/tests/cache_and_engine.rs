@@ -1,0 +1,115 @@
+//! Tests of the GPU engine's device list cache and engine-level behaviour
+//! that the unit tests don't cover.
+
+use griffin_codec::Codec;
+use griffin_gpu::GpuEngine;
+use griffin_gpu_sim::{DeviceConfig, Gpu};
+use griffin_index::{InvertedIndex, TermId};
+
+fn index(lists: &[Vec<u32>]) -> InvertedIndex {
+    InvertedIndex::from_docid_lists(lists, 100_000, Codec::EliasFano, 128)
+}
+
+fn term(idx: &InvertedIndex, i: usize) -> TermId {
+    idx.lookup(&format!("t{i}")).unwrap()
+}
+
+#[test]
+fn cache_hit_skips_the_transfer() {
+    let lists = vec![(0..20_000u32).map(|i| i * 4).collect::<Vec<_>>()];
+    let idx = index(&lists);
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let engine = GpuEngine::new(&gpu, idx.meta());
+
+    let t0 = gpu.now();
+    let p1 = engine.upload(&idx, term(&idx, 0));
+    let miss_cost = gpu.now() - t0;
+    engine.release(p1);
+
+    let t1 = gpu.now();
+    let p2 = engine.upload(&idx, term(&idx, 0));
+    let hit_cost = gpu.now() - t1;
+    engine.release(p2);
+
+    assert!(miss_cost.as_nanos() > 0);
+    assert_eq!(hit_cost.as_nanos(), 0, "cache hit must be free");
+    engine.shutdown();
+    assert_eq!(gpu.mem_in_use(), 0);
+}
+
+#[test]
+fn zero_budget_disables_caching() {
+    let lists = vec![(0..5_000u32).map(|i| i * 3).collect::<Vec<_>>()];
+    let idx = index(&lists);
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let engine = GpuEngine::new(&gpu, idx.meta());
+    engine.set_cache_budget(0);
+
+    let p1 = engine.upload(&idx, term(&idx, 0));
+    engine.release(p1);
+    assert_eq!(gpu.mem_in_use(), 0, "released uncached list must be freed");
+
+    // Second upload pays the transfer again.
+    let t = gpu.now();
+    let p2 = engine.upload(&idx, term(&idx, 0));
+    assert!(gpu.now() > t);
+    engine.release(p2);
+    engine.shutdown();
+    assert_eq!(gpu.mem_in_use(), 0);
+}
+
+#[test]
+fn lru_evicts_the_coldest_list() {
+    // Three lists; a budget that fits roughly two.
+    let lists: Vec<Vec<u32>> = (0..3)
+        .map(|k| (0..30_000u32).map(|i| i * 3 + k).collect())
+        .collect();
+    let idx = index(&lists);
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let engine = GpuEngine::new(&gpu, idx.meta());
+
+    // Size one list to derive a two-list budget.
+    let p = engine.upload(&idx, term(&idx, 0));
+    let one = gpu.mem_in_use();
+    engine.release(p);
+    engine.set_cache_budget(one * 2 + one / 2);
+
+    for i in [0usize, 1, 2] {
+        let p = engine.upload(&idx, term(&idx, i));
+        engine.release(p);
+    }
+    // t0 (coldest) must have been evicted: re-uploading it costs time,
+    // while t2 (hottest) is free.
+    let t = gpu.now();
+    engine.release(engine.upload(&idx, term(&idx, 2)));
+    assert_eq!((gpu.now() - t).as_nanos(), 0, "t2 should be cached");
+    let t = gpu.now();
+    engine.release(engine.upload(&idx, term(&idx, 0)));
+    assert!((gpu.now() - t).as_nanos() > 0, "t0 should have been evicted");
+
+    engine.shutdown();
+    assert_eq!(gpu.mem_in_use(), 0);
+}
+
+#[test]
+fn in_use_lists_survive_eviction_pressure() {
+    let lists: Vec<Vec<u32>> = (0..2)
+        .map(|k| (0..30_000u32).map(|i| i * 3 + k).collect())
+        .collect();
+    let idx = index(&lists);
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let engine = GpuEngine::new(&gpu, idx.meta());
+
+    let held = engine.upload(&idx, term(&idx, 0));
+    // Shrink the budget to zero while the list is borrowed: it must not be
+    // freed under our feet.
+    engine.set_cache_budget(0);
+    assert!(held.len() > 0);
+    let docids = griffin_gpu::para_ef::decompress(&gpu, &held.docs);
+    let host = gpu.dtoh(&docids);
+    assert_eq!(host.len(), lists[0].len());
+    gpu.free(docids);
+    engine.release(held);
+    engine.shutdown();
+    assert_eq!(gpu.mem_in_use(), 0);
+}

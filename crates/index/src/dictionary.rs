@@ -1,0 +1,74 @@
+//! Term dictionary: interns term strings to dense [`TermId`]s.
+
+use std::collections::HashMap;
+
+/// Dense term identifier; also the index of the term's posting list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// Bidirectional term ↔ id mapping.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Dictionary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.to_owned());
+        self.by_term.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing term.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The string for a term id.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("ppopp");
+        let b = d.intern("austria");
+        let a2 = d.intern("ppopp");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_reverse() {
+        let mut d = Dictionary::new();
+        let id = d.intern("2018");
+        assert_eq!(d.lookup("2018"), Some(id));
+        assert_eq!(d.lookup("2019"), None);
+        assert_eq!(d.term(id), "2018");
+    }
+}

@@ -1,0 +1,24 @@
+//! # griffin-index — the inverted-index substrate
+//!
+//! Implements the data structures of paper §2.1: a dictionary mapping terms
+//! to term IDs, compressed blocked posting lists with skip pointers (built
+//! on [`griffin_codec`]), per-document metadata for BM25 ranking, and an
+//! index builder that turns tokenized documents into a searchable
+//! [`InvertedIndex`].
+//!
+//! Each posting carries a document ID and a term frequency ("each entry in
+//! the inverted list contains a document frequency", §2.1.3); docIDs are
+//! compressed with the configured codec, term frequencies with VByte,
+//! block-aligned with the docID blocks so decoding a block yields both.
+
+pub mod builder;
+pub mod dictionary;
+pub mod document;
+pub mod posting;
+pub mod storage;
+
+pub use builder::IndexBuilder;
+pub use dictionary::{Dictionary, TermId};
+pub use document::{CorpusMeta, DocId};
+pub use posting::{CompressedPostingList, Posting};
+pub use storage::InvertedIndex;

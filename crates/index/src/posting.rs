@@ -1,0 +1,167 @@
+//! Posting lists: docIDs compressed with the configured codec, term
+//! frequencies VByte-compressed block-aligned with the docID blocks.
+
+use griffin_codec::{varint, BlockedList, Codec};
+
+use crate::document::DocId;
+
+/// One posting: a document containing the term, with its in-document term
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    pub docid: DocId,
+    pub tf: u32,
+}
+
+/// A compressed posting list: the docID side is a skip-indexed
+/// [`BlockedList`]; term frequencies are a VByte stream with one byte-range
+/// per docID block so a block decode yields matching (docid, tf) pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedPostingList {
+    pub docs: BlockedList,
+    /// VByte-encoded term frequencies for all postings, block-aligned.
+    tf_bytes: Vec<u8>,
+    /// Byte offset of each block's tf run (length = num_blocks + 1).
+    tf_offsets: Vec<u32>,
+}
+
+impl CompressedPostingList {
+    /// Compresses `postings` (sorted by docid, strictly increasing).
+    pub fn compress(postings: &[Posting], codec: Codec, block_len: usize) -> Self {
+        let docids: Vec<u32> = postings.iter().map(|p| p.docid).collect();
+        let docs = BlockedList::compress(&docids, codec, block_len);
+        let mut tf_bytes = Vec::new();
+        let mut tf_offsets = Vec::with_capacity(docs.num_blocks() + 1);
+        tf_offsets.push(0);
+        for chunk in postings.chunks(block_len) {
+            for p in chunk {
+                varint::encode_u32(p.tf, &mut tf_bytes);
+            }
+            tf_offsets.push(tf_bytes.len() as u32);
+        }
+        if postings.is_empty() {
+            // keep offsets consistent: a single 0..0 range set above
+        }
+        CompressedPostingList {
+            docs,
+            tf_bytes,
+            tf_offsets,
+        }
+    }
+
+    /// Builds from bare docIDs with tf = 1 for every posting (synthetic
+    /// workloads generate docID lists directly).
+    pub fn from_docids(docids: &[u32], codec: Codec, block_len: usize) -> Self {
+        let postings: Vec<Posting> = docids.iter().map(|&d| Posting { docid: d, tf: 1 }).collect();
+        Self::compress(&postings, codec, block_len)
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.docs.num_blocks()
+    }
+
+    /// Decodes block `i`, appending its docIDs and tfs.
+    pub fn decode_block_into(&self, i: usize, docids: &mut Vec<u32>, tfs: &mut Vec<u32>) {
+        self.docs.decode_block_into(i, docids);
+        let range = self.tf_offsets[i] as usize..self.tf_offsets[i + 1] as usize;
+        let count = self.docs.skips[i].count as usize;
+        varint::decode_n(&self.tf_bytes[range], 0, count, tfs);
+    }
+
+    /// Decodes only the term frequencies of block `i` (used when the docID
+    /// side was decoded through an instrumented path).
+    pub fn decode_block_into_tfs_only(&self, i: usize, tfs: &mut Vec<u32>) {
+        let range = self.tf_offsets[i] as usize..self.tf_offsets[i + 1] as usize;
+        let count = self.docs.skips[i].count as usize;
+        griffin_codec::varint::decode_n(&self.tf_bytes[range], 0, count, tfs);
+    }
+
+    /// Decodes the entire list into (docids, tfs).
+    pub fn decompress(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut docids = Vec::with_capacity(self.len());
+        let mut tfs = Vec::with_capacity(self.len());
+        for i in 0..self.num_blocks() {
+            self.decode_block_into(i, &mut docids, &mut tfs);
+        }
+        (docids, tfs)
+    }
+
+    /// Raw access to the tf side file (VByte bytes + per-block offsets),
+    /// used to ship term frequencies to the GPU.
+    pub fn tf_raw(&self) -> (&[u8], &[u32]) {
+        (&self.tf_bytes, &self.tf_offsets)
+    }
+
+    /// Total compressed size in bits (docs + tf side file).
+    pub fn size_bits(&self) -> usize {
+        self.docs.size_bits() + self.tf_bytes.len() * 8 + self.tf_offsets.len() * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn postings(n: u32) -> Vec<Posting> {
+        (0..n)
+            .map(|i| Posting {
+                docid: i * 7 + 1,
+                tf: 1 + (i % 9),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_docids_and_tfs() {
+        let ps = postings(500);
+        for codec in [Codec::PforDelta, Codec::EliasFano, Codec::Varint] {
+            let list = CompressedPostingList::compress(&ps, codec, 128);
+            let (docids, tfs) = list.decompress();
+            assert_eq!(docids.len(), 500);
+            for (i, p) in ps.iter().enumerate() {
+                assert_eq!(docids[i], p.docid, "{codec:?} docid {i}");
+                assert_eq!(tfs[i], p.tf, "{codec:?} tf {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_decode_is_aligned() {
+        let ps = postings(300);
+        let list = CompressedPostingList::compress(&ps, Codec::EliasFano, 128);
+        let mut docids = Vec::new();
+        let mut tfs = Vec::new();
+        list.decode_block_into(2, &mut docids, &mut tfs);
+        assert_eq!(docids.len(), 44);
+        assert_eq!(tfs.len(), 44);
+        assert_eq!(docids[0], ps[256].docid);
+        assert_eq!(tfs[0], ps[256].tf);
+    }
+
+    #[test]
+    fn from_docids_sets_unit_tf() {
+        let ids: Vec<u32> = (1..=100).map(|i| i * 3).collect();
+        let list = CompressedPostingList::from_docids(&ids, Codec::PforDelta, 128);
+        let (docids, tfs) = list.decompress();
+        assert_eq!(docids, ids);
+        assert!(tfs.iter().all(|&t| t == 1));
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = CompressedPostingList::compress(&[], Codec::EliasFano, 128);
+        assert!(list.is_empty());
+        assert_eq!(list.num_blocks(), 0);
+        let (d, t) = list.decompress();
+        assert!(d.is_empty() && t.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! The in-memory inverted index ("we assume the whole dataset has been
+//! loaded in the host main memory", paper §4.1).
+
+use griffin_codec::Codec;
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::document::CorpusMeta;
+use crate::posting::CompressedPostingList;
+
+/// A searchable, compressed, in-memory inverted index.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    dictionary: Dictionary,
+    lists: Vec<CompressedPostingList>,
+    meta: CorpusMeta,
+    codec: Codec,
+    block_len: usize,
+}
+
+impl InvertedIndex {
+    pub fn new(
+        dictionary: Dictionary,
+        lists: Vec<CompressedPostingList>,
+        meta: CorpusMeta,
+        codec: Codec,
+        block_len: usize,
+    ) -> Self {
+        InvertedIndex {
+            dictionary,
+            lists,
+            meta,
+            codec,
+            block_len,
+        }
+    }
+
+    /// Builds an index directly from generated docID lists (synthetic
+    /// workloads): list `i` becomes the posting list of a term named
+    /// `t{i}`. Term frequencies default to 1.
+    pub fn from_docid_lists(
+        docid_lists: &[Vec<u32>],
+        num_docs: u32,
+        codec: Codec,
+        block_len: usize,
+    ) -> Self {
+        let mut dictionary = Dictionary::new();
+        let lists: Vec<CompressedPostingList> = docid_lists
+            .iter()
+            .enumerate()
+            .map(|(i, ids)| {
+                dictionary.intern(&format!("t{i}"));
+                CompressedPostingList::from_docids(ids, codec, block_len)
+            })
+            .collect();
+        InvertedIndex {
+            dictionary,
+            lists,
+            meta: CorpusMeta::uniform(num_docs, 300),
+            codec,
+            block_len,
+        }
+    }
+
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.dictionary.lookup(term)
+    }
+
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// The posting list of a term.
+    pub fn list(&self, term: TermId) -> &CompressedPostingList {
+        &self.lists[term.0 as usize]
+    }
+
+    /// Document frequency (list length) of a term.
+    pub fn doc_freq(&self, term: TermId) -> usize {
+        self.list(term).len()
+    }
+
+    pub fn num_terms(&self) -> usize {
+        self.lists.len()
+    }
+
+    pub fn num_docs(&self) -> u32 {
+        self.meta.num_docs
+    }
+
+    pub fn meta(&self) -> &CorpusMeta {
+        &self.meta
+    }
+
+    pub fn codec(&self) -> Codec {
+        self.codec
+    }
+
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Total compressed size of all posting lists, in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.lists.iter().map(|l| l.size_bits() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_docid_lists_creates_terms() {
+        let lists = vec![vec![1u32, 5, 9], vec![2u32, 5, 8, 9, 20]];
+        let idx = InvertedIndex::from_docid_lists(&lists, 100, Codec::EliasFano, 128);
+        assert_eq!(idx.num_terms(), 2);
+        let t0 = idx.lookup("t0").unwrap();
+        let t1 = idx.lookup("t1").unwrap();
+        assert_eq!(idx.doc_freq(t0), 3);
+        assert_eq!(idx.doc_freq(t1), 5);
+        let (ids, _) = idx.list(t1).decompress();
+        assert_eq!(ids, lists[1]);
+        assert_eq!(idx.num_docs(), 100);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let lists = vec![(1u32..=1000).map(|i| i * 2).collect::<Vec<_>>()];
+        let idx = InvertedIndex::from_docid_lists(&lists, 2001, Codec::EliasFano, 128);
+        assert!(idx.size_bits() > 0);
+        assert!(idx.size_bits() < 1000 * 32);
+    }
+}

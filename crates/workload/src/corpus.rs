@@ -1,0 +1,146 @@
+//! Synthetic corpora.
+//!
+//! Two levels: a small *text* corpus generator (Zipfian vocabulary,
+//! lognormal-ish document lengths) that exercises the full tokenize →
+//! build → compress path for the examples, and a *list-level* index
+//! generator that synthesizes posting lists directly at the Fig. 10 scale
+//! without materializing documents.
+
+use griffin_codec::Codec;
+use griffin_index::{IndexBuilder, InvertedIndex};
+use rand::Rng;
+
+use crate::lists::sample_list_len;
+use crate::zipf::Zipf;
+
+/// Parameters for a small document corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    pub num_docs: usize,
+    pub vocab_size: usize,
+    pub avg_doc_len: usize,
+    pub codec: Codec,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            num_docs: 2_000,
+            vocab_size: 5_000,
+            avg_doc_len: 120,
+            codec: Codec::EliasFano,
+        }
+    }
+}
+
+/// Builds a text-derived index: documents of Zipf-drawn words
+/// ("w0", "w1", ...), doc lengths varying ±50% around the average.
+pub fn build_text_index<R: Rng + ?Sized>(spec: &CorpusSpec, rng: &mut R) -> InvertedIndex {
+    let zipf = Zipf::new(spec.vocab_size as u64, 1.0);
+    let mut builder = IndexBuilder::new(spec.codec);
+    let mut tokens: Vec<String> = Vec::new();
+    for _ in 0..spec.num_docs {
+        let len = rng.gen_range(spec.avg_doc_len / 2..=spec.avg_doc_len * 3 / 2);
+        tokens.clear();
+        for _ in 0..len {
+            tokens.push(format!("w{}", zipf.sample(rng) - 1));
+        }
+        let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+        builder.add_document(&refs);
+    }
+    builder.build()
+}
+
+/// Parameters for a list-level synthetic index (the experiment scale).
+#[derive(Debug, Clone)]
+pub struct ListIndexSpec {
+    /// Terms (posting lists) to generate.
+    pub num_terms: usize,
+    /// Document universe size.
+    pub num_docs: u32,
+    /// Longest generated list (paper max: 26 M; experiments scale down).
+    pub max_list_len: usize,
+    pub codec: Codec,
+    pub block_len: usize,
+}
+
+impl Default for ListIndexSpec {
+    fn default() -> Self {
+        ListIndexSpec {
+            num_terms: 64,
+            num_docs: 4_000_000,
+            max_list_len: 2_000_000,
+            codec: Codec::EliasFano,
+            block_len: 128,
+        }
+    }
+}
+
+/// Generates posting lists with Fig. 10-shaped lengths, *correlated*
+/// cross-list structure (shared dense docID regions, as crawl-ordered web
+/// corpora have), returning both the compressed index and the raw lists
+/// (benches reuse the raw docids as ground truth).
+pub fn build_list_index<R: Rng + ?Sized>(
+    spec: &ListIndexSpec,
+    rng: &mut R,
+) -> (InvertedIndex, Vec<Vec<u32>>) {
+    let lens: Vec<usize> = (0..spec.num_terms)
+        .map(|_| {
+            sample_list_len(rng, spec.max_list_len)
+                .min(spec.num_docs as usize / 2)
+                .max(100)
+        })
+        .collect();
+    let lists = crate::lists::gen_correlated_lists(rng, &lens, spec.num_docs);
+    let index = InvertedIndex::from_docid_lists(&lists, spec.num_docs, spec.codec, spec.block_len);
+    (index, lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn text_index_is_searchable() {
+        let spec = CorpusSpec {
+            num_docs: 200,
+            vocab_size: 300,
+            avg_doc_len: 50,
+            codec: Codec::EliasFano,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = build_text_index(&spec, &mut rng);
+        assert_eq!(idx.num_docs(), 200);
+        // The most common word must exist and have a long list.
+        let w0 = idx.lookup("w0").expect("rank-1 word present");
+        assert!(idx.doc_freq(w0) > 50, "df(w0) = {}", idx.doc_freq(w0));
+        // Fetch-and-decode works.
+        let (ids, tfs) = idx.list(w0).decompress();
+        assert_eq!(ids.len(), tfs.len());
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn list_index_has_fig10_spread() {
+        let spec = ListIndexSpec {
+            num_terms: 40,
+            num_docs: 2_000_000,
+            max_list_len: 500_000,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let (idx, lists) = build_list_index(&spec, &mut rng);
+        assert_eq!(idx.num_terms(), 40);
+        let min = lists.iter().map(Vec::len).min().unwrap();
+        let max = lists.iter().map(Vec::len).max().unwrap();
+        assert!(max > min * 10, "need spread: {min}..{max}");
+        // Index agrees with raw lists.
+        for (i, raw) in lists.iter().enumerate().take(3) {
+            let t = idx.lookup(&format!("t{i}")).unwrap();
+            let (ids, _) = idx.list(t).decompress();
+            assert_eq!(&ids, raw);
+        }
+    }
+}

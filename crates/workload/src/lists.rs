@@ -1,0 +1,249 @@
+//! Synthetic posting-list generation.
+//!
+//! Two knobs matter for the paper's experiments: the **length
+//! distribution** across lists (Fig. 10: bulk between 1 K and 1 M, tail to
+//! 26 M) and the **gap distribution** within a list (heavy-tailed, the
+//! regime where Elias–Fano out-compresses PforDelta — Table 1).
+
+use rand::Rng;
+
+/// Shape of the d-gap distribution within a generated list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GapProfile {
+    /// Every gap identical (degenerate; for calibration tests).
+    Uniform,
+    /// Heavy-tailed gaps: lognormal with σ = 2 — the p90 gap sits ~1.8×
+    /// above the mean and the p99 ~14× above, forcing PforDelta into wide
+    /// slots *and* full-width exceptions, while Elias–Fano pays only
+    /// ~2 + log2(mean) bits. The default; models real crawl-ordered
+    /// posting lists (and reproduces Table 1's EF > PforDelta ordering).
+    HeavyTailed,
+    /// Clustered bursts: runs of consecutive docIDs separated by long
+    /// jumps (URL-ordered corpora).
+    Clustered,
+}
+
+/// Generates a sorted, strictly increasing docID list of exactly `len`
+/// elements whose gaps average `num_docs / len` under the given profile.
+/// DocIDs stay below `num_docs` by rescaling when the walk overshoots.
+pub fn gen_docid_list<R: Rng + ?Sized>(
+    rng: &mut R,
+    len: usize,
+    num_docs: u32,
+    profile: GapProfile,
+) -> Vec<u32> {
+    assert!(len > 0, "empty lists are not meaningful workloads");
+    assert!(
+        (len as u64) < u64::from(num_docs),
+        "cannot fit {len} unique docIDs below {num_docs}"
+    );
+    let mean_gap = (u64::from(num_docs) / len as u64).max(1) as f64;
+    let mut gaps = Vec::with_capacity(len);
+    match profile {
+        GapProfile::Uniform => {
+            for _ in 0..len {
+                gaps.push(mean_gap);
+            }
+        }
+        GapProfile::HeavyTailed => {
+            // Lognormal(μ, σ=2) with μ chosen so the mean is `mean_gap`:
+            // E[g] = e^(μ + σ²/2) ⇒ μ = ln(mean_gap) − 2.
+            let sigma = 2.0f64;
+            let mu = mean_gap.max(1.0).ln() - sigma * sigma / 2.0;
+            for _ in 0..len {
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                gaps.push(1.0 + (mu + sigma * z).exp());
+            }
+        }
+        GapProfile::Clustered => {
+            // Bursts of ~64 consecutive ids, then a jump sized to keep the
+            // overall density on target.
+            let burst = 64usize;
+            let jump = mean_gap * burst as f64;
+            let mut in_burst = 0usize;
+            for _ in 0..len {
+                if in_burst == burst {
+                    in_burst = 0;
+                    gaps.push(1.0 + rng.gen::<f64>() * 2.0 * jump);
+                } else {
+                    in_burst += 1;
+                    gaps.push(1.0);
+                }
+            }
+        }
+    }
+    // Rescale so the list spans ~the whole docID space without overflow.
+    let total: f64 = gaps.iter().sum();
+    let scale = (f64::from(num_docs) * 0.95) / total;
+    let mut ids = Vec::with_capacity(len);
+    let mut acc = 0f64;
+    let mut prev: i64 = -1;
+    for g in gaps {
+        acc += (g * scale).max(1.0);
+        let mut id = acc as i64;
+        if id <= prev {
+            id = prev + 1;
+        }
+        prev = id;
+        ids.push(id as u32);
+    }
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    ids
+}
+
+/// Generates a *correlated* family of posting lists: the docID space is
+/// divided into segments with a shared Zipf popularity, each list fills
+/// dense runs inside the segments it samples, and runs within a segment
+/// anchor near a shared per-segment hot spot.
+///
+/// This models crawl-ordered web corpora, where related documents are
+/// adjacent and co-occurring terms share dense docID regions. The
+/// correlation matters: it makes *intersection survivors bursty*, which is
+/// what lets the CPU's skip search (one-block decode cache) collapse the
+/// cost of high-ratio operations — the effect behind the paper's Fig. 8
+/// crossover and Griffin's hybrid wins.
+pub fn gen_correlated_lists<R: Rng + ?Sized>(
+    rng: &mut R,
+    lens: &[usize],
+    num_docs: u32,
+) -> Vec<Vec<u32>> {
+    let segment: u32 = 8_192;
+    let num_segments = (num_docs / segment).max(1);
+    let zipf = crate::zipf::Zipf::new(u64::from(num_segments), 0.9);
+    // Popularity rank -> segment id, shuffled so hot segments spread over
+    // the docID space.
+    let mut rank_to_segment: Vec<u32> = (0..num_segments).collect();
+    for i in (1..rank_to_segment.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        rank_to_segment.swap(i, j);
+    }
+    // Shared per-segment hot spot (where each segment's popular documents
+    // live).
+    let hot_offset: Vec<u32> = (0..num_segments)
+        .map(|_| rng.gen_range(0..segment / 2))
+        .collect();
+
+    lens.iter()
+        .map(|&len| {
+            let mut ids: Vec<u32> = Vec::with_capacity(len + len / 4);
+            while ids.len() < len {
+                let rank = zipf.sample(rng) as usize - 1;
+                let seg = rank_to_segment[rank];
+                let base = seg * segment + hot_offset[seg as usize];
+                // A dense run near the segment's hot spot, with per-list
+                // jitter and stride. Jitter spans a few compression blocks:
+                // lists share *regions* without sharing exact runs, so
+                // intersections are bursty but far from contiguous.
+                let run = rng.gen_range(32..=128).min(len - ids.len() + 32);
+                let jitter = rng.gen_range(0..1_024);
+                let stride = rng.gen_range(1..=8);
+                let mut d = base.saturating_add(jitter);
+                for _ in 0..run {
+                    if d >= num_docs {
+                        break;
+                    }
+                    ids.push(d);
+                    d += stride;
+                }
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        })
+        .collect()
+}
+
+/// Samples a list length matching the paper's Fig. 10 CDF: log10(size)
+/// approximately normal around 10^4.6, clamped to [100, max_len].
+pub fn sample_list_len<R: Rng + ?Sized>(rng: &mut R, max_len: usize) -> usize {
+    // Box–Muller for a standard normal.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let log10 = 4.6 + 1.0 * z;
+    (10f64.powf(log10) as usize).clamp(100, max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lists_are_strictly_increasing_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for profile in [GapProfile::Uniform, GapProfile::HeavyTailed, GapProfile::Clustered] {
+            let ids = gen_docid_list(&mut rng, 10_000, 1_000_000, profile);
+            assert_eq!(ids.len(), 10_000);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "{profile:?}");
+            assert!(*ids.last().unwrap() < 1_100_000, "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn density_tracks_request() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ids = gen_docid_list(&mut rng, 100_000, 10_000_000, GapProfile::HeavyTailed);
+        let span = *ids.last().unwrap() as f64;
+        // The list should span most of the docID space.
+        assert!(span > 5_000_000.0, "span = {span}");
+    }
+
+    #[test]
+    fn heavy_tailed_gaps_have_high_p90_over_mean_width() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ids = gen_docid_list(&mut rng, 50_000, 50_000_000, GapProfile::HeavyTailed);
+        let mut gaps: Vec<u32> = ids.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        let mean = gaps.iter().map(|&g| g as f64).sum::<f64>() / gaps.len() as f64;
+        let p90 = gaps[gaps.len() * 9 / 10] as f64;
+        // The tail (p90 and above) must sit well above the mean — the
+        // regime where PforDelta pays for exceptions.
+        assert!(p90 > mean, "p90 {p90} vs mean {mean}");
+        let p99 = gaps[gaps.len() * 99 / 100] as f64;
+        assert!(p99 > 3.0 * mean, "p99 {p99} vs mean {mean}");
+    }
+
+    #[test]
+    fn clustered_lists_have_many_unit_gaps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ids = gen_docid_list(&mut rng, 10_000, 100_000_000, GapProfile::Clustered);
+        let unit = ids.windows(2).filter(|w| w[1] - w[0] == 1).count();
+        assert!(unit > 5_000, "unit gaps: {unit}");
+    }
+
+    #[test]
+    fn list_len_distribution_matches_fig10_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lens: Vec<usize> = (0..5_000).map(|_| sample_list_len(&mut rng, 26_000_000)).collect();
+        let frac = |lo: usize, hi: usize| {
+            lens.iter().filter(|&&l| l >= lo && l < hi).count() as f64 / lens.len() as f64
+        };
+        // Bulk between 1K and 1M (paper Fig. 10).
+        assert!(frac(1_000, 1_000_000) > 0.55, "{}", frac(1_000, 1_000_000));
+        // A real tail above 1M but not dominating.
+        let tail = frac(1_000_000, usize::MAX);
+        assert!(tail > 0.02 && tail < 0.35, "tail = {tail}");
+        assert!(lens.iter().all(|&l| l <= 26_000_000));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = gen_docid_list(
+            &mut StdRng::seed_from_u64(9),
+            1000,
+            100_000,
+            GapProfile::HeavyTailed,
+        );
+        let b = gen_docid_list(
+            &mut StdRng::seed_from_u64(9),
+            1000,
+            100_000,
+            GapProfile::HeavyTailed,
+        );
+        assert_eq!(a, b);
+    }
+}

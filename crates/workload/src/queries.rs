@@ -1,0 +1,183 @@
+//! Synthetic query logs matching the paper's Fig. 11 term-count histogram
+//! (TREC 2005/2006 efficiency track substitute).
+
+use griffin_index::{InvertedIndex, TermId};
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+/// Shape of a generated query log.
+#[derive(Debug, Clone)]
+pub struct QueryLogSpec {
+    /// Number of queries (the paper runs 10 000).
+    pub num_queries: usize,
+    /// Probability of each term count, starting at 2 terms; the final
+    /// entry absorbs ">6". Defaults to Fig. 11's histogram.
+    pub term_count_probs: Vec<(usize, f64)>,
+    /// Zipf exponent biasing term *selection* toward frequent terms (real
+    /// query terms skew popular, which is what makes list ratios drift
+    /// upward as queries execute).
+    pub term_bias: f64,
+    /// Probability that a term is drawn from the popularity-biased Zipf;
+    /// the rest are uniform over the vocabulary. The mixture is what gives
+    /// real logs their enormous cost variance: most queries contain at
+    /// least one rare (cheap) term, while the all-popular minority are the
+    /// "whale" queries behind the paper's tail-latency study.
+    pub popular_mix: f64,
+}
+
+impl Default for QueryLogSpec {
+    fn default() -> Self {
+        QueryLogSpec {
+            num_queries: 10_000,
+            // Paper Fig. 11: ~27% 2-term, 33% 3-term, 24% 4-term, then a
+            // tail at 5, 6, and >6 terms.
+            term_count_probs: vec![
+                (2, 0.27),
+                (3, 0.33),
+                (4, 0.24),
+                (5, 0.09),
+                (6, 0.04),
+                (7, 0.03),
+            ],
+            term_bias: 1.2,
+            popular_mix: 0.65,
+        }
+    }
+}
+
+impl QueryLogSpec {
+    /// Samples one query's term count.
+    pub fn sample_term_count<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.term_count_probs.iter().map(|&(_, p)| p).sum();
+        let mut u = rng.gen::<f64>() * total;
+        for &(count, p) in &self.term_count_probs {
+            if u < p {
+                return count;
+            }
+            u -= p;
+        }
+        self.term_count_probs.last().expect("non-empty").0
+    }
+
+    /// Generates the full query log over an index: term IDs are drawn
+    /// Zipf-biased by document frequency (popular terms appear in more
+    /// queries), distinct within a query.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        index: &InvertedIndex,
+        rng: &mut R,
+    ) -> Vec<Vec<TermId>> {
+        let n_terms = index.num_terms();
+        assert!(n_terms >= 8, "index too small for realistic queries");
+        // Rank terms by descending document frequency; Zipf over ranks.
+        let mut by_df: Vec<u32> = (0..n_terms as u32).collect();
+        by_df.sort_by_key(|&t| std::cmp::Reverse(index.doc_freq(TermId(t))));
+        let zipf = Zipf::new(n_terms as u64, self.term_bias);
+
+        let mut queries = Vec::with_capacity(self.num_queries);
+        for _ in 0..self.num_queries {
+            let want = self.sample_term_count(rng).min(n_terms);
+            let mut terms: Vec<TermId> = Vec::with_capacity(want);
+            while terms.len() < want {
+                let rank = if rng.gen::<f64>() < self.popular_mix {
+                    zipf.sample(rng) as usize - 1
+                } else {
+                    rng.gen_range(0..n_terms)
+                };
+                let t = TermId(by_df[rank]);
+                if !terms.contains(&t) {
+                    terms.push(t);
+                }
+            }
+            queries.push(terms);
+        }
+        queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_codec::Codec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_index(n_terms: usize) -> InvertedIndex {
+        let lists: Vec<Vec<u32>> = (0..n_terms)
+            .map(|t| (0..(10 + t as u32 * 7)).map(|i| i * 3 + 1).collect())
+            .collect();
+        InvertedIndex::from_docid_lists(&lists, 10_000, Codec::EliasFano, 128)
+    }
+
+    #[test]
+    fn term_count_histogram_matches_fig11() {
+        let spec = QueryLogSpec::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hist = [0usize; 10];
+        for _ in 0..20_000 {
+            hist[spec.sample_term_count(&mut rng)] += 1;
+        }
+        let frac = |c: usize| hist[c] as f64 / 20_000.0;
+        assert!((frac(2) - 0.27).abs() < 0.02, "2-term: {}", frac(2));
+        assert!((frac(3) - 0.33).abs() < 0.02, "3-term: {}", frac(3));
+        assert!((frac(4) - 0.24).abs() < 0.02, "4-term: {}", frac(4));
+    }
+
+    #[test]
+    fn queries_have_distinct_valid_terms() {
+        let idx = tiny_index(50);
+        let spec = QueryLogSpec {
+            num_queries: 500,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let queries = spec.generate(&idx, &mut rng);
+        assert_eq!(queries.len(), 500);
+        for q in &queries {
+            assert!(q.len() >= 2);
+            let mut sorted = q.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), q.len(), "duplicate terms in query");
+            for t in q {
+                assert!((t.0 as usize) < idx.num_terms());
+            }
+        }
+    }
+
+    #[test]
+    fn popular_terms_appear_more_often() {
+        let idx = tiny_index(100);
+        let spec = QueryLogSpec {
+            num_queries: 3_000,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let queries = spec.generate(&idx, &mut rng);
+        let mut counts = vec![0usize; 100];
+        for q in &queries {
+            for t in q {
+                counts[t.0 as usize] += 1;
+            }
+        }
+        // Term 99 has the largest df (lists grow with index); it should be
+        // among the most-queried terms.
+        let max_count = *counts.iter().max().unwrap();
+        assert!(counts[99] * 3 > max_count, "popular term underused");
+        // And the least frequent term should be rarer than the most.
+        assert!(counts[0] < max_count);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let idx = tiny_index(30);
+        let spec = QueryLogSpec {
+            num_queries: 50,
+            ..Default::default()
+        };
+        let a = spec.generate(&idx, &mut StdRng::seed_from_u64(7));
+        let b = spec.generate(&idx, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

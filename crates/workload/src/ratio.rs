@@ -1,0 +1,189 @@
+//! Ratio-controlled list pairs for the crossover experiments.
+//!
+//! Paper §3.2 groups intersections into seven length-ratio bands —
+//! [1,16), [16,32), [32,64), [64,128), [128,256), [256,512), [512,1024) —
+//! and measures GPU vs CPU latency per band (Fig. 8); Fig. 13 uses
+//! comparable-length pairs. This module generates pairs with an exact
+//! target ratio and a controllable overlap fraction.
+
+use rand::Rng;
+
+use crate::lists::{gen_docid_list, GapProfile};
+
+/// One of the paper's ratio bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatioGroup {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl RatioGroup {
+    /// Label as printed in Fig. 8 ("[16,32)").
+    pub fn label(&self) -> String {
+        format!("[{},{})", self.lo, self.hi)
+    }
+
+    /// Geometric midpoint, used as the representative ratio.
+    pub fn representative(&self) -> usize {
+        ((self.lo as f64) * (self.hi as f64)).sqrt() as usize
+    }
+}
+
+/// The seven bands of paper §3.2.
+pub const RATIO_GROUPS: [RatioGroup; 7] = [
+    RatioGroup { lo: 1, hi: 16 },
+    RatioGroup { lo: 16, hi: 32 },
+    RatioGroup { lo: 32, hi: 64 },
+    RatioGroup { lo: 64, hi: 128 },
+    RatioGroup { lo: 128, hi: 256 },
+    RatioGroup { lo: 256, hi: 512 },
+    RatioGroup { lo: 512, hi: 1024 },
+];
+
+/// Generates a (short, long) pair: `long_len` elements in the long list, a
+/// ratio drawn uniformly from `group`, and `overlap` fraction of the short
+/// list present in the long list (the paper's real pairs always share
+/// documents; overlap 0.2–0.5 is typical for conjunctive queries).
+///
+/// Short-list members are drawn in *bursts* of consecutive long-list
+/// positions: co-occurring terms cluster in crawl-adjacent documents, so a
+/// real intermediate result hits runs of the same posting blocks. This
+/// locality is load-bearing for the Fig. 8 crossover — it is what lets the
+/// CPU's one-block decode cache amortize at high ratios.
+pub fn gen_ratio_pair<R: Rng + ?Sized>(
+    rng: &mut R,
+    group: RatioGroup,
+    long_len: usize,
+    overlap: f64,
+    num_docs: u32,
+) -> (Vec<u32>, Vec<u32>) {
+    gen_ratio_pair_opts(rng, group, long_len, overlap, num_docs, PairShape::intermediate())
+}
+
+/// Locality profile of the short list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairShape {
+    /// Members are drawn in runs of this many consecutive long-list
+    /// positions (1 = independent sampling).
+    pub member_burst: usize,
+    /// Fraction of non-members placed adjacent to member runs instead of
+    /// uniformly over the docID space.
+    pub clustered_nonmembers: f64,
+}
+
+impl PairShape {
+    /// The short list plays a query's *intermediate result*: it inherits
+    /// the burstiness of the posting lists it came from (Fig. 8's regime —
+    /// this locality is what lets the CPU's one-block decode cache
+    /// amortize at high ratios).
+    pub fn intermediate() -> PairShape {
+        PairShape {
+            member_burst: 16,
+            clustered_nonmembers: 0.85,
+        }
+    }
+
+    /// The short list is an independent term's posting list (Fig. 13's
+    /// regime): membership scatters.
+    pub fn independent() -> PairShape {
+        PairShape {
+            member_burst: 1,
+            clustered_nonmembers: 0.0,
+        }
+    }
+}
+
+/// [`gen_ratio_pair`] with an explicit short-list locality profile.
+pub fn gen_ratio_pair_opts<R: Rng + ?Sized>(
+    rng: &mut R,
+    group: RatioGroup,
+    long_len: usize,
+    overlap: f64,
+    num_docs: u32,
+    shape: PairShape,
+) -> (Vec<u32>, Vec<u32>) {
+    assert!((0.0..=1.0).contains(&overlap));
+    let ratio = rng.gen_range(group.lo..group.hi).max(1);
+    let short_len = (long_len / ratio).max(1);
+    let long = gen_docid_list(rng, long_len, num_docs, GapProfile::HeavyTailed);
+
+    // Members: runs of consecutive long-list elements.
+    let member_count = (short_len as f64 * overlap) as usize;
+    let burst = shape.member_burst.clamp(1, member_count.max(1));
+    let mut short: Vec<u32> = Vec::with_capacity(short_len);
+    while short.len() < member_count {
+        let start = rng.gen_range(0..long.len());
+        let take = burst.min(long.len() - start).min(member_count - short.len());
+        short.extend_from_slice(&long[start..start + take]);
+    }
+    // Non-members: a `clustered_nonmembers` fraction adjacent to member
+    // runs, the rest uniform. Never present in the long list.
+    let members = short.len().max(1);
+    while short.len() < short_len {
+        let candidate = if rng.gen::<f64>() < shape.clustered_nonmembers && !short.is_empty() {
+            let anchor = short[rng.gen_range(0..members)];
+            anchor.saturating_add(rng.gen_range(1..5_000))
+        } else {
+            rng.gen_range(0..num_docs)
+        };
+        if long.binary_search(&candidate).is_err() {
+            short.push(candidate);
+        }
+    }
+    short.sort_unstable();
+    short.dedup();
+    (short, long)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn groups_match_paper() {
+        assert_eq!(RATIO_GROUPS.len(), 7);
+        assert_eq!(RATIO_GROUPS[0].label(), "[1,16)");
+        assert_eq!(RATIO_GROUPS[6].label(), "[512,1024)");
+        // Bands are contiguous.
+        for w in RATIO_GROUPS.windows(2) {
+            assert_eq!(w[0].hi, w[1].lo);
+        }
+    }
+
+    #[test]
+    fn pair_respects_ratio_band() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for group in RATIO_GROUPS {
+            let (short, long) = gen_ratio_pair(&mut rng, group, 100_000, 0.3, 50_000_000);
+            let ratio = long.len() as f64 / short.len() as f64;
+            assert!(
+                ratio >= group.lo as f64 * 0.8 && ratio < group.hi as f64 * 1.3,
+                "{}: ratio {ratio}",
+                group.label()
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_controls_intersection_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let group = RatioGroup { lo: 8, hi: 9 };
+        let (short, long) = gen_ratio_pair(&mut rng, group, 80_000, 0.5, 10_000_000);
+        let hits = short
+            .iter()
+            .filter(|v| long.binary_search(v).is_ok())
+            .count();
+        let frac = hits as f64 / short.len() as f64;
+        assert!((0.35..0.65).contains(&frac), "overlap fraction {frac}");
+    }
+
+    #[test]
+    fn lists_are_sorted_unique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (short, long) = gen_ratio_pair(&mut rng, RATIO_GROUPS[2], 50_000, 0.2, 20_000_000);
+        assert!(short.windows(2).all(|w| w[0] < w[1]));
+        assert!(long.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,128 @@
+//! Latency statistics: percentiles and CDFs for the tail-latency study
+//! (paper Fig. 15) and the distribution characterizations (Fig. 10).
+
+use griffin_gpu_sim::VirtualNanos;
+
+/// Percentile (0–100, inclusive) of a sample set by nearest-rank; the
+/// input need not be sorted.
+pub fn percentile(samples: &[VirtualNanos], p: f64) -> VirtualNanos {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&p));
+    let mut sorted: Vec<VirtualNanos> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Accumulates latencies and reports the paper's percentile set.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyStats {
+    samples: Vec<VirtualNanos>,
+}
+
+impl LatencyStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, t: VirtualNanos) {
+        self.samples.push(t);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> VirtualNanos {
+        if self.samples.is_empty() {
+            return VirtualNanos::ZERO;
+        }
+        let total: u64 = self.samples.iter().map(|t| t.as_nanos()).sum();
+        VirtualNanos::from_nanos(total / self.samples.len() as u64)
+    }
+
+    pub fn percentile(&self, p: f64) -> VirtualNanos {
+        percentile(&self.samples, p)
+    }
+
+    /// The percentiles of paper Fig. 15: p80, p90, p95, p99, p99.9.
+    pub fn tail_set(&self) -> [(f64, VirtualNanos); 5] {
+        [80.0, 90.0, 95.0, 99.0, 99.9].map(|p| (p, self.percentile(p)))
+    }
+
+    /// Empirical CDF over the given thresholds: fraction of samples <= t.
+    pub fn cdf(&self, thresholds: &[VirtualNanos]) -> Vec<f64> {
+        let mut sorted: Vec<VirtualNanos> = self.samples.clone();
+        sorted.sort_unstable();
+        thresholds
+            .iter()
+            .map(|&t| sorted.partition_point(|&s| s <= t) as f64 / sorted.len().max(1) as f64)
+            .collect()
+    }
+}
+
+/// CDF over plain counts (used for the Fig. 10 list-size distribution).
+pub fn size_cdf(sizes: &[usize], thresholds: &[usize]) -> Vec<f64> {
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    thresholds
+        .iter()
+        .map(|&t| sorted.partition_point(|&s| s <= t) as f64 / sorted.len().max(1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> VirtualNanos {
+        VirtualNanos::from_nanos(v)
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples: Vec<VirtualNanos> = (1..=100).map(ns).collect();
+        assert_eq!(percentile(&samples, 50.0), ns(50));
+        assert_eq!(percentile(&samples, 95.0), ns(95));
+        assert_eq!(percentile(&samples, 100.0), ns(100));
+        assert_eq!(percentile(&samples, 99.9), ns(100));
+        assert_eq!(percentile(&samples, 0.0), ns(1));
+    }
+
+    #[test]
+    fn tail_set_is_monotone() {
+        let mut stats = LatencyStats::new();
+        for i in 0..10_000u64 {
+            // Heavy tail: mostly fast, a few very slow.
+            let v = if i % 100 == 0 { 1_000_000 + i } else { 1_000 + i % 500 };
+            stats.record(ns(v));
+        }
+        let tail = stats.tail_set();
+        for w in tail.windows(2) {
+            assert!(w[0].1 <= w[1].1, "percentiles must be monotone: {tail:?}");
+        }
+        assert!(tail[4].1 > tail[0].1 * 100, "tail must stretch");
+    }
+
+    #[test]
+    fn mean_and_cdf() {
+        let mut stats = LatencyStats::new();
+        for v in [10u64, 20, 30, 40] {
+            stats.record(ns(v));
+        }
+        assert_eq!(stats.mean(), ns(25));
+        let cdf = stats.cdf(&[ns(10), ns(25), ns(40)]);
+        assert_eq!(cdf, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn size_cdf_shape() {
+        let sizes = vec![100, 1_000, 10_000, 100_000, 1_000_000];
+        let cdf = size_cdf(&sizes, &[999, 10_000, 2_000_000]);
+        assert_eq!(cdf, vec![0.2, 0.6, 1.0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Zipf-distributed sampling — term frequencies, document frequencies,
+//! and vocabulary draws are all Zipfian in web corpora.
+//!
+//! Two regimes: an **exact** inverse-CDF sampler (precomputed cumulative
+//! weights, binary search) for vocabularies up to [`EXACT_LIMIT`], and a
+//! **continuous inversion** approximation for larger universes, which
+//! inverts the integral of `x^-s` — O(1) memory, and accurate to within
+//! the half-integer rounding for the heavy head that matters.
+
+use rand::Rng;
+
+/// Above this `n`, the sampler switches to continuous inversion.
+pub const EXACT_LIMIT: u64 = 1 << 20;
+
+/// A Zipf(n, s) sampler over `{1, ..., n}` with exponent `s > 0`;
+/// rank 1 is the most probable.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// Exact mode: cumulative probabilities (length n).
+    cdf: Vec<f64>,
+    /// Approximate mode: integral bounds.
+    h_lo: f64,
+    h_hi: f64,
+}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one element");
+        assert!(s > 0.0 && s.is_finite(), "exponent must be positive");
+        if n <= EXACT_LIMIT {
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut acc = 0.0f64;
+            for k in 1..=n {
+                acc += (k as f64).powf(-s);
+                cdf.push(acc);
+            }
+            let total = acc;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            Zipf {
+                n,
+                s,
+                cdf,
+                h_lo: 0.0,
+                h_hi: 0.0,
+            }
+        } else {
+            let h = |x: f64| -> f64 {
+                if (s - 1.0).abs() < 1e-9 {
+                    x.ln()
+                } else {
+                    (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+                }
+            };
+            Zipf {
+                n,
+                s,
+                cdf: Vec::new(),
+                h_lo: h(0.5),
+                h_hi: h(n as f64 + 0.5),
+            }
+        }
+    }
+
+    fn h_inv(&self, y: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            y.exp()
+        } else {
+            (1.0 + y * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Draws one rank in `{1, ..., n}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if !self.cdf.is_empty() {
+            let u: f64 = rng.gen();
+            let idx = self.cdf.partition_point(|&c| c < u);
+            return (idx as u64 + 1).min(self.n);
+        }
+        let u: f64 = rng.gen();
+        let y = self.h_lo + u * (self.h_hi - self.h_lo);
+        let x = self.h_inv(y);
+        (x + 0.5).floor().clamp(1.0, self.n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, s: f64, draws: usize) -> Vec<usize> {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hist = vec![0usize; n as usize + 1];
+        for _ in 0..draws {
+            let k = z.sample(&mut rng);
+            assert!((1..=n).contains(&k));
+            hist[k as usize] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let hist = histogram(1000, 1.0, 50_000);
+        assert!(hist[1] > hist[2]);
+        assert!(hist[2] > hist[10]);
+        assert!(hist[1] > hist[100] * 10);
+    }
+
+    #[test]
+    fn exact_mode_frequency_ratio_matches_power_law() {
+        let hist = histogram(10_000, 1.0, 400_000);
+        // P(1)/P(10) == 10 for s = 1; allow sampling noise.
+        let ratio = hist[1] as f64 / hist[10].max(1) as f64;
+        assert!((7.0..14.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn approximate_mode_supports_huge_n() {
+        let z = Zipf::new(10_000_000_000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut small = 0;
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!(k >= 1 && k <= 10_000_000_000);
+            if k <= 100 {
+                small += 1;
+            }
+        }
+        // The head must carry substantial mass.
+        assert!(small > 300, "head draws: {small}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let z = Zipf::new(500, 1.1);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn steeper_exponent_concentrates_mass() {
+        let flat = histogram(1000, 0.8, 50_000);
+        let steep = histogram(1000, 2.0, 50_000);
+        assert!(steep[1] > flat[1]);
+    }
+}

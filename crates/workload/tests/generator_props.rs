@@ -1,0 +1,94 @@
+//! Property-based tests of the workload generators: structural invariants
+//! must hold for any parameters, or downstream experiments silently break.
+
+use griffin_workload::{
+    gen_correlated_lists, gen_docid_list, gen_ratio_pair_opts, GapProfile, PairShape,
+    QueryLogSpec, RatioGroup,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn docid_lists_always_valid(seed in any::<u64>(),
+                                len in 10usize..5_000,
+                                density in 3u32..1_000,
+                                profile_idx in 0usize..3) {
+        let profile = [GapProfile::Uniform, GapProfile::HeavyTailed, GapProfile::Clustered]
+            [profile_idx];
+        let num_docs = (len as u64 * u64::from(density)).min(u32::MAX as u64 - 1) as u32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ids = gen_docid_list(&mut rng, len, num_docs.max(len as u32 * 2), profile);
+        prop_assert_eq!(ids.len(), len);
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+    }
+
+    #[test]
+    fn ratio_pairs_always_valid(seed in any::<u64>(),
+                                long_len in 1_000usize..50_000,
+                                group_idx in 0usize..7,
+                                overlap in 0.0f64..1.0,
+                                independent in any::<bool>()) {
+        let group = griffin_workload::RATIO_GROUPS[group_idx];
+        let shape = if independent { PairShape::independent() } else { PairShape::intermediate() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (short, long) = gen_ratio_pair_opts(
+            &mut rng, group, long_len, overlap, 50_000_000, shape);
+        prop_assert!(short.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(long.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(!short.is_empty());
+        // Ratio lands in (or near) the requested band; dedup can shrink
+        // the short list slightly, so allow slack upward.
+        let ratio = long.len() as f64 / short.len() as f64;
+        prop_assert!(ratio >= group.lo as f64 * 0.5, "{} in {}", ratio, group.label());
+    }
+
+    #[test]
+    fn correlated_lists_share_regions(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lists = gen_correlated_lists(&mut rng, &[20_000, 20_000], 2_000_000);
+        for l in &lists {
+            prop_assert!(l.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Correlation: the two lists must intersect far more than
+        // independent uniform lists would (expected ~200 for 20K/2M).
+        let hits = lists[0]
+            .iter()
+            .filter(|v| lists[1].binary_search(v).is_ok())
+            .count();
+        prop_assert!(hits > 500, "only {hits} shared docids");
+    }
+
+    #[test]
+    fn query_log_respects_spec(seed in any::<u64>(), n_queries in 1usize..100) {
+        let lists: Vec<Vec<u32>> = (0..20)
+            .map(|t| (0..(100 + t * 37) as u32).map(|i| i * 5 + 1).collect())
+            .collect();
+        let idx = griffin_index::InvertedIndex::from_docid_lists(
+            &lists, 100_000, griffin_codec::Codec::EliasFano, 128);
+        let spec = QueryLogSpec { num_queries: n_queries, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = spec.generate(&idx, &mut rng);
+        prop_assert_eq!(queries.len(), n_queries);
+        for q in &queries {
+            prop_assert!(q.len() >= 2 && q.len() <= 7);
+            let mut dedup = q.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), q.len());
+        }
+    }
+}
+
+#[test]
+fn ratio_group_representatives_are_inside() {
+    for g in griffin_workload::RATIO_GROUPS {
+        let r = g.representative();
+        assert!(r >= g.lo && r < g.hi, "{} not in {}", r, g.label());
+    }
+    let g = RatioGroup { lo: 128, hi: 256 };
+    assert_eq!(g.representative(), 181);
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the compression substrate: every codec must be
+//! lossless for every sorted docID sequence, under every block size.
+
+use griffin_codec::pfordelta::PforBlock;
+use griffin_codec::{BlockedList, Codec, EfBlock};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: sorted, deduplicated docID lists with wildly mixed gaps.
+fn docid_lists() -> impl Strategy<Value = Vec<u32>> {
+    vec(0u32..50_000_000, 1..600).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_list_roundtrips_all_codecs(ids in docid_lists(),
+                                          block_len in prop::sample::select(vec![32usize, 128, 256])) {
+        for codec in [Codec::PforDelta, Codec::EliasFano, Codec::Varint] {
+            let list = BlockedList::compress(&ids, codec, block_len);
+            prop_assert_eq!(list.decompress(), ids.clone(), "{:?}", codec);
+            prop_assert_eq!(list.len(), ids.len());
+        }
+    }
+
+    #[test]
+    fn find_block_locates_every_member(ids in docid_lists()) {
+        let list = BlockedList::compress(&ids, Codec::EliasFano, 128);
+        for &d in ids.iter().step_by(7) {
+            let blk = list.find_block(d).expect("member docid has a block");
+            let mut decoded = Vec::new();
+            list.decode_block_into(blk, &mut decoded);
+            prop_assert!(decoded.binary_search(&d).is_ok());
+        }
+        // Anything beyond the maximum maps to no block.
+        prop_assert!(list.find_block(ids.last().unwrap().saturating_add(1)).is_none()
+                     || *ids.last().unwrap() == u32::MAX);
+    }
+
+    #[test]
+    fn ef_block_roundtrip_and_random_access(values in vec(0u32..100_000_000, 1..300)) {
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let blk = EfBlock::encode(&sorted);
+        let mut out = Vec::new();
+        blk.decode_into(0, &mut out);
+        prop_assert_eq!(&out, &sorted);
+        // Random access agrees with sequential decode.
+        let idx = sorted.len() / 2;
+        prop_assert_eq!(blk.get(idx), sorted[idx]);
+        // Word serialization is stable.
+        let mut words = Vec::new();
+        blk.to_words(&mut words);
+        prop_assert_eq!(EfBlock::from_words(&words), blk);
+    }
+
+    #[test]
+    fn pfordelta_block_roundtrips_any_values(values in vec(0u32..=u32::MAX, 0..300)) {
+        let blk = PforBlock::encode(&values);
+        let mut out = Vec::new();
+        blk.decode_into(&mut out);
+        prop_assert_eq!(out, values);
+    }
+
+    #[test]
+    fn compression_never_corrupts_skip_metadata(ids in docid_lists()) {
+        let list = BlockedList::compress(&ids, Codec::PforDelta, 128);
+        let mut elem = 0u32;
+        for (i, s) in list.skips.iter().enumerate() {
+            prop_assert_eq!(s.elem_start, elem);
+            elem += s.count;
+            prop_assert_eq!(s.first_docid, ids[s.elem_start as usize]);
+            prop_assert_eq!(s.last_docid, ids[(elem - 1) as usize]);
+            prop_assert_eq!(list.block_base(i),
+                            if i == 0 { 0 } else { list.skips[i - 1].last_docid });
+        }
+        prop_assert_eq!(elem as usize, ids.len());
+    }
+}

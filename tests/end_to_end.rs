@@ -1,0 +1,147 @@
+//! Cross-crate integration: text → index → all three execution modes.
+
+use griffin_suite::prelude::*;
+
+fn build_index() -> InvertedIndex {
+    let docs = [
+        "the gpu accelerates query processing in search engines",
+        "cpu query processing relies on skip pointers",
+        "search engines compress inverted lists with elias fano",
+        "the merge path algorithm balances gpu load",
+        "query latency drops when the gpu and cpu cooperate",
+        "inverted lists store document identifiers in sorted order",
+        "tail latency matters for interactive search",
+        "the cpu and gpu each win on different query shapes",
+        "compression ratio and decompression speed trade off",
+        "griffin schedules query operations dynamically",
+    ];
+    let mut b = IndexBuilder::new(Codec::EliasFano);
+    for d in docs {
+        b.add_text(d);
+    }
+    b.build()
+}
+
+fn query(idx: &InvertedIndex, words: &[&str]) -> Vec<TermId> {
+    words.iter().map(|w| idx.lookup(w).expect("word in vocab")).collect()
+}
+
+#[test]
+fn all_modes_agree_on_text_corpus() {
+    let idx = build_index();
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+
+    for words in [
+        vec!["gpu", "query"],
+        vec!["cpu", "query", "processing"],
+        vec!["search", "engines"],
+        vec!["the", "gpu", "cpu"],
+        vec!["query", "latency"],
+    ] {
+        let q = query(&idx, &words);
+        let cpu = griffin.process_query(&idx, &q, 10, ExecMode::CpuOnly);
+        let gpu_only = griffin.process_query(&idx, &q, 10, ExecMode::GpuOnly);
+        let hybrid = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+        let ids = |o: &GriffinOutput| o.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>();
+        assert_eq!(ids(&cpu), ids(&gpu_only), "{words:?}");
+        assert_eq!(ids(&cpu), ids(&hybrid), "{words:?}");
+        for ((_, a), (_, b)) in cpu.topk.iter().zip(&hybrid.topk) {
+            assert!((a - b).abs() < 1e-4, "{words:?}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn results_are_actually_conjunctive() {
+    let idx = build_index();
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+    let q = query(&idx, &["gpu", "query"]);
+    let out = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+    assert!(!out.topk.is_empty());
+    // Verify each hit contains every term by checking the posting lists.
+    for &(docid, _) in &out.topk {
+        for &t in &q {
+            let (ids, _) = idx.list(t).decompress();
+            assert!(
+                ids.binary_search(&docid).is_ok(),
+                "doc {docid} missing term {t:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ranking_is_descending_and_respects_k() {
+    let idx = build_index();
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+    let q = query(&idx, &["the", "query"]);
+    for k in [1usize, 2, 5, 100] {
+        let out = griffin.process_query(&idx, &q, k, ExecMode::Hybrid);
+        assert!(out.topk.len() <= k);
+        for w in out.topk.windows(2) {
+            assert!(w[0].1 >= w[1].1, "scores must be non-increasing");
+        }
+    }
+}
+
+#[test]
+fn synthetic_workload_pipeline_runs_end_to_end() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let spec = griffin_suite::griffin_workload::ListIndexSpec {
+        num_terms: 16,
+        num_docs: 300_000,
+        max_list_len: 60_000,
+        ..Default::default()
+    };
+    let (idx, _) = build_list_index(&spec, &mut rng);
+    let queries = QueryLogSpec {
+        num_queries: 20,
+        ..Default::default()
+    }
+    .generate(&idx, &mut rng);
+
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+    for q in &queries {
+        let cpu = griffin.process_query(&idx, q, 10, ExecMode::CpuOnly);
+        let hyb = griffin.process_query(&idx, q, 10, ExecMode::Hybrid);
+        let ids = |o: &GriffinOutput| o.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>();
+        assert_eq!(ids(&cpu), ids(&hyb));
+        assert!(cpu.time.as_nanos() > 0);
+        assert!(hyb.time.as_nanos() > 0);
+    }
+}
+
+#[test]
+fn serving_simulation_consumes_hybrid_traces() {
+    use griffin_suite::griffin::serving::{Job, Resource, ServingSim, StageReq};
+    use griffin_suite::griffin::{Proc, StepOp};
+
+    let idx = build_index();
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+    let q = query(&idx, &["gpu", "query"]);
+    let out = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+
+    let job = Job {
+        arrival: VirtualNanos::ZERO,
+        stages: out
+            .steps
+            .iter()
+            .map(|s| StageReq {
+                resource: match (s.proc, s.op) {
+                    (Proc::Gpu, _) | (_, StepOp::Migrate) => Resource::Gpu,
+                    (Proc::Cpu, _) => Resource::Cpu,
+                },
+                duration: s.time,
+            })
+            .collect(),
+    };
+    let lat = ServingSim::new(4).run(&[job]);
+    // Unloaded latency equals the sum of the stages.
+    assert_eq!(lat[0], out.time);
+}

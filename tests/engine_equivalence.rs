@@ -1,0 +1,94 @@
+//! Property-based cross-engine equivalence: for arbitrary synthetic
+//! indexes and queries, the CPU engine, the GPU engine, every forced
+//! intersection strategy, and the hybrid scheduler must produce identical
+//! results — the core safety property of a system that migrates a live
+//! query between processors.
+
+use griffin::{ExecMode, Griffin};
+use griffin_codec::Codec;
+use griffin_cpu::engine::Strategy as CpuStrategy;
+use griffin_cpu::{CpuEngine, WorkCounters};
+use griffin_gpu_sim::{DeviceConfig, Gpu};
+use griffin_index::{InvertedIndex, TermId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: 2–4 posting lists of varied lengths over a shared docID
+/// space, guaranteed some overlap by seeding from a common pool.
+fn index_and_query() -> impl Strategy<Value = (Vec<Vec<u32>>, usize)> {
+    (
+        vec(0u32..40_000, 200..800), // shared pool
+        vec(vec(0u32..40_000, 50..2_000), 2..4),
+        any::<usize>(),
+    )
+        .prop_map(|(pool, mut lists, k)| {
+            for l in &mut lists {
+                // Mix in the shared pool so intersections are non-trivial.
+                l.extend(pool.iter().step_by(3));
+                l.sort_unstable();
+                l.dedup();
+            }
+            (lists, k % 20 + 1)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cpu_gpu_hybrid_return_identical_topk((lists, k) in index_and_query()) {
+        let idx = InvertedIndex::from_docid_lists(&lists, 50_000, Codec::EliasFano, 128);
+        let terms: Vec<TermId> = (0..lists.len())
+            .map(|i| idx.lookup(&format!("t{i}")).expect("term"))
+            .collect();
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+
+        let cpu = griffin.process_query(&idx, &terms, k, ExecMode::CpuOnly);
+        let gpu_only = griffin.process_query(&idx, &terms, k, ExecMode::GpuOnly);
+        let hybrid = griffin.process_query(&idx, &terms, k, ExecMode::Hybrid);
+
+        let ids = |o: &griffin::GriffinOutput| o.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>();
+        prop_assert_eq!(ids(&cpu), ids(&gpu_only));
+        prop_assert_eq!(ids(&cpu), ids(&hybrid));
+        for ((_, a), (_, b)) in cpu.topk.iter().zip(&gpu_only.topk) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cpu_strategies_agree((lists, _k) in index_and_query()) {
+        let idx = InvertedIndex::from_docid_lists(&lists, 50_000, Codec::EliasFano, 128);
+        let engine = CpuEngine::new();
+        let t0 = idx.lookup("t0").expect("t0");
+        let t1 = idx.lookup("t1").expect("t1");
+        let mut w = WorkCounters::default();
+        let inter = engine.init_intermediate(&idx, t0, &mut w);
+        let mut results = Vec::new();
+        for s in [CpuStrategy::Merge, CpuStrategy::SkipBinary, CpuStrategy::PureBinary] {
+            let mut w = WorkCounters::default();
+            results.push(engine.intersect_step(&idx, &inter, t1, s, &mut w));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+        prop_assert_eq!(&results[0], &results[2]);
+    }
+
+    #[test]
+    fn intersection_result_is_exactly_the_set_intersection((lists, _k) in index_and_query()) {
+        let idx = InvertedIndex::from_docid_lists(&lists, 50_000, Codec::EliasFano, 128);
+        let terms: Vec<TermId> = (0..lists.len())
+            .map(|i| idx.lookup(&format!("t{i}")).expect("term"))
+            .collect();
+        let engine = CpuEngine::new();
+        // k large enough to return the entire intersection.
+        let out = engine.process_query(&idx, &terms, 1_000_000);
+        // Host-side reference intersection.
+        let mut reference: Vec<u32> = lists[0].clone();
+        for l in &lists[1..] {
+            reference.retain(|d| l.binary_search(d).is_ok());
+        }
+        let mut got: Vec<u32> = out.topk.iter().map(|&(d, _)| d).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, reference);
+    }
+}

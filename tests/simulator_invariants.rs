@@ -1,0 +1,114 @@
+//! Property-based tests of the GPU simulator and its kernels against host
+//! references: scan, MergePath, parallel binary search, Para-EF, and the
+//! ranking kernels must all be bit-exact, and every launch must cost
+//! virtual time.
+
+use griffin_codec::{BlockedList, Codec, DEFAULT_BLOCK_LEN};
+use griffin_gpu::mergepath::{self, MergePathConfig};
+use griffin_gpu::transfer::DeviceEfList;
+use griffin_gpu::{bucket_select, gpu_binary, para_ef, radix_sort, scan};
+use griffin_gpu_sim::{DeviceConfig, Gpu};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn sorted_unique() -> impl Strategy<Value = Vec<u32>> {
+    vec(0u32..1_000_000, 1..800).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+fn host_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter().filter(|v| b.binary_search(v).is_ok()).copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn scan_matches_prefix_sum(data in vec(0u32..1000, 0..3000)) {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let src = gpu.htod(&data);
+        let t0 = gpu.now();
+        let (dst, total) = scan::exclusive_scan(&gpu, &src, data.len());
+        prop_assert!(data.is_empty() || gpu.now() > t0);
+        let got = gpu.dtoh(&dst);
+        let mut acc = 0u32;
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(got[i], acc);
+            acc = acc.wrapping_add(v);
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn mergepath_equals_host_intersection(a in sorted_unique(), b in sorted_unique()) {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let cfg = MergePathConfig::for_device(gpu.config());
+        let da = gpu.htod(&a);
+        let db = gpu.htod(&b);
+        let m = mergepath::intersect(&gpu, &da, a.len(), &db, b.len(), &cfg);
+        let got = gpu.dtoh_prefix(&m.docids, m.len);
+        prop_assert_eq!(got, host_intersect(&a, &b));
+    }
+
+    #[test]
+    fn gpu_binary_equals_host_intersection(short in sorted_unique(), long in sorted_unique()) {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let compressed = BlockedList::compress(&long, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let dlong = DeviceEfList::upload(&gpu, &compressed);
+        let dshort = gpu.htod(&short);
+        let out = gpu_binary::intersect(&gpu, &dshort, short.len(), &dlong, DEFAULT_BLOCK_LEN);
+        let got = gpu.dtoh_prefix(&out.matches.docids, out.matches.len);
+        prop_assert_eq!(got, host_intersect(&short, &long));
+        // Needed blocks never exceed the total or the short length.
+        prop_assert!(out.blocks_decoded <= compressed.num_blocks());
+        prop_assert!(out.blocks_decoded <= short.len());
+    }
+
+    #[test]
+    fn para_ef_is_bit_exact(ids in sorted_unique()) {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let dev = DeviceEfList::upload(&gpu, &list);
+        let out = para_ef::decompress(&gpu, &dev);
+        prop_assert_eq!(gpu.dtoh(&out), ids);
+    }
+
+    #[test]
+    fn gpu_rankers_agree_with_each_other(scores in vec(0f32..1000.0, 1..2000), k in 1usize..30) {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let n = scores.len();
+        let docids: Vec<u32> = (0..n as u32).collect();
+        let d = gpu.htod(&docids);
+        let s = gpu.htod(&scores);
+        let by_sort = radix_sort::top_k_by_sort(&gpu, &d, &s, n, k);
+        let by_select = bucket_select::top_k_by_bucket_select(&gpu, &d, &s, n, k);
+        let sc = |v: &[(u32, f32)]| v.iter().map(|&(_, x)| x).collect::<Vec<_>>();
+        prop_assert_eq!(sc(&by_sort), sc(&by_select));
+        // Both must equal the host reference scores.
+        let mut reference = scores.clone();
+        reference.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        reference.truncate(k.min(n));
+        prop_assert_eq!(sc(&by_sort), reference);
+    }
+
+    #[test]
+    fn device_memory_balances_after_kernel_pipelines(ids in sorted_unique()) {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let dev = DeviceEfList::upload(&gpu, &list);
+        let out = para_ef::decompress(&gpu, &dev);
+        let before = gpu.mem_in_use();
+        // A full intersection pipeline must free all its temporaries.
+        let m = mergepath::intersect(
+            &gpu, &out, ids.len(), &out, ids.len(),
+            &MergePathConfig::for_device(gpu.config()),
+        );
+        let extra = m.docids.size_bytes() + m.a_idx.size_bytes() + m.b_idx.size_bytes();
+        prop_assert_eq!(gpu.mem_in_use(), before + extra);
+        m.free(&gpu);
+        prop_assert_eq!(gpu.mem_in_use(), before);
+    }
+}
