@@ -1,0 +1,167 @@
+//! `--metrics-json <path>` / `--trace-json <path>` flag handling shared
+//! by the experiment binaries.
+//!
+//! Every `exp_*` binary accepts the flag pair; when either is present the
+//! run enables telemetry and leaves machine-readable artifacts next to
+//! its pretty-printed tables:
+//!
+//! * `--metrics-json out.json` — the metrics-registry dump (counters,
+//!   gauges, histograms with quantiles), plus a `<out>.csv` sibling for
+//!   each table the experiment prints;
+//! * `--trace-json out.json` — the structured query trace, or (for the
+//!   serving experiments) a Chrome trace-event file loadable in Perfetto.
+
+use std::path::{Path, PathBuf};
+
+use griffin_telemetry::{Telemetry, Timeline};
+
+use crate::report::Table;
+
+/// Parsed artifact flags for an experiment run.
+#[derive(Debug, Default, Clone)]
+pub struct Artifacts {
+    pub metrics_json: Option<PathBuf>,
+    pub trace_json: Option<PathBuf>,
+    tables_written: std::cell::Cell<usize>,
+}
+
+impl Artifacts {
+    /// Parses `--metrics-json <path>` / `--trace-json <path>` from the
+    /// process arguments. Unknown arguments are ignored (the experiment
+    /// binaries are otherwise configured via `GRIFFIN_*` env vars); a
+    /// flag missing its value is a usage error.
+    pub fn from_args() -> Artifacts {
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("usage: [--metrics-json <path>] [--trace-json <path>]");
+            std::process::exit(2);
+        })
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Result<Artifacts, String> {
+        let mut out = Artifacts::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let slot = match arg.as_str() {
+                "--metrics-json" => &mut out.metrics_json,
+                "--trace-json" => &mut out.trace_json,
+                _ => continue,
+            };
+            match args.next() {
+                Some(v) => *slot = Some(PathBuf::from(v)),
+                None => return Err(format!("{arg} requires a <path> value")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether any artifact was requested (and telemetry should be on).
+    pub fn requested(&self) -> bool {
+        self.metrics_json.is_some() || self.trace_json.is_some()
+    }
+
+    /// A telemetry handle matching the flags: live when any artifact was
+    /// requested, the free no-op handle otherwise.
+    pub fn telemetry(&self) -> Telemetry {
+        if self.requested() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Like [`Artifacts::telemetry`], additionally hooking the device
+    /// observer onto `gpu` so kernel launches and PCIe transfers feed
+    /// the metrics registry even in experiments that drive the device
+    /// directly (no [`griffin::Griffin`] engine in the loop).
+    pub fn observe_gpu(&self, gpu: &griffin_gpu_sim::Gpu) -> Telemetry {
+        let t = self.telemetry();
+        gpu.set_observer(t.device_observer(gpu.config().warp_size));
+        t
+    }
+
+    /// Writes the metrics-registry JSON to the `--metrics-json` path.
+    pub fn write_metrics(&self, telemetry: &Telemetry) {
+        if let (Some(path), Some(json)) = (&self.metrics_json, telemetry.metrics_json()) {
+            write_artifact(path, &json, "metrics JSON");
+        }
+    }
+
+    /// Writes the structured query trace to the `--trace-json` path.
+    pub fn write_trace(&self, telemetry: &Telemetry) {
+        if let (Some(path), Some(json)) = (&self.trace_json, telemetry.trace_json()) {
+            write_artifact(path, &json, "query-trace JSON");
+        }
+    }
+
+    /// Writes a serving-sim timeline as Chrome trace-event JSON to the
+    /// `--trace-json` path (open in Perfetto / `chrome://tracing`).
+    pub fn write_chrome_trace(&self, timeline: &Timeline) {
+        if let Some(path) = &self.trace_json {
+            write_artifact(path, &timeline.to_chrome_trace(), "Chrome trace JSON");
+        }
+    }
+
+    /// When `--metrics-json` is set, writes `table` as CSV next to the
+    /// metrics artifact (`<stem>.csv`, then `<stem>.2.csv`, … for the
+    /// second and later tables of one experiment).
+    pub fn write_table(&self, table: &Table) {
+        let Some(path) = &self.metrics_json else {
+            return;
+        };
+        let n = self.tables_written.get() + 1;
+        self.tables_written.set(n);
+        let ext = if n == 1 {
+            "csv".to_owned()
+        } else {
+            format!("{n}.csv")
+        };
+        write_artifact(&path.with_extension(ext), &table.to_csv(), "table CSV");
+    }
+}
+
+fn write_artifact(path: &Path, contents: &str, what: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("wrote {what} to {}", path.display()),
+        Err(e) => {
+            eprintln!("error: failed to write {what} to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Artifacts, String> {
+        Artifacts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn no_flags_means_disabled() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.requested());
+        assert!(!a.telemetry().is_enabled());
+    }
+
+    #[test]
+    fn both_flags_parse() {
+        let a = parse(&["--metrics-json", "m.json", "--trace-json", "t.json"]).unwrap();
+        assert_eq!(a.metrics_json.as_deref(), Some(Path::new("m.json")));
+        assert_eq!(a.trace_json.as_deref(), Some(Path::new("t.json")));
+        assert!(a.telemetry().is_enabled());
+    }
+
+    #[test]
+    fn unknown_args_ignored() {
+        let a = parse(&["--weird", "--trace-json", "t.json"]).unwrap();
+        assert!(a.metrics_json.is_none());
+        assert!(a.trace_json.is_some());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["--metrics-json"]).is_err());
+    }
+}

@@ -2,12 +2,22 @@ use griffin::{ExecMode, Griffin};
 use griffin_bench::setup::k20;
 use griffin_gpu_sim::Gpu;
 use griffin_workload::{build_list_index, ListIndexSpec, QueryLogSpec};
-use rand::rngs::StdRng; use rand::SeedableRng;
-fn main(){
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+fn main() {
     let mut rng = StdRng::seed_from_u64(14);
-    let spec = ListIndexSpec { num_terms: 56, num_docs: 4_000_000, max_list_len: 1_500_000, ..Default::default() };
+    let spec = ListIndexSpec {
+        num_terms: 56,
+        num_docs: 4_000_000,
+        max_list_len: 1_500_000,
+        ..Default::default()
+    };
     let (index, _) = build_list_index(&spec, &mut rng);
-    let queries = QueryLogSpec { num_queries: 120, ..Default::default() }.generate(&index, &mut rng);
+    let queries = QueryLogSpec {
+        num_queries: 120,
+        ..Default::default()
+    }
+    .generate(&index, &mut rng);
     let gpu = Gpu::new(k20());
     let griffin = Griffin::new(&gpu, index.meta(), index.block_len());
     // find a 4-term query where hybrid loses to gpu-only
@@ -16,6 +26,8 @@ fn main(){
         let g = griffin.process_query(&index, q, 10, ExecMode::GpuOnly);
         let h = griffin.process_query(&index, q, 10, ExecMode::Hybrid);
         println!("\nlens {:?}: gpu {} hybrid {}", lens, g.time, h.time);
-        for s in &h.steps { println!("  {:?} {:?} {} -> {}", s.op, s.proc, s.time, s.inter_len); }
+        for s in &h.steps {
+            println!("  {:?} {:?} {} -> {}", s.op, s.proc, s.time, s.inter_len);
+        }
     }
 }

@@ -14,9 +14,7 @@ use griffin_bench::report::{ms, Table};
 use griffin_bench::setup::{k20, scaled};
 use griffin_cpu::CpuCostModel;
 use griffin_gpu_sim::{Gpu, VirtualNanos};
-use griffin_workload::{
-    build_list_index, gen_ratio_pair, ListIndexSpec, QueryLogSpec, RatioGroup,
-};
+use griffin_workload::{build_list_index, gen_ratio_pair, ListIndexSpec, QueryLogSpec, RatioGroup};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -92,8 +90,14 @@ fn scheduler_and_cache() {
 
     // Placement-aware (default) vs the paper's bare static rule.
     for (name, sched) in [
-        ("placement-aware scheduler (default)", Scheduler::for_block_len(index.block_len())),
-        ("paper-static ratio rule", Scheduler::paper_static(index.block_len())),
+        (
+            "placement-aware scheduler (default)",
+            Scheduler::for_block_len(index.block_len()),
+        ),
+        (
+            "paper-static ratio rule",
+            Scheduler::paper_static(index.block_len()),
+        ),
     ] {
         let gpu = Gpu::new(k20());
         let mut griffin = Griffin::new(&gpu, index.meta(), index.block_len());

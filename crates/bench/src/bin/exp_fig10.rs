@@ -6,14 +6,18 @@
 
 use griffin_bench::report::Table;
 use griffin_bench::setup::scaled;
+use griffin_bench::Artifacts;
 use griffin_workload::{sample_list_len, size_cdf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let artifacts = Artifacts::from_args();
     let mut rng = StdRng::seed_from_u64(10);
     let n = scaled(20_000);
-    let sizes: Vec<usize> = (0..n).map(|_| sample_list_len(&mut rng, 26_000_000)).collect();
+    let sizes: Vec<usize> = (0..n)
+        .map(|_| sample_list_len(&mut rng, 26_000_000))
+        .collect();
 
     let thresholds = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 26_000_000];
     let cdf = size_cdf(&sizes, &thresholds);
@@ -32,5 +36,10 @@ fn main() {
         ]);
     }
     t.print();
+    let telemetry = artifacts.telemetry();
+    telemetry.counter_add("griffin_workload_lists_total", n as u64);
+    artifacts.write_table(&t);
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
     println!("\nmax generated list: {}", sizes.iter().max().unwrap());
 }

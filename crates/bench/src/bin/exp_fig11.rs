@@ -6,11 +6,13 @@
 
 use griffin_bench::report::Table;
 use griffin_bench::setup::scaled;
+use griffin_bench::Artifacts;
 use griffin_workload::QueryLogSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let artifacts = Artifacts::from_args();
     let spec = QueryLogSpec::default();
     let mut rng = StdRng::seed_from_u64(11);
     let n = scaled(50_000);
@@ -24,9 +26,20 @@ fn main() {
         "Fig. 11: Number of Terms Distribution (%)",
         &["#terms", "generated", "paper"],
     );
-    let paper = [(2, 27.0), (3, 33.0), (4, 24.0), (5, 9.0), (6, 4.0), (7, 3.0)];
+    let paper = [
+        (2, 27.0),
+        (3, 33.0),
+        (4, 24.0),
+        (5, 9.0),
+        (6, 4.0),
+        (7, 3.0),
+    ];
     for (terms, p) in paper {
-        let label = if terms >= 7 { "> 6".to_string() } else { terms.to_string() };
+        let label = if terms >= 7 {
+            "> 6".to_string()
+        } else {
+            terms.to_string()
+        };
         t.row(&[
             label,
             format!("{:.1}", hist[terms] as f64 / n as f64 * 100.0),
@@ -34,4 +47,9 @@ fn main() {
         ]);
     }
     t.print();
+    let telemetry = artifacts.telemetry();
+    telemetry.counter_add("griffin_workload_queries_total", n as u64);
+    artifacts.write_table(&t);
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
 }

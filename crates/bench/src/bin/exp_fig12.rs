@@ -8,6 +8,7 @@
 
 use griffin_bench::report::{ms, speedup, Table};
 use griffin_bench::setup::{k20, scaled, size_axis};
+use griffin_bench::Artifacts;
 use griffin_codec::{BlockedList, Codec, DEFAULT_BLOCK_LEN};
 use griffin_cpu::decode::decode_list;
 use griffin_cpu::{CpuCostModel, WorkCounters};
@@ -19,7 +20,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let artifacts = Artifacts::from_args();
     let gpu = Gpu::new(k20());
+    let telemetry = artifacts.observe_gpu(&gpu);
     let model = CpuCostModel::default();
     let mut rng = StdRng::seed_from_u64(12);
     let lists_per_size = scaled(5);
@@ -33,7 +36,12 @@ fn main() {
         let mut cpu_total = VirtualNanos::ZERO;
         let mut gpu_total = VirtualNanos::ZERO;
         for _ in 0..lists_per_size {
-            let ids = gen_docid_list(&mut rng, n, (n as u32).saturating_mul(40).max(1000), GapProfile::HeavyTailed);
+            let ids = gen_docid_list(
+                &mut rng,
+                n,
+                (n as u32).saturating_mul(40).max(1000),
+                GapProfile::HeavyTailed,
+            );
 
             // CPU: decode the PforDelta form.
             let pfor = BlockedList::compress(&ids, Codec::PforDelta, DEFAULT_BLOCK_LEN);
@@ -63,5 +71,8 @@ fn main() {
         ]);
     }
     t.print();
+    artifacts.write_table(&t);
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
     println!("\n(paper's shape: speedup <2x at 1K-10K, rising to ~11-29.6x at 1M-10M)");
 }

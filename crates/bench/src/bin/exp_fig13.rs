@@ -8,6 +8,7 @@
 use griffin_bench::intersect_harness::{time_algo, Algo, Pair};
 use griffin_bench::report::{ms, Table};
 use griffin_bench::setup::{k20, scaled, size_axis};
+use griffin_bench::Artifacts;
 use griffin_cpu::CpuCostModel;
 use griffin_gpu_sim::{Gpu, VirtualNanos};
 use griffin_workload::{gen_ratio_pair_opts, PairShape, RatioGroup};
@@ -15,7 +16,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let artifacts = Artifacts::from_args();
     let gpu = Gpu::new(k20());
+    let telemetry = artifacts.observe_gpu(&gpu);
     let model = CpuCostModel::default();
     let mut rng = StdRng::seed_from_u64(13);
     let pairs_per_size = scaled(4);
@@ -23,7 +26,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 13: List Intersection Comparison (avg virtual ms, ratio < 16)",
-        &["longer list", "CPU merge", "CPU binary", "GPU merge", "GPU binary"],
+        &[
+            "longer list",
+            "CPU merge",
+            "CPU binary",
+            "GPU merge",
+            "GPU binary",
+        ],
     );
 
     for n in size_axis() {
@@ -63,6 +72,9 @@ fn main() {
         ]);
     }
     t.print();
+    artifacts.write_table(&t);
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
     println!("\n(paper's shape at the large sizes: GPU merge fastest, then GPU");
     println!(" binary, then CPU merge; CPU binary slowest)");
 }

@@ -5,18 +5,25 @@
 //! implementation and ~1.5× over Griffin-GPU — because early (low-ratio)
 //! intersections belong on the GPU and late (high-ratio) ones on the CPU,
 //! and only Griffin runs each where it wins.
+//!
+//! With `--metrics-json <path>` / `--trace-json <path>` the run leaves
+//! machine-readable telemetry artifacts: scheduler decisions per `Proc`,
+//! per-step latency histograms, GPU kernel aggregates, and the full
+//! structured query trace.
 
 use std::collections::BTreeMap;
 
 use griffin::{ExecMode, Griffin};
 use griffin_bench::report::{ms, speedup, Table};
 use griffin_bench::setup::{k20, scaled};
+use griffin_bench::Artifacts;
 use griffin_gpu_sim::Gpu;
 use griffin_workload::{build_list_index, LatencyStats, ListIndexSpec, QueryLogSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let artifacts = Artifacts::from_args();
     let mut rng = StdRng::seed_from_u64(14);
     let spec = ListIndexSpec {
         num_terms: 64,
@@ -34,7 +41,8 @@ fn main() {
     eprintln!("running {} queries x 3 modes...", queries.len());
 
     let gpu = Gpu::new(k20());
-    let griffin = Griffin::new(&gpu, index.meta(), index.block_len());
+    let mut griffin = Griffin::new(&gpu, index.meta(), index.block_len());
+    griffin.set_telemetry(artifacts.telemetry());
 
     let mut by_terms: BTreeMap<usize, [LatencyStats; 3]> = BTreeMap::new();
     for q in &queries {
@@ -50,7 +58,9 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 14: End-to-End Query Latency (avg virtual ms by #terms)",
-        &["#terms", "n", "CPU only", "GPU only", "Griffin", "vs CPU", "vs GPU"],
+        &[
+            "#terms", "n", "CPU only", "GPU only", "Griffin", "vs CPU", "vs GPU",
+        ],
     );
     let mut overall = [0.0f64; 3];
     let mut total_n = 0usize;
@@ -63,7 +73,11 @@ fn main() {
         overall[2] += hyb.as_nanos() as f64 * stats[2].len() as f64;
         total_n += stats[0].len();
         t.row(&[
-            if *terms >= 7 { "> 6".into() } else { terms.to_string() },
+            if *terms >= 7 {
+                "> 6".into()
+            } else {
+                terms.to_string()
+            },
             stats[0].len().to_string(),
             ms(cpu),
             ms(gpu_t),
@@ -73,6 +87,9 @@ fn main() {
         ]);
     }
     t.print();
+    artifacts.write_table(&t);
+    artifacts.write_metrics(griffin.telemetry());
+    artifacts.write_trace(griffin.telemetry());
     let _ = total_n;
     println!(
         "\noverall: Griffin vs CPU-only = {}, Griffin vs GPU-only = {} (paper: ~10x, ~1.5x)",

@@ -5,17 +5,24 @@
 //! 6.6× / 8.3× / 10.4× / 16.1× / 26.8× — the win *grows* with the
 //! percentile because Griffin offloads exactly the heavy queries that
 //! cause head-of-line blocking on the CPU cores.
+//!
+//! With `--trace-json <path>` the hybrid serving replay exports its full
+//! per-core schedule as Chrome trace-event JSON (open in Perfetto or
+//! `chrome://tracing`); `--metrics-json <path>` dumps the profiling
+//! phase's metrics registry and the result table as CSV.
 
 use griffin::serving::{Job, Resource, ServingSim, StageReq};
 use griffin::{ExecMode, Griffin, Proc, StepOp};
 use griffin_bench::report::{ms, speedup, Table};
 use griffin_bench::setup::{k20, scaled};
+use griffin_bench::Artifacts;
 use griffin_gpu_sim::{Gpu, VirtualNanos};
 use griffin_workload::{build_list_index, LatencyStats, ListIndexSpec, QueryLogSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let artifacts = Artifacts::from_args();
     let mut rng = StdRng::seed_from_u64(15);
     let spec = ListIndexSpec {
         num_terms: 64,
@@ -33,6 +40,7 @@ fn main() {
 
     let gpu = Gpu::new(k20());
     let mut griffin = Griffin::new(&gpu, index.meta(), index.block_len());
+    griffin.set_telemetry(artifacts.telemetry());
     // Serving configuration: with one GPU shared by every in-flight query,
     // medium operations are not worth their fixed kernel/transfer costs in
     // *throughput* terms even when they win on single-query latency.
@@ -89,9 +97,7 @@ fn main() {
     let mut arrivals = Vec::with_capacity(queries.len());
     let mut now = VirtualNanos::ZERO;
     for _ in &queries {
-        now += VirtualNanos::from_nanos_f64(
-            -mean_interarrival * (1.0 - rng.gen::<f64>()).ln(),
-        );
+        now += VirtualNanos::from_nanos_f64(-mean_interarrival * (1.0 - rng.gen::<f64>()).ln());
         arrivals.push(now);
     }
 
@@ -126,7 +132,15 @@ fn main() {
 
     eprintln!("replaying through the serving simulator (4 cores + 1 GPU)...");
     let cpu_lat = ServingSim::new(4).run(&cpu_jobs);
-    let hyb_lat = ServingSim::new(4).run(&hybrid_jobs);
+    let (hyb_lat, timeline) = ServingSim::new(4).run_with_timeline(&hybrid_jobs);
+    for u in timeline.utilization() {
+        eprintln!(
+            "  {}[{}]: {:.0}% busy",
+            u.resource,
+            u.lane,
+            u.utilization * 100.0
+        );
+    }
     let mut cpu_stats = LatencyStats::new();
     let mut hyb_stats = LatencyStats::new();
     for (&c, &h) in cpu_lat.iter().zip(&hyb_lat) {
@@ -150,6 +164,9 @@ fn main() {
         ]);
     }
     t.print();
+    artifacts.write_table(&t);
+    artifacts.write_metrics(griffin.telemetry());
+    artifacts.write_chrome_trace(&timeline);
     println!("\n(the shape: speedup grows with percentile — Griffin unclogs the");
     println!(" heavy queries that block the CPU queue)");
 }

@@ -8,6 +8,7 @@
 
 use griffin_bench::report::{ms, Table};
 use griffin_bench::setup::{k20, size_axis};
+use griffin_bench::Artifacts;
 use griffin_cpu::{topk, CpuCostModel, WorkCounters};
 use griffin_gpu::{bucket_select, radix_sort};
 use griffin_gpu_sim::Gpu;
@@ -15,14 +16,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let artifacts = Artifacts::from_args();
     let gpu = Gpu::new(k20());
+    let telemetry = artifacts.observe_gpu(&gpu);
     let model = CpuCostModel::default();
     let mut rng = StdRng::seed_from_u64(7);
     let k = 10;
 
     let mut t = Table::new(
         "Fig. 7: Ranking Performance Comparison (virtual ms, k=10)",
-        &["list size", "CPU partial_sort", "GPU bucketSelect", "GPU radixSort"],
+        &[
+            "list size",
+            "CPU partial_sort",
+            "GPU bucketSelect",
+            "GPU radixSort",
+        ],
     );
 
     for n in size_axis() {
@@ -48,7 +56,11 @@ fn main() {
 
         // All three must agree on the winning scores.
         let s = |v: &[(u32, f32)]| v.iter().map(|&(_, s)| s).collect::<Vec<_>>();
-        assert_eq!(s(&cpu_top), s(&bucket_top), "bucketSelect disagrees at n={n}");
+        assert_eq!(
+            s(&cpu_top),
+            s(&bucket_top),
+            "bucketSelect disagrees at n={n}"
+        );
         assert_eq!(s(&cpu_top), s(&radix_top), "radixSort disagrees at n={n}");
 
         t.row(&[
@@ -59,5 +71,8 @@ fn main() {
         ]);
     }
     t.print();
+    artifacts.write_table(&t);
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
     println!("\n(paper's shape: CPU lowest at every size; GPU radix worst at scale)");
 }

@@ -9,6 +9,7 @@
 use griffin_bench::intersect_harness::{time_algo, Algo, Pair};
 use griffin_bench::report::{ms, speedup, Table};
 use griffin_bench::setup::{k20, scaled};
+use griffin_bench::Artifacts;
 use griffin_cpu::CpuCostModel;
 use griffin_gpu_sim::{Gpu, VirtualNanos};
 use griffin_workload::{gen_ratio_pair, RATIO_GROUPS};
@@ -16,7 +17,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let artifacts = Artifacts::from_args();
     let gpu = Gpu::new(k20());
+    let telemetry = artifacts.observe_gpu(&gpu);
     let model = CpuCostModel::default();
     let mut rng = StdRng::seed_from_u64(8);
     let pairs_per_group = scaled(6);
@@ -28,7 +31,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig. 8: GPU/CPU Cross Over Point (avg virtual ms per intersection)",
-        &["ratio group", "Griffin-GPU", "CPU impl", "GPU/CPU", "winner"],
+        &[
+            "ratio group",
+            "Griffin-GPU",
+            "CPU impl",
+            "GPU/CPU",
+            "winner",
+        ],
     );
 
     let mut crossover: Option<String> = None;
@@ -61,6 +70,9 @@ fn main() {
         ]);
     }
     t.print();
+    artifacts.write_table(&t);
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
     match crossover {
         Some(g) => println!("\nfirst CPU-winning group: {g} (paper: [128,256))"),
         None => println!("\nGPU won every group — crossover above [512,1024)"),

@@ -9,6 +9,7 @@
 
 use griffin_bench::report::Table;
 use griffin_bench::setup::scaled;
+use griffin_bench::Artifacts;
 use griffin_codec::{BlockedList, Codec, DEFAULT_BLOCK_LEN};
 use griffin_cpu::intersect::skip_intersect;
 use griffin_cpu::WorkCounters;
@@ -17,11 +18,19 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let artifacts = Artifacts::from_args();
+    let telemetry = artifacts.telemetry();
     let mut rng = StdRng::seed_from_u64(9);
     let pairs = scaled(4);
     let mut t = Table::new(
         "Fig. 9: Skippable Blocks by Ratio (skip search, 128-elt blocks)",
-        &["ratio group", "blocks total", "blocks decoded", "skipped %", "guaranteed?"],
+        &[
+            "ratio group",
+            "blocks total",
+            "blocks decoded",
+            "skipped %",
+            "guaranteed?",
+        ],
     );
     for group in RATIO_GROUPS {
         let mut total_blocks = 0u64;
@@ -32,6 +41,9 @@ fn main() {
             let compressed = BlockedList::compress(&long, Codec::PforDelta, DEFAULT_BLOCK_LEN);
             let mut w = WorkCounters::default();
             skip_intersect(&short, &compressed, &mut w);
+            for (name, v) in w.named() {
+                telemetry.counter_add(&format!("griffin_cpu_work_total{{counter=\"{name}\"}}"), v);
+            }
             total_blocks += compressed.num_blocks() as u64;
             decoded += w.blocks_decoded;
             short_len_sum += short.len();
@@ -42,11 +54,22 @@ fn main() {
             group.label(),
             (total_blocks / pairs as u64).to_string(),
             (decoded / pairs as u64).to_string(),
-            format!("{:.1}", 100.0 * (1.0 - decoded as f64 / total_blocks as f64)),
-            if guaranteed { "yes (|R| < #blocks)" } else { "no" }.to_string(),
+            format!(
+                "{:.1}",
+                100.0 * (1.0 - decoded as f64 / total_blocks as f64)
+            ),
+            if guaranteed {
+                "yes (|R| < #blocks)"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     t.print();
+    artifacts.write_table(&t);
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
     println!("\n(§3.2: above λ = 128 skipping is guaranteed; below it, skipping");
     println!(" still happens on clustered data but is not guaranteed)");
 }

@@ -6,12 +6,14 @@
 
 use griffin_bench::report::Table;
 use griffin_bench::setup::scaled;
+use griffin_bench::Artifacts;
 use griffin_codec::{BlockedList, Codec, CompressionStats, DEFAULT_BLOCK_LEN};
 use griffin_workload::{gen_docid_list, sample_list_len, GapProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let artifacts = Artifacts::from_args();
     let mut rng = StdRng::seed_from_u64(1);
     let num_lists = scaled(200);
     println!("measuring {num_lists} lists (Fig. 10-shaped lengths, heavy-tailed gaps)");
@@ -26,7 +28,12 @@ fn main() {
         // Density varies per list: mean gap 4–400.
         let mean_gap = 4 + (sample_list_len(&mut rng, 400) % 400) as u32;
         let num_docs = (len as u64 * u64::from(mean_gap)).min(u32::MAX as u64 - 1) as u32;
-        let ids = gen_docid_list(&mut rng, len, num_docs.max(len as u32 * 2), GapProfile::HeavyTailed);
+        let ids = gen_docid_list(
+            &mut rng,
+            len,
+            num_docs.max(len as u32 * 2),
+            GapProfile::HeavyTailed,
+        );
         for (codec, s) in &mut stats {
             s.add(&BlockedList::compress(&ids, *codec, DEFAULT_BLOCK_LEN));
         }
@@ -50,6 +57,11 @@ fn main() {
         }
     }
     t.print();
+    let telemetry = artifacts.telemetry();
+    telemetry.counter_add("griffin_workload_lists_total", num_lists as u64);
+    artifacts.write_table(&t);
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
 
     let ef = stats[1].1.mean_list_ratio();
     let pf = stats[0].1.mean_list_ratio();

@@ -1,5 +1,8 @@
 //! Runs every experiment binary in paper order. Equivalent to invoking
 //! each `exp_*` binary; honours `GRIFFIN_SCALE` / `GRIFFIN_FULL`.
+//! Launch failures and nonzero exits don't abort the sweep: every
+//! experiment runs, the summary reports which succeeded or failed, and
+//! the process exits nonzero if any failed.
 //!
 //! ```text
 //! cargo run -p griffin-bench --release --bin run_all
@@ -23,12 +26,26 @@ fn main() {
     // Experiment binaries live next to this one.
     let me = std::env::current_exe().expect("current_exe");
     let dir = me.parent().expect("binary directory");
+    let mut failures: Vec<(&str, String)> = Vec::new();
     for exp in exps {
         println!("\n################ {exp} ################");
-        let status = Command::new(dir.join(exp))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
-        assert!(status.success(), "{exp} failed with {status}");
+        match Command::new(dir.join(exp)).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push((exp, format!("exited with {status}"))),
+            Err(e) => failures.push((exp, format!("failed to launch: {e}"))),
+        }
     }
-    println!("\nall experiments completed");
+    println!("\n################ summary ################");
+    for exp in exps {
+        match failures.iter().find(|(name, _)| *name == exp) {
+            Some((_, why)) => println!("FAIL  {exp}: {why}"),
+            None => println!("ok    {exp}"),
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", exps.len());
+    } else {
+        println!("\n{} of {} experiments failed", failures.len(), exps.len());
+        std::process::exit(1);
+    }
 }

@@ -129,8 +129,13 @@ pub fn time_algo(gpu: &Gpu, model: &CpuCostModel, pair: &Pair, algo: Algo) -> Vi
             let ((), t) = gpu.time(|g| {
                 let d_short = g.htod(&pair.short);
                 let d_long = DeviceEfList::upload(g, &pair.long_ef);
-                let out =
-                    gpu_binary::intersect(g, &d_short, pair.short.len(), &d_long, DEFAULT_BLOCK_LEN);
+                let out = gpu_binary::intersect(
+                    g,
+                    &d_short,
+                    pair.short.len(),
+                    &d_long,
+                    DEFAULT_BLOCK_LEN,
+                );
                 assert_eq!(out.matches.len, pair.expected);
                 out.matches.free(g);
                 d_long.free(g);
@@ -205,13 +210,8 @@ pub fn time_algo(gpu: &Gpu, model: &CpuCostModel, pair: &Pair, algo: Algo) -> Vi
             let long_ids = para_ef::decompress(gpu, &d_long_c);
             let n = d_long_c.len;
             let ((), t) = gpu.time(|g| {
-                let m = gpu_binary::intersect_decompressed(
-                    g,
-                    &d_short,
-                    pair.short.len(),
-                    &long_ids,
-                    n,
-                );
+                let m =
+                    gpu_binary::intersect_decompressed(g, &d_short, pair.short.len(), &long_ids, n);
                 assert_eq!(m.len, pair.expected);
                 m.free(g);
             });

@@ -12,9 +12,11 @@
 //! to grow/shrink sample counts, and `GRIFFIN_FULL=1` to include the
 //! largest (10M-element) size points.
 
+pub mod artifacts;
 pub mod intersect_harness;
 pub mod report;
 pub mod setup;
 
+pub use artifacts::Artifacts;
 pub use report::Table;
 pub use setup::{full_scale, k20, scale};

@@ -58,6 +58,29 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Renders the table as RFC 4180 CSV (header row, then data rows) —
+    /// the machine-readable counterpart of [`Table::render`], written
+    /// next to the metrics artifact when `--metrics-json` is set.
+    pub fn to_csv(&self) -> String {
+        fn field(cell: &str) -> String {
+            if cell.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+        };
+        let mut out = line(&self.header);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// Formats a speedup like the paper quotes them ("10.4x").
@@ -102,5 +125,17 @@ mod tests {
     fn speedup_formatting() {
         assert_eq!(speedup(10.44), "10.4x");
         assert_eq!(speedup(f64::NAN), "-");
+    }
+
+    #[test]
+    fn csv_roundtrips_and_escapes() {
+        let mut t = Table::new("Demo", &["size", "time"]);
+        t.row(&["1K".into(), "0.5".into()]);
+        t.row(&["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "size,time");
+        assert_eq!(lines[1], "1K,0.5");
+        assert_eq!(lines[2], "\"a,b\",\"say \"\"hi\"\"\"");
     }
 }

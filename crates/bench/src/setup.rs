@@ -16,7 +16,9 @@ pub fn scale() -> f64 {
 /// `GRIFFIN_FULL=1` includes the largest (10M-element) size points, which
 /// take substantially longer to simulate.
 pub fn full_scale() -> bool {
-    std::env::var("GRIFFIN_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("GRIFFIN_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Applies the scale factor to a sample count, with a floor of 1.

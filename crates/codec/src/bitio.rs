@@ -92,7 +92,10 @@ impl<'a> BitReader<'a> {
 
     /// Starts reading at an absolute bit offset.
     pub fn at(words: &'a [u32], bit_pos: usize) -> Self {
-        BitReader { words, pos: bit_pos }
+        BitReader {
+            words,
+            pos: bit_pos,
+        }
     }
 
     pub fn bit_pos(&self) -> usize {

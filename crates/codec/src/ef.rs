@@ -53,7 +53,10 @@ impl EfBlock {
             };
         }
         let max = *values.last().expect("non-empty");
-        debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "values must be sorted");
+        debug_assert!(
+            values.windows(2).all(|w| w[0] <= w[1]),
+            "values must be sorted"
+        );
         let b = low_bits_for(n, max);
 
         let mut hb = BitWriter::new();

@@ -264,7 +264,7 @@ mod tests {
         // One huge value at each end, tiny values between: with a small b
         // the chain cannot jump the middle, so forced exceptions appear.
         let mut values = vec![1u32 << 20];
-        values.extend(std::iter::repeat(1).take(126));
+        values.extend(std::iter::repeat_n(1, 126));
         values.push(1 << 20);
         let blk = roundtrip(&values);
         assert!(
@@ -314,7 +314,7 @@ mod tests {
         let b = choose_b(&values);
         assert!(b <= 5, "b = {b}");
         // All values equal -> exact width.
-        assert_eq!(choose_b(&vec![7u32; 50]), 3);
+        assert_eq!(choose_b(&[7u32; 50]), 3);
         assert_eq!(choose_b(&[]), 0);
     }
 }

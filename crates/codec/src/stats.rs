@@ -84,7 +84,11 @@ mod tests {
         let mut stats = CompressionStats::new();
         for n in [1000u32, 2000, 4000] {
             let ids = dense_list(n, 5);
-            stats.add(&BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN));
+            stats.add(&BlockedList::compress(
+                &ids,
+                Codec::EliasFano,
+                DEFAULT_BLOCK_LEN,
+            ));
         }
         assert_eq!(stats.lists, 3);
         assert_eq!(stats.elements, 7000);

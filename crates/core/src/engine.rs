@@ -6,8 +6,9 @@ use griffin_cpu::{CpuEngine, Intermediate, WorkCounters};
 use griffin_gpu::{DeviceIntermediate, GpuEngine, GpuStrategy};
 use griffin_gpu_sim::{Gpu, VirtualNanos};
 use griffin_index::{CorpusMeta, InvertedIndex, TermId};
+use griffin_telemetry::{Telemetry, TraceEvent};
 
-use crate::sched::{Proc, Scheduler};
+use crate::sched::{Decision, Proc, Scheduler};
 
 /// How a query is executed (the paper's three evaluated configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,7 @@ pub struct Griffin<'g> {
     pub gpu: GpuEngine<'g>,
     pub scheduler: Scheduler,
     device: &'g Gpu,
+    telemetry: Telemetry,
 }
 
 impl<'g> Griffin<'g> {
@@ -90,7 +92,113 @@ impl<'g> Griffin<'g> {
             gpu: GpuEngine::new(device, meta),
             scheduler: Scheduler::for_block_len(block_len),
             device,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry session. Every subsequent query records its
+    /// steps and scheduler decisions; the device observer is installed
+    /// so kernel launches and PCIe transfers are traced too. Recording
+    /// is passive — results and virtual timings are unchanged (see the
+    /// `telemetry_equivalence` integration test). Pass
+    /// [`Telemetry::disabled`] to detach.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.device
+            .set_observer(telemetry.device_observer(self.device.config().warp_size));
+        self.telemetry = telemetry;
+    }
+
+    /// The currently attached telemetry session.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Record one executed step into the trace and the step-latency
+    /// histograms.
+    fn record_step(&self, s: &StepTrace) {
+        let (op, arg) = match s.op {
+            StepOp::Init => ("init", 0),
+            StepOp::Intersect(i) => ("intersect", i),
+            StepOp::Migrate => ("migrate", 0),
+            StepOp::TopK => ("topk", 0),
+        };
+        let proc = s.proc.label();
+        self.telemetry.record(|r| TraceEvent::Step {
+            query: r.current_query(),
+            op,
+            arg,
+            proc,
+            duration: s.time,
+            inter_len: s.inter_len,
+        });
+        self.telemetry.observe_duration(
+            &format!("griffin_step_ns{{op=\"{op}\",proc=\"{proc}\"}}"),
+            s.time,
+        );
+    }
+
+    /// Record one scheduler decision.
+    fn record_decision(&self, d: &Decision) {
+        let chosen = d.chosen.label();
+        self.telemetry.record(|r| TraceEvent::SchedDecision {
+            query: r.current_query(),
+            short_len: d.short_len,
+            long_len: d.long_len,
+            ratio: d.ratio,
+            effective_threshold: d.effective_threshold,
+            hysteresis_applied: d.hysteresis_applied,
+            chosen,
+        });
+        self.telemetry.counter_add(
+            &format!("griffin_sched_decisions_total{{proc=\"{chosen}\"}}"),
+            1,
+        );
+    }
+
+    /// Fold CPU work counters into the registry.
+    fn record_cpu_work(&self, w: &WorkCounters) {
+        self.telemetry.with(|r| {
+            for (name, v) in w.named() {
+                if v > 0 {
+                    r.registry
+                        .counter_add(&format!("griffin_cpu_work_total{{counter=\"{name}\"}}"), v);
+                }
+            }
+        });
+    }
+
+    /// Bracket one query's telemetry: QueryStart before, QueryEnd plus
+    /// the per-mode latency histogram after.
+    fn record_query<F: FnOnce() -> GriffinOutput>(
+        &self,
+        mode: ExecMode,
+        terms: usize,
+        run: F,
+    ) -> GriffinOutput {
+        self.telemetry.record(|r| TraceEvent::QueryStart {
+            query: r.begin_query(),
+            terms,
+        });
+        let out = run();
+        let mode_label = match mode {
+            ExecMode::CpuOnly => "cpu_only",
+            ExecMode::GpuOnly => "gpu_only",
+            ExecMode::Hybrid => "hybrid",
+        };
+        self.telemetry.counter_add(
+            &format!("griffin_queries_total{{mode=\"{mode_label}\"}}"),
+            1,
+        );
+        self.telemetry.observe_duration(
+            &format!("griffin_query_ns{{mode=\"{mode_label}\"}}"),
+            out.time,
+        );
+        self.telemetry.record(|r| TraceEvent::QueryEnd {
+            query: r.current_query(),
+            total: out.time,
+            results: out.topk.len(),
+        });
+        out
     }
 
     /// String-level convenience: looks the words up in the dictionary and
@@ -128,9 +236,10 @@ impl<'g> Griffin<'g> {
         k: usize,
         mode: ExecMode,
     ) -> GriffinOutput {
-        match mode {
+        self.record_query(mode, terms.len(), || match mode {
             ExecMode::CpuOnly => {
                 let out = self.cpu.process_query(index, terms, k);
+                self.record_cpu_work(&out.counters);
                 GriffinOutput {
                     topk: out.topk,
                     time: out.time,
@@ -140,6 +249,7 @@ impl<'g> Griffin<'g> {
             ExecMode::GpuOnly => {
                 let (topk, gpu_time, rank_w) = self.gpu.process_query(index, terms, k);
                 let rank_time = self.cpu.model.time(&rank_w);
+                self.record_cpu_work(&rank_w);
                 GriffinOutput {
                     topk,
                     time: gpu_time + rank_time,
@@ -147,7 +257,7 @@ impl<'g> Griffin<'g> {
                 }
             }
             ExecMode::Hybrid => self.process_hybrid(index, terms, k),
-        }
+        })
     }
 
     fn process_hybrid(&self, index: &InvertedIndex, terms: &[TermId], k: usize) -> GriffinOutput {
@@ -167,8 +277,11 @@ impl<'g> Griffin<'g> {
         let first_len = index.doc_freq(first);
         let initial = match rest.first() {
             Some(&second) => {
-                self.scheduler
-                    .decide(first_len, index.doc_freq(second), Proc::Cpu)
+                let d = self
+                    .scheduler
+                    .decide_traced(first_len, index.doc_freq(second), Proc::Cpu);
+                self.record_decision(&d);
+                d.chosen
             }
             None => Proc::Cpu,
         };
@@ -189,12 +302,14 @@ impl<'g> Griffin<'g> {
                     time: t_up,
                     inter_len: dev_inter.len,
                 });
+                self.record_step(steps.last().expect("just pushed"));
                 Inter::Device(dev_inter)
             }
             Proc::Cpu => {
                 let mut w = WorkCounters::default();
                 let host = self.cpu.init_intermediate(index, first, &mut w);
                 let t = self.cpu.model.time(&w);
+                self.record_cpu_work(&w);
                 total += t;
                 steps.push(StepTrace {
                     op: StepOp::Init,
@@ -202,6 +317,7 @@ impl<'g> Griffin<'g> {
                     time: t,
                     inter_len: host.len(),
                 });
+                self.record_step(steps.last().expect("just pushed"));
                 Inter::Host(host)
             }
         };
@@ -211,7 +327,11 @@ impl<'g> Griffin<'g> {
                 break;
             }
             let long_len = index.doc_freq(term);
-            let target = self.scheduler.decide(inter.len(), long_len, inter.loc());
+            let decision = self
+                .scheduler
+                .decide_traced(inter.len(), long_len, inter.loc());
+            self.record_decision(&decision);
+            let target = decision.chosen;
 
             // Migrate the intermediate if the scheduler moved the op.
             if target != inter.loc() {
@@ -224,23 +344,28 @@ impl<'g> Griffin<'g> {
                     time: t,
                     inter_len: inter.len(),
                 });
+                self.record_step(steps.last().expect("just pushed"));
             }
 
             let (next, t) = match (inter, target) {
                 (Inter::Device(dev), Proc::Gpu) => {
                     let start = self.device.now();
                     let postings = self.gpu.upload(index, term);
-                    let out =
-                        self.gpu
-                            .intersect_step(dev, &postings, index.block_len(), GpuStrategy::Auto);
+                    let out = self.gpu.intersect_step(
+                        dev,
+                        &postings,
+                        index.block_len(),
+                        GpuStrategy::Auto,
+                    );
                     self.gpu.release(postings);
                     (Inter::Device(out), self.device.now() - start)
                 }
                 (Inter::Host(host), Proc::Cpu) => {
                     let mut w = WorkCounters::default();
-                    let out =
-                        self.cpu
-                            .intersect_step(index, &host, term, Strategy::Auto, &mut w);
+                    let out = self
+                        .cpu
+                        .intersect_step(index, &host, term, Strategy::Auto, &mut w);
+                    self.record_cpu_work(&w);
                     (Inter::Host(out), self.cpu.model.time(&w))
                 }
                 _ => unreachable!("intermediate was just migrated to the target"),
@@ -253,6 +378,7 @@ impl<'g> Griffin<'g> {
                 time: t,
                 inter_len: inter.len(),
             });
+            self.record_step(steps.last().expect("just pushed"));
         }
 
         // Results come home; ranking runs on the CPU (Fig. 7).
@@ -268,6 +394,7 @@ impl<'g> Griffin<'g> {
                     time: t,
                     inter_len: docids.len(),
                 });
+                self.record_step(steps.last().expect("just pushed"));
                 Intermediate { docids, scores }
             }
             Inter::Host(h) => h,
@@ -275,6 +402,7 @@ impl<'g> Griffin<'g> {
         let mut w = WorkCounters::default();
         let topk = griffin_cpu::topk::top_k(&host.docids, &host.scores, k, &mut w);
         let t_rank = self.cpu.model.time(&w);
+        self.record_cpu_work(&w);
         total += t_rank;
         steps.push(StepTrace {
             op: StepOp::TopK,
@@ -282,6 +410,7 @@ impl<'g> Griffin<'g> {
             time: t_rank,
             inter_len: topk.len(),
         });
+        self.record_step(steps.last().expect("just pushed"));
 
         GriffinOutput {
             topk,
@@ -340,7 +469,9 @@ mod tests {
     }
 
     fn terms(idx: &InvertedIndex, n: usize) -> Vec<TermId> {
-        (0..n).map(|i| idx.lookup(&format!("t{i}")).unwrap()).collect()
+        (0..n)
+            .map(|i| idx.lookup(&format!("t{i}")).unwrap())
+            .collect()
     }
 
     #[test]
@@ -378,8 +509,18 @@ mod tests {
             .filter(|s| matches!(s.op, StepOp::Init | StepOp::Intersect(_)))
             .map(|s| s.proc)
             .collect();
-        assert_eq!(procs.first(), Some(&Proc::Gpu), "starts on GPU: {:?}", out.steps);
-        assert_eq!(procs.last(), Some(&Proc::Cpu), "finishes on CPU: {:?}", out.steps);
+        assert_eq!(
+            procs.first(),
+            Some(&Proc::Gpu),
+            "starts on GPU: {:?}",
+            out.steps
+        );
+        assert_eq!(
+            procs.last(),
+            Some(&Proc::Cpu),
+            "finishes on CPU: {:?}",
+            out.steps
+        );
         assert!(
             out.steps.iter().any(|s| s.op == StepOp::Migrate),
             "expected a migration step"

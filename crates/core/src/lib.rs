@@ -26,5 +26,5 @@ pub mod sched;
 pub mod serving;
 
 pub use engine::{ExecMode, Griffin, GriffinOutput, StepOp, StepTrace};
-pub use sched::{Proc, Scheduler};
+pub use sched::{Decision, Proc, Scheduler};
 pub use serving::{Job, Resource, ServingSim, StageReq};

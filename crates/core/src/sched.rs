@@ -21,6 +21,32 @@ pub enum Proc {
     Gpu,
 }
 
+impl Proc {
+    /// Stable lowercase label, used as a metric/trace dimension.
+    pub fn label(self) -> &'static str {
+        match self {
+            Proc::Cpu => "cpu",
+            Proc::Gpu => "gpu",
+        }
+    }
+}
+
+/// Everything that went into (and came out of) one scheduling decision,
+/// surfaced for telemetry and the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    pub short_len: usize,
+    pub long_len: usize,
+    /// `long_len / short_len` (0 when the intermediate is empty).
+    pub ratio: f64,
+    /// The threshold the ratio was compared against, after any
+    /// placement-aware hysteresis.
+    pub effective_threshold: f64,
+    /// Whether hysteresis inflated the threshold for this decision.
+    pub hysteresis_applied: bool,
+    pub chosen: Proc,
+}
+
 /// The ratio-crossover scheduler.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
@@ -68,23 +94,41 @@ impl Scheduler {
     /// * `long_len` — the next list's length;
     /// * `current` — where the intermediate currently lives.
     pub fn decide(&self, short_len: usize, long_len: usize, current: Proc) -> Proc {
-        if short_len == 0 {
-            // Empty intermediate: nothing to do anywhere; prefer where the
-            // data is to avoid a pointless transfer.
-            return current;
-        }
-        if long_len < self.min_gpu_work {
-            return Proc::Cpu;
-        }
-        let ratio = long_len as f64 / short_len as f64;
+        self.decide_traced(short_len, long_len, current).chosen
+    }
+
+    /// [`Scheduler::decide`], returning the full [`Decision`] record
+    /// (inputs, ratio, effective threshold, hysteresis) for telemetry.
+    pub fn decide_traced(&self, short_len: usize, long_len: usize, current: Proc) -> Decision {
+        let hysteresis_applied = self.placement_aware && current == Proc::Gpu;
         let mut threshold = self.ratio_threshold as f64;
-        if self.placement_aware && current == Proc::Gpu {
+        if hysteresis_applied {
             threshold *= self.hysteresis;
         }
-        if ratio < threshold {
-            Proc::Gpu
+        let (ratio, chosen) = if short_len == 0 {
+            // Empty intermediate: nothing to do anywhere; prefer where the
+            // data is to avoid a pointless transfer.
+            (0.0, current)
+        } else if long_len < self.min_gpu_work {
+            (long_len as f64 / short_len as f64, Proc::Cpu)
         } else {
-            Proc::Cpu
+            let ratio = long_len as f64 / short_len as f64;
+            (
+                ratio,
+                if ratio < threshold {
+                    Proc::Gpu
+                } else {
+                    Proc::Cpu
+                },
+            )
+        };
+        Decision {
+            short_len,
+            long_len,
+            ratio,
+            effective_threshold: threshold,
+            hysteresis_applied,
+            chosen,
         }
     }
 
@@ -150,7 +194,7 @@ mod tests {
         let s = Scheduler::for_block_len(128);
         // λ > 128 ⇒ |R| < |S|/128 = #blocks ⇒ skippable blocks exist.
         assert!(s.skippable_blocks_guaranteed(100, 128_000, 128)); // 1000 blocks
-        // λ = 1: every block relevant (short maps into all of them).
+                                                                   // λ = 1: every block relevant (short maps into all of them).
         assert!(!s.skippable_blocks_guaranteed(128_000, 128_000, 128));
     }
 

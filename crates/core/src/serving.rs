@@ -17,6 +17,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use griffin_gpu_sim::VirtualNanos;
+use griffin_telemetry::{SpanEvent, Timeline};
 
 /// A serving resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +62,22 @@ impl ServingSim {
     /// Runs all jobs to completion; returns each job's total latency
     /// (completion − arrival), in job order.
     pub fn run(&mut self, jobs: &[Job]) -> Vec<VirtualNanos> {
+        self.run_impl(jobs, None)
+    }
+
+    /// Like [`ServingSim::run`], additionally returning the complete
+    /// per-stage schedule: one [`SpanEvent`] per executed stage with
+    /// its resource lane, ready/start/end times (start − ready is queue
+    /// wait). The [`Timeline`] derives per-resource utilization and
+    /// queue-depth curves, and exports Chrome trace-event JSON. The
+    /// schedule itself is identical to [`ServingSim::run`]'s.
+    pub fn run_with_timeline(&mut self, jobs: &[Job]) -> (Vec<VirtualNanos>, Timeline) {
+        let mut timeline = Timeline::default();
+        let latencies = self.run_impl(jobs, Some(&mut timeline));
+        (latencies, timeline)
+    }
+
+    fn run_impl(&mut self, jobs: &[Job], mut timeline: Option<&mut Timeline>) -> Vec<VirtualNanos> {
         // Event heap keyed by the time a job's next stage becomes ready.
         // Ties broken by job index for determinism.
         let mut heap: BinaryHeap<Reverse<(VirtualNanos, usize, usize)>> = BinaryHeap::new();
@@ -76,7 +93,7 @@ impl ServingSim {
                 continue;
             }
             let stage = job.stages[stage_idx];
-            let end = match stage.resource {
+            let (resource, lane, start, end) = match stage.resource {
                 Resource::Cpu => {
                     // Earliest-available core.
                     let core = self
@@ -89,15 +106,26 @@ impl ServingSim {
                     let start = ready.max(self.cpu_free[core]);
                     let end = start + stage.duration;
                     self.cpu_free[core] = end;
-                    end
+                    ("cpu", core, start, end)
                 }
                 Resource::Gpu => {
                     let start = ready.max(self.gpu_free);
                     let end = start + stage.duration;
                     self.gpu_free = end;
-                    end
+                    ("gpu", 0, start, end)
                 }
             };
+            if let Some(tl) = timeline.as_deref_mut() {
+                tl.push(SpanEvent {
+                    resource,
+                    lane,
+                    job: j,
+                    stage: stage_idx,
+                    ready,
+                    start,
+                    end,
+                });
+            }
             heap.push(Reverse((end, j, stage_idx + 1)));
         }
         jobs.iter()

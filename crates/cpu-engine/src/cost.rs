@@ -97,6 +97,26 @@ pub struct WorkCounters {
 }
 
 impl WorkCounters {
+    /// Every counter with its field name, in declaration order — the
+    /// stable enumeration telemetry uses to fold CPU work into a
+    /// metrics registry without this crate knowing about telemetry.
+    pub fn named(&self) -> [(&'static str, u64); 12] {
+        [
+            ("pfor_elements", self.pfor_elements),
+            ("pfor_exceptions", self.pfor_exceptions),
+            ("ef_elements", self.ef_elements),
+            ("varint_elements", self.varint_elements),
+            ("blocks_decoded", self.blocks_decoded),
+            ("merge_steps", self.merge_steps),
+            ("probes", self.probes),
+            ("skip_probes", self.skip_probes),
+            ("scored", self.scored),
+            ("topk_scanned", self.topk_scanned),
+            ("emitted", self.emitted),
+            ("bytes_touched", self.bytes_touched),
+        ]
+    }
+
     pub fn add(&mut self, o: &WorkCounters) {
         self.pfor_elements += o.pfor_elements;
         self.pfor_exceptions += o.pfor_exceptions;

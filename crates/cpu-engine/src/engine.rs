@@ -179,12 +179,7 @@ impl CpuEngine {
     }
 
     /// Full conjunctive query: SvS over all terms, BM25, top-k.
-    pub fn process_query(
-        &self,
-        index: &InvertedIndex,
-        terms: &[TermId],
-        k: usize,
-    ) -> QueryOutput {
+    pub fn process_query(&self, index: &InvertedIndex, terms: &[TermId], k: usize) -> QueryOutput {
         let mut w = WorkCounters::default();
         let planned = self.plan(index, terms);
         let Some((&first, rest)) = planned.split_first() else {

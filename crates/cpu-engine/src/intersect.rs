@@ -287,8 +287,7 @@ mod tests {
                 tf: i % 7 + 1,
             })
             .collect();
-        let list =
-            CompressedPostingList::compress(&postings, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let list = CompressedPostingList::compress(&postings, Codec::EliasFano, DEFAULT_BLOCK_LEN);
         let b_idx = vec![0u32, 127, 128, 399];
         let tfs = gather_tfs(&list, &b_idx, &mut wc());
         assert_eq!(

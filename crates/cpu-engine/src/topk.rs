@@ -6,12 +6,7 @@ use crate::cost::WorkCounters;
 /// Selects the `k` highest-scoring documents, ties broken by ascending
 /// docID for determinism. Equivalent to C++ `std::partial_sort`:
 /// select-nth then sort the prefix.
-pub fn top_k(
-    docids: &[u32],
-    scores: &[f32],
-    k: usize,
-    w: &mut WorkCounters,
-) -> Vec<(u32, f32)> {
+pub fn top_k(docids: &[u32], scores: &[f32], k: usize, w: &mut WorkCounters) -> Vec<(u32, f32)> {
     assert_eq!(docids.len(), scores.len());
     let n = docids.len();
     w.topk_scanned += n as u64;

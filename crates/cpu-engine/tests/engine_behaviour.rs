@@ -21,7 +21,10 @@ fn sorted_unique() -> impl Strategy<Value = Vec<u32>> {
 }
 
 fn reference_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
-    a.iter().filter(|v| b.binary_search(v).is_ok()).copied().collect()
+    a.iter()
+        .filter(|v| b.binary_search(v).is_ok())
+        .copied()
+        .collect()
 }
 
 proptest! {
@@ -77,7 +80,9 @@ fn skip_search_work_scales_with_short_list_not_long() {
     let model = CpuCostModel::default();
     let mut times = Vec::new();
     for m in [100usize, 1_000] {
-        let short: Vec<u32> = (0..m as u32).map(|i| i * (3_000_000 / m as u32) + 1).collect();
+        let short: Vec<u32> = (0..m as u32)
+            .map(|i| i * (3_000_000 / m as u32) + 1)
+            .collect();
         let mut w = WorkCounters::default();
         skip_intersect(&short, &compressed, &mut w);
         times.push(model.time(&w).as_nanos() as f64);
@@ -101,20 +106,25 @@ fn merge_work_scales_with_combined_length() {
         times.push(model.time(&w).as_nanos() as f64);
     }
     let ratio = times[1] / times[0];
-    assert!((3.0..5.0).contains(&ratio), "4x data should cost ~4x, got {ratio:.1}x");
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "4x data should cost ~4x, got {ratio:.1}x"
+    );
 }
 
 #[test]
 fn query_over_different_codecs_returns_same_results() {
     let lists: Vec<Vec<u32>> = vec![
         (0..500u32).map(|i| i * 31 + 4).collect(),
-        (0..4_000u32).map(|i| i * 4 + 0).collect(),
-        (0..9_000u32).map(|i| i * 2 + 0).collect(),
+        (0..4_000u32).map(|i| i * 4).collect(),
+        (0..9_000u32).map(|i| i * 2).collect(),
     ];
     let mut outputs = Vec::new();
     for codec in [Codec::PforDelta, Codec::EliasFano, Codec::Varint] {
         let idx = InvertedIndex::from_docid_lists(&lists, 40_000, codec, 128);
-        let terms: Vec<TermId> = (0..3).map(|i| idx.lookup(&format!("t{i}")).unwrap()).collect();
+        let terms: Vec<TermId> = (0..3)
+            .map(|i| idx.lookup(&format!("t{i}")).unwrap())
+            .collect();
         let engine = CpuEngine::new();
         outputs.push(engine.process_query(&idx, &terms, 10).topk);
     }

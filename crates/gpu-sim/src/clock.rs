@@ -184,8 +184,14 @@ mod tests {
 
     #[test]
     fn div_by_zero_is_guarded() {
-        assert_eq!(VirtualNanos::from_nanos(10) / 0, VirtualNanos::from_nanos(10));
-        assert_eq!(VirtualNanos::from_nanos(10) / 2, VirtualNanos::from_nanos(5));
+        assert_eq!(
+            VirtualNanos::from_nanos(10) / 0,
+            VirtualNanos::from_nanos(10)
+        );
+        assert_eq!(
+            VirtualNanos::from_nanos(10) / 2,
+            VirtualNanos::from_nanos(5)
+        );
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! The simulated device: memory management, transfers, kernel launches, and
 //! the virtual clock.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::clock::VirtualNanos;
 use crate::config::DeviceConfig;
 use crate::kernel::{run_block, Kernel, LaunchConfig};
 use crate::mem::{DeviceBuffer, DeviceWord, MemStats, Pool, WriteLog};
+use crate::observe::{DeviceEvent, DeviceObserver, TransferDir};
 use crate::pcie::transfer_time;
 use crate::timing::{kernel_time, TimeBreakdown};
 use crate::tracer::LaunchCounters;
@@ -36,6 +36,10 @@ pub struct Gpu {
     /// Below this many threads a launch runs on one host thread (spawning
     /// costs more than it saves).
     parallel_threshold: u64,
+    /// Passive telemetry hook (see [`crate::observe`]). The flag keeps the
+    /// disabled-path cost to one relaxed atomic load per operation.
+    observed: AtomicBool,
+    observer: Mutex<Option<Arc<DeviceObserver>>>,
 }
 
 impl Gpu {
@@ -46,7 +50,35 @@ impl Gpu {
             clock_ns: AtomicU64::new(0),
             stats: MemStats::default(),
             parallel_threshold: 1 << 15,
+            observed: AtomicBool::new(false),
+            observer: Mutex::new(None),
         }
+    }
+
+    /// Installs (or, with `None`, removes) a passive observer that is
+    /// called after every kernel launch and PCIe transfer. Observers are
+    /// read-only: they can never change functional results or the virtual
+    /// clock, which is what makes tracing-on vs. tracing-off equivalence
+    /// testable.
+    pub fn set_observer(&self, observer: Option<Arc<DeviceObserver>>) {
+        self.observed.store(observer.is_some(), Ordering::Release);
+        *self.observer.lock().expect("observer lock") = observer;
+    }
+
+    #[inline]
+    fn observe(&self, event: &DeviceEvent<'_>) {
+        if !self.observed.load(Ordering::Acquire) {
+            return;
+        }
+        let obs = self.observer.lock().expect("observer lock").clone();
+        if let Some(obs) = obs {
+            obs(event);
+        }
+    }
+
+    #[inline]
+    fn lock_pool(&self) -> MutexGuard<'_, Pool> {
+        self.pool.lock().expect("device pool lock")
     }
 
     pub fn config(&self) -> &DeviceConfig {
@@ -78,13 +110,13 @@ impl Gpu {
 
     /// Device memory currently allocated, in bytes.
     pub fn mem_in_use(&self) -> u64 {
-        self.pool.lock().bytes_in_use
+        self.lock_pool().bytes_in_use
     }
 
     /// Allocate an uninitialized (zeroed) buffer of `len` elements.
     /// Charges the `cudaMalloc` overhead.
     pub fn alloc<T: DeviceWord>(&self, len: usize) -> DeviceBuffer<T> {
-        let mut pool = self.pool.lock();
+        let mut pool = self.lock_pool();
         let (id, generation) = pool.alloc(vec![0u32; len]);
         let in_use = pool.bytes_in_use;
         assert!(
@@ -103,7 +135,7 @@ impl Gpu {
     pub fn htod<T: DeviceWord>(&self, host: &[T]) -> DeviceBuffer<T> {
         let words: Vec<u32> = host.iter().map(|v| v.to_word()).collect();
         let bytes = words.len() as u64 * 4;
-        let mut pool = self.pool.lock();
+        let mut pool = self.lock_pool();
         let (id, generation) = pool.alloc(words);
         let in_use = pool.bytes_in_use;
         assert!(
@@ -116,7 +148,15 @@ impl Gpu {
         self.stats.track_peak(in_use);
         self.stats.htod_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.advance(VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns));
-        self.advance(transfer_time(&self.cfg.pcie, bytes));
+        let start = self.now();
+        let duration = transfer_time(&self.cfg.pcie, bytes);
+        self.advance(duration);
+        self.observe(&DeviceEvent::Transfer {
+            direction: TransferDir::HtoD,
+            bytes,
+            start,
+            duration,
+        });
         DeviceBuffer::new(id, host.len(), generation)
     }
 
@@ -127,7 +167,7 @@ impl Gpu {
     pub fn htod_packed(&self, parts: &[&[u32]]) -> Vec<DeviceBuffer<u32>> {
         let total_bytes: u64 = parts.iter().map(|p| p.len() as u64 * 4).sum();
         let mut out = Vec::with_capacity(parts.len());
-        let mut pool = self.pool.lock();
+        let mut pool = self.lock_pool();
         for part in parts {
             let (id, generation) = pool.alloc(part.to_vec());
             out.push(DeviceBuffer::new(id, part.len(), generation));
@@ -145,18 +185,38 @@ impl Gpu {
             .htod_bytes
             .fetch_add(total_bytes, Ordering::Relaxed);
         self.advance(VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns));
-        self.advance(transfer_time(&self.cfg.pcie, total_bytes));
+        let start = self.now();
+        let duration = transfer_time(&self.cfg.pcie, total_bytes);
+        self.advance(duration);
+        self.observe(&DeviceEvent::Transfer {
+            direction: TransferDir::HtoD,
+            bytes: total_bytes,
+            start,
+            duration,
+        });
         out
     }
 
     /// Copy a buffer back to the host: device→host DMA.
     pub fn dtoh<T: DeviceWord>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
-        let pool = self.pool.lock();
-        let out: Vec<T> = pool.words(buf.id).iter().map(|&w| T::from_word(w)).collect();
+        let pool = self.lock_pool();
+        let out: Vec<T> = pool
+            .words(buf.id)
+            .iter()
+            .map(|&w| T::from_word(w))
+            .collect();
         drop(pool);
         let bytes = buf.size_bytes();
         self.stats.dtoh_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.advance(transfer_time(&self.cfg.pcie, bytes));
+        let start = self.now();
+        let duration = transfer_time(&self.cfg.pcie, bytes);
+        self.advance(duration);
+        self.observe(&DeviceEvent::Transfer {
+            direction: TransferDir::DtoH,
+            bytes,
+            start,
+            duration,
+        });
         out
     }
 
@@ -164,7 +224,7 @@ impl Gpu {
     /// kernels where only `len` of the allocation is meaningful).
     pub fn dtoh_prefix<T: DeviceWord>(&self, buf: &DeviceBuffer<T>, len: usize) -> Vec<T> {
         assert!(len <= buf.len());
-        let pool = self.pool.lock();
+        let pool = self.lock_pool();
         let out: Vec<T> = pool.words(buf.id)[..len]
             .iter()
             .map(|&w| T::from_word(w))
@@ -172,20 +232,28 @@ impl Gpu {
         drop(pool);
         let bytes = len as u64 * 4;
         self.stats.dtoh_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.advance(transfer_time(&self.cfg.pcie, bytes));
+        let start = self.now();
+        let duration = transfer_time(&self.cfg.pcie, bytes);
+        self.advance(duration);
+        self.observe(&DeviceEvent::Transfer {
+            direction: TransferDir::DtoH,
+            bytes,
+            start,
+            duration,
+        });
         out
     }
 
     /// Read a single element without charging transfer time (host-side
     /// debugging/tests only).
     pub fn peek<T: DeviceWord>(&self, buf: &DeviceBuffer<T>, idx: usize) -> T {
-        let pool = self.pool.lock();
+        let pool = self.lock_pool();
         T::from_word(pool.words(buf.id)[idx])
     }
 
     /// Release a buffer. Charges the `cudaFree` overhead.
     pub fn free<T: DeviceWord>(&self, buf: DeviceBuffer<T>) {
-        self.pool.lock().free(buf.id);
+        self.lock_pool().free(buf.id);
         self.stats.on_free();
         self.advance(VirtualNanos::from_nanos(self.cfg.free_overhead_ns));
     }
@@ -197,22 +265,21 @@ impl Gpu {
 
     /// Launch a kernel and advance the clock by its modelled duration.
     pub fn launch<K: Kernel>(&self, kernel: &K, lc: LaunchConfig) -> LaunchReport {
-        let mut pool = self.pool.lock();
+        let mut pool = self.lock_pool();
         let warps_per_block = lc.block_dim.div_ceil(self.cfg.warp_size);
         let total_warps = u64::from(lc.grid_dim) * u64::from(warps_per_block);
 
-        let (mut counters, logs) = if lc.total_threads() < self.parallel_threshold
-            || lc.grid_dim == 1
-        {
-            let mut counters = LaunchCounters::default();
-            let mut log = WriteLog::default();
-            for b in 0..lc.grid_dim {
-                run_block(kernel, &self.cfg, lc, b, &pool, &mut log, &mut counters);
-            }
-            (counters, vec![log])
-        } else {
-            self.launch_parallel(kernel, lc, &pool)
-        };
+        let (mut counters, logs) =
+            if lc.total_threads() < self.parallel_threshold || lc.grid_dim == 1 {
+                let mut counters = LaunchCounters::default();
+                let mut log = WriteLog::default();
+                for b in 0..lc.grid_dim {
+                    run_block(kernel, &self.cfg, lc, b, &pool, &mut log, &mut counters);
+                }
+                (counters, vec![log])
+            } else {
+                self.launch_parallel(kernel, lc, &pool)
+            };
 
         counters.total_warps = total_warps;
         counters.stores_applied = logs.iter().map(|l| l.stores() as u64).sum();
@@ -227,13 +294,20 @@ impl Gpu {
 
         let breakdown = kernel_time(&self.cfg, &counters);
         let time = breakdown.total();
+        let start = self.now();
         self.advance(time);
-        LaunchReport {
+        let report = LaunchReport {
             time,
             breakdown,
             counters,
             config: lc,
-        }
+        };
+        self.observe(&DeviceEvent::KernelLaunch {
+            name: kernel.name(),
+            start,
+            report: &report,
+        });
+        report
     }
 
     /// Execute blocks on multiple host threads. Each worker owns a write
@@ -254,7 +328,7 @@ impl Gpu {
         let cfg = &self.cfg;
 
         let mut results: Vec<(LaunchCounters, WriteLog)> = Vec::with_capacity(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
                 let first = w * chunk;
@@ -262,7 +336,7 @@ impl Gpu {
                 if first >= last {
                     break;
                 }
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut counters = LaunchCounters::default();
                     let mut log = WriteLog::default();
                     for b in first..last {
@@ -274,8 +348,7 @@ impl Gpu {
             for h in handles {
                 results.push(h.join().expect("kernel block executor panicked"));
             }
-        })
-        .expect("launch scope failed");
+        });
 
         let mut counters = LaunchCounters::default();
         let mut logs = Vec::with_capacity(results.len());

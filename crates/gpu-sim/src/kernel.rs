@@ -18,7 +18,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     pub fn new(grid_dim: u32, block_dim: u32) -> Self {
         assert!(grid_dim > 0 && block_dim > 0, "empty launch");
-        LaunchConfig { grid_dim, block_dim }
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+        }
     }
 
     /// Enough `block_dim`-sized blocks to cover `n` elements, one thread
@@ -59,6 +62,16 @@ pub trait Kernel: Sync {
     fn shared_mem_words(&self, block_dim: u32) -> usize {
         let _ = block_dim;
         0
+    }
+
+    /// Human-readable kernel name, used by device observers (telemetry).
+    /// Defaults to the implementing type's name with module path stripped.
+    fn name(&self) -> &'static str {
+        let full = std::any::type_name::<Self>();
+        match full.rsplit("::").next() {
+            Some(short) if !short.is_empty() => short,
+            _ => full,
+        }
     }
 
     /// Body of one thread for one phase.

@@ -79,6 +79,7 @@ pub mod config;
 pub mod device;
 pub mod kernel;
 pub mod mem;
+pub mod observe;
 pub mod pcie;
 pub mod timing;
 pub mod tracer;
@@ -88,4 +89,5 @@ pub use config::{CostParams, DeviceConfig, PcieConfig};
 pub use device::{Gpu, LaunchReport};
 pub use kernel::{Dim, Kernel, LaunchConfig, ThreadCtx};
 pub use mem::{DeviceBuffer, DeviceWord};
+pub use observe::{DeviceEvent, DeviceObserver, TransferDir};
 pub use tracer::{LaunchCounters, Op};

@@ -293,7 +293,11 @@ mod tests {
         for i in 0..8 {
             log.push(a, i, i as u32 * 10);
         }
-        assert_eq!(log.runs.len(), 1, "contiguous stores should pack into one run");
+        assert_eq!(
+            log.runs.len(),
+            1,
+            "contiguous stores should pack into one run"
+        );
         assert_eq!(log.stores(), 8);
         log.apply(&mut pool);
         assert_eq!(pool.words(a), &[0, 10, 20, 30, 40, 50, 60, 70]);

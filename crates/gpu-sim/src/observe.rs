@@ -1,0 +1,53 @@
+//! Passive observation hooks for the simulated device.
+//!
+//! Telemetry lives *outside* this crate; the device only exposes a
+//! callback installed with [`crate::Gpu::set_observer`]. Observers are
+//! strictly read-only: they run after the virtual clock has already
+//! advanced and receive borrowed event data, so installing one can never
+//! change functional results or virtual timings.
+
+use crate::clock::VirtualNanos;
+use crate::device::LaunchReport;
+
+/// Direction of a PCIe transfer, from the host's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host → device (upload).
+    HtoD,
+    /// Device → host (download).
+    DtoH,
+}
+
+impl TransferDir {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransferDir::HtoD => "htod",
+            TransferDir::DtoH => "dtoh",
+        }
+    }
+}
+
+/// One observable device operation.
+#[derive(Debug)]
+pub enum DeviceEvent<'a> {
+    /// A kernel launch retired.
+    KernelLaunch {
+        /// Kernel name (see [`crate::Kernel::name`]).
+        name: &'static str,
+        /// Device virtual time when the launch started.
+        start: VirtualNanos,
+        /// Full launch report: duration, breakdown, warp counters.
+        report: &'a LaunchReport,
+    },
+    /// A PCIe DMA transfer completed.
+    Transfer {
+        direction: TransferDir,
+        bytes: u64,
+        /// Device virtual time when the transfer started.
+        start: VirtualNanos,
+        duration: VirtualNanos,
+    },
+}
+
+/// Callback type for [`crate::Gpu::set_observer`].
+pub type DeviceObserver = dyn Fn(&DeviceEvent<'_>) + Send + Sync;

@@ -44,7 +44,7 @@ mod tests {
     #[test]
     fn large_transfer_is_bandwidth_bound() {
         let t = transfer_time(&link(), 80_000_000); // 80 MB
-        // 80 MB / 8 GB/s = 10 ms >> 10 us latency.
+                                                    // 80 MB / 8 GB/s = 10 ms >> 10 us latency.
         assert!((t.as_millis_f64() - 10.0).abs() < 0.1, "{t}");
     }
 
@@ -53,6 +53,9 @@ mod tests {
         let small = effective_bandwidth(&link(), 1024);
         let large = effective_bandwidth(&link(), 1 << 30);
         assert!(small < 1.0e9, "small transfers can't reach peak: {small}");
-        assert!(large > 7.9e9, "large transfers should approach 8 GB/s: {large}");
+        assert!(
+            large > 7.9e9,
+            "large transfers should approach 8 GB/s: {large}"
+        );
     }
 }

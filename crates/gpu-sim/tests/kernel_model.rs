@@ -4,9 +4,7 @@
 //! the timing model responds to divergence and coalescing the way real
 //! hardware would.
 
-use griffin_gpu_sim::{
-    DeviceBuffer, DeviceConfig, Gpu, Kernel, LaunchConfig, Op, ThreadCtx,
-};
+use griffin_gpu_sim::{DeviceBuffer, DeviceConfig, Gpu, Kernel, LaunchConfig, Op, ThreadCtx};
 
 fn tiny() -> Gpu {
     Gpu::new(DeviceConfig::test_tiny())
@@ -44,8 +42,8 @@ fn barrier_separated_shared_memory_rotation() {
     let out = gpu.alloc::<u32>(64);
     gpu.launch(&RotateKernel { out: out.clone() }, LaunchConfig::new(1, 64));
     let host = gpu.dtoh(&out);
-    for tid in 0..64usize {
-        assert_eq!(host[tid], (((tid + 1) % 64) as u32) * 10);
+    for (tid, &v) in host.iter().enumerate() {
+        assert_eq!(v, (((tid + 1) % 64) as u32) * 10);
     }
 }
 
@@ -141,9 +139,9 @@ impl Kernel for BranchyKernel {
             return;
         }
         let cond = if self.divergent {
-            i % 2 == 0 // alternates within every warp
+            i.is_multiple_of(2) // alternates within every warp
         } else {
-            t.block_idx % 2 == 0 // uniform within every warp
+            t.block_idx.is_multiple_of(2) // uniform within every warp
         };
         let mut acc = 0u32;
         for k in 0..64u32 {
@@ -323,6 +321,9 @@ fn launch_report_exposes_breakdown() {
     let report = gpu.launch(&CountKernel { out, n }, LaunchConfig::cover(n, 256));
     assert!(report.breakdown.total_ns >= report.breakdown.launch_overhead_ns);
     assert!(["compute", "memory", "latency"].contains(&report.breakdown.bound_by()));
-    assert_eq!(report.config.total_threads() as usize, n.div_ceil(256) * 256);
+    assert_eq!(
+        report.config.total_threads() as usize,
+        n.div_ceil(256) * 256
+    );
     assert_eq!(report.counters.stores_applied, n as u64);
 }

@@ -31,6 +31,10 @@ struct SeedKernel {
 }
 
 impl Kernel for SeedKernel {
+    fn name(&self) -> &'static str {
+        "bucket_select.seed"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -55,6 +59,10 @@ struct BucketHistKernel {
 }
 
 impl Kernel for BucketHistKernel {
+    fn name(&self) -> &'static str {
+        "bucket_select.hist"
+    }
+
     type State = ();
 
     fn phases(&self) -> usize {
@@ -101,6 +109,10 @@ struct HistReduceKernel {
 }
 
 impl Kernel for HistReduceKernel {
+    fn name(&self) -> &'static str {
+        "bucket_select.hist_reduce"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let d = t.global_thread_idx();
@@ -130,6 +142,10 @@ struct BucketFlagKernel {
 }
 
 impl Kernel for BucketFlagKernel {
+    fn name(&self) -> &'static str {
+        "bucket_select.flag"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -153,6 +169,10 @@ struct BucketCompactKernel {
 }
 
 impl Kernel for BucketCompactKernel {
+    fn name(&self) -> &'static str {
+        "bucket_select.compact"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -178,6 +198,10 @@ struct SelectFlagKernel {
 }
 
 impl Kernel for SelectFlagKernel {
+    fn name(&self) -> &'static str {
+        "bucket_select.select_flag"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -208,6 +232,10 @@ struct SelectGatherKernel {
 }
 
 impl Kernel for SelectGatherKernel {
+    fn name(&self) -> &'static str {
+        "bucket_select.select_gather"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -354,7 +382,10 @@ pub fn top_k_by_bucket_select(
     // With a full 4-level descent the threshold is exactly the k-th key, so
     // winners <= k-1; an early break (singleton bucket) zeroes the low
     // bytes, which can pull the k-th element itself above the threshold.
-    debug_assert!(winners <= k, "strict winners ({winners}) must be <= k ({k})");
+    debug_assert!(
+        winners <= k,
+        "strict winners ({winners}) must be <= k ({k})"
+    );
     if winners > 0 {
         gpu.launch(
             &SelectGatherKernel {

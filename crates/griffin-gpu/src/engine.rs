@@ -99,6 +99,10 @@ fn doc_len_of(
 }
 
 impl Kernel for ScoreInitKernel {
+    fn name(&self) -> &'static str {
+        "engine.score_init"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -127,6 +131,10 @@ struct ScoreAccumKernel {
 }
 
 impl Kernel for ScoreAccumKernel {
+    fn name(&self) -> &'static str {
+        "engine.score_accum"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -162,6 +170,10 @@ struct TfGatherKernel {
 }
 
 impl Kernel for TfGatherKernel {
+    fn name(&self) -> &'static str {
+        "engine.tf_gather"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -368,11 +380,7 @@ impl<'g> GpuEngine<'g> {
     ) -> DeviceIntermediate {
         let gpu = self.gpu;
         let long_len = postings.len();
-        let ratio = if inter.len == 0 {
-            usize::MAX
-        } else {
-            long_len / inter.len
-        };
+        let ratio = long_len.checked_div(inter.len).unwrap_or(usize::MAX);
         let strategy = match strategy {
             GpuStrategy::Auto => {
                 if ratio >= self.binary_ratio_threshold {
@@ -606,7 +614,10 @@ mod tests {
             results.push(engine.download(inter));
         }
         assert_eq!(results[0], results[1]);
-        assert!(!results[0].0.is_empty(), "test needs a non-empty intersection");
+        assert!(
+            !results[0].0.is_empty(),
+            "test needs a non-empty intersection"
+        );
     }
 
     #[test]

@@ -40,6 +40,10 @@ struct SkipSearchKernel {
 }
 
 impl Kernel for SkipSearchKernel {
+    fn name(&self) -> &'static str {
+        "gpu_binary.skip_search"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -82,6 +86,10 @@ struct BlockScatterKernel {
 }
 
 impl Kernel for BlockScatterKernel {
+    fn name(&self) -> &'static str {
+        "gpu_binary.block_scatter"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let b = t.global_thread_idx();
@@ -140,6 +148,10 @@ impl BlockDecodeView {
 }
 
 impl Kernel for BlockDecodeKernel {
+    fn name(&self) -> &'static str {
+        "gpu_binary.block_decode"
+    }
+
     type State = ();
 
     fn phases(&self) -> usize {
@@ -237,7 +249,11 @@ impl Kernel for BlockDecodeKernel {
             0
         };
         t.alu(2);
-        t.st(&self.scratch, g * self.block_len + j, base + ((high << b) | low));
+        t.st(
+            &self.scratch,
+            g * self.block_len + j,
+            base + ((high << b) | low),
+        );
     }
 }
 
@@ -257,6 +273,10 @@ struct InBlockSearchKernel {
 }
 
 impl Kernel for InBlockSearchKernel {
+    fn name(&self) -> &'static str {
+        "gpu_binary.in_block_search"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -319,6 +339,10 @@ struct MatchCompactKernel {
 }
 
 impl Kernel for MatchCompactKernel {
+    fn name(&self) -> &'static str {
+        "gpu_binary.match_compact"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -351,6 +375,10 @@ struct FullBinaryKernel {
 }
 
 impl Kernel for FullBinaryKernel {
+    fn name(&self) -> &'static str {
+        "gpu_binary.full_binary"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();

@@ -115,6 +115,10 @@ struct PartitionKernel {
 }
 
 impl Kernel for PartitionKernel {
+    fn name(&self) -> &'static str {
+        "mergepath.partition"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -190,6 +194,10 @@ struct MergeState {
 }
 
 impl Kernel for MergeKernel {
+    fn name(&self) -> &'static str {
+        "mergepath.merge"
+    }
+
     type State = MergeState;
 
     fn phases(&self) -> usize {
@@ -345,6 +353,10 @@ struct CompactKernel {
 }
 
 impl Kernel for CompactKernel {
+    fn name(&self) -> &'static str {
+        "mergepath.compact"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let pi = t.global_thread_idx();

@@ -35,6 +35,10 @@ struct PopcKernel {
 }
 
 impl Kernel for PopcKernel {
+    fn name(&self) -> &'static str {
+        "para_ef.popc"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -57,6 +61,10 @@ struct ScatterKernel {
 }
 
 impl Kernel for ScatterKernel {
+    fn name(&self) -> &'static str {
+        "para_ef.scatter"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -106,6 +114,10 @@ struct RecoverKernel {
 }
 
 impl Kernel for RecoverKernel {
+    fn name(&self) -> &'static str {
+        "para_ef.recover"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let e = t.global_thread_idx();
@@ -168,7 +180,10 @@ pub fn decompress(gpu: &Gpu, list: &DeviceEfList) -> DeviceBuffer<u32> {
         LaunchConfig::cover(list.hb_words, BLOCK_DIM),
     );
     let (ps_ex, total) = exclusive_scan(gpu, &ps, list.hb_words);
-    debug_assert_eq!(total as usize, list.len, "popcount total must equal list length");
+    debug_assert_eq!(
+        total as usize, list.len,
+        "popcount total must equal list length"
+    );
 
     let index_array = gpu.alloc::<u32>(list.len);
     gpu.launch(
@@ -218,6 +233,10 @@ struct TfDecodeKernel {
 }
 
 impl Kernel for TfDecodeKernel {
+    fn name(&self) -> &'static str {
+        "para_ef.tf_decode"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let b = t.global_thread_idx();
@@ -315,7 +334,9 @@ mod tests {
         let mut cur = 0u32;
         let mut state = 99u64;
         for _ in 0..3_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             cur += 1 + (state >> 33) as u32 % 1000;
             ids.push(cur);
         }

@@ -45,6 +45,10 @@ struct PrepKernel {
 }
 
 impl Kernel for PrepKernel {
+    fn name(&self) -> &'static str {
+        "radix_sort.prep"
+    }
+
     type State = ();
     fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
         let i = t.global_thread_idx();
@@ -72,6 +76,10 @@ struct Hist3Kernel {
 }
 
 impl Kernel for Hist3Kernel {
+    fn name(&self) -> &'static str {
+        "radix_sort.hist3"
+    }
+
     type State = ();
 
     fn phases(&self) -> usize {
@@ -128,6 +136,10 @@ struct ScatterKernel {
 }
 
 impl Kernel for ScatterKernel {
+    fn name(&self) -> &'static str {
+        "radix_sort.scatter"
+    }
+
     type State = ();
 
     fn phases(&self) -> usize {
@@ -258,7 +270,10 @@ mod tests {
     #[test]
     fn sortable_mapping_preserves_order() {
         let vals = [-1000.0f32, -1.5, -0.0, 0.0, 0.25, 3.0, 1e30];
-        let keys: Vec<u32> = vals.iter().map(|v| float_to_sortable(v.to_bits())).collect();
+        let keys: Vec<u32> = vals
+            .iter()
+            .map(|v| float_to_sortable(v.to_bits()))
+            .collect();
         for w in keys.windows(2) {
             assert!(w[0] <= w[1]);
         }

@@ -25,6 +25,10 @@ struct TileState {
 }
 
 impl Kernel for TileScanKernel {
+    fn name(&self) -> &'static str {
+        "scan.tile_scan"
+    }
+
     type State = TileState;
 
     fn phases(&self) -> usize {
@@ -90,6 +94,10 @@ struct UniformAddKernel {
 }
 
 impl Kernel for UniformAddKernel {
+    fn name(&self) -> &'static str {
+        "scan.uniform_add"
+    }
+
     type State = ();
 
     fn run_phase(&self, _phase: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {

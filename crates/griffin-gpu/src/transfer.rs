@@ -113,7 +113,11 @@ impl DeviceEfList {
             .block_hb_start
             .windows(2)
             .map(|w| (w[1] - w[0]) as usize)
-            .chain(img.block_hb_start.last().map(|&s| img.hb.len() - s as usize))
+            .chain(
+                img.block_hb_start
+                    .last()
+                    .map(|&s| img.hb.len() - s as usize),
+            )
             .max()
             .unwrap_or(0);
         let bytes_shipped: u64 = [

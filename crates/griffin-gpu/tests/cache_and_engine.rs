@@ -85,7 +85,10 @@ fn lru_evicts_the_coldest_list() {
     assert_eq!((gpu.now() - t).as_nanos(), 0, "t2 should be cached");
     let t = gpu.now();
     engine.release(engine.upload(&idx, term(&idx, 0)));
-    assert!((gpu.now() - t).as_nanos() > 0, "t0 should have been evicted");
+    assert!(
+        (gpu.now() - t).as_nanos() > 0,
+        "t0 should have been evicted"
+    );
 
     engine.shutdown();
     assert_eq!(gpu.mem_in_use(), 0);
@@ -104,7 +107,7 @@ fn in_use_lists_survive_eviction_pressure() {
     // Shrink the budget to zero while the list is borrowed: it must not be
     // freed under our feet.
     engine.set_cache_budget(0);
-    assert!(held.len() > 0);
+    assert!(!held.is_empty());
     let docids = griffin_gpu::para_ef::decompress(&gpu, &held.docs);
     let host = gpu.dtoh(&docids);
     assert_eq!(host.len(), lists[0].len());

@@ -52,7 +52,10 @@ impl CompressedPostingList {
     /// Builds from bare docIDs with tf = 1 for every posting (synthetic
     /// workloads generate docID lists directly).
     pub fn from_docids(docids: &[u32], codec: Codec, block_len: usize) -> Self {
-        let postings: Vec<Posting> = docids.iter().map(|&d| Posting { docid: d, tf: 1 }).collect();
+        let postings: Vec<Posting> = docids
+            .iter()
+            .map(|&d| Posting { docid: d, tf: 1 })
+            .collect();
         Self::compress(&postings, codec, block_len)
     }
 

@@ -1,0 +1,160 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! The build environment has no crates.io access, so instead of `serde`
+//! the telemetry exporters assemble JSON through this module. It only
+//! *writes* JSON (no parsing) and covers exactly what the exporters
+//! need: objects, arrays, strings with escaping, integers, and finite
+//! floats (non-finite values are emitted as `null`, as JSON requires).
+
+use std::fmt::Write as _;
+
+/// Escape and quote a string per RFC 8259.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a float, mapping NaN/±inf to `null`.
+pub fn float(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` keeps enough digits to round-trip.
+        format!("{v:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Incremental writer for a JSON object.
+#[derive(Default)]
+pub struct Object {
+    buf: String,
+    any: bool,
+}
+
+impl Object {
+    pub fn new() -> Self {
+        Object {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    /// Add a key with an already-rendered JSON value.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push_str(&string(key));
+        self.buf.push(':');
+        self.buf.push_str(value);
+        self
+    }
+
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        let v = string(value);
+        self.raw(key, &v)
+    }
+
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, &value.to_string())
+    }
+
+    pub fn usize(&mut self, key: &str, value: usize) -> &mut Self {
+        self.raw(key, &value.to_string())
+    }
+
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        let v = float(value);
+        self.raw(key, &v)
+    }
+
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    pub fn finish(self) -> String {
+        let mut buf = self.buf;
+        buf.push('}');
+        buf
+    }
+}
+
+/// Incremental writer for a JSON array.
+#[derive(Default)]
+pub struct Array {
+    buf: String,
+    any: bool,
+}
+
+impl Array {
+    pub fn new() -> Self {
+        Array {
+            buf: String::from("["),
+            any: false,
+        }
+    }
+
+    pub fn raw(&mut self, value: &str) -> &mut Self {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push_str(value);
+        self
+    }
+
+    pub fn finish(self) -> String {
+        let mut buf = self.buf;
+        buf.push(']');
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_nan_is_null() {
+        assert_eq!(float(1.5), "1.5");
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_and_array_compose() {
+        let mut inner = Object::new();
+        inner.u64("n", 3).str("s", "x");
+        let inner = inner.finish();
+        let mut arr = Array::new();
+        arr.raw(&inner).raw("true");
+        let mut outer = Object::new();
+        outer.raw("items", &arr.finish()).bool("ok", false);
+        assert_eq!(
+            outer.finish(),
+            r#"{"items":[{"n":3,"s":"x"},true],"ok":false}"#
+        );
+    }
+}

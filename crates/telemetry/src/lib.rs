@@ -1,0 +1,238 @@
+//! # griffin-telemetry — unified observability for the Griffin stack
+//!
+//! One crate collects everything the reproduction can observe about
+//! itself, in three layers:
+//!
+//! * [`metrics`] — a zero-dependency metrics registry: counters, gauges,
+//!   and log-bucketed histograms (p50/p95/p99/p99.9 over virtual
+//!   nanoseconds), exported as Prometheus text or JSON;
+//! * [`trace`] — a structured per-query trace: every engine step, every
+//!   scheduler decision with its inputs, every GPU kernel launch and
+//!   PCIe transfer, stamped with device virtual time;
+//! * [`timeline`] — per-stage spans from the serving simulation, with
+//!   per-resource utilization, queue-depth curves, and Chrome
+//!   trace-event export (loadable in Perfetto).
+//!
+//! The entry point is the [`Telemetry`] handle. It is a cheap-clone
+//! `Option<Arc<Recorder>>`: [`Telemetry::disabled`] (the default) makes
+//! every recording call a single branch, so instrumented code pays
+//! nothing when observability is off — and because recording is
+//! strictly passive, enabling it never changes query results or virtual
+//! timings (the engine test suite proves this).
+
+pub mod json;
+pub mod metrics;
+pub mod timeline;
+pub mod trace;
+
+use std::sync::Arc;
+
+use griffin_gpu_sim::observe::{DeviceEvent, DeviceObserver};
+use griffin_gpu_sim::VirtualNanos;
+
+pub use metrics::{Histogram, Registry};
+pub use timeline::{LaneUtilization, SpanEvent, Timeline};
+pub use trace::{Recorder, TraceEvent};
+
+/// Opt-in handle to a telemetry session.
+///
+/// Cloning shares the underlying [`Recorder`]; the disabled handle
+/// carries no recorder at all.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl Telemetry {
+    /// The no-op handle: all recording calls return immediately.
+    pub fn disabled() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// A live handle with a fresh recorder.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            recorder: Some(Arc::new(Recorder::new())),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// The shared recorder, if enabled.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Record a trace event. The closure only runs when telemetry is
+    /// enabled, so argument construction costs nothing when disabled.
+    pub fn record(&self, make: impl FnOnce(&Recorder) -> TraceEvent) {
+        if let Some(r) = &self.recorder {
+            r.push(make(r));
+        }
+    }
+
+    /// Run `f` against the recorder when enabled (registry updates,
+    /// query bookkeeping).
+    pub fn with(&self, f: impl FnOnce(&Recorder)) {
+        if let Some(r) = &self.recorder {
+            f(r);
+        }
+    }
+
+    pub fn counter_add(&self, name: &str, v: u64) {
+        if let Some(r) = &self.recorder {
+            r.registry.counter_add(name, v);
+        }
+    }
+
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(r) = &self.recorder {
+            r.registry.gauge_set(name, v);
+        }
+    }
+
+    pub fn observe_duration(&self, name: &str, d: VirtualNanos) {
+        if let Some(r) = &self.recorder {
+            r.registry.observe_duration(name, d);
+        }
+    }
+
+    /// Metrics registry as JSON (None when disabled).
+    pub fn metrics_json(&self) -> Option<String> {
+        self.recorder.as_ref().map(|r| r.registry.to_json())
+    }
+
+    /// Metrics registry in Prometheus text format (None when disabled).
+    pub fn metrics_prometheus(&self) -> Option<String> {
+        self.recorder.as_ref().map(|r| r.registry.to_prometheus())
+    }
+
+    /// The structured trace as a JSON array (None when disabled).
+    pub fn trace_json(&self) -> Option<String> {
+        self.recorder.as_ref().map(|r| r.events_to_json())
+    }
+
+    /// Build the device-side observer bridging
+    /// [`griffin_gpu_sim::Gpu::set_observer`] into this telemetry
+    /// session: kernel launches and PCIe transfers become trace events
+    /// tagged with the current query, and feed per-kernel aggregate
+    /// metrics (launch counts, duration histograms, warp totals,
+    /// divergence and coalescing inputs, global-memory transactions).
+    ///
+    /// `warp_size` is the device's warp width (for the coalescing
+    /// factor). Returns `None` when telemetry is disabled — pass the
+    /// result straight to `set_observer`.
+    pub fn device_observer(&self, warp_size: u32) -> Option<Arc<DeviceObserver>> {
+        let recorder = self.recorder.clone()?;
+        Some(Arc::new(move |event: &DeviceEvent<'_>| match *event {
+            DeviceEvent::KernelLaunch {
+                name,
+                start,
+                report,
+            } => {
+                let reg = &recorder.registry;
+                let c = &report.counters;
+                reg.counter_add(
+                    &format!("griffin_gpu_kernel_launches_total{{kernel=\"{name}\"}}"),
+                    1,
+                );
+                reg.observe_duration(
+                    &format!("griffin_gpu_kernel_ns{{kernel=\"{name}\"}}"),
+                    report.time,
+                );
+                reg.counter_add(
+                    &format!("griffin_gpu_kernel_warps_total{{kernel=\"{name}\"}}"),
+                    c.total_warps,
+                );
+                reg.counter_add(
+                    &format!("griffin_gpu_gmem_transactions_total{{kernel=\"{name}\"}}"),
+                    c.gmem_transactions,
+                );
+                reg.counter_add(
+                    &format!("griffin_gpu_gmem_accesses_total{{kernel=\"{name}\"}}"),
+                    c.gmem_accesses,
+                );
+                reg.counter_add(
+                    &format!("griffin_gpu_branch_sites_total{{kernel=\"{name}\"}}"),
+                    c.branch_sites,
+                );
+                reg.counter_add(
+                    &format!("griffin_gpu_divergent_sites_total{{kernel=\"{name}\"}}"),
+                    c.divergent_sites,
+                );
+                recorder.push(TraceEvent::KernelLaunch {
+                    query: recorder.current_query(),
+                    name,
+                    start,
+                    duration: report.time,
+                    total_warps: c.total_warps,
+                    divergence_rate: c.divergence_rate(),
+                    coalescing_factor: c.coalescing_factor(warp_size),
+                    gmem_transactions: c.gmem_transactions,
+                });
+            }
+            DeviceEvent::Transfer {
+                direction,
+                bytes,
+                start,
+                duration,
+            } => {
+                let dir = direction.as_str();
+                let reg = &recorder.registry;
+                reg.counter_add(&format!("griffin_pcie_transfers_total{{dir=\"{dir}\"}}"), 1);
+                reg.counter_add(&format!("griffin_pcie_bytes_total{{dir=\"{dir}\"}}"), bytes);
+                reg.observe_duration(
+                    &format!("griffin_pcie_transfer_ns{{dir=\"{dir}\"}}"),
+                    duration,
+                );
+                recorder.push(TraceEvent::PcieTransfer {
+                    query: recorder.current_query(),
+                    direction: dir,
+                    bytes,
+                    start,
+                    duration,
+                });
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.counter_add("x", 1);
+        t.observe_duration("y", VirtualNanos::from_nanos(5));
+        let mut ran = false;
+        t.record(|_| {
+            ran = true;
+            TraceEvent::QueryStart { query: 0, terms: 0 }
+        });
+        assert!(!ran, "record closure must not run when disabled");
+        assert!(t.metrics_json().is_none());
+        assert!(t.trace_json().is_none());
+        assert!(t.device_observer(32).is_none());
+    }
+
+    #[test]
+    fn enabled_handle_records_and_shares() {
+        let t = Telemetry::enabled();
+        let t2 = t.clone();
+        t.counter_add("hits", 1);
+        t2.counter_add("hits", 2);
+        let r = t.recorder().unwrap();
+        assert_eq!(r.registry.counter("hits"), 3);
+        t.record(|r| TraceEvent::QueryStart {
+            query: r.begin_query(),
+            terms: 2,
+        });
+        assert_eq!(r.event_count(), 1);
+        assert!(t.metrics_json().unwrap().contains("\"hits\":3"));
+    }
+}

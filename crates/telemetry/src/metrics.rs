@@ -1,0 +1,356 @@
+//! Metrics registry: counters, gauges, and log-bucketed histograms.
+//!
+//! The registry is a flat map from metric name (labels embedded in the
+//! name, Prometheus-style: `griffin_sched_decisions_total{proc="gpu"}`)
+//! to a counter, gauge, or histogram. Histograms bucket values on a
+//! logarithmic grid — four sub-buckets per power of two, so quantile
+//! estimates carry at most ~25 % relative error while the histogram
+//! itself stays a fixed 257-slot array regardless of the value range.
+//!
+//! All values are plain integers/floats; durations are recorded as
+//! nanoseconds of virtual time ([`VirtualNanos`]).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use griffin_gpu_sim::VirtualNanos;
+
+use crate::json;
+
+/// Buckets: one zero bucket plus 4 sub-buckets per power of two of u64.
+const BUCKETS: usize = 1 + 64 * 4;
+
+/// A log-bucketed histogram over `u64` samples (typically nanoseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Index of the bucket holding `v`: bucket 0 is exactly zero; above
+/// that, each power of two splits into 4 sub-buckets keyed by the two
+/// bits below the leading one.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let exp = 63 - v.leading_zeros() as usize;
+    let sub = if exp >= 2 {
+        ((v >> (exp - 2)) & 0b11) as usize
+    } else {
+        // exp 0 or 1: fewer than 4 distinct values, spread them so the
+        // index stays monotone in v.
+        ((v << (2 - exp)) & 0b11) as usize
+    };
+    1 + exp * 4 + sub
+}
+
+/// Largest value that falls into bucket `idx` (the quantile estimate
+/// reported for samples in that bucket).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        return 0;
+    }
+    let i = idx - 1;
+    let exp = i / 4;
+    let sub = (i % 4) as u64;
+    if exp >= 2 {
+        let hi = (u128::from(4 + sub + 1) << (exp - 2)) - 1;
+        u64::try_from(hi).unwrap_or(u64::MAX)
+    } else {
+        // Small buckets are exact: idx→value is the inverse of
+        // `bucket_index` for v in {1, 2, 3}.
+        ((4 + sub) >> (2 - exp)).max(1)
+    }
+}
+
+impl Histogram {
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`). Returns the upper
+    /// bound of the bucket holding the rank-`ceil(q·n)` sample, clamped
+    /// to the observed max, so the estimate never exceeds any real
+    /// sample by more than one bucket width (≤ ~25 % relative error).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry of named metrics.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add `v` to the counter `name`, creating it at zero if absent.
+    pub fn counter_add(&self, name: &str, v: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        *inner.counters.entry(name.to_owned()).or_insert(0) += v;
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set the gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        inner.gauges.insert(name.to_owned(), v);
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        inner.gauges.get(name).copied()
+    }
+
+    /// Record one sample into the histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(v);
+    }
+
+    /// Record a virtual-time duration (nanoseconds) into `name`.
+    pub fn observe_duration(&self, name: &str, d: VirtualNanos) {
+        self.observe(name, d.as_nanos());
+    }
+
+    /// Snapshot of one histogram (None if never observed).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        inner.histograms.get(name).cloned()
+    }
+
+    /// Quantiles reported by both exporters.
+    const QUANTILES: [(f64, &'static str); 4] = [
+        (0.5, "0.5"),
+        (0.95, "0.95"),
+        (0.99, "0.99"),
+        (0.999, "0.999"),
+    ];
+
+    /// Render the registry in the Prometheus text exposition format.
+    /// Histograms are exposed as quantile summaries plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        let mut out = String::new();
+        for (name, v) in &inner.counters {
+            let _ = writeln!(out, "# TYPE {} counter", base_name(name));
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &inner.gauges {
+            let _ = writeln!(out, "# TYPE {} gauge", base_name(name));
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &inner.histograms {
+            let _ = writeln!(out, "# TYPE {} summary", base_name(name));
+            for (q, label) in Self::QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    with_label(name, "quantile", label),
+                    h.quantile(q)
+                );
+            }
+            let _ = writeln!(out, "{}_sum {}", name, h.sum());
+            let _ = writeln!(out, "{}_count {}", name, h.count());
+        }
+        out
+    }
+
+    /// Render the registry as a JSON document:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        let mut counters = json::Object::new();
+        for (name, v) in &inner.counters {
+            counters.u64(name, *v);
+        }
+        let mut gauges = json::Object::new();
+        for (name, v) in &inner.gauges {
+            gauges.f64(name, *v);
+        }
+        let mut hists = json::Object::new();
+        for (name, h) in &inner.histograms {
+            let mut o = json::Object::new();
+            o.u64("count", h.count())
+                .u64("sum", h.sum())
+                .u64("min", h.min())
+                .u64("max", h.max())
+                .f64("mean", h.mean())
+                .u64("p50", h.quantile(0.5))
+                .u64("p95", h.quantile(0.95))
+                .u64("p99", h.quantile(0.99))
+                .u64("p999", h.quantile(0.999));
+            hists.raw(name, &o.finish());
+        }
+        let mut root = json::Object::new();
+        root.raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &hists.finish());
+        root.finish()
+    }
+}
+
+/// Strip a `{label="..."}` suffix for `# TYPE` lines.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Append a label to a metric name, merging with any existing label set.
+fn with_label(name: &str, key: &str, value: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(prefix) => format!("{prefix},{key}=\"{value}\"}}"),
+        None => format!("{name}{{{key}=\"{value}\"}}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_upper_bound_holds() {
+        let mut prev = 0;
+        for v in 0..10_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "bucket index must be monotone at {v}");
+            prev = idx;
+            assert!(
+                bucket_upper(idx) >= v,
+                "upper({idx}) = {} < {v}",
+                bucket_upper(idx)
+            );
+        }
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            assert!(bucket_upper(bucket_index(v)) >= v);
+            assert!(bucket_upper(bucket_index(v.saturating_sub(1))) >= v - 1);
+        }
+        assert!(bucket_upper(bucket_index(u64::MAX)) == u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let est = h.quantile(q) as f64;
+            assert!(
+                est >= exact * 0.99 && est <= exact * 1.26,
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn registry_counters_gauges() {
+        let r = Registry::new();
+        r.counter_add("hits", 2);
+        r.counter_add("hits", 3);
+        r.gauge_set("depth", 1.5);
+        assert_eq!(r.counter("hits"), 5);
+        assert_eq!(r.gauge("depth"), Some(1.5));
+        assert_eq!(r.counter("misses"), 0);
+    }
+
+    #[test]
+    fn exports_contain_everything() {
+        let r = Registry::new();
+        r.counter_add("griffin_queries_total{proc=\"gpu\"}", 7);
+        r.gauge_set("griffin_queue_depth", 2.0);
+        r.observe("griffin_step_ns", 1000);
+        r.observe("griffin_step_ns", 2000);
+        let prom = r.to_prometheus();
+        assert!(prom.contains("griffin_queries_total{proc=\"gpu\"} 7"));
+        assert!(prom.contains("# TYPE griffin_queries_total counter"));
+        assert!(prom.contains("griffin_step_ns{quantile=\"0.5\"}"));
+        assert!(prom.contains("griffin_step_ns_count 2"));
+        let js = r.to_json();
+        assert!(js.contains("\"counters\""));
+        assert!(js.contains("\"griffin_step_ns\""));
+        assert!(js.contains("\"count\":2"));
+    }
+}

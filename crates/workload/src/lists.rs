@@ -175,7 +175,11 @@ mod tests {
     #[test]
     fn lists_are_strictly_increasing_and_bounded() {
         let mut rng = StdRng::seed_from_u64(1);
-        for profile in [GapProfile::Uniform, GapProfile::HeavyTailed, GapProfile::Clustered] {
+        for profile in [
+            GapProfile::Uniform,
+            GapProfile::HeavyTailed,
+            GapProfile::Clustered,
+        ] {
             let ids = gen_docid_list(&mut rng, 10_000, 1_000_000, profile);
             assert_eq!(ids.len(), 10_000);
             assert!(ids.windows(2).all(|w| w[0] < w[1]), "{profile:?}");
@@ -218,7 +222,9 @@ mod tests {
     #[test]
     fn list_len_distribution_matches_fig10_shape() {
         let mut rng = StdRng::seed_from_u64(5);
-        let lens: Vec<usize> = (0..5_000).map(|_| sample_list_len(&mut rng, 26_000_000)).collect();
+        let lens: Vec<usize> = (0..5_000)
+            .map(|_| sample_list_len(&mut rng, 26_000_000))
+            .collect();
         let frac = |lo: usize, hi: usize| {
             lens.iter().filter(|&&l| l >= lo && l < hi).count() as f64 / lens.len() as f64
         };

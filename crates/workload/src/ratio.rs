@@ -57,7 +57,14 @@ pub fn gen_ratio_pair<R: Rng + ?Sized>(
     overlap: f64,
     num_docs: u32,
 ) -> (Vec<u32>, Vec<u32>) {
-    gen_ratio_pair_opts(rng, group, long_len, overlap, num_docs, PairShape::intermediate())
+    gen_ratio_pair_opts(
+        rng,
+        group,
+        long_len,
+        overlap,
+        num_docs,
+        PairShape::intermediate(),
+    )
 }
 
 /// Locality profile of the short list.
@@ -113,7 +120,9 @@ pub fn gen_ratio_pair_opts<R: Rng + ?Sized>(
     let mut short: Vec<u32> = Vec::with_capacity(short_len);
     while short.len() < member_count {
         let start = rng.gen_range(0..long.len());
-        let take = burst.min(long.len() - start).min(member_count - short.len());
+        let take = burst
+            .min(long.len() - start)
+            .min(member_count - short.len());
         short.extend_from_slice(&long[start..start + take]);
     }
     // Non-members: a `clustered_nonmembers` fraction adjacent to member

@@ -98,7 +98,11 @@ mod tests {
         let mut stats = LatencyStats::new();
         for i in 0..10_000u64 {
             // Heavy tail: mostly fast, a few very slow.
-            let v = if i % 100 == 0 { 1_000_000 + i } else { 1_000 + i % 500 };
+            let v = if i % 100 == 0 {
+                1_000_000 + i
+            } else {
+                1_000 + i % 500
+            };
             stats.record(ns(v));
         }
         let tail = stats.tail_set();

@@ -128,7 +128,7 @@ mod tests {
         let mut small = 0;
         for _ in 0..1000 {
             let k = z.sample(&mut rng);
-            assert!(k >= 1 && k <= 10_000_000_000);
+            assert!((1..=10_000_000_000).contains(&k));
             if k <= 100 {
                 small += 1;
             }

@@ -2,8 +2,8 @@
 //! must hold for any parameters, or downstream experiments silently break.
 
 use griffin_workload::{
-    gen_correlated_lists, gen_docid_list, gen_ratio_pair_opts, GapProfile, PairShape,
-    QueryLogSpec, RatioGroup,
+    gen_correlated_lists, gen_docid_list, gen_ratio_pair_opts, GapProfile, PairShape, QueryLogSpec,
+    RatioGroup,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -28,7 +28,11 @@ fn main() {
         "index: {} docs, {} terms, {:.1} bits/posting",
         index.num_docs(),
         index.num_terms(),
-        index.size_bits() as f64 / docs.iter().map(|d| d.split_whitespace().count() as u64).sum::<u64>() as f64,
+        index.size_bits() as f64
+            / docs
+                .iter()
+                .map(|d| d.split_whitespace().count() as u64)
+                .sum::<u64>() as f64,
     );
 
     // 2. Bring up the simulated Tesla K20 and the Griffin system.

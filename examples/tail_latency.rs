@@ -77,7 +77,10 @@ fn main() {
     }
 
     println!("\nlatency percentiles (virtual ms):");
-    println!("{:>10} {:>12} {:>12} {:>9}", "pct", "CPU-only", "Griffin", "speedup");
+    println!(
+        "{:>10} {:>12} {:>12} {:>9}",
+        "pct", "CPU-only", "Griffin", "speedup"
+    );
     for (p, cpu_p) in cpu_stats.tail_set() {
         let hyb_p = hyb_stats.percentile(p);
         println!(

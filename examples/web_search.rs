@@ -23,7 +23,10 @@ fn main() {
         max_list_len: 400_000,
         ..Default::default()
     };
-    println!("generating index ({} terms, {} docs)...", spec.num_terms, spec.num_docs);
+    println!(
+        "generating index ({} terms, {} docs)...",
+        spec.num_terms, spec.num_docs
+    );
     let (index, _) = build_list_index(&spec, &mut rng);
 
     let queries = QueryLogSpec {
@@ -49,14 +52,21 @@ fn main() {
     }
 
     println!("\naverage query latency by number of terms (virtual ms):");
-    println!("{:>7} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}", "#terms", "n", "CPU-only", "GPU-only", "Griffin", "vs CPU", "vs GPU");
+    println!(
+        "{:>7} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "#terms", "n", "CPU-only", "GPU-only", "Griffin", "vs CPU", "vs GPU"
+    );
     for (terms, stats) in &by_terms {
         let cpu = stats[0].mean();
         let gpu_t = stats[1].mean();
         let hyb = stats[2].mean();
         println!(
             "{:>7} {:>6} {:>12.3} {:>12.3} {:>12.3} {:>8.1}x {:>8.1}x",
-            if *terms >= 7 { ">6".to_string() } else { terms.to_string() },
+            if *terms >= 7 {
+                ">6".to_string()
+            } else {
+                terms.to_string()
+            },
             stats[0].len(),
             cpu.as_millis_f64(),
             gpu_t.as_millis_f64(),

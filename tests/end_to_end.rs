@@ -23,7 +23,10 @@ fn build_index() -> InvertedIndex {
 }
 
 fn query(idx: &InvertedIndex, words: &[&str]) -> Vec<TermId> {
-    words.iter().map(|w| idx.lookup(w).expect("word in vocab")).collect()
+    words
+        .iter()
+        .map(|w| idx.lookup(w).expect("word in vocab"))
+        .collect()
 }
 
 #[test]

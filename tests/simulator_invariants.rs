@@ -20,7 +20,10 @@ fn sorted_unique() -> impl Strategy<Value = Vec<u32>> {
 }
 
 fn host_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
-    a.iter().filter(|v| b.binary_search(v).is_ok()).copied().collect()
+    a.iter()
+        .filter(|v| b.binary_search(v).is_ok())
+        .copied()
+        .collect()
 }
 
 proptest! {

@@ -1,0 +1,198 @@
+//! Telemetry-layer properties, as integration tests over the full stack:
+//!
+//! * enabling tracing is *free of observable effect* — identical top-k
+//!   and identical virtual timings vs. an untraced run (the recording
+//!   path is strictly passive);
+//! * a hybrid query's [`griffin::StepTrace`] durations sum exactly to
+//!   [`griffin::GriffinOutput::time`];
+//! * the serving-sim timeline is a faithful schedule: spans never
+//!   overlap within a lane, and reproduce the latencies `run` returns;
+//! * log-bucketed histogram quantiles stay within the bucketing's
+//!   relative-error bound for arbitrary samples.
+
+use griffin::serving::{Job, Resource, ServingSim, StageReq};
+use griffin::{ExecMode, Griffin};
+use griffin_codec::Codec;
+use griffin_gpu_sim::{DeviceConfig, Gpu, VirtualNanos};
+use griffin_index::{InvertedIndex, TermId};
+use griffin_telemetry::metrics::Histogram;
+use griffin_telemetry::Telemetry;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy shared with `engine_equivalence.rs`: a few posting lists
+/// with guaranteed overlap, plus a top-k.
+fn index_and_query() -> impl Strategy<Value = (Vec<Vec<u32>>, usize)> {
+    (
+        vec(0u32..40_000, 200..800),
+        vec(vec(0u32..40_000, 50..2_000), 2..4),
+        any::<usize>(),
+    )
+        .prop_map(|(pool, mut lists, k)| {
+            for l in &mut lists {
+                l.extend(pool.iter().step_by(3));
+                l.sort_unstable();
+                l.dedup();
+            }
+            (lists, k % 20 + 1)
+        })
+}
+
+fn build(lists: &[Vec<u32>]) -> (InvertedIndex, Vec<TermId>) {
+    let idx = InvertedIndex::from_docid_lists(lists, 50_000, Codec::EliasFano, 128);
+    let terms = (0..lists.len())
+        .map(|i| idx.lookup(&format!("t{i}")).expect("term"))
+        .collect();
+    (idx, terms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The engine-equivalence guarantee the tentpole promises: attaching
+    /// a live telemetry session (trace recorder + device observer) to
+    /// one of two otherwise-identical engines changes neither the top-k
+    /// results nor any virtual timing, in any execution mode.
+    #[test]
+    fn enabled_tracing_changes_no_results_or_timings((lists, k) in index_and_query()) {
+        let (idx, terms) = build(&lists);
+
+        let gpu_plain = Gpu::new(DeviceConfig::test_tiny());
+        let plain = Griffin::new(&gpu_plain, idx.meta(), idx.block_len());
+
+        let gpu_traced = Gpu::new(DeviceConfig::test_tiny());
+        let mut traced = Griffin::new(&gpu_traced, idx.meta(), idx.block_len());
+        traced.set_telemetry(Telemetry::enabled());
+
+        for mode in [ExecMode::CpuOnly, ExecMode::GpuOnly, ExecMode::Hybrid] {
+            let a = plain.process_query(&idx, &terms, k, mode);
+            let b = traced.process_query(&idx, &terms, k, mode);
+            prop_assert_eq!(&a.topk, &b.topk, "top-k diverged in {:?}", mode);
+            prop_assert_eq!(a.time, b.time, "total time diverged in {:?}", mode);
+            prop_assert_eq!(a.steps.len(), b.steps.len());
+            for (sa, sb) in a.steps.iter().zip(&b.steps) {
+                prop_assert_eq!(sa.time, sb.time, "step time diverged in {:?}", mode);
+                prop_assert_eq!(sa.proc, sb.proc);
+                prop_assert_eq!(sa.op, sb.op);
+            }
+        }
+        // ... and the traced engine actually recorded something.
+        let rec = traced.telemetry().recorder().expect("enabled");
+        prop_assert!(rec.event_count() > 0, "no trace events recorded");
+        let metrics = traced.telemetry().metrics_json().expect("enabled");
+        prop_assert!(metrics.contains("griffin_sched_decisions_total"));
+        prop_assert!(metrics.contains("griffin_step_ns"));
+    }
+
+    /// Hybrid accounting: the per-step durations in the trace sum
+    /// exactly (integer virtual nanoseconds, no rounding slack) to the
+    /// query's reported total.
+    #[test]
+    fn hybrid_step_durations_sum_to_total_time((lists, k) in index_and_query()) {
+        let (idx, terms) = build(&lists);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let out = griffin.process_query(&idx, &terms, k, ExecMode::Hybrid);
+        let step_sum: VirtualNanos = out.steps.iter().map(|s| s.time).sum();
+        prop_assert_eq!(step_sum, out.time);
+        prop_assert!(!out.steps.is_empty());
+    }
+
+    /// Timeline faithfulness: `run_with_timeline` returns the same
+    /// latencies as `run`, its spans never overlap within a lane, every
+    /// span starts no earlier than it became ready, and each job's
+    /// last-stage end reproduces its returned latency.
+    #[test]
+    fn serving_timeline_is_a_valid_schedule(
+        arrivals in vec(0u64..1_000_000, 1..40),
+        stage_specs in vec(vec((0u8..2, 1u64..100_000), 0..4), 1..40),
+        cores in 1usize..5,
+    ) {
+        let jobs: Vec<Job> = arrivals
+            .iter()
+            .zip(&stage_specs)
+            .map(|(&arrival, stages)| Job {
+                arrival: VirtualNanos::from_nanos(arrival),
+                stages: stages
+                    .iter()
+                    .map(|&(r, d)| StageReq {
+                        resource: if r == 0 { Resource::Cpu } else { Resource::Gpu },
+                        duration: VirtualNanos::from_nanos(d),
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let plain = ServingSim::new(cores).run(&jobs);
+        let (latencies, timeline) = ServingSim::new(cores).run_with_timeline(&jobs);
+        prop_assert_eq!(&plain, &latencies, "timeline recording changed the schedule");
+
+        // One span per executed stage.
+        let total_stages: usize = jobs.iter().map(|j| j.stages.len()).sum();
+        prop_assert_eq!(timeline.spans.len(), total_stages);
+
+        // Per-lane: sort by start, require end_i <= start_{i+1}.
+        let mut lanes: std::collections::BTreeMap<(&str, usize), Vec<(VirtualNanos, VirtualNanos)>> =
+            std::collections::BTreeMap::new();
+        for s in &timeline.spans {
+            prop_assert!(s.start >= s.ready, "span started before it was ready");
+            prop_assert!(s.end >= s.start);
+            lanes.entry((s.resource, s.lane)).or_default().push((s.start, s.end));
+        }
+        for ((resource, lane), mut spans) in lanes {
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[0].1 <= w[1].0,
+                    "overlapping spans on {resource}[{lane}]: {:?} then {:?}", w[0], w[1]
+                );
+            }
+        }
+
+        // Latency reproduction: completion of a job's last stage minus
+        // its arrival equals the returned latency.
+        for (j, job) in jobs.iter().enumerate() {
+            if job.stages.is_empty() {
+                prop_assert_eq!(latencies[j], VirtualNanos::ZERO);
+                continue;
+            }
+            let last_end = timeline
+                .spans
+                .iter()
+                .filter(|s| s.job == j)
+                .map(|s| s.end)
+                .max()
+                .expect("job has spans");
+            prop_assert_eq!(last_end - job.arrival, latencies[j]);
+        }
+    }
+
+    /// Log-bucketed quantiles: for arbitrary samples, every estimated
+    /// quantile brackets the exact order statistic from above by at
+    /// most one log sub-bucket (≤ 25 % relative error), never exceeds
+    /// the observed max, and the histogram preserves count/min/max.
+    #[test]
+    fn histogram_quantiles_bound_relative_error(samples in vec(0u64..10_000_000_000, 1..500)) {
+        let mut h = Histogram::default();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            let est = h.quantile(q);
+            // The histogram's convention: the rank-⌈q·n⌉ sample, 1-based.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            prop_assert!(est <= h.max());
+            prop_assert!(
+                est >= exact && est as f64 <= exact as f64 * 1.25,
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `black_box`, `criterion_group!`, `criterion_main!`). Instead of
+//! criterion's statistical machinery it runs a short warm-up plus a
+//! fixed measurement window and prints the mean iteration time — enough
+//! to compare implementations locally without any external deps.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by all benches in a run.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_iters: u64,
+    min_measure_time: Duration,
+    min_measure_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_iters: 3,
+            min_measure_time: Duration::from_millis(200),
+            min_measure_iters: 10,
+        }
+    }
+}
+
+/// Runs one closure repeatedly and reports its mean time.
+pub struct Bencher<'c> {
+    cfg: &'c Criterion,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.cfg.warm_up_iters {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.cfg.min_measure_iters || start.elapsed() < self.cfg.min_measure_time {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn print_result(name: &str, mean_ns: f64, iters: u64, throughput: Option<&Throughput>) {
+    let per_iter = match mean_ns {
+        ns if ns >= 1e9 => format!("{:.3} s", ns / 1e9),
+        ns if ns >= 1e6 => format!("{:.3} ms", ns / 1e6),
+        ns if ns >= 1e3 => format!("{:.3} us", ns / 1e3),
+        ns => format!("{ns:.1} ns"),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.1} Melem/s)", *n as f64 / mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.1} MiB/s)",
+                *n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<60} {per_iter:>12}/iter  ({iters} iters){rate}");
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            cfg: self,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        print_result(name, b.mean_ns, b.iters, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            cfg: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// Per-input throughput annotation.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    cfg: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            cfg: self.cfg,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        print_result(
+            &format!("{}/{}", self.name, id.0),
+            b.mean_ns,
+            b.iters,
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            cfg: self.cfg,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        print_result(
+            &format!("{}/{}", self.name, id.0),
+            b.mean_ns,
+            b.iters,
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_measures() {
+        let mut c = Criterion {
+            warm_up_iters: 1,
+            min_measure_time: Duration::from_millis(1),
+            min_measure_iters: 3,
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran >= 4, "warm-up + measurement iterations must run");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            warm_up_iters: 1,
+            min_measure_time: Duration::from_millis(1),
+            min_measure_iters: 2,
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("f", 10), &10u32, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        g.bench_function(BenchmarkId::from_parameter("p"), |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,272 @@
+//! The [`Strategy`] trait and primitive strategies: ranges, tuples,
+//! `Just`, `any::<T>()`, and the `prop_map` adaptor.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    /// Generates one value. (Upstream proptest builds a shrinkable value
+    /// tree; this stand-in generates directly.)
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate from `self`, then build a second strategy from the value
+    /// and generate from that (dependent generation).
+    fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Map adaptor returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Flat-map adaptor returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen::<f64>()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        rng.gen::<f32>()
+    }
+}
+
+/// Strategy over a type's whole (or canonical) domain.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// Strategies are shared by reference inside collection combinators.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// String patterns: upstream proptest treats `&str` as a regex that
+/// generates matching strings. This stand-in supports the subset used
+/// in this workspace: a concatenation of atoms, each a literal
+/// character or a `[a-z0-9_]`-style class, optionally quantified with
+/// `{n}`, `{m,n}`, `?`, `+`, or `*` (`+`/`*` capped at 8 repetitions).
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            // Parse one atom: a character class or a literal.
+            let choices: Vec<(char, char)> = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().unwrap_or_else(|| {
+                            panic!("unterminated character class in pattern {self:?}")
+                        });
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars
+                                .next()
+                                .filter(|&h| h != ']')
+                                .unwrap_or_else(|| panic!("bad range in pattern {self:?}"));
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    ranges
+                }
+                '\\' => {
+                    let lit = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {self:?}"));
+                    vec![(lit, lit)]
+                }
+                lit => vec![(lit, lit)],
+            };
+            // Parse an optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('?') => {
+                    chars.next();
+                    (0usize, 1usize)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for q in chars.by_ref() {
+                        if q == '}' {
+                            break;
+                        }
+                        spec.push(q);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad {m,n} quantifier"),
+                            n.trim().parse().expect("bad {m,n} quantifier"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad {n} quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            assert!(!choices.is_empty(), "empty character class in {self:?}");
+            let count = rng.gen_range(min..=max);
+            for _ in 0..count {
+                let (lo, hi) = choices[rng.gen_range(0..choices.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                let picked = lo as u32 + rng.gen_range(0..span);
+                out.push(char::from_u32(picked).expect("valid char range"));
+            }
+        }
+        out
+    }
+}
