@@ -12,11 +12,12 @@
 //! phase's metrics registry and the result table as CSV.
 
 use griffin::serving::{Job, Resource, ServingSim, StageReq};
-use griffin::{ExecMode, Griffin, Proc, StepOp};
+use griffin::{ExecMode, Griffin};
 use griffin_bench::report::{ms, speedup, Table};
 use griffin_bench::setup::{k20, scaled};
 use griffin_bench::Artifacts;
 use griffin_gpu_sim::{Gpu, VirtualNanos};
+use griffin_server::{resource_totals, stages_of};
 use griffin_workload::{build_list_index, LatencyStats, ListIndexSpec, QueryLogSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,28 +60,24 @@ fn main() {
     // mean CPU service time so the system runs hot (~70% utilization of 4
     // cores under CPU-only execution) — tails need queueing to show.
     let mut cpu_times = Vec::with_capacity(queries.len());
-    let mut hybrid_steps = Vec::with_capacity(queries.len());
+    let mut hybrid_stages = Vec::with_capacity(queries.len());
     for q in &queries {
         let cpu_out = griffin.process_query(&index, q, 10, ExecMode::CpuOnly);
         cpu_times.push(cpu_out.time);
         let hyb = griffin.process_query(&index, q, 10, ExecMode::Hybrid);
-        hybrid_steps.push(hyb.steps);
+        // The trace → stage bridge from griffin-server: GPU kernels and
+        // PCIe migrations occupy the GPU lane, the rest a CPU core.
+        hybrid_stages.push(stages_of(&hyb));
     }
     // Calibrate the arrival rate to the *hybrid* system's bottleneck (the
     // single GPU) at ~75% utilization — the operating point a deployment
     // would choose. The CPU-only system faces the same arrival process and
     // simply has to cope (that asymmetry is the experiment).
-    let mean_gpu_stage: u64 = hybrid_steps
+    let mean_gpu_stage: u64 = hybrid_stages
         .iter()
-        .map(|steps| {
-            steps
-                .iter()
-                .filter(|s| s.proc == Proc::Gpu || s.op == StepOp::Migrate)
-                .map(|s| s.time.as_nanos())
-                .sum::<u64>()
-        })
+        .map(|stages| resource_totals(stages).1.as_nanos())
         .sum::<u64>()
-        / hybrid_steps.len().max(1) as u64;
+        / hybrid_stages.len().max(1) as u64;
     // Run the CPU-only system at the edge of stability (~97% of its four
     // cores): the mean stays near the service time but the tail explodes
     // through queueing — while Griffin, needing far less machine for the
@@ -114,19 +111,10 @@ fn main() {
         .collect();
     let hybrid_jobs: Vec<Job> = arrivals
         .iter()
-        .zip(&hybrid_steps)
-        .map(|(&arrival, steps)| Job {
+        .zip(&hybrid_stages)
+        .map(|(&arrival, stages)| Job {
             arrival,
-            stages: steps
-                .iter()
-                .map(|s| StageReq {
-                    resource: match (s.proc, s.op) {
-                        (Proc::Gpu, _) | (_, StepOp::Migrate) => Resource::Gpu,
-                        (Proc::Cpu, _) => Resource::Cpu,
-                    },
-                    duration: s.time,
-                })
-                .collect(),
+            stages: stages.clone(),
         })
         .collect();
 

@@ -1,0 +1,258 @@
+//! **Serving** — the end-to-end pipeline under open-loop load:
+//! CpuOnly vs GpuOnly vs Hybrid vs Hybrid+batching across arrival rates,
+//! plus the admission-policy comparison at the hottest rate.
+//!
+//! Every query is planned once through the engine (its measured step
+//! trace bridged into serving stages), then the identical Poisson
+//! arrival stream is replayed through `griffin-server`'s discrete-event
+//! simulator for each configuration — so latency differences are pure
+//! scheduling, never workload noise.
+//!
+//! The batching claim this experiment exists to demonstrate: at high
+//! arrival rates, coalescing adjacent small GPU stages into one launch
+//! amortizes the fixed kernel-launch/allocation overhead, drains the
+//! device queue faster, and cuts tail latency versus launching each
+//! stage individually.
+//!
+//! `--metrics-json <path>` dumps the serving metrics (queue depth, shed
+//! and degraded counts, batch occupancy) plus the result tables as CSV;
+//! `--trace-json <path>` exports the hottest Hybrid+batching replay as
+//! Chrome trace-event JSON.
+
+use griffin::{ExecMode, Griffin, QueryRequest};
+use griffin_bench::report::{ms, Table};
+use griffin_bench::setup::{k20, scaled};
+use griffin_bench::Artifacts;
+use griffin_gpu_sim::{Gpu, VirtualNanos};
+use griffin_server::{
+    resource_totals, stages_of, AdmissionConfig, BatchConfig, GriffinServer, Outcome,
+    OverloadPolicy, PlannedQuery, ServerConfig,
+};
+use griffin_workload::{build_list_index, percentile, ListIndexSpec, QueryLogSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let artifacts = Artifacts::from_args();
+    let telemetry = artifacts.telemetry();
+    let mut rng = StdRng::seed_from_u64(42);
+    let spec = ListIndexSpec {
+        num_terms: 64,
+        num_docs: 12_000_000,
+        max_list_len: 4_000_000,
+        ..Default::default()
+    };
+    eprintln!("building index...");
+    let (index, _) = build_list_index(&spec, &mut rng);
+    let queries = QueryLogSpec {
+        num_queries: scaled(1000),
+        ..Default::default()
+    }
+    .generate(&index, &mut rng);
+
+    let gpu = Gpu::new(k20());
+    let mut griffin = Griffin::new(&gpu, index.meta(), index.block_len());
+    griffin.set_telemetry(telemetry.clone());
+    // Serving-tuned scheduler (see exp_fig15): reserve the shared GPU for
+    // heavy operations, use the in-query crossover.
+    griffin.scheduler.min_gpu_work = 64 * 1024;
+    griffin.scheduler.ratio_threshold = 16;
+    griffin.scheduler.hysteresis = 1.0;
+
+    // ---- Phase 1: plan every query once per execution mode. ----------
+    eprintln!("planning {} queries x 3 modes...", queries.len());
+    let mut plan_cpu = Vec::with_capacity(queries.len());
+    let mut plan_gpu = Vec::with_capacity(queries.len());
+    let mut plan_hyb = Vec::with_capacity(queries.len());
+    for q in &queries {
+        let cpu = griffin.run(
+            &index,
+            &QueryRequest::new(q.clone()).mode(ExecMode::CpuOnly),
+        );
+        let gpu_only = griffin.run(
+            &index,
+            &QueryRequest::new(q.clone()).mode(ExecMode::GpuOnly),
+        );
+        let hyb = griffin.run(&index, &QueryRequest::new(q.clone()).mode(ExecMode::Hybrid));
+        let planned = |out: &griffin::GriffinOutput, fallback: Option<VirtualNanos>| PlannedQuery {
+            topk: out.topk.clone(),
+            service_time: out.time,
+            stages: stages_of(out),
+            cpu_fallback: fallback,
+            deadline: None,
+        };
+        plan_gpu.push(planned(&gpu_only, Some(cpu.time)));
+        plan_hyb.push(planned(&hyb, Some(cpu.time)));
+        plan_cpu.push(planned(&cpu, None));
+    }
+
+    // Deadline: a generous multiple of the unloaded hybrid mean — misses
+    // appear only through queueing.
+    let mean_hyb = mean(plan_hyb.iter().map(|p| p.service_time));
+    let deadline = mean_hyb * 8;
+    for p in plan_cpu
+        .iter_mut()
+        .chain(&mut plan_gpu)
+        .chain(&mut plan_hyb)
+    {
+        p.deadline = Some(deadline);
+    }
+
+    // ---- Arrival calibration. ----------------------------------------
+    // The hybrid system's bottleneck is the single shared GPU; sweep its
+    // offered utilization. The other systems face the same stream.
+    let mean_gpu_stage = mean(plan_hyb.iter().map(|p| resource_totals(&p.stages).1));
+    let gpu_stage_durations: Vec<VirtualNanos> = plan_hyb
+        .iter()
+        .flat_map(|p| p.stages.iter())
+        .filter(|s| s.resource == griffin::Resource::Gpu)
+        .map(|s| s.duration)
+        .collect();
+    // Tune the packer to the workload: stages up to the p90 duration are
+    // batchable; the fixed per-stage overhead comes from the device model.
+    let batching = BatchConfig {
+        small_stage: percentile(&gpu_stage_durations, 90.0),
+        ..BatchConfig::for_device(gpu.config())
+    };
+    eprintln!(
+        "mean GPU time/query {}, batchable below {}, per-stage overhead {}",
+        ms(mean_gpu_stage),
+        ms(batching.small_stage),
+        ms(batching.per_stage_overhead),
+    );
+
+    let rates = [(0.5, "low"), (0.75, "medium"), (0.95, "high")];
+    let arrival_streams: Vec<Vec<VirtualNanos>> = rates
+        .iter()
+        .map(|&(util, _)| {
+            let mean_interarrival = mean_gpu_stage.as_nanos() as f64 / util;
+            let mut now = VirtualNanos::ZERO;
+            let mut arrivals = Vec::with_capacity(queries.len());
+            for _ in &queries {
+                now += VirtualNanos::from_nanos_f64(
+                    -mean_interarrival * (1.0 - rng.gen::<f64>()).ln(),
+                );
+                arrivals.push(now);
+            }
+            arrivals
+        })
+        .collect();
+
+    // ---- Phase 2: replay each configuration over each stream. --------
+    let open = ServerConfig {
+        cpu_workers: 4,
+        admission: AdmissionConfig::default(),
+        batching: None,
+    };
+    let server_plain = GriffinServer::new(open);
+    let mut server_batch = GriffinServer::new(ServerConfig {
+        batching: Some(batching),
+        ..open
+    });
+    server_batch.set_telemetry(telemetry.clone());
+
+    let mut t = Table::new(
+        "Serving: latency under open-loop Poisson load (virtual ms)",
+        &["GPU load", "system", "p50", "p99", "miss%", "batch occ"],
+    );
+    let mut last_batch_report = None;
+    for ((_, label), arrivals) in rates.iter().zip(&arrival_streams) {
+        let runs: [(&str, &GriffinServer, &[PlannedQuery]); 4] = [
+            ("CpuOnly", &server_plain, &plan_cpu),
+            ("GpuOnly", &server_plain, &plan_gpu),
+            ("Hybrid", &server_plain, &plan_hyb),
+            ("Hybrid+batch", &server_batch, &plan_hyb),
+        ];
+        for (name, server, planned) in runs {
+            let report = server.replay(planned, arrivals);
+            t.row(&[
+                label.to_string(),
+                name.to_string(),
+                ms(report
+                    .latency_percentile(0.50)
+                    .unwrap_or(VirtualNanos::ZERO)),
+                ms(report
+                    .latency_percentile(0.99)
+                    .unwrap_or(VirtualNanos::ZERO)),
+                format!("{:.1}", report.deadline_miss_rate().unwrap_or(0.0) * 100.0),
+                format!("{:.2}", report.stats.mean_batch_occupancy()),
+            ]);
+            if name == "Hybrid+batch" {
+                last_batch_report = Some(report);
+            }
+        }
+    }
+    t.print();
+    artifacts.write_table(&t);
+    println!("\n(the shape: batching matters once the GPU queue is deep —");
+    println!(" coalesced launches amortize fixed overheads and drain the tail)");
+
+    // ---- Admission policies at the hottest rate. ---------------------
+    let hot = &arrival_streams[rates.len() - 1];
+    let mut t2 = Table::new(
+        "Serving: admission policies at high load (Hybrid+batch)",
+        &[
+            "policy",
+            "completed",
+            "degraded",
+            "shed",
+            "p99 served",
+            "miss%",
+        ],
+    );
+    let depth_threshold = 12;
+    let policies = [
+        ("open", AdmissionConfig::default()),
+        (
+            "shed",
+            AdmissionConfig {
+                capacity: 64,
+                gpu_depth_threshold: depth_threshold,
+                policy: OverloadPolicy::Shed,
+            },
+        ),
+        (
+            "degrade",
+            AdmissionConfig {
+                capacity: 64,
+                gpu_depth_threshold: depth_threshold,
+                policy: OverloadPolicy::DegradeToCpuOnly,
+            },
+        ),
+    ];
+    for (name, admission) in policies {
+        let mut server = GriffinServer::new(ServerConfig {
+            admission,
+            batching: Some(batching),
+            ..open
+        });
+        server.set_telemetry(telemetry.clone());
+        let report = server.replay(&plan_hyb, hot);
+        let count = |o: Outcome| report.queries.iter().filter(|q| q.outcome == o).count();
+        t2.row(&[
+            name.to_string(),
+            count(Outcome::Completed).to_string(),
+            count(Outcome::Degraded).to_string(),
+            count(Outcome::Shed).to_string(),
+            ms(report
+                .latency_percentile(0.99)
+                .unwrap_or(VirtualNanos::ZERO)),
+            format!("{:.1}", report.deadline_miss_rate().unwrap_or(0.0) * 100.0),
+        ]);
+    }
+    t2.print();
+    artifacts.write_table(&t2);
+    println!("\n(bounding the queue trades answered queries for tail latency;");
+    println!(" degrading to CPU-only keeps answering while shielding the GPU)");
+
+    artifacts.write_metrics(&telemetry);
+    if let Some(report) = last_batch_report {
+        artifacts.write_chrome_trace(&report.timeline);
+    }
+}
+
+fn mean(times: impl Iterator<Item = VirtualNanos>) -> VirtualNanos {
+    let v: Vec<VirtualNanos> = times.collect();
+    let sum: u64 = v.iter().map(|t| t.as_nanos()).sum();
+    VirtualNanos::from_nanos(sum / v.len().max(1) as u64)
+}

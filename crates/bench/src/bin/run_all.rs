@@ -22,6 +22,7 @@ fn main() {
         "exp_fig13",
         "exp_fig14",
         "exp_fig15",
+        "exp_serving",
     ];
     // Experiment binaries live next to this one.
     let me = std::env::current_exe().expect("current_exe");

@@ -133,7 +133,7 @@ impl EfBlock {
         out.extend_from_slice(&self.lb_words);
     }
 
-    /// Inverse of [`to_words`].
+    /// Inverse of [`Self::to_words`].
     pub fn from_words(words: &[u32]) -> EfBlock {
         let header = words[0];
         let count = header & 0xFFFF;
@@ -150,7 +150,7 @@ impl EfBlock {
         }
     }
 
-    /// Number of words [`to_words`] produces.
+    /// Number of words [`Self::to_words`] produces.
     pub fn words_len(&self) -> usize {
         1 + self.hb_words.len() + self.lb_words.len()
     }

@@ -30,7 +30,7 @@ pub struct PforBlock {
     pub exceptions: Vec<u32>,
 }
 
-/// Smallest `b` such that at least [`REGULAR_COVERAGE`] of `values` fit in
+/// Smallest `b` such that at least 90% (`REGULAR_COVERAGE`) of `values` fit in
 /// `b` bits. Returns 32 if the distribution is so heavy that full width is
 /// needed.
 pub fn choose_b(values: &[u32]) -> u32 {
@@ -189,7 +189,7 @@ impl PforBlock {
         out.extend_from_slice(&self.exceptions);
     }
 
-    /// Inverse of [`to_words`].
+    /// Inverse of [`Self::to_words`].
     pub fn from_words(words: &[u32]) -> PforBlock {
         let count = words[0] & 0xFFFF;
         let b = (words[0] >> 16) & 0x3F;

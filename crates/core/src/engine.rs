@@ -8,6 +8,7 @@ use griffin_gpu_sim::{Gpu, VirtualNanos};
 use griffin_index::{CorpusMeta, InvertedIndex, TermId};
 use griffin_telemetry::{Telemetry, TraceEvent};
 
+use crate::request::{QueryError, QueryRequest};
 use crate::sched::{Decision, Proc, Scheduler};
 
 /// How a query is executed (the paper's three evaluated configurations).
@@ -41,6 +42,11 @@ pub enum StepOp {
     Migrate,
     /// Final top-k ranking (always CPU, per the Fig. 7 finding).
     TopK,
+    /// Whole-query execution on a single processor. The non-hybrid modes
+    /// run opaquely on one engine, so their trace is this coarse step
+    /// (plus the CPU ranking step for [`ExecMode::GpuOnly`]) rather than
+    /// per-operation detail.
+    Exec,
 }
 
 /// Result of a query under any mode.
@@ -50,7 +56,11 @@ pub struct GriffinOutput {
     pub topk: Vec<(u32, f32)>,
     /// End-to-end virtual latency.
     pub time: VirtualNanos,
-    /// Per-operation trace (empty for the non-hybrid modes' inner steps).
+    /// Per-operation trace. Hybrid queries record every operation;
+    /// the single-processor modes record coarse [`StepOp::Exec`] (and
+    /// ranking) steps. In every mode the step durations sum exactly to
+    /// [`GriffinOutput::time`], which is what lets the serving pipeline
+    /// replay any query's schedule stage by stage.
     pub steps: Vec<StepTrace>,
 }
 
@@ -121,6 +131,7 @@ impl<'g> Griffin<'g> {
             StepOp::Intersect(i) => ("intersect", i),
             StepOp::Migrate => ("migrate", 0),
             StepOp::TopK => ("topk", 0),
+            StepOp::Exec => ("exec", 0),
         };
         let proc = s.proc.label();
         self.telemetry.record(|r| TraceEvent::Step {
@@ -202,33 +213,52 @@ impl<'g> Griffin<'g> {
     }
 
     /// String-level convenience: looks the words up in the dictionary and
-    /// runs the conjunctive query under `mode`. Words missing from the
-    /// vocabulary make the conjunction empty, so the result is empty.
+    /// runs the conjunctive query under `mode`. A word missing from the
+    /// vocabulary is an error ([`QueryError::UnknownTerm`]) — conjunctive
+    /// semantics would silently empty the result otherwise. Use
+    /// [`Griffin::search_lenient`] for the forgiving behaviour.
     pub fn search(
         &self,
         index: &InvertedIndex,
         words: &[&str],
         k: usize,
         mode: ExecMode,
-    ) -> GriffinOutput {
+    ) -> Result<GriffinOutput, QueryError> {
         let mut terms = Vec::with_capacity(words.len());
         for w in words {
             match index.lookup(w) {
                 Some(t) => terms.push(t),
-                None => {
-                    return GriffinOutput {
-                        topk: Vec::new(),
-                        time: VirtualNanos::ZERO,
-                        steps: Vec::new(),
-                    }
-                }
+                None => return Err(QueryError::UnknownTerm((*w).to_owned())),
             }
         }
-        self.process_query(index, &terms, k, mode)
+        Ok(self.run(index, &QueryRequest::new(terms).k(k).mode(mode)))
+    }
+
+    /// Like [`Griffin::search`], but words missing from the vocabulary
+    /// yield an empty result instead of an error (a conjunction with an
+    /// unmatched term matches nothing). This is the historical `search`
+    /// behaviour, kept for callers that treat out-of-vocabulary words as
+    /// ordinary no-hit queries.
+    pub fn search_lenient(
+        &self,
+        index: &InvertedIndex,
+        words: &[&str],
+        k: usize,
+        mode: ExecMode,
+    ) -> GriffinOutput {
+        match self.search(index, words, k, mode) {
+            Ok(out) => out,
+            Err(QueryError::UnknownTerm(_)) => GriffinOutput {
+                topk: Vec::new(),
+                time: VirtualNanos::ZERO,
+                steps: Vec::new(),
+            },
+        }
     }
 
     /// Processes one conjunctive query, returning the top-k and the
-    /// virtual latency under the chosen mode.
+    /// virtual latency under the chosen mode. Thin shim over
+    /// [`Griffin::run`] for positional-argument callers.
     pub fn process_query(
         &self,
         index: &InvertedIndex,
@@ -236,24 +266,66 @@ impl<'g> Griffin<'g> {
         k: usize,
         mode: ExecMode,
     ) -> GriffinOutput {
-        self.record_query(mode, terms.len(), || match mode {
+        self.run(index, &QueryRequest::new(terms.to_vec()).k(k).mode(mode))
+    }
+
+    /// The unified entry point: executes `req` and returns the top-k,
+    /// the virtual latency, and the per-step trace. The request's
+    /// `deadline` is carried for the serving layer; the engine itself
+    /// always runs the query to completion.
+    pub fn run(&self, index: &InvertedIndex, req: &QueryRequest) -> GriffinOutput {
+        let (terms, k) = (&req.terms[..], req.k);
+        self.record_query(req.mode, terms.len(), || match req.mode {
             ExecMode::CpuOnly => {
                 let out = self.cpu.process_query(index, terms, k);
                 self.record_cpu_work(&out.counters);
+                let steps = if out.time > VirtualNanos::ZERO {
+                    vec![StepTrace {
+                        op: StepOp::Exec,
+                        proc: Proc::Cpu,
+                        time: out.time,
+                        inter_len: out.topk.len(),
+                    }]
+                } else {
+                    Vec::new()
+                };
+                for s in &steps {
+                    self.record_step(s);
+                }
                 GriffinOutput {
                     topk: out.topk,
                     time: out.time,
-                    steps: Vec::new(),
+                    steps,
                 }
             }
             ExecMode::GpuOnly => {
-                let (topk, gpu_time, rank_w) = self.gpu.process_query(index, terms, k);
-                let rank_time = self.cpu.model.time(&rank_w);
-                self.record_cpu_work(&rank_w);
+                let out = self.gpu.process_query(index, terms, k);
+                let rank_time = self.cpu.model.time(&out.rank_work);
+                self.record_cpu_work(&out.rank_work);
+                let mut steps = Vec::new();
+                if out.time > VirtualNanos::ZERO {
+                    steps.push(StepTrace {
+                        op: StepOp::Exec,
+                        proc: Proc::Gpu,
+                        time: out.time,
+                        inter_len: out.topk.len(),
+                    });
+                }
+                if rank_time > VirtualNanos::ZERO {
+                    steps.push(StepTrace {
+                        op: StepOp::TopK,
+                        proc: Proc::Cpu,
+                        time: rank_time,
+                        inter_len: out.topk.len(),
+                    });
+                }
+                for s in &steps {
+                    self.record_step(s);
+                }
                 GriffinOutput {
-                    topk,
-                    time: gpu_time + rank_time,
-                    steps: Vec::new(),
+                    topk: out.topk,
+                    time: out.time + rank_time,
+                    steps,
                 }
             }
             ExecMode::Hybrid => self.process_hybrid(index, terms, k),
@@ -385,17 +457,17 @@ impl<'g> Griffin<'g> {
         let host = match inter {
             Inter::Device(dev) => {
                 let start = self.device.now();
-                let (docids, scores) = self.gpu.download(dev);
+                let host = self.gpu.download(dev);
                 let t = self.device.now() - start;
                 total += t;
                 steps.push(StepTrace {
                     op: StepOp::Migrate,
                     proc: Proc::Cpu,
                     time: t,
-                    inter_len: docids.len(),
+                    inter_len: host.len(),
                 });
                 self.record_step(steps.last().expect("just pushed"));
-                Intermediate { docids, scores }
+                host
             }
             Inter::Host(h) => h,
         };
@@ -438,11 +510,8 @@ impl<'g> Griffin<'g> {
             }
             (Inter::Device(dev), Proc::Cpu) => {
                 let start = self.device.now();
-                let (docids, scores) = self.gpu.download(dev);
-                (
-                    Inter::Host(Intermediate { docids, scores }),
-                    self.device.now() - start,
-                )
+                let host = self.gpu.download(dev);
+                (Inter::Host(host), self.device.now() - start)
             }
             (other, _) => (other, VirtualNanos::ZERO),
         }
@@ -568,13 +637,62 @@ mod tests {
         let idx = b.build();
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
-        let hits = griffin.search(&idx, &["rust", "engine"], 10, ExecMode::Hybrid);
+        let hits = griffin
+            .search(&idx, &["rust", "engine"], 10, ExecMode::Hybrid)
+            .expect("all words known");
         let mut docs: Vec<u32> = hits.topk.iter().map(|&(d, _)| d).collect();
         docs.sort_unstable();
         assert_eq!(docs, vec![1, 2]);
-        // Unknown words empty the conjunction.
-        let none = griffin.search(&idx, &["rust", "nonexistent"], 10, ExecMode::Hybrid);
+        // Unknown words are an error from `search`...
+        let err = griffin
+            .search(&idx, &["rust", "nonexistent"], 10, ExecMode::Hybrid)
+            .unwrap_err();
+        assert_eq!(err, QueryError::UnknownTerm("nonexistent".into()));
+        // ...and an empty result from the lenient variant.
+        let none = griffin.search_lenient(&idx, &["rust", "nonexistent"], 10, ExecMode::Hybrid);
         assert!(none.topk.is_empty());
+        assert_eq!(none.time, VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn run_accepts_a_query_request() {
+        let idx = test_index(&[2_000, 30_000], 500_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        // Disable the device list cache so the two runs below see
+        // identical transfer costs.
+        griffin.gpu.set_cache_budget(0);
+        let q = terms(&idx, 2);
+        let req = QueryRequest::new(q.clone())
+            .k(10)
+            .mode(ExecMode::Hybrid)
+            .deadline(VirtualNanos::from_millis(100));
+        let via_request = griffin.run(&idx, &req);
+        let via_shim = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+        assert_eq!(via_request.topk, via_shim.topk);
+        assert_eq!(via_request.time, via_shim.time);
+    }
+
+    #[test]
+    fn non_hybrid_modes_trace_coarse_steps_that_sum_to_total() {
+        let idx = test_index(&[3_000, 20_000, 60_000], 500_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 3);
+
+        let cpu = griffin.process_query(&idx, &q, 10, ExecMode::CpuOnly);
+        assert_eq!(cpu.steps.len(), 1);
+        assert_eq!(cpu.steps[0].op, StepOp::Exec);
+        assert_eq!(cpu.steps[0].proc, Proc::Cpu);
+        assert_eq!(cpu.steps[0].time, cpu.time);
+
+        let gpu_only = griffin.process_query(&idx, &q, 10, ExecMode::GpuOnly);
+        assert_eq!(gpu_only.steps.len(), 2);
+        assert_eq!(gpu_only.steps[0].proc, Proc::Gpu);
+        assert_eq!(gpu_only.steps[1].op, StepOp::TopK);
+        assert_eq!(gpu_only.steps[1].proc, Proc::Cpu);
+        let sum: VirtualNanos = gpu_only.steps.iter().map(|s| s.time).sum();
+        assert_eq!(sum, gpu_only.time);
     }
 
     #[test]

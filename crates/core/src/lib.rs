@@ -22,9 +22,11 @@
 //! and tail-latency (Fig. 15) studies.
 
 pub mod engine;
+pub mod request;
 pub mod sched;
 pub mod serving;
 
 pub use engine::{ExecMode, Griffin, GriffinOutput, StepOp, StepTrace};
+pub use request::{QueryError, QueryRequest};
 pub use sched::{Decision, Proc, Scheduler};
 pub use serving::{Job, Resource, ServingSim, StageReq};

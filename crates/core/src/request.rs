@@ -1,0 +1,121 @@
+//! The unified query-request type shared by the engine and the serving
+//! pipeline.
+//!
+//! [`QueryRequest`] carries everything that describes *what* to run — the
+//! terms, the result count, the execution mode, and an optional latency
+//! deadline — so that [`crate::engine::Griffin`] and `griffin-server`'s
+//! admission pipeline accept the same object. The old positional-argument
+//! methods remain as thin shims over [`crate::engine::Griffin::run`].
+
+use griffin_gpu_sim::VirtualNanos;
+use griffin_index::TermId;
+
+use crate::engine::ExecMode;
+
+/// A fully specified conjunctive query.
+///
+/// Build one with [`QueryRequest::new`] plus the chainable setters:
+///
+/// ```
+/// use griffin::{ExecMode, QueryRequest};
+/// use griffin_gpu_sim::VirtualNanos;
+/// use griffin_index::TermId;
+///
+/// let req = QueryRequest::new(vec![TermId(3), TermId(7)])
+///     .k(20)
+///     .mode(ExecMode::Hybrid)
+///     .deadline(VirtualNanos::from_millis(50));
+/// assert_eq!(req.k, 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The conjunctive query terms (order does not matter; the engine
+    /// plans by ascending document frequency).
+    pub terms: Vec<TermId>,
+    /// Number of results to return.
+    pub k: usize,
+    /// Which processors may execute the query.
+    pub mode: ExecMode,
+    /// Optional latency budget, relative to the query's arrival. The
+    /// engine ignores it; the serving pipeline reports whether each
+    /// query met its deadline.
+    pub deadline: Option<VirtualNanos>,
+}
+
+impl QueryRequest {
+    /// A request with the conventional defaults: top-10, [`ExecMode::Hybrid`],
+    /// no deadline.
+    pub fn new(terms: Vec<TermId>) -> QueryRequest {
+        QueryRequest {
+            terms,
+            k: 10,
+            mode: ExecMode::Hybrid,
+            deadline: None,
+        }
+    }
+
+    /// Sets the number of results to return.
+    pub fn k(mut self, k: usize) -> QueryRequest {
+        self.k = k;
+        self
+    }
+
+    /// Sets the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> QueryRequest {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the latency deadline (relative to arrival).
+    pub fn deadline(mut self, deadline: VirtualNanos) -> QueryRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A query word is absent from the index vocabulary. Conjunctive
+    /// semantics would make the whole result empty; callers that prefer
+    /// the silent-empty behaviour use
+    /// [`crate::engine::Griffin::search_lenient`].
+    UnknownTerm(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownTerm(w) => write!(f, "unknown term: {w:?}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_setters() {
+        let req = QueryRequest::new(vec![TermId(1)]);
+        assert_eq!(req.k, 10);
+        assert_eq!(req.mode, ExecMode::Hybrid);
+        assert_eq!(req.deadline, None);
+
+        let req = req
+            .k(3)
+            .mode(ExecMode::CpuOnly)
+            .deadline(VirtualNanos::from_micros(7));
+        assert_eq!(req.k, 3);
+        assert_eq!(req.mode, ExecMode::CpuOnly);
+        assert_eq!(req.deadline, Some(VirtualNanos::from_micros(7)));
+    }
+
+    #[test]
+    fn error_displays_the_word() {
+        let e = QueryError::UnknownTerm("zebra".into());
+        assert!(e.to_string().contains("zebra"));
+    }
+}

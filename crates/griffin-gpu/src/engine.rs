@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use griffin_cpu::cost::WorkCounters;
 use griffin_cpu::rank::Bm25;
-use griffin_cpu::topk;
+use griffin_cpu::{topk, Intermediate};
 use griffin_gpu_sim::{DeviceBuffer, Gpu, Kernel, LaunchConfig, Op, ThreadCtx, VirtualNanos};
 use griffin_index::{CorpusMeta, InvertedIndex, TermId};
 
@@ -49,6 +49,18 @@ impl DeviceIntermediate {
         gpu.free(self.docids);
         gpu.free(self.scores);
     }
+}
+
+/// Result of a full GPU-only query ([`GpuEngine::process_query`]).
+#[derive(Debug, Clone)]
+pub struct GpuQueryOutput {
+    /// Top-k (docid, score), best first.
+    pub topk: Vec<(u32, f32)>,
+    /// Virtual time spent on the device (transfers + kernels).
+    pub time: VirtualNanos,
+    /// CPU work counters of the final ranking step, for the caller's
+    /// cost model (ranking runs on the host, per the Fig. 7 finding).
+    pub rank_work: WorkCounters,
 }
 
 /// BM25 parameters in kernel-friendly form.
@@ -496,31 +508,33 @@ impl<'g> GpuEngine<'g> {
 
     /// Ships the intermediate's (docid, score) pairs back to the host and
     /// frees it.
-    pub fn download(&self, inter: DeviceIntermediate) -> (Vec<u32>, Vec<f32>) {
+    pub fn download(&self, inter: DeviceIntermediate) -> Intermediate {
         let docids = self.gpu.dtoh_prefix(&inter.docids, inter.len);
         let scores = self.gpu.dtoh_prefix(&inter.scores, inter.len);
         inter.free(self.gpu);
-        (docids, scores)
+        Intermediate { docids, scores }
     }
 
     /// Full GPU-only query ("Griffin-GPU running alone" in the paper's
     /// evaluation): all intersections on the device, final ranking on the
-    /// CPU via `partial_sort` (the Fig. 7 winner). Returns the top-k, the
-    /// GPU virtual time, and the CPU ranking counters for the caller's
-    /// cost model.
+    /// CPU via `partial_sort` (the Fig. 7 winner).
     pub fn process_query(
         &self,
         index: &InvertedIndex,
         terms: &[TermId],
         k: usize,
-    ) -> (Vec<(u32, f32)>, VirtualNanos, WorkCounters) {
+    ) -> GpuQueryOutput {
         let gpu = self.gpu;
-        let mut rank_w = WorkCounters::default();
+        let mut rank_work = WorkCounters::default();
         let start = gpu.now();
         let mut planned = terms.to_vec();
         planned.sort_by_key(|&t| index.doc_freq(t));
         let Some((&first, rest)) = planned.split_first() else {
-            return (Vec::new(), VirtualNanos::ZERO, rank_w);
+            return GpuQueryOutput {
+                topk: Vec::new(),
+                time: VirtualNanos::ZERO,
+                rank_work,
+            };
         };
         let first_postings = self.upload(index, first);
         let mut inter = self.init_intermediate(&first_postings);
@@ -533,10 +547,14 @@ impl<'g> GpuEngine<'g> {
             inter = self.intersect_step(inter, &postings, index.block_len(), GpuStrategy::Auto);
             self.release(postings);
         }
-        let (docids, scores) = self.download(inter);
-        let gpu_time = gpu.now() - start;
-        let topk = topk::top_k(&docids, &scores, k, &mut rank_w);
-        (topk, gpu_time, rank_w)
+        let host = self.download(inter);
+        let time = gpu.now() - start;
+        let topk = topk::top_k(&host.docids, &host.scores, k, &mut rank_work);
+        GpuQueryOutput {
+            topk,
+            time,
+            rank_work,
+        }
     }
 
     /// Frees engine-owned device state (the list cache and the doc-length
@@ -586,14 +604,14 @@ mod tests {
 
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let engine = GpuEngine::new(&gpu, idx.meta());
-        let (gpu_topk, gpu_time, _) = engine.process_query(&idx, &terms, 10);
+        let gpu_out = engine.process_query(&idx, &terms, 10);
 
-        assert_eq!(cpu_out.topk.len(), gpu_topk.len());
-        for (c, g) in cpu_out.topk.iter().zip(&gpu_topk) {
+        assert_eq!(cpu_out.topk.len(), gpu_out.topk.len());
+        for (c, g) in cpu_out.topk.iter().zip(&gpu_out.topk) {
             assert_eq!(c.0, g.0, "docids must agree");
             assert!((c.1 - g.1).abs() < 1e-5, "scores must agree: {c:?} {g:?}");
         }
-        assert!(gpu_time.as_nanos() > 0);
+        assert!(gpu_out.time.as_nanos() > 0);
     }
 
     #[test]
@@ -615,7 +633,7 @@ mod tests {
         }
         assert_eq!(results[0], results[1]);
         assert!(
-            !results[0].0.is_empty(),
+            !results[0].is_empty(),
             "test needs a non-empty intersection"
         );
     }
@@ -628,8 +646,8 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let engine = GpuEngine::new(&gpu, idx.meta());
         let terms = vec![term(&idx, 0), term(&idx, 1)];
-        let (topk, _, _) = engine.process_query(&idx, &terms, 10);
-        assert!(topk.is_empty());
+        let out = engine.process_query(&idx, &terms, 10);
+        assert!(out.topk.is_empty());
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod radix_sort;
 pub mod scan;
 pub mod transfer;
 
-pub use engine::{DeviceIntermediate, GpuEngine, GpuStrategy};
+pub use engine::{DeviceIntermediate, GpuEngine, GpuQueryOutput, GpuStrategy};
 pub use transfer::{DeviceEfList, DevicePostings};

@@ -1,0 +1,81 @@
+//! Admission control: capacity limits and GPU overload policies.
+//!
+//! A production retrieval node cannot queue unboundedly — the paper's
+//! tail-latency study (Fig. 15) shows exactly what happens when it
+//! tries. The admission queue bounds the number of in-flight queries,
+//! and an overload policy decides what to do with a hybrid query when
+//! the single shared GPU is already deep in backlog: reject it outright,
+//! or *degrade* it to CPU-only execution (the co-processing discipline
+//! from the fgssjoin line of work — when the accelerator is the
+//! bottleneck, falling back to the host beats queueing behind it).
+
+use griffin_gpu_sim::VirtualNanos;
+
+/// What to do with a GPU-hungry query when the GPU queue is too deep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Reject the query (it is counted, not simulated).
+    Shed,
+    /// Run it CPU-only instead, using its measured CPU-only schedule.
+    DegradeToCpuOnly,
+}
+
+/// Admission-control configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum queries in flight (arrived, not yet finished). Arrivals
+    /// beyond this are shed regardless of policy.
+    pub capacity: usize,
+    /// GPU queue depth (stages waiting or running on the device) above
+    /// which the overload policy applies to newly arriving queries with
+    /// GPU stages.
+    pub gpu_depth_threshold: usize,
+    /// The overload response.
+    pub policy: OverloadPolicy,
+}
+
+impl Default for AdmissionConfig {
+    /// Effectively-unbounded admission: nothing is shed or degraded.
+    /// Serving experiments override these.
+    fn default() -> Self {
+        AdmissionConfig {
+            capacity: usize::MAX,
+            gpu_depth_threshold: usize::MAX,
+            policy: OverloadPolicy::DegradeToCpuOnly,
+        }
+    }
+}
+
+/// What happened to one query at (and after) admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran its measured schedule to completion.
+    Completed,
+    /// Ran, but on its CPU-only fallback schedule.
+    Degraded,
+    /// Rejected at admission; never ran.
+    Shed,
+}
+
+/// Per-query serving result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedQuery {
+    pub outcome: Outcome,
+    /// Completion − arrival; `None` for shed queries.
+    pub latency: Option<VirtualNanos>,
+    /// Whether the latency met the request's deadline (`None` when the
+    /// request had no deadline, or the query was shed).
+    pub deadline_met: Option<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_admits_everything() {
+        let a = AdmissionConfig::default();
+        assert_eq!(a.capacity, usize::MAX);
+        assert_eq!(a.gpu_depth_threshold, usize::MAX);
+    }
+}

@@ -1,0 +1,126 @@
+//! GPU batch packing: coalescing small device stages across queries.
+//!
+//! The gpu-sim charges every kernel launch a fixed driver/dispatch
+//! overhead ([`DeviceConfig::kernel_launch_overhead_ns`]), and every
+//! device stage additionally pays allocation and DMA-setup costs. When
+//! many *small* GPU stages from different queries sit in the device
+//! queue at once, launching them back to back repays that fixed cost
+//! once per stage — while a batched submission (one graph-style launch
+//! enqueueing the member kernels back to back) pays it once per *batch*.
+//! The packer models exactly that saving: members execute concatenated
+//! in queue order, and every member after the first shaves its fixed
+//! per-stage overhead off its own duration (clamped to that duration —
+//! a member cannot finish in negative time). Crucially each member's
+//! result is ready when *its* kernels complete, not at the end of the
+//! batch, so packing never delays anyone: it is purely work-conserving.
+
+use griffin_gpu_sim::{DeviceConfig, VirtualNanos};
+
+/// Batch-packing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum stages coalesced into one launch (1 disables packing).
+    pub max_batch: usize,
+    /// Only stages at or below this duration are coalesced; larger
+    /// stages already amortize their launch costs and would only delay
+    /// their batch-mates.
+    pub small_stage: VirtualNanos,
+    /// Fixed per-stage cost a coalesced member no longer pays. See
+    /// [`BatchConfig::for_device`] for the derivation.
+    pub per_stage_overhead: VirtualNanos,
+}
+
+impl BatchConfig {
+    /// Derives the per-stage fixed overhead from the device model: a
+    /// bridged GPU stage issues at least two kernels (decompress +
+    /// intersect/score) and one buffer round trip, so a coalesced
+    /// member saves two launch overheads plus one allocation/free pair —
+    /// a deliberately conservative floor (real stages issue more).
+    pub fn for_device(cfg: &DeviceConfig) -> BatchConfig {
+        BatchConfig {
+            max_batch: 8,
+            small_stage: VirtualNanos::from_millis(2),
+            per_stage_overhead: VirtualNanos::from_nanos(
+                2 * cfg.kernel_launch_overhead_ns + cfg.malloc_overhead_ns + cfg.free_overhead_ns,
+            ),
+        }
+    }
+
+    /// Whether a stage of this duration is eligible for coalescing.
+    pub fn is_small(&self, duration: VirtualNanos) -> bool {
+        duration <= self.small_stage
+    }
+
+    /// How much of a coalesced (non-first) member's duration the shared
+    /// submission saves: the fixed per-stage overhead, clamped to the
+    /// member's own duration.
+    pub fn saving_for(&self, duration: VirtualNanos) -> VirtualNanos {
+        self.per_stage_overhead.min(duration)
+    }
+
+    /// Device time of one batched submission over stages with the given
+    /// durations: the members run concatenated, and every member after
+    /// the first saves its per-stage overhead ([`BatchConfig::saving_for`]).
+    pub fn packed_duration(&self, durations: &[VirtualNanos]) -> VirtualNanos {
+        let sum: VirtualNanos = durations.iter().copied().sum();
+        let saved: VirtualNanos = durations.iter().skip(1).map(|&d| self.saving_for(d)).sum();
+        sum - saved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> VirtualNanos {
+        VirtualNanos::from_nanos(v)
+    }
+
+    fn config(overhead: u64) -> BatchConfig {
+        BatchConfig {
+            max_batch: 8,
+            small_stage: ns(1_000_000),
+            per_stage_overhead: ns(overhead),
+        }
+    }
+
+    #[test]
+    fn singleton_batch_is_exact() {
+        // One stage saves nothing — the bit-exact unloaded-latency
+        // guarantee depends on this.
+        assert_eq!(config(10_000).packed_duration(&[ns(123_456)]), ns(123_456));
+    }
+
+    #[test]
+    fn batch_saves_one_overhead_per_extra_member() {
+        let c = config(1_000);
+        assert_eq!(
+            c.packed_duration(&[ns(50_000), ns(60_000), ns(70_000)]),
+            ns(178_000)
+        );
+    }
+
+    #[test]
+    fn savings_clamp_to_the_member_duration() {
+        let c = config(100_000);
+        // The 1µs member can save at most its own duration.
+        assert_eq!(c.packed_duration(&[ns(110_000), ns(1_000)]), ns(110_000));
+        assert_eq!(c.saving_for(ns(1_000)), ns(1_000));
+        assert_eq!(c.saving_for(ns(500_000)), ns(100_000));
+    }
+
+    #[test]
+    fn device_derivation_is_positive_and_conservative() {
+        let cfg = DeviceConfig::tesla_k20();
+        let b = BatchConfig::for_device(&cfg);
+        let overhead = b.per_stage_overhead.as_nanos();
+        assert!(overhead >= cfg.kernel_launch_overhead_ns);
+        // Far below any realistic small-stage duration.
+        assert!(b.per_stage_overhead < b.small_stage);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        assert_eq!(config(1).packed_duration(&[]), VirtualNanos::ZERO);
+    }
+}

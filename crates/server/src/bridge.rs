@@ -1,0 +1,147 @@
+//! The trace → stage bridge.
+//!
+//! [`griffin::Griffin::run`] returns a measured per-operation schedule —
+//! the [`StepTrace`] sequence — for every execution mode. This module
+//! converts that schedule into the [`StageReq`] lanes the serving
+//! simulator understands: CPU steps become [`Resource::Cpu`] stages, GPU
+//! kernels *and PCIe migrations* become [`Resource::Gpu`] stages (the
+//! paper's single device owns its DMA engine, so a transfer occupies the
+//! GPU lane just like a kernel).
+//!
+//! The bridge is exact by construction: the engine guarantees that step
+//! durations sum to [`griffin::GriffinOutput::time`] in every mode, so a
+//! single unloaded query replayed through the simulator reproduces its
+//! engine latency bit for bit (see the `bridge_properties` test suite).
+
+use griffin::serving::{Resource, StageReq};
+use griffin::{GriffinOutput, Proc, StepOp, StepTrace};
+use griffin_gpu_sim::VirtualNanos;
+
+/// Which serving resource a step occupies: GPU-resident work and PCIe
+/// migrations hold the GPU lane; everything else holds a CPU core.
+pub fn resource_of(step: &StepTrace) -> Resource {
+    match (step.proc, step.op) {
+        (Proc::Gpu, _) | (_, StepOp::Migrate) => Resource::Gpu,
+        (Proc::Cpu, _) => Resource::Cpu,
+    }
+}
+
+/// Converts a query's measured step trace into serving stages, merging
+/// consecutive steps on the same resource into one stage (a query holds
+/// its core/device across adjacent operations; only a resource *switch*
+/// is a scheduling point).
+pub fn stages_of(out: &GriffinOutput) -> Vec<StageReq> {
+    let mut stages: Vec<StageReq> = Vec::new();
+    for step in &out.steps {
+        let resource = resource_of(step);
+        match stages.last_mut() {
+            Some(last) if last.resource == resource => last.duration += step.time,
+            _ => stages.push(StageReq {
+                resource,
+                duration: step.time,
+            }),
+        }
+    }
+    stages
+}
+
+/// Total stage duration per resource: `(cpu, gpu)`.
+pub fn resource_totals(stages: &[StageReq]) -> (VirtualNanos, VirtualNanos) {
+    let mut cpu = VirtualNanos::ZERO;
+    let mut gpu = VirtualNanos::ZERO;
+    for s in stages {
+        match s.resource {
+            Resource::Cpu => cpu += s.duration,
+            Resource::Gpu => gpu += s.duration,
+        }
+    }
+    (cpu, gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(op: StepOp, proc: Proc, ns: u64) -> StepTrace {
+        StepTrace {
+            op,
+            proc,
+            time: VirtualNanos::from_nanos(ns),
+            inter_len: 0,
+        }
+    }
+
+    fn output(steps: Vec<StepTrace>) -> GriffinOutput {
+        let time = steps.iter().map(|s| s.time).sum();
+        GriffinOutput {
+            topk: Vec::new(),
+            time,
+            steps,
+        }
+    }
+
+    #[test]
+    fn stages_sum_to_total_time() {
+        let out = output(vec![
+            step(StepOp::Init, Proc::Gpu, 100),
+            step(StepOp::Intersect(1), Proc::Gpu, 200),
+            step(StepOp::Migrate, Proc::Cpu, 50),
+            step(StepOp::Intersect(2), Proc::Cpu, 75),
+            step(StepOp::TopK, Proc::Cpu, 25),
+        ]);
+        let stages = stages_of(&out);
+        let total: VirtualNanos = stages.iter().map(|s| s.duration).sum();
+        assert_eq!(total, out.time);
+    }
+
+    #[test]
+    fn consecutive_same_resource_steps_merge() {
+        let out = output(vec![
+            step(StepOp::Init, Proc::Gpu, 100),
+            step(StepOp::Intersect(1), Proc::Gpu, 200),
+            // Download migration occupies the GPU lane too, so it merges.
+            step(StepOp::Migrate, Proc::Cpu, 50),
+            step(StepOp::TopK, Proc::Cpu, 25),
+        ]);
+        let stages = stages_of(&out);
+        assert_eq!(
+            stages,
+            vec![
+                StageReq {
+                    resource: Resource::Gpu,
+                    duration: VirtualNanos::from_nanos(350),
+                },
+                StageReq {
+                    resource: Resource::Cpu,
+                    duration: VirtualNanos::from_nanos(25),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn migration_occupies_the_gpu_lane() {
+        let up = step(StepOp::Migrate, Proc::Gpu, 10);
+        let down = step(StepOp::Migrate, Proc::Cpu, 10);
+        assert_eq!(resource_of(&up), Resource::Gpu);
+        assert_eq!(resource_of(&down), Resource::Gpu);
+        let cpu = step(StepOp::Intersect(1), Proc::Cpu, 10);
+        assert_eq!(resource_of(&cpu), Resource::Cpu);
+    }
+
+    #[test]
+    fn empty_trace_bridges_to_no_stages() {
+        assert!(stages_of(&output(Vec::new())).is_empty());
+    }
+
+    #[test]
+    fn totals_split_by_resource() {
+        let out = output(vec![
+            step(StepOp::Init, Proc::Gpu, 40),
+            step(StepOp::TopK, Proc::Cpu, 60),
+        ]);
+        let (cpu, gpu) = resource_totals(&stages_of(&out));
+        assert_eq!(cpu, VirtualNanos::from_nanos(60));
+        assert_eq!(gpu, VirtualNanos::from_nanos(40));
+    }
+}

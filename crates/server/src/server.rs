@@ -1,0 +1,242 @@
+//! The serving front end: plan queries through the engine, replay them
+//! through the serving simulator.
+//!
+//! Serving splits into two phases so that load sweeps stay cheap:
+//!
+//! 1. **Plan** ([`GriffinServer::plan`]): run every request through the
+//!    hybrid engine once, bridge its measured step trace into serving
+//!    stages, and (for degradable requests) measure the CPU-only
+//!    fallback schedule. This is the expensive part — it simulates the
+//!    actual index work — and it is load-independent.
+//! 2. **Replay** ([`GriffinServer::replay`]): feed the planned schedules
+//!    plus an arrival process into [`ServerSim`]. This is pure
+//!    discrete-event simulation, so sweeping arrival rates or toggling
+//!    batching re-runs only this phase.
+//!
+//! [`GriffinServer::serve`] does both in one call for the common case.
+
+use griffin::serving::StageReq;
+use griffin::{ExecMode, Griffin, QueryRequest};
+use griffin_gpu_sim::VirtualNanos;
+use griffin_index::InvertedIndex;
+use griffin_telemetry::Telemetry;
+
+use crate::admission::{OverloadPolicy, ServedQuery};
+use crate::bridge::stages_of;
+use crate::sim::{ServerSim, SimConfig, SimJob, SimReport, SimStats};
+use crate::Timeline;
+
+/// Server configuration: the simulator knobs, re-exported at the
+/// serving layer. See [`SimConfig`].
+pub type ServerConfig = SimConfig;
+
+/// A query with its (virtual) arrival instant.
+#[derive(Debug, Clone)]
+pub struct ArrivingQuery {
+    pub request: QueryRequest,
+    pub arrival: VirtualNanos,
+}
+
+/// One planned query: the engine's answer plus the measured schedules
+/// the simulator replays.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The engine's top-k result (doc id, score) — serving never changes
+    /// *what* a query answers, only *when*.
+    pub topk: Vec<(u32, f32)>,
+    /// Unloaded service time; equals the stage-duration sum.
+    pub service_time: VirtualNanos,
+    /// Bridged serving stages in execution order.
+    pub stages: Vec<StageReq>,
+    /// Measured CPU-only service time, when the request could degrade
+    /// (planned with a non-CpuOnly mode).
+    pub cpu_fallback: Option<VirtualNanos>,
+    /// Carried from the request.
+    pub deadline: Option<VirtualNanos>,
+}
+
+/// Everything one serving run produces.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-query outcomes, in submission order.
+    pub queries: Vec<ServedQuery>,
+    pub stats: SimStats,
+    pub timeline: Timeline,
+}
+
+impl ServeReport {
+    /// Latencies of queries that ran (completed or degraded), ascending.
+    pub fn sorted_latencies(&self) -> Vec<VirtualNanos> {
+        let mut v: Vec<VirtualNanos> = self.queries.iter().filter_map(|q| q.latency).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The p-th percentile (0.0..=1.0) of served-query latency.
+    pub fn latency_percentile(&self, p: f64) -> Option<VirtualNanos> {
+        let v = self.sorted_latencies();
+        if v.is_empty() {
+            return None;
+        }
+        let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        Some(v[idx])
+    }
+
+    /// Fraction of served deadline-carrying queries that missed their
+    /// deadline. Shed queries have no verdict here; `stats` counts their
+    /// misses separately.
+    pub fn deadline_miss_rate(&self) -> Option<f64> {
+        let verdicts: Vec<bool> = self.queries.iter().filter_map(|q| q.deadline_met).collect();
+        if verdicts.is_empty() {
+            return None;
+        }
+        Some(verdicts.iter().filter(|&&met| !met).count() as f64 / verdicts.len() as f64)
+    }
+}
+
+/// The serving front end. Holds the scheduling configuration and an
+/// optional telemetry session; borrows an engine per `plan`/`serve`
+/// call.
+pub struct GriffinServer {
+    config: ServerConfig,
+    telemetry: Telemetry,
+}
+
+impl GriffinServer {
+    pub fn new(config: ServerConfig) -> GriffinServer {
+        GriffinServer {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry session; replay records queue, shed, and batch
+    /// metrics into it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Phase 1: run every request through the engine and bridge its
+    /// measured trace into serving stages. When the admission policy can
+    /// degrade and the request is not already CPU-only, the CPU-only
+    /// fallback schedule is measured too.
+    pub fn plan(
+        &self,
+        engine: &Griffin<'_>,
+        index: &InvertedIndex,
+        requests: &[QueryRequest],
+    ) -> Vec<PlannedQuery> {
+        let wants_fallback = self.config.admission.policy == OverloadPolicy::DegradeToCpuOnly
+            && self.config.admission.gpu_depth_threshold != usize::MAX;
+        requests
+            .iter()
+            .map(|req| {
+                let out = engine.run(index, req);
+                let cpu_fallback = if wants_fallback && req.mode != ExecMode::CpuOnly {
+                    let fb = QueryRequest::new(req.terms.clone())
+                        .k(req.k)
+                        .mode(ExecMode::CpuOnly);
+                    Some(engine.run(index, &fb).time)
+                } else {
+                    None
+                };
+                PlannedQuery {
+                    topk: out.topk.clone(),
+                    service_time: out.time,
+                    stages: stages_of(&out),
+                    cpu_fallback,
+                    deadline: req.deadline,
+                }
+            })
+            .collect()
+    }
+
+    /// Phase 2: replay planned queries arriving at the given instants
+    /// through the serving simulator. `arrivals` and `planned` pair up
+    /// by index.
+    pub fn replay(&self, planned: &[PlannedQuery], arrivals: &[VirtualNanos]) -> ServeReport {
+        assert_eq!(
+            planned.len(),
+            arrivals.len(),
+            "one arrival instant per planned query"
+        );
+        let jobs: Vec<SimJob> = planned
+            .iter()
+            .zip(arrivals)
+            .map(|(p, &arrival)| SimJob {
+                arrival,
+                stages: p.stages.clone(),
+                cpu_fallback: p.cpu_fallback,
+                deadline: p.deadline,
+            })
+            .collect();
+        let report = ServerSim::new(self.config).run(&jobs);
+        self.record(&report);
+        ServeReport {
+            queries: report.queries,
+            stats: report.stats,
+            timeline: report.timeline,
+        }
+    }
+
+    /// Plan + replay in one call.
+    pub fn serve(
+        &self,
+        engine: &Griffin<'_>,
+        index: &InvertedIndex,
+        queries: &[ArrivingQuery],
+    ) -> ServeReport {
+        let requests: Vec<QueryRequest> = queries.iter().map(|q| q.request.clone()).collect();
+        let arrivals: Vec<VirtualNanos> = queries.iter().map(|q| q.arrival).collect();
+        let planned = self.plan(engine, index, &requests);
+        self.replay(&planned, &arrivals)
+    }
+
+    fn record(&self, report: &SimReport) {
+        let s = &report.stats;
+        self.telemetry
+            .counter_add("griffin_server_admitted_total", s.admitted as u64);
+        self.telemetry
+            .counter_add("griffin_server_shed_total", s.shed as u64);
+        self.telemetry
+            .counter_add("griffin_server_degraded_total", s.degraded as u64);
+        self.telemetry.counter_add(
+            "griffin_server_deadline_missed_total",
+            s.deadline_missed as u64,
+        );
+        self.telemetry
+            .counter_add("griffin_server_gpu_launches_total", s.gpu_launches);
+        self.telemetry
+            .counter_add("griffin_server_gpu_stages_total", s.gpu_stages);
+        self.telemetry.counter_add(
+            "griffin_server_gpu_time_saved_ns_total",
+            s.gpu_time_saved.as_nanos(),
+        );
+        self.telemetry.gauge_set(
+            "griffin_server_batch_occupancy_mean",
+            s.mean_batch_occupancy(),
+        );
+        self.telemetry.gauge_set(
+            "griffin_server_batch_occupancy_max",
+            s.max_batch_occupancy as f64,
+        );
+        self.telemetry.gauge_set(
+            "griffin_server_gpu_queue_depth_max",
+            s.max_gpu_queue_depth as f64,
+        );
+        for q in &report.queries {
+            if let Some(latency) = q.latency {
+                self.telemetry
+                    .observe_duration("griffin_server_latency_ns", latency);
+            }
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! The serving-pipeline discrete-event simulator.
+//!
+//! Extends the core [`griffin::serving::ServingSim`] model (N CPU cores +
+//! one GPU, stages interleaving in ready-time order) with the three
+//! disciplines a single shared GPU needs to survive concurrent load:
+//!
+//! * an **admission queue** — at most [`AdmissionConfig::capacity`]
+//!   queries in flight, the rest shed;
+//! * an **overload policy** — arrivals that would deepen an
+//!   already-backlogged GPU queue are shed or degraded to their CPU-only
+//!   schedule ([`OverloadPolicy`]);
+//! * a **batch packer** — adjacent small GPU stages from different
+//!   queries coalesce into one launch, amortizing the fixed per-stage
+//!   overheads the device model charges ([`BatchConfig`]).
+//!
+//! With admission unbounded and batching disabled the schedule reduces
+//! exactly to the core simulator's: greedy earliest-available-core for
+//! CPU stages, FIFO single-server GPU. An unloaded single query finishes
+//! in exactly the sum of its stage durations — the serving pipeline's
+//! bit-exactness guarantee.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use griffin::serving::{Resource, StageReq};
+use griffin_gpu_sim::VirtualNanos;
+use griffin_telemetry::{SpanEvent, Timeline};
+
+use crate::admission::{AdmissionConfig, Outcome, OverloadPolicy, ServedQuery};
+use crate::batch::BatchConfig;
+
+/// One query as the simulator sees it: an arrival, a measured stage
+/// schedule, and the admission metadata.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    pub arrival: VirtualNanos,
+    /// The measured schedule (from the trace → stage bridge).
+    pub stages: Vec<StageReq>,
+    /// Measured CPU-only service time, the degrade target. `None` means
+    /// the job cannot degrade (it is shed instead under overload).
+    pub cpu_fallback: Option<VirtualNanos>,
+    /// Latency budget relative to arrival.
+    pub deadline: Option<VirtualNanos>,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// CPU worker cores (paper testbed: 4).
+    pub cpu_workers: usize,
+    pub admission: AdmissionConfig,
+    /// GPU batch packing; `None` launches every stage individually.
+    pub batching: Option<BatchConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cpu_workers: 4,
+            admission: AdmissionConfig::default(),
+            batching: None,
+        }
+    }
+}
+
+/// Aggregate counters of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    pub admitted: usize,
+    pub shed: usize,
+    pub degraded: usize,
+    /// Queries with a deadline that finished after it (shed queries with
+    /// a deadline also count as missed).
+    pub deadline_missed: usize,
+    /// GPU launches issued (a batch is one launch).
+    pub gpu_launches: u64,
+    /// GPU stages executed (batched or not).
+    pub gpu_stages: u64,
+    /// Largest number of stages coalesced into one launch.
+    pub max_batch_occupancy: usize,
+    /// Device time saved by batching (sum of per-member overheads not
+    /// paid).
+    pub gpu_time_saved: VirtualNanos,
+    /// Deepest GPU queue observed (waiting + running stages).
+    pub max_gpu_queue_depth: usize,
+}
+
+impl SimStats {
+    /// Mean stages per GPU launch (1.0 when batching never coalesced).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.gpu_launches == 0 {
+            0.0
+        } else {
+            self.gpu_stages as f64 / self.gpu_launches as f64
+        }
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-query results, in job order.
+    pub queries: Vec<ServedQuery>,
+    pub stats: SimStats,
+    /// The executed schedule (batched GPU members share their launch's
+    /// span interval).
+    pub timeline: Timeline,
+}
+
+/// Event kinds, ordered so that at equal timestamps arrivals enqueue
+/// first, freshly ready stages join the GPU queue second, and the GPU
+/// dispatcher fires last — maximizing (deterministic) batching.
+const EV_ARRIVE: u8 = 0;
+const EV_READY: u8 = 1;
+const EV_DISPATCH: u8 = 2;
+
+/// One stage waiting in the GPU queue.
+struct QueuedStage {
+    job: usize,
+    stage: usize,
+    ready: VirtualNanos,
+    duration: VirtualNanos,
+}
+
+/// The serving simulator. Create one per run.
+pub struct ServerSim {
+    config: SimConfig,
+}
+
+impl ServerSim {
+    pub fn new(config: SimConfig) -> ServerSim {
+        assert!(config.cpu_workers > 0, "need at least one CPU worker");
+        if let Some(b) = &config.batching {
+            assert!(b.max_batch >= 1, "max_batch of 0 would stall the GPU");
+        }
+        ServerSim { config }
+    }
+
+    /// Runs all jobs to completion (or shedding) and reports per-query
+    /// outcomes, aggregate stats, and the executed timeline.
+    pub fn run(&self, jobs: &[SimJob]) -> SimReport {
+        let mut heap: BinaryHeap<Reverse<(VirtualNanos, u8, usize, usize)>> = BinaryHeap::new();
+        for (j, job) in jobs.iter().enumerate() {
+            heap.push(Reverse((job.arrival, EV_ARRIVE, j, 0)));
+        }
+
+        // Effective schedule per job (replaced on degrade).
+        let mut schedules: Vec<Option<Vec<StageReq>>> = vec![None; jobs.len()];
+        let mut results: Vec<ServedQuery> = jobs
+            .iter()
+            .map(|_| ServedQuery {
+                outcome: Outcome::Shed,
+                latency: None,
+                deadline_met: None,
+            })
+            .collect();
+
+        let mut cpu_free = vec![VirtualNanos::ZERO; self.config.cpu_workers];
+        let mut gpu_free = VirtualNanos::ZERO;
+        let mut gpu_queue: VecDeque<QueuedStage> = VecDeque::new();
+        let mut running_batch = 0usize;
+        let mut in_flight = 0usize;
+
+        let mut stats = SimStats::default();
+        let mut timeline = Timeline::default();
+
+        while let Some(Reverse((now, kind, j, stage_idx))) = heap.pop() {
+            match kind {
+                EV_ARRIVE => {
+                    let job = &jobs[j];
+                    let gpu_depth =
+                        gpu_queue.len() + if now < gpu_free { running_batch } else { 0 };
+                    stats.max_gpu_queue_depth = stats.max_gpu_queue_depth.max(gpu_depth);
+                    let wants_gpu = job.stages.iter().any(|s| s.resource == Resource::Gpu);
+
+                    if in_flight >= self.config.admission.capacity {
+                        stats.shed += 1;
+                        if job.deadline.is_some() {
+                            stats.deadline_missed += 1;
+                        }
+                        continue; // results[j] already says Shed.
+                    }
+                    let mut schedule = job.stages.clone();
+                    let mut outcome = Outcome::Completed;
+                    if wants_gpu && gpu_depth > self.config.admission.gpu_depth_threshold {
+                        match (self.config.admission.policy, job.cpu_fallback) {
+                            (OverloadPolicy::DegradeToCpuOnly, Some(fallback)) => {
+                                schedule = vec![StageReq {
+                                    resource: Resource::Cpu,
+                                    duration: fallback,
+                                }];
+                                outcome = Outcome::Degraded;
+                                stats.degraded += 1;
+                            }
+                            _ => {
+                                stats.shed += 1;
+                                if job.deadline.is_some() {
+                                    stats.deadline_missed += 1;
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    stats.admitted += 1;
+                    in_flight += 1;
+                    results[j].outcome = outcome;
+                    schedules[j] = Some(schedule);
+                    heap.push(Reverse((now, EV_READY, j, 0)));
+                }
+                EV_READY => {
+                    let schedule = schedules[j].as_ref().expect("admitted before ready");
+                    if stage_idx >= schedule.len() {
+                        // Job complete.
+                        in_flight -= 1;
+                        let latency = now - jobs[j].arrival;
+                        results[j].latency = Some(latency);
+                        results[j].deadline_met = jobs[j].deadline.map(|d| latency <= d);
+                        if results[j].deadline_met == Some(false) {
+                            stats.deadline_missed += 1;
+                        }
+                        continue;
+                    }
+                    let stage = schedule[stage_idx];
+                    match stage.resource {
+                        Resource::Cpu => {
+                            let core = cpu_free
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|&(_, &t)| t)
+                                .map(|(i, _)| i)
+                                .expect("at least one core");
+                            let start = now.max(cpu_free[core]);
+                            let end = start + stage.duration;
+                            cpu_free[core] = end;
+                            timeline.push(SpanEvent {
+                                resource: "cpu",
+                                lane: core,
+                                job: j,
+                                stage: stage_idx,
+                                ready: now,
+                                start,
+                                end,
+                            });
+                            heap.push(Reverse((end, EV_READY, j, stage_idx + 1)));
+                        }
+                        Resource::Gpu => {
+                            gpu_queue.push_back(QueuedStage {
+                                job: j,
+                                stage: stage_idx,
+                                ready: now,
+                                duration: stage.duration,
+                            });
+                            heap.push(Reverse((now.max(gpu_free), EV_DISPATCH, 0, 0)));
+                        }
+                    }
+                }
+                EV_DISPATCH => {
+                    if gpu_queue.is_empty() {
+                        continue;
+                    }
+                    if now < gpu_free {
+                        // Still executing an earlier launch; a dispatch is
+                        // already scheduled at `gpu_free` by that launch.
+                        continue;
+                    }
+                    stats.max_gpu_queue_depth = stats.max_gpu_queue_depth.max(gpu_queue.len());
+                    let batch = self.take_batch(&mut gpu_queue);
+                    running_batch = batch.len();
+                    stats.gpu_launches += 1;
+                    stats.gpu_stages += batch.len() as u64;
+                    stats.max_batch_occupancy = stats.max_batch_occupancy.max(batch.len());
+                    // Members execute concatenated within the one
+                    // submission; every member after the first shaves its
+                    // fixed per-stage overhead, and each member's result
+                    // is ready when its own kernels complete.
+                    let mut t = now;
+                    for (i, member) in batch.into_iter().enumerate() {
+                        let saved = match (&self.config.batching, i) {
+                            (Some(b), 1..) => b.saving_for(member.duration),
+                            _ => VirtualNanos::ZERO,
+                        };
+                        stats.gpu_time_saved += saved;
+                        let end = t + (member.duration - saved);
+                        timeline.push(SpanEvent {
+                            resource: "gpu",
+                            lane: 0,
+                            job: member.job,
+                            stage: member.stage,
+                            ready: member.ready,
+                            start: t,
+                            end,
+                        });
+                        heap.push(Reverse((end, EV_READY, member.job, member.stage + 1)));
+                        t = end;
+                    }
+                    gpu_free = t;
+                    if !gpu_queue.is_empty() {
+                        heap.push(Reverse((t, EV_DISPATCH, 0, 0)));
+                    }
+                }
+                _ => unreachable!("unknown event kind"),
+            }
+        }
+
+        SimReport {
+            queries: results,
+            stats,
+            timeline,
+        }
+    }
+
+    /// Pops the next launch off the queue head: a single stage, or — with
+    /// batching enabled and a *small* stage at the head — the maximal run
+    /// of adjacent small stages up to `max_batch`.
+    fn take_batch(&self, queue: &mut VecDeque<QueuedStage>) -> Vec<QueuedStage> {
+        let head = queue.pop_front().expect("checked non-empty");
+        let Some(b) = &self.config.batching else {
+            return vec![head];
+        };
+        if !b.is_small(head.duration) {
+            return vec![head];
+        }
+        let mut batch = vec![head];
+        while batch.len() < b.max_batch {
+            match queue.front() {
+                Some(next) if b.is_small(next.duration) => {
+                    batch.push(queue.pop_front().expect("front exists"));
+                }
+                _ => break,
+            }
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> VirtualNanos {
+        VirtualNanos::from_nanos(v)
+    }
+
+    fn cpu(d: u64) -> StageReq {
+        StageReq {
+            resource: Resource::Cpu,
+            duration: ns(d),
+        }
+    }
+
+    fn gpu(d: u64) -> StageReq {
+        StageReq {
+            resource: Resource::Gpu,
+            duration: ns(d),
+        }
+    }
+
+    fn job(arrival: u64, stages: Vec<StageReq>) -> SimJob {
+        SimJob {
+            arrival: ns(arrival),
+            stages,
+            cpu_fallback: None,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn unloaded_query_latency_is_exact_stage_sum() {
+        let sim = ServerSim::new(SimConfig::default());
+        let report = sim.run(&[job(0, vec![gpu(1_000), cpu(500), gpu(250)])]);
+        assert_eq!(report.queries[0].latency, Some(ns(1_750)));
+        assert_eq!(report.queries[0].outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn unloaded_exactness_survives_batching() {
+        let sim = ServerSim::new(SimConfig {
+            batching: Some(BatchConfig {
+                max_batch: 8,
+                small_stage: ns(u64::MAX),
+                per_stage_overhead: ns(10_000),
+            }),
+            ..Default::default()
+        });
+        // A lone query's stages are sequential — never in the queue
+        // together — so batching must not alter its latency.
+        let report = sim.run(&[job(0, vec![gpu(1_000), cpu(500), gpu(250)])]);
+        assert_eq!(report.queries[0].latency, Some(ns(1_750)));
+        assert_eq!(report.stats.gpu_time_saved, VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn matches_core_sim_semantics_without_extensions() {
+        use griffin::serving::{Job, ServingSim};
+        let stages = [
+            vec![cpu(100), gpu(200)],
+            vec![gpu(50)],
+            vec![cpu(300), cpu(100)],
+            vec![gpu(75), cpu(25), gpu(10)],
+        ];
+        let arrivals = [0u64, 10, 20, 30];
+        let jobs: Vec<SimJob> = arrivals
+            .iter()
+            .zip(&stages)
+            .map(|(&a, s)| job(a, s.clone()))
+            .collect();
+        let core_jobs: Vec<Job> = arrivals
+            .iter()
+            .zip(&stages)
+            .map(|(&a, s)| Job {
+                arrival: ns(a),
+                stages: s.clone(),
+            })
+            .collect();
+        let core_lat = ServingSim::new(2).run(&core_jobs);
+        let report = ServerSim::new(SimConfig {
+            cpu_workers: 2,
+            ..Default::default()
+        })
+        .run(&jobs);
+        let lat: Vec<VirtualNanos> = report
+            .queries
+            .iter()
+            .map(|q| q.latency.expect("all admitted"))
+            .collect();
+        assert_eq!(lat, core_lat);
+    }
+
+    #[test]
+    fn capacity_sheds_excess_arrivals() {
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 1,
+            admission: AdmissionConfig {
+                capacity: 2,
+                ..Default::default()
+            },
+            batching: None,
+        });
+        // Three simultaneous arrivals into capacity 2.
+        let jobs: Vec<SimJob> = (0..3).map(|_| job(0, vec![cpu(100)])).collect();
+        let report = sim.run(&jobs);
+        let shed = report
+            .queries
+            .iter()
+            .filter(|q| q.outcome == Outcome::Shed)
+            .count();
+        assert_eq!(shed, 1);
+        assert_eq!(report.stats.shed, 1);
+        assert_eq!(report.stats.admitted, 2);
+        assert_eq!(report.queries[2].latency, None);
+    }
+
+    #[test]
+    fn gpu_backlog_degrades_to_cpu_fallback() {
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 2,
+            admission: AdmissionConfig {
+                capacity: usize::MAX,
+                gpu_depth_threshold: 0,
+                policy: OverloadPolicy::DegradeToCpuOnly,
+            },
+            batching: None,
+        });
+        // First query parks a long stage on the GPU; the second arrives
+        // while it runs and must degrade to its fallback.
+        let mut second = job(10, vec![gpu(1_000_000)]);
+        second.cpu_fallback = Some(ns(5_000_000));
+        let report = sim.run(&[job(0, vec![gpu(1_000_000)]), second]);
+        assert_eq!(report.queries[0].outcome, Outcome::Completed);
+        assert_eq!(report.queries[1].outcome, Outcome::Degraded);
+        // Degraded latency is the fallback service time (idle cores).
+        assert_eq!(report.queries[1].latency, Some(ns(5_000_000)));
+        assert_eq!(report.stats.degraded, 1);
+    }
+
+    #[test]
+    fn gpu_backlog_sheds_without_fallback() {
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 2,
+            admission: AdmissionConfig {
+                capacity: usize::MAX,
+                gpu_depth_threshold: 0,
+                policy: OverloadPolicy::Shed,
+            },
+            batching: None,
+        });
+        let report = sim.run(&[job(0, vec![gpu(1_000_000)]), job(10, vec![gpu(100)])]);
+        assert_eq!(report.queries[1].outcome, Outcome::Shed);
+        assert_eq!(report.stats.shed, 1);
+    }
+
+    #[test]
+    fn batching_coalesces_queued_small_stages() {
+        let b = BatchConfig {
+            max_batch: 4,
+            small_stage: ns(1_000),
+            per_stage_overhead: ns(100),
+        };
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 1,
+            admission: AdmissionConfig::default(),
+            batching: Some(b),
+        });
+        // A long stage occupies the GPU; three small stages queue behind
+        // it and coalesce into one launch.
+        let jobs = vec![
+            job(0, vec![gpu(10_000)]),
+            job(1, vec![gpu(500)]),
+            job(2, vec![gpu(500)]),
+            job(3, vec![gpu(500)]),
+        ];
+        let report = sim.run(&jobs);
+        assert_eq!(report.stats.gpu_launches, 2, "long launch + one batch");
+        assert_eq!(report.stats.max_batch_occupancy, 3);
+        assert_eq!(report.stats.gpu_time_saved, ns(200));
+        // Members run concatenated from 10_000, the second and third
+        // shaving the 100ns overhead; each completes at its own offset.
+        let ends = [10_500u64, 10_900, 11_300];
+        for ((q, arrival), end) in report.queries[1..].iter().zip([1u64, 2, 3]).zip(ends) {
+            assert_eq!(q.latency, Some(ns(end - arrival)));
+        }
+    }
+
+    #[test]
+    fn large_stages_do_not_batch() {
+        let b = BatchConfig {
+            max_batch: 4,
+            small_stage: ns(100),
+            per_stage_overhead: ns(10),
+        };
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 1,
+            admission: AdmissionConfig::default(),
+            batching: Some(b),
+        });
+        let jobs = vec![
+            job(0, vec![gpu(10_000)]),
+            job(1, vec![gpu(5_000)]),
+            job(2, vec![gpu(5_000)]),
+        ];
+        let report = sim.run(&jobs);
+        assert_eq!(report.stats.gpu_launches, 3);
+        assert_eq!(report.stats.max_batch_occupancy, 1);
+        assert_eq!(report.stats.gpu_time_saved, VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn deadlines_are_reported() {
+        let sim = ServerSim::new(SimConfig::default());
+        let mut hit = job(0, vec![cpu(100)]);
+        hit.deadline = Some(ns(200));
+        let mut miss = job(0, vec![cpu(100_000)]);
+        miss.deadline = Some(ns(200));
+        let none = job(0, vec![cpu(100)]);
+        let report = sim.run(&[hit, miss, none]);
+        assert_eq!(report.queries[0].deadline_met, Some(true));
+        assert_eq!(report.queries[1].deadline_met, Some(false));
+        assert_eq!(report.queries[2].deadline_met, None);
+    }
+
+    #[test]
+    fn empty_schedule_completes_instantly() {
+        let sim = ServerSim::new(SimConfig::default());
+        let report = sim.run(&[job(5, vec![])]);
+        assert_eq!(report.queries[0].latency, Some(ns(0)));
+        assert_eq!(report.queries[0].outcome, Outcome::Completed);
+    }
+}

@@ -7,7 +7,7 @@ use rand::Rng;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Length specification for [`vec`]: a fixed size or a half-open /
+/// Length specification for [`vec()`]: a fixed size or a half-open /
 /// inclusive range of sizes.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
