@@ -43,7 +43,7 @@ fn bench_decode(c: &mut Criterion) {
             &list,
             |b, list| {
                 b.iter(|| {
-                    let out = list.decompress();
+                    let out = list.decompress().expect("intact list");
                     assert_eq!(out.len(), ids.len());
                     out
                 });
@@ -69,7 +69,7 @@ fn bench_block_decode(c: &mut Criterion) {
                 let mut out = Vec::with_capacity(DEFAULT_BLOCK_LEN);
                 b.iter(|| {
                     out.clear();
-                    list.decode_block_into(50, &mut out);
+                    list.decode_block_into(50, &mut out).expect("intact block");
                     out.len()
                 });
             },

@@ -21,13 +21,13 @@ fn bench_para_ef(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let ids = gen_docid_list(&mut rng, N, 8_000_000, GapProfile::HeavyTailed);
     let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
-    let dev = DeviceEfList::upload(&gpu, &list);
+    let dev = DeviceEfList::upload(&gpu, &list).expect("device op");
     let mut g = c.benchmark_group("simulator");
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
     g.bench_function("para_ef_decompress", |b| {
         b.iter(|| {
-            let out = para_ef::decompress(&gpu, &dev);
+            let out = para_ef::decompress(&gpu, &dev).expect("device op");
             gpu.free(out);
         })
     });
@@ -38,15 +38,15 @@ fn bench_mergepath(c: &mut Criterion) {
     let gpu = Gpu::new(k20());
     let a: Vec<u32> = (0..N as u32).map(|i| i * 3).collect();
     let b_host: Vec<u32> = (0..N as u32).map(|i| i * 2 + 1).collect();
-    let da = gpu.htod(&a);
-    let db = gpu.htod(&b_host);
+    let da = gpu.htod(&a).expect("device op");
+    let db = gpu.htod(&b_host).expect("device op");
     let cfg = MergePathConfig::for_device(gpu.config());
     let mut g = c.benchmark_group("simulator");
     g.throughput(Throughput::Elements(2 * N as u64));
     g.sample_size(10);
     g.bench_function("mergepath_intersect", |b| {
         b.iter(|| {
-            let m = mergepath::intersect(&gpu, &da, N, &db, N, &cfg);
+            let m = mergepath::intersect(&gpu, &da, N, &db, N, &cfg).expect("device op");
             m.free(&gpu);
         })
     });
@@ -56,13 +56,13 @@ fn bench_mergepath(c: &mut Criterion) {
 fn bench_scan(c: &mut Criterion) {
     let gpu = Gpu::new(k20());
     let data: Vec<u32> = (0..N as u32).map(|i| i % 7).collect();
-    let src = gpu.htod(&data);
+    let src = gpu.htod(&data).expect("device op");
     let mut g = c.benchmark_group("simulator");
     g.throughput(Throughput::Elements(N as u64));
     g.sample_size(10);
     g.bench_function("exclusive_scan", |b| {
         b.iter(|| {
-            let (out, total) = scan::exclusive_scan(&gpu, &src, N);
+            let (out, total) = scan::exclusive_scan(&gpu, &src, N).expect("device op");
             gpu.free(out);
             total
         })

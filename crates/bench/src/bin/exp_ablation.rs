@@ -145,8 +145,8 @@ fn mergepath_partition_sweep() {
         v.dedup();
         v
     };
-    let da = gpu.htod(&a);
-    let db = gpu.htod(&b);
+    let da = gpu.htod(&a).expect("device op");
+    let db = gpu.htod(&b).expect("device op");
 
     let mut t = Table::new(
         "Ablation 4: MergePath items-per-partition sweep (virtual ms)",
@@ -159,7 +159,8 @@ fn mergepath_partition_sweep() {
             block_dim,
         };
         let ((), time) = gpu.time(|g| {
-            let m = griffin_gpu::mergepath::intersect(g, &da, a.len(), &db, b.len(), &cfg);
+            let m = griffin_gpu::mergepath::intersect(g, &da, a.len(), &db, b.len(), &cfg)
+                .expect("device op");
             m.free(g);
         });
         t.row(&[ipp.to_string(), ms(time)]);

@@ -54,8 +54,8 @@ fn main() {
             // allocation, which only large lists amortize).
             let ef = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
             let ((), t_gpu) = gpu.time(|g| {
-                let dev = DeviceEfList::upload(g, &ef);
-                let out = para_ef::decompress(g, &dev);
+                let dev = DeviceEfList::upload(g, &ef).expect("device op");
+                let out = para_ef::decompress(g, &dev).expect("device op");
                 dev.free(g);
                 g.free(out);
             });

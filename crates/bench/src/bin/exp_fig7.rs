@@ -44,13 +44,14 @@ fn main() {
 
         // GPU rankers operate on device-resident results (as they would
         // inside Griffin-GPU); the clock includes their readbacks.
-        let d_docids = gpu.htod(&docids);
-        let d_scores = gpu.htod(&scores);
+        let d_docids = gpu.htod(&docids).expect("device op");
+        let d_scores = gpu.htod(&scores).expect("device op");
 
-        let (bucket_top, bucket_time) =
-            gpu.time(|g| bucket_select::top_k_by_bucket_select(g, &d_docids, &d_scores, n, k));
-        let (radix_top, radix_time) =
-            gpu.time(|g| radix_sort::top_k_by_sort(g, &d_docids, &d_scores, n, k));
+        let (bucket_top, bucket_time) = gpu.time(|g| {
+            bucket_select::top_k_by_bucket_select(g, &d_docids, &d_scores, n, k).expect("device op")
+        });
+        let (radix_top, radix_time) = gpu
+            .time(|g| radix_sort::top_k_by_sort(g, &d_docids, &d_scores, n, k).expect("device op"));
         gpu.free(d_docids);
         gpu.free(d_scores);
 

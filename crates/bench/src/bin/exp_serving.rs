@@ -80,6 +80,7 @@ fn main() {
             stages: stages_of(out),
             cpu_fallback: fallback,
             deadline: None,
+            breaker_degraded: false,
         };
         plan_gpu.push(planned(&gpu_only, Some(cpu.time)));
         plan_hyb.push(planned(&hyb, Some(cpu.time)));

@@ -23,6 +23,7 @@ fn main() {
         "exp_fig14",
         "exp_fig15",
         "exp_serving",
+        "exp_faults",
     ];
     // Experiment binaries live next to this one.
     let me = std::env::current_exe().expect("current_exe");

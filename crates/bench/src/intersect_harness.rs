@@ -105,9 +105,9 @@ pub fn time_algo(gpu: &Gpu, model: &CpuCostModel, pair: &Pair, algo: Algo) -> Vi
         }
         Algo::GpuMerge => {
             let ((), t) = gpu.time(|g| {
-                let d_short = g.htod(&pair.short);
-                let d_long = DeviceEfList::upload(g, &pair.long_ef);
-                let long_ids = para_ef::decompress(g, &d_long);
+                let d_short = g.htod(&pair.short).expect("device op");
+                let d_long = DeviceEfList::upload(g, &pair.long_ef).expect("device op");
+                let long_ids = para_ef::decompress(g, &d_long).expect("device op");
                 let cfg = MergePathConfig::for_device(g.config());
                 let m = mergepath::intersect(
                     g,
@@ -116,7 +116,8 @@ pub fn time_algo(gpu: &Gpu, model: &CpuCostModel, pair: &Pair, algo: Algo) -> Vi
                     &long_ids,
                     d_long.len,
                     &cfg,
-                );
+                )
+                .expect("device op");
                 assert_eq!(m.len, pair.expected);
                 m.free(g);
                 g.free(long_ids);
@@ -127,15 +128,16 @@ pub fn time_algo(gpu: &Gpu, model: &CpuCostModel, pair: &Pair, algo: Algo) -> Vi
         }
         Algo::GpuBinary => {
             let ((), t) = gpu.time(|g| {
-                let d_short = g.htod(&pair.short);
-                let d_long = DeviceEfList::upload(g, &pair.long_ef);
+                let d_short = g.htod(&pair.short).expect("device op");
+                let d_long = DeviceEfList::upload(g, &pair.long_ef).expect("device op");
                 let out = gpu_binary::intersect(
                     g,
                     &d_short,
                     pair.short.len(),
                     &d_long,
                     DEFAULT_BLOCK_LEN,
-                );
+                )
+                .expect("device op");
                 assert_eq!(out.matches.len, pair.expected);
                 out.matches.free(g);
                 d_long.free(g);
@@ -145,16 +147,17 @@ pub fn time_algo(gpu: &Gpu, model: &CpuCostModel, pair: &Pair, algo: Algo) -> Vi
         }
         Algo::GpuFullBinary => {
             let ((), t) = gpu.time(|g| {
-                let d_short = g.htod(&pair.short);
-                let d_long = DeviceEfList::upload(g, &pair.long_ef);
-                let long_ids = para_ef::decompress(g, &d_long);
+                let d_short = g.htod(&pair.short).expect("device op");
+                let d_long = DeviceEfList::upload(g, &pair.long_ef).expect("device op");
+                let long_ids = para_ef::decompress(g, &d_long).expect("device op");
                 let m = gpu_binary::intersect_decompressed(
                     g,
                     &d_short,
                     pair.short.len(),
                     &long_ids,
                     d_long.len,
-                );
+                )
+                .expect("device op");
                 assert_eq!(m.len, pair.expected);
                 m.free(g);
                 g.free(long_ids);
@@ -189,13 +192,14 @@ pub fn time_algo(gpu: &Gpu, model: &CpuCostModel, pair: &Pair, algo: Algo) -> Vi
         }
         Algo::GpuMergeResident => {
             // Stage inputs outside the timed span.
-            let d_short = gpu.htod(&pair.short);
-            let d_long_c = DeviceEfList::upload(gpu, &pair.long_ef);
-            let long_ids = para_ef::decompress(gpu, &d_long_c);
+            let d_short = gpu.htod(&pair.short).expect("device op");
+            let d_long_c = DeviceEfList::upload(gpu, &pair.long_ef).expect("device op");
+            let long_ids = para_ef::decompress(gpu, &d_long_c).expect("device op");
             let n = d_long_c.len;
             let ((), t) = gpu.time(|g| {
                 let cfg = MergePathConfig::for_device(g.config());
-                let m = mergepath::intersect(g, &d_short, pair.short.len(), &long_ids, n, &cfg);
+                let m = mergepath::intersect(g, &d_short, pair.short.len(), &long_ids, n, &cfg)
+                    .expect("device op");
                 assert_eq!(m.len, pair.expected);
                 m.free(g);
             });
@@ -205,13 +209,14 @@ pub fn time_algo(gpu: &Gpu, model: &CpuCostModel, pair: &Pair, algo: Algo) -> Vi
             t
         }
         Algo::GpuBinaryResident => {
-            let d_short = gpu.htod(&pair.short);
-            let d_long_c = DeviceEfList::upload(gpu, &pair.long_ef);
-            let long_ids = para_ef::decompress(gpu, &d_long_c);
+            let d_short = gpu.htod(&pair.short).expect("device op");
+            let d_long_c = DeviceEfList::upload(gpu, &pair.long_ef).expect("device op");
+            let long_ids = para_ef::decompress(gpu, &d_long_c).expect("device op");
             let n = d_long_c.len;
             let ((), t) = gpu.time(|g| {
                 let m =
-                    gpu_binary::intersect_decompressed(g, &d_short, pair.short.len(), &long_ids, n);
+                    gpu_binary::intersect_decompressed(g, &d_short, pair.short.len(), &long_ids, n)
+                        .expect("device op");
                 assert_eq!(m.len, pair.expected);
                 m.free(g);
             });

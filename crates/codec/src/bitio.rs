@@ -4,6 +4,8 @@
 //! compressed streams word-wise — `__popc` over the Elias–Fano high-bits
 //! array operates on exactly these words.
 
+use crate::error::CodecError;
+
 /// Appends bit fields into a growing `Vec<u32>`, least-significant bit of
 /// word 0 first.
 #[derive(Debug, Default, Clone)]
@@ -102,14 +104,20 @@ impl<'a> BitReader<'a> {
         self.pos
     }
 
-    /// Reads `n <= 32` bits.
-    pub fn read_bits(&mut self, n: u32) -> u32 {
+    /// Reads `n <= 32` bits. Fails with [`CodecError::Truncated`] when the
+    /// read would run past the end of the word stream (the cursor is not
+    /// advanced in that case).
+    pub fn read_bits(&mut self, n: u32) -> Result<u32, CodecError> {
         assert!(n <= 32);
         if n == 0 {
-            return 0;
+            return Ok(0);
         }
         let word = self.pos / 32;
         let off = (self.pos % 32) as u32;
+        let end_word = (self.pos + n as usize - 1) / 32;
+        if end_word >= self.words.len() {
+            return Err(CodecError::Truncated);
+        }
         self.pos += n as usize;
         let lo = self.words[word] >> off;
         let have = 32 - off;
@@ -119,20 +127,23 @@ impl<'a> BitReader<'a> {
             lo | (self.words[word + 1] << have)
         };
         if n == 32 {
-            v
+            Ok(v)
         } else {
-            v & ((1u32 << n) - 1)
+            Ok(v & ((1u32 << n) - 1))
         }
     }
 
     /// Reads a unary code: returns the number of zeros before the next one
-    /// bit, consuming the terminator.
-    pub fn read_unary(&mut self) -> u32 {
+    /// bit, consuming the terminator. Fails with [`CodecError::UnaryOverrun`]
+    /// when the stream ends before a terminating one bit.
+    pub fn read_unary(&mut self) -> Result<u32, CodecError> {
         let mut zeros = 0u32;
         loop {
             let word = self.pos / 32;
             let off = (self.pos % 32) as u32;
-            assert!(word < self.words.len(), "unary code ran off the stream");
+            if word >= self.words.len() {
+                return Err(CodecError::UnaryOverrun);
+            }
             let chunk = self.words[word] >> off;
             if chunk == 0 {
                 zeros += 32 - off;
@@ -141,7 +152,7 @@ impl<'a> BitReader<'a> {
                 let tz = chunk.trailing_zeros();
                 zeros += tz;
                 self.pos += tz as usize + 1;
-                return zeros;
+                return Ok(zeros);
             }
         }
     }
@@ -160,10 +171,10 @@ mod tests {
         w.write_bits(42, 32);
         let words = w.finish();
         let mut r = BitReader::new(&words);
-        assert_eq!(r.read_bits(3), 0b101);
-        assert_eq!(r.read_bits(16), 0xFFFF);
-        assert_eq!(r.read_bits(5), 0);
-        assert_eq!(r.read_bits(32), 42);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+        assert_eq!(r.read_bits(5).unwrap(), 0);
+        assert_eq!(r.read_bits(32).unwrap(), 42);
     }
 
     #[test]
@@ -182,8 +193,8 @@ mod tests {
         w.write_bits(0b1011, 4); // straddles word 0/1
         let words = w.finish();
         let mut r = BitReader::new(&words);
-        assert_eq!(r.read_bits(30), 0x3FFFFFFF);
-        assert_eq!(r.read_bits(4), 0b1011);
+        assert_eq!(r.read_bits(30).unwrap(), 0x3FFFFFFF);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
     }
 
     #[test]
@@ -196,7 +207,7 @@ mod tests {
         let words = w.finish();
         let mut r = BitReader::new(&words);
         for &g in &gaps {
-            assert_eq!(r.read_unary(), g);
+            assert_eq!(r.read_unary().unwrap(), g);
         }
     }
 
@@ -221,7 +232,24 @@ mod tests {
         w.write_bits(0b1010, 4);
         let words = w.finish();
         let mut r = BitReader::at(&words, 3);
-        assert_eq!(r.read_bits(4), 0b1010);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1010);
+    }
+
+    #[test]
+    fn truncated_reads_are_reported() {
+        let words = [0xFFFF_FFFFu32];
+        let mut r = BitReader::new(&words);
+        assert_eq!(r.read_bits(32).unwrap(), u32::MAX);
+        assert_eq!(r.read_bits(1), Err(CodecError::Truncated));
+        // A failed read leaves the cursor in place.
+        assert_eq!(r.bit_pos(), 32);
+        // Straddling reads past the end fail too.
+        let mut r = BitReader::at(&words, 30);
+        assert_eq!(r.read_bits(4), Err(CodecError::Truncated));
+        // Unary over all-zero words never finds a terminator.
+        let zeros = [0u32, 0];
+        let mut r = BitReader::new(&zeros);
+        assert_eq!(r.read_unary(), Err(CodecError::UnaryOverrun));
     }
 
     #[test]
@@ -231,7 +259,7 @@ mod tests {
         w.write_bits(7, 3);
         let words = w.finish();
         let mut r = BitReader::new(&words);
-        assert_eq!(r.read_bits(0), 0);
-        assert_eq!(r.read_bits(3), 7);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(3).unwrap(), 7);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::dgap;
 use crate::ef::EfBlock;
+use crate::error::CodecError;
 use crate::pfordelta::PforBlock;
 use crate::varint;
 
@@ -64,30 +65,48 @@ impl Codec {
 
     /// Decompresses one block (produced by [`Codec::encode_block`] with the
     /// same `base`), appending absolute docIDs to `out`.
-    pub fn decode_block(&self, words: &[u32], base: u32, out: &mut Vec<u32>) {
+    ///
+    /// Corrupt or truncated `words` yield an [`Err`] and leave `out` exactly
+    /// as it was; this path never panics on bad input.
+    pub fn decode_block(
+        &self,
+        words: &[u32],
+        base: u32,
+        out: &mut Vec<u32>,
+    ) -> Result<(), CodecError> {
         match self {
             Codec::PforDelta => {
-                let blk = PforBlock::from_words(words);
+                let blk = PforBlock::from_words(words)?;
                 let start = out.len();
-                blk.decode_into(out);
+                blk.decode_into(out)?;
                 dgap::prefix_sum_in_place(&mut out[start..], base);
             }
             Codec::EliasFano => {
-                let blk = EfBlock::from_words(words);
-                blk.decode_into(base, out);
+                let blk = EfBlock::from_words(words)?;
+                blk.decode_into(base, out)?;
             }
             Codec::Varint => {
+                if words.len() < 2 {
+                    return Err(CodecError::Truncated);
+                }
                 let count = words[0] as usize;
                 let nbytes = words[1] as usize;
+                // Each value takes at least one byte, and the bytes must fit
+                // in the words that follow the two header words — bounds a
+                // corrupt header before any allocation happens.
+                if nbytes > (words.len() - 2) * 4 || count > nbytes {
+                    return Err(CodecError::Truncated);
+                }
                 let mut bytes = Vec::with_capacity(nbytes);
                 for i in 0..nbytes {
                     bytes.push((words[2 + i / 4] >> (8 * (i % 4))) as u8);
                 }
                 let start = out.len();
-                varint::decode_n(&bytes, 0, count, out);
+                varint::decode_n(&bytes, 0, count, out)?;
                 dgap::prefix_sum_in_place(&mut out[start..], base);
             }
         }
+        Ok(())
     }
 }
 
@@ -181,20 +200,24 @@ impl BlockedList {
         }
     }
 
-    /// Decompresses block `i`, appending its docIDs to `out`.
-    pub fn decode_block_into(&self, i: usize, out: &mut Vec<u32>) {
+    /// Decompresses block `i`, appending its docIDs to `out`. Fails when
+    /// the stored words are corrupt or a skip entry points outside them.
+    pub fn decode_block_into(&self, i: usize, out: &mut Vec<u32>) -> Result<(), CodecError> {
         let s = &self.skips[i];
-        let words = &self.words[s.word_start as usize..(s.word_start + s.word_len) as usize];
-        self.codec.decode_block(words, self.block_base(i), out);
+        let words = self
+            .words
+            .get(s.word_start as usize..(s.word_start + s.word_len) as usize)
+            .ok_or(CodecError::Truncated)?;
+        self.codec.decode_block(words, self.block_base(i), out)
     }
 
-    /// Decompresses the entire list.
-    pub fn decompress(&self) -> Vec<u32> {
+    /// Decompresses the entire list. Fails on the first corrupt block.
+    pub fn decompress(&self) -> Result<Vec<u32>, CodecError> {
         let mut out = Vec::with_capacity(self.len);
         for i in 0..self.num_blocks() {
-            self.decode_block_into(i, &mut out);
+            self.decode_block_into(i, &mut out)?;
         }
-        out
+        Ok(out)
     }
 
     /// Binary search over skip pointers: index of the first block whose
@@ -209,6 +232,11 @@ impl BlockedList {
     /// at a time (O(block_len) memory regardless of list length). This is
     /// the access pattern a merge-based intersection over compressed
     /// inputs uses.
+    ///
+    /// Panics on corrupt blocks: streaming iteration is reserved for lists
+    /// built in-memory by [`Self::compress`], which are valid by
+    /// construction. Untrusted words should go through the fallible
+    /// [`Self::decode_block_into`] / [`Self::decompress`] instead.
     pub fn iter(&self) -> BlockedListIter<'_> {
         BlockedListIter {
             list: self,
@@ -249,7 +277,9 @@ impl Iterator for BlockedListIter<'_> {
                 return None;
             }
             self.buf.clear();
-            self.list.decode_block_into(self.block, &mut self.buf);
+            self.list
+                .decode_block_into(self.block, &mut self.buf)
+                .expect("compressed-in-memory list is valid by construction");
             self.block += 1;
             self.pos = 0;
         }
@@ -287,7 +317,7 @@ mod tests {
             let list = BlockedList::compress(&ids, codec, DEFAULT_BLOCK_LEN);
             assert_eq!(list.len(), 1000);
             assert_eq!(list.num_blocks(), 8); // ceil(1000/128)
-            assert_eq!(list.decompress(), ids, "{codec:?}");
+            assert_eq!(list.decompress().unwrap(), ids, "{codec:?}");
         }
     }
 
@@ -296,7 +326,7 @@ mod tests {
         let ids = sample_docids(300, 5);
         let list = BlockedList::compress(&ids, Codec::EliasFano, 128);
         assert_eq!(list.skips[2].count, 44);
-        assert_eq!(list.decompress(), ids);
+        assert_eq!(list.decompress().unwrap(), ids);
     }
 
     #[test]
@@ -304,7 +334,7 @@ mod tests {
         let ids = sample_docids(256, 11);
         let list = BlockedList::compress(&ids, Codec::PforDelta, 128);
         let mut blk1 = Vec::new();
-        list.decode_block_into(1, &mut blk1);
+        list.decode_block_into(1, &mut blk1).unwrap();
         assert_eq!(blk1, &ids[128..256]);
     }
 
@@ -332,7 +362,7 @@ mod tests {
             assert_eq!(s.elem_start, elem);
             elem += s.count;
             let mut blk = Vec::new();
-            list.decode_block_into(i, &mut blk);
+            list.decode_block_into(i, &mut blk).unwrap();
             assert_eq!(blk[0], s.first_docid);
             assert_eq!(*blk.last().unwrap(), s.last_docid);
         }
@@ -345,7 +375,7 @@ mod tests {
         for bl in [64, 128, 256] {
             let list = BlockedList::compress(&ids, Codec::EliasFano, bl);
             assert_eq!(list.num_blocks(), 1000usize.div_ceil(bl));
-            assert_eq!(list.decompress(), ids);
+            assert_eq!(list.decompress().unwrap(), ids);
         }
     }
 
@@ -389,11 +419,32 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_lists_error_instead_of_panicking() {
+        let ids = sample_docids(512, 13);
+        for codec in [Codec::PforDelta, Codec::EliasFano, Codec::Varint] {
+            let list = BlockedList::compress(&ids, codec, 128);
+            // Truncating the word stream must never panic.
+            for cut in [0, 1, list.words.len() / 2, list.words.len() - 1] {
+                let mut short = list.clone();
+                short.words.truncate(cut);
+                assert!(short.decompress().is_err(), "{codec:?} cut={cut}");
+            }
+            // Single-bit flips either still decode or report an error.
+            for bit in 0..64u32 {
+                let mut flipped = list.clone();
+                let w = (bit as usize * 37) % flipped.words.len();
+                flipped.words[w] ^= 1 << (bit % 32);
+                let _ = flipped.decompress();
+            }
+        }
+    }
+
+    #[test]
     fn docids_starting_at_zero() {
         let ids: Vec<u32> = (0..200).collect();
         for codec in [Codec::PforDelta, Codec::EliasFano, Codec::Varint] {
             let list = BlockedList::compress(&ids, codec, 128);
-            assert_eq!(list.decompress(), ids, "{codec:?}");
+            assert_eq!(list.decompress().unwrap(), ids, "{codec:?}");
         }
     }
 }

@@ -34,11 +34,13 @@ pub fn from_gaps(gaps: &[u32], base: u32, out: &mut Vec<u32>) {
 }
 
 /// In-place prefix-sum reconstruction used by decoders that already have
-/// the gaps in the output buffer.
+/// the gaps in the output buffer. Addition wraps so corrupt gap streams
+/// cannot panic on overflow; valid lists never exceed u32 docIDs, so the
+/// result is unchanged for well-formed input.
 pub fn prefix_sum_in_place(buf: &mut [u32], base: u32) {
     let mut acc = base;
     for v in buf {
-        acc += *v;
+        acc = acc.wrapping_add(*v);
         *v = acc;
     }
 }

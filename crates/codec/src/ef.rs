@@ -12,6 +12,7 @@
 //! exactly this; see `griffin-gpu::para_ef`).
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
 
 /// One Elias–Fano-encoded block of values (relative to an external base).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,31 +80,50 @@ impl EfBlock {
     }
 
     /// Decodes all values, appending them to `out` with `base` added.
-    pub fn decode_into(&self, base: u32, out: &mut Vec<u32>) {
+    ///
+    /// Fails (leaving `out` exactly as it was) when the high- or low-bits
+    /// streams end before `count` values have been recovered — a corrupt or
+    /// truncated block. Arithmetic wraps so bit-flipped input cannot panic
+    /// on overflow; valid blocks are unaffected (encode never overflows).
+    pub fn decode_into(&self, base: u32, out: &mut Vec<u32>) -> Result<(), CodecError> {
+        let start = out.len();
         out.reserve(self.count as usize);
         let mut hb = BitReader::new(&self.hb_words);
         let mut lb = BitReader::new(&self.lb_words);
         let mut high = 0u32;
         for _ in 0..self.count {
-            high += hb.read_unary();
-            let low = if self.b > 0 { lb.read_bits(self.b) } else { 0 };
-            out.push(base + ((high << self.b) | low));
+            let r = (|| -> Result<u32, CodecError> {
+                high = high.wrapping_add(hb.read_unary()?);
+                let low = if self.b > 0 { lb.read_bits(self.b)? } else { 0 };
+                Ok(base.wrapping_add((high << self.b) | low))
+            })();
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    out.truncate(start);
+                    return Err(e);
+                }
+            }
         }
+        Ok(())
     }
 
     /// Random access to the `i`-th value (relative). Linear in the high-bits
     /// stream; used by tests and by binary search *within* a decoded block
     /// the CPU engine performs on skipped lookups.
+    /// Panics on corrupt blocks; random access is only used on blocks that
+    /// came out of [`Self::encode`] (the bulk decode path is fallible).
     pub fn get(&self, i: usize) -> u32 {
         assert!((i as u32) < self.count, "index {i} out of {}", self.count);
         let mut hb = BitReader::new(&self.hb_words);
         let mut high = 0u32;
         for _ in 0..=i {
-            high += hb.read_unary();
+            high += hb.read_unary().expect("encoded block is self-consistent");
         }
         let low = if self.b > 0 {
             let mut lb = BitReader::at(&self.lb_words, i * self.b as usize);
             lb.read_bits(self.b)
+                .expect("encoded block is self-consistent")
         } else {
             0
         };
@@ -133,21 +153,28 @@ impl EfBlock {
         out.extend_from_slice(&self.lb_words);
     }
 
-    /// Inverse of [`Self::to_words`].
-    pub fn from_words(words: &[u32]) -> EfBlock {
-        let header = words[0];
+    /// Inverse of [`Self::to_words`]. Fails when the header is impossible
+    /// (low-bit width ≥ 32) or the stream is shorter than the header claims.
+    pub fn from_words(words: &[u32]) -> Result<EfBlock, CodecError> {
+        let header = *words.first().ok_or(CodecError::Truncated)?;
         let count = header & 0xFFFF;
         let b = (header >> 16) & 0x3F;
+        if b >= 32 {
+            return Err(CodecError::BadHeader);
+        }
         let hb_len = (header >> 22) as usize;
         let lb_len = ((count as usize) * b as usize).div_ceil(32);
+        if words.len() < 1 + hb_len + lb_len {
+            return Err(CodecError::Truncated);
+        }
         let hb_words = words[1..1 + hb_len].to_vec();
         let lb_words = words[1 + hb_len..1 + hb_len + lb_len].to_vec();
-        EfBlock {
+        Ok(EfBlock {
             count,
             b,
             hb_words,
             lb_words,
-        }
+        })
     }
 
     /// Number of words [`Self::to_words`] produces.
@@ -168,7 +195,7 @@ mod tests {
         // Our b uses max value (33): floor(log2(33/6)) = 2, same as paper.
         assert_eq!(blk.b, 2);
         let mut out = Vec::new();
-        blk.decode_into(0, &mut out);
+        blk.decode_into(0, &mut out).unwrap();
         assert_eq!(out, values);
         // Low bits of each value (paper's low-bits array 01,10,00,11,10,01).
         let lows: Vec<u32> = values.iter().map(|v| v & 0b11).collect();
@@ -189,7 +216,7 @@ mod tests {
         for values in cases {
             let blk = EfBlock::encode(&values);
             let mut out = Vec::new();
-            blk.decode_into(0, &mut out);
+            blk.decode_into(0, &mut out).unwrap();
             assert_eq!(out, values, "roundtrip failed for {values:?}");
         }
     }
@@ -199,7 +226,7 @@ mod tests {
         let values = [3u32, 10, 20];
         let blk = EfBlock::encode(&values);
         let mut out = Vec::new();
-        blk.decode_into(100, &mut out);
+        blk.decode_into(100, &mut out).unwrap();
         assert_eq!(out, vec![103, 110, 120]);
     }
 
@@ -219,7 +246,7 @@ mod tests {
         let mut words = Vec::new();
         blk.to_words(&mut words);
         assert_eq!(words.len(), blk.words_len());
-        let back = EfBlock::from_words(&words);
+        let back = EfBlock::from_words(&words).unwrap();
         assert_eq!(back, blk);
     }
 
@@ -230,6 +257,33 @@ mod tests {
         let blk = EfBlock::encode(&values);
         let bits_per_int = blk.size_bits() as f64 / 128.0;
         assert!(bits_per_int < 8.0, "{bits_per_int} bits/int");
+    }
+
+    #[test]
+    fn corrupt_words_decode_to_err_not_panic() {
+        let values: Vec<u32> = (0..128).map(|i| i * 57).collect();
+        let blk = EfBlock::encode(&values);
+        let mut words = Vec::new();
+        blk.to_words(&mut words);
+        // Truncations at every length either fail in from_words or decode.
+        for len in 0..words.len() {
+            let mut out = Vec::new();
+            if let Ok(b) = EfBlock::from_words(&words[..len]) {
+                let _ = b.decode_into(0, &mut out);
+            }
+        }
+        // A failed decode leaves the output buffer untouched.
+        let short = EfBlock {
+            hb_words: Vec::new(),
+            ..blk.clone()
+        };
+        let mut out = vec![7u32];
+        assert!(short.decode_into(0, &mut out).is_err());
+        assert_eq!(out, vec![7]);
+        // Impossible low-bit width in the header.
+        let mut bad = words.clone();
+        bad[0] = (bad[0] & !0x003F_0000) | (40 << 16);
+        assert_eq!(EfBlock::from_words(&bad), Err(CodecError::BadHeader));
     }
 
     #[test]

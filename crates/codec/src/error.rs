@@ -1,0 +1,42 @@
+//! Typed decode errors.
+//!
+//! Encoded blocks can arrive truncated or bit-flipped (disk corruption, a
+//! failed PCIe transfer, a bad cache line). Decoders in this crate report
+//! such input as a [`CodecError`] instead of panicking, so the engine can
+//! fall back — re-fetch the block, or migrate the operation to a replica —
+//! without tearing down the query.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a decode failed. All variants mean the input words/bytes do not form
+/// a valid encoded block; none of them indicate a bug in the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the payload its header declared.
+    Truncated,
+    /// A header field is impossible (e.g. a bit width above 32).
+    BadHeader,
+    /// A VByte value ran past the 32-bit range without terminating.
+    MalformedVarint,
+    /// A unary code ran off the end of the high-bits stream.
+    UnaryOverrun,
+    /// A PforDelta exception chain pointed outside its block.
+    ExceptionChainOutOfBounds,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "encoded stream is truncated"),
+            CodecError::BadHeader => write!(f, "encoded block header is invalid"),
+            CodecError::MalformedVarint => write!(f, "malformed varint"),
+            CodecError::UnaryOverrun => write!(f, "unary code ran off the stream"),
+            CodecError::ExceptionChainOutOfBounds => {
+                write!(f, "exception chain escaped the block")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {}

@@ -20,15 +20,21 @@
 //!
 //! [`blocks`] frames any codec into a blocked list with per-block skip
 //! metadata, and [`stats`] measures compression ratios (paper Table 1).
+//!
+//! Every decode path is fallible: corrupt or truncated input yields a
+//! [`CodecError`] instead of a panic, so callers holding untrusted bytes
+//! (a failed PCIe transfer, a bad disk block) can recover gracefully.
 
 pub mod bitio;
 pub mod blocks;
 pub mod dgap;
 pub mod ef;
+pub mod error;
 pub mod pfordelta;
 pub mod stats;
 pub mod varint;
 
 pub use blocks::{BlockedList, BlockedListIter, Codec, SkipEntry, DEFAULT_BLOCK_LEN};
 pub use ef::EfBlock;
+pub use error::CodecError;
 pub use stats::CompressionStats;

@@ -11,6 +11,7 @@
 //! decompression and causes thread divergence (§2.3).
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
 
 /// Fraction of values the regular slots must cover when choosing `b`.
 const REGULAR_COVERAGE: f64 = 0.90;
@@ -146,31 +147,49 @@ impl PforBlock {
     }
 
     /// Decodes the block, appending the original values to `out`.
-    pub fn decode_into(&self, out: &mut Vec<u32>) {
+    ///
+    /// Fails (leaving `out` exactly as it was) when the slot stream is
+    /// shorter than `count` values or the exception chain walks outside the
+    /// block — both symptoms of corrupt or truncated input.
+    pub fn decode_into(&self, out: &mut Vec<u32>) -> Result<(), CodecError> {
+        let start = out.len();
+        match self.decode_into_inner(out) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                out.truncate(start);
+                Err(e)
+            }
+        }
+    }
+
+    fn decode_into_inner(&self, out: &mut Vec<u32>) -> Result<(), CodecError> {
         let n = self.count as usize;
         out.reserve(n);
         let start = out.len();
         let mut r = BitReader::new(&self.slot_words);
         if self.b == 32 {
             for _ in 0..n {
-                out.push(r.read_bits(32));
+                out.push(r.read_bits(32)?);
             }
-            return;
+            return Ok(());
         }
         for _ in 0..n {
-            out.push(r.read_bits(self.b));
+            out.push(r.read_bits(self.b)?);
         }
         // Walk the exception chain, patching values. The slot of exception
         // `i` holds the offset to the next exception.
         let mut idx = self.first_exception as usize;
         for (k, &value) in self.exceptions.iter().enumerate() {
-            debug_assert!(idx < n, "exception chain escaped the block");
+            if idx >= n {
+                return Err(CodecError::ExceptionChainOutOfBounds);
+            }
             let offset = out[start + idx];
             out[start + idx] = value;
             if k + 1 < self.exceptions.len() {
                 idx = idx + offset as usize + 1;
             }
         }
+        Ok(())
     }
 
     /// Encoded size in bits (word-granular, as stored).
@@ -189,22 +208,32 @@ impl PforBlock {
         out.extend_from_slice(&self.exceptions);
     }
 
-    /// Inverse of [`Self::to_words`].
-    pub fn from_words(words: &[u32]) -> PforBlock {
+    /// Inverse of [`Self::to_words`]. Fails when the header is impossible
+    /// (slot width above 32) or the stream is shorter than the header claims.
+    pub fn from_words(words: &[u32]) -> Result<PforBlock, CodecError> {
+        if words.len() < 2 {
+            return Err(CodecError::Truncated);
+        }
         let count = words[0] & 0xFFFF;
         let b = (words[0] >> 16) & 0x3F;
+        if b > 32 {
+            return Err(CodecError::BadHeader);
+        }
         let first_exception = words[1] & 0xFFFF;
         let num_exc = (words[1] >> 16) as usize;
         let slot_len = (count as usize * b as usize).div_ceil(32);
+        if words.len() < 2 + slot_len + num_exc {
+            return Err(CodecError::Truncated);
+        }
         let slot_words = words[2..2 + slot_len].to_vec();
         let exceptions = words[2 + slot_len..2 + slot_len + num_exc].to_vec();
-        PforBlock {
+        Ok(PforBlock {
             count,
             b,
             first_exception,
             slot_words,
             exceptions,
-        }
+        })
     }
 
     pub fn words_len(&self) -> usize {
@@ -219,7 +248,7 @@ mod tests {
     fn roundtrip(values: &[u32]) -> PforBlock {
         let blk = PforBlock::encode(values);
         let mut out = Vec::new();
-        blk.decode_into(&mut out);
+        blk.decode_into(&mut out).unwrap();
         assert_eq!(out, values, "roundtrip failed (b={})", blk.b);
         blk
     }
@@ -299,11 +328,44 @@ mod tests {
         let mut words = Vec::new();
         blk.to_words(&mut words);
         assert_eq!(words.len(), blk.words_len());
-        let back = PforBlock::from_words(&words);
+        let back = PforBlock::from_words(&words).unwrap();
         assert_eq!(back, blk);
         let mut out = Vec::new();
-        back.decode_into(&mut out);
+        back.decode_into(&mut out).unwrap();
         assert_eq!(out, values);
+    }
+
+    #[test]
+    fn corrupt_words_decode_to_err_not_panic() {
+        let values: Vec<u32> = (0..128)
+            .map(|i| if i % 20 == 0 { 1 << 18 } else { i * 3 % 40 })
+            .collect();
+        let blk = PforBlock::encode(&values);
+        let mut words = Vec::new();
+        blk.to_words(&mut words);
+        // Truncations at every length either fail in from_words or decode.
+        for len in 0..words.len() {
+            let mut out = Vec::new();
+            if let Ok(b) = PforBlock::from_words(&words[..len]) {
+                let _ = b.decode_into(&mut out);
+            }
+        }
+        // A chain that escapes the block is an error, not a panic, and the
+        // output buffer is untouched.
+        let bad = PforBlock {
+            first_exception: blk.count, // chain starts past the end
+            ..blk.clone()
+        };
+        let mut out = vec![9u32];
+        assert_eq!(
+            bad.decode_into(&mut out),
+            Err(CodecError::ExceptionChainOutOfBounds)
+        );
+        assert_eq!(out, vec![9]);
+        // Impossible slot width in the header.
+        let mut hdr = words.clone();
+        hdr[0] = (hdr[0] & !0x003F_0000) | (33 << 16);
+        assert_eq!(PforBlock::from_words(&hdr), Err(CodecError::BadHeader));
     }
 
     #[test]

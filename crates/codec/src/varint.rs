@@ -1,6 +1,8 @@
 //! Byte-aligned variable-length integers (VByte) — the simple baseline
 //! codec, also used for the term-frequency side files in the index.
 
+use crate::error::CodecError;
+
 /// Appends `v` as 1–5 VByte bytes (7 data bits per byte, high bit = more).
 pub fn encode_u32(v: u32, out: &mut Vec<u8>) {
     let mut v = v;
@@ -16,19 +18,25 @@ pub fn encode_u32(v: u32, out: &mut Vec<u8>) {
 }
 
 /// Decodes one VByte value starting at `pos`; returns (value, new_pos).
-pub fn decode_u32(bytes: &[u8], pos: usize) -> (u32, usize) {
+///
+/// Fails when the byte stream ends before a terminating byte
+/// ([`CodecError::Truncated`]) or a value runs past the 32-bit range
+/// ([`CodecError::MalformedVarint`]).
+pub fn decode_u32(bytes: &[u8], pos: usize) -> Result<(u32, usize), CodecError> {
     let mut v = 0u32;
     let mut shift = 0u32;
     let mut p = pos;
     loop {
-        let byte = bytes[p];
+        let byte = *bytes.get(p).ok_or(CodecError::Truncated)?;
         p += 1;
         v |= u32::from(byte & 0x7F) << shift;
         if byte & 0x80 == 0 {
-            return (v, p);
+            return Ok((v, p));
         }
         shift += 7;
-        assert!(shift < 35, "malformed varint");
+        if shift >= 35 {
+            return Err(CodecError::MalformedVarint);
+        }
     }
 }
 
@@ -40,15 +48,29 @@ pub fn encode_slice(values: &[u32], out: &mut Vec<u8>) {
 }
 
 /// Decodes exactly `n` values starting at `pos`; returns the new position.
-pub fn decode_n(bytes: &[u8], pos: usize, n: usize, out: &mut Vec<u32>) -> usize {
+/// On failure `out` is left exactly as it was.
+pub fn decode_n(
+    bytes: &[u8],
+    pos: usize,
+    n: usize,
+    out: &mut Vec<u32>,
+) -> Result<usize, CodecError> {
+    let start = out.len();
     let mut p = pos;
     out.reserve(n);
     for _ in 0..n {
-        let (v, np) = decode_u32(bytes, p);
-        out.push(v);
-        p = np;
+        match decode_u32(bytes, p) {
+            Ok((v, np)) => {
+                out.push(v);
+                p = np;
+            }
+            Err(e) => {
+                out.truncate(start);
+                return Err(e);
+            }
+        }
     }
-    p
+    Ok(p)
 }
 
 #[cfg(test)]
@@ -61,7 +83,7 @@ mod tests {
             let mut buf = Vec::new();
             encode_u32(v, &mut buf);
             assert_eq!(buf.len(), 1);
-            assert_eq!(decode_u32(&buf, 0), (v, 1));
+            assert_eq!(decode_u32(&buf, 0).unwrap(), (v, 1));
         }
     }
 
@@ -78,7 +100,7 @@ mod tests {
             let mut buf = Vec::new();
             encode_u32(v, &mut buf);
             assert_eq!(buf.len(), len, "width of {v}");
-            assert_eq!(decode_u32(&buf, 0).0, v);
+            assert_eq!(decode_u32(&buf, 0).unwrap().0, v);
         }
     }
 
@@ -88,8 +110,22 @@ mod tests {
         let mut buf = Vec::new();
         encode_slice(&values, &mut buf);
         let mut out = Vec::new();
-        let end = decode_n(&buf, 0, values.len(), &mut out);
+        let end = decode_n(&buf, 0, values.len(), &mut out).unwrap();
         assert_eq!(end, buf.len());
         assert_eq!(out, values);
+    }
+
+    #[test]
+    fn corrupt_bytes_decode_to_err_not_panic() {
+        // Continuation bit set on the last byte: truncated.
+        assert_eq!(decode_u32(&[0x80], 0), Err(CodecError::Truncated));
+        assert_eq!(decode_u32(&[], 0), Err(CodecError::Truncated));
+        // Six continuation bytes overflow a u32.
+        let overlong = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert_eq!(decode_u32(&overlong, 0), Err(CodecError::MalformedVarint));
+        // decode_n leaves out untouched on failure.
+        let mut out = vec![5u32];
+        assert!(decode_n(&[0x01, 0x80], 0, 2, &mut out).is_err());
+        assert_eq!(out, vec![5]);
     }
 }

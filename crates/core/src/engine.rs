@@ -3,7 +3,7 @@
 
 use griffin_cpu::engine::Strategy;
 use griffin_cpu::{CpuEngine, Intermediate, WorkCounters};
-use griffin_gpu::{DeviceIntermediate, GpuEngine, GpuStrategy};
+use griffin_gpu::{DeviceIntermediate, GpuEngine, GpuError, GpuStrategy};
 use griffin_gpu_sim::{Gpu, VirtualNanos};
 use griffin_index::{CorpusMeta, InvertedIndex, TermId};
 use griffin_telemetry::{Telemetry, TraceEvent};
@@ -47,6 +47,13 @@ pub enum StepOp {
     /// (plus the CPU ranking step for [`ExecMode::GpuOnly`]) rather than
     /// per-operation detail.
     Exec,
+    /// Recovery from a device fault: the wasted GPU attempts (including
+    /// retry backoff) plus the cost of re-establishing the intermediate
+    /// on the host — by draining it over PCIe when the device still
+    /// answers, or by re-running the completed prefix on the CPU when it
+    /// does not. Recovery time is part of the query's latency, so these
+    /// steps keep the step-sum == total invariant under faults.
+    FaultRecovery,
 }
 
 /// Result of a query under any mode.
@@ -62,6 +69,11 @@ pub struct GriffinOutput {
     /// [`GriffinOutput::time`], which is what lets the serving pipeline
     /// replay any query's schedule stage by stage.
     pub steps: Vec<StepTrace>,
+    /// Number of GPU faults observed while executing this query (every
+    /// failed attempt counts, including ones that a retry then absorbed).
+    /// Zero when fault injection is off or the query never touched the
+    /// device.
+    pub gpu_faults: u32,
 }
 
 /// Where the intermediate currently lives.
@@ -86,11 +98,52 @@ impl Inter {
     }
 }
 
+/// How [`Griffin::run`] reacts to GPU faults.
+///
+/// Transient faults (failed launches, transfer errors, allocation
+/// failures) are retried in place after a bounded virtual-time backoff;
+/// a fault that survives every retry — or a sticky device loss — migrates
+/// the query to the CPU for the rest of its execution. Both paths keep
+/// the query's results identical to a fault-free run; only its latency
+/// (and its [`StepOp::FaultRecovery`] trace entries) change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries per failing GPU operation before migrating to the CPU.
+    pub max_retries: u32,
+    /// Backoff charged to the virtual clock before the first retry.
+    pub initial_backoff: VirtualNanos,
+    /// Each further backoff is the previous one times this factor.
+    pub backoff_multiplier: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 2,
+            initial_backoff: VirtualNanos::from_micros(10),
+            backoff_multiplier: 2,
+        }
+    }
+}
+
+/// Per-query fault bookkeeping.
+#[derive(Default)]
+struct FaultLog {
+    /// Every failed GPU attempt, including retried ones.
+    faults: u32,
+    /// Latched once a fault exhausts its retries: the rest of the query
+    /// runs CPU-only (a faulting device rarely deserves more traffic
+    /// within the same query).
+    gpu_disabled: bool,
+}
+
 /// The Griffin system: CPU engine + Griffin-GPU engine + scheduler.
 pub struct Griffin<'g> {
     pub cpu: CpuEngine,
     pub gpu: GpuEngine<'g>,
     pub scheduler: Scheduler,
+    /// Fault handling for GPU operations; see [`RecoveryPolicy`].
+    pub recovery: RecoveryPolicy,
     device: &'g Gpu,
     telemetry: Telemetry,
 }
@@ -101,6 +154,7 @@ impl<'g> Griffin<'g> {
             cpu: CpuEngine::new(),
             gpu: GpuEngine::new(device, meta),
             scheduler: Scheduler::for_block_len(block_len),
+            recovery: RecoveryPolicy::default(),
             device,
             telemetry: Telemetry::disabled(),
         }
@@ -123,6 +177,13 @@ impl<'g> Griffin<'g> {
         &self.telemetry
     }
 
+    /// The simulated device this engine drives. Serving layers use its
+    /// virtual clock (e.g. for health-breaker cooldowns) and its fault
+    /// plan controls.
+    pub fn device(&self) -> &'g Gpu {
+        self.device
+    }
+
     /// Record one executed step into the trace and the step-latency
     /// histograms.
     fn record_step(&self, s: &StepTrace) {
@@ -132,6 +193,7 @@ impl<'g> Griffin<'g> {
             StepOp::Migrate => ("migrate", 0),
             StepOp::TopK => ("topk", 0),
             StepOp::Exec => ("exec", 0),
+            StepOp::FaultRecovery => ("fault_recovery", 0),
         };
         let proc = s.proc.label();
         self.telemetry.record(|r| TraceEvent::Step {
@@ -176,6 +238,118 @@ impl<'g> Griffin<'g> {
                 }
             }
         });
+    }
+
+    /// Runs a GPU operation under the recovery policy: transient faults
+    /// are retried with exponential virtual-time backoff; a fault that
+    /// survives every retry (or a non-transient one) latches
+    /// [`FaultLog::gpu_disabled`] and surfaces the error for the caller
+    /// to migrate the work to the CPU.
+    fn try_gpu<T>(
+        &self,
+        log: &mut FaultLog,
+        mut attempt: impl FnMut() -> Result<T, GpuError>,
+    ) -> Result<T, GpuError> {
+        let mut backoff = self.recovery.initial_backoff;
+        let mut retries = 0u32;
+        loop {
+            match attempt() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    log.faults += 1;
+                    self.telemetry.counter_add(
+                        &format!(
+                            "griffin_fault_gpu_errors_total{{kind=\"{}\"}}",
+                            e.kind_label()
+                        ),
+                        1,
+                    );
+                    if e.is_transient() && retries < self.recovery.max_retries {
+                        retries += 1;
+                        self.telemetry.counter_add("griffin_fault_retries_total", 1);
+                        self.device.advance(backoff);
+                        backoff = backoff * self.recovery.backoff_multiplier;
+                        continue;
+                    }
+                    log.gpu_disabled = true;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Re-runs the completed prefix of the query plan on the CPU: the
+    /// init step plus `completed` intersections. Because the CPU and GPU
+    /// engines are bit-equivalent, this reproduces exactly the
+    /// intermediate the device held when it failed.
+    fn rematerialize(
+        &self,
+        index: &InvertedIndex,
+        planned: &[TermId],
+        completed: usize,
+        w: &mut WorkCounters,
+    ) -> Intermediate {
+        let mut inter = self.cpu.init_intermediate(index, planned[0], w);
+        for j in 0..completed {
+            if inter.is_empty() {
+                break;
+            }
+            inter = self
+                .cpu
+                .intersect_step(index, &inter, planned[j + 1], Strategy::Auto, w);
+        }
+        inter
+    }
+
+    /// Brings the query's intermediate back to the host after the GPU
+    /// lane is abandoned. Prefers draining the intact device intermediate
+    /// over PCIe (with retries); if the device no longer answers, re-runs
+    /// the completed prefix on the CPU. Returns the host intermediate and
+    /// the virtual time the recovery cost.
+    fn salvage(
+        &self,
+        log: &mut FaultLog,
+        index: &InvertedIndex,
+        planned: &[TermId],
+        completed: usize,
+        dev: Option<DeviceIntermediate>,
+    ) -> (Intermediate, VirtualNanos) {
+        let mut spent = VirtualNanos::ZERO;
+        if let Some(dev) = dev {
+            let start = self.device.now();
+            let drained = self.try_gpu(log, || self.gpu.download(&dev));
+            dev.free(self.device);
+            spent += self.device.now() - start;
+            if let Ok(host) = drained {
+                return (host, spent);
+            }
+        }
+        let mut w = WorkCounters::default();
+        let host = self.rematerialize(index, planned, completed, &mut w);
+        self.record_cpu_work(&w);
+        (host, spent + self.cpu.model.time(&w))
+    }
+
+    /// Record a completed fault recovery into the trace and telemetry.
+    fn push_recovery_step(
+        &self,
+        steps: &mut Vec<StepTrace>,
+        total: &mut VirtualNanos,
+        time: VirtualNanos,
+        inter_len: usize,
+    ) {
+        self.telemetry
+            .counter_add("griffin_fault_migrations_total", 1);
+        self.telemetry
+            .observe_duration("griffin_fault_recovery_ns", time);
+        *total += time;
+        steps.push(StepTrace {
+            op: StepOp::FaultRecovery,
+            proc: Proc::Cpu,
+            time,
+            inter_len,
+        });
+        self.record_step(steps.last().expect("just pushed"));
     }
 
     /// Bracket one query's telemetry: QueryStart before, QueryEnd plus
@@ -252,6 +426,7 @@ impl<'g> Griffin<'g> {
                 topk: Vec::new(),
                 time: VirtualNanos::ZERO,
                 steps: Vec::new(),
+                gpu_faults: 0,
             },
         }
     }
@@ -296,36 +471,73 @@ impl<'g> Griffin<'g> {
                     topk: out.topk,
                     time: out.time,
                     steps,
+                    gpu_faults: 0,
                 }
             }
             ExecMode::GpuOnly => {
-                let out = self.gpu.process_query(index, terms, k);
-                let rank_time = self.cpu.model.time(&out.rank_work);
-                self.record_cpu_work(&out.rank_work);
-                let mut steps = Vec::new();
-                if out.time > VirtualNanos::ZERO {
-                    steps.push(StepTrace {
-                        op: StepOp::Exec,
-                        proc: Proc::Gpu,
-                        time: out.time,
-                        inter_len: out.topk.len(),
-                    });
-                }
-                if rank_time > VirtualNanos::ZERO {
-                    steps.push(StepTrace {
-                        op: StepOp::TopK,
-                        proc: Proc::Cpu,
-                        time: rank_time,
-                        inter_len: out.topk.len(),
-                    });
-                }
-                for s in &steps {
-                    self.record_step(s);
-                }
-                GriffinOutput {
-                    topk: out.topk,
-                    time: out.time + rank_time,
-                    steps,
+                let mut log = FaultLog::default();
+                let start = self.device.now();
+                match self.try_gpu(&mut log, || self.gpu.process_query(index, terms, k)) {
+                    Ok(out) => {
+                        let rank_time = self.cpu.model.time(&out.rank_work);
+                        self.record_cpu_work(&out.rank_work);
+                        let mut steps = Vec::new();
+                        // Retry backoff (if any) is part of the device-side
+                        // span; fold it into the Exec step so steps still
+                        // sum to the total.
+                        let exec_time = self.device.now() - start;
+                        if exec_time > VirtualNanos::ZERO {
+                            steps.push(StepTrace {
+                                op: StepOp::Exec,
+                                proc: Proc::Gpu,
+                                time: exec_time,
+                                inter_len: out.topk.len(),
+                            });
+                        }
+                        if rank_time > VirtualNanos::ZERO {
+                            steps.push(StepTrace {
+                                op: StepOp::TopK,
+                                proc: Proc::Cpu,
+                                time: rank_time,
+                                inter_len: out.topk.len(),
+                            });
+                        }
+                        for s in &steps {
+                            self.record_step(s);
+                        }
+                        GriffinOutput {
+                            topk: out.topk,
+                            time: exec_time + rank_time,
+                            steps,
+                            gpu_faults: log.faults,
+                        }
+                    }
+                    Err(_) => {
+                        // The device gave up on the whole query: run it
+                        // on the CPU from scratch. The wasted GPU attempts
+                        // (plus backoff) become a FaultRecovery step.
+                        let wasted = self.device.now() - start;
+                        let mut steps = Vec::new();
+                        let mut total = VirtualNanos::ZERO;
+                        self.push_recovery_step(&mut steps, &mut total, wasted, 0);
+                        let out = self.cpu.process_query(index, terms, k);
+                        self.record_cpu_work(&out.counters);
+                        if out.time > VirtualNanos::ZERO {
+                            steps.push(StepTrace {
+                                op: StepOp::Exec,
+                                proc: Proc::Cpu,
+                                time: out.time,
+                                inter_len: out.topk.len(),
+                            });
+                            self.record_step(steps.last().expect("just pushed"));
+                        }
+                        GriffinOutput {
+                            topk: out.topk,
+                            time: total + out.time,
+                            steps,
+                            gpu_faults: log.faults,
+                        }
+                    }
                 }
             }
             ExecMode::Hybrid => self.process_hybrid(index, terms, k),
@@ -335,12 +547,14 @@ impl<'g> Griffin<'g> {
     fn process_hybrid(&self, index: &InvertedIndex, terms: &[TermId], k: usize) -> GriffinOutput {
         let mut steps: Vec<StepTrace> = Vec::new();
         let mut total = VirtualNanos::ZERO;
+        let mut log = FaultLog::default();
         let planned = self.cpu.plan(index, terms);
         let Some((&first, rest)) = planned.split_first() else {
             return GriffinOutput {
                 topk: Vec::new(),
                 time: VirtualNanos::ZERO,
                 steps,
+                gpu_faults: 0,
             };
         };
 
@@ -360,22 +574,35 @@ impl<'g> Griffin<'g> {
 
         let mut inter: Inter = match initial {
             Proc::Gpu => {
-                let ((), t_up, dev_inter) = {
-                    let start = self.device.now();
-                    let postings = self.gpu.upload(index, first);
+                let start = self.device.now();
+                let attempt = self.try_gpu(&mut log, || {
+                    let postings = self.gpu.upload(index, first)?;
                     let dev = self.gpu.init_intermediate(&postings);
                     self.gpu.release(postings);
-                    ((), self.device.now() - start, dev)
-                };
-                total += t_up;
-                steps.push(StepTrace {
-                    op: StepOp::Init,
-                    proc: Proc::Gpu,
-                    time: t_up,
-                    inter_len: dev_inter.len,
+                    dev
                 });
-                self.record_step(steps.last().expect("just pushed"));
-                Inter::Device(dev_inter)
+                match attempt {
+                    Ok(dev_inter) => {
+                        let t_up = self.device.now() - start;
+                        total += t_up;
+                        steps.push(StepTrace {
+                            op: StepOp::Init,
+                            proc: Proc::Gpu,
+                            time: t_up,
+                            inter_len: dev_inter.len,
+                        });
+                        self.record_step(steps.last().expect("just pushed"));
+                        Inter::Device(dev_inter)
+                    }
+                    Err(_) => {
+                        // Nothing materialized yet: the recovery is just
+                        // the wasted attempts plus a CPU init.
+                        let wasted = self.device.now() - start;
+                        let (host, t_rec) = self.salvage(&mut log, index, &planned, 0, None);
+                        self.push_recovery_step(&mut steps, &mut total, wasted + t_rec, host.len());
+                        Inter::Host(host)
+                    }
+                }
             }
             Proc::Cpu => {
                 let mut w = WorkCounters::default();
@@ -399,38 +626,114 @@ impl<'g> Griffin<'g> {
                 break;
             }
             let long_len = index.doc_freq(term);
-            let decision = self
-                .scheduler
-                .decide_traced(inter.len(), long_len, inter.loc());
-            self.record_decision(&decision);
-            let target = decision.chosen;
+            let mut target = if log.gpu_disabled {
+                Proc::Cpu
+            } else {
+                let decision = self
+                    .scheduler
+                    .decide_traced(inter.len(), long_len, inter.loc());
+                self.record_decision(&decision);
+                decision.chosen
+            };
 
             // Migrate the intermediate if the scheduler moved the op.
             if target != inter.loc() {
-                let (migrated, t) = self.migrate(inter, target);
-                inter = migrated;
-                total += t;
-                steps.push(StepTrace {
-                    op: StepOp::Migrate,
-                    proc: target,
-                    time: t,
-                    inter_len: inter.len(),
-                });
-                self.record_step(steps.last().expect("just pushed"));
+                match (inter, target) {
+                    (Inter::Host(h), Proc::Gpu) => {
+                        let start = self.device.now();
+                        let shipped = self.try_gpu(&mut log, || {
+                            let score_bits: Vec<u32> =
+                                h.scores.iter().map(|s| s.to_bits()).collect();
+                            let [docids, scores] =
+                                self.device.htod_packed_n([&h.docids, &score_bits])?;
+                            Ok(DeviceIntermediate {
+                                len: h.docids.len(),
+                                docids,
+                                scores: scores.cast::<f32>(),
+                            })
+                        });
+                        let t = self.device.now() - start;
+                        match shipped {
+                            Ok(dev) => {
+                                inter = Inter::Device(dev);
+                                total += t;
+                                steps.push(StepTrace {
+                                    op: StepOp::Migrate,
+                                    proc: target,
+                                    time: t,
+                                    inter_len: inter.len(),
+                                });
+                                self.record_step(steps.last().expect("just pushed"));
+                            }
+                            Err(_) => {
+                                // The intermediate never left the host:
+                                // stay there and run the op on the CPU.
+                                self.push_recovery_step(&mut steps, &mut total, t, h.len());
+                                inter = Inter::Host(h);
+                                target = Proc::Cpu;
+                            }
+                        }
+                    }
+                    (Inter::Device(dev), Proc::Cpu) => {
+                        let (host, t) = self.salvage(&mut log, index, &planned, i, Some(dev));
+                        if log.gpu_disabled {
+                            self.push_recovery_step(&mut steps, &mut total, t, host.len());
+                        } else {
+                            total += t;
+                            steps.push(StepTrace {
+                                op: StepOp::Migrate,
+                                proc: target,
+                                time: t,
+                                inter_len: host.len(),
+                            });
+                            self.record_step(steps.last().expect("just pushed"));
+                        }
+                        inter = Inter::Host(host);
+                    }
+                    (other, _) => inter = other,
+                }
             }
 
-            let (next, t) = match (inter, target) {
+            let (next, t, ran_on) = match (inter, target) {
                 (Inter::Device(dev), Proc::Gpu) => {
                     let start = self.device.now();
-                    let postings = self.gpu.upload(index, term);
-                    let out = self.gpu.intersect_step(
-                        dev,
-                        &postings,
-                        index.block_len(),
-                        GpuStrategy::Auto,
-                    );
-                    self.gpu.release(postings);
-                    (Inter::Device(out), self.device.now() - start)
+                    let attempt = self.try_gpu(&mut log, || {
+                        let postings = self.gpu.upload(index, term)?;
+                        let out = self.gpu.intersect_step(
+                            &dev,
+                            &postings,
+                            index.block_len(),
+                            GpuStrategy::Auto,
+                        );
+                        self.gpu.release(postings);
+                        out
+                    });
+                    match attempt {
+                        Ok(out) => {
+                            dev.free(self.device);
+                            (Inter::Device(out), self.device.now() - start, Proc::Gpu)
+                        }
+                        Err(_) => {
+                            // Abandon the GPU lane: drain (or re-run) the
+                            // pre-step intermediate, then run this
+                            // intersection on the CPU.
+                            let wasted = self.device.now() - start;
+                            let (host, t_rec) =
+                                self.salvage(&mut log, index, &planned, i, Some(dev));
+                            self.push_recovery_step(
+                                &mut steps,
+                                &mut total,
+                                wasted + t_rec,
+                                host.len(),
+                            );
+                            let mut w = WorkCounters::default();
+                            let out =
+                                self.cpu
+                                    .intersect_step(index, &host, term, Strategy::Auto, &mut w);
+                            self.record_cpu_work(&w);
+                            (Inter::Host(out), self.cpu.model.time(&w), Proc::Cpu)
+                        }
+                    }
                 }
                 (Inter::Host(host), Proc::Cpu) => {
                     let mut w = WorkCounters::default();
@@ -438,7 +741,7 @@ impl<'g> Griffin<'g> {
                         .cpu
                         .intersect_step(index, &host, term, Strategy::Auto, &mut w);
                     self.record_cpu_work(&w);
-                    (Inter::Host(out), self.cpu.model.time(&w))
+                    (Inter::Host(out), self.cpu.model.time(&w), Proc::Cpu)
                 }
                 _ => unreachable!("intermediate was just migrated to the target"),
             };
@@ -446,7 +749,7 @@ impl<'g> Griffin<'g> {
             total += t;
             steps.push(StepTrace {
                 op: StepOp::Intersect(i + 1),
-                proc: target,
+                proc: ran_on,
                 time: t,
                 inter_len: inter.len(),
             });
@@ -454,19 +757,22 @@ impl<'g> Griffin<'g> {
         }
 
         // Results come home; ranking runs on the CPU (Fig. 7).
+        let completed = rest.len();
         let host = match inter {
             Inter::Device(dev) => {
-                let start = self.device.now();
-                let host = self.gpu.download(dev);
-                let t = self.device.now() - start;
-                total += t;
-                steps.push(StepTrace {
-                    op: StepOp::Migrate,
-                    proc: Proc::Cpu,
-                    time: t,
-                    inter_len: host.len(),
-                });
-                self.record_step(steps.last().expect("just pushed"));
+                let (host, t) = self.salvage(&mut log, index, &planned, completed, Some(dev));
+                if log.gpu_disabled {
+                    self.push_recovery_step(&mut steps, &mut total, t, host.len());
+                } else {
+                    total += t;
+                    steps.push(StepTrace {
+                        op: StepOp::Migrate,
+                        proc: Proc::Cpu,
+                        time: t,
+                        inter_len: host.len(),
+                    });
+                    self.record_step(steps.last().expect("just pushed"));
+                }
                 host
             }
             Inter::Host(h) => h,
@@ -488,32 +794,7 @@ impl<'g> Griffin<'g> {
             topk,
             time: total,
             steps,
-        }
-    }
-
-    /// Moves the intermediate across PCIe.
-    fn migrate(&self, inter: Inter, target: Proc) -> (Inter, VirtualNanos) {
-        match (inter, target) {
-            (Inter::Host(h), Proc::Gpu) => {
-                let start = self.device.now();
-                let score_bits: Vec<u32> = h.scores.iter().map(|s| s.to_bits()).collect();
-                let bufs = self.device.htod_packed(&[&h.docids, &score_bits]);
-                let mut it = bufs.into_iter();
-                let docids = it.next().expect("docids");
-                let scores = it.next().expect("scores").cast::<f32>();
-                let dev = DeviceIntermediate {
-                    len: h.docids.len(),
-                    docids,
-                    scores,
-                };
-                (Inter::Device(dev), self.device.now() - start)
-            }
-            (Inter::Device(dev), Proc::Cpu) => {
-                let start = self.device.now();
-                let host = self.gpu.download(dev);
-                (Inter::Host(host), self.device.now() - start)
-            }
-            (other, _) => (other, VirtualNanos::ZERO),
+            gpu_faults: log.faults,
         }
     }
 }
@@ -703,6 +984,95 @@ mod tests {
         let out = griffin.process_query(&idx, &[], 10, ExecMode::Hybrid);
         assert!(out.topk.is_empty());
         assert_eq!(out.time, VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn hybrid_survives_sticky_device_loss_at_any_point() {
+        use griffin_gpu_sim::FaultPlan;
+        let idx = test_index(&[3_000, 20_000, 60_000], 500_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 3);
+        let baseline = griffin.process_query(&idx, &q, 10, ExecMode::CpuOnly);
+        let ids = |o: &GriffinOutput| o.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>();
+
+        for at in [0u64, 1, 3, 9, 25] {
+            gpu.set_fault_plan(Some(FaultPlan::seeded(7).lose_device_at(at)));
+            let out = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+            assert_eq!(ids(&baseline), ids(&out), "loss at op {at}");
+            assert!(out.gpu_faults > 0, "loss at op {at} should be observed");
+            assert!(
+                out.steps.iter().any(|s| s.op == StepOp::FaultRecovery),
+                "loss at op {at} should leave a recovery step"
+            );
+            let sum: VirtualNanos = out.steps.iter().map(|s| s.time).sum();
+            assert_eq!(sum, out.time, "steps must sum to total under faults");
+            gpu.set_fault_plan(None);
+        }
+        griffin.gpu.shutdown();
+        assert_eq!(gpu.mem_in_use(), 0, "faulted queries must not leak");
+    }
+
+    #[test]
+    fn transient_fault_is_retried_in_place() {
+        use griffin_gpu_sim::{FaultKind, FaultPlan};
+        let idx = test_index(&[3_000, 20_000], 500_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 2);
+        let baseline = griffin.process_query(&idx, &q, 10, ExecMode::CpuOnly);
+
+        gpu.set_fault_plan(Some(
+            FaultPlan::seeded(7).fail_at(2, FaultKind::KernelLaunchFailed),
+        ));
+        let out = griffin.process_query(&idx, &q, 10, ExecMode::Hybrid);
+        gpu.set_fault_plan(None);
+
+        assert_eq!(out.gpu_faults, 1, "exactly the pinned fault fires");
+        assert_eq!(
+            baseline.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            out.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>()
+        );
+        // A successful retry keeps the query on the GPU: no recovery step.
+        assert!(out.steps.iter().all(|s| s.op != StepOp::FaultRecovery));
+        let sum: VirtualNanos = out.steps.iter().map(|s| s.time).sum();
+        assert_eq!(sum, out.time);
+    }
+
+    #[test]
+    fn gpu_only_falls_back_to_cpu_on_device_loss() {
+        use griffin_gpu_sim::FaultPlan;
+        let idx = test_index(&[3_000, 20_000], 500_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 2);
+        let baseline = griffin.process_query(&idx, &q, 10, ExecMode::CpuOnly);
+
+        gpu.set_fault_plan(Some(FaultPlan::seeded(7).lose_device_at(0)));
+        let out = griffin.process_query(&idx, &q, 10, ExecMode::GpuOnly);
+        gpu.set_fault_plan(None);
+
+        assert_eq!(
+            baseline.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            out.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>()
+        );
+        assert!(out.gpu_faults > 0);
+        assert_eq!(out.steps[0].op, StepOp::FaultRecovery);
+        let sum: VirtualNanos = out.steps.iter().map(|s| s.time).sum();
+        assert_eq!(sum, out.time);
+    }
+
+    #[test]
+    fn fault_free_run_reports_zero_faults() {
+        let idx = test_index(&[2_000, 30_000], 500_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let q = terms(&idx, 2);
+        for mode in [ExecMode::CpuOnly, ExecMode::GpuOnly, ExecMode::Hybrid] {
+            let out = griffin.process_query(&idx, &q, 10, mode);
+            assert_eq!(out.gpu_faults, 0);
+            assert!(out.steps.iter().all(|s| s.op != StepOp::FaultRecovery));
+        }
     }
 
     #[test]

@@ -20,7 +20,8 @@ pub fn decode_block(list: &BlockedList, i: usize, out: &mut Vec<u32>, w: &mut Wo
             // the data-dependent, serializing part of PforDelta).
             let words =
                 &list.words[skip.word_start as usize..(skip.word_start + skip.word_len) as usize];
-            let blk = PforBlock::from_words(words);
+            let blk =
+                PforBlock::from_words(words).expect("index-built list is valid by construction");
             w.pfor_elements += count;
             w.pfor_exceptions += blk.exceptions.len() as u64;
         }
@@ -31,7 +32,8 @@ pub fn decode_block(list: &BlockedList, i: usize, out: &mut Vec<u32>, w: &mut Wo
             w.varint_elements += count;
         }
     }
-    list.decode_block_into(i, out);
+    list.decode_block_into(i, out)
+        .expect("index-built list is valid by construction");
 }
 
 /// Fully decompresses `list`, counting all work.

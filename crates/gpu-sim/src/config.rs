@@ -4,6 +4,8 @@
 //! evaluation (Section 4.1): 13 SMX units × 192 CUDA cores at 706 MHz, 5 GB
 //! of GDDR5 at 208 GB/s, attached over 16-lane PCIe 2.0 (8 GB/s).
 
+use crate::fault::FaultPlan;
+
 /// PCIe link model: a fixed per-transfer latency plus a bandwidth term.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PcieConfig {
@@ -112,6 +114,11 @@ pub struct DeviceConfig {
     /// Track performance counters on roughly one warp in `sample_stride`
     /// (1 = trace every warp). Functional execution is always exact.
     pub trace_sample_stride: u32,
+    /// Optional deterministic fault-injection schedule (see
+    /// [`crate::fault`]). `None` — and any plan where
+    /// [`FaultPlan::is_noop`] holds — leaves the device bit-identical to a
+    /// fault-free build.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl DeviceConfig {
@@ -135,6 +142,7 @@ impl DeviceConfig {
             pcie: PcieConfig::default(),
             costs: CostParams::default(),
             trace_sample_stride: 1,
+            fault_plan: None,
         }
     }
 
@@ -162,6 +170,7 @@ impl DeviceConfig {
             },
             costs: CostParams::default(),
             trace_sample_stride: 1,
+            fault_plan: None,
         }
     }
 

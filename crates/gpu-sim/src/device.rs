@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::clock::VirtualNanos;
 use crate::config::DeviceConfig;
+use crate::fault::{DeviceError, FaultKind, FaultPlan, FaultState, OpClass};
 use crate::kernel::{run_block, Kernel, LaunchConfig};
 use crate::mem::{DeviceBuffer, DeviceWord, MemStats, Pool, WriteLog};
 use crate::observe::{DeviceEvent, DeviceObserver, TransferDir};
@@ -28,6 +29,11 @@ pub struct LaunchReport {
 /// All operations advance the device's virtual clock by their modelled
 /// cost; callers read the clock with [`Gpu::now`] or measure spans with
 /// [`Gpu::time`]. The functional results of kernels are bit-exact.
+///
+/// Allocations, transfers, and kernel launches are fallible: they return
+/// [`DeviceError`] on real memory exhaustion and on faults injected by an
+/// installed [`FaultPlan`]. Failed attempts still advance the virtual
+/// clock by the cost of the attempt (see [`crate::fault`]).
 pub struct Gpu {
     cfg: DeviceConfig,
     pool: Mutex<Pool>,
@@ -40,11 +46,18 @@ pub struct Gpu {
     /// disabled-path cost to one relaxed atomic load per operation.
     observed: AtomicBool,
     observer: Mutex<Option<Arc<DeviceObserver>>>,
+    /// Fallible operations issued since the fault plan was installed.
+    /// Counted only while a plan is armed, so un-faulted runs pay a single
+    /// relaxed load per operation.
+    ops: AtomicU64,
+    fault_armed: AtomicBool,
+    faults: Mutex<Option<FaultState>>,
 }
 
 impl Gpu {
     pub fn new(cfg: DeviceConfig) -> Self {
-        Gpu {
+        let plan = cfg.fault_plan.clone();
+        let gpu = Gpu {
             cfg,
             pool: Mutex::new(Pool::default()),
             clock_ns: AtomicU64::new(0),
@@ -52,6 +65,74 @@ impl Gpu {
             parallel_threshold: 1 << 15,
             observed: AtomicBool::new(false),
             observer: Mutex::new(None),
+            ops: AtomicU64::new(0),
+            fault_armed: AtomicBool::new(false),
+            faults: Mutex::new(None),
+        };
+        gpu.set_fault_plan(plan);
+        gpu
+    }
+
+    /// Installs (or, with `None`, removes) a fault-injection plan, resetting
+    /// the operation counter and any sticky device-lost state — the
+    /// simulated equivalent of swapping in a healthy device.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.ops.store(0, Ordering::Relaxed);
+        let mut slot = self.faults.lock().unwrap_or_else(|p| p.into_inner());
+        self.fault_armed.store(plan.is_some(), Ordering::Release);
+        *slot = plan.map(FaultState::new);
+    }
+
+    /// Decides whether the next fallible operation faults. Increments the
+    /// operation counter only while a plan is armed.
+    #[inline]
+    fn fault_check(&self, class: OpClass) -> Option<(u64, FaultKind)> {
+        if !self.fault_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.faults.lock().unwrap_or_else(|p| p.into_inner());
+        guard
+            .as_mut()
+            .and_then(|st| st.fire(op, class))
+            .map(|k| (op, k))
+    }
+
+    /// Maps a fired fault to its error, charging the cost of the failed
+    /// attempt: transient faults cost the full modelled operation (computed
+    /// by the caller via `attempt_cost`), a lost device fails fast at the
+    /// fixed submission overhead `submit_cost`.
+    fn fault_error(
+        &self,
+        op: u64,
+        kind: FaultKind,
+        requested_bytes: u64,
+        submit_cost: u64,
+        attempt_cost: VirtualNanos,
+    ) -> DeviceError {
+        match kind {
+            FaultKind::DeviceLost => {
+                self.advance(VirtualNanos::from_nanos(submit_cost));
+                DeviceError::DeviceLost { op_index: op }
+            }
+            FaultKind::KernelLaunchFailed => {
+                self.advance(attempt_cost);
+                DeviceError::KernelLaunchFailed { op_index: op }
+            }
+            FaultKind::TransferError { dir } => {
+                self.advance(attempt_cost);
+                DeviceError::TransferError { dir, op_index: op }
+            }
+            FaultKind::DeviceOom => {
+                // An injected allocator failure costs the driver call, like
+                // a real failed cudaMalloc.
+                self.advance(VirtualNanos::from_nanos(submit_cost));
+                DeviceError::DeviceOom {
+                    requested_bytes,
+                    in_use_bytes: self.mem_in_use(),
+                    capacity_bytes: self.cfg.global_mem_bytes,
+                }
+            }
         }
     }
 
@@ -62,7 +143,7 @@ impl Gpu {
     /// testable.
     pub fn set_observer(&self, observer: Option<Arc<DeviceObserver>>) {
         self.observed.store(observer.is_some(), Ordering::Release);
-        *self.observer.lock().expect("observer lock") = observer;
+        *self.observer.lock().unwrap_or_else(|p| p.into_inner()) = observer;
     }
 
     #[inline]
@@ -70,7 +151,14 @@ impl Gpu {
         if !self.observed.load(Ordering::Acquire) {
             return;
         }
-        let obs = self.observer.lock().expect("observer lock").clone();
+        // The guard is dropped before the callback runs, so a panicking
+        // observer can neither poison this mutex nor deadlock the device;
+        // recover from poison anyway in case a past panic won a race.
+        let obs = self
+            .observer
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
         if let Some(obs) = obs {
             obs(event);
         }
@@ -78,7 +166,12 @@ impl Gpu {
 
     #[inline]
     fn lock_pool(&self) -> MutexGuard<'_, Pool> {
-        self.pool.lock().expect("device pool lock")
+        // Recover from poison: the pool's structure is only mutated between
+        // launches (kernel stores buffer in write logs and apply after
+        // execution), so a panic mid-launch leaves it consistent. Poisoning
+        // the device for every later query would turn one bad kernel or
+        // observer into a permanent outage.
+        self.pool.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     pub fn config(&self) -> &DeviceConfig {
@@ -113,36 +206,59 @@ impl Gpu {
         self.lock_pool().bytes_in_use
     }
 
+    /// Real memory-exhaustion check, made *before* the pool is mutated so a
+    /// failed allocation has no side effects. Charges the failed
+    /// `cudaMalloc` driver call.
+    fn check_capacity(&self, pool: &Pool, bytes: u64) -> Result<(), DeviceError> {
+        if pool.bytes_in_use + bytes > self.cfg.global_mem_bytes {
+            let in_use = pool.bytes_in_use;
+            self.advance(VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns));
+            return Err(DeviceError::DeviceOom {
+                requested_bytes: bytes,
+                in_use_bytes: in_use,
+                capacity_bytes: self.cfg.global_mem_bytes,
+            });
+        }
+        Ok(())
+    }
+
     /// Allocate an uninitialized (zeroed) buffer of `len` elements.
     /// Charges the `cudaMalloc` overhead.
-    pub fn alloc<T: DeviceWord>(&self, len: usize) -> DeviceBuffer<T> {
+    pub fn alloc<T: DeviceWord>(&self, len: usize) -> Result<DeviceBuffer<T>, DeviceError> {
+        let bytes = len as u64 * 4;
+        if let Some((op, kind)) = self.fault_check(OpClass::Alloc) {
+            return Err(self.fault_error(
+                op,
+                kind,
+                bytes,
+                self.cfg.malloc_overhead_ns,
+                VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns),
+            ));
+        }
         let mut pool = self.lock_pool();
+        self.check_capacity(&pool, bytes)?;
         let (id, generation) = pool.alloc(vec![0u32; len]);
         let in_use = pool.bytes_in_use;
-        assert!(
-            in_use <= self.cfg.global_mem_bytes,
-            "device out of memory: {in_use} > {}",
-            self.cfg.global_mem_bytes
-        );
         drop(pool);
         self.stats.on_alloc();
         self.stats.track_peak(in_use);
         self.advance(VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns));
-        DeviceBuffer::new(id, len, generation)
+        Ok(DeviceBuffer::new(id, len, generation))
     }
 
     /// Allocate and fill from host memory: `cudaMalloc` + host→device DMA.
-    pub fn htod<T: DeviceWord>(&self, host: &[T]) -> DeviceBuffer<T> {
+    pub fn htod<T: DeviceWord>(&self, host: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+        let bytes = host.len() as u64 * 4;
+        if let Some((op, kind)) = self.fault_check(OpClass::Transfer(TransferDir::HtoD)) {
+            let attempt = VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns)
+                + transfer_time(&self.cfg.pcie, bytes);
+            return Err(self.fault_error(op, kind, bytes, self.cfg.pcie.latency_ns, attempt));
+        }
         let words: Vec<u32> = host.iter().map(|v| v.to_word()).collect();
-        let bytes = words.len() as u64 * 4;
         let mut pool = self.lock_pool();
+        self.check_capacity(&pool, bytes)?;
         let (id, generation) = pool.alloc(words);
         let in_use = pool.bytes_in_use;
-        assert!(
-            in_use <= self.cfg.global_mem_bytes,
-            "device out of memory: {in_use} > {}",
-            self.cfg.global_mem_bytes
-        );
         drop(pool);
         self.stats.on_alloc();
         self.stats.track_peak(in_use);
@@ -157,27 +273,28 @@ impl Gpu {
             start,
             duration,
         });
-        DeviceBuffer::new(id, host.len(), generation)
+        Ok(DeviceBuffer::new(id, host.len(), generation))
     }
 
     /// Allocate-and-fill several arrays with a *single* DMA transfer (one
     /// PCIe latency charge for the combined payload) — models packing
     /// multiple arrays into one `cudaMemcpy`, which any serious
     /// implementation does for per-list metadata.
-    pub fn htod_packed(&self, parts: &[&[u32]]) -> Vec<DeviceBuffer<u32>> {
+    pub fn htod_packed(&self, parts: &[&[u32]]) -> Result<Vec<DeviceBuffer<u32>>, DeviceError> {
         let total_bytes: u64 = parts.iter().map(|p| p.len() as u64 * 4).sum();
+        if let Some((op, kind)) = self.fault_check(OpClass::Transfer(TransferDir::HtoD)) {
+            let attempt = VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns)
+                + transfer_time(&self.cfg.pcie, total_bytes);
+            return Err(self.fault_error(op, kind, total_bytes, self.cfg.pcie.latency_ns, attempt));
+        }
         let mut out = Vec::with_capacity(parts.len());
         let mut pool = self.lock_pool();
+        self.check_capacity(&pool, total_bytes)?;
         for part in parts {
             let (id, generation) = pool.alloc(part.to_vec());
             out.push(DeviceBuffer::new(id, part.len(), generation));
         }
         let in_use = pool.bytes_in_use;
-        assert!(
-            in_use <= self.cfg.global_mem_bytes,
-            "device out of memory: {in_use} > {}",
-            self.cfg.global_mem_bytes
-        );
         drop(pool);
         self.stats.on_alloc();
         self.stats.track_peak(in_use);
@@ -194,11 +311,32 @@ impl Gpu {
             start,
             duration,
         });
-        out
+        Ok(out)
+    }
+
+    /// [`Self::htod_packed`] with a compile-time part count, letting callers
+    /// destructure the uploaded buffers instead of popping a `Vec`:
+    ///
+    /// ```ignore
+    /// let [hb, lb] = gpu.htod_packed_n([&high_bits, &low_bits])?;
+    /// ```
+    pub fn htod_packed_n<const N: usize>(
+        &self,
+        parts: [&[u32]; N],
+    ) -> Result<[DeviceBuffer<u32>; N], DeviceError> {
+        let bufs = self.htod_packed(&parts)?;
+        Ok(bufs
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("htod_packed returns one buffer per part")))
     }
 
     /// Copy a buffer back to the host: device→host DMA.
-    pub fn dtoh<T: DeviceWord>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+    pub fn dtoh<T: DeviceWord>(&self, buf: &DeviceBuffer<T>) -> Result<Vec<T>, DeviceError> {
+        let bytes = buf.size_bytes();
+        if let Some((op, kind)) = self.fault_check(OpClass::Transfer(TransferDir::DtoH)) {
+            let attempt = transfer_time(&self.cfg.pcie, bytes);
+            return Err(self.fault_error(op, kind, bytes, self.cfg.pcie.latency_ns, attempt));
+        }
         let pool = self.lock_pool();
         let out: Vec<T> = pool
             .words(buf.id)
@@ -206,7 +344,6 @@ impl Gpu {
             .map(|&w| T::from_word(w))
             .collect();
         drop(pool);
-        let bytes = buf.size_bytes();
         self.stats.dtoh_bytes.fetch_add(bytes, Ordering::Relaxed);
         let start = self.now();
         let duration = transfer_time(&self.cfg.pcie, bytes);
@@ -217,20 +354,28 @@ impl Gpu {
             start,
             duration,
         });
-        out
+        Ok(out)
     }
 
     /// Copy a prefix of a buffer back to the host (common after compaction
     /// kernels where only `len` of the allocation is meaningful).
-    pub fn dtoh_prefix<T: DeviceWord>(&self, buf: &DeviceBuffer<T>, len: usize) -> Vec<T> {
+    pub fn dtoh_prefix<T: DeviceWord>(
+        &self,
+        buf: &DeviceBuffer<T>,
+        len: usize,
+    ) -> Result<Vec<T>, DeviceError> {
         assert!(len <= buf.len());
+        let bytes = len as u64 * 4;
+        if let Some((op, kind)) = self.fault_check(OpClass::Transfer(TransferDir::DtoH)) {
+            let attempt = transfer_time(&self.cfg.pcie, bytes);
+            return Err(self.fault_error(op, kind, bytes, self.cfg.pcie.latency_ns, attempt));
+        }
         let pool = self.lock_pool();
         let out: Vec<T> = pool.words(buf.id)[..len]
             .iter()
             .map(|&w| T::from_word(w))
             .collect();
         drop(pool);
-        let bytes = len as u64 * 4;
         self.stats.dtoh_bytes.fetch_add(bytes, Ordering::Relaxed);
         let start = self.now();
         let duration = transfer_time(&self.cfg.pcie, bytes);
@@ -241,7 +386,7 @@ impl Gpu {
             start,
             duration,
         });
-        out
+        Ok(out)
     }
 
     /// Read a single element without charging transfer time (host-side
@@ -264,7 +409,23 @@ impl Gpu {
     }
 
     /// Launch a kernel and advance the clock by its modelled duration.
-    pub fn launch<K: Kernel>(&self, kernel: &K, lc: LaunchConfig) -> LaunchReport {
+    ///
+    /// An injected [`FaultKind::KernelLaunchFailed`] models a kernel that
+    /// crashes at retire: the launch runs functionally (so its cost is the
+    /// real modelled cost) and charges full virtual time, but none of its
+    /// stores become visible and no observer event is emitted. A lost
+    /// device fails at submission, charging only the launch overhead.
+    pub fn launch<K: Kernel>(
+        &self,
+        kernel: &K,
+        lc: LaunchConfig,
+    ) -> Result<LaunchReport, DeviceError> {
+        let fault = self.fault_check(OpClass::Kernel);
+        if let Some((op, FaultKind::DeviceLost)) = fault {
+            self.advance(VirtualNanos::from_nanos(self.cfg.kernel_launch_overhead_ns));
+            return Err(DeviceError::DeviceLost { op_index: op });
+        }
+
         let mut pool = self.lock_pool();
         let warps_per_block = lc.block_dim.div_ceil(self.cfg.warp_size);
         let total_warps = u64::from(lc.grid_dim) * u64::from(warps_per_block);
@@ -285,9 +446,11 @@ impl Gpu {
         counters.stores_applied = logs.iter().map(|l| l.stores() as u64).sum();
         counters.extrapolate();
 
-        for log in logs {
-            if !log.is_empty() {
-                log.apply(&mut pool);
+        if fault.is_none() {
+            for log in logs {
+                if !log.is_empty() {
+                    log.apply(&mut pool);
+                }
             }
         }
         drop(pool);
@@ -296,6 +459,23 @@ impl Gpu {
         let time = breakdown.total();
         let start = self.now();
         self.advance(time);
+
+        if let Some((op, kind)) = fault {
+            // Charge already happened above; map the kind without charging
+            // again (pass a zero attempt cost).
+            return Err(match kind {
+                FaultKind::TransferError { dir } => {
+                    DeviceError::TransferError { dir, op_index: op }
+                }
+                FaultKind::DeviceOom => DeviceError::DeviceOom {
+                    requested_bytes: 0,
+                    in_use_bytes: self.mem_in_use(),
+                    capacity_bytes: self.cfg.global_mem_bytes,
+                },
+                _ => DeviceError::KernelLaunchFailed { op_index: op },
+            });
+        }
+
         let report = LaunchReport {
             time,
             breakdown,
@@ -307,7 +487,7 @@ impl Gpu {
             start,
             report: &report,
         });
-        report
+        Ok(report)
     }
 
     /// Execute blocks on multiple host threads. Each worker owns a write
@@ -408,8 +588,8 @@ mod tests {
     fn functional_roundtrip() {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let data: Vec<u32> = (0..500).collect();
-        let src = gpu.htod(&data);
-        let dst = gpu.alloc::<u32>(500);
+        let src = gpu.htod(&data).unwrap();
+        let dst = gpu.alloc::<u32>(500).unwrap();
         gpu.launch(
             &AddOne {
                 src,
@@ -417,8 +597,9 @@ mod tests {
                 n: 500,
             },
             LaunchConfig::cover(500, 128),
-        );
-        let out = gpu.dtoh(&dst);
+        )
+        .unwrap();
+        let out = gpu.dtoh(&dst).unwrap();
         assert_eq!(out.len(), 500);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
     }
@@ -428,18 +609,20 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let n = 200_000; // forces the parallel path
         let data: Vec<u32> = (0..n as u32).collect();
-        let src = gpu.htod(&data);
-        let dst = gpu.alloc::<u32>(n);
-        let report = gpu.launch(
-            &AddOne {
-                src,
-                dst: dst.clone(),
-                n,
-            },
-            LaunchConfig::cover(n, 256),
-        );
+        let src = gpu.htod(&data).unwrap();
+        let dst = gpu.alloc::<u32>(n).unwrap();
+        let report = gpu
+            .launch(
+                &AddOne {
+                    src,
+                    dst: dst.clone(),
+                    n,
+                },
+                LaunchConfig::cover(n, 256),
+            )
+            .unwrap();
         assert_eq!(report.counters.stores_applied, n as u64);
-        let out = gpu.dtoh(&dst);
+        let out = gpu.dtoh(&dst).unwrap();
         assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
     }
 
@@ -447,10 +630,10 @@ mod tests {
     fn clock_advances_with_every_operation() {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let t0 = gpu.now();
-        let buf = gpu.htod(&[1u32, 2, 3]);
+        let buf = gpu.htod(&[1u32, 2, 3]).unwrap();
         let t1 = gpu.now();
         assert!(t1 > t0, "htod must charge time");
-        let _ = gpu.dtoh(&buf);
+        let _ = gpu.dtoh(&buf).unwrap();
         let t2 = gpu.now();
         assert!(t2 > t1, "dtoh must charge time");
         gpu.free(buf);
@@ -460,9 +643,9 @@ mod tests {
     #[test]
     fn alloc_free_accounting() {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
-        let a = gpu.alloc::<u32>(1000);
+        let a = gpu.alloc::<u32>(1000).unwrap();
         assert_eq!(gpu.mem_in_use(), 4000);
-        let b = gpu.alloc::<u32>(500);
+        let b = gpu.alloc::<u32>(500).unwrap();
         assert_eq!(gpu.mem_in_use(), 6000);
         gpu.free(a);
         assert_eq!(gpu.mem_in_use(), 2000);
@@ -475,17 +658,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of memory")]
-    fn oom_panics() {
+    fn oom_is_an_error_with_no_side_effects() {
         let gpu = Gpu::new(DeviceConfig::test_tiny()); // 64 MB
-        let _ = gpu.alloc::<u32>(20 * 1024 * 1024); // 80 MB
+        let t0 = gpu.now();
+        let res = gpu.alloc::<u32>(20 * 1024 * 1024); // 80 MB
+        match res {
+            Err(DeviceError::DeviceOom {
+                requested_bytes,
+                in_use_bytes,
+                capacity_bytes,
+            }) => {
+                assert_eq!(requested_bytes, 80 * 1024 * 1024);
+                assert_eq!(in_use_bytes, 0);
+                assert_eq!(capacity_bytes, 64 * 1024 * 1024);
+            }
+            other => panic!("expected DeviceOom, got {other:?}"),
+        }
+        // The failed cudaMalloc costs time but allocates nothing.
+        assert!(gpu.now() > t0);
+        assert_eq!(gpu.mem_in_use(), 0);
+        assert_eq!(gpu.stats().allocs, 0);
+        // The device stays usable.
+        let b = gpu.alloc::<u32>(16).unwrap();
+        gpu.free(b);
     }
 
     #[test]
     fn time_helper_measures_span() {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let (_, t) = gpu.time(|g| {
-            let b = g.htod(&[0u32; 1024]);
+            let b = g.htod(&[0u32; 1024]).unwrap();
             g.free(b);
         });
         assert!(t.as_nanos() > 0);
@@ -494,14 +696,182 @@ mod tests {
     #[test]
     fn dtoh_prefix_returns_prefix_and_charges_less() {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
-        let buf = gpu.htod(&(0u32..1000).collect::<Vec<_>>());
+        let buf = gpu.htod(&(0u32..1000).collect::<Vec<_>>()).unwrap();
         let t0 = gpu.now();
-        let few = gpu.dtoh_prefix(&buf, 10);
+        let few = gpu.dtoh_prefix(&buf, 10).unwrap();
         let t_few = gpu.now() - t0;
         assert_eq!(few, (0u32..10).collect::<Vec<_>>());
         let t1 = gpu.now();
-        let _all = gpu.dtoh(&buf);
+        let _all = gpu.dtoh(&buf).unwrap();
         let t_all = gpu.now() - t1;
         assert!(t_all >= t_few);
+    }
+
+    /// Runs a fixed op sequence and returns (outputs, final clock).
+    fn run_sequence(gpu: &Gpu) -> (Vec<u32>, u64) {
+        let data: Vec<u32> = (0..500).collect();
+        let src = gpu.htod(&data).expect("htod");
+        let dst = gpu.alloc::<u32>(500).expect("alloc");
+        gpu.launch(
+            &AddOne {
+                src: src.clone(),
+                dst: dst.clone(),
+                n: 500,
+            },
+            LaunchConfig::cover(500, 128),
+        )
+        .expect("launch");
+        let out = gpu.dtoh(&dst).expect("dtoh");
+        gpu.free(src);
+        gpu.free(dst);
+        (out, gpu.now().as_nanos())
+    }
+
+    #[test]
+    fn armed_noop_plan_is_bit_exact() {
+        let plain = Gpu::new(DeviceConfig::test_tiny());
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.fault_plan = Some(crate::fault::FaultPlan::seeded(1234));
+        let armed = Gpu::new(cfg);
+        assert_eq!(run_sequence(&plain), run_sequence(&armed));
+    }
+
+    #[test]
+    fn injected_kernel_fault_charges_time_and_hides_stores() {
+        let mut cfg = DeviceConfig::test_tiny();
+        // Ops: 0 = htod, 1 = alloc, 2 = launch.
+        cfg.fault_plan =
+            Some(crate::fault::FaultPlan::seeded(0).fail_at(2, FaultKind::KernelLaunchFailed));
+        let gpu = Gpu::new(cfg);
+        let src = gpu.htod(&(0u32..500).collect::<Vec<_>>()).unwrap();
+        let dst = gpu.alloc::<u32>(500).unwrap();
+        let t0 = gpu.now();
+        let err = gpu
+            .launch(
+                &AddOne {
+                    src,
+                    dst: dst.clone(),
+                    n: 500,
+                },
+                LaunchConfig::cover(500, 128),
+            )
+            .unwrap_err();
+        assert_eq!(err, DeviceError::KernelLaunchFailed { op_index: 2 });
+        assert!(err.is_transient());
+        assert!(gpu.now() > t0, "a failed attempt still costs virtual time");
+        // No stores became visible.
+        let out = gpu.dtoh(&dst).unwrap();
+        assert!(out.iter().all(|&v| v == 0), "stores must not be applied");
+        // Retry succeeds (the fault was pinned to op 2 only).
+        let src2 = gpu.htod(&(0u32..500).collect::<Vec<_>>()).unwrap();
+        gpu.launch(
+            &AddOne {
+                src: src2,
+                dst: dst.clone(),
+                n: 500,
+            },
+            LaunchConfig::cover(500, 128),
+        )
+        .unwrap();
+        let out = gpu.dtoh(&dst).unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn failed_transfer_charges_the_attempt() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.fault_plan = Some(crate::fault::FaultPlan::seeded(0).fail_at(
+            0,
+            FaultKind::TransferError {
+                dir: TransferDir::HtoD,
+            },
+        ));
+        let gpu = Gpu::new(cfg);
+        let data = vec![0u32; 1 << 20];
+        let t0 = gpu.now();
+        let err = gpu.htod(&data).unwrap_err();
+        let charged = (gpu.now() - t0).as_nanos();
+        assert!(matches!(err, DeviceError::TransferError { .. }));
+        // Full attempt cost: malloc overhead + the DMA the wire carried.
+        let modelled = gpu.pcie_time(1 << 22).as_nanos() + 50;
+        assert_eq!(charged, modelled);
+        assert_eq!(gpu.mem_in_use(), 0, "failed upload leaves no allocation");
+    }
+
+    #[test]
+    fn device_loss_is_sticky_until_plan_reset() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.fault_plan = Some(crate::fault::FaultPlan::seeded(0).lose_device_at(1));
+        let gpu = Gpu::new(cfg);
+        let buf = gpu.htod(&[1u32, 2, 3]).unwrap(); // op 0: fine
+        let err = gpu.dtoh(&buf).unwrap_err(); // op 1: lost
+        assert_eq!(err, DeviceError::DeviceLost { op_index: 1 });
+        assert!(!err.is_transient());
+        // Everything afterwards fails fast...
+        assert!(gpu.alloc::<u32>(4).is_err());
+        assert!(gpu.htod(&[9u32]).is_err());
+        // ...but free still works (host-side bookkeeping).
+        gpu.free(buf);
+        assert_eq!(gpu.mem_in_use(), 0);
+        // Installing a fresh plan models swapping in a healthy device.
+        gpu.set_fault_plan(None);
+        let b = gpu.htod(&[7u32]).unwrap();
+        assert_eq!(gpu.dtoh(&b).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_reproducible() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut cfg = DeviceConfig::test_tiny();
+            cfg.fault_plan =
+                Some(crate::fault::FaultPlan::seeded(seed).with_transfer_fault_rate(0.3));
+            let gpu = Gpu::new(cfg);
+            (0..64).map(|_| gpu.htod(&[1u32, 2]).is_err()).collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+        assert!(run(5).iter().any(|&f| f), "30% over 64 ops should fire");
+    }
+
+    #[test]
+    fn panicking_observer_does_not_poison_the_device() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        gpu.set_observer(Some(Arc::new(|_e: &DeviceEvent<'_>| {
+            panic!("observer bug")
+        })));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _ = gpu.htod(&[1u32, 2, 3]);
+        }));
+        assert!(r.is_err(), "the observer panic propagates to the caller");
+        // A later query must not find a poisoned device.
+        gpu.set_observer(None);
+        let buf = gpu.htod(&[4u32, 5]).unwrap();
+        assert_eq!(gpu.dtoh(&buf).unwrap(), vec![4, 5]);
+        gpu.free(buf);
+    }
+
+    struct PanicKernel;
+    impl Kernel for PanicKernel {
+        type State = ();
+        fn run_phase(&self, _p: usize, t: &mut ThreadCtx<'_>, _s: &mut ()) {
+            if t.global_thread_idx() == 0 {
+                panic!("kernel bug");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_kernel_does_not_poison_the_pool() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _ = gpu.launch(&PanicKernel, LaunchConfig::cover(64, 64));
+        }));
+        assert!(r.is_err());
+        // The pool lock was held across the panic; later ops must recover.
+        let buf = gpu.htod(&[1u32, 2, 3]).unwrap();
+        assert_eq!(gpu.dtoh(&buf).unwrap(), vec![1, 2, 3]);
+        gpu.free(buf);
     }
 }

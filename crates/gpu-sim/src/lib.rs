@@ -40,6 +40,18 @@
 //! bandwidth), and device allocations charge an allocation overhead — exactly
 //! the overheads the paper's scheduler must amortize.
 //!
+//! ## Fault injection
+//!
+//! Allocations, transfers, and launches are fallible — they return
+//! [`DeviceError`] on memory exhaustion and on faults injected by a
+//! seeded, deterministic [`FaultPlan`] installed on
+//! [`DeviceConfig::fault_plan`] (or swapped at runtime with
+//! [`Gpu::set_fault_plan`]). A failed attempt still advances the virtual
+//! clock by its modelled cost, so recovery policies pay realistic retry
+//! latency. With no plan installed the fallible paths cost one relaxed
+//! atomic load and behave bit-identically to a fault-free build. See
+//! [`fault`] for the fault taxonomy and determinism guarantees.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -65,18 +77,19 @@
 //!
 //! let gpu = Gpu::new(DeviceConfig::tesla_k20());
 //! let data: Vec<u32> = (0..1000).collect();
-//! let src = gpu.htod(&data);
-//! let dst = gpu.alloc::<u32>(1000);
+//! let src = gpu.htod(&data).expect("upload");
+//! let dst = gpu.alloc::<u32>(1000).expect("alloc");
 //! let k = DoubleKernel { src: src.clone(), dst: dst.clone(), n: 1000 };
-//! let report = gpu.launch(&k, LaunchConfig::cover(1000, 256));
+//! let report = gpu.launch(&k, LaunchConfig::cover(1000, 256)).expect("launch");
 //! assert!(report.time.as_nanos() > 0);
-//! let out = gpu.dtoh(&dst);
+//! let out = gpu.dtoh(&dst).expect("download");
 //! assert_eq!(out[7], 14);
 //! ```
 
 pub mod clock;
 pub mod config;
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod mem;
 pub mod observe;
@@ -87,6 +100,7 @@ pub mod tracer;
 pub use clock::VirtualNanos;
 pub use config::{CostParams, DeviceConfig, PcieConfig};
 pub use device::{Gpu, LaunchReport};
+pub use fault::{DeviceError, FaultKind, FaultPlan};
 pub use kernel::{Dim, Kernel, LaunchConfig, ThreadCtx};
 pub use mem::{DeviceBuffer, DeviceWord};
 pub use observe::{DeviceEvent, DeviceObserver, TransferDir};

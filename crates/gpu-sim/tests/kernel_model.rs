@@ -39,9 +39,10 @@ impl Kernel for RotateKernel {
 #[test]
 fn barrier_separated_shared_memory_rotation() {
     let gpu = tiny();
-    let out = gpu.alloc::<u32>(64);
-    gpu.launch(&RotateKernel { out: out.clone() }, LaunchConfig::new(1, 64));
-    let host = gpu.dtoh(&out);
+    let out = gpu.alloc::<u32>(64).unwrap();
+    gpu.launch(&RotateKernel { out: out.clone() }, LaunchConfig::new(1, 64))
+        .unwrap();
+    let host = gpu.dtoh(&out).unwrap();
     for (tid, &v) in host.iter().enumerate() {
         assert_eq!(v, (((tid + 1) % 64) as u32) * 10);
     }
@@ -74,9 +75,10 @@ impl Kernel for AccumKernel {
 #[test]
 fn per_thread_state_survives_barriers() {
     let gpu = tiny();
-    let out = gpu.alloc::<u32>(128);
-    gpu.launch(&AccumKernel { out: out.clone() }, LaunchConfig::new(2, 64));
-    assert!(gpu.dtoh(&out).iter().all(|&v| v == 6));
+    let out = gpu.alloc::<u32>(128).unwrap();
+    gpu.launch(&AccumKernel { out: out.clone() }, LaunchConfig::new(2, 64))
+        .unwrap();
+    assert!(gpu.dtoh(&out).unwrap().iter().all(|&v| v == 6));
 }
 
 /// Every thread atomically increments one shared counter; the total must
@@ -108,17 +110,18 @@ impl Kernel for AtomicKernel {
 #[test]
 fn block_local_atomics_are_exact() {
     let gpu = tiny();
-    let ranks = gpu.alloc::<u32>(256);
-    let total = gpu.alloc::<u32>(2);
+    let ranks = gpu.alloc::<u32>(256).unwrap();
+    let total = gpu.alloc::<u32>(2).unwrap();
     gpu.launch(
         &AtomicKernel {
             ranks: ranks.clone(),
             total: total.clone(),
         },
         LaunchConfig::new(2, 128),
-    );
-    assert_eq!(gpu.dtoh(&total), vec![128, 128]);
-    let mut r = gpu.dtoh(&ranks)[..128].to_vec();
+    )
+    .unwrap();
+    assert_eq!(gpu.dtoh(&total).unwrap(), vec![128, 128]);
+    let mut r = gpu.dtoh(&ranks).unwrap()[..128].to_vec();
     r.sort_unstable();
     assert_eq!(r, (0..128).collect::<Vec<u32>>());
 }
@@ -160,7 +163,7 @@ impl Kernel for BranchyKernel {
 fn divergence_costs_virtual_time() {
     let gpu = tiny();
     let n = 32 * 1024;
-    let out = gpu.alloc::<u32>(n);
+    let out = gpu.alloc::<u32>(n).unwrap();
     let t_uniform = gpu
         .launch(
             &BranchyKernel {
@@ -170,6 +173,7 @@ fn divergence_costs_virtual_time() {
             },
             LaunchConfig::cover(n, 256),
         )
+        .unwrap()
         .time;
     let t_divergent = gpu
         .launch(
@@ -180,6 +184,7 @@ fn divergence_costs_virtual_time() {
             },
             LaunchConfig::cover(n, 256),
         )
+        .unwrap()
         .time;
     assert!(
         t_divergent.as_nanos() > t_uniform.as_nanos() * 3 / 2,
@@ -213,8 +218,8 @@ impl Kernel for LoadKernel {
 fn uncoalesced_access_costs_bandwidth() {
     let gpu = tiny();
     let n = 64 * 1024;
-    let src = gpu.htod(&vec![7u32; n * 64]);
-    let out = gpu.alloc::<u32>(n);
+    let src = gpu.htod(&vec![7u32; n * 64]).unwrap();
+    let out = gpu.alloc::<u32>(n).unwrap();
     let coalesced = gpu
         .launch(
             &LoadKernel {
@@ -225,6 +230,7 @@ fn uncoalesced_access_costs_bandwidth() {
             },
             LaunchConfig::cover(n, 256),
         )
+        .unwrap()
         .time;
     let strided = gpu
         .launch(
@@ -236,6 +242,7 @@ fn uncoalesced_access_costs_bandwidth() {
             },
             LaunchConfig::cover(n, 256),
         )
+        .unwrap()
         .time;
     assert!(
         strided.as_nanos() > coalesced.as_nanos() * 2,
@@ -276,8 +283,10 @@ fn trace_sampling_extrapolates_accurately() {
     let mut instr = Vec::new();
     for cfg in [full_cfg, sampled_cfg] {
         let gpu = Gpu::new(cfg);
-        let out = gpu.alloc::<u32>(n);
-        let report = gpu.launch(&CountKernel { out, n }, LaunchConfig::cover(n, 256));
+        let out = gpu.alloc::<u32>(n).unwrap();
+        let report = gpu
+            .launch(&CountKernel { out, n }, LaunchConfig::cover(n, 256))
+            .unwrap();
         times.push(report.time.as_nanos() as f64);
         instr.push(report.counters.ops[0] as f64);
     }
@@ -293,15 +302,15 @@ fn packed_transfer_charges_one_latency() {
     let parts: Vec<Vec<u32>> = (0..8).map(|i| vec![i as u32; 64]).collect();
     let refs: Vec<&[u32]> = parts.iter().map(Vec::as_slice).collect();
     let t0 = gpu.now();
-    let bufs = gpu.htod_packed(&refs);
+    let bufs = gpu.htod_packed(&refs).unwrap();
     let t_packed = gpu.now() - t0;
     for (buf, part) in bufs.iter().zip(&parts) {
-        assert_eq!(&gpu.dtoh(buf), part);
+        assert_eq!(&gpu.dtoh(buf).unwrap(), part);
     }
     // Eight separate transfers would pay eight PCIe latencies.
     let t1 = gpu.now();
     for part in &parts {
-        let b = gpu.htod(part);
+        let b = gpu.htod(part).unwrap();
         gpu.free(b);
     }
     let t_individual = gpu.now() - t1;
@@ -317,8 +326,10 @@ fn packed_transfer_charges_one_latency() {
 fn launch_report_exposes_breakdown() {
     let gpu = tiny();
     let n = 10_000;
-    let out = gpu.alloc::<u32>(n);
-    let report = gpu.launch(&CountKernel { out, n }, LaunchConfig::cover(n, 256));
+    let out = gpu.alloc::<u32>(n).unwrap();
+    let report = gpu
+        .launch(&CountKernel { out, n }, LaunchConfig::cover(n, 256))
+        .unwrap();
     assert!(report.breakdown.total_ns >= report.breakdown.launch_overhead_ns);
     assert!(["compute", "memory", "latency"].contains(&report.breakdown.bound_by()));
     assert_eq!(

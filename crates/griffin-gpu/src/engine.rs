@@ -17,6 +17,7 @@ use griffin_cpu::{topk, Intermediate};
 use griffin_gpu_sim::{DeviceBuffer, Gpu, Kernel, LaunchConfig, Op, ThreadCtx, VirtualNanos};
 use griffin_index::{CorpusMeta, InvertedIndex, TermId};
 
+use crate::error::GpuError;
 use crate::gpu_binary;
 use crate::mergepath::{self, MergePathConfig};
 use crate::para_ef;
@@ -266,7 +267,7 @@ impl ListCache {
             let Some(t) = victim else { break };
             let e = self.map.remove(&t).expect("victim exists");
             self.bytes -= e.bytes;
-            let postings = Rc::try_unwrap(e.postings).ok().expect("count was 1");
+            let postings = Rc::try_unwrap(e.postings).expect("count was 1");
             postings.free(gpu);
         }
     }
@@ -274,11 +275,19 @@ impl ListCache {
 
 impl<'g> GpuEngine<'g> {
     /// Creates an engine for a uniform-length corpus (synthetic workloads).
+    ///
+    /// Setup-time transfers are outside the per-query fault-recovery
+    /// policy: install fault plans (via [`Gpu::set_fault_plan`]) *after*
+    /// constructing the engine. A fault injected into this one-off upload
+    /// panics rather than limping along without the doc-length table.
     pub fn new(gpu: &'g Gpu, meta: &CorpusMeta) -> GpuEngine<'g> {
         let doc_lens = if meta.doc_lens.is_empty() {
             None
         } else {
-            Some(gpu.htod(&meta.doc_lens))
+            Some(
+                gpu.htod(&meta.doc_lens)
+                    .expect("doc-length table upload at engine setup"),
+            )
         };
         GpuEngine {
             gpu,
@@ -316,16 +325,24 @@ impl<'g> GpuEngine<'g> {
 
     /// Returns the term's device-resident posting list, shipping it over
     /// PCIe on a cache miss (and possibly evicting cold lists).
-    pub fn upload(&self, index: &InvertedIndex, term: TermId) -> Rc<DevicePostings> {
+    ///
+    /// On a faulted transfer nothing is cached and no device memory is
+    /// left behind (the partial upload is rolled back by
+    /// [`DevicePostings::upload`]).
+    pub fn upload(
+        &self,
+        index: &InvertedIndex,
+        term: TermId,
+    ) -> Result<Rc<DevicePostings>, GpuError> {
         let mut cache = self.cache.borrow_mut();
         cache.clock += 1;
         let clock = cache.clock;
         if let Some(e) = cache.map.get_mut(&term) {
             e.last_used = clock;
-            return Rc::clone(&e.postings);
+            return Ok(Rc::clone(&e.postings));
         }
         drop(cache);
-        let postings = Rc::new(DevicePostings::upload(self.gpu, index.list(term)));
+        let postings = Rc::new(DevicePostings::upload(self.gpu, index.list(term))?);
         let bytes = postings.docs.bytes_shipped
             + postings.tf_words.size_bytes()
             + postings.tf_offsets.size_bytes();
@@ -342,7 +359,7 @@ impl<'g> GpuEngine<'g> {
             );
             cache.evict_to_fit(self.gpu);
         }
-        postings
+        Ok(postings)
     }
 
     /// Releases a list obtained from [`GpuEngine::upload`]: cached lists
@@ -354,14 +371,32 @@ impl<'g> GpuEngine<'g> {
     }
 
     /// Decompresses the first (shortest) list and scores it.
-    pub fn init_intermediate(&self, postings: &DevicePostings) -> DeviceIntermediate {
+    ///
+    /// A device fault leaves no intermediate buffers allocated.
+    pub fn init_intermediate(
+        &self,
+        postings: &DevicePostings,
+    ) -> Result<DeviceIntermediate, GpuError> {
         let gpu = self.gpu;
         let n = postings.len();
-        let docids = para_ef::decompress(gpu, &postings.docs);
-        let tfs = para_ef::decode_tfs(gpu, postings);
-        let scores = gpu.alloc::<f32>(n);
+        let docids = para_ef::decompress(gpu, &postings.docs)?;
+        let tfs = match para_ef::decode_tfs(gpu, postings) {
+            Ok(t) => t,
+            Err(e) => {
+                gpu.free(docids);
+                return Err(e.into());
+            }
+        };
+        let scores = match gpu.alloc::<f32>(n) {
+            Ok(s) => s,
+            Err(e) => {
+                gpu.free(docids);
+                gpu.free(tfs);
+                return Err(e.into());
+            }
+        };
         if n > 0 {
-            gpu.launch(
+            if let Err(e) = gpu.launch(
                 &ScoreInitKernel {
                     docids: docids.clone(),
                     tfs: tfs.clone(),
@@ -371,25 +406,31 @@ impl<'g> GpuEngine<'g> {
                     n,
                 },
                 LaunchConfig::cover(n, BLOCK_DIM),
-            );
+            ) {
+                gpu.free(docids);
+                gpu.free(tfs);
+                gpu.free(scores);
+                return Err(e.into());
+            }
         }
         gpu.free(tfs);
-        DeviceIntermediate {
+        Ok(DeviceIntermediate {
             docids,
             scores,
             len: n,
-        }
+        })
     }
 
-    /// One pairwise intersection step; consumes (frees) the old
-    /// intermediate.
+    /// One pairwise intersection step. Borrows the old intermediate so a
+    /// fault mid-step leaves it intact (the caller can re-materialize it
+    /// on the CPU); on success the caller frees the old intermediate.
     pub fn intersect_step(
         &self,
-        inter: DeviceIntermediate,
+        inter: &DeviceIntermediate,
         postings: &DevicePostings,
         block_len: usize,
         strategy: GpuStrategy,
-    ) -> DeviceIntermediate {
+    ) -> Result<DeviceIntermediate, GpuError> {
         let gpu = self.gpu;
         let long_len = postings.len();
         let ratio = long_len.checked_div(inter.len).unwrap_or(usize::MAX);
@@ -404,13 +445,19 @@ impl<'g> GpuEngine<'g> {
             s => s,
         };
         if inter.len == 0 || long_len == 0 {
-            let empty = DeviceIntermediate {
-                docids: gpu.alloc(0),
-                scores: gpu.alloc(0),
-                len: 0,
+            let docids = gpu.alloc(0)?;
+            let scores = match gpu.alloc(0) {
+                Ok(s) => s,
+                Err(e) => {
+                    gpu.free(docids);
+                    return Err(e.into());
+                }
             };
-            inter.free(gpu);
-            return empty;
+            return Ok(DeviceIntermediate {
+                docids,
+                scores,
+                len: 0,
+            });
         }
         let p = self.params(long_len as u32);
 
@@ -418,101 +465,160 @@ impl<'g> GpuEngine<'g> {
             GpuStrategy::MergePath => {
                 // Comparable lengths: every block is needed anyway, so
                 // decompress both sides fully (docids and tfs).
-                let long_docids = para_ef::decompress(gpu, &postings.docs);
-                let long_tfs = para_ef::decode_tfs(gpu, postings);
-                let matches = mergepath::intersect(
+                let long_docids = para_ef::decompress(gpu, &postings.docs)?;
+                let long_tfs = match para_ef::decode_tfs(gpu, postings) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        gpu.free(long_docids);
+                        return Err(e.into());
+                    }
+                };
+                let matches = match mergepath::intersect(
                     gpu,
                     &inter.docids,
                     inter.len,
                     &long_docids,
                     long_len,
                     &self.mp_config,
-                );
-                let scores = gpu.alloc::<f32>(matches.len);
-                if matches.len > 0 {
-                    gpu.launch(
-                        &ScoreAccumKernel {
-                            docids: matches.docids.clone(),
-                            old_scores: inter.scores.clone(),
-                            a_idx: matches.a_idx.clone(),
-                            tfs: long_tfs.clone(),
-                            b_idx: Some(matches.b_idx.clone()),
-                            out_scores: scores.clone(),
-                            doc_lens: self.doc_lens.clone(),
-                            p,
-                            n: matches.len,
-                        },
-                        LaunchConfig::cover(matches.len, BLOCK_DIM),
-                    );
-                }
+                ) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        gpu.free(long_docids);
+                        gpu.free(long_tfs);
+                        return Err(e.into());
+                    }
+                };
+                let scored = gpu
+                    .alloc::<f32>(matches.len)
+                    .map_err(GpuError::from)
+                    .and_then(|scores| {
+                        if matches.len > 0 {
+                            if let Err(e) = gpu.launch(
+                                &ScoreAccumKernel {
+                                    docids: matches.docids.clone(),
+                                    old_scores: inter.scores.clone(),
+                                    a_idx: matches.a_idx.clone(),
+                                    tfs: long_tfs.clone(),
+                                    b_idx: Some(matches.b_idx.clone()),
+                                    out_scores: scores.clone(),
+                                    doc_lens: self.doc_lens.clone(),
+                                    p,
+                                    n: matches.len,
+                                },
+                                LaunchConfig::cover(matches.len, BLOCK_DIM),
+                            ) {
+                                gpu.free(scores);
+                                return Err(e.into());
+                            }
+                        }
+                        Ok(scores)
+                    });
                 gpu.free(long_docids);
                 gpu.free(long_tfs);
-                let out = DeviceIntermediate {
-                    len: matches.len,
-                    docids: matches.docids,
-                    scores,
-                };
-                gpu.free(matches.a_idx);
-                gpu.free(matches.b_idx);
-                inter.free(gpu);
-                out
+                match scored {
+                    Ok(scores) => {
+                        let out = DeviceIntermediate {
+                            len: matches.len,
+                            docids: matches.docids,
+                            scores,
+                        };
+                        gpu.free(matches.a_idx);
+                        gpu.free(matches.b_idx);
+                        Ok(out)
+                    }
+                    Err(e) => {
+                        matches.free(gpu);
+                        Err(e)
+                    }
+                }
             }
             GpuStrategy::BinarySearch => {
-                let result =
-                    gpu_binary::intersect(gpu, &inter.docids, inter.len, &postings.docs, block_len);
+                let result = gpu_binary::intersect(
+                    gpu,
+                    &inter.docids,
+                    inter.len,
+                    &postings.docs,
+                    block_len,
+                )?;
                 let matches = result.matches;
-                let scores = gpu.alloc::<f32>(matches.len);
-                if matches.len > 0 {
-                    // Gather only the matched tfs (their blocks are few).
-                    let tfs = gpu.alloc::<u32>(matches.len);
-                    gpu.launch(
-                        &TfGatherKernel {
-                            tf_words: postings.tf_words.clone(),
-                            tf_offsets: postings.tf_offsets.clone(),
-                            b_idx: matches.b_idx.clone(),
-                            out: tfs.clone(),
-                            block_len,
-                            n: matches.len,
-                        },
-                        LaunchConfig::cover(matches.len, BLOCK_DIM),
-                    );
-                    gpu.launch(
-                        &ScoreAccumKernel {
-                            docids: matches.docids.clone(),
-                            old_scores: inter.scores.clone(),
-                            a_idx: matches.a_idx.clone(),
-                            tfs: tfs.clone(),
-                            b_idx: None,
-                            out_scores: scores.clone(),
-                            doc_lens: self.doc_lens.clone(),
-                            p,
-                            n: matches.len,
-                        },
-                        LaunchConfig::cover(matches.len, BLOCK_DIM),
-                    );
-                    gpu.free(tfs);
+                let scored = gpu
+                    .alloc::<f32>(matches.len)
+                    .map_err(GpuError::from)
+                    .and_then(|scores| {
+                        let step = || -> Result<(), GpuError> {
+                            if matches.len > 0 {
+                                // Gather only the matched tfs (their
+                                // blocks are few).
+                                let tfs = gpu.alloc::<u32>(matches.len)?;
+                                let launched = gpu
+                                    .launch(
+                                        &TfGatherKernel {
+                                            tf_words: postings.tf_words.clone(),
+                                            tf_offsets: postings.tf_offsets.clone(),
+                                            b_idx: matches.b_idx.clone(),
+                                            out: tfs.clone(),
+                                            block_len,
+                                            n: matches.len,
+                                        },
+                                        LaunchConfig::cover(matches.len, BLOCK_DIM),
+                                    )
+                                    .and_then(|_| {
+                                        gpu.launch(
+                                            &ScoreAccumKernel {
+                                                docids: matches.docids.clone(),
+                                                old_scores: inter.scores.clone(),
+                                                a_idx: matches.a_idx.clone(),
+                                                tfs: tfs.clone(),
+                                                b_idx: None,
+                                                out_scores: scores.clone(),
+                                                doc_lens: self.doc_lens.clone(),
+                                                p,
+                                                n: matches.len,
+                                            },
+                                            LaunchConfig::cover(matches.len, BLOCK_DIM),
+                                        )
+                                    });
+                                gpu.free(tfs);
+                                launched?;
+                            }
+                            Ok(())
+                        };
+                        match step() {
+                            Ok(()) => Ok(scores),
+                            Err(e) => {
+                                gpu.free(scores);
+                                Err(e)
+                            }
+                        }
+                    });
+                match scored {
+                    Ok(scores) => {
+                        let out = DeviceIntermediate {
+                            len: matches.len,
+                            docids: matches.docids,
+                            scores,
+                        };
+                        gpu.free(matches.a_idx);
+                        gpu.free(matches.b_idx);
+                        Ok(out)
+                    }
+                    Err(e) => {
+                        matches.free(gpu);
+                        Err(e)
+                    }
                 }
-                let out = DeviceIntermediate {
-                    len: matches.len,
-                    docids: matches.docids,
-                    scores,
-                };
-                gpu.free(matches.a_idx);
-                gpu.free(matches.b_idx);
-                inter.free(gpu);
-                out
             }
             GpuStrategy::Auto => unreachable!("resolved above"),
         }
     }
 
-    /// Ships the intermediate's (docid, score) pairs back to the host and
-    /// frees it.
-    pub fn download(&self, inter: DeviceIntermediate) -> Intermediate {
-        let docids = self.gpu.dtoh_prefix(&inter.docids, inter.len);
-        let scores = self.gpu.dtoh_prefix(&inter.scores, inter.len);
-        inter.free(self.gpu);
-        Intermediate { docids, scores }
+    /// Ships the intermediate's (docid, score) pairs back to the host.
+    /// Borrows the intermediate: the caller frees it (on success *and* on
+    /// a faulted transfer, where it is still needed for CPU migration).
+    pub fn download(&self, inter: &DeviceIntermediate) -> Result<Intermediate, GpuError> {
+        let docids = self.gpu.dtoh_prefix(&inter.docids, inter.len)?;
+        let scores = self.gpu.dtoh_prefix(&inter.scores, inter.len)?;
+        Ok(Intermediate { docids, scores })
     }
 
     /// Full GPU-only query ("Griffin-GPU running alone" in the paper's
@@ -523,38 +629,57 @@ impl<'g> GpuEngine<'g> {
         index: &InvertedIndex,
         terms: &[TermId],
         k: usize,
-    ) -> GpuQueryOutput {
+    ) -> Result<GpuQueryOutput, GpuError> {
         let gpu = self.gpu;
         let mut rank_work = WorkCounters::default();
         let start = gpu.now();
         let mut planned = terms.to_vec();
         planned.sort_by_key(|&t| index.doc_freq(t));
         let Some((&first, rest)) = planned.split_first() else {
-            return GpuQueryOutput {
+            return Ok(GpuQueryOutput {
                 topk: Vec::new(),
                 time: VirtualNanos::ZERO,
                 rank_work,
-            };
+            });
         };
-        let first_postings = self.upload(index, first);
-        let mut inter = self.init_intermediate(&first_postings);
+        let first_postings = self.upload(index, first)?;
+        let inter = self.init_intermediate(&first_postings);
         self.release(first_postings);
+        let mut inter = inter?;
         for &t in rest {
             if inter.len == 0 {
                 break;
             }
-            let postings = self.upload(index, t);
-            inter = self.intersect_step(inter, &postings, index.block_len(), GpuStrategy::Auto);
+            let postings = match self.upload(index, t) {
+                Ok(p) => p,
+                Err(e) => {
+                    inter.free(gpu);
+                    return Err(e);
+                }
+            };
+            let next = self.intersect_step(&inter, &postings, index.block_len(), GpuStrategy::Auto);
             self.release(postings);
+            match next {
+                Ok(n) => {
+                    inter.free(gpu);
+                    inter = n;
+                }
+                Err(e) => {
+                    inter.free(gpu);
+                    return Err(e);
+                }
+            }
         }
-        let host = self.download(inter);
+        let host = self.download(&inter);
+        inter.free(gpu);
+        let host = host?;
         let time = gpu.now() - start;
         let topk = topk::top_k(&host.docids, &host.scores, k, &mut rank_work);
-        GpuQueryOutput {
+        Ok(GpuQueryOutput {
             topk,
             time,
             rank_work,
-        }
+        })
     }
 
     /// Frees engine-owned device state (the list cache and the doc-length
@@ -562,9 +687,8 @@ impl<'g> GpuEngine<'g> {
     pub fn shutdown(self) {
         let mut cache = self.cache.into_inner();
         for (_, e) in cache.map.drain() {
-            let postings = Rc::try_unwrap(e.postings)
-                .ok()
-                .expect("no query steps outstanding at shutdown");
+            let postings =
+                Rc::try_unwrap(e.postings).expect("no query steps outstanding at shutdown");
             postings.free(self.gpu);
         }
         if let Some(b) = self.doc_lens {
@@ -604,7 +728,7 @@ mod tests {
 
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let engine = GpuEngine::new(&gpu, idx.meta());
-        let gpu_out = engine.process_query(&idx, &terms, 10);
+        let gpu_out = engine.process_query(&idx, &terms, 10).unwrap();
 
         assert_eq!(cpu_out.topk.len(), gpu_out.topk.len());
         for (c, g) in cpu_out.topk.iter().zip(&gpu_out.topk) {
@@ -622,14 +746,18 @@ mod tests {
 
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let engine = GpuEngine::new(&gpu, idx.meta());
-        let t0 = engine.upload(&idx, term(&idx, 0));
-        let t1 = engine.upload(&idx, term(&idx, 1));
+        let t0 = engine.upload(&idx, term(&idx, 0)).unwrap();
+        let t1 = engine.upload(&idx, term(&idx, 1)).unwrap();
 
         let mut results = Vec::new();
         for strategy in [GpuStrategy::MergePath, GpuStrategy::BinarySearch] {
-            let inter = engine.init_intermediate(&t0);
-            let inter = engine.intersect_step(inter, &t1, idx.block_len(), strategy);
-            results.push(engine.download(inter));
+            let inter = engine.init_intermediate(&t0).unwrap();
+            let next = engine
+                .intersect_step(&inter, &t1, idx.block_len(), strategy)
+                .unwrap();
+            inter.free(&gpu);
+            results.push(engine.download(&next).unwrap());
+            next.free(&gpu);
         }
         assert_eq!(results[0], results[1]);
         assert!(
@@ -646,7 +774,7 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let engine = GpuEngine::new(&gpu, idx.meta());
         let terms = vec![term(&idx, 0), term(&idx, 1)];
-        let out = engine.process_query(&idx, &terms, 10);
+        let out = engine.process_query(&idx, &terms, 10).unwrap();
         assert!(out.topk.is_empty());
     }
 

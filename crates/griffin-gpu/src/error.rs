@@ -1,0 +1,94 @@
+//! Typed errors for the GPU engine.
+//!
+//! Two failure classes reach the engine: device faults surfaced by the
+//! simulator ([`DeviceError`]: injected faults, device loss, memory
+//! exhaustion) and corrupt compressed input discovered while staging a
+//! list for the device ([`CodecError`]). Both are recoverable by the
+//! Griffin scheduler — it retries transient device faults and migrates
+//! the query step to the CPU engine otherwise — so neither may panic.
+
+use griffin_codec::CodecError;
+use griffin_gpu_sim::DeviceError;
+
+/// Any error a [`crate::GpuEngine`] operation can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// The device failed (injected fault, OOM, or device loss).
+    Device(DeviceError),
+    /// Compressed posting-list data failed validation while being
+    /// flattened into the device layout.
+    Corrupt(CodecError),
+}
+
+impl GpuError {
+    /// Whether retrying the same operation can succeed: true for
+    /// transient device faults, false for device loss and corrupt data.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            GpuError::Device(e) => e.is_transient(),
+            GpuError::Corrupt(_) => false,
+        }
+    }
+
+    /// Short stable label for metrics (`griffin_fault_*` label values).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            GpuError::Device(e) => e.kind_label(),
+            GpuError::Corrupt(_) => "corrupt_list",
+        }
+    }
+}
+
+impl From<DeviceError> for GpuError {
+    fn from(e: DeviceError) -> Self {
+        GpuError::Device(e)
+    }
+}
+
+impl From<CodecError> for GpuError {
+    fn from(e: CodecError) -> Self {
+        GpuError::Corrupt(e)
+    }
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::Device(e) => write!(f, "device error: {e}"),
+            GpuError::Corrupt(e) => write!(f, "corrupt posting list: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpuError::Device(e) => Some(e),
+            GpuError::Corrupt(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_follows_the_inner_error() {
+        assert!(GpuError::Device(DeviceError::KernelLaunchFailed { op_index: 3 }).is_transient());
+        assert!(!GpuError::Device(DeviceError::DeviceLost { op_index: 3 }).is_transient());
+        assert!(!GpuError::Corrupt(CodecError::Truncated).is_transient());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            GpuError::Device(DeviceError::DeviceLost { op_index: 0 }).kind_label(),
+            "device_lost"
+        );
+        assert_eq!(
+            GpuError::Corrupt(CodecError::Truncated).kind_label(),
+            "corrupt_list"
+        );
+    }
+}

@@ -19,7 +19,7 @@
 //!    searches its decoded block.
 //! 5. **Match compaction** — scan + scatter into the dense result.
 
-use griffin_gpu_sim::{DeviceBuffer, Gpu, Kernel, LaunchConfig, Op, ThreadCtx};
+use griffin_gpu_sim::{DeviceBuffer, DeviceError, Gpu, Kernel, LaunchConfig, Op, ThreadCtx};
 
 use crate::mergepath::DeviceMatches;
 use crate::scan::exclusive_scan;
@@ -422,52 +422,64 @@ pub fn intersect_decompressed(
     m: usize,
     long: &DeviceBuffer<u32>,
     n: usize,
-) -> DeviceMatches {
+) -> Result<DeviceMatches, DeviceError> {
     if m == 0 || n == 0 {
         return DeviceMatches::empty(gpu);
     }
-    let match_flag = gpu.alloc::<u32>(m);
-    let match_bidx = gpu.alloc::<u32>(m);
-    gpu.launch(
-        &FullBinaryKernel {
-            short: short.clone(),
-            long: long.clone(),
-            match_flag: match_flag.clone(),
-            match_bidx: match_bidx.clone(),
-            m,
-            n,
-        },
-        LaunchConfig::cover(m, BLOCK_DIM),
-    );
-    let (offsets, total) = exclusive_scan(gpu, &match_flag, m);
-    let total = total as usize;
-    let out_docid = gpu.alloc::<u32>(total);
-    let out_aidx = gpu.alloc::<u32>(total);
-    let out_bidx = gpu.alloc::<u32>(total);
-    if total > 0 {
+    let mut scratch: Vec<DeviceBuffer<u32>> = Vec::new();
+    let mut inner = || -> Result<DeviceMatches, DeviceError> {
+        let match_flag = gpu.alloc::<u32>(m)?;
+        scratch.push(match_flag.clone());
+        let match_bidx = gpu.alloc::<u32>(m)?;
+        scratch.push(match_bidx.clone());
         gpu.launch(
-            &MatchCompactKernel {
+            &FullBinaryKernel {
                 short: short.clone(),
+                long: long.clone(),
                 match_flag: match_flag.clone(),
                 match_bidx: match_bidx.clone(),
-                offsets: offsets.clone(),
-                out_docid: out_docid.clone(),
-                out_aidx: out_aidx.clone(),
-                out_bidx: out_bidx.clone(),
                 m,
+                n,
             },
             LaunchConfig::cover(m, BLOCK_DIM),
-        );
+        )?;
+        let (offsets, total) = exclusive_scan(gpu, &match_flag, m)?;
+        scratch.push(offsets.clone());
+        let total = total as usize;
+        let out_docid = gpu.alloc::<u32>(total)?;
+        scratch.push(out_docid.clone());
+        let out_aidx = gpu.alloc::<u32>(total)?;
+        scratch.push(out_aidx.clone());
+        let out_bidx = gpu.alloc::<u32>(total)?;
+        scratch.push(out_bidx.clone());
+        if total > 0 {
+            gpu.launch(
+                &MatchCompactKernel {
+                    short: short.clone(),
+                    match_flag: match_flag.clone(),
+                    match_bidx: match_bidx.clone(),
+                    offsets: offsets.clone(),
+                    out_docid: out_docid.clone(),
+                    out_aidx: out_aidx.clone(),
+                    out_bidx: out_bidx.clone(),
+                    m,
+                },
+                LaunchConfig::cover(m, BLOCK_DIM),
+            )?;
+        }
+        scratch.truncate(scratch.len() - 3);
+        Ok(DeviceMatches {
+            docids: out_docid,
+            a_idx: out_aidx,
+            b_idx: out_bidx,
+            len: total,
+        })
+    };
+    let result = inner();
+    for buf in scratch {
+        gpu.free(buf);
     }
-    gpu.free(match_flag);
-    gpu.free(match_bidx);
-    gpu.free(offsets);
-    DeviceMatches {
-        docids: out_docid,
-        a_idx: out_aidx,
-        b_idx: out_bidx,
-        len: total,
-    }
+    result
 }
 
 /// Report of one parallel-binary intersection: the matches plus how many
@@ -488,123 +500,133 @@ pub fn intersect(
     m: usize,
     long: &DeviceEfList,
     block_len: usize,
-) -> GpuBinaryOutput {
+) -> Result<GpuBinaryOutput, DeviceError> {
     if m == 0 || long.len == 0 {
-        return GpuBinaryOutput {
-            matches: DeviceMatches::empty(gpu),
+        return Ok(GpuBinaryOutput {
+            matches: DeviceMatches::empty(gpu)?,
             blocks_decoded: 0,
-        };
+        });
     }
     let nb = long.num_blocks;
 
-    // 1. Skip search.
-    let elem_block = gpu.alloc::<u32>(m);
-    let block_needed = gpu.alloc::<u32>(nb);
-    gpu.launch(
-        &SkipSearchKernel {
-            short: short.clone(),
-            skip_first: long.skip_first.clone(),
-            skip_last: long.skip_last.clone(),
-            elem_block: elem_block.clone(),
-            block_needed: block_needed.clone(),
-            m,
-            num_blocks: nb,
-        },
-        LaunchConfig::cover(m, BLOCK_DIM),
-    );
-
-    // 2. Compact the needed blocks.
-    let (block_slot, needed_count) = exclusive_scan(gpu, &block_needed, nb);
-    let needed_count = needed_count as usize;
-    let needed_blocks = gpu.alloc::<u32>(needed_count.max(1));
-    if needed_count > 0 {
+    let mut temps: Vec<DeviceBuffer<u32>> = Vec::new();
+    let mut inner = || -> Result<GpuBinaryOutput, DeviceError> {
+        // 1. Skip search.
+        let elem_block = gpu.alloc::<u32>(m)?;
+        temps.push(elem_block.clone());
+        let block_needed = gpu.alloc::<u32>(nb)?;
+        temps.push(block_needed.clone());
         gpu.launch(
-            &BlockScatterKernel {
+            &SkipSearchKernel {
+                short: short.clone(),
+                skip_first: long.skip_first.clone(),
+                skip_last: long.skip_last.clone(),
+                elem_block: elem_block.clone(),
                 block_needed: block_needed.clone(),
-                block_slot: block_slot.clone(),
-                needed_blocks: needed_blocks.clone(),
+                m,
                 num_blocks: nb,
             },
-            LaunchConfig::cover(nb, BLOCK_DIM),
-        );
-    }
+            LaunchConfig::cover(m, BLOCK_DIM),
+        )?;
 
-    // 3. Selective decode.
-    let scratch = gpu.alloc::<u32>((needed_count * block_len).max(1));
-    if needed_count > 0 {
+        // 2. Compact the needed blocks.
+        let (block_slot, needed_count) = exclusive_scan(gpu, &block_needed, nb)?;
+        temps.push(block_slot.clone());
+        let needed_count = needed_count as usize;
+        let needed_blocks = gpu.alloc::<u32>(needed_count.max(1))?;
+        temps.push(needed_blocks.clone());
+        if needed_count > 0 {
+            gpu.launch(
+                &BlockScatterKernel {
+                    block_needed: block_needed.clone(),
+                    block_slot: block_slot.clone(),
+                    needed_blocks: needed_blocks.clone(),
+                    num_blocks: nb,
+                },
+                LaunchConfig::cover(nb, BLOCK_DIM),
+            )?;
+        }
+
+        // 3. Selective decode.
+        let scratch = gpu.alloc::<u32>((needed_count * block_len).max(1))?;
+        temps.push(scratch.clone());
+        if needed_count > 0 {
+            gpu.launch(
+                &BlockDecodeKernel {
+                    list: BlockDecodeView::new(long),
+                    needed_blocks: needed_blocks.clone(),
+                    scratch: scratch.clone(),
+                    needed_count,
+                    block_len,
+                    max_hb_words: long.max_block_hb_words,
+                },
+                LaunchConfig::new(needed_count as u32, block_len as u32),
+            )?;
+        }
+
+        // 4. In-block search.
+        let match_flag = gpu.alloc::<u32>(m)?;
+        temps.push(match_flag.clone());
+        let match_bidx = gpu.alloc::<u32>(m)?;
+        temps.push(match_bidx.clone());
         gpu.launch(
-            &BlockDecodeKernel {
-                list: BlockDecodeView::new(long),
-                needed_blocks: needed_blocks.clone(),
-                scratch: scratch.clone(),
-                needed_count,
-                block_len,
-                max_hb_words: long.max_block_hb_words,
-            },
-            LaunchConfig::new(needed_count as u32, block_len as u32),
-        );
-    }
-
-    // 4. In-block search.
-    let match_flag = gpu.alloc::<u32>(m);
-    let match_bidx = gpu.alloc::<u32>(m);
-    gpu.launch(
-        &InBlockSearchKernel {
-            short: short.clone(),
-            elem_block: elem_block.clone(),
-            block_slot: block_slot.clone(),
-            block_elem_start: long.block_elem_start.clone(),
-            scratch: scratch.clone(),
-            match_flag: match_flag.clone(),
-            match_bidx: match_bidx.clone(),
-            m,
-            num_blocks: nb,
-            len: long.len,
-            block_len,
-        },
-        LaunchConfig::cover(m, BLOCK_DIM),
-    );
-
-    // 5. Compact matches.
-    let (offsets, total) = exclusive_scan(gpu, &match_flag, m);
-    let total = total as usize;
-    let out_docid = gpu.alloc::<u32>(total);
-    let out_aidx = gpu.alloc::<u32>(total);
-    let out_bidx = gpu.alloc::<u32>(total);
-    if total > 0 {
-        gpu.launch(
-            &MatchCompactKernel {
+            &InBlockSearchKernel {
                 short: short.clone(),
+                elem_block: elem_block.clone(),
+                block_slot: block_slot.clone(),
+                block_elem_start: long.block_elem_start.clone(),
+                scratch: scratch.clone(),
                 match_flag: match_flag.clone(),
                 match_bidx: match_bidx.clone(),
-                offsets: offsets.clone(),
-                out_docid: out_docid.clone(),
-                out_aidx: out_aidx.clone(),
-                out_bidx: out_bidx.clone(),
                 m,
+                num_blocks: nb,
+                len: long.len,
+                block_len,
             },
             LaunchConfig::cover(m, BLOCK_DIM),
-        );
-    }
+        )?;
 
-    gpu.free(elem_block);
-    gpu.free(block_needed);
-    gpu.free(block_slot);
-    gpu.free(needed_blocks);
-    gpu.free(scratch);
-    gpu.free(match_flag);
-    gpu.free(match_bidx);
-    gpu.free(offsets);
-
-    GpuBinaryOutput {
-        matches: DeviceMatches {
-            docids: out_docid,
-            a_idx: out_aidx,
-            b_idx: out_bidx,
-            len: total,
-        },
-        blocks_decoded: needed_count,
+        // 5. Compact matches.
+        let (offsets, total) = exclusive_scan(gpu, &match_flag, m)?;
+        temps.push(offsets.clone());
+        let total = total as usize;
+        let out_docid = gpu.alloc::<u32>(total)?;
+        temps.push(out_docid.clone());
+        let out_aidx = gpu.alloc::<u32>(total)?;
+        temps.push(out_aidx.clone());
+        let out_bidx = gpu.alloc::<u32>(total)?;
+        temps.push(out_bidx.clone());
+        if total > 0 {
+            gpu.launch(
+                &MatchCompactKernel {
+                    short: short.clone(),
+                    match_flag: match_flag.clone(),
+                    match_bidx: match_bidx.clone(),
+                    offsets: offsets.clone(),
+                    out_docid: out_docid.clone(),
+                    out_aidx: out_aidx.clone(),
+                    out_bidx: out_bidx.clone(),
+                    m,
+                },
+                LaunchConfig::cover(m, BLOCK_DIM),
+            )?;
+        }
+        temps.truncate(temps.len() - 3);
+        Ok(GpuBinaryOutput {
+            matches: DeviceMatches {
+                docids: out_docid,
+                a_idx: out_aidx,
+                b_idx: out_bidx,
+                len: total,
+            },
+            blocks_decoded: needed_count,
+        })
+    };
+    let result = inner();
+    for buf in temps {
+        gpu.free(buf);
     }
+    result
 }
 
 #[cfg(test)]
@@ -625,14 +647,18 @@ mod tests {
     fn check(short: Vec<u32>, long: Vec<u32>) -> usize {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let compressed = BlockedList::compress(&long, Codec::EliasFano, DEFAULT_BLOCK_LEN);
-        let dlong = DeviceEfList::upload(&gpu, &compressed);
-        let dshort = gpu.htod(&short);
-        let out = intersect(&gpu, &dshort, short.len(), &dlong, DEFAULT_BLOCK_LEN);
-        let got = gpu.dtoh_prefix(&out.matches.docids, out.matches.len);
+        let dlong = DeviceEfList::upload(&gpu, &compressed).unwrap();
+        let dshort = gpu.htod(&short).unwrap();
+        let out = intersect(&gpu, &dshort, short.len(), &dlong, DEFAULT_BLOCK_LEN).unwrap();
+        let got = gpu
+            .dtoh_prefix(&out.matches.docids, out.matches.len)
+            .unwrap();
         let expect = host_intersect(&long, &short);
         assert_eq!(got, expect);
         // b_idx must index into the long list correctly.
-        let b_idx = gpu.dtoh_prefix(&out.matches.b_idx, out.matches.len);
+        let b_idx = gpu
+            .dtoh_prefix(&out.matches.b_idx, out.matches.len)
+            .unwrap();
         for (k, &d) in got.iter().enumerate() {
             assert_eq!(long[b_idx[k] as usize], d);
         }
@@ -691,17 +717,21 @@ mod tests {
         let long: Vec<u32> = (0..20_000u32).map(|i| i * 3).collect();
         let short: Vec<u32> = (0..900u32).map(|i| i * 61 + 3).collect();
         let compressed = BlockedList::compress(&long, Codec::EliasFano, DEFAULT_BLOCK_LEN);
-        let dlong_c = DeviceEfList::upload(&gpu, &compressed);
-        let dlong = gpu.htod(&long);
-        let dshort = gpu.htod(&short);
+        let dlong_c = DeviceEfList::upload(&gpu, &compressed).unwrap();
+        let dlong = gpu.htod(&long).unwrap();
+        let dshort = gpu.htod(&short).unwrap();
 
-        let skip = intersect(&gpu, &dshort, short.len(), &dlong_c, DEFAULT_BLOCK_LEN);
-        let full = intersect_decompressed(&gpu, &dshort, short.len(), &dlong, long.len());
-        let a = gpu.dtoh_prefix(&skip.matches.docids, skip.matches.len);
-        let b = gpu.dtoh_prefix(&full.docids, full.len);
+        let skip = intersect(&gpu, &dshort, short.len(), &dlong_c, DEFAULT_BLOCK_LEN).unwrap();
+        let full = intersect_decompressed(&gpu, &dshort, short.len(), &dlong, long.len()).unwrap();
+        let a = gpu
+            .dtoh_prefix(&skip.matches.docids, skip.matches.len)
+            .unwrap();
+        let b = gpu.dtoh_prefix(&full.docids, full.len).unwrap();
         assert_eq!(a, b);
-        let bi_a = gpu.dtoh_prefix(&skip.matches.b_idx, skip.matches.len);
-        let bi_b = gpu.dtoh_prefix(&full.b_idx, full.len);
+        let bi_a = gpu
+            .dtoh_prefix(&skip.matches.b_idx, skip.matches.len)
+            .unwrap();
+        let bi_b = gpu.dtoh_prefix(&full.b_idx, full.len).unwrap();
         assert_eq!(bi_a, bi_b);
     }
 

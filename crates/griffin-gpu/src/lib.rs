@@ -20,6 +20,7 @@
 
 pub mod bucket_select;
 pub mod engine;
+pub mod error;
 pub mod gpu_binary;
 pub mod mergepath;
 pub mod para_ef;
@@ -28,4 +29,5 @@ pub mod scan;
 pub mod transfer;
 
 pub use engine::{DeviceIntermediate, GpuEngine, GpuQueryOutput, GpuStrategy};
+pub use error::GpuError;
 pub use transfer::{DeviceEfList, DevicePostings};

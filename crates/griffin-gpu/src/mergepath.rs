@@ -17,7 +17,9 @@
 //! Pipeline: partition kernel → merge kernel (matches to per-partition
 //! slabs) → scan of per-partition counts → compaction kernel.
 
-use griffin_gpu_sim::{DeviceBuffer, DeviceConfig, Gpu, Kernel, LaunchConfig, ThreadCtx};
+use griffin_gpu_sim::{
+    DeviceBuffer, DeviceConfig, DeviceError, Gpu, Kernel, LaunchConfig, ThreadCtx,
+};
 
 use crate::scan::exclusive_scan;
 
@@ -88,13 +90,13 @@ impl DeviceMatches {
         gpu.free(self.b_idx);
     }
 
-    pub(crate) fn empty(gpu: &Gpu) -> DeviceMatches {
-        DeviceMatches {
-            docids: gpu.alloc(0),
-            a_idx: gpu.alloc(0),
-            b_idx: gpu.alloc(0),
+    pub(crate) fn empty(gpu: &Gpu) -> Result<DeviceMatches, DeviceError> {
+        Ok(DeviceMatches {
+            docids: gpu.alloc(0)?,
+            a_idx: gpu.alloc(0)?,
+            b_idx: gpu.alloc(0)?,
             len: 0,
-        }
+        })
     }
 }
 
@@ -380,6 +382,9 @@ impl Kernel for CompactKernel {
 }
 
 /// Intersects two decompressed, device-resident sorted docID lists.
+///
+/// Scratch buffers are freed on both the success and the fault path, so
+/// a faulted intersection leaves no device memory behind.
 pub fn intersect(
     gpu: &Gpu,
     a: &DeviceBuffer<u32>,
@@ -387,7 +392,7 @@ pub fn intersect(
     b: &DeviceBuffer<u32>,
     n: usize,
     cfg: &MergePathConfig,
-) -> DeviceMatches {
+) -> Result<DeviceMatches, DeviceError> {
     if m == 0 || n == 0 {
         return DeviceMatches::empty(gpu);
     }
@@ -400,81 +405,92 @@ pub fn intersect(
     // Thread-level partitions (one per thread across all blocks).
     let p = p_blocks * bd;
 
-    let a_bounds = gpu.alloc::<u32>(num_bounds);
-    let b_bounds = gpu.alloc::<u32>(num_bounds);
-    gpu.launch(
-        &PartitionKernel {
-            a: a.clone(),
-            b: b.clone(),
-            a_bounds: a_bounds.clone(),
-            b_bounds: b_bounds.clone(),
-            m,
-            n,
-            ipp: ipp_block,
-            num_bounds,
-        },
-        LaunchConfig::cover(num_bounds, cfg.block_dim),
-    );
-
-    let cap = cfg.partition_capacity();
-    let temp_docid = gpu.alloc::<u32>(p * cap);
-    let temp_aidx = gpu.alloc::<u32>(p * cap);
-    let temp_bidx = gpu.alloc::<u32>(p * cap);
-    let counts = gpu.alloc::<u32>(p);
-    gpu.launch(
-        &MergeKernel {
-            a: a.clone(),
-            b: b.clone(),
-            a_bounds: a_bounds.clone(),
-            b_bounds: b_bounds.clone(),
-            temp_docid: temp_docid.clone(),
-            temp_aidx: temp_aidx.clone(),
-            temp_bidx: temp_bidx.clone(),
-            counts: counts.clone(),
-            num_blocks: p_blocks,
-            n,
-            cfg: *cfg,
-        },
-        LaunchConfig::new(p_blocks as u32, cfg.block_dim),
-    );
-
-    let (offsets, total) = exclusive_scan(gpu, &counts, p);
-    let total = total as usize;
-    let out_docid = gpu.alloc::<u32>(total);
-    let out_aidx = gpu.alloc::<u32>(total);
-    let out_bidx = gpu.alloc::<u32>(total);
-    if total > 0 {
+    let mut scratch: Vec<DeviceBuffer<u32>> = Vec::new();
+    let mut inner = || -> Result<DeviceMatches, DeviceError> {
+        let a_bounds = gpu.alloc::<u32>(num_bounds)?;
+        scratch.push(a_bounds.clone());
+        let b_bounds = gpu.alloc::<u32>(num_bounds)?;
+        scratch.push(b_bounds.clone());
         gpu.launch(
-            &CompactKernel {
+            &PartitionKernel {
+                a: a.clone(),
+                b: b.clone(),
+                a_bounds: a_bounds.clone(),
+                b_bounds: b_bounds.clone(),
+                m,
+                n,
+                ipp: ipp_block,
+                num_bounds,
+            },
+            LaunchConfig::cover(num_bounds, cfg.block_dim),
+        )?;
+
+        let cap = cfg.partition_capacity();
+        let temp_docid = gpu.alloc::<u32>(p * cap)?;
+        scratch.push(temp_docid.clone());
+        let temp_aidx = gpu.alloc::<u32>(p * cap)?;
+        scratch.push(temp_aidx.clone());
+        let temp_bidx = gpu.alloc::<u32>(p * cap)?;
+        scratch.push(temp_bidx.clone());
+        let counts = gpu.alloc::<u32>(p)?;
+        scratch.push(counts.clone());
+        gpu.launch(
+            &MergeKernel {
+                a: a.clone(),
+                b: b.clone(),
+                a_bounds: a_bounds.clone(),
+                b_bounds: b_bounds.clone(),
                 temp_docid: temp_docid.clone(),
                 temp_aidx: temp_aidx.clone(),
                 temp_bidx: temp_bidx.clone(),
                 counts: counts.clone(),
-                offsets: offsets.clone(),
-                out_docid: out_docid.clone(),
-                out_aidx: out_aidx.clone(),
-                out_bidx: out_bidx.clone(),
-                num_partitions: p,
-                cap,
+                num_blocks: p_blocks,
+                n,
+                cfg: *cfg,
             },
-            LaunchConfig::cover(p, cfg.block_dim),
-        );
-    }
+            LaunchConfig::new(p_blocks as u32, cfg.block_dim),
+        )?;
 
-    gpu.free(a_bounds);
-    gpu.free(b_bounds);
-    gpu.free(temp_docid);
-    gpu.free(temp_aidx);
-    gpu.free(temp_bidx);
-    gpu.free(counts);
-    gpu.free(offsets);
-
-    DeviceMatches {
-        docids: out_docid,
-        a_idx: out_aidx,
-        b_idx: out_bidx,
-        len: total,
+        let (offsets, total) = exclusive_scan(gpu, &counts, p)?;
+        scratch.push(offsets.clone());
+        let total = total as usize;
+        let out_docid = gpu.alloc::<u32>(total)?;
+        scratch.push(out_docid.clone());
+        let out_aidx = gpu.alloc::<u32>(total)?;
+        scratch.push(out_aidx.clone());
+        let out_bidx = gpu.alloc::<u32>(total)?;
+        scratch.push(out_bidx.clone());
+        if total > 0 {
+            gpu.launch(
+                &CompactKernel {
+                    temp_docid: temp_docid.clone(),
+                    temp_aidx: temp_aidx.clone(),
+                    temp_bidx: temp_bidx.clone(),
+                    counts: counts.clone(),
+                    offsets: offsets.clone(),
+                    out_docid: out_docid.clone(),
+                    out_aidx: out_aidx.clone(),
+                    out_bidx: out_bidx.clone(),
+                    num_partitions: p,
+                    cap,
+                },
+                LaunchConfig::cover(p, cfg.block_dim),
+            )?;
+        }
+        // The three output buffers graduate out of the scratch set.
+        scratch.truncate(scratch.len() - 3);
+        Ok(DeviceMatches {
+            docids: out_docid,
+            a_idx: out_aidx,
+            b_idx: out_bidx,
+            len: total,
+        })
+    };
+    let result = inner();
+    for buf in scratch {
+        gpu.free(buf);
     }
+    result
 }
 
 #[cfg(test)]
@@ -502,15 +518,15 @@ mod tests {
     fn check(a: Vec<u32>, b: Vec<u32>) {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let cfg = MergePathConfig::for_device(gpu.config());
-        let da = gpu.htod(&a);
-        let db = gpu.htod(&b);
-        let matches = intersect(&gpu, &da, a.len(), &db, b.len(), &cfg);
-        let got = gpu.dtoh_prefix(&matches.docids, matches.len);
+        let da = gpu.htod(&a).unwrap();
+        let db = gpu.htod(&b).unwrap();
+        let matches = intersect(&gpu, &da, a.len(), &db, b.len(), &cfg).unwrap();
+        let got = gpu.dtoh_prefix(&matches.docids, matches.len).unwrap();
         let expect = host_intersect(&a, &b);
         assert_eq!(got, expect);
         // Provenance indices must point at the right elements.
-        let a_idx = gpu.dtoh_prefix(&matches.a_idx, matches.len);
-        let b_idx = gpu.dtoh_prefix(&matches.b_idx, matches.len);
+        let a_idx = gpu.dtoh_prefix(&matches.a_idx, matches.len).unwrap();
+        let b_idx = gpu.dtoh_prefix(&matches.b_idx, matches.len).unwrap();
         for (k, &d) in got.iter().enumerate() {
             assert_eq!(a[a_idx[k] as usize], d);
             assert_eq!(b[b_idx[k] as usize], d);
@@ -588,10 +604,10 @@ mod tests {
         let cfg = MergePathConfig::for_device(gpu.config());
         let a: Vec<u32> = (0..3000).map(|i| i * 2).collect();
         let b: Vec<u32> = (0..3000).map(|i| i * 3).collect();
-        let da = gpu.htod(&a);
-        let db = gpu.htod(&b);
+        let da = gpu.htod(&a).unwrap();
+        let db = gpu.htod(&b).unwrap();
         let before = gpu.mem_in_use();
-        let matches = intersect(&gpu, &da, a.len(), &db, b.len(), &cfg);
+        let matches = intersect(&gpu, &da, a.len(), &db, b.len(), &cfg).unwrap();
         let expect_extra = matches.docids.size_bytes() * 3;
         assert_eq!(gpu.mem_in_use(), before + expect_extra);
     }

@@ -20,7 +20,7 @@
 //! per 128-element block — the stream is sequential within a block, which
 //! is why frequencies, unlike docIDs, don't get a fancier scheme).
 
-use griffin_gpu_sim::{DeviceBuffer, Gpu, Kernel, LaunchConfig, Op, ThreadCtx};
+use griffin_gpu_sim::{DeviceBuffer, DeviceError, Gpu, Kernel, LaunchConfig, Op, ThreadCtx};
 
 use crate::scan::exclusive_scan;
 use crate::transfer::{DeviceEfList, DevicePostings};
@@ -165,13 +165,14 @@ impl Kernel for RecoverKernel {
 }
 
 /// Decompresses a device-resident EF list into a dense docID buffer.
-/// Intermediate buffers are freed before returning; only the output stays.
-pub fn decompress(gpu: &Gpu, list: &DeviceEfList) -> DeviceBuffer<u32> {
+/// Intermediate buffers are freed before returning (on both paths); only
+/// the output stays.
+pub fn decompress(gpu: &Gpu, list: &DeviceEfList) -> Result<DeviceBuffer<u32>, DeviceError> {
     if list.len == 0 {
         return gpu.alloc::<u32>(0);
     }
-    let ps = gpu.alloc::<u32>(list.hb_words);
-    gpu.launch(
+    let ps = gpu.alloc::<u32>(list.hb_words)?;
+    let step1 = gpu.launch(
         &PopcKernel {
             hb: list.hb.clone(),
             ps: ps.clone(),
@@ -179,46 +180,67 @@ pub fn decompress(gpu: &Gpu, list: &DeviceEfList) -> DeviceBuffer<u32> {
         },
         LaunchConfig::cover(list.hb_words, BLOCK_DIM),
     );
-    let (ps_ex, total) = exclusive_scan(gpu, &ps, list.hb_words);
+    if let Err(e) = step1 {
+        gpu.free(ps);
+        return Err(e);
+    }
+    let (ps_ex, total) = match exclusive_scan(gpu, &ps, list.hb_words) {
+        Ok(r) => r,
+        Err(e) => {
+            gpu.free(ps);
+            return Err(e);
+        }
+    };
     debug_assert_eq!(
         total as usize, list.len,
         "popcount total must equal list length"
     );
 
-    let index_array = gpu.alloc::<u32>(list.len);
-    gpu.launch(
-        &ScatterKernel {
-            hb: list.hb.clone(),
-            ps_ex: ps_ex.clone(),
-            index_array: index_array.clone(),
-            n_words: list.hb_words,
-        },
-        LaunchConfig::cover(list.hb_words, BLOCK_DIM),
-    );
-
-    let out = gpu.alloc::<u32>(list.len);
-    gpu.launch(
-        &RecoverKernel {
-            list_hb: list.hb.clone(),
-            list_lb: list.lb.clone(),
-            block_hb_start: list.block_hb_start.clone(),
-            block_lb_start: list.block_lb_start.clone(),
-            block_elem_start: list.block_elem_start.clone(),
-            block_b: list.block_b.clone(),
-            block_base: list.block_base.clone(),
-            word_block: list.word_block.clone(),
-            ps_ex: ps_ex.clone(),
-            index_array: index_array.clone(),
-            out: out.clone(),
-            n: list.len,
-        },
-        LaunchConfig::cover(list.len, BLOCK_DIM),
-    );
-
+    let inner = || -> Result<DeviceBuffer<u32>, DeviceError> {
+        let index_array = gpu.alloc::<u32>(list.len)?;
+        let step2 = gpu.launch(
+            &ScatterKernel {
+                hb: list.hb.clone(),
+                ps_ex: ps_ex.clone(),
+                index_array: index_array.clone(),
+                n_words: list.hb_words,
+            },
+            LaunchConfig::cover(list.hb_words, BLOCK_DIM),
+        );
+        let step3 = step2.and_then(|_| {
+            let out = gpu.alloc::<u32>(list.len)?;
+            let launched = gpu.launch(
+                &RecoverKernel {
+                    list_hb: list.hb.clone(),
+                    list_lb: list.lb.clone(),
+                    block_hb_start: list.block_hb_start.clone(),
+                    block_lb_start: list.block_lb_start.clone(),
+                    block_elem_start: list.block_elem_start.clone(),
+                    block_b: list.block_b.clone(),
+                    block_base: list.block_base.clone(),
+                    word_block: list.word_block.clone(),
+                    ps_ex: ps_ex.clone(),
+                    index_array: index_array.clone(),
+                    out: out.clone(),
+                    n: list.len,
+                },
+                LaunchConfig::cover(list.len, BLOCK_DIM),
+            );
+            match launched {
+                Ok(_) => Ok(out),
+                Err(e) => {
+                    gpu.free(out);
+                    Err(e)
+                }
+            }
+        });
+        gpu.free(index_array);
+        step3
+    };
+    let result = inner();
     gpu.free(ps);
     gpu.free(ps_ex);
-    gpu.free(index_array);
-    out
+    result
 }
 
 /// Decodes the VByte term-frequency side file: one thread per posting
@@ -272,13 +294,13 @@ impl Kernel for TfDecodeKernel {
 
 /// Decompresses the tf side of a posting list into a dense buffer aligned
 /// with the docID buffer produced by [`decompress`].
-pub fn decode_tfs(gpu: &Gpu, postings: &DevicePostings) -> DeviceBuffer<u32> {
+pub fn decode_tfs(gpu: &Gpu, postings: &DevicePostings) -> Result<DeviceBuffer<u32>, DeviceError> {
     let len = postings.len();
-    let out = gpu.alloc::<u32>(len);
+    let out = gpu.alloc::<u32>(len)?;
     if len == 0 {
-        return out;
+        return Ok(out);
     }
-    gpu.launch(
+    let launched = gpu.launch(
         &TfDecodeKernel {
             tf_words: postings.tf_words.clone(),
             tf_offsets: postings.tf_offsets.clone(),
@@ -289,7 +311,13 @@ pub fn decode_tfs(gpu: &Gpu, postings: &DevicePostings) -> DeviceBuffer<u32> {
         },
         LaunchConfig::cover(postings.docs.num_blocks, 128),
     );
-    out
+    match launched {
+        Ok(_) => Ok(out),
+        Err(e) => {
+            gpu.free(out);
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,9 +330,9 @@ mod tests {
     fn roundtrip(ids: &[u32]) {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let list = BlockedList::compress(ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
-        let dev = DeviceEfList::upload(&gpu, &list);
-        let out_buf = decompress(&gpu, &dev);
-        let out = gpu.dtoh(&out_buf);
+        let dev = DeviceEfList::upload(&gpu, &list).unwrap();
+        let out_buf = decompress(&gpu, &dev).unwrap();
+        let out = gpu.dtoh(&out_buf).unwrap();
         assert_eq!(out, ids, "Para-EF decompression must be bit-exact");
     }
 
@@ -348,9 +376,9 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let ids: Vec<u32> = (0..2000u32).map(|i| i * 5).collect();
         let list = BlockedList::compress(&ids, Codec::EliasFano, 128);
-        let dev = DeviceEfList::upload(&gpu, &list);
+        let dev = DeviceEfList::upload(&gpu, &list).unwrap();
         let before = gpu.mem_in_use();
-        let out = decompress(&gpu, &dev);
+        let out = decompress(&gpu, &dev).unwrap();
         // Only the output buffer should remain beyond the list itself.
         assert_eq!(gpu.mem_in_use(), before + out.size_bytes());
     }
@@ -365,9 +393,9 @@ mod tests {
             })
             .collect();
         let list = CompressedPostingList::compress(&postings, Codec::EliasFano, 128);
-        let dev = DevicePostings::upload(&gpu, &list);
-        let tf_buf = decode_tfs(&gpu, &dev);
-        let tfs = gpu.dtoh(&tf_buf);
+        let dev = DevicePostings::upload(&gpu, &list).unwrap();
+        let tf_buf = decode_tfs(&gpu, &dev).unwrap();
+        let tfs = gpu.dtoh(&tf_buf).unwrap();
         let expect: Vec<u32> = postings.iter().map(|p| p.tf).collect();
         assert_eq!(tfs, expect);
     }
@@ -380,8 +408,8 @@ mod tests {
         for n in [1_000u32, 100_000] {
             let ids: Vec<u32> = (0..n).map(|i| i * 7 + 3).collect();
             let list = BlockedList::compress(&ids, Codec::EliasFano, 128);
-            let dev = DeviceEfList::upload(&gpu, &list);
-            let (_, t) = gpu.time(|g| decompress(g, &dev));
+            let dev = DeviceEfList::upload(&gpu, &list).unwrap();
+            let (_, t) = gpu.time(|g| decompress(g, &dev).unwrap());
             per_elem.push(t.as_nanos() as f64 / f64::from(n));
         }
         assert!(

@@ -7,7 +7,7 @@
 //! digit-major histogram → stable per-block scatter. Float scores are
 //! pre-mapped to order-preserving u32 keys.
 
-use griffin_gpu_sim::{DeviceBuffer, Gpu, Kernel, LaunchConfig, ThreadCtx};
+use griffin_gpu_sim::{DeviceBuffer, DeviceError, Gpu, Kernel, LaunchConfig, ThreadCtx};
 
 use crate::scan::exclusive_scan;
 
@@ -180,48 +180,81 @@ pub fn sort_pairs(
     mut keys: DeviceBuffer<u32>,
     mut vals: DeviceBuffer<u32>,
     n: usize,
-) -> (DeviceBuffer<u32>, DeviceBuffer<u32>) {
+) -> Result<(DeviceBuffer<u32>, DeviceBuffer<u32>), DeviceError> {
     if n == 0 {
-        return (keys, vals);
+        return Ok((keys, vals));
     }
     let num_blocks = n.div_ceil(BLOCK_DIM as usize);
-    let mut keys_alt = gpu.alloc::<u32>(n);
-    let mut vals_alt = gpu.alloc::<u32>(n);
-    for pass in 0..4u32 {
-        let shift = pass * 8;
-        let hist = gpu.alloc::<u32>(RADIX * num_blocks);
-        gpu.launch(
-            &Hist3Kernel {
-                keys: keys.clone(),
-                hist: hist.clone(),
-                n,
-                shift,
-                num_blocks,
-            },
-            LaunchConfig::new(num_blocks as u32, BLOCK_DIM),
-        );
-        let (bases, _total) = exclusive_scan(gpu, &hist, RADIX * num_blocks);
-        gpu.launch(
-            &ScatterKernel {
-                keys_in: keys.clone(),
-                vals_in: vals.clone(),
-                keys_out: keys_alt.clone(),
-                vals_out: vals_alt.clone(),
-                bases: bases.clone(),
-                n,
-                shift,
-                num_blocks,
-            },
-            LaunchConfig::new(num_blocks as u32, BLOCK_DIM),
-        );
-        gpu.free(hist);
-        gpu.free(bases);
-        std::mem::swap(&mut keys, &mut keys_alt);
-        std::mem::swap(&mut vals, &mut vals_alt);
-    }
+    let keys_alt_r = gpu.alloc::<u32>(n);
+    let mut keys_alt = match keys_alt_r {
+        Ok(b) => b,
+        Err(e) => {
+            gpu.free(keys);
+            gpu.free(vals);
+            return Err(e);
+        }
+    };
+    let vals_alt_r = gpu.alloc::<u32>(n);
+    let mut vals_alt = match vals_alt_r {
+        Ok(b) => b,
+        Err(e) => {
+            gpu.free(keys);
+            gpu.free(vals);
+            gpu.free(keys_alt);
+            return Err(e);
+        }
+    };
+    let mut passes = || -> Result<(), DeviceError> {
+        for pass in 0..4u32 {
+            let shift = pass * 8;
+            let hist = gpu.alloc::<u32>(RADIX * num_blocks)?;
+            let step = || -> Result<(), DeviceError> {
+                gpu.launch(
+                    &Hist3Kernel {
+                        keys: keys.clone(),
+                        hist: hist.clone(),
+                        n,
+                        shift,
+                        num_blocks,
+                    },
+                    LaunchConfig::new(num_blocks as u32, BLOCK_DIM),
+                )?;
+                let (bases, _total) = exclusive_scan(gpu, &hist, RADIX * num_blocks)?;
+                let scattered = gpu.launch(
+                    &ScatterKernel {
+                        keys_in: keys.clone(),
+                        vals_in: vals.clone(),
+                        keys_out: keys_alt.clone(),
+                        vals_out: vals_alt.clone(),
+                        bases: bases.clone(),
+                        n,
+                        shift,
+                        num_blocks,
+                    },
+                    LaunchConfig::new(num_blocks as u32, BLOCK_DIM),
+                );
+                gpu.free(bases);
+                scattered.map(|_| ())
+            };
+            let result = step();
+            gpu.free(hist);
+            result?;
+            std::mem::swap(&mut keys, &mut keys_alt);
+            std::mem::swap(&mut vals, &mut vals_alt);
+        }
+        Ok(())
+    };
+    let result = passes();
     gpu.free(keys_alt);
     gpu.free(vals_alt);
-    (keys, vals)
+    match result {
+        Ok(()) => Ok((keys, vals)),
+        Err(e) => {
+            gpu.free(keys);
+            gpu.free(vals);
+            Err(e)
+        }
+    }
 }
 
 /// Fig. 7's "GPU radix sort" ranker: sorts the full result list by score
@@ -232,13 +265,19 @@ pub fn top_k_by_sort(
     scores: &DeviceBuffer<f32>,
     n: usize,
     k: usize,
-) -> Vec<(u32, f32)> {
+) -> Result<Vec<(u32, f32)>, DeviceError> {
     if n == 0 || k == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let keys = gpu.alloc::<u32>(n);
-    let vals = gpu.alloc::<u32>(n);
-    gpu.launch(
+    let keys = gpu.alloc::<u32>(n)?;
+    let vals = match gpu.alloc::<u32>(n) {
+        Ok(b) => b,
+        Err(e) => {
+            gpu.free(keys);
+            return Err(e);
+        }
+    };
+    let prepped = gpu.launch(
         &PrepKernel {
             scores: scores.clone(),
             docids: docids.clone(),
@@ -248,18 +287,25 @@ pub fn top_k_by_sort(
         },
         LaunchConfig::cover(n, BLOCK_DIM),
     );
-    let (sorted_keys, sorted_vals) = sort_pairs(gpu, keys, vals, n);
+    if let Err(e) = prepped {
+        gpu.free(keys);
+        gpu.free(vals);
+        return Err(e);
+    }
+    let (sorted_keys, sorted_vals) = sort_pairs(gpu, keys, vals, n)?;
     // Only the winning prefix crosses PCIe back.
     let k = k.min(n);
-    let keys_host = gpu.dtoh_prefix(&sorted_keys, k);
-    let vals_host = gpu.dtoh_prefix(&sorted_vals, k);
+    let transferred = gpu
+        .dtoh_prefix(&sorted_keys, k)
+        .and_then(|kh| gpu.dtoh_prefix(&sorted_vals, k).map(|vh| (kh, vh)));
     gpu.free(sorted_keys);
     gpu.free(sorted_vals);
-    keys_host
+    let (keys_host, vals_host) = transferred?;
+    Ok(keys_host
         .into_iter()
         .zip(vals_host)
         .map(|(key, docid)| (docid, f32::from_bits(sortable_to_float(!key))))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -296,11 +342,11 @@ mod tests {
             })
             .collect();
         let vals_host: Vec<u32> = (0..5000).collect();
-        let keys = gpu.htod(&keys_host);
-        let vals = gpu.htod(&vals_host);
-        let (sk, sv) = sort_pairs(&gpu, keys, vals, 5000);
-        let got_keys = gpu.dtoh(&sk);
-        let got_vals = gpu.dtoh(&sv);
+        let keys = gpu.htod(&keys_host).unwrap();
+        let vals = gpu.htod(&vals_host).unwrap();
+        let (sk, sv) = sort_pairs(&gpu, keys, vals, 5000).unwrap();
+        let got_keys = gpu.dtoh(&sk).unwrap();
+        let got_vals = gpu.dtoh(&sv).unwrap();
         let mut expect = keys_host.clone();
         expect.sort_unstable();
         assert_eq!(got_keys, expect);
@@ -316,9 +362,9 @@ mod tests {
         let n = 3000;
         let docids_host: Vec<u32> = (0..n as u32).collect();
         let scores_host: Vec<f32> = (0..n).map(|i| ((i * 37) % 501) as f32 * 0.25).collect();
-        let docids = gpu.htod(&docids_host);
-        let scores = gpu.htod(&scores_host);
-        let top = top_k_by_sort(&gpu, &docids, &scores, n, 10);
+        let docids = gpu.htod(&docids_host).unwrap();
+        let scores = gpu.htod(&scores_host).unwrap();
+        let top = top_k_by_sort(&gpu, &docids, &scores, n, 10).unwrap();
         assert_eq!(top.len(), 10);
         let mut expect: Vec<(u32, f32)> = docids_host
             .iter()
@@ -334,9 +380,9 @@ mod tests {
     #[test]
     fn sort_empty() {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
-        let keys = gpu.alloc::<u32>(0);
-        let vals = gpu.alloc::<u32>(0);
-        let (k, v) = sort_pairs(&gpu, keys, vals, 0);
+        let keys = gpu.alloc::<u32>(0).unwrap();
+        let vals = gpu.alloc::<u32>(0).unwrap();
+        let (k, v) = sort_pairs(&gpu, keys, vals, 0).unwrap();
         assert_eq!(k.len(), 0);
         assert_eq!(v.len(), 0);
     }

@@ -6,7 +6,7 @@
 //! back in. Para-EF's "synchronization point" (paper Algorithm 1, line 3)
 //! is exactly this scan.
 
-use griffin_gpu_sim::{DeviceBuffer, Gpu, Kernel, LaunchConfig, ThreadCtx};
+use griffin_gpu_sim::{DeviceBuffer, DeviceError, Gpu, Kernel, LaunchConfig, ThreadCtx};
 
 /// Tile width == block_dim; one element per thread.
 const BLOCK_DIM: u32 = 256;
@@ -114,43 +114,57 @@ impl Kernel for UniformAddKernel {
 /// Exclusive scan of `src[..n]` into a fresh buffer. Also returns the total
 /// sum (read back with a 4-byte transfer, as a real implementation must to
 /// size downstream allocations).
-pub fn exclusive_scan(gpu: &Gpu, src: &DeviceBuffer<u32>, n: usize) -> (DeviceBuffer<u32>, u32) {
-    let dst = gpu.alloc::<u32>(n.max(1));
+pub fn exclusive_scan(
+    gpu: &Gpu,
+    src: &DeviceBuffer<u32>,
+    n: usize,
+) -> Result<(DeviceBuffer<u32>, u32), DeviceError> {
+    let dst = gpu.alloc::<u32>(n.max(1))?;
     if n == 0 {
-        return (dst, 0);
+        return Ok((dst, 0));
     }
-    let num_blocks = n.div_ceil(BLOCK_DIM as usize);
-    let block_sums = gpu.alloc::<u32>(num_blocks);
-    gpu.launch(
-        &TileScanKernel {
-            src: src.clone(),
-            dst: dst.clone(),
-            block_sums: block_sums.clone(),
-            n,
-        },
-        LaunchConfig::new(num_blocks as u32, BLOCK_DIM),
-    );
-
-    let total = if num_blocks == 1 {
-        let t = gpu.dtoh_prefix(&block_sums, 1)[0];
-        gpu.free(block_sums);
-        t
-    } else {
-        // Recursively scan the block sums, then fold them back in.
-        let (scanned, total) = exclusive_scan(gpu, &block_sums, num_blocks);
-        gpu.launch(
-            &UniformAddKernel {
-                dst: dst.clone(),
-                scanned_sums: scanned.clone(),
-                n,
-            },
-            LaunchConfig::new(num_blocks as u32, BLOCK_DIM),
-        );
-        gpu.free(scanned);
+    let inner = || -> Result<u32, DeviceError> {
+        let num_blocks = n.div_ceil(BLOCK_DIM as usize);
+        let block_sums = gpu.alloc::<u32>(num_blocks)?;
+        let step = || -> Result<u32, DeviceError> {
+            gpu.launch(
+                &TileScanKernel {
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    block_sums: block_sums.clone(),
+                    n,
+                },
+                LaunchConfig::new(num_blocks as u32, BLOCK_DIM),
+            )?;
+            if num_blocks == 1 {
+                Ok(gpu.dtoh_prefix(&block_sums, 1)?[0])
+            } else {
+                // Recursively scan the block sums, then fold them back in.
+                let (scanned, total) = exclusive_scan(gpu, &block_sums, num_blocks)?;
+                let folded = gpu.launch(
+                    &UniformAddKernel {
+                        dst: dst.clone(),
+                        scanned_sums: scanned.clone(),
+                        n,
+                    },
+                    LaunchConfig::new(num_blocks as u32, BLOCK_DIM),
+                );
+                gpu.free(scanned);
+                folded?;
+                Ok(total)
+            }
+        };
+        let total = step();
         gpu.free(block_sums);
         total
     };
-    (dst, total)
+    match inner() {
+        Ok(total) => Ok((dst, total)),
+        Err(e) => {
+            gpu.free(dst);
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,9 +174,9 @@ mod tests {
 
     fn check_scan(input: Vec<u32>) {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
-        let src = gpu.htod(&input);
-        let (dst, total) = exclusive_scan(&gpu, &src, input.len());
-        let got = gpu.dtoh(&dst);
+        let src = gpu.htod(&input).unwrap();
+        let (dst, total) = exclusive_scan(&gpu, &src, input.len()).unwrap();
+        let got = gpu.dtoh(&dst).unwrap();
         let mut acc = 0u32;
         for (i, &v) in input.iter().enumerate() {
             assert_eq!(got[i], acc, "position {i}");
@@ -201,7 +215,7 @@ mod tests {
     #[test]
     fn scan_charges_time() {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
-        let src = gpu.htod(&vec![1u32; 10_000]);
+        let src = gpu.htod(&vec![1u32; 10_000]).unwrap();
         let t0 = gpu.now();
         let _ = exclusive_scan(&gpu, &src, 10_000);
         assert!(gpu.now() > t0);

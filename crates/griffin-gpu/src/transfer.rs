@@ -7,11 +7,14 @@
 //! (first/last docID per block) for the parallel binary-search path.
 //! Everything is shipped in a single packed DMA.
 
-use griffin_codec::{BlockedList, Codec, EfBlock};
+use griffin_codec::{BlockedList, Codec, CodecError, EfBlock};
 use griffin_gpu_sim::{DeviceBuffer, Gpu};
 use griffin_index::CompressedPostingList;
 
+use crate::error::GpuError;
+
 /// GPU image of one EF-compressed docID list.
+#[derive(Debug)]
 pub struct DeviceEfList {
     /// Total elements.
     pub len: usize,
@@ -63,7 +66,11 @@ pub struct EfListImage {
 
 impl EfListImage {
     /// Flattens an EF [`BlockedList`] into the device layout.
-    pub fn build(list: &BlockedList) -> EfListImage {
+    ///
+    /// Returns `Err` if any block fails validation (truncated or
+    /// malformed words) — corrupt data must not reach the device.
+    /// Passing a non-EF list is a programming error and panics.
+    pub fn build(list: &BlockedList) -> Result<EfListImage, CodecError> {
         assert!(
             matches!(list.codec, Codec::EliasFano),
             "device lists must be Elias–Fano compressed (got {:?})",
@@ -86,7 +93,7 @@ impl EfListImage {
         for (i, skip) in list.skips.iter().enumerate() {
             let words =
                 &list.words[skip.word_start as usize..(skip.word_start + skip.word_len) as usize];
-            let blk = EfBlock::from_words(words);
+            let blk = EfBlock::from_words(words)?;
             img.block_hb_start.push(img.hb.len() as u32);
             img.block_lb_start.push(img.lb.len() as u32);
             img.block_elem_start.push(skip.elem_start);
@@ -100,14 +107,17 @@ impl EfListImage {
             img.skip_first.push(skip.first_docid);
             img.skip_last.push(skip.last_docid);
         }
-        img
+        Ok(img)
     }
 }
 
 impl DeviceEfList {
     /// Ships the list to the device in one packed transfer.
-    pub fn upload(gpu: &Gpu, list: &BlockedList) -> DeviceEfList {
-        let img = EfListImage::build(list);
+    ///
+    /// Fails on corrupt list data (validated host-side before the DMA)
+    /// and on device faults during the transfer.
+    pub fn upload(gpu: &Gpu, list: &BlockedList) -> Result<DeviceEfList, GpuError> {
+        let img = EfListImage::build(list)?;
         let hb_words = img.hb.len();
         let max_block_hb_words = img
             .block_hb_start
@@ -130,36 +140,36 @@ impl DeviceEfList {
         .iter()
         .map(|&w| w as u64 * 4)
         .sum();
-        let bufs = gpu.htod_packed(&[
-            &img.hb,
-            &img.lb,
-            &img.block_hb_start,
-            &img.block_lb_start,
-            &img.block_elem_start,
-            &img.block_b,
-            &img.block_base,
-            &img.word_block,
-            &img.skip_first,
-            &img.skip_last,
-        ]);
-        let mut it = bufs.into_iter();
-        DeviceEfList {
+        let [hb, lb, block_hb_start, block_lb_start, block_elem_start, block_b, block_base, word_block, skip_first, skip_last] =
+            gpu.htod_packed_n([
+                &img.hb,
+                &img.lb,
+                &img.block_hb_start,
+                &img.block_lb_start,
+                &img.block_elem_start,
+                &img.block_b,
+                &img.block_base,
+                &img.word_block,
+                &img.skip_first,
+                &img.skip_last,
+            ])?;
+        Ok(DeviceEfList {
             len: img.len,
             num_blocks: list.num_blocks(),
-            hb: it.next().expect("hb"),
-            lb: it.next().expect("lb"),
-            block_hb_start: it.next().expect("block_hb_start"),
-            block_lb_start: it.next().expect("block_lb_start"),
-            block_elem_start: it.next().expect("block_elem_start"),
-            block_b: it.next().expect("block_b"),
-            block_base: it.next().expect("block_base"),
-            word_block: it.next().expect("word_block"),
-            skip_first: it.next().expect("skip_first"),
-            skip_last: it.next().expect("skip_last"),
+            hb,
+            lb,
+            block_hb_start,
+            block_lb_start,
+            block_elem_start,
+            block_b,
+            block_base,
+            word_block,
+            skip_first,
+            skip_last,
             hb_words,
             max_block_hb_words,
             bytes_shipped,
-        }
+        })
     }
 
     /// Releases all device memory of this list.
@@ -179,6 +189,7 @@ impl DeviceEfList {
 
 /// GPU image of a full posting list: EF docIDs plus the VByte term
 /// frequencies (packed bytes + per-block offsets) for on-device scoring.
+#[derive(Debug)]
 pub struct DevicePostings {
     pub docs: DeviceEfList,
     /// VByte tf stream packed into words (4 bytes per word, LE).
@@ -188,8 +199,10 @@ pub struct DevicePostings {
 }
 
 impl DevicePostings {
-    pub fn upload(gpu: &Gpu, list: &CompressedPostingList) -> DevicePostings {
-        let docs = DeviceEfList::upload(gpu, &list.docs);
+    /// Ships docIDs and term frequencies to the device; a fault during
+    /// the tf transfer releases the already-resident docID image.
+    pub fn upload(gpu: &Gpu, list: &CompressedPostingList) -> Result<DevicePostings, GpuError> {
+        let docs = DeviceEfList::upload(gpu, &list.docs)?;
         let (tf_bytes, tf_offsets) = list.tf_raw();
         let mut tf_words = Vec::with_capacity(tf_bytes.len().div_ceil(4));
         for chunk in tf_bytes.chunks(4) {
@@ -199,13 +212,18 @@ impl DevicePostings {
             }
             tf_words.push(w);
         }
-        let bufs = gpu.htod_packed(&[&tf_words, tf_offsets]);
-        let mut it = bufs.into_iter();
-        DevicePostings {
+        let [tf_words, tf_offsets] = match gpu.htod_packed_n([&tf_words, tf_offsets]) {
+            Ok(bufs) => bufs,
+            Err(e) => {
+                docs.free(gpu);
+                return Err(e.into());
+            }
+        };
+        Ok(DevicePostings {
             docs,
-            tf_words: it.next().expect("tf_words"),
-            tf_offsets: it.next().expect("tf_offsets"),
-        }
+            tf_words,
+            tf_offsets,
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -237,7 +255,7 @@ mod tests {
     fn image_layout_is_consistent() {
         let ids = docids(500);
         let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
-        let img = EfListImage::build(&list);
+        let img = EfListImage::build(&list).unwrap();
         assert_eq!(img.len, 500);
         assert_eq!(img.block_hb_start.len(), 4);
         assert_eq!(img.word_block.len(), img.hb.len());
@@ -253,7 +271,43 @@ mod tests {
     #[should_panic(expected = "Elias–Fano")]
     fn rejects_non_ef_lists() {
         let list = BlockedList::compress(&docids(10), Codec::PforDelta, 128);
-        EfListImage::build(&list);
+        let _ = EfListImage::build(&list);
+    }
+
+    #[test]
+    fn corrupt_list_is_rejected_before_the_dma() {
+        let ids = docids(500);
+        let mut list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        list.words.truncate(list.words.len() - 1);
+        list.skips.last_mut().unwrap().word_len -= 1;
+        assert!(EfListImage::build(&list).is_err());
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let err = DeviceEfList::upload(&gpu, &list).unwrap_err();
+        assert!(matches!(err, GpuError::Corrupt(_)));
+        assert_eq!(gpu.mem_in_use(), 0, "nothing may reach the device");
+    }
+
+    #[test]
+    fn faulted_upload_leaves_no_device_memory() {
+        use griffin_gpu_sim::{FaultKind, FaultPlan, TransferDir};
+        let ids = docids(2000);
+        let list = CompressedPostingList::from_docids(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        // Fail the second packed DMA (op 1: the tf upload).
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.fault_plan = Some(FaultPlan::seeded(0).fail_at(
+            1,
+            FaultKind::TransferError {
+                dir: TransferDir::HtoD,
+            },
+        ));
+        let gpu = Gpu::new(cfg);
+        let err = DevicePostings::upload(&gpu, &list).unwrap_err();
+        assert!(matches!(err, GpuError::Device(_)));
+        assert_eq!(
+            gpu.mem_in_use(),
+            0,
+            "the docID image must be released when the tf DMA faults"
+        );
     }
 
     #[test]
@@ -261,7 +315,7 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let list = BlockedList::compress(&docids(1000), Codec::EliasFano, 128);
         let t0 = gpu.now();
-        let dev = DeviceEfList::upload(&gpu, &list);
+        let dev = DeviceEfList::upload(&gpu, &list).unwrap();
         assert!(gpu.now() > t0);
         assert!(dev.bytes_shipped > 0);
         assert!(gpu.mem_in_use() > 0);

@@ -22,12 +22,12 @@ fn cache_hit_skips_the_transfer() {
     let engine = GpuEngine::new(&gpu, idx.meta());
 
     let t0 = gpu.now();
-    let p1 = engine.upload(&idx, term(&idx, 0));
+    let p1 = engine.upload(&idx, term(&idx, 0)).unwrap();
     let miss_cost = gpu.now() - t0;
     engine.release(p1);
 
     let t1 = gpu.now();
-    let p2 = engine.upload(&idx, term(&idx, 0));
+    let p2 = engine.upload(&idx, term(&idx, 0)).unwrap();
     let hit_cost = gpu.now() - t1;
     engine.release(p2);
 
@@ -45,13 +45,13 @@ fn zero_budget_disables_caching() {
     let engine = GpuEngine::new(&gpu, idx.meta());
     engine.set_cache_budget(0);
 
-    let p1 = engine.upload(&idx, term(&idx, 0));
+    let p1 = engine.upload(&idx, term(&idx, 0)).unwrap();
     engine.release(p1);
     assert_eq!(gpu.mem_in_use(), 0, "released uncached list must be freed");
 
     // Second upload pays the transfer again.
     let t = gpu.now();
-    let p2 = engine.upload(&idx, term(&idx, 0));
+    let p2 = engine.upload(&idx, term(&idx, 0)).unwrap();
     assert!(gpu.now() > t);
     engine.release(p2);
     engine.shutdown();
@@ -69,22 +69,22 @@ fn lru_evicts_the_coldest_list() {
     let engine = GpuEngine::new(&gpu, idx.meta());
 
     // Size one list to derive a two-list budget.
-    let p = engine.upload(&idx, term(&idx, 0));
+    let p = engine.upload(&idx, term(&idx, 0)).unwrap();
     let one = gpu.mem_in_use();
     engine.release(p);
     engine.set_cache_budget(one * 2 + one / 2);
 
     for i in [0usize, 1, 2] {
-        let p = engine.upload(&idx, term(&idx, i));
+        let p = engine.upload(&idx, term(&idx, i)).unwrap();
         engine.release(p);
     }
     // t0 (coldest) must have been evicted: re-uploading it costs time,
     // while t2 (hottest) is free.
     let t = gpu.now();
-    engine.release(engine.upload(&idx, term(&idx, 2)));
+    engine.release(engine.upload(&idx, term(&idx, 2)).unwrap());
     assert_eq!((gpu.now() - t).as_nanos(), 0, "t2 should be cached");
     let t = gpu.now();
-    engine.release(engine.upload(&idx, term(&idx, 0)));
+    engine.release(engine.upload(&idx, term(&idx, 0)).unwrap());
     assert!(
         (gpu.now() - t).as_nanos() > 0,
         "t0 should have been evicted"
@@ -103,13 +103,13 @@ fn in_use_lists_survive_eviction_pressure() {
     let gpu = Gpu::new(DeviceConfig::test_tiny());
     let engine = GpuEngine::new(&gpu, idx.meta());
 
-    let held = engine.upload(&idx, term(&idx, 0));
+    let held = engine.upload(&idx, term(&idx, 0)).unwrap();
     // Shrink the budget to zero while the list is borrowed: it must not be
     // freed under our feet.
     engine.set_cache_budget(0);
     assert!(!held.is_empty());
-    let docids = griffin_gpu::para_ef::decompress(&gpu, &held.docs);
-    let host = gpu.dtoh(&docids);
+    let docids = griffin_gpu::para_ef::decompress(&gpu, &held.docs).unwrap();
+    let host = gpu.dtoh(&docids).unwrap();
     assert_eq!(host.len(), lists[0].len());
     gpu.free(docids);
     engine.release(held);

@@ -73,11 +73,19 @@ impl CompressedPostingList {
     }
 
     /// Decodes block `i`, appending its docIDs and tfs.
+    ///
+    /// Infallible by contract: the list was built in-memory by
+    /// [`CompressedPostingList::compress`], so its blocks are valid by
+    /// construction. Untrusted words must go through the fallible
+    /// `griffin-codec` APIs before ever reaching an index.
     pub fn decode_block_into(&self, i: usize, docids: &mut Vec<u32>, tfs: &mut Vec<u32>) {
-        self.docs.decode_block_into(i, docids);
+        self.docs
+            .decode_block_into(i, docids)
+            .expect("index-built list is valid by construction");
         let range = self.tf_offsets[i] as usize..self.tf_offsets[i + 1] as usize;
         let count = self.docs.skips[i].count as usize;
-        varint::decode_n(&self.tf_bytes[range], 0, count, tfs);
+        varint::decode_n(&self.tf_bytes[range], 0, count, tfs)
+            .expect("index-built tf side file is valid by construction");
     }
 
     /// Decodes only the term frequencies of block `i` (used when the docID
@@ -85,7 +93,8 @@ impl CompressedPostingList {
     pub fn decode_block_into_tfs_only(&self, i: usize, tfs: &mut Vec<u32>) {
         let range = self.tf_offsets[i] as usize..self.tf_offsets[i + 1] as usize;
         let count = self.docs.skips[i].count as usize;
-        griffin_codec::varint::decode_n(&self.tf_bytes[range], 0, count, tfs);
+        griffin_codec::varint::decode_n(&self.tf_bytes[range], 0, count, tfs)
+            .expect("index-built tf side file is valid by construction");
     }
 
     /// Decodes the entire list into (docids, tfs).

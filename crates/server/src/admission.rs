@@ -71,11 +71,178 @@ pub struct ServedQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::{GriffinServer, PlannedQuery};
+    use crate::sim::{ServerSim, SimConfig, SimJob};
+    use griffin::serving::{Resource, StageReq};
+    use griffin_telemetry::Telemetry;
+
+    fn ns(v: u64) -> VirtualNanos {
+        VirtualNanos::from_nanos(v)
+    }
+
+    fn cpu_job(arrival: u64, dur: u64) -> SimJob {
+        SimJob {
+            arrival: ns(arrival),
+            stages: vec![StageReq {
+                resource: Resource::Cpu,
+                duration: ns(dur),
+            }],
+            cpu_fallback: None,
+            deadline: None,
+        }
+    }
+
+    fn gpu_job(arrival: u64, dur: u64, fallback: Option<u64>) -> SimJob {
+        SimJob {
+            arrival: ns(arrival),
+            stages: vec![StageReq {
+                resource: Resource::Gpu,
+                duration: ns(dur),
+            }],
+            cpu_fallback: fallback.map(ns),
+            deadline: None,
+        }
+    }
+
+    fn sim(admission: AdmissionConfig) -> ServerSim {
+        ServerSim::new(SimConfig {
+            cpu_workers: 2,
+            admission,
+            batching: None,
+        })
+    }
 
     #[test]
     fn default_admits_everything() {
         let a = AdmissionConfig::default();
         assert_eq!(a.capacity, usize::MAX);
         assert_eq!(a.gpu_depth_threshold, usize::MAX);
+    }
+
+    #[test]
+    fn burst_beyond_capacity_sheds_exactly_the_overflow() {
+        let s = sim(AdmissionConfig {
+            capacity: 4,
+            ..Default::default()
+        });
+        // Ten queries land in the same instant; the queue holds four.
+        let jobs: Vec<SimJob> = (0..10).map(|_| cpu_job(0, 1_000)).collect();
+        let report = s.run(&jobs);
+        assert_eq!(report.stats.admitted, 4);
+        assert_eq!(report.stats.shed, 6);
+        // Arrival order breaks the tie: the first four by submission
+        // index win the slots, deterministically.
+        for (j, q) in report.queries.iter().enumerate() {
+            let expect = if j < 4 {
+                Outcome::Completed
+            } else {
+                Outcome::Shed
+            };
+            assert_eq!(q.outcome, expect, "job {j}");
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_in_flight_queries_not_total_volume() {
+        let s = sim(AdmissionConfig {
+            capacity: 1,
+            ..Default::default()
+        });
+        // A runs [0, 100). B arrives while A is in flight: shed. C
+        // arrives after A finished: the slot is free again.
+        let jobs = vec![cpu_job(0, 100), cpu_job(50, 100), cpu_job(150, 100)];
+        let report = s.run(&jobs);
+        assert_eq!(report.queries[0].outcome, Outcome::Completed);
+        assert_eq!(report.queries[1].outcome, Outcome::Shed);
+        assert_eq!(report.queries[2].outcome, Outcome::Completed);
+        assert_eq!(report.stats.shed, 1);
+        assert_eq!(report.stats.admitted, 2);
+    }
+
+    #[test]
+    fn same_burst_sheds_or_degrades_by_policy() {
+        // Four GPU queries in a burst behind a zero-depth threshold: the
+        // first occupies the device, the rest are over the line.
+        let burst = || {
+            vec![
+                gpu_job(0, 10_000, Some(50_000)),
+                gpu_job(1, 10_000, Some(50_000)),
+                gpu_job(2, 10_000, Some(50_000)),
+                gpu_job(3, 10_000, Some(50_000)),
+            ]
+        };
+        let overloaded = |policy| AdmissionConfig {
+            capacity: usize::MAX,
+            gpu_depth_threshold: 0,
+            policy,
+        };
+
+        let shed = sim(overloaded(OverloadPolicy::Shed)).run(&burst());
+        assert_eq!(shed.queries[0].outcome, Outcome::Completed);
+        assert_eq!(shed.stats.shed, 3, "shed policy rejects the backlog");
+        assert_eq!(shed.stats.degraded, 0);
+
+        let deg = sim(overloaded(OverloadPolicy::DegradeToCpuOnly)).run(&burst());
+        assert_eq!(deg.stats.shed, 0, "degrade policy drops nothing");
+        assert_eq!(deg.stats.degraded, 3);
+        assert!(
+            deg.queries.iter().all(|q| q.latency.is_some()),
+            "every query is served under degrade"
+        );
+        // Degraded queries run their (slower) CPU-only schedule on the
+        // idle cores instead of queueing behind the device.
+        assert_eq!(deg.queries[1].latency, Some(ns(50_000)));
+    }
+
+    #[test]
+    fn degrade_policy_sheds_when_no_fallback_exists() {
+        let s = sim(AdmissionConfig {
+            capacity: usize::MAX,
+            gpu_depth_threshold: 0,
+            policy: OverloadPolicy::DegradeToCpuOnly,
+        });
+        // The second query has no measured CPU-only schedule (e.g. it
+        // was planned GpuOnly), so degrade cannot apply.
+        let jobs = vec![gpu_job(0, 10_000, None), gpu_job(1, 100, None)];
+        let report = s.run(&jobs);
+        assert_eq!(report.queries[1].outcome, Outcome::Shed);
+        assert_eq!(report.stats.shed, 1);
+        assert_eq!(report.stats.degraded, 0);
+    }
+
+    #[test]
+    fn shed_and_degrade_metrics_surface_through_server_telemetry() {
+        let mut server = GriffinServer::new(SimConfig {
+            cpu_workers: 2,
+            admission: AdmissionConfig {
+                capacity: 1,
+                ..Default::default()
+            },
+            batching: None,
+        });
+        server.set_telemetry(Telemetry::enabled());
+        let planned: Vec<PlannedQuery> = (0..3)
+            .map(|_| PlannedQuery {
+                topk: Vec::new(),
+                service_time: ns(1_000),
+                stages: vec![StageReq {
+                    resource: Resource::Cpu,
+                    duration: ns(1_000),
+                }],
+                cpu_fallback: None,
+                deadline: Some(ns(10_000)),
+                breaker_degraded: false,
+            })
+            .collect();
+        // All three arrive together into a single slot.
+        let report = server.replay(&planned, &[ns(0), ns(0), ns(0)]);
+        assert_eq!(report.stats.admitted, 1);
+        assert_eq!(report.stats.shed, 2);
+
+        let registry = &server.telemetry().recorder().expect("enabled").registry;
+        assert_eq!(registry.counter("griffin_server_admitted_total"), 1);
+        assert_eq!(registry.counter("griffin_server_shed_total"), 2);
+        // Shed queries carried deadlines, so they count as missed.
+        assert_eq!(registry.counter("griffin_server_deadline_missed_total"), 2);
     }
 }

@@ -77,6 +77,7 @@ mod tests {
             topk: Vec::new(),
             time,
             steps,
+            gpu_faults: 0,
         }
     }
 

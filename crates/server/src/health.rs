@@ -1,0 +1,350 @@
+//! GPU health tracking: a circuit breaker over per-query fault outcomes.
+//!
+//! The engine's recovery layer (see `griffin::RecoveryPolicy`) makes a
+//! single faulting query *complete* — retries, then mid-query migration
+//! to the CPU. But recovery is not free: every failed attempt burns
+//! device time and every migration re-materializes state on the host. A
+//! device that faults on most queries should stop receiving them
+//! altogether until it proves itself healthy again. That is this
+//! module's job.
+//!
+//! [`GpuHealth`] is a classic three-state circuit breaker driven by the
+//! *virtual* clock:
+//!
+//! * **Closed** — the GPU lane is live. Each finished GPU-mode query
+//!   reports whether it observed any device fault; outcomes feed a
+//!   sliding window, and when the windowed failure fraction reaches
+//!   [`BreakerConfig::failure_threshold`] (with at least
+//!   [`BreakerConfig::min_samples`] observations) the breaker trips.
+//! * **Open** — the GPU lane is out. Queries are planned CPU-only
+//!   (*degraded*, never dropped) until
+//!   [`BreakerConfig::cooldown`] of virtual time has passed.
+//! * **HalfOpen** — after the cooldown, canary queries are allowed back
+//!   onto the device. [`BreakerConfig::canary_successes`] consecutive
+//!   fault-free canaries close the breaker; a single faulting canary
+//!   re-opens it and restarts the cooldown.
+//!
+//! The breaker is deterministic: it has no wall-clock or randomness,
+//! only the device's virtual time and the observed fault sequence, so a
+//! fixed fault-plan seed reproduces the exact same open/close history.
+
+use std::collections::VecDeque;
+
+use griffin_gpu_sim::VirtualNanos;
+
+/// The breaker's position. See the module docs for the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// GPU lane live; outcomes feed the sliding window.
+    Closed,
+    /// GPU lane tripped; queries degrade to CPU-only until the cooldown
+    /// elapses.
+    Open,
+    /// Cooldown elapsed; canary queries probe the device.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for telemetry (`closed` / `open` / `half_open`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric encoding for the `griffin_fault_breaker_state` gauge:
+    /// 0 = closed, 1 = half-open, 2 = open.
+    pub fn gauge_value(&self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding window length (most recent GPU-mode query outcomes).
+    pub window: usize,
+    /// Fraction of faulting queries in the window that trips the
+    /// breaker (`0.5` = half the window faulted).
+    pub failure_threshold: f64,
+    /// Minimum outcomes in the window before the threshold applies —
+    /// one unlucky first query must not trip the lane.
+    pub min_samples: usize,
+    /// Virtual time the breaker stays open before probing again.
+    pub cooldown: VirtualNanos,
+    /// Consecutive fault-free canaries required to close again.
+    pub canary_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 20,
+            failure_threshold: 0.5,
+            min_samples: 8,
+            cooldown: VirtualNanos::from_millis(5),
+            canary_successes: 3,
+        }
+    }
+}
+
+/// Counts of breaker activity, for telemetry and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Closed/HalfOpen → Open transitions.
+    pub opens: u64,
+    /// HalfOpen → Closed transitions.
+    pub closes: u64,
+    /// Open → HalfOpen transitions.
+    pub half_opens: u64,
+    /// Queries forced onto their CPU-only plan because the lane was out.
+    pub degraded: u64,
+}
+
+/// The GPU health tracker. One per server; drive it with
+/// [`allow_gpu`](GpuHealth::allow_gpu) before planning each GPU-hungry
+/// query and [`record`](GpuHealth::record) after the query finishes.
+#[derive(Debug, Clone)]
+pub struct GpuHealth {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Recent outcomes, `true` = the query observed at least one fault.
+    window: VecDeque<bool>,
+    faults_in_window: usize,
+    opened_at: VirtualNanos,
+    canary_ok: u32,
+    stats: BreakerStats,
+}
+
+impl GpuHealth {
+    pub fn new(config: BreakerConfig) -> GpuHealth {
+        assert!(config.window >= 1, "window must hold at least one outcome");
+        assert!(
+            config.min_samples >= 1,
+            "min_samples of 0 would trip on no evidence"
+        );
+        GpuHealth {
+            config,
+            state: BreakerState::Closed,
+            window: VecDeque::with_capacity(config.window),
+            faults_in_window: 0,
+            opened_at: VirtualNanos::ZERO,
+            canary_ok: 0,
+            stats: BreakerStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    pub fn stats(&self) -> BreakerStats {
+        self.stats
+    }
+
+    /// Windowed failure fraction (0.0 when the window is empty).
+    pub fn failure_fraction(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.faults_in_window as f64 / self.window.len() as f64
+        }
+    }
+
+    /// May the next GPU-hungry query use the device? `now` is the
+    /// device's virtual clock; an open breaker whose cooldown has
+    /// elapsed moves to half-open here and lets a canary through.
+    pub fn allow_gpu(&mut self, now: VirtualNanos) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now - self.opened_at >= self.config.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.canary_ok = 0;
+                    self.stats.half_opens += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Report one finished GPU-mode query: `had_fault` is whether the
+    /// engine observed any device fault while running it (transient or
+    /// not — a retried-and-absorbed fault still signals a sick device).
+    pub fn record(&mut self, now: VirtualNanos, had_fault: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                if self.window.len() == self.config.window && self.window.pop_front() == Some(true)
+                {
+                    self.faults_in_window -= 1;
+                }
+                self.window.push_back(had_fault);
+                if had_fault {
+                    self.faults_in_window += 1;
+                }
+                if self.window.len() >= self.config.min_samples
+                    && self.failure_fraction() >= self.config.failure_threshold
+                {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                if had_fault {
+                    self.trip(now);
+                } else {
+                    self.canary_ok += 1;
+                    if self.canary_ok >= self.config.canary_successes {
+                        self.close();
+                    }
+                }
+            }
+            // A query planned before the trip may finish after it;
+            // its outcome is stale evidence — ignore it.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Count one query forced onto its CPU-only plan by an open breaker.
+    pub fn note_degraded(&mut self) {
+        self.stats.degraded += 1;
+    }
+
+    fn trip(&mut self, now: VirtualNanos) {
+        self.state = BreakerState::Open;
+        self.opened_at = now;
+        self.window.clear();
+        self.faults_in_window = 0;
+        self.canary_ok = 0;
+        self.stats.opens += 1;
+    }
+
+    fn close(&mut self) {
+        self.state = BreakerState::Closed;
+        self.window.clear();
+        self.faults_in_window = 0;
+        self.canary_ok = 0;
+        self.stats.closes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> VirtualNanos {
+        VirtualNanos::from_nanos(v)
+    }
+
+    fn breaker(window: usize, min_samples: usize) -> GpuHealth {
+        GpuHealth::new(BreakerConfig {
+            window,
+            failure_threshold: 0.5,
+            min_samples,
+            cooldown: ns(1_000),
+            canary_successes: 2,
+        })
+    }
+
+    #[test]
+    fn stays_closed_under_occasional_faults() {
+        let mut h = breaker(10, 4);
+        for i in 0..50 {
+            assert!(h.allow_gpu(ns(i)));
+            h.record(ns(i), i % 5 == 0); // 20% fault rate < 50% threshold
+        }
+        assert_eq!(h.state(), BreakerState::Closed);
+        assert_eq!(h.stats().opens, 0);
+    }
+
+    #[test]
+    fn trips_when_window_crosses_threshold() {
+        let mut h = breaker(8, 4);
+        for i in 0..4 {
+            h.record(ns(i), true);
+        }
+        assert_eq!(h.state(), BreakerState::Open);
+        assert_eq!(h.stats().opens, 1);
+        assert!(!h.allow_gpu(ns(10)), "still inside the cooldown");
+    }
+
+    #[test]
+    fn min_samples_guards_against_early_trip() {
+        let mut h = breaker(8, 4);
+        h.record(ns(0), true);
+        h.record(ns(1), true);
+        // 100% failure fraction but only 2 of the 4 required samples.
+        assert_eq!(h.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_then_canaries_close_the_breaker() {
+        let mut h = breaker(8, 4);
+        for i in 0..4 {
+            h.record(ns(i), true);
+        }
+        assert_eq!(h.state(), BreakerState::Open);
+        // Cooldown (1000ns from the trip at t=3) not yet elapsed.
+        assert!(!h.allow_gpu(ns(500)));
+        // Elapsed: half-open, canaries allowed.
+        assert!(h.allow_gpu(ns(1_003)));
+        assert_eq!(h.state(), BreakerState::HalfOpen);
+        h.record(ns(1_100), false);
+        assert_eq!(h.state(), BreakerState::HalfOpen, "one of two canaries");
+        h.record(ns(1_200), false);
+        assert_eq!(h.state(), BreakerState::Closed);
+        assert_eq!(h.stats().closes, 1);
+        assert_eq!(h.stats().half_opens, 1);
+    }
+
+    #[test]
+    fn faulting_canary_reopens() {
+        let mut h = breaker(8, 4);
+        for i in 0..4 {
+            h.record(ns(i), true);
+        }
+        assert!(h.allow_gpu(ns(2_000)));
+        h.record(ns(2_100), true);
+        assert_eq!(h.state(), BreakerState::Open);
+        assert_eq!(h.stats().opens, 2);
+        // Cooldown restarts from the re-trip.
+        assert!(!h.allow_gpu(ns(2_500)));
+        assert!(h.allow_gpu(ns(3_200)));
+    }
+
+    #[test]
+    fn window_slides_old_faults_out() {
+        let mut h = breaker(4, 4);
+        h.record(ns(0), true);
+        h.record(ns(1), true);
+        h.record(ns(2), false);
+        // 2/3 faults but min_samples=4 holds fire; two clean outcomes
+        // push the faults out of the window.
+        h.record(ns(3), false);
+        assert_eq!(h.state(), BreakerState::Open, "4 samples at 50% trips");
+    }
+
+    #[test]
+    fn stale_outcomes_ignored_while_open() {
+        let mut h = breaker(8, 4);
+        for i in 0..4 {
+            h.record(ns(i), true);
+        }
+        let stats = h.stats();
+        h.record(ns(5), true);
+        h.record(ns(6), false);
+        assert_eq!(h.stats(), stats, "open breaker ignores outcomes");
+    }
+}

@@ -17,6 +17,11 @@
 //!   once per stage.
 //! * **Deadlines**: [`QueryRequest::deadline`](griffin::QueryRequest) is carried through and
 //!   every served query reports whether it met its budget.
+//! * **GPU health breaker** ([`GpuHealth`]): a circuit breaker over
+//!   per-query device-fault outcomes. A sliding window of faulting
+//!   queries trips the GPU lane to CPU-only *degraded* planning (zero
+//!   drops); after a virtual-time cooldown, canary probes close it
+//!   again once the device behaves.
 //!
 //! The pipeline is **bit-exact when unloaded**: a single query replayed
 //! through the simulator finishes in exactly
@@ -69,12 +74,14 @@
 pub mod admission;
 pub mod batch;
 pub mod bridge;
+pub mod health;
 pub mod server;
 pub mod sim;
 
 pub use admission::{AdmissionConfig, Outcome, OverloadPolicy, ServedQuery};
 pub use batch::BatchConfig;
 pub use bridge::{resource_of, resource_totals, stages_of};
+pub use health::{BreakerConfig, BreakerState, BreakerStats, GpuHealth};
 pub use server::{ArrivingQuery, GriffinServer, PlannedQuery, ServeReport, ServerConfig};
 pub use sim::{ServerSim, SimConfig, SimJob, SimReport, SimStats};
 

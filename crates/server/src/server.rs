@@ -15,6 +15,8 @@
 //!
 //! [`GriffinServer::serve`] does both in one call for the common case.
 
+use std::cell::RefCell;
+
 use griffin::serving::StageReq;
 use griffin::{ExecMode, Griffin, QueryRequest};
 use griffin_gpu_sim::VirtualNanos;
@@ -23,6 +25,7 @@ use griffin_telemetry::Telemetry;
 
 use crate::admission::{OverloadPolicy, ServedQuery};
 use crate::bridge::stages_of;
+use crate::health::{BreakerConfig, BreakerState, BreakerStats, GpuHealth};
 use crate::sim::{ServerSim, SimConfig, SimJob, SimReport, SimStats};
 use crate::Timeline;
 
@@ -53,6 +56,9 @@ pub struct PlannedQuery {
     pub cpu_fallback: Option<VirtualNanos>,
     /// Carried from the request.
     pub deadline: Option<VirtualNanos>,
+    /// True when the GPU health breaker was open and the query was
+    /// planned on its CPU-only schedule despite requesting the GPU.
+    pub breaker_degraded: bool,
 }
 
 /// Everything one serving run produces.
@@ -100,6 +106,9 @@ impl ServeReport {
 pub struct GriffinServer {
     config: ServerConfig,
     telemetry: Telemetry,
+    /// GPU circuit breaker fed by per-query fault outcomes during
+    /// planning. Interior mutability keeps `plan`/`serve` on `&self`.
+    health: RefCell<GpuHealth>,
 }
 
 impl GriffinServer {
@@ -107,7 +116,23 @@ impl GriffinServer {
         GriffinServer {
             config,
             telemetry: Telemetry::disabled(),
+            health: RefCell::new(GpuHealth::new(BreakerConfig::default())),
         }
+    }
+
+    /// Replace the GPU health breaker's tuning (resets its state).
+    pub fn set_breaker(&mut self, config: BreakerConfig) {
+        self.health = RefCell::new(GpuHealth::new(config));
+    }
+
+    /// The breaker's current position.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.health.borrow().state()
+    }
+
+    /// The breaker's activity counters so far.
+    pub fn breaker_stats(&self) -> BreakerStats {
+        self.health.borrow().stats()
     }
 
     /// Attach a telemetry session; replay records queue, shed, and batch
@@ -128,6 +153,14 @@ impl GriffinServer {
     /// measured trace into serving stages. When the admission policy can
     /// degrade and the request is not already CPU-only, the CPU-only
     /// fallback schedule is measured too.
+    ///
+    /// The GPU health breaker sits in front of this phase: each finished
+    /// GPU-mode query reports whether it observed a device fault
+    /// ([`griffin::GriffinOutput::gpu_faults`]), and once the windowed
+    /// failure fraction trips the breaker, subsequent GPU-hungry
+    /// requests are planned on their CPU-only schedule instead —
+    /// *degraded, never dropped*. After the cooldown, canary queries
+    /// probe the device and close the breaker again when it behaves.
     pub fn plan(
         &self,
         engine: &Griffin<'_>,
@@ -136,11 +169,26 @@ impl GriffinServer {
     ) -> Vec<PlannedQuery> {
         let wants_fallback = self.config.admission.policy == OverloadPolicy::DegradeToCpuOnly
             && self.config.admission.gpu_depth_threshold != usize::MAX;
-        requests
+        let planned = requests
             .iter()
             .map(|req| {
-                let out = engine.run(index, req);
-                let cpu_fallback = if wants_fallback && req.mode != ExecMode::CpuOnly {
+                let wants_gpu = req.mode != ExecMode::CpuOnly;
+                let gpu_allowed = !wants_gpu || self.breaker_allows(engine.device().now());
+                let out = if gpu_allowed {
+                    let out = engine.run(index, req);
+                    if wants_gpu {
+                        self.breaker_record(engine.device().now(), out.gpu_faults > 0);
+                    }
+                    out
+                } else {
+                    self.health.borrow_mut().note_degraded();
+                    self.telemetry
+                        .counter_add("griffin_fault_breaker_degraded_total", 1);
+                    let mut degraded = req.clone();
+                    degraded.mode = ExecMode::CpuOnly;
+                    engine.run(index, &degraded)
+                };
+                let cpu_fallback = if wants_fallback && wants_gpu && gpu_allowed {
                     let fb = QueryRequest::new(req.terms.clone())
                         .k(req.k)
                         .mode(ExecMode::CpuOnly);
@@ -154,9 +202,50 @@ impl GriffinServer {
                     stages: stages_of(&out),
                     cpu_fallback,
                     deadline: req.deadline,
+                    breaker_degraded: wants_gpu && !gpu_allowed,
                 }
             })
-            .collect()
+            .collect();
+        self.telemetry.gauge_set(
+            "griffin_fault_breaker_state",
+            self.health.borrow().state().gauge_value(),
+        );
+        planned
+    }
+
+    /// Asks the breaker whether the next GPU-hungry query may use the
+    /// device, recording any state transition it causes.
+    fn breaker_allows(&self, now: VirtualNanos) -> bool {
+        let mut h = self.health.borrow_mut();
+        let before = h.state();
+        let allowed = h.allow_gpu(now);
+        let after = h.state();
+        drop(h);
+        self.note_transition(before, after);
+        allowed
+    }
+
+    /// Feeds one finished GPU-mode query's fault outcome to the breaker,
+    /// recording any state transition it causes.
+    fn breaker_record(&self, now: VirtualNanos, had_fault: bool) {
+        let mut h = self.health.borrow_mut();
+        let before = h.state();
+        h.record(now, had_fault);
+        let after = h.state();
+        drop(h);
+        self.note_transition(before, after);
+    }
+
+    fn note_transition(&self, before: BreakerState, after: BreakerState) {
+        if before != after {
+            self.telemetry.counter_add(
+                &format!(
+                    "griffin_fault_breaker_transitions_total{{to=\"{}\"}}",
+                    after.label()
+                ),
+                1,
+            );
+        }
     }
 
     /// Phase 2: replay planned queries arriving at the given instants

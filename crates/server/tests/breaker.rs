@@ -1,0 +1,199 @@
+//! The GPU health breaker end to end: a device faulting on half its
+//! queries trips the GPU lane to CPU-only degraded planning with zero
+//! drops, and the breaker closes again once the faults clear.
+
+use griffin::serving::Resource;
+use griffin::{ExecMode, Griffin, QueryRequest};
+use griffin_gpu_sim::{DeviceConfig, FaultPlan, Gpu, VirtualNanos};
+use griffin_index::{InvertedIndex, TermId};
+use griffin_server::{
+    BreakerConfig, BreakerState, GriffinServer, Outcome, PlannedQuery, ServerConfig,
+};
+use griffin_telemetry::Telemetry;
+use griffin_workload::{build_list_index, ListIndexSpec, QueryLogSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_workload() -> (InvertedIndex, Vec<Vec<TermId>>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let spec = ListIndexSpec {
+        num_terms: 24,
+        num_docs: 400_000,
+        max_list_len: 80_000,
+        ..Default::default()
+    };
+    let (index, _) = build_list_index(&spec, &mut rng);
+    let queries = QueryLogSpec {
+        num_queries: 48,
+        ..Default::default()
+    }
+    .generate(&index, &mut rng);
+    (index, queries)
+}
+
+fn breaker_config() -> BreakerConfig {
+    BreakerConfig {
+        window: 8,
+        failure_threshold: 0.5,
+        min_samples: 4,
+        cooldown: VirtualNanos::from_millis(10),
+        canary_successes: 2,
+    }
+}
+
+fn hybrid_requests(queries: &[Vec<TermId>]) -> Vec<QueryRequest> {
+    queries
+        .iter()
+        .map(|q| QueryRequest::new(q.clone()).k(10).mode(ExecMode::Hybrid))
+        .collect()
+}
+
+fn assert_topk_matches_cpu(
+    engine: &Griffin<'_>,
+    index: &InvertedIndex,
+    requests: &[QueryRequest],
+    planned: &[PlannedQuery],
+) {
+    for (req, p) in requests.iter().zip(planned) {
+        let cpu = engine.run(
+            index,
+            &QueryRequest::new(req.terms.clone())
+                .k(req.k)
+                .mode(ExecMode::CpuOnly),
+        );
+        let ids = |topk: &[(u32, f32)]| topk.iter().map(|&(d, _)| d).collect::<Vec<_>>();
+        assert_eq!(
+            ids(&p.topk),
+            ids(&cpu.topk),
+            "planned top-k must match the CPU-only baseline"
+        );
+    }
+}
+
+#[test]
+fn faulty_window_trips_gpu_lane_and_recovers() {
+    let (index, queries) = build_workload();
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let engine = Griffin::new(&gpu, index.meta(), index.block_len());
+
+    let mut server = GriffinServer::new(ServerConfig::default());
+    server.set_breaker(breaker_config());
+    server.set_telemetry(Telemetry::enabled());
+
+    // ---- Phase 1: a sick device. Half of all device ops fault. -------
+    gpu.set_fault_plan(Some(FaultPlan::seeded(0xF417).with_fault_rate(0.5)));
+    let requests = hybrid_requests(&queries[..24]);
+    let planned = server.plan(&engine, &index, &requests);
+
+    // Every faulting query still completed (the engine's recovery
+    // layer), and once the window tripped, the rest were planned
+    // CPU-only — degraded, never dropped.
+    assert_eq!(planned.len(), requests.len(), "zero drops at planning");
+    let stats = server.breaker_stats();
+    assert!(stats.opens >= 1, "50% fault window must trip the breaker");
+    assert!(stats.degraded >= 1, "open breaker must degrade queries");
+    assert_eq!(server.breaker_state(), BreakerState::Open);
+    let degraded: Vec<&PlannedQuery> = planned.iter().filter(|p| p.breaker_degraded).collect();
+    assert_eq!(degraded.len() as u64, stats.degraded);
+    for p in &degraded {
+        assert!(
+            p.stages.iter().all(|s| s.resource == Resource::Cpu),
+            "degraded plans must not touch the GPU lane"
+        );
+    }
+    // The answers never change, only where they were computed.
+    assert_topk_matches_cpu(&engine, &index, &requests, &planned);
+
+    // Replaying the degraded plans serves every query.
+    let arrivals: Vec<VirtualNanos> = (0..planned.len())
+        .map(|i| VirtualNanos::from_micros(50 * i as u64))
+        .collect();
+    let report = server.replay(&planned, &arrivals);
+    assert_eq!(report.stats.shed, 0, "zero drops at replay");
+    for q in &report.queries {
+        assert_eq!(q.outcome, Outcome::Completed);
+        assert!(q.latency.is_some());
+    }
+
+    // ---- Phase 2: the device heals. ----------------------------------
+    gpu.set_fault_plan(None);
+    gpu.advance(VirtualNanos::from_millis(11));
+    let requests2 = hybrid_requests(&queries[24..]);
+    let planned2 = server.plan(&engine, &index, &requests2);
+
+    // Canary probes ran clean and closed the breaker; the GPU lane is
+    // live again for the rest of the batch.
+    assert_eq!(server.breaker_state(), BreakerState::Closed);
+    let stats = server.breaker_stats();
+    assert!(stats.half_opens >= 1, "cooldown must admit canaries");
+    assert!(stats.closes >= 1, "clean canaries must close the breaker");
+    assert!(
+        planned2.iter().all(|p| !p.breaker_degraded),
+        "no degradation after recovery"
+    );
+    assert!(
+        planned2
+            .last()
+            .expect("non-empty batch")
+            .stages
+            .iter()
+            .any(|s| s.resource == Resource::Gpu),
+        "recovered lane must actually carry GPU stages"
+    );
+    assert_topk_matches_cpu(&engine, &index, &requests2, &planned2);
+
+    // ---- Telemetry surface. ------------------------------------------
+    let registry = &server.telemetry().recorder().expect("enabled").registry;
+    assert!(registry.counter("griffin_fault_breaker_transitions_total{to=\"open\"}") >= 1);
+    assert!(registry.counter("griffin_fault_breaker_transitions_total{to=\"half_open\"}") >= 1);
+    assert!(registry.counter("griffin_fault_breaker_transitions_total{to=\"closed\"}") >= 1);
+    assert_eq!(
+        registry.counter("griffin_fault_breaker_degraded_total"),
+        stats.degraded
+    );
+    assert_eq!(
+        registry.gauge("griffin_fault_breaker_state"),
+        Some(BreakerState::Closed.gauge_value())
+    );
+}
+
+#[test]
+fn healthy_device_never_trips() {
+    let (index, queries) = build_workload();
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let engine = Griffin::new(&gpu, index.meta(), index.block_len());
+    let mut server = GriffinServer::new(ServerConfig::default());
+    server.set_breaker(breaker_config());
+
+    let requests = hybrid_requests(&queries[..16]);
+    let planned = server.plan(&engine, &index, &requests);
+    assert_eq!(server.breaker_state(), BreakerState::Closed);
+    let stats = server.breaker_stats();
+    assert_eq!(stats.opens, 0);
+    assert_eq!(stats.degraded, 0);
+    assert!(planned.iter().all(|p| !p.breaker_degraded));
+}
+
+#[test]
+fn cpu_only_requests_bypass_the_breaker() {
+    let (index, queries) = build_workload();
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let engine = Griffin::new(&gpu, index.meta(), index.block_len());
+    let mut server = GriffinServer::new(ServerConfig::default());
+    server.set_breaker(breaker_config());
+
+    // Even with a completely lost device, CPU-only requests plan fine
+    // and never feed (or consult) the breaker.
+    gpu.set_fault_plan(Some(FaultPlan::seeded(3).lose_device_at(0)));
+    let requests: Vec<QueryRequest> = queries[..8]
+        .iter()
+        .map(|q| QueryRequest::new(q.clone()).k(10).mode(ExecMode::CpuOnly))
+        .collect();
+    let planned = server.plan(&engine, &index, &requests);
+    assert_eq!(planned.len(), 8);
+    assert_eq!(server.breaker_state(), BreakerState::Closed);
+    assert_eq!(server.breaker_stats().degraded, 0);
+    assert!(planned
+        .iter()
+        .all(|p| p.stages.iter().all(|s| s.resource == Resource::Cpu)));
+}

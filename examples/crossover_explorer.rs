@@ -53,11 +53,12 @@ fn main() {
         // GPU: upload + Para-EF + MergePath (Griffin-GPU's low-ratio path).
         let ef = BlockedList::compress(&long, Codec::EliasFano, DEFAULT_BLOCK_LEN);
         let ((), gpu_time) = gpu.time(|g| {
-            let d_short = g.htod(&short);
-            let d_long = DeviceEfList::upload(g, &ef);
-            let ids = para_ef::decompress(g, &d_long);
+            let d_short = g.htod(&short).expect("device op");
+            let d_long = DeviceEfList::upload(g, &ef).expect("device op");
+            let ids = para_ef::decompress(g, &d_long).expect("device op");
             let cfg = MergePathConfig::for_device(g.config());
-            let m = mergepath::intersect(g, &d_short, short.len(), &ids, d_long.len, &cfg);
+            let m = mergepath::intersect(g, &d_short, short.len(), &ids, d_long.len, &cfg)
+                .expect("device op");
             m.free(g);
             g.free(ids);
             d_long.free(g);

@@ -23,7 +23,7 @@ proptest! {
                                           block_len in prop::sample::select(vec![32usize, 128, 256])) {
         for codec in [Codec::PforDelta, Codec::EliasFano, Codec::Varint] {
             let list = BlockedList::compress(&ids, codec, block_len);
-            prop_assert_eq!(list.decompress(), ids.clone(), "{:?}", codec);
+            prop_assert_eq!(list.decompress().expect("intact list"), ids.clone(), "{:?}", codec);
             prop_assert_eq!(list.len(), ids.len());
         }
     }
@@ -34,7 +34,7 @@ proptest! {
         for &d in ids.iter().step_by(7) {
             let blk = list.find_block(d).expect("member docid has a block");
             let mut decoded = Vec::new();
-            list.decode_block_into(blk, &mut decoded);
+            list.decode_block_into(blk, &mut decoded).expect("intact block");
             prop_assert!(decoded.binary_search(&d).is_ok());
         }
         // Anything beyond the maximum maps to no block.
@@ -48,7 +48,7 @@ proptest! {
         sorted.sort_unstable();
         let blk = EfBlock::encode(&sorted);
         let mut out = Vec::new();
-        blk.decode_into(0, &mut out);
+        blk.decode_into(0, &mut out).expect("intact block");
         prop_assert_eq!(&out, &sorted);
         // Random access agrees with sequential decode.
         let idx = sorted.len() / 2;
@@ -56,14 +56,14 @@ proptest! {
         // Word serialization is stable.
         let mut words = Vec::new();
         blk.to_words(&mut words);
-        prop_assert_eq!(EfBlock::from_words(&words), blk);
+        prop_assert_eq!(EfBlock::from_words(&words).expect("intact words"), blk);
     }
 
     #[test]
     fn pfordelta_block_roundtrips_any_values(values in vec(0u32..=u32::MAX, 0..300)) {
         let blk = PforBlock::encode(&values);
         let mut out = Vec::new();
-        blk.decode_into(&mut out);
+        blk.decode_into(&mut out).expect("intact block");
         prop_assert_eq!(out, values);
     }
 

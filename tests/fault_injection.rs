@@ -1,0 +1,190 @@
+//! Cross-crate fault-injection invariants.
+//!
+//! Two pins hold the whole robustness layer together:
+//!
+//! 1. **Off means off** — an armed-but-no-op fault plan is bit-exact with
+//!    no plan at all: identical top-k, identical step traces, identical
+//!    virtual clock.
+//! 2. **Loss means degradation, never failure** — a sticky `DeviceLost`
+//!    at *any* operation index leaves every query completing with the
+//!    exact CPU-only answer, and step durations (including the
+//!    `FaultRecovery` steps) still summing to the reported total.
+//!
+//! Set `GRIFFIN_FAULT_SEED` to explore other deterministic fault
+//! schedules (the CI chaos job sweeps a fixed set of seeds).
+
+use griffin_suite::griffin::StepOp;
+use griffin_suite::griffin_gpu_sim::FaultPlan;
+use griffin_suite::prelude::*;
+
+fn fault_seed() -> u64 {
+    std::env::var("GRIFFIN_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+struct Fixture {
+    index: InvertedIndex,
+    queries: Vec<Vec<TermId>>,
+}
+
+fn fixture() -> Fixture {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let spec = ListIndexSpec {
+        num_terms: 20,
+        num_docs: 500_000,
+        max_list_len: 100_000,
+        ..Default::default()
+    };
+    let (index, _) = build_list_index(&spec, &mut rng);
+    let queries = QueryLogSpec {
+        num_queries: 12,
+        ..Default::default()
+    }
+    .generate(&index, &mut rng);
+    Fixture { index, queries }
+}
+
+fn ids(out: &GriffinOutput) -> Vec<u32> {
+    out.topk.iter().map(|&(d, _)| d).collect()
+}
+
+fn step_sum(out: &GriffinOutput) -> VirtualNanos {
+    out.steps.iter().map(|s| s.time).sum()
+}
+
+#[test]
+fn armed_noop_plan_is_bit_exact_with_no_plan() {
+    let fx = fixture();
+    let seed = fault_seed();
+
+    let run_all = |plan: Option<FaultPlan>| -> (Vec<GriffinOutput>, VirtualNanos) {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        gpu.set_fault_plan(plan);
+        let griffin = Griffin::new(&gpu, fx.index.meta(), fx.index.block_len());
+        let outs: Vec<GriffinOutput> = fx
+            .queries
+            .iter()
+            .flat_map(|q| {
+                [ExecMode::CpuOnly, ExecMode::GpuOnly, ExecMode::Hybrid]
+                    .map(|mode| griffin.process_query(&fx.index, q, 10, mode))
+            })
+            .collect();
+        let clock = gpu.now();
+        griffin.gpu.shutdown();
+        assert_eq!(gpu.mem_in_use(), 0);
+        (outs, clock)
+    };
+
+    let plan = FaultPlan::seeded(seed);
+    assert!(plan.is_noop(), "a freshly seeded plan must inject nothing");
+    let (bare, clock_bare) = run_all(None);
+    let (armed, clock_armed) = run_all(Some(plan));
+
+    assert_eq!(clock_bare, clock_armed, "virtual clocks must agree");
+    for (a, b) in bare.iter().zip(&armed) {
+        assert_eq!(a.topk, b.topk);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.gpu_faults, 0);
+        assert_eq!(b.gpu_faults, 0);
+    }
+}
+
+#[test]
+fn sticky_device_loss_at_any_index_degrades_but_never_fails() {
+    let fx = fixture();
+    let seed = fault_seed();
+
+    // CPU-only ground truth, computed once on a healthy device.
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let griffin = Griffin::new(&gpu, fx.index.meta(), fx.index.block_len());
+    let truth: Vec<Vec<u32>> = fx
+        .queries
+        .iter()
+        .map(|q| ids(&griffin.process_query(&fx.index, q, 10, ExecMode::CpuOnly)))
+        .collect();
+
+    // Lose the device at a spread of operation indices, including deep
+    // into the stream; every Hybrid query must still return the exact
+    // CPU answer with exact step accounting.
+    for lost_at in [0u64, 1, 2, 5, 11, 23, 47, 120, 400] {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        gpu.set_fault_plan(Some(FaultPlan::seeded(seed).lose_device_at(lost_at)));
+        let griffin = Griffin::new(&gpu, fx.index.meta(), fx.index.block_len());
+        let mut saw_fault = false;
+        for (q, expect) in fx.queries.iter().zip(&truth) {
+            let out = griffin.process_query(&fx.index, q, 10, ExecMode::Hybrid);
+            assert_eq!(&ids(&out), expect, "lost_at={lost_at}");
+            assert_eq!(
+                step_sum(&out),
+                out.time,
+                "steps must sum to the total (lost_at={lost_at})"
+            );
+            saw_fault |= out.gpu_faults > 0;
+        }
+        assert!(saw_fault, "device loss at {lost_at} must surface as faults");
+        griffin.gpu.shutdown();
+        assert_eq!(
+            gpu.mem_in_use(),
+            0,
+            "no leaks under device loss (lost_at={lost_at})"
+        );
+    }
+}
+
+#[test]
+fn random_fault_storm_preserves_answers_and_accounting() {
+    let fx = fixture();
+    let seed = fault_seed();
+
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let griffin = Griffin::new(&gpu, fx.index.meta(), fx.index.block_len());
+    let truth: Vec<Vec<u32>> = fx
+        .queries
+        .iter()
+        .map(|q| ids(&griffin.process_query(&fx.index, q, 10, ExecMode::CpuOnly)))
+        .collect();
+
+    for rate in [0.001, 0.01, 0.2] {
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        gpu.set_fault_plan(Some(FaultPlan::seeded(seed).with_fault_rate(rate)));
+        let griffin = Griffin::new(&gpu, fx.index.meta(), fx.index.block_len());
+        for (q, expect) in fx.queries.iter().zip(&truth) {
+            for mode in [ExecMode::GpuOnly, ExecMode::Hybrid] {
+                let out = griffin.process_query(&fx.index, q, 10, mode);
+                assert_eq!(&ids(&out), expect, "rate={rate} mode={mode:?}");
+                assert_eq!(step_sum(&out), out.time, "rate={rate} mode={mode:?}");
+            }
+        }
+        griffin.gpu.shutdown();
+        assert_eq!(gpu.mem_in_use(), 0, "no leaks at fault rate {rate}");
+    }
+}
+
+#[test]
+fn fault_recovery_steps_appear_exactly_when_faults_escalate() {
+    let fx = fixture();
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    gpu.set_fault_plan(Some(FaultPlan::seeded(fault_seed()).lose_device_at(3)));
+    let griffin = Griffin::new(&gpu, fx.index.meta(), fx.index.block_len());
+    let q = &fx.queries[0];
+    let out = griffin.process_query(&fx.index, q, 10, ExecMode::Hybrid);
+    assert!(
+        out.steps.iter().any(|s| s.op == StepOp::FaultRecovery),
+        "an exhausted fault must leave a FaultRecovery step"
+    );
+    // Recovery steps carry real time: the wasted attempts plus the CPU
+    // re-materialization are accounted, not hidden.
+    let recovery: VirtualNanos = out
+        .steps
+        .iter()
+        .filter(|s| s.op == StepOp::FaultRecovery)
+        .map(|s| s.time)
+        .sum();
+    assert!(recovery.as_nanos() > 0);
+    griffin.gpu.shutdown();
+    assert_eq!(gpu.mem_in_use(), 0);
+}

@@ -32,11 +32,11 @@ proptest! {
     #[test]
     fn scan_matches_prefix_sum(data in vec(0u32..1000, 0..3000)) {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
-        let src = gpu.htod(&data);
+        let src = gpu.htod(&data).expect("device op");
         let t0 = gpu.now();
-        let (dst, total) = scan::exclusive_scan(&gpu, &src, data.len());
+        let (dst, total) = scan::exclusive_scan(&gpu, &src, data.len()).expect("device op");
         prop_assert!(data.is_empty() || gpu.now() > t0);
-        let got = gpu.dtoh(&dst);
+        let got = gpu.dtoh(&dst).expect("device op");
         let mut acc = 0u32;
         for (i, &v) in data.iter().enumerate() {
             prop_assert_eq!(got[i], acc);
@@ -49,10 +49,10 @@ proptest! {
     fn mergepath_equals_host_intersection(a in sorted_unique(), b in sorted_unique()) {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let cfg = MergePathConfig::for_device(gpu.config());
-        let da = gpu.htod(&a);
-        let db = gpu.htod(&b);
-        let m = mergepath::intersect(&gpu, &da, a.len(), &db, b.len(), &cfg);
-        let got = gpu.dtoh_prefix(&m.docids, m.len);
+        let da = gpu.htod(&a).expect("device op");
+        let db = gpu.htod(&b).expect("device op");
+        let m = mergepath::intersect(&gpu, &da, a.len(), &db, b.len(), &cfg).expect("device op");
+        let got = gpu.dtoh_prefix(&m.docids, m.len).expect("device op");
         prop_assert_eq!(got, host_intersect(&a, &b));
     }
 
@@ -60,10 +60,11 @@ proptest! {
     fn gpu_binary_equals_host_intersection(short in sorted_unique(), long in sorted_unique()) {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let compressed = BlockedList::compress(&long, Codec::EliasFano, DEFAULT_BLOCK_LEN);
-        let dlong = DeviceEfList::upload(&gpu, &compressed);
-        let dshort = gpu.htod(&short);
-        let out = gpu_binary::intersect(&gpu, &dshort, short.len(), &dlong, DEFAULT_BLOCK_LEN);
-        let got = gpu.dtoh_prefix(&out.matches.docids, out.matches.len);
+        let dlong = DeviceEfList::upload(&gpu, &compressed).expect("device op");
+        let dshort = gpu.htod(&short).expect("device op");
+        let out = gpu_binary::intersect(&gpu, &dshort, short.len(), &dlong, DEFAULT_BLOCK_LEN)
+            .expect("device op");
+        let got = gpu.dtoh_prefix(&out.matches.docids, out.matches.len).expect("device op");
         prop_assert_eq!(got, host_intersect(&short, &long));
         // Needed blocks never exceed the total or the short length.
         prop_assert!(out.blocks_decoded <= compressed.num_blocks());
@@ -74,9 +75,9 @@ proptest! {
     fn para_ef_is_bit_exact(ids in sorted_unique()) {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
-        let dev = DeviceEfList::upload(&gpu, &list);
-        let out = para_ef::decompress(&gpu, &dev);
-        prop_assert_eq!(gpu.dtoh(&out), ids);
+        let dev = DeviceEfList::upload(&gpu, &list).expect("device op");
+        let out = para_ef::decompress(&gpu, &dev).expect("device op");
+        prop_assert_eq!(gpu.dtoh(&out).expect("device op"), ids);
     }
 
     #[test]
@@ -84,10 +85,10 @@ proptest! {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let n = scores.len();
         let docids: Vec<u32> = (0..n as u32).collect();
-        let d = gpu.htod(&docids);
-        let s = gpu.htod(&scores);
-        let by_sort = radix_sort::top_k_by_sort(&gpu, &d, &s, n, k);
-        let by_select = bucket_select::top_k_by_bucket_select(&gpu, &d, &s, n, k);
+        let d = gpu.htod(&docids).expect("device op");
+        let s = gpu.htod(&scores).expect("device op");
+        let by_sort = radix_sort::top_k_by_sort(&gpu, &d, &s, n, k).expect("device op");
+        let by_select = bucket_select::top_k_by_bucket_select(&gpu, &d, &s, n, k).expect("device op");
         let sc = |v: &[(u32, f32)]| v.iter().map(|&(_, x)| x).collect::<Vec<_>>();
         prop_assert_eq!(sc(&by_sort), sc(&by_select));
         // Both must equal the host reference scores.
@@ -101,14 +102,14 @@ proptest! {
     fn device_memory_balances_after_kernel_pipelines(ids in sorted_unique()) {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
-        let dev = DeviceEfList::upload(&gpu, &list);
-        let out = para_ef::decompress(&gpu, &dev);
+        let dev = DeviceEfList::upload(&gpu, &list).expect("device op");
+        let out = para_ef::decompress(&gpu, &dev).expect("device op");
         let before = gpu.mem_in_use();
         // A full intersection pipeline must free all its temporaries.
         let m = mergepath::intersect(
             &gpu, &out, ids.len(), &out, ids.len(),
             &MergePathConfig::for_device(gpu.config()),
-        );
+        ).expect("device op");
         let extra = m.docids.size_bytes() + m.a_idx.size_bytes() + m.b_idx.size_bytes();
         prop_assert_eq!(gpu.mem_in_use(), before + extra);
         m.free(&gpu);
