@@ -64,6 +64,7 @@ fn main() {
     let mut plan_cpu = Vec::with_capacity(queries.len());
     let mut plan_gpu = Vec::with_capacity(queries.len());
     let mut plan_hyb = Vec::with_capacity(queries.len());
+    let mut hyb_traces = Vec::with_capacity(queries.len());
     for q in &queries {
         let cpu = griffin.run(
             &index,
@@ -85,6 +86,7 @@ fn main() {
         plan_gpu.push(planned(&gpu_only, Some(cpu.time)));
         plan_hyb.push(planned(&hyb, Some(cpu.time)));
         plan_cpu.push(planned(&cpu, None));
+        hyb_traces.push(hyb.steps);
     }
 
     // Deadline: a generous multiple of the unloaded hybrid mean — misses
@@ -111,15 +113,22 @@ fn main() {
         .collect();
     // Tune the packer to the workload: stages up to the p90 duration are
     // batchable; the fixed per-stage overhead comes from the device model.
-    let batching = BatchConfig {
+    // Copy fraction: prefer the workload's measured transfer share over
+    // the device-derived default when the traces actually saw transfers.
+    let measured_copy = griffin_server::gpu_copy_fraction(hyb_traces.iter().map(|s| s.as_slice()));
+    let mut batching = BatchConfig {
         small_stage: percentile(&gpu_stage_durations, 90.0),
         ..BatchConfig::for_device(gpu.config())
     };
+    if measured_copy > 0.0 {
+        batching.copy_fraction = measured_copy;
+    }
     eprintln!(
-        "mean GPU time/query {}, batchable below {}, per-stage overhead {}",
+        "mean GPU time/query {}, batchable below {}, per-stage overhead {}, copy fraction {:.2}",
         ms(mean_gpu_stage),
         ms(batching.small_stage),
         ms(batching.per_stage_overhead),
+        batching.copy_fraction,
     );
 
     let rates = [(0.5, "low"), (0.75, "medium"), (0.95, "high")];

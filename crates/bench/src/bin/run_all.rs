@@ -1,5 +1,13 @@
 //! Runs every experiment binary in paper order. Equivalent to invoking
 //! each `exp_*` binary; honours `GRIFFIN_SCALE` / `GRIFFIN_FULL`.
+//!
+//! Experiments run **in parallel** across a worker pool (default: the
+//! machine's available parallelism, override with `GRIFFIN_JOBS`) with
+//! their output captured, then printed strictly in paper order — the
+//! transcript is byte-identical to a serial run, only the wall clock
+//! shrinks. The experiments themselves are virtual-time simulations, so
+//! concurrent runs cannot perturb each other's results.
+//!
 //! Launch failures and nonzero exits don't abort the sweep: every
 //! experiment runs, the summary reports which succeeded or failed, and
 //! the process exits nonzero if any failed.
@@ -8,7 +16,11 @@
 //! cargo run -p griffin-bench --release --bin run_all
 //! ```
 
-use std::process::Command;
+use std::io::Write;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
 
 fn main() {
     let exps = [
@@ -22,21 +34,80 @@ fn main() {
         "exp_fig13",
         "exp_fig14",
         "exp_fig15",
+        "exp_overlap",
         "exp_serving",
         "exp_faults",
     ];
     // Experiment binaries live next to this one.
     let me = std::env::current_exe().expect("current_exe");
-    let dir = me.parent().expect("binary directory");
+    let dir = me.parent().expect("binary directory").to_path_buf();
+
+    let workers = std::env::var("GRIFFIN_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(exps.len());
+    eprintln!("running {} experiments on {workers} workers", exps.len());
+
+    // Workers pull the next experiment index from a shared counter and
+    // send back (index, captured output); the printer drains the channel
+    // and emits transcripts in index order, streaming each as soon as
+    // all earlier ones are out.
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<Output, String>)>();
     let mut failures: Vec<(&str, String)> = Vec::new();
-    for exp in exps {
-        println!("\n################ {exp} ################");
-        match Command::new(dir.join(exp)).status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => failures.push((exp, format!("exited with {status}"))),
-            Err(e) => failures.push((exp, format!("failed to launch: {e}"))),
+    thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let dir = &dir;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= exps.len() {
+                    break;
+                }
+                let result = Command::new(dir.join(exps[i]))
+                    .output()
+                    .map_err(|e| format!("failed to launch: {e}"));
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
         }
-    }
+        drop(tx);
+
+        let mut pending: Vec<Option<Result<Output, String>>> = exps.iter().map(|_| None).collect();
+        let mut printed = 0;
+        for (i, result) in rx {
+            pending[i] = Some(result);
+            while printed < exps.len() {
+                let Some(result) = pending[printed].take() else {
+                    break;
+                };
+                let exp = exps[printed];
+                println!("\n################ {exp} ################");
+                match result {
+                    Ok(out) => {
+                        // Progress went to the child's stderr, tables to
+                        // its stdout; replay both on our streams.
+                        std::io::stderr().write_all(&out.stderr).expect("stderr");
+                        std::io::stdout().write_all(&out.stdout).expect("stdout");
+                        if !out.status.success() {
+                            failures.push((exp, format!("exited with {}", out.status)));
+                        }
+                    }
+                    Err(why) => failures.push((exp, why)),
+                }
+                printed += 1;
+            }
+        }
+    });
+
     println!("\n################ summary ################");
     for exp in exps {
         match failures.iter().find(|(name, _)| *name == exp) {

@@ -1,0 +1,181 @@
+//! Analytic GPU-step cost model for the hybrid planner.
+//!
+//! The scheduler's ratio rule (paper §3.2) picks the *processor* for a
+//! pairwise intersection; the `min_gpu_work` floor keeps tiny operations
+//! off the device because launch, allocation, and PCIe overheads occur
+//! once per operation and need enough work to amortize. How much work is
+//! "enough" depends on whether those PCIe transfers are *serialized*
+//! with compute or *pipelined* behind it (see [`griffin_gpu_sim::stream`]):
+//! with copy/compute overlap the next list ships while the previous step's
+//! kernels run, so the per-step cost drops from `fixed + transfer +
+//! compute` to `fixed + max(transfer, compute)` and the profitable-work
+//! crossover moves down.
+//!
+//! [`CostModel`] captures both estimates from a [`DeviceConfig`] and
+//! solves for the smallest profitable long-list length, which
+//! [`crate::Scheduler::apply_cost_model`] installs as the floor. The
+//! model is deliberately coarse — a handful of calibrated constants, not
+//! a re-simulation — because the planner only needs the crossover's
+//! order of magnitude.
+
+use griffin_gpu_sim::{DeviceConfig, VirtualNanos};
+
+/// Approximate bytes shipped over PCIe per long-list element: Elias-Fano
+/// docids (~1.3 B/elem at realistic densities) plus packed term
+/// frequencies and block metadata.
+const BYTES_PER_ELEM: f64 = 2.5;
+
+/// Device-memory traffic per long-list element across the step's passes
+/// (decompress + decode + merge + score), used for the bandwidth-bound
+/// compute estimate.
+const DEVICE_TRAFFIC_BYTES_PER_ELEM: f64 = 24.0;
+
+/// Kernel launches charged per intersection step (decompress, tf decode,
+/// partition, merge, scan, score).
+const LAUNCHES_PER_STEP: u64 = 6;
+
+/// Device allocations charged per intersection step.
+const MALLOCS_PER_STEP: u64 = 6;
+
+/// Per-step cost estimates for one GPU pairwise intersection, serial and
+/// pipelined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-step overhead (launches + allocations), ns.
+    pub fixed_ns: f64,
+    /// Fixed per-transfer PCIe latency, ns.
+    pub pcie_latency_ns: f64,
+    /// PCIe transfer cost per long-list element, ns.
+    pub pcie_ns_per_elem: f64,
+    /// Device compute (bandwidth-bound decode + merge) per long-list
+    /// element, ns.
+    pub gpu_ns_per_elem: f64,
+    /// Host cost per long-list element for the same operation, ns.
+    /// Defaults to ~30 cycles/element at the paper CPU's 2.5 GHz
+    /// (Elias-Fano decode at 24 cycles plus merge steps at 18, amortized
+    /// over partial skipping); override with
+    /// [`CostModel::with_cpu_ns_per_elem`] if measurements disagree.
+    pub cpu_ns_per_elem: f64,
+    /// Whether transfers pipeline behind the previous step's compute.
+    pub overlap: bool,
+}
+
+impl CostModel {
+    /// Derives the model from a device configuration.
+    pub fn from_device(cfg: &DeviceConfig, overlap: bool) -> CostModel {
+        CostModel {
+            fixed_ns: (LAUNCHES_PER_STEP * cfg.kernel_launch_overhead_ns
+                + MALLOCS_PER_STEP * cfg.malloc_overhead_ns) as f64,
+            pcie_latency_ns: cfg.pcie.latency_ns as f64,
+            pcie_ns_per_elem: BYTES_PER_ELEM / cfg.pcie.bandwidth_bytes_per_sec * 1.0e9,
+            gpu_ns_per_elem: DEVICE_TRAFFIC_BYTES_PER_ELEM / cfg.global_bandwidth_bytes_per_sec
+                * 1.0e9,
+            cpu_ns_per_elem: 12.0,
+            overlap,
+        }
+    }
+
+    /// Replaces the host-side per-element estimate.
+    pub fn with_cpu_ns_per_elem(mut self, ns: f64) -> CostModel {
+        self.cpu_ns_per_elem = ns;
+        self
+    }
+
+    /// PCIe cost of shipping a `long_len`-element list, ns.
+    pub fn transfer_ns(&self, long_len: usize) -> f64 {
+        self.pcie_latency_ns + self.pcie_ns_per_elem * long_len as f64
+    }
+
+    /// Device compute cost of one step against a `long_len` list, ns.
+    pub fn compute_ns(&self, long_len: usize) -> f64 {
+        self.gpu_ns_per_elem * long_len as f64
+    }
+
+    /// Serial step estimate: transfer, then compute.
+    pub fn gpu_step_serial_ns(&self, long_len: usize) -> f64 {
+        self.fixed_ns + self.transfer_ns(long_len) + self.compute_ns(long_len)
+    }
+
+    /// Pipelined step estimate: the upload hides behind the previous
+    /// step's compute, so only the longer of the two engines bounds the
+    /// steady-state step.
+    pub fn gpu_step_pipelined_ns(&self, long_len: usize) -> f64 {
+        self.fixed_ns + self.transfer_ns(long_len).max(self.compute_ns(long_len))
+    }
+
+    /// The estimate matching this model's `overlap` mode.
+    pub fn gpu_step_ns(&self, long_len: usize) -> f64 {
+        if self.overlap {
+            self.gpu_step_pipelined_ns(long_len)
+        } else {
+            self.gpu_step_serial_ns(long_len)
+        }
+    }
+
+    /// Same, as a virtual duration (for timeline annotations).
+    pub fn gpu_step_time(&self, long_len: usize) -> VirtualNanos {
+        VirtualNanos::from_nanos(self.gpu_step_ns(long_len).max(0.0) as u64)
+    }
+
+    /// Host estimate for the same operation, ns.
+    pub fn cpu_step_ns(&self, long_len: usize) -> f64 {
+        self.cpu_ns_per_elem * long_len as f64
+    }
+
+    /// Smallest long-list length at which the GPU step beats the CPU
+    /// step under this model — the overlap-aware `min_gpu_work` floor.
+    ///
+    /// Solved by doubling scan (the curves cross once: GPU has higher
+    /// fixed cost, lower slope). Clamped to `[256, 1 << 22]`; the upper
+    /// clamp also covers configs where the GPU never wins.
+    pub fn min_profitable_long_len(&self) -> usize {
+        const LO: usize = 256;
+        const HI: usize = 1 << 22;
+        let mut len = LO;
+        while len <= HI {
+            if self.gpu_step_ns(len) < self.cpu_step_ns(len) {
+                return len;
+            }
+            len *= 2;
+        }
+        HI
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_step_is_never_slower_than_serial() {
+        for cfg in [DeviceConfig::tesla_k20(), DeviceConfig::test_tiny()] {
+            let serial = CostModel::from_device(&cfg, false);
+            let pipelined = CostModel::from_device(&cfg, true);
+            for len in [0usize, 100, 10_000, 1_000_000] {
+                assert!(pipelined.gpu_step_ns(len) <= serial.gpu_step_ns(len));
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_lowers_the_profitable_work_floor() {
+        let cfg = DeviceConfig::tesla_k20();
+        let serial = CostModel::from_device(&cfg, false);
+        let pipelined = CostModel::from_device(&cfg, true);
+        assert!(
+            pipelined.min_profitable_long_len() <= serial.min_profitable_long_len(),
+            "hiding transfers must not raise the crossover"
+        );
+    }
+
+    #[test]
+    fn crossover_is_finite_and_clamped() {
+        let cfg = DeviceConfig::test_tiny();
+        let m = CostModel::from_device(&cfg, true);
+        let floor = m.min_profitable_long_len();
+        assert!((256..=1 << 22).contains(&floor));
+        // A CPU so fast the GPU never wins hits the upper clamp.
+        let never = m.with_cpu_ns_per_elem(0.0);
+        assert_eq!(never.min_profitable_long_len(), 1 << 22);
+    }
+}

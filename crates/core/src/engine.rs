@@ -4,10 +4,11 @@
 use griffin_cpu::engine::Strategy;
 use griffin_cpu::{CpuEngine, Intermediate, WorkCounters};
 use griffin_gpu::{DeviceIntermediate, GpuEngine, GpuError, GpuStrategy};
-use griffin_gpu_sim::{Gpu, VirtualNanos};
+use griffin_gpu_sim::{Gpu, StreamKind, VirtualNanos};
 use griffin_index::{CorpusMeta, InvertedIndex, TermId};
 use griffin_telemetry::{Telemetry, TraceEvent};
 
+use crate::cost::CostModel;
 use crate::request::{QueryError, QueryRequest};
 use crate::sched::{Decision, Proc, Scheduler};
 
@@ -146,18 +147,48 @@ pub struct Griffin<'g> {
     pub recovery: RecoveryPolicy,
     device: &'g Gpu,
     telemetry: Telemetry,
+    /// Whether GPU execution runs with copy/compute overlap (async
+    /// streams + next-list prefetch). See [`Griffin::set_overlap`].
+    overlap: bool,
 }
 
 impl<'g> Griffin<'g> {
     pub fn new(device: &'g Gpu, meta: &CorpusMeta, block_len: usize) -> Griffin<'g> {
-        Griffin {
+        let mut griffin = Griffin {
             cpu: CpuEngine::new(),
             gpu: GpuEngine::new(device, meta),
             scheduler: Scheduler::for_block_len(block_len),
             recovery: RecoveryPolicy::default(),
             device,
             telemetry: Telemetry::disabled(),
+            overlap: true,
+        };
+        griffin.set_overlap(true);
+        griffin
+    }
+
+    /// Enables or disables copy/compute overlap for this engine's GPU
+    /// work. With overlap on (the default), GPU-touching queries run in
+    /// an async window — each list ships over PCIe while the previous
+    /// operation's kernels execute — and the scheduler's profitable-work
+    /// floor is re-derived from the pipelined cost model (see
+    /// [`CostModel`]). With overlap off, execution and the floor revert
+    /// to the serial model. Results are bit-exact either way.
+    pub fn set_overlap(&mut self, on: bool) {
+        self.overlap = on;
+        self.gpu.set_overlap(on);
+        if on {
+            self.scheduler
+                .apply_cost_model(&CostModel::from_device(self.device.config(), true));
+        } else {
+            self.scheduler.min_gpu_work =
+                Scheduler::for_block_len(self.scheduler.ratio_threshold).min_gpu_work;
         }
+    }
+
+    /// Whether overlapped GPU execution is enabled.
+    pub fn overlap_enabled(&self) -> bool {
+        self.overlap
     }
 
     /// Attach a telemetry session. Every subsequent query records its
@@ -450,6 +481,29 @@ impl<'g> Griffin<'g> {
     /// always runs the query to completion.
     pub fn run(&self, index: &InvertedIndex, req: &QueryRequest) -> GriffinOutput {
         let (terms, k) = (&req.terms[..], req.k);
+        // GPU-touching modes run in an async window so transfers and
+        // kernels pipeline across the device's copy and compute streams.
+        // Every measured span ends at a synchronization point, so step
+        // durations still sum exactly to the total.
+        let window = self.overlap && req.mode != ExecMode::CpuOnly;
+        let was_async = self.device.async_enabled();
+        if window {
+            self.device.set_async(true);
+        }
+        let out = self.run_inner(index, req, terms, k);
+        if window && !was_async {
+            self.device.set_async(false);
+        }
+        out
+    }
+
+    fn run_inner(
+        &self,
+        index: &InvertedIndex,
+        req: &QueryRequest,
+        terms: &[TermId],
+        k: usize,
+    ) -> GriffinOutput {
         self.record_query(req.mode, terms.len(), || match req.mode {
             ExecMode::CpuOnly => {
                 let out = self.cpu.process_query(index, terms, k);
@@ -583,6 +637,22 @@ impl<'g> Griffin<'g> {
                 });
                 match attempt {
                     Ok(dev_inter) => {
+                        // Pipeline: ship the next list on the copy stream
+                        // while the init kernels run, if the scheduler
+                        // will keep that operation on the device.
+                        if let Some(&second) = rest.first() {
+                            if self.scheduler.decide(
+                                dev_inter.len,
+                                index.doc_freq(second),
+                                Proc::Gpu,
+                            ) == Proc::Gpu
+                            {
+                                self.gpu.prefetch(index, second);
+                            }
+                        }
+                        // End the span at a sync point so its duration
+                        // covers the kernels this step scheduled.
+                        self.device.stream_sync(StreamKind::Compute);
                         let t_up = self.device.now() - start;
                         total += t_up;
                         steps.push(StepTrace {
@@ -652,6 +722,12 @@ impl<'g> Griffin<'g> {
                                 scores: scores.cast::<f32>(),
                             })
                         });
+                        // The upload ran on the copy stream; close the
+                        // span on it so the migration is charged here and
+                        // a later download sees the transfer retired.
+                        if shipped.is_ok() {
+                            self.device.stream_sync(StreamKind::Copy);
+                        }
                         let t = self.device.now() - start;
                         match shipped {
                             Ok(dev) => {
@@ -711,6 +787,23 @@ impl<'g> Griffin<'g> {
                     match attempt {
                         Ok(out) => {
                             dev.free(self.device);
+                            // Pipeline: prefetch the term after this one
+                            // while this step's kernels run, if the
+                            // scheduler will keep it on the device. The
+                            // prediction uses the same inputs as the next
+                            // iteration's real decision.
+                            if let Some(&next_term) = rest.get(i + 1) {
+                                if out.len > 0
+                                    && self.scheduler.decide(
+                                        out.len,
+                                        index.doc_freq(next_term),
+                                        Proc::Gpu,
+                                    ) == Proc::Gpu
+                                {
+                                    self.gpu.prefetch(index, next_term);
+                                }
+                            }
+                            self.device.stream_sync(StreamKind::Compute);
                             (Inter::Device(out), self.device.now() - start, Proc::Gpu)
                         }
                         Err(_) => {
@@ -755,6 +848,12 @@ impl<'g> Griffin<'g> {
             });
             self.record_step(steps.last().expect("just pushed"));
         }
+
+        // A prefetch predicted for a step that never ran on the device
+        // (empty intermediate, fault migration) is returned to the list
+        // cache's custody; its transfer already retires in the background
+        // on the copy stream.
+        self.gpu.drain_prefetch();
 
         // Results come home; ranking runs on the CPU (Fig. 7).
         let completed = rest.len();

@@ -21,11 +21,13 @@
 //! multi-query event simulation behind the paper's end-to-end (Fig. 14)
 //! and tail-latency (Fig. 15) studies.
 
+pub mod cost;
 pub mod engine;
 pub mod request;
 pub mod sched;
 pub mod serving;
 
+pub use cost::CostModel;
 pub use engine::{ExecMode, Griffin, GriffinOutput, StepOp, StepTrace};
 pub use request::{QueryError, QueryRequest};
 pub use sched::{Decision, Proc, Scheduler};

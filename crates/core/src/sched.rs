@@ -87,6 +87,17 @@ impl Scheduler {
         }
     }
 
+    /// Re-derives the `min_gpu_work` floor from an analytic cost model,
+    /// making the planner overlap-aware: with copy/compute overlap the
+    /// per-step transfer hides behind compute, smaller operations become
+    /// profitable on the device, and the crossover moves down (see
+    /// [`crate::cost::CostModel`]). The ratio threshold itself is
+    /// untouched — it encodes the block-skipping argument, which overlap
+    /// does not change.
+    pub fn apply_cost_model(&mut self, model: &crate::cost::CostModel) {
+        self.min_gpu_work = model.min_profitable_long_len();
+    }
+
     /// Decides where the next pairwise intersection should run.
     ///
     /// * `short_len` — current intermediate length (or the shortest list

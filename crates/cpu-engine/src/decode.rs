@@ -49,10 +49,13 @@ pub fn decode_list(list: &BlockedList, w: &mut WorkCounters) -> Vec<u32> {
 pub fn decode_postings(list: &CompressedPostingList, w: &mut WorkCounters) -> (Vec<u32>, Vec<u32>) {
     let mut docids = Vec::with_capacity(list.len());
     let mut tfs = Vec::with_capacity(list.len());
+    // One scratch buffer reused across blocks (decode appends, so clear
+    // each round): the allocation is paid once per list, not per block.
+    let mut blk_tfs = Vec::new();
     for i in 0..list.num_blocks() {
         let before = docids.len();
         decode_block(&list.docs, i, &mut docids, w);
-        let mut blk_tfs = Vec::new();
+        blk_tfs.clear();
         list.decode_block_into_tfs_only(i, &mut blk_tfs);
         w.varint_elements += (docids.len() - before) as u64;
         tfs.extend_from_slice(&blk_tfs);

@@ -107,6 +107,11 @@ pub struct DeviceConfig {
     pub malloc_overhead_ns: u64,
     /// `cudaFree` overhead in nanoseconds.
     pub free_overhead_ns: u64,
+    /// Independent DMA (copy) engines. The K20 has two (one per
+    /// direction); the simulator models one copy timeline because `dtoh`
+    /// is host-blocking (see [`crate::stream`]), so this is informational
+    /// for cost models and reports.
+    pub copy_engines: u32,
     /// PCIe link to the host.
     pub pcie: PcieConfig,
     /// Per-instruction-class issue costs.
@@ -139,6 +144,7 @@ impl DeviceConfig {
             kernel_launch_overhead_ns: 6_000,
             malloc_overhead_ns: 10_000,
             free_overhead_ns: 4_000,
+            copy_engines: 2,
             pcie: PcieConfig::default(),
             costs: CostParams::default(),
             trace_sample_stride: 1,
@@ -164,6 +170,7 @@ impl DeviceConfig {
             kernel_launch_overhead_ns: 100,
             malloc_overhead_ns: 50,
             free_overhead_ns: 20,
+            copy_engines: 1,
             pcie: PcieConfig {
                 bandwidth_bytes_per_sec: 8.0e9,
                 latency_ns: 100,

@@ -11,6 +11,7 @@ use crate::kernel::{run_block, Kernel, LaunchConfig};
 use crate::mem::{DeviceBuffer, DeviceWord, MemStats, Pool, WriteLog};
 use crate::observe::{DeviceEvent, DeviceObserver, TransferDir};
 use crate::pcie::transfer_time;
+use crate::stream::{StreamEvent, StreamKind, StreamTable};
 use crate::timing::{kernel_time, TimeBreakdown};
 use crate::tracer::LaunchCounters;
 
@@ -52,6 +53,10 @@ pub struct Gpu {
     ops: AtomicU64,
     fault_armed: AtomicBool,
     faults: Mutex<Option<FaultState>>,
+    /// Per-engine retire frontiers for async (stream) scheduling; see
+    /// [`crate::stream`]. Disabled by default, in which case every
+    /// operation is strictly serial on the host-visible clock.
+    streams: Mutex<StreamTable>,
 }
 
 impl Gpu {
@@ -68,6 +73,7 @@ impl Gpu {
             ops: AtomicU64::new(0),
             fault_armed: AtomicBool::new(false),
             faults: Mutex::new(None),
+            streams: Mutex::new(StreamTable::default()),
         };
         gpu.set_fault_plan(plan);
         gpu
@@ -189,9 +195,127 @@ impl Gpu {
         self.clock_ns.fetch_add(by.as_nanos(), Ordering::Relaxed);
     }
 
-    /// Reset the clock to zero (experiments reuse one device).
+    /// Reset the clock to zero (experiments reuse one device). Stream
+    /// frontiers are reset with it — pending async work is forgotten.
     pub fn reset_clock(&self) {
         self.clock_ns.store(0, Ordering::Relaxed);
+        self.lock_streams().busy_until = [0; crate::stream::NUM_STREAMS];
+    }
+
+    #[inline]
+    fn lock_streams(&self) -> MutexGuard<'_, StreamTable> {
+        self.streams.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enables or disables asynchronous (stream) scheduling.
+    ///
+    /// Enabling seeds both stream frontiers from the current clock;
+    /// disabling first synchronizes (the clock advances to the last
+    /// retire frontier) so no scheduled work is ever silently dropped.
+    /// Both directions are idempotent. See [`crate::stream`] for the
+    /// timing and functional semantics.
+    pub fn set_async(&self, enabled: bool) {
+        let mut st = self.lock_streams();
+        if st.enabled == enabled {
+            return;
+        }
+        if enabled {
+            let now = self.clock_ns.load(Ordering::Relaxed);
+            st.busy_until = [now; crate::stream::NUM_STREAMS];
+        } else {
+            let f = st.frontier();
+            self.clock_ns.fetch_max(f, Ordering::Relaxed);
+        }
+        st.enabled = enabled;
+    }
+
+    /// Whether asynchronous (stream) scheduling is currently enabled.
+    pub fn async_enabled(&self) -> bool {
+        self.lock_streams().enabled
+    }
+
+    /// Records an event on a stream: the virtual time at which everything
+    /// issued on it so far retires (`cudaEventRecord`). In serial mode
+    /// this is simply the current clock.
+    pub fn record_event(&self, stream: StreamKind) -> StreamEvent {
+        let st = self.lock_streams();
+        let now = self.clock_ns.load(Ordering::Relaxed);
+        let at = if st.enabled {
+            st.busy_until[stream.index()].max(now)
+        } else {
+            now
+        };
+        StreamEvent::at(VirtualNanos::from_nanos(at))
+    }
+
+    /// Makes future work on `stream` start no earlier than `event`
+    /// (`cudaStreamWaitEvent`). A no-op in serial mode, where issue order
+    /// already implies completion order.
+    pub fn stream_wait(&self, stream: StreamKind, event: StreamEvent) {
+        let mut st = self.lock_streams();
+        if !st.enabled {
+            return;
+        }
+        let i = stream.index();
+        st.busy_until[i] = st.busy_until[i].max(event.ready_at().as_nanos());
+    }
+
+    /// Blocks the host until `event` completes (`cudaEventSynchronize`):
+    /// the clock advances to the event's retire time if it is in the
+    /// future.
+    pub fn wait_event(&self, event: StreamEvent) {
+        self.clock_ns
+            .fetch_max(event.ready_at().as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Blocks the host until every stream is idle
+    /// (`cudaDeviceSynchronize`). A no-op in serial mode.
+    pub fn sync(&self) {
+        let st = self.lock_streams();
+        if st.enabled {
+            self.clock_ns.fetch_max(st.frontier(), Ordering::Relaxed);
+        }
+    }
+
+    /// The retire frontier of one stream (tests and property checks).
+    pub fn stream_busy_until(&self, stream: StreamKind) -> VirtualNanos {
+        VirtualNanos::from_nanos(self.lock_streams().busy_until[stream.index()])
+    }
+
+    /// Blocks the host until one stream is idle (`cudaStreamSynchronize`).
+    pub fn stream_sync(&self, stream: StreamKind) {
+        let ev = self.record_event(stream);
+        self.wait_event(ev);
+    }
+
+    /// Schedules `duration` of work onto `stream` and returns its start
+    /// time. Serial mode: the work starts now and the clock advances over
+    /// it. Async mode: the work starts at `max(stream frontier, clock)`
+    /// and occupies the stream until it retires — the clock does not move
+    /// (that happens at a wait/sync).
+    fn schedule_op(&self, stream: StreamKind, duration: VirtualNanos) -> VirtualNanos {
+        let mut st = self.lock_streams();
+        if !st.enabled {
+            drop(st);
+            let start = self.now();
+            self.advance(duration);
+            return start;
+        }
+        let clock = self.clock_ns.load(Ordering::Relaxed);
+        let i = stream.index();
+        let start = st.busy_until[i].max(clock);
+        st.busy_until[i] = start.saturating_add(duration.as_nanos());
+        VirtualNanos::from_nanos(start)
+    }
+
+    /// Error surfacing is a synchronization point, as with a real driver:
+    /// before a failed attempt is charged to the host clock, all
+    /// in-flight stream work retires. Keeps "failed attempt cost" visible
+    /// to callers that measure spans around fallible operations, which is
+    /// what makes step durations sum exactly to query totals even when
+    /// faults land during overlapped execution.
+    fn join_streams_for_error(&self) {
+        self.sync();
     }
 
     /// Measure the virtual time consumed by `f`.
@@ -250,6 +374,7 @@ impl Gpu {
     pub fn htod<T: DeviceWord>(&self, host: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
         let bytes = host.len() as u64 * 4;
         if let Some((op, kind)) = self.fault_check(OpClass::Transfer(TransferDir::HtoD)) {
+            self.join_streams_for_error();
             let attempt = VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns)
                 + transfer_time(&self.cfg.pcie, bytes);
             return Err(self.fault_error(op, kind, bytes, self.cfg.pcie.latency_ns, attempt));
@@ -264,9 +389,8 @@ impl Gpu {
         self.stats.track_peak(in_use);
         self.stats.htod_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.advance(VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns));
-        let start = self.now();
         let duration = transfer_time(&self.cfg.pcie, bytes);
-        self.advance(duration);
+        let start = self.schedule_op(StreamKind::Copy, duration);
         self.observe(&DeviceEvent::Transfer {
             direction: TransferDir::HtoD,
             bytes,
@@ -283,6 +407,7 @@ impl Gpu {
     pub fn htod_packed(&self, parts: &[&[u32]]) -> Result<Vec<DeviceBuffer<u32>>, DeviceError> {
         let total_bytes: u64 = parts.iter().map(|p| p.len() as u64 * 4).sum();
         if let Some((op, kind)) = self.fault_check(OpClass::Transfer(TransferDir::HtoD)) {
+            self.join_streams_for_error();
             let attempt = VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns)
                 + transfer_time(&self.cfg.pcie, total_bytes);
             return Err(self.fault_error(op, kind, total_bytes, self.cfg.pcie.latency_ns, attempt));
@@ -296,21 +421,55 @@ impl Gpu {
         }
         let in_use = pool.bytes_in_use;
         drop(pool);
+        self.finish_packed_htod(total_bytes, in_use);
+        Ok(out)
+    }
+
+    /// Shared tail of the packed-upload paths: statistics, the
+    /// `cudaMalloc` charge, and the DMA scheduled on the copy stream.
+    fn finish_packed_htod(&self, total_bytes: u64, in_use: u64) {
         self.stats.on_alloc();
         self.stats.track_peak(in_use);
         self.stats
             .htod_bytes
             .fetch_add(total_bytes, Ordering::Relaxed);
         self.advance(VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns));
-        let start = self.now();
         let duration = transfer_time(&self.cfg.pcie, total_bytes);
-        self.advance(duration);
+        let start = self.schedule_op(StreamKind::Copy, duration);
         self.observe(&DeviceEvent::Transfer {
             direction: TransferDir::HtoD,
             bytes: total_bytes,
             start,
             duration,
         });
+    }
+
+    /// [`Self::htod_packed_n`] taking ownership of the staged arrays: the
+    /// host-side storage is *moved* into the device pool instead of being
+    /// copied part by part. This removes one full memcpy of every list
+    /// image from the hot transfer path (the staging buffers engines
+    /// build are dropped right after the upload anyway).
+    pub fn htod_packed_owned<const N: usize>(
+        &self,
+        parts: [Vec<u32>; N],
+    ) -> Result<[DeviceBuffer<u32>; N], DeviceError> {
+        let total_bytes: u64 = parts.iter().map(|p| p.len() as u64 * 4).sum();
+        if let Some((op, kind)) = self.fault_check(OpClass::Transfer(TransferDir::HtoD)) {
+            self.join_streams_for_error();
+            let attempt = VirtualNanos::from_nanos(self.cfg.malloc_overhead_ns)
+                + transfer_time(&self.cfg.pcie, total_bytes);
+            return Err(self.fault_error(op, kind, total_bytes, self.cfg.pcie.latency_ns, attempt));
+        }
+        let mut pool = self.lock_pool();
+        self.check_capacity(&pool, total_bytes)?;
+        let out = parts.map(|part| {
+            let len = part.len();
+            let (id, generation) = pool.alloc(part);
+            DeviceBuffer::new(id, len, generation)
+        });
+        let in_use = pool.bytes_in_use;
+        drop(pool);
+        self.finish_packed_htod(total_bytes, in_use);
         Ok(out)
     }
 
@@ -330,13 +489,22 @@ impl Gpu {
             .unwrap_or_else(|_| unreachable!("htod_packed returns one buffer per part")))
     }
 
-    /// Copy a buffer back to the host: device→host DMA.
+    /// Copy a buffer back to the host: device→host DMA. Host-blocking —
+    /// in async mode the clock first advances to the *compute* frontier
+    /// (the data was produced by kernels), then the DMA is charged
+    /// serially. The HtoD copy stream is deliberately not joined: the K20
+    /// has a dedicated copy engine per direction, so a download never
+    /// waits behind an in-flight upload/prefetch. Callers downloading a
+    /// buffer that came straight from `htod` (no kernel in between) must
+    /// [`Gpu::wait_event`] its upload first — the engines do.
     pub fn dtoh<T: DeviceWord>(&self, buf: &DeviceBuffer<T>) -> Result<Vec<T>, DeviceError> {
         let bytes = buf.size_bytes();
         if let Some((op, kind)) = self.fault_check(OpClass::Transfer(TransferDir::DtoH)) {
+            self.join_streams_for_error();
             let attempt = transfer_time(&self.cfg.pcie, bytes);
             return Err(self.fault_error(op, kind, bytes, self.cfg.pcie.latency_ns, attempt));
         }
+        self.stream_sync(StreamKind::Compute);
         let pool = self.lock_pool();
         let out: Vec<T> = pool
             .words(buf.id)
@@ -367,9 +535,11 @@ impl Gpu {
         assert!(len <= buf.len());
         let bytes = len as u64 * 4;
         if let Some((op, kind)) = self.fault_check(OpClass::Transfer(TransferDir::DtoH)) {
+            self.join_streams_for_error();
             let attempt = transfer_time(&self.cfg.pcie, bytes);
             return Err(self.fault_error(op, kind, bytes, self.cfg.pcie.latency_ns, attempt));
         }
+        self.stream_sync(StreamKind::Compute);
         let pool = self.lock_pool();
         let out: Vec<T> = pool.words(buf.id)[..len]
             .iter()
@@ -422,6 +592,7 @@ impl Gpu {
     ) -> Result<LaunchReport, DeviceError> {
         let fault = self.fault_check(OpClass::Kernel);
         if let Some((op, FaultKind::DeviceLost)) = fault {
+            self.join_streams_for_error();
             self.advance(VirtualNanos::from_nanos(self.cfg.kernel_launch_overhead_ns));
             return Err(DeviceError::DeviceLost { op_index: op });
         }
@@ -457,12 +628,13 @@ impl Gpu {
 
         let breakdown = kernel_time(&self.cfg, &counters);
         let time = breakdown.total();
-        let start = self.now();
-        self.advance(time);
 
         if let Some((op, kind)) = fault {
-            // Charge already happened above; map the kind without charging
-            // again (pass a zero attempt cost).
+            // A failed launch surfaces at a synchronization point: retire
+            // in-flight stream work, then charge the wasted attempt to the
+            // host clock (serial mode: plain clock advance, as before).
+            self.join_streams_for_error();
+            self.advance(time);
             return Err(match kind {
                 FaultKind::TransferError { dir } => {
                     DeviceError::TransferError { dir, op_index: op }
@@ -476,6 +648,7 @@ impl Gpu {
             });
         }
 
+        let start = self.schedule_op(StreamKind::Compute, time);
         let report = LaunchReport {
             time,
             breakdown,
@@ -873,5 +1046,120 @@ mod tests {
         let buf = gpu.htod(&[1u32, 2, 3]).unwrap();
         assert_eq!(gpu.dtoh(&buf).unwrap(), vec![1, 2, 3]);
         gpu.free(buf);
+    }
+
+    #[test]
+    fn async_mode_is_bit_exact_and_never_slower() {
+        let serial = Gpu::new(DeviceConfig::test_tiny());
+        let (out_serial, t_serial) = run_sequence(&serial);
+
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        gpu.set_async(true);
+        let (out_async, _) = run_sequence(&gpu);
+        gpu.set_async(false); // syncs: clock covers all scheduled work
+        let t_async = gpu.now().as_nanos();
+
+        assert_eq!(out_serial, out_async, "results must not depend on overlap");
+        assert!(
+            t_async <= t_serial,
+            "critical path ({t_async}) cannot exceed the serial sum ({t_serial})"
+        );
+    }
+
+    #[test]
+    fn stream_wait_orders_dependent_work_and_copies_overlap_compute() {
+        use crate::stream::StreamKind;
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        gpu.set_async(true);
+        let n = 200_000;
+        let data: Vec<u32> = (0..n as u32).collect();
+        let src = gpu.htod(&data).unwrap();
+        let up = gpu.record_event(StreamKind::Copy);
+        let dst = gpu.alloc::<u32>(n).unwrap();
+        gpu.stream_wait(StreamKind::Compute, up);
+        gpu.launch(
+            &AddOne {
+                src,
+                dst: dst.clone(),
+                n,
+            },
+            LaunchConfig::cover(n, 128),
+        )
+        .unwrap();
+        let kernel_done = gpu.record_event(StreamKind::Compute);
+        assert!(
+            kernel_done.ready_at() >= up.ready_at(),
+            "a kernel that waits on an upload cannot retire before it"
+        );
+        // A second (small) upload issued while the kernel runs finishes
+        // under it: that is the copy/compute overlap the model exists for.
+        let src2 = gpu.htod(&[1u32, 2, 3, 4]).unwrap();
+        let up2 = gpu.record_event(StreamKind::Copy);
+        assert!(
+            up2.ready_at() < kernel_done.ready_at(),
+            "the copy engine must be free while the compute engine is busy"
+        );
+        gpu.sync();
+        assert_eq!(
+            gpu.now(),
+            kernel_done.ready_at().max(up2.ready_at()),
+            "sync advances the clock to the last stream frontier"
+        );
+        // dtoh is host-blocking and sees the kernel's stores.
+        let out = gpu.dtoh(&dst).unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+        gpu.free(dst);
+        gpu.free(src2);
+    }
+
+    #[test]
+    fn htod_packed_owned_matches_htod_packed() {
+        let borrowed = Gpu::new(DeviceConfig::test_tiny());
+        let a: Vec<u32> = (0..1000).collect();
+        let b: Vec<u32> = (0..37).map(|i| i * 3).collect();
+        let [ba, bb] = borrowed.htod_packed_n([&a, &b]).unwrap();
+        let owned = Gpu::new(DeviceConfig::test_tiny());
+        let [oa, ob] = owned.htod_packed_owned([a.clone(), b.clone()]).unwrap();
+        assert_eq!(borrowed.now(), owned.now(), "identical charge");
+        assert_eq!(borrowed.dtoh(&ba).unwrap(), owned.dtoh(&oa).unwrap());
+        assert_eq!(borrowed.dtoh(&bb).unwrap(), owned.dtoh(&ob).unwrap());
+        assert_eq!(owned.dtoh(&ob).unwrap(), b);
+        for (g, bufs) in [(&borrowed, [ba, bb]), (&owned, [oa, ob])] {
+            for buf in bufs {
+                g.free(buf);
+            }
+            assert_eq!(g.mem_in_use(), 0);
+        }
+    }
+
+    #[test]
+    fn fault_during_async_work_charges_at_a_sync_point() {
+        use crate::stream::StreamKind;
+        let mut cfg = DeviceConfig::test_tiny();
+        // Ops: 0 = htod, 1 = htod (faulted).
+        cfg.fault_plan = Some(crate::fault::FaultPlan::seeded(0).fail_at(
+            1,
+            FaultKind::TransferError {
+                dir: TransferDir::HtoD,
+            },
+        ));
+        let gpu = Gpu::new(cfg);
+        gpu.set_async(true);
+        let big = vec![0u32; 1 << 20];
+        let first = gpu.htod(&big).unwrap();
+        let scheduled = gpu.stream_busy_until(StreamKind::Copy);
+        assert!(
+            gpu.now() < scheduled,
+            "the first upload is still in flight on the copy stream"
+        );
+        let t0 = gpu.now();
+        let err = gpu.htod(&[1u32, 2]).unwrap_err();
+        assert!(matches!(err, DeviceError::TransferError { .. }));
+        // The error joined the streams first, then charged the attempt:
+        // everything scheduled so far is inside the measured clock.
+        assert!(gpu.now() >= scheduled, "error surfacing synchronizes");
+        assert!(gpu.now() > t0, "the failed attempt still costs time");
+        gpu.free(first);
+        gpu.set_async(false);
     }
 }

@@ -15,6 +15,18 @@
 //! With no plan installed (or a plan where [`FaultPlan::is_noop`] holds),
 //! the device behaves bit-identically to a build without this module:
 //! same outputs, same virtual timings, same observer events.
+//!
+//! ## Faults under asynchronous streams
+//!
+//! Fault decisions are made at *issue* time in program order, so an op's
+//! index is the same whether overlap ([`crate::Gpu::set_async`]) is on or
+//! off — a chaos schedule reproduces identically in both modes. Error
+//! *surfacing* is a synchronization point (as with a real driver): the
+//! clock first advances over all in-flight stream work, then the failed
+//! attempt is charged, so spans measured around fallible operations stay
+//! exact. A fault injected into an in-flight *prefetch* is held by the
+//! engine and charged to the operation that consumes the prefetched data
+//! (see `griffin-gpu`'s prefetch pipeline).
 
 use std::error::Error;
 use std::fmt;

@@ -94,6 +94,7 @@ pub mod kernel;
 pub mod mem;
 pub mod observe;
 pub mod pcie;
+pub mod stream;
 pub mod timing;
 pub mod tracer;
 
@@ -104,4 +105,5 @@ pub use fault::{DeviceError, FaultKind, FaultPlan};
 pub use kernel::{Dim, Kernel, LaunchConfig, ThreadCtx};
 pub use mem::{DeviceBuffer, DeviceWord};
 pub use observe::{DeviceEvent, DeviceObserver, TransferDir};
+pub use stream::{StreamEvent, StreamKind};
 pub use tracer::{LaunchCounters, Op};

@@ -8,6 +8,7 @@
 
 use crate::clock::VirtualNanos;
 use crate::device::LaunchReport;
+use crate::stream::StreamKind;
 
 /// Direction of a PCIe transfer, from the host's point of view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,19 @@ pub enum DeviceEvent<'a> {
         start: VirtualNanos,
         duration: VirtualNanos,
     },
+}
+
+impl DeviceEvent<'_> {
+    /// The stream (engine timeline) this event executed on: kernels run
+    /// on the compute engine, PCIe transfers on the copy engine. Exports
+    /// use this to put each event on its own trace lane so copy/compute
+    /// overlap is visible.
+    pub fn stream(&self) -> StreamKind {
+        match self {
+            DeviceEvent::KernelLaunch { .. } => StreamKind::Compute,
+            DeviceEvent::Transfer { .. } => StreamKind::Copy,
+        }
+    }
 }
 
 /// Callback type for [`crate::Gpu::set_observer`].

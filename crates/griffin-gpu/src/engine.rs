@@ -7,14 +7,16 @@
 //! (`partial_sort` won the Fig. 7 study); the engine ships back only the
 //! surviving (docid, score) pairs.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use griffin_cpu::cost::WorkCounters;
 use griffin_cpu::rank::Bm25;
 use griffin_cpu::{topk, Intermediate};
-use griffin_gpu_sim::{DeviceBuffer, Gpu, Kernel, LaunchConfig, Op, ThreadCtx, VirtualNanos};
+use griffin_gpu_sim::{
+    DeviceBuffer, Gpu, Kernel, LaunchConfig, Op, StreamEvent, StreamKind, ThreadCtx, VirtualNanos,
+};
 use griffin_index::{CorpusMeta, InvertedIndex, TermId};
 
 use crate::error::GpuError;
@@ -229,6 +231,50 @@ pub struct GpuEngine<'g> {
     avg_doc_len: f32,
     num_docs: u32,
     cache: RefCell<ListCache>,
+    /// Whether [`GpuEngine::process_query`] runs with copy/compute
+    /// overlap (async streams + list prefetch). On by default; results
+    /// are bit-exact either way, only the modeled latency changes.
+    overlap: Cell<bool>,
+    /// Lists whose upload has been issued on the copy stream but not yet
+    /// consumed by an intersection. The LRU cache is the landing buffer
+    /// (a prefetched list is cached like any other upload); this slot
+    /// additionally holds the upload's completion event and — crucially —
+    /// any *fault* the in-flight transfer hit, so the error surfaces at
+    /// the operation that consumes the data.
+    prefetched: RefCell<Vec<Prefetched>>,
+}
+
+/// One in-flight prefetch; see [`GpuEngine::prefetch`].
+struct Prefetched {
+    term: TermId,
+    result: Result<Rc<DevicePostings>, GpuError>,
+    uploaded: StreamEvent,
+}
+
+/// Device list-cache and prefetch counters (reset never; snapshot with
+/// [`GpuEngine::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Uploads answered from the device-resident LRU cache.
+    pub hits: u64,
+    /// Uploads that went over PCIe.
+    pub misses: u64,
+    /// Prefetches issued on the copy stream.
+    pub prefetch_issued: u64,
+    /// Prefetches consumed by a later operation (the rest were wasted).
+    pub prefetch_consumed: u64,
+}
+
+impl CacheStats {
+    /// Fraction of uploads served from the device cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// LRU cache of device-resident posting lists.
@@ -246,6 +292,7 @@ struct ListCache {
     clock: u64,
     bytes: u64,
     budget: u64,
+    stats: CacheStats,
 }
 
 struct CacheEntry {
@@ -302,8 +349,28 @@ impl<'g> GpuEngine<'g> {
                 clock: 0,
                 bytes: 0,
                 budget: gpu.config().global_mem_bytes * 3 / 4,
+                stats: CacheStats::default(),
             }),
+            overlap: Cell::new(true),
+            prefetched: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Enables or disables copy/compute overlap in
+    /// [`GpuEngine::process_query`] (and prefetch acceptance). Results
+    /// are identical either way; see [`griffin_gpu_sim::stream`].
+    pub fn set_overlap(&self, on: bool) {
+        self.overlap.set(on);
+    }
+
+    /// Whether overlapped execution is enabled.
+    pub fn overlap_enabled(&self) -> bool {
+        self.overlap.get()
+    }
+
+    /// Snapshot of the list-cache and prefetch counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.borrow().stats
     }
 
     /// Sets the device-cache budget in bytes (0 disables caching and
@@ -334,15 +401,47 @@ impl<'g> GpuEngine<'g> {
         index: &InvertedIndex,
         term: TermId,
     ) -> Result<Rc<DevicePostings>, GpuError> {
+        let slot = {
+            let prefetched = self.prefetched.borrow();
+            prefetched.iter().position(|p| p.term == term)
+        };
+        if let Some(pos) = slot {
+            let p = self.prefetched.borrow_mut().remove(pos);
+            // A fault that hit the in-flight transfer surfaces here, at
+            // the operation that consumes the list.
+            let postings = p.result?;
+            self.gpu.stream_wait(StreamKind::Compute, p.uploaded);
+            self.cache.borrow_mut().stats.prefetch_consumed += 1;
+            return Ok(postings);
+        }
+        let (postings, uploaded) = self.upload_nowait(index, term)?;
+        // Kernels issued after this point see the list as resident.
+        self.gpu.stream_wait(StreamKind::Compute, uploaded);
+        Ok(postings)
+    }
+
+    /// Issues the upload without ordering it before subsequent compute:
+    /// the returned event marks when the copy-stream transfer retires.
+    fn upload_nowait(
+        &self,
+        index: &InvertedIndex,
+        term: TermId,
+    ) -> Result<(Rc<DevicePostings>, StreamEvent), GpuError> {
         let mut cache = self.cache.borrow_mut();
         cache.clock += 1;
         let clock = cache.clock;
         if let Some(e) = cache.map.get_mut(&term) {
             e.last_used = clock;
-            return Ok(Rc::clone(&e.postings));
+            let postings = Rc::clone(&e.postings);
+            cache.stats.hits += 1;
+            // Resident data: any earlier upload of this list was already
+            // ordered before compute when it was first consumed.
+            return Ok((postings, StreamEvent::READY));
         }
+        cache.stats.misses += 1;
         drop(cache);
         let postings = Rc::new(DevicePostings::upload(self.gpu, index.list(term))?);
+        let uploaded = self.gpu.record_event(StreamKind::Copy);
         let bytes = postings.docs.bytes_shipped
             + postings.tf_words.size_bytes()
             + postings.tf_offsets.size_bytes();
@@ -359,7 +458,46 @@ impl<'g> GpuEngine<'g> {
             );
             cache.evict_to_fit(self.gpu);
         }
-        Ok(postings)
+        Ok((postings, uploaded))
+    }
+
+    /// Starts shipping `term`'s list on the copy stream so it lands on
+    /// the device while earlier kernels run on the compute stream. The
+    /// LRU cache is the landing buffer; a later [`GpuEngine::upload`] of
+    /// the same term consumes the slot and waits on the transfer event
+    /// instead of the whole device. A fault on the in-flight transfer is
+    /// held in the slot and charged to the consuming operation.
+    ///
+    /// No-op when the device is executing serially.
+    pub fn prefetch(&self, index: &InvertedIndex, term: TermId) {
+        if !self.gpu.async_enabled() {
+            return;
+        }
+        if self.prefetched.borrow().iter().any(|p| p.term == term) {
+            return;
+        }
+        let (result, uploaded) = match self.upload_nowait(index, term) {
+            Ok((postings, ev)) => (Ok(postings), ev),
+            Err(e) => (Err(e), StreamEvent::READY),
+        };
+        self.cache.borrow_mut().stats.prefetch_issued += 1;
+        self.prefetched.borrow_mut().push(Prefetched {
+            term,
+            result,
+            uploaded,
+        });
+    }
+
+    /// Drops every unconsumed prefetch, returning its list to the cache's
+    /// custody (or freeing it if over budget). Pending transfer faults
+    /// are discarded with the slot. Called on every query exit path.
+    pub fn drain_prefetch(&self) {
+        let drained: Vec<Prefetched> = self.prefetched.borrow_mut().drain(..).collect();
+        for p in drained {
+            if let Ok(postings) = p.result {
+                self.release(postings);
+            }
+        }
     }
 
     /// Releases a list obtained from [`GpuEngine::upload`]: cached lists
@@ -624,6 +762,12 @@ impl<'g> GpuEngine<'g> {
     /// Full GPU-only query ("Griffin-GPU running alone" in the paper's
     /// evaluation): all intersections on the device, final ranking on the
     /// CPU via `partial_sort` (the Fig. 7 winner).
+    ///
+    /// With overlap enabled (the default) this opens an async window on
+    /// the device: each term's list ships on the copy stream while the
+    /// previous term's decode + intersection run on the compute stream,
+    /// so `time` reflects the pipeline's critical path rather than the
+    /// serial sum. Results are bit-exact with overlap disabled.
     pub fn process_query(
         &self,
         index: &InvertedIndex,
@@ -631,22 +775,51 @@ impl<'g> GpuEngine<'g> {
         k: usize,
     ) -> Result<GpuQueryOutput, GpuError> {
         let gpu = self.gpu;
-        let mut rank_work = WorkCounters::default();
+        let was_async = gpu.async_enabled();
+        if self.overlap.get() {
+            gpu.set_async(true);
+        }
         let start = gpu.now();
+        let mut rank_work = WorkCounters::default();
+        let result = self.process_query_inner(index, terms, k, &mut rank_work);
+        // Close the window: leftover prefetches are returned to the
+        // cache's custody and all scheduled work retires on the clock, so
+        // `time` covers everything this query issued.
+        self.drain_prefetch();
+        gpu.sync();
+        if !was_async {
+            gpu.set_async(false);
+        }
+        let topk = result?;
+        let time = gpu.now() - start;
+        Ok(GpuQueryOutput {
+            topk,
+            time,
+            rank_work,
+        })
+    }
+
+    fn process_query_inner(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        k: usize,
+        rank_work: &mut WorkCounters,
+    ) -> Result<Vec<(u32, f32)>, GpuError> {
+        let gpu = self.gpu;
         let mut planned = terms.to_vec();
         planned.sort_by_key(|&t| index.doc_freq(t));
         let Some((&first, rest)) = planned.split_first() else {
-            return Ok(GpuQueryOutput {
-                topk: Vec::new(),
-                time: VirtualNanos::ZERO,
-                rank_work,
-            });
+            return Ok(Vec::new());
         };
         let first_postings = self.upload(index, first)?;
+        if let Some(&second) = rest.first() {
+            self.prefetch(index, second);
+        }
         let inter = self.init_intermediate(&first_postings);
         self.release(first_postings);
         let mut inter = inter?;
-        for &t in rest {
+        for (i, &t) in rest.iter().enumerate() {
             if inter.len == 0 {
                 break;
             }
@@ -657,6 +830,9 @@ impl<'g> GpuEngine<'g> {
                     return Err(e);
                 }
             };
+            if let Some(&next) = rest.get(i + 1) {
+                self.prefetch(index, next);
+            }
             let next = self.intersect_step(&inter, &postings, index.block_len(), GpuStrategy::Auto);
             self.release(postings);
             match next {
@@ -673,18 +849,13 @@ impl<'g> GpuEngine<'g> {
         let host = self.download(&inter);
         inter.free(gpu);
         let host = host?;
-        let time = gpu.now() - start;
-        let topk = topk::top_k(&host.docids, &host.scores, k, &mut rank_work);
-        Ok(GpuQueryOutput {
-            topk,
-            time,
-            rank_work,
-        })
+        Ok(topk::top_k(&host.docids, &host.scores, k, rank_work))
     }
 
     /// Frees engine-owned device state (the list cache and the doc-length
     /// table).
     pub fn shutdown(self) {
+        self.drain_prefetch();
         let mut cache = self.cache.into_inner();
         for (_, e) in cache.map.drain() {
             let postings =
@@ -776,6 +947,67 @@ mod tests {
         let terms = vec![term(&idx, 0), term(&idx, 1)];
         let out = engine.process_query(&idx, &terms, 10).unwrap();
         assert!(out.topk.is_empty());
+    }
+
+    #[test]
+    fn overlap_is_bit_exact_and_no_slower_than_serial() {
+        // Three long lists so the pipeline has transfers to hide.
+        let lists: Vec<Vec<u32>> = vec![
+            (0..4_000u32).map(|i| i * 7 + 3).collect(),
+            (0..30_000u32).map(|i| i * 2 + 1).collect(),
+            (0..50_000u32).map(|i| i + 1).collect(),
+        ];
+        let idx = synthetic_index(&lists, 120_000);
+        let terms = vec![term(&idx, 0), term(&idx, 1), term(&idx, 2)];
+
+        let run = |overlap: bool| {
+            let gpu = Gpu::new(DeviceConfig::test_tiny());
+            let engine = GpuEngine::new(&gpu, idx.meta());
+            engine.set_overlap(overlap);
+            let out = engine.process_query(&idx, &terms, 20).unwrap();
+            let stats = engine.cache_stats();
+            engine.shutdown();
+            assert_eq!(gpu.mem_in_use(), 0);
+            (out, stats)
+        };
+        let (serial, _) = run(false);
+        let (pipelined, stats) = run(true);
+
+        assert_eq!(serial.topk, pipelined.topk, "overlap must be bit-exact");
+        assert!(
+            pipelined.time <= serial.time,
+            "pipelined ({:?}) must not exceed serial ({:?})",
+            pipelined.time,
+            serial.time
+        );
+        assert_eq!(stats.prefetch_issued, 2);
+        assert_eq!(stats.prefetch_consumed, 2);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn repeated_query_hits_the_device_cache() {
+        let lists: Vec<Vec<u32>> = vec![
+            (0..1_000u32).map(|i| i * 5).collect(),
+            (0..10_000u32).map(|i| i * 2).collect(),
+        ];
+        let idx = synthetic_index(&lists, 40_000);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let engine = GpuEngine::new(&gpu, idx.meta());
+        let terms = vec![term(&idx, 0), term(&idx, 1)];
+        let a = engine.process_query(&idx, &terms, 10).unwrap();
+        let b = engine.process_query(&idx, &terms, 10).unwrap();
+        assert_eq!(a.topk, b.topk);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 2, "second query should be all hits");
+        assert!(stats.hits >= 2);
+        assert!(stats.hit_rate() > 0.0);
+        assert!(
+            b.time <= a.time,
+            "cache-hot query must not be slower than the cold one"
+        );
+        engine.shutdown();
+        assert_eq!(gpu.mem_in_use(), 0);
     }
 
     #[test]

@@ -140,21 +140,36 @@ impl DeviceEfList {
         .iter()
         .map(|&w| w as u64 * 4)
         .sum();
+        // The staging arrays are moved into the device pool (no per-part
+        // copy): they were built for this upload and die here anyway.
+        let EfListImage {
+            hb,
+            lb,
+            block_hb_start,
+            block_lb_start,
+            block_elem_start,
+            block_b,
+            block_base,
+            word_block,
+            skip_first,
+            skip_last,
+            len,
+        } = img;
         let [hb, lb, block_hb_start, block_lb_start, block_elem_start, block_b, block_base, word_block, skip_first, skip_last] =
-            gpu.htod_packed_n([
-                &img.hb,
-                &img.lb,
-                &img.block_hb_start,
-                &img.block_lb_start,
-                &img.block_elem_start,
-                &img.block_b,
-                &img.block_base,
-                &img.word_block,
-                &img.skip_first,
-                &img.skip_last,
+            gpu.htod_packed_owned([
+                hb,
+                lb,
+                block_hb_start,
+                block_lb_start,
+                block_elem_start,
+                block_b,
+                block_base,
+                word_block,
+                skip_first,
+                skip_last,
             ])?;
         Ok(DeviceEfList {
-            len: img.len,
+            len,
             num_blocks: list.num_blocks(),
             hb,
             lb,
@@ -212,7 +227,10 @@ impl DevicePostings {
             }
             tf_words.push(w);
         }
-        let [tf_words, tf_offsets] = match gpu.htod_packed_n([&tf_words, tf_offsets]) {
+        // `tf_words` was packed for this upload: move it into the pool.
+        // The (tiny, `num_blocks + 1`-entry) offsets are borrowed from the
+        // index and must be copied either way.
+        let [tf_words, tf_offsets] = match gpu.htod_packed_owned([tf_words, tf_offsets.to_vec()]) {
             Ok(bufs) => bufs,
             Err(e) => {
                 docs.free(gpu);

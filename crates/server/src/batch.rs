@@ -17,7 +17,7 @@
 use griffin_gpu_sim::{DeviceConfig, VirtualNanos};
 
 /// Batch-packing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchConfig {
     /// Maximum stages coalesced into one launch (1 disables packing).
     pub max_batch: usize,
@@ -28,6 +28,13 @@ pub struct BatchConfig {
     /// Fixed per-stage cost a coalesced member no longer pays. See
     /// [`BatchConfig::for_device`] for the derivation.
     pub per_stage_overhead: VirtualNanos,
+    /// Fraction of a GPU stage's duration that is PCIe copy work (its
+    /// list upload). With async streams the device overlaps a member's
+    /// copy with the *previous* member's compute, so inside a batch this
+    /// fraction of each non-first member pipelines instead of
+    /// serializing. `0.0` disables overlap modeling (members run strictly
+    /// concatenated, the pre-stream behaviour).
+    pub copy_fraction: f64,
 }
 
 impl BatchConfig {
@@ -43,7 +50,22 @@ impl BatchConfig {
             per_stage_overhead: VirtualNanos::from_nanos(
                 2 * cfg.kernel_launch_overhead_ns + cfg.malloc_overhead_ns + cfg.free_overhead_ns,
             ),
+            // Small (transfer-bound) stages spend roughly this share of
+            // their time on the PCIe upload; the ratio follows from the
+            // link (8 GB/s) vs device bandwidth (208 GB/s) at the
+            // packer's small-stage sizes. Only meaningful on devices with
+            // a dedicated copy engine.
+            copy_fraction: if cfg.copy_engines > 0 { 0.4 } else { 0.0 },
         }
+    }
+
+    /// Splits a member's effective duration into its (copy, compute)
+    /// portions per [`BatchConfig::copy_fraction`].
+    pub fn split(&self, duration: VirtualNanos) -> (VirtualNanos, VirtualNanos) {
+        let copy = VirtualNanos::from_nanos_f64(
+            duration.as_nanos() as f64 * self.copy_fraction.clamp(0.0, 1.0),
+        );
+        (copy.min(duration), duration - copy.min(duration))
     }
 
     /// Whether a stage of this duration is eligible for coalescing.
@@ -81,6 +103,7 @@ mod tests {
             max_batch: 8,
             small_stage: ns(1_000_000),
             per_stage_overhead: ns(overhead),
+            copy_fraction: 0.0,
         }
     }
 
@@ -117,6 +140,21 @@ mod tests {
         assert!(overhead >= cfg.kernel_launch_overhead_ns);
         // Far below any realistic small-stage duration.
         assert!(b.per_stage_overhead < b.small_stage);
+        assert!((0.0..=1.0).contains(&b.copy_fraction));
+        assert!(b.copy_fraction > 0.0, "the K20 has copy engines");
+    }
+
+    #[test]
+    fn split_partitions_the_duration_exactly() {
+        let mut c = config(0);
+        c.copy_fraction = 0.4;
+        let (copy, compute) = c.split(ns(1_000));
+        assert_eq!(copy + compute, ns(1_000));
+        assert_eq!(copy, ns(400));
+        c.copy_fraction = 0.0;
+        assert_eq!(c.split(ns(777)), (ns(0), ns(777)));
+        c.copy_fraction = 1.5; // clamped
+        assert_eq!(c.split(ns(10)), (ns(10), ns(0)));
     }
 
     #[test]

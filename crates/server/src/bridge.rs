@@ -45,6 +45,33 @@ pub fn stages_of(out: &GriffinOutput) -> Vec<StageReq> {
     stages
 }
 
+/// Estimates the PCIe-copy share of a workload's GPU-lane time from its
+/// measured step traces: Migrate steps are pure transfers, while GPU
+/// compute steps (init/intersect) count as kernel time — with overlap
+/// enabled the engine already pipelines their own uploads behind compute,
+/// so those transfers must not be counted twice. The result feeds
+/// [`crate::batch::BatchConfig`]'s `copy_fraction` when the
+/// device-derived default does not fit the workload.
+pub fn gpu_copy_fraction<'a>(traces: impl IntoIterator<Item = &'a [StepTrace]>) -> f64 {
+    let mut copy = VirtualNanos::ZERO;
+    let mut total = VirtualNanos::ZERO;
+    for steps in traces {
+        for s in steps {
+            if resource_of(s) == Resource::Gpu {
+                total += s.time;
+                if s.op == StepOp::Migrate {
+                    copy += s.time;
+                }
+            }
+        }
+    }
+    if total == VirtualNanos::ZERO {
+        0.0
+    } else {
+        copy.as_nanos() as f64 / total.as_nanos() as f64
+    }
+}
+
 /// Total stage duration per resource: `(cpu, gpu)`.
 pub fn resource_totals(stages: &[StageReq]) -> (VirtualNanos, VirtualNanos) {
     let mut cpu = VirtualNanos::ZERO;
@@ -79,6 +106,19 @@ mod tests {
             steps,
             gpu_faults: 0,
         }
+    }
+
+    #[test]
+    fn copy_fraction_counts_migrations_only() {
+        let steps = [
+            step(StepOp::Init, Proc::Gpu, 600),
+            step(StepOp::Migrate, Proc::Cpu, 300), // PCIe, GPU lane
+            step(StepOp::Intersect(1), Proc::Cpu, 5_000), // CPU lane
+            step(StepOp::TopK, Proc::Cpu, 100),
+        ];
+        let f = gpu_copy_fraction([&steps[..]]);
+        assert!((f - 300.0 / 900.0).abs() < 1e-9, "{f}");
+        assert_eq!(gpu_copy_fraction([&[][..]]), 0.0);
     }
 
     #[test]

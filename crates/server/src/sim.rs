@@ -81,6 +81,10 @@ pub struct SimStats {
     /// Device time saved by batching (sum of per-member overheads not
     /// paid).
     pub gpu_time_saved: VirtualNanos,
+    /// Device time saved by copy/compute overlap inside batches: each
+    /// member's upload ships on the copy engine while the previous
+    /// member's kernels compute (see [`BatchConfig::copy_fraction`]).
+    pub gpu_overlap_saved: VirtualNanos,
     /// Deepest GPU queue observed (waiting + running stages).
     pub max_gpu_queue_depth: usize,
 }
@@ -269,33 +273,47 @@ impl ServerSim {
                     stats.gpu_launches += 1;
                     stats.gpu_stages += batch.len() as u64;
                     stats.max_batch_occupancy = stats.max_batch_occupancy.max(batch.len());
-                    // Members execute concatenated within the one
-                    // submission; every member after the first shaves its
-                    // fixed per-stage overhead, and each member's result
-                    // is ready when its own kernels complete.
-                    let mut t = now;
+                    // Members execute within the one submission; every
+                    // member after the first shaves its fixed per-stage
+                    // overhead, and — with a copy fraction configured —
+                    // ships its list on the copy engine while the
+                    // previous member's kernels compute. Each member's
+                    // result is ready when its own compute completes, so
+                    // packing never delays anyone.
+                    let mut copy_done = now;
+                    let mut compute_end = now;
+                    let mut serial_end = now;
                     for (i, member) in batch.into_iter().enumerate() {
                         let saved = match (&self.config.batching, i) {
                             (Some(b), 1..) => b.saving_for(member.duration),
                             _ => VirtualNanos::ZERO,
                         };
                         stats.gpu_time_saved += saved;
-                        let end = t + (member.duration - saved);
+                        let effective = member.duration - saved;
+                        let (copy, compute) = match &self.config.batching {
+                            Some(b) => b.split(effective),
+                            None => (VirtualNanos::ZERO, effective),
+                        };
+                        copy_done += copy;
+                        let span_start = compute_end;
+                        let end = copy_done.max(compute_end) + compute;
+                        serial_end += effective;
                         timeline.push(SpanEvent {
                             resource: "gpu",
                             lane: 0,
                             job: member.job,
                             stage: member.stage,
                             ready: member.ready,
-                            start: t,
+                            start: span_start,
                             end,
                         });
                         heap.push(Reverse((end, EV_READY, member.job, member.stage + 1)));
-                        t = end;
+                        compute_end = end;
                     }
-                    gpu_free = t;
+                    stats.gpu_overlap_saved += serial_end - compute_end;
+                    gpu_free = compute_end;
                     if !gpu_queue.is_empty() {
-                        heap.push(Reverse((t, EV_DISPATCH, 0, 0)));
+                        heap.push(Reverse((compute_end, EV_DISPATCH, 0, 0)));
                     }
                 }
                 _ => unreachable!("unknown event kind"),
@@ -379,6 +397,7 @@ mod tests {
                 max_batch: 8,
                 small_stage: ns(u64::MAX),
                 per_stage_overhead: ns(10_000),
+                copy_fraction: 0.5,
             }),
             ..Default::default()
         });
@@ -387,6 +406,42 @@ mod tests {
         let report = sim.run(&[job(0, vec![gpu(1_000), cpu(500), gpu(250)])]);
         assert_eq!(report.queries[0].latency, Some(ns(1_750)));
         assert_eq!(report.stats.gpu_time_saved, VirtualNanos::ZERO);
+        assert_eq!(report.stats.gpu_overlap_saved, VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn batched_members_overlap_copy_with_previous_compute() {
+        let b = BatchConfig {
+            max_batch: 4,
+            small_stage: ns(10_000),
+            per_stage_overhead: ns(0),
+            copy_fraction: 0.5,
+        };
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 1,
+            admission: AdmissionConfig::default(),
+            batching: Some(b),
+        });
+        // A long head stage parks the GPU; three 1µs members coalesce
+        // behind it. Each member's 500ns copy ships under the previous
+        // member's 500ns compute, so every member after the first adds
+        // only its compute to the chain.
+        let jobs = vec![
+            job(0, vec![gpu(100_000)]),
+            job(1, vec![gpu(1_000)]),
+            job(2, vec![gpu(1_000)]),
+            job(3, vec![gpu(1_000)]),
+        ];
+        let report = sim.run(&jobs);
+        assert_eq!(report.stats.gpu_launches, 2);
+        assert_eq!(report.stats.max_batch_occupancy, 3);
+        // Serial concatenation would take 3µs; the pipeline finishes the
+        // batch in 2µs (1000 + 500 + 500).
+        assert_eq!(report.stats.gpu_overlap_saved, ns(1_000));
+        let ends = [101_000u64, 101_500, 102_000];
+        for ((q, arrival), end) in report.queries[1..].iter().zip([1u64, 2, 3]).zip(ends) {
+            assert_eq!(q.latency, Some(ns(end - arrival)));
+        }
     }
 
     #[test]
@@ -495,6 +550,7 @@ mod tests {
             max_batch: 4,
             small_stage: ns(1_000),
             per_stage_overhead: ns(100),
+            copy_fraction: 0.0,
         };
         let sim = ServerSim::new(SimConfig {
             cpu_workers: 1,
@@ -527,6 +583,7 @@ mod tests {
             max_batch: 4,
             small_stage: ns(100),
             per_stage_overhead: ns(10),
+            copy_fraction: 0.0,
         };
         let sim = ServerSim::new(SimConfig {
             cpu_workers: 1,

@@ -28,7 +28,7 @@ pub mod trace;
 use std::sync::Arc;
 
 use griffin_gpu_sim::observe::{DeviceEvent, DeviceObserver};
-use griffin_gpu_sim::VirtualNanos;
+use griffin_gpu_sim::{StreamKind, VirtualNanos};
 
 pub use metrics::{Histogram, Registry};
 pub use timeline::{LaneUtilization, SpanEvent, Timeline};
@@ -112,6 +112,67 @@ impl Telemetry {
     /// The structured trace as a JSON array (None when disabled).
     pub fn trace_json(&self) -> Option<String> {
         self.recorder.as_ref().map(|r| r.events_to_json())
+    }
+
+    /// Rebuilds the device's two engine timelines from the recorded
+    /// kernel-launch and PCIe-transfer events: one `"gpu-compute"` lane
+    /// for kernels, one `"gpu-copy"` lane for transfers (the lane names
+    /// are [`StreamKind::as_str`], tying the export to the simulator's
+    /// stream model). Copy spans further split into one sub-lane per DMA
+    /// direction — lane 0 for host-to-device, lane 1 for device-to-host —
+    /// matching the per-direction copy engines of the modeled device.
+    /// Under overlap-enabled execution the copy lane's
+    /// spans visibly run underneath the compute lane's; feed the result
+    /// to [`Timeline::to_chrome_trace`] to inspect the pipeline in
+    /// Perfetto. Spans carry the owning query as their job id and an
+    /// issue-order stage index. `None` when telemetry is disabled.
+    pub fn device_timeline(&self) -> Option<Timeline> {
+        let recorder = self.recorder.as_ref()?;
+        let mut timeline = Timeline::default();
+        let mut stage_counters: Vec<(u64, usize)> = Vec::new();
+        let mut next_stage = |query: u64| -> usize {
+            match stage_counters.iter_mut().find(|(q, _)| *q == query) {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n - 1
+                }
+                None => {
+                    stage_counters.push((query, 1));
+                    0
+                }
+            }
+        };
+        for event in recorder.events() {
+            let (query, stream, lane, start, duration) = match event {
+                TraceEvent::KernelLaunch {
+                    query,
+                    start,
+                    duration,
+                    ..
+                } => (query, StreamKind::Compute, 0, start, duration),
+                TraceEvent::PcieTransfer {
+                    query,
+                    direction,
+                    start,
+                    duration,
+                    ..
+                } => {
+                    let lane = usize::from(direction == "dtoh");
+                    (query, StreamKind::Copy, lane, start, duration)
+                }
+                _ => continue,
+            };
+            timeline.push(SpanEvent {
+                resource: stream.as_str(),
+                lane,
+                job: query as usize,
+                stage: next_stage(query),
+                ready: start,
+                start,
+                end: start + duration,
+            });
+        }
+        Some(timeline)
     }
 
     /// Build the device-side observer bridging
@@ -218,6 +279,43 @@ mod tests {
         assert!(t.metrics_json().is_none());
         assert!(t.trace_json().is_none());
         assert!(t.device_observer(32).is_none());
+    }
+
+    #[test]
+    fn device_timeline_splits_streams_into_lanes() {
+        let t = Telemetry::enabled();
+        assert!(Telemetry::disabled().device_timeline().is_none());
+        let ns = VirtualNanos::from_nanos;
+        t.record(|_| TraceEvent::PcieTransfer {
+            query: 1,
+            direction: "htod",
+            bytes: 4096,
+            start: ns(0),
+            duration: ns(500),
+        });
+        t.record(|_| TraceEvent::KernelLaunch {
+            query: 1,
+            name: "k",
+            start: ns(100),
+            duration: ns(300),
+            total_warps: 1,
+            divergence_rate: 0.0,
+            coalescing_factor: 1.0,
+            gmem_transactions: 0,
+        });
+        let tl = t.device_timeline().unwrap();
+        assert_eq!(tl.spans.len(), 2);
+        assert_eq!(tl.spans[0].resource, "gpu-copy");
+        assert_eq!(tl.spans[1].resource, "gpu-compute");
+        // Copy span [0,500) overlaps compute span [100,400): both lanes
+        // appear independently in the export.
+        assert_eq!(tl.spans[0].end, ns(500));
+        assert_eq!(tl.spans[1].start, ns(100));
+        assert_eq!(tl.spans[0].stage, 0);
+        assert_eq!(tl.spans[1].stage, 1);
+        let js = tl.to_chrome_trace();
+        assert!(js.contains("\"name\":\"gpu-compute0\""));
+        assert!(js.contains("\"name\":\"gpu-copy0\""));
     }
 
     #[test]
