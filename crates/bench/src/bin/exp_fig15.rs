@@ -103,10 +103,7 @@ fn main() {
         .zip(&cpu_times)
         .map(|(&arrival, &t)| Job {
             arrival,
-            stages: vec![StageReq {
-                resource: Resource::Cpu,
-                duration: t,
-            }],
+            stages: vec![StageReq::new(Resource::Cpu, t)],
         })
         .collect();
     let hybrid_jobs: Vec<Job> = arrivals

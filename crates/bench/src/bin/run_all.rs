@@ -37,6 +37,7 @@ fn main() {
         "exp_overlap",
         "exp_serving",
         "exp_faults",
+        "exp_coexec",
     ];
     // Experiment binaries live next to this one.
     let me = std::env::current_exe().expect("current_exe");

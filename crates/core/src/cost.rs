@@ -30,32 +30,72 @@ const BYTES_PER_ELEM: f64 = 2.5;
 /// compute estimate.
 const DEVICE_TRAFFIC_BYTES_PER_ELEM: f64 = 24.0;
 
-/// Kernel launches charged per intersection step (decompress, tf decode,
-/// partition, merge, scan, score).
-const LAUNCHES_PER_STEP: u64 = 6;
+/// Kernel launches charged per intersection step. Counted against the
+/// simulator's full-decompression path: popcount, scatter, recover and
+/// tf-decode for the decompress, two scans (each a tile pass plus a
+/// uniform-add), merge-path partition/merge/compact, and the score
+/// accumulator.
+const LAUNCHES_PER_STEP: u64 = 13;
 
-/// Device allocations charged per intersection step.
-const MALLOCS_PER_STEP: u64 = 6;
+/// Device allocations charged per intersection step (prefix sums, index
+/// array, decoded docids/tfs, partition diagonals, match buffers, the
+/// compacted result and its scores).
+const MALLOCS_PER_STEP: u64 = 10;
+
+/// PCIe transactions per step: the range upload (docids + tf side file +
+/// block metadata ship as separate buffers) plus the result download
+/// (matched docids, scores, and the length word). Each pays the link's
+/// fixed latency even when pipelining hides the bandwidth term.
+const TRANSFERS_PER_STEP: u64 = 7;
+
+/// Dependent global-memory accesses on the tf side-file decoder's
+/// critical path. The decoder runs one thread per 128-element
+/// compression block, and each varint costs ~4 serially dependent
+/// global accesses, so the kernel's wall time is pinned at
+/// `128 x 4` un-hideable memory latencies *no matter how many blocks
+/// decode in parallel* — a per-step floor, not a per-element slope.
+const SERIAL_DECODE_GMEM_ACCESSES: f64 = 512.0;
+
+/// Issue/latency-bound device cycles per long-list element across the
+/// decompress + merge passes. The kernels are not bandwidth-bound at
+/// these list sizes (calibrated against the simulator: ~0.5 ns/elem on
+/// the 706 MHz K20, i.e. ~0.35 cycles once the serial floor is peeled
+/// off), so the compute estimate takes the max of this and the
+/// bandwidth bound.
+const DEVICE_CYCLES_PER_ELEM: f64 = 0.35;
 
 /// Per-step cost estimates for one GPU pairwise intersection, serial and
 /// pipelined.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
-    /// Fixed per-step overhead (launches + allocations), ns.
+    /// Fixed per-step overhead (launches + allocations + the extra
+    /// per-transfer link latencies beyond the one priced into
+    /// [`CostModel::transfer_ns`]), ns.
     pub fixed_ns: f64,
+    /// Serially dependent decode latency per step, ns — the tf
+    /// side-file decoder's critical path (see
+    /// `SERIAL_DECODE_GMEM_ACCESSES`). A wall-clock floor on every
+    /// full-decompression device step, independent of list length.
+    pub serial_decode_ns: f64,
     /// Fixed per-transfer PCIe latency, ns.
     pub pcie_latency_ns: f64,
     /// PCIe transfer cost per long-list element, ns.
     pub pcie_ns_per_elem: f64,
-    /// Device compute (bandwidth-bound decode + merge) per long-list
-    /// element, ns.
+    /// Device compute per long-list element, ns: the max of the
+    /// bandwidth bound and the issue/latency bound
+    /// (`DEVICE_CYCLES_PER_ELEM`).
     pub gpu_ns_per_elem: f64,
-    /// Host cost per long-list element for the same operation, ns.
-    /// Defaults to ~30 cycles/element at the paper CPU's 2.5 GHz
-    /// (Elias-Fano decode at 24 cycles plus merge steps at 18, amortized
-    /// over partial skipping); override with
+    /// Host cost per long-list element for a *merge* intersection
+    /// (decode the whole list, linear merge): ~30 cycles/element at the
+    /// paper CPU's 2.5 GHz. Override with
     /// [`CostModel::with_cpu_ns_per_elem`] if measurements disagree.
     pub cpu_ns_per_elem: f64,
+    /// Host cost per *short-list* element for a skip-pointer
+    /// intersection (gallop over skips + one in-block binary search per
+    /// probe): ~250 cycles at 2.5 GHz. The skip strategy's cost scales
+    /// with the short list, which is what makes the CPU competitive at
+    /// high length ratios.
+    pub cpu_skip_ns_per_probe: f64,
     /// Whether transfers pipeline behind the previous step's compute.
     pub overlap: bool,
 }
@@ -63,21 +103,34 @@ pub struct CostModel {
 impl CostModel {
     /// Derives the model from a device configuration.
     pub fn from_device(cfg: &DeviceConfig, overlap: bool) -> CostModel {
+        let ns_per_cycle = cfg.ns_per_cycle();
         CostModel {
             fixed_ns: (LAUNCHES_PER_STEP * cfg.kernel_launch_overhead_ns
-                + MALLOCS_PER_STEP * cfg.malloc_overhead_ns) as f64,
+                + MALLOCS_PER_STEP * cfg.malloc_overhead_ns
+                + (TRANSFERS_PER_STEP - 1) * cfg.pcie.latency_ns) as f64,
+            serial_decode_ns: SERIAL_DECODE_GMEM_ACCESSES
+                * cfg.costs.gmem_latency_cycles
+                * ns_per_cycle,
             pcie_latency_ns: cfg.pcie.latency_ns as f64,
             pcie_ns_per_elem: BYTES_PER_ELEM / cfg.pcie.bandwidth_bytes_per_sec * 1.0e9,
-            gpu_ns_per_elem: DEVICE_TRAFFIC_BYTES_PER_ELEM / cfg.global_bandwidth_bytes_per_sec
-                * 1.0e9,
+            gpu_ns_per_elem: (DEVICE_TRAFFIC_BYTES_PER_ELEM / cfg.global_bandwidth_bytes_per_sec
+                * 1.0e9)
+                .max(DEVICE_CYCLES_PER_ELEM * ns_per_cycle),
             cpu_ns_per_elem: 12.0,
+            cpu_skip_ns_per_probe: 100.0,
             overlap,
         }
     }
 
-    /// Replaces the host-side per-element estimate.
+    /// Replaces the host-side per-element merge estimate.
     pub fn with_cpu_ns_per_elem(mut self, ns: f64) -> CostModel {
         self.cpu_ns_per_elem = ns;
+        self
+    }
+
+    /// Replaces the host-side per-probe skip estimate.
+    pub fn with_cpu_skip_ns_per_probe(mut self, ns: f64) -> CostModel {
+        self.cpu_skip_ns_per_probe = ns;
         self
     }
 
@@ -91,16 +144,23 @@ impl CostModel {
         self.gpu_ns_per_elem * long_len as f64
     }
 
-    /// Serial step estimate: transfer, then compute.
+    /// Serial step estimate: transfer, then compute, on top of the
+    /// fixed overheads and the serial-decode floor.
     pub fn gpu_step_serial_ns(&self, long_len: usize) -> f64 {
-        self.fixed_ns + self.transfer_ns(long_len) + self.compute_ns(long_len)
+        self.fixed_ns
+            + self.serial_decode_ns
+            + self.transfer_ns(long_len)
+            + self.compute_ns(long_len)
     }
 
     /// Pipelined step estimate: the upload hides behind the previous
     /// step's compute, so only the longer of the two engines bounds the
-    /// steady-state step.
+    /// steady-state step. The fixed overheads and the serial-decode
+    /// floor do not pipeline away.
     pub fn gpu_step_pipelined_ns(&self, long_len: usize) -> f64 {
-        self.fixed_ns + self.transfer_ns(long_len).max(self.compute_ns(long_len))
+        self.fixed_ns
+            + self.serial_decode_ns
+            + self.transfer_ns(long_len).max(self.compute_ns(long_len))
     }
 
     /// The estimate matching this model's `overlap` mode.
@@ -117,9 +177,77 @@ impl CostModel {
         VirtualNanos::from_nanos(self.gpu_step_ns(long_len).max(0.0) as u64)
     }
 
-    /// Host estimate for the same operation, ns.
+    /// Host estimate for a whole-list *merge* intersection, ns. This is
+    /// the regime the `min_gpu_work` floor compares against: at the low
+    /// ratios where GPU placement is in question, the host decodes the
+    /// whole list and merges.
     pub fn cpu_step_ns(&self, long_len: usize) -> f64 {
         self.cpu_ns_per_elem * long_len as f64
+    }
+
+    /// Host estimate for one intersection of `short_len` probes against
+    /// a `long_len` list, ns: the cheaper of the merge strategy (decode
+    /// everything, cost follows the long list) and the skip strategy
+    /// (one gallop + in-block binary search per probe, cost follows the
+    /// short list) — mirroring the CPU engine's own strategy choice.
+    pub fn cpu_intersect_ns(&self, short_len: usize, long_len: usize) -> f64 {
+        let merge = self.cpu_ns_per_elem * long_len as f64;
+        let skip = self.cpu_skip_ns_per_probe * short_len as f64;
+        merge.min(skip)
+    }
+
+    /// Solves for the GPU share of a docID-range split so that both
+    /// lanes of a co-executed intersection finish together.
+    ///
+    /// A split hands the first `f·L` long-list elements to the device
+    /// and the remaining `(1−f)·L` — carrying `(1−f)` of the short
+    /// list's probes, since docIDs are roughly uniform across the range
+    /// — to the host. The step costs `max(gpu_step(f·L),
+    /// cpu_intersect((1−f)·S, (1−f)·L))`, which is minimized where the
+    /// two curves meet. `g(f) = gpu − cpu` is monotone increasing in
+    /// `f` (the GPU term grows, the CPU term shrinks), so the root is
+    /// found by bisection. Returns 0.0 when even an empty GPU slice
+    /// cannot amortize the fixed launch/transfer/decode overheads (the
+    /// whole operation belongs on the CPU) and 1.0 when the device
+    /// beats the host even carrying the full list.
+    pub fn split_fraction(&self, short_len: usize, long_len: usize) -> f64 {
+        if long_len == 0 {
+            return 0.0;
+        }
+        let l = long_len as f64;
+        let s = short_len as f64;
+        let g = |f: f64| {
+            let gpu_elems = (f * l).round() as usize;
+            let cpu_elems = long_len - gpu_elems.min(long_len);
+            let cpu_probes = ((1.0 - f) * s).round() as usize;
+            self.gpu_step_ns(gpu_elems) - self.cpu_intersect_ns(cpu_probes, cpu_elems)
+        };
+        if g(0.0) >= 0.0 {
+            return 0.0; // fixed GPU overhead alone exceeds the CPU's whole-list cost
+        }
+        if g(1.0) <= 0.0 {
+            return 1.0; // the device wins even carrying the entire list
+        }
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if g(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let f = 0.5 * (lo + hi);
+        // A lane owed less than one element of either list is no lane at
+        // all (no short element means no possible match): snap to the
+        // degenerate single-processor answer.
+        if f * l < 1.0 || f * s < 1.0 {
+            0.0
+        } else if (1.0 - f) * l < 1.0 || (1.0 - f) * s < 1.0 {
+            1.0
+        } else {
+            f
+        }
     }
 
     /// Smallest long-list length at which the GPU step beats the CPU
@@ -166,6 +294,61 @@ mod tests {
             pipelined.min_profitable_long_len() <= serial.min_profitable_long_len(),
             "hiding transfers must not raise the crossover"
         );
+    }
+
+    #[test]
+    fn split_fraction_balances_the_lanes() {
+        let cfg = DeviceConfig::tesla_k20();
+        let m = CostModel::from_device(&cfg, true);
+        // Well above the profitable floor, at the crossover ratio, the
+        // split should be interior and the two lanes should land within
+        // a few percent of each other at the solved fraction.
+        let long_len = 4 * m.min_profitable_long_len();
+        let short_len = long_len / 64;
+        let f = m.split_fraction(short_len, long_len);
+        assert!((0.0..=1.0).contains(&f));
+        if f > 0.0 && f < 1.0 {
+            let gpu_elems = (f * long_len as f64).round() as usize;
+            let gpu = m.gpu_step_ns(gpu_elems);
+            let cpu_probes = ((1.0 - f) * short_len as f64).round() as usize;
+            let cpu = m.cpu_intersect_ns(cpu_probes, long_len - gpu_elems);
+            let imbalance = (gpu - cpu).abs() / gpu.max(cpu);
+            assert!(imbalance < 0.05, "lanes off by {imbalance:.3}");
+        }
+    }
+
+    #[test]
+    fn split_fraction_degenerates_sensibly() {
+        let cfg = DeviceConfig::tesla_k20();
+        let m = CostModel::from_device(&cfg, true);
+        assert_eq!(m.split_fraction(4, 0), 0.0);
+        // Tiny lists cannot amortize the fixed device overheads at all.
+        assert_eq!(m.split_fraction(4, 16), 0.0);
+        // A host so slow the device should take everything.
+        let slow_cpu = m
+            .with_cpu_ns_per_elem(1.0e6)
+            .with_cpu_skip_ns_per_probe(1.0e7);
+        assert_eq!(slow_cpu.split_fraction(1 << 16, 1 << 20), 1.0);
+        // A host so fast the device earns nothing.
+        let fast_cpu = m.with_cpu_ns_per_elem(1.0e-6);
+        assert_eq!(fast_cpu.split_fraction(1 << 16, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn skip_regime_shrinks_the_device_share_at_high_ratios() {
+        let cfg = DeviceConfig::tesla_k20();
+        let m = CostModel::from_device(&cfg, true);
+        let long_len = 1 << 20;
+        // The shorter the probe side, the cheaper the host's skip
+        // search, and the less long-list the device deserves.
+        let f_lo = m.split_fraction(long_len / 16, long_len);
+        let f_hi = m.split_fraction(long_len / 256, long_len);
+        assert!(
+            f_hi <= f_lo,
+            "device share must not grow as the host gets cheaper ({f_lo} -> {f_hi})"
+        );
+        // And at an extreme ratio the skip search wins outright.
+        assert_eq!(m.split_fraction(64, long_len), 0.0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The hybrid query engine: one query, two processors, per-operation
 //! migration (paper Fig. 1(d)).
 
+use std::cell::RefCell;
+
 use griffin_cpu::engine::Strategy;
-use griffin_cpu::{CpuEngine, Intermediate, WorkCounters};
+use griffin_cpu::{CpuEngine, Intermediate, QueryScratch, WorkCounters};
 use griffin_gpu::{DeviceIntermediate, GpuEngine, GpuError, GpuStrategy};
 use griffin_gpu_sim::{Gpu, StreamKind, VirtualNanos};
 use griffin_index::{CorpusMeta, InvertedIndex, TermId};
@@ -10,7 +12,7 @@ use griffin_telemetry::{Telemetry, TraceEvent};
 
 use crate::cost::CostModel;
 use crate::request::{QueryError, QueryRequest};
-use crate::sched::{Decision, Proc, Scheduler};
+use crate::sched::{Decision, DecisionTrace, Proc, Scheduler, SplitBalancer, SplitConfig};
 
 /// How a query is executed (the paper's three evaluated configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +41,18 @@ pub enum StepOp {
     Init,
     /// Pairwise intersection with the i-th planned term.
     Intersect(usize),
+    /// Co-executed pairwise intersection with the i-th planned term: the
+    /// long list was range-partitioned and both processors ran their
+    /// slice concurrently. The step's `time` is `max(cpu_lane, gpu_lane)`
+    /// — the lanes overlap — so step durations still sum to the query
+    /// total. On an in-split GPU fault, `gpu_lane` records the wasted
+    /// device attempts; the re-run of the device's range appears as a
+    /// separate [`StepOp::FaultRecovery`] step.
+    SplitIntersect {
+        term: usize,
+        cpu_lane: VirtualNanos,
+        gpu_lane: VirtualNanos,
+    },
     /// Intermediate migration across PCIe.
     Migrate,
     /// Final top-k ranking (always CPU, per the Fig. 7 finding).
@@ -150,6 +164,14 @@ pub struct Griffin<'g> {
     /// Whether GPU execution runs with copy/compute overlap (async
     /// streams + next-list prefetch). See [`Griffin::set_overlap`].
     overlap: bool,
+    /// Feedback controller for co-executed splits: refines the cost
+    /// model's split fraction from measured lane imbalance, so repeated
+    /// splits converge on lanes that finish together.
+    balancer: RefCell<SplitBalancer>,
+    /// Per-engine decode/gather scratch, reused across every CPU
+    /// intersection (buffers are cleared between operations, never
+    /// shrunk, so steady-state queries stop allocating).
+    scratch: RefCell<QueryScratch>,
 }
 
 impl<'g> Griffin<'g> {
@@ -162,8 +184,11 @@ impl<'g> Griffin<'g> {
             device,
             telemetry: Telemetry::disabled(),
             overlap: true,
+            balancer: RefCell::new(SplitBalancer::default()),
+            scratch: RefCell::new(QueryScratch::default()),
         };
         griffin.set_overlap(true);
+        griffin.set_coexec(true);
         griffin
     }
 
@@ -183,12 +208,42 @@ impl<'g> Griffin<'g> {
         } else {
             self.scheduler.min_gpu_work =
                 Scheduler::for_block_len(self.scheduler.ratio_threshold).min_gpu_work;
+            // The split solver must price the GPU lane the same way the
+            // engine will now run it: serially.
+            if let Some(split) = &mut self.scheduler.split {
+                split.model = CostModel::from_device(self.device.config(), false);
+            }
         }
     }
 
     /// Whether overlapped GPU execution is enabled.
     pub fn overlap_enabled(&self) -> bool {
         self.overlap
+    }
+
+    /// Enables or disables CPU+GPU co-execution (on by default). With it
+    /// on, intersections whose length ratio falls near the scheduler's
+    /// crossover may be *split*: the long list is range-partitioned, the
+    /// device and the host each intersect their slice concurrently, and
+    /// the partial results concatenate into exactly the unsplit answer
+    /// ([`Decision::Split`]). The split fraction is solved from both cost
+    /// models and refined per query by the adaptive balancer. Results are
+    /// bit-exact either way; only latency changes.
+    pub fn set_coexec(&mut self, on: bool) {
+        self.scheduler.split = if on {
+            Some(SplitConfig::new(CostModel::from_device(
+                self.device.config(),
+                self.overlap,
+            )))
+        } else {
+            None
+        };
+        self.balancer.borrow_mut().reset();
+    }
+
+    /// Whether co-execution splits are enabled.
+    pub fn coexec_enabled(&self) -> bool {
+        self.scheduler.split.is_some()
     }
 
     /// Attach a telemetry session. Every subsequent query records its
@@ -221,6 +276,7 @@ impl<'g> Griffin<'g> {
         let (op, arg) = match s.op {
             StepOp::Init => ("init", 0),
             StepOp::Intersect(i) => ("intersect", i),
+            StepOp::SplitIntersect { term, .. } => ("split_intersect", term),
             StepOp::Migrate => ("migrate", 0),
             StepOp::TopK => ("topk", 0),
             StepOp::Exec => ("exec", 0),
@@ -242,7 +298,7 @@ impl<'g> Griffin<'g> {
     }
 
     /// Record one scheduler decision.
-    fn record_decision(&self, d: &Decision) {
+    fn record_decision(&self, d: &DecisionTrace) {
         let chosen = d.chosen.label();
         self.telemetry.record(|r| TraceEvent::SchedDecision {
             query: r.current_query(),
@@ -320,14 +376,20 @@ impl<'g> Griffin<'g> {
         completed: usize,
         w: &mut WorkCounters,
     ) -> Intermediate {
+        let mut scratch = self.scratch.borrow_mut();
         let mut inter = self.cpu.init_intermediate(index, planned[0], w);
         for j in 0..completed {
             if inter.is_empty() {
                 break;
             }
-            inter = self
-                .cpu
-                .intersect_step(index, &inter, planned[j + 1], Strategy::Auto, w);
+            inter = self.cpu.intersect_step_with(
+                index,
+                &inter,
+                planned[j + 1],
+                Strategy::Auto,
+                w,
+                &mut scratch,
+            );
         }
         inter
     }
@@ -598,6 +660,224 @@ impl<'g> Griffin<'g> {
         })
     }
 
+    /// Executes one intersection as a CPU+GPU co-executed split.
+    ///
+    /// The long list is partitioned by docID range at a block boundary:
+    /// the device takes blocks `[0, split_block)` (shipping only that
+    /// slice's blocks over PCIe), the host takes `[split_block, nb)`, and
+    /// the short (host-resident) intermediate is cut at the boundary
+    /// docID so each lane sees exactly the short elements that can match
+    /// its range. Both lanes run concurrently — the GPU lane on the
+    /// device's streams, the CPU lane priced by the host cost model — and
+    /// the partial results concatenate into exactly the unsplit answer
+    /// (every match lands in exactly one lane, both lanes emit in docID
+    /// order, and BM25 sees the full list's document frequency on both
+    /// sides).
+    ///
+    /// The step costs `max(cpu_lane, gpu_lane)`: the lanes overlap, so
+    /// step durations still sum to the query total. A GPU fault inside
+    /// the split wastes only the device lane: the CPU lane's result is
+    /// kept and only the device's range is re-run on the host (recorded
+    /// as a [`StepOp::FaultRecovery`] step).
+    #[allow(clippy::too_many_arguments)]
+    fn split_intersect(
+        &self,
+        log: &mut FaultLog,
+        index: &InvertedIndex,
+        i: usize,
+        term: TermId,
+        host: Intermediate,
+        gpu_fraction: f64,
+        steps: &mut Vec<StepTrace>,
+        total: &mut VirtualNanos,
+    ) -> Intermediate {
+        let list = index.list(term);
+        let nb = list.docs.num_blocks();
+        let forced = self
+            .scheduler
+            .split
+            .as_ref()
+            .is_some_and(|s| s.forced_fraction.is_some());
+        let fraction = if forced {
+            // Forced fractions (tests, the static-grid sweep) are taken
+            // literally — no adaptive refinement.
+            gpu_fraction.clamp(0.0, 1.0)
+        } else {
+            self.balancer.borrow().refine(gpu_fraction)
+        };
+        let split_block = ((fraction * nb as f64).round() as usize).min(nb);
+        let boundary = if split_block < nb {
+            list.docs.skips[split_block].first_docid
+        } else {
+            u32::MAX
+        };
+        let cut = host.docids.partition_point(|&d| d < boundary);
+        let t0 = self.device.now();
+
+        // GPU lane: blocks [0, split_block) against the short prefix.
+        // Skipped when its range cannot match anything (an empty lane) or
+        // the device is disabled for this query.
+        let mut gpu_lane = VirtualNanos::ZERO;
+        let mut gpu_wasted = VirtualNanos::ZERO;
+        let mut gpu_part: Option<Intermediate> = None;
+        let run_gpu = split_block > 0 && cut > 0 && !log.gpu_disabled;
+        if run_gpu {
+            let start = self.device.now();
+            let attempt = self.try_gpu(log, || {
+                let score_bits: Vec<u32> = host.scores[..cut].iter().map(|s| s.to_bits()).collect();
+                let [docids, scores] = self
+                    .device
+                    .htod_packed_n([&host.docids[..cut], &score_bits])?;
+                let dev_short = DeviceIntermediate {
+                    len: cut,
+                    docids,
+                    scores: scores.cast::<f32>(),
+                };
+                // The range upload bypasses the list cache (a slice is
+                // useless to other queries) and is freed before the lane
+                // returns, fault or not.
+                let postings = match self.gpu.upload_range(index, term, 0, split_block) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        dev_short.free(self.device);
+                        return Err(e);
+                    }
+                };
+                let out = self.gpu.intersect_step(
+                    &dev_short,
+                    &postings,
+                    index.block_len(),
+                    GpuStrategy::Auto,
+                );
+                postings.free(self.device);
+                dev_short.free(self.device);
+                let out = out?;
+                let drained = self.gpu.download(&out);
+                out.free(self.device);
+                drained
+            });
+            match attempt {
+                Ok(part) => {
+                    self.device.stream_sync(StreamKind::Compute);
+                    gpu_lane = self.device.now() - start;
+                    gpu_part = Some(part);
+                }
+                Err(_) => {
+                    gpu_wasted = self.device.now() - start;
+                }
+            }
+        }
+
+        // CPU lane: blocks [split_block, nb) against the short suffix,
+        // concurrent with the device lane on the host's own core.
+        let mut w = WorkCounters::default();
+        let cpu_part = if cut < host.len() && split_block < nb {
+            let tail = Intermediate {
+                docids: host.docids[cut..].to_vec(),
+                scores: host.scores[cut..].to_vec(),
+            };
+            Some(self.cpu.intersect_step_range(
+                index,
+                &tail,
+                term,
+                split_block..nb,
+                &mut w,
+                &mut self.scratch.borrow_mut(),
+            ))
+        } else {
+            None
+        };
+        let cpu_lane = self.cpu.model.time(&w);
+        self.record_cpu_work(&w);
+
+        // An abandoned device lane is re-run on the host — only its
+        // range; the CPU lane's work is kept.
+        let gpu_failed = run_gpu && gpu_part.is_none();
+        let mut recovery_time = VirtualNanos::ZERO;
+        if gpu_failed {
+            let head = Intermediate {
+                docids: host.docids[..cut].to_vec(),
+                scores: host.scores[..cut].to_vec(),
+            };
+            let mut wr = WorkCounters::default();
+            let rerun = self.cpu.intersect_step_range(
+                index,
+                &head,
+                term,
+                0..split_block,
+                &mut wr,
+                &mut self.scratch.borrow_mut(),
+            );
+            recovery_time = self.cpu.model.time(&wr);
+            self.record_cpu_work(&wr);
+            gpu_part = Some(rerun);
+        }
+
+        // Concatenate: the lanes cover disjoint, ordered docID ranges.
+        let mut out = gpu_part.unwrap_or_else(|| Intermediate {
+            docids: Vec::new(),
+            scores: Vec::new(),
+        });
+        if let Some(mut tail) = cpu_part {
+            out.docids.append(&mut tail.docids);
+            out.scores.append(&mut tail.scores);
+        }
+
+        let gpu_busy = if gpu_failed { gpu_wasted } else { gpu_lane };
+        let step_time = if cpu_lane > gpu_busy {
+            cpu_lane
+        } else {
+            gpu_busy
+        };
+        *total += step_time;
+        steps.push(StepTrace {
+            op: StepOp::SplitIntersect {
+                term: i + 1,
+                cpu_lane,
+                gpu_lane: gpu_busy,
+            },
+            proc: if run_gpu { Proc::Gpu } else { Proc::Cpu },
+            time: step_time,
+            inter_len: out.len(),
+        });
+        self.record_step(steps.last().expect("just pushed"));
+        if gpu_failed {
+            self.push_recovery_step(steps, total, recovery_time, out.len());
+        }
+
+        // Feedback and observability. The balancer only learns from real
+        // two-lane splits (zero lanes carry no signal; forced fractions
+        // must stay reproducible).
+        if !forced {
+            self.balancer
+                .borrow_mut()
+                .observe(cpu_lane.as_nanos(), gpu_lane.as_nanos());
+        }
+        self.telemetry
+            .counter_add("griffin_coexec_split_ops_total", 1);
+        self.telemetry.with(|r| {
+            r.registry.observe(
+                "griffin_coexec_fraction_pct",
+                (fraction * 100.0).round() as u64,
+            );
+        });
+        if cpu_lane > VirtualNanos::ZERO && gpu_lane > VirtualNanos::ZERO {
+            self.telemetry.gauge_set(
+                "griffin_coexec_lane_imbalance",
+                cpu_lane.as_nanos() as f64 / gpu_lane.as_nanos() as f64,
+            );
+        }
+        if cpu_lane > VirtualNanos::ZERO {
+            self.telemetry.record(|r| TraceEvent::CpuLane {
+                query: r.current_query(),
+                op: "split_intersect",
+                start: t0,
+                duration: cpu_lane,
+            });
+        }
+        out
+    }
+
     fn process_hybrid(&self, index: &InvertedIndex, terms: &[TermId], k: usize) -> GriffinOutput {
         let mut steps: Vec<StepTrace> = Vec::new();
         let mut total = VirtualNanos::ZERO;
@@ -621,7 +901,9 @@ impl<'g> Griffin<'g> {
                     .scheduler
                     .decide_traced(first_len, index.doc_freq(second), Proc::Cpu);
                 self.record_decision(&d);
-                d.chosen
+                // A split keeps its intermediate host-resident, so its
+                // residency view places the init on the CPU.
+                d.chosen.proc()
             }
             None => Proc::Cpu,
         };
@@ -696,15 +978,37 @@ impl<'g> Griffin<'g> {
                 break;
             }
             let long_len = index.doc_freq(term);
-            let mut target = if log.gpu_disabled {
-                Proc::Cpu
+            let decision = if log.gpu_disabled {
+                Decision::Cpu
             } else {
-                let decision = self
+                let d = self
                     .scheduler
                     .decide_traced(inter.len(), long_len, inter.loc());
-                self.record_decision(&decision);
-                decision.chosen
+                self.record_decision(&d);
+                d.chosen
             };
+
+            // Co-execution: run this intersection on both processors at
+            // once (no migration — splits only arise for host-resident
+            // intermediates, and the result comes back host-resident).
+            if let Decision::Split { gpu_fraction } = decision {
+                let Inter::Host(host) = inter else {
+                    unreachable!("split decisions require a host-resident intermediate")
+                };
+                let out = self.split_intersect(
+                    &mut log,
+                    index,
+                    i,
+                    term,
+                    host,
+                    gpu_fraction,
+                    &mut steps,
+                    &mut total,
+                );
+                inter = Inter::Host(out);
+                continue;
+            }
+            let mut target = decision.proc();
 
             // Migrate the intermediate if the scheduler moved the op.
             if target != inter.loc() {
@@ -820,9 +1124,14 @@ impl<'g> Griffin<'g> {
                                 host.len(),
                             );
                             let mut w = WorkCounters::default();
-                            let out =
-                                self.cpu
-                                    .intersect_step(index, &host, term, Strategy::Auto, &mut w);
+                            let out = self.cpu.intersect_step_with(
+                                index,
+                                &host,
+                                term,
+                                Strategy::Auto,
+                                &mut w,
+                                &mut self.scratch.borrow_mut(),
+                            );
                             self.record_cpu_work(&w);
                             (Inter::Host(out), self.cpu.model.time(&w), Proc::Cpu)
                         }
@@ -830,9 +1139,14 @@ impl<'g> Griffin<'g> {
                 }
                 (Inter::Host(host), Proc::Cpu) => {
                     let mut w = WorkCounters::default();
-                    let out = self
-                        .cpu
-                        .intersect_step(index, &host, term, Strategy::Auto, &mut w);
+                    let out = self.cpu.intersect_step_with(
+                        index,
+                        &host,
+                        term,
+                        Strategy::Auto,
+                        &mut w,
+                        &mut self.scratch.borrow_mut(),
+                    );
                     self.record_cpu_work(&w);
                     (Inter::Host(out), self.cpu.model.time(&w), Proc::Cpu)
                 }
@@ -1090,7 +1404,10 @@ mod tests {
         use griffin_gpu_sim::FaultPlan;
         let idx = test_index(&[3_000, 20_000, 60_000], 500_000);
         let gpu = Gpu::new(DeviceConfig::test_tiny());
-        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let mut griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        // Pin the floor: this test is about the fault schedule, and the
+        // pinned op indices assume these small lists reach the device.
+        griffin.scheduler.min_gpu_work = 256;
         let q = terms(&idx, 3);
         let baseline = griffin.process_query(&idx, &q, 10, ExecMode::CpuOnly);
         let ids = |o: &GriffinOutput| o.topk.iter().map(|&(d, _)| d).collect::<Vec<_>>();
@@ -1117,7 +1434,9 @@ mod tests {
         use griffin_gpu_sim::{FaultKind, FaultPlan};
         let idx = test_index(&[3_000, 20_000], 500_000);
         let gpu = Gpu::new(DeviceConfig::test_tiny());
-        let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        let mut griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
+        // Pin the floor so the pinned fault op index lands on device work.
+        griffin.scheduler.min_gpu_work = 256;
         let q = terms(&idx, 2);
         let baseline = griffin.process_query(&idx, &q, 10, ExecMode::CpuOnly);
 

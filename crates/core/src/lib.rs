@@ -30,5 +30,5 @@ pub mod serving;
 pub use cost::CostModel;
 pub use engine::{ExecMode, Griffin, GriffinOutput, StepOp, StepTrace};
 pub use request::{QueryError, QueryRequest};
-pub use sched::{Decision, Proc, Scheduler};
+pub use sched::{Decision, DecisionTrace, Proc, Scheduler, SplitBalancer, SplitConfig};
 pub use serving::{Job, Resource, ServingSim, StageReq};

@@ -31,10 +31,53 @@ impl Proc {
     }
 }
 
+/// What the scheduler chose for one pairwise intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Run the whole operation on the CPU.
+    Cpu,
+    /// Run the whole operation on the GPU.
+    Gpu,
+    /// Co-execute: partition the long list by docID range, hand the
+    /// first `gpu_fraction` of it to the device and the rest to the
+    /// host, run both lanes concurrently, and concatenate the partial
+    /// results. Only emitted for host-resident intermediates near the
+    /// crossover ratio (see [`SplitConfig`]).
+    Split {
+        /// Share of the long list's blocks assigned to the GPU lane,
+        /// solved from both cost models so the lanes finish together
+        /// ([`crate::cost::CostModel::split_fraction`]). The engine's
+        /// adaptive balancer refines it per query before executing.
+        gpu_fraction: f64,
+    },
+}
+
+impl Decision {
+    /// Stable lowercase label, used as a metric/trace dimension.
+    pub fn label(self) -> &'static str {
+        match self {
+            Decision::Cpu => "cpu",
+            Decision::Gpu => "gpu",
+            Decision::Split { .. } => "split",
+        }
+    }
+
+    /// The processor that must hold the *intermediate* for this decision:
+    /// a split runs its lanes from a host-resident intermediate, so it
+    /// maps to [`Proc::Cpu`] (the engine's placement and prefetch logic
+    /// key off residency, not device involvement).
+    pub fn proc(self) -> Proc {
+        match self {
+            Decision::Gpu => Proc::Gpu,
+            Decision::Cpu | Decision::Split { .. } => Proc::Cpu,
+        }
+    }
+}
+
 /// Everything that went into (and came out of) one scheduling decision,
 /// surfaced for telemetry and the ablation experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Decision {
+pub struct DecisionTrace {
     pub short_len: usize,
     pub long_len: usize,
     /// `long_len / short_len` (0 when the intermediate is empty).
@@ -44,7 +87,109 @@ pub struct Decision {
     pub effective_threshold: f64,
     /// Whether hysteresis inflated the threshold for this decision.
     pub hysteresis_applied: bool,
-    pub chosen: Proc,
+    pub chosen: Decision,
+}
+
+/// Co-execution configuration: when (and how) the scheduler splits an
+/// intersection across both processors instead of picking one.
+///
+/// A split is considered only when the intermediate is host-resident
+/// (both lanes start from the host copy; migrating first would pay the
+/// PCIe round trip the split is trying to avoid), the long list clears
+/// the `min_gpu_work` floor, and the length ratio falls inside the
+/// *split band* — the CPU-owned side of the crossover, `[threshold,
+/// threshold * band]`. The band is one-sided on purpose: below the
+/// threshold the device wins the operation outright *and* holds the
+/// intermediate, so a split there would only drag the preceding work
+/// onto the host; far above the band the CPU's skip search is so cheap
+/// the device's fixed per-step overheads can never pay for themselves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitConfig {
+    /// Width of the split band, as a multiplier: ratios in
+    /// `[threshold, threshold * band]` co-execute.
+    pub band: f64,
+    /// The cost model the GPU-lane share is solved from.
+    pub model: crate::cost::CostModel,
+    /// Overrides the solved fraction (tests and the fraction-sweep
+    /// bench force specific splits, including the degenerate 0.0/1.0).
+    pub forced_fraction: Option<f64>,
+}
+
+impl SplitConfig {
+    /// Co-execution with the solver-chosen fraction and the default band.
+    pub fn new(model: crate::cost::CostModel) -> SplitConfig {
+        SplitConfig {
+            band: 4.0,
+            model,
+            forced_fraction: None,
+        }
+    }
+
+    /// Forces every eligible operation to split at exactly `fraction`,
+    /// regardless of ratio (the band test is bypassed). Used by the
+    /// equivalence tests and the static-grid sweep.
+    pub fn forced(model: crate::cost::CostModel, fraction: f64) -> SplitConfig {
+        SplitConfig {
+            band: f64::INFINITY,
+            model,
+            forced_fraction: Some(fraction),
+        }
+    }
+}
+
+/// Per-query feedback controller for the split fraction.
+///
+/// The cost models predict lane times from element counts alone; real
+/// lanes diverge (data-dependent skip behaviour, cache-resident blocks,
+/// retry backoff). After every split the engine reports the measured
+/// lane times; the balancer nudges a multiplicative bias toward the lane
+/// that finished late, so the *next* split converges on equal finish
+/// times — classic multiplicative-increase feedback, clamped so a single
+/// pathological operation cannot wedge the controller.
+#[derive(Debug, Clone)]
+pub struct SplitBalancer {
+    /// Multiplier applied to the solver's fraction (1.0 = trust the
+    /// model).
+    pub bias: f64,
+    /// Exponent on the observed lane-time ratio per update (0.5 = move
+    /// halfway in log space; smaller is more damped).
+    pub gain: f64,
+    /// `bias` is clamped to `[1/limit, limit]`.
+    pub limit: f64,
+}
+
+impl Default for SplitBalancer {
+    fn default() -> SplitBalancer {
+        SplitBalancer {
+            bias: 1.0,
+            gain: 0.5,
+            limit: 4.0,
+        }
+    }
+}
+
+impl SplitBalancer {
+    /// The fraction to actually execute, given the solver's estimate.
+    pub fn refine(&self, solved: f64) -> f64 {
+        (solved * self.bias).clamp(0.02, 0.98)
+    }
+
+    /// Feed back one measured split: `cpu_lane` and `gpu_lane` are the
+    /// two lanes' busy times in nanoseconds. A late CPU lane
+    /// (`cpu > gpu`) grows the bias so the device takes more next time;
+    /// a late GPU lane shrinks it.
+    pub fn observe(&mut self, cpu_lane_ns: u64, gpu_lane_ns: u64) {
+        if cpu_lane_ns == 0 || gpu_lane_ns == 0 {
+            return; // a degenerate (empty-lane) split carries no signal
+        }
+        let imbalance = cpu_lane_ns as f64 / gpu_lane_ns as f64;
+        self.bias = (self.bias * imbalance.powf(self.gain)).clamp(1.0 / self.limit, self.limit);
+    }
+
+    /// Forget everything measured so far (e.g. between workloads).
+    pub fn reset(&mut self) {
+        self.bias = 1.0;
+    }
 }
 
 /// The ratio-crossover scheduler.
@@ -63,6 +208,11 @@ pub struct Scheduler {
     /// query operations can amortize them" — paper §2.3). The paper's
     /// crossover study itself only measures lists of 1M–2M elements.
     pub min_gpu_work: usize,
+    /// Co-execution: `Some` lets borderline operations split across both
+    /// processors ([`Decision::Split`]); `None` restores the pure
+    /// pick-one behaviour. The bare scheduler constructors leave this
+    /// off; [`crate::Griffin`] enables it by default.
+    pub split: Option<SplitConfig>,
 }
 
 impl Scheduler {
@@ -73,6 +223,7 @@ impl Scheduler {
             placement_aware: true,
             hysteresis: 2.0,
             min_gpu_work: 8_192,
+            split: None,
         }
     }
 
@@ -84,6 +235,7 @@ impl Scheduler {
             placement_aware: false,
             hysteresis: 1.0,
             min_gpu_work: 0,
+            split: None,
         }
     }
 
@@ -96,6 +248,9 @@ impl Scheduler {
     /// does not change.
     pub fn apply_cost_model(&mut self, model: &crate::cost::CostModel) {
         self.min_gpu_work = model.min_profitable_long_len();
+        if let Some(split) = &mut self.split {
+            split.model = *model;
+        }
     }
 
     /// Decides where the next pairwise intersection should run.
@@ -104,13 +259,19 @@ impl Scheduler {
     ///   for the first operation);
     /// * `long_len` — the next list's length;
     /// * `current` — where the intermediate currently lives.
+    ///
+    /// Returns the processor that must end up holding the intermediate;
+    /// a [`Decision::Split`] maps to [`Proc::Cpu`] (host-resident lanes).
+    /// Use [`Scheduler::decide_traced`] for the full decision.
     pub fn decide(&self, short_len: usize, long_len: usize, current: Proc) -> Proc {
-        self.decide_traced(short_len, long_len, current).chosen
+        self.decide_traced(short_len, long_len, current)
+            .chosen
+            .proc()
     }
 
-    /// [`Scheduler::decide`], returning the full [`Decision`] record
+    /// [`Scheduler::decide`], returning the full [`DecisionTrace`] record
     /// (inputs, ratio, effective threshold, hysteresis) for telemetry.
-    pub fn decide_traced(&self, short_len: usize, long_len: usize, current: Proc) -> Decision {
+    pub fn decide_traced(&self, short_len: usize, long_len: usize, current: Proc) -> DecisionTrace {
         let hysteresis_applied = self.placement_aware && current == Proc::Gpu;
         let mut threshold = self.ratio_threshold as f64;
         if hysteresis_applied {
@@ -119,21 +280,25 @@ impl Scheduler {
         let (ratio, chosen) = if short_len == 0 {
             // Empty intermediate: nothing to do anywhere; prefer where the
             // data is to avoid a pointless transfer.
-            (0.0, current)
-        } else if long_len < self.min_gpu_work {
-            (long_len as f64 / short_len as f64, Proc::Cpu)
-        } else {
-            let ratio = long_len as f64 / short_len as f64;
             (
-                ratio,
-                if ratio < threshold {
-                    Proc::Gpu
-                } else {
-                    Proc::Cpu
+                0.0,
+                match current {
+                    Proc::Cpu => Decision::Cpu,
+                    Proc::Gpu => Decision::Gpu,
                 },
             )
+        } else if long_len < self.min_gpu_work {
+            (long_len as f64 / short_len as f64, Decision::Cpu)
+        } else {
+            let ratio = long_len as f64 / short_len as f64;
+            let chosen = match self.split_decision(ratio, short_len, long_len, current) {
+                Some(split) => split,
+                None if ratio < threshold => Decision::Gpu,
+                None => Decision::Cpu,
+            };
+            (ratio, chosen)
         };
-        Decision {
+        DecisionTrace {
             short_len,
             long_len,
             ratio,
@@ -141,6 +306,47 @@ impl Scheduler {
             hysteresis_applied,
             chosen,
         }
+    }
+
+    /// Evaluates the co-execution rule: `Some(Decision::Split)` when this
+    /// operation should run on both processors at once. Splits require a
+    /// host-resident intermediate (device-resident data already enjoys
+    /// hysteresis, and both lanes start from the host copy) and a ratio
+    /// inside the configured band — at or above the crossover, where the
+    /// pick-one scheduler would choose the CPU (see [`SplitConfig`]).
+    fn split_decision(
+        &self,
+        ratio: f64,
+        short_len: usize,
+        long_len: usize,
+        current: Proc,
+    ) -> Option<Decision> {
+        let split = self.split.as_ref()?;
+        if current != Proc::Cpu {
+            return None;
+        }
+        let threshold = self.ratio_threshold as f64;
+        if split.forced_fraction.is_none()
+            && !(ratio >= threshold && ratio <= threshold * split.band)
+        {
+            return None;
+        }
+        let gpu_fraction = match split.forced_fraction {
+            Some(f) => f.clamp(0.0, 1.0),
+            None => {
+                let f = split.model.split_fraction(short_len, long_len);
+                // A near-degenerate solution means one processor should
+                // just take the whole operation.
+                if f <= 0.01 {
+                    return Some(Decision::Cpu);
+                }
+                if f >= 0.99 {
+                    return Some(Decision::Gpu);
+                }
+                f
+            }
+        };
+        Some(Decision::Split { gpu_fraction })
     }
 
     /// The paper's block-skipping guarantee (§3.2, Fig. 9): with ratio
@@ -226,5 +432,95 @@ mod tests {
         let s = Scheduler::for_block_len(128);
         assert_eq!(s.decide(0, 1_000_000, Proc::Gpu), Proc::Gpu);
         assert_eq!(s.decide(0, 1_000_000, Proc::Cpu), Proc::Cpu);
+    }
+
+    fn split_scheduler() -> Scheduler {
+        let cfg = griffin_gpu_sim::DeviceConfig::tesla_k20();
+        let model = crate::cost::CostModel::from_device(&cfg, true);
+        let mut s = Scheduler::for_block_len(128);
+        s.split = Some(SplitConfig::new(model));
+        s
+    }
+
+    #[test]
+    fn in_band_host_resident_ops_split() {
+        let s = split_scheduler();
+        // Ratio exactly at the crossover, well above the work floor, and
+        // host-resident: prime split territory.
+        let d = s.decide_traced(8_192, 8_192 * 128, Proc::Cpu);
+        match d.chosen {
+            Decision::Split { gpu_fraction } => {
+                assert!(gpu_fraction > 0.0 && gpu_fraction < 1.0);
+            }
+            other => panic!("expected a split, got {other:?}"),
+        }
+        // The residency view of a split is the host.
+        assert_eq!(d.chosen.proc(), Proc::Cpu);
+        assert_eq!(d.chosen.label(), "split");
+    }
+
+    #[test]
+    fn out_of_band_ratios_do_not_split() {
+        let s = split_scheduler();
+        // Ratio 4: far below the crossover — the GPU takes it whole.
+        assert!(matches!(
+            s.decide_traced(100_000, 400_000, Proc::Cpu).chosen,
+            Decision::Gpu
+        ));
+        // Ratio 10_000: far above — the CPU's skip search wins outright.
+        assert!(matches!(
+            s.decide_traced(100, 1_000_000, Proc::Cpu).chosen,
+            Decision::Cpu
+        ));
+    }
+
+    #[test]
+    fn device_resident_intermediates_never_split() {
+        let s = split_scheduler();
+        let d = s.decide_traced(8_192, 8_192 * 128, Proc::Gpu);
+        assert!(!matches!(d.chosen, Decision::Split { .. }));
+    }
+
+    #[test]
+    fn forced_fraction_bypasses_the_band() {
+        let cfg = griffin_gpu_sim::DeviceConfig::tesla_k20();
+        let model = crate::cost::CostModel::from_device(&cfg, true);
+        let mut s = Scheduler::for_block_len(128);
+        s.split = Some(SplitConfig::forced(model, 0.25));
+        // Ratio 4 is way out of the default band, but forcing splits it
+        // anyway (as the equivalence tests need).
+        let d = s.decide_traced(100_000, 400_000, Proc::Cpu);
+        assert_eq!(d.chosen, Decision::Split { gpu_fraction: 0.25 });
+    }
+
+    #[test]
+    fn split_respects_the_work_floor() {
+        let mut s = split_scheduler();
+        s.min_gpu_work = 1 << 20;
+        let d = s.decide_traced(4_096, 4_096 * 128, Proc::Cpu);
+        assert!(matches!(d.chosen, Decision::Cpu));
+    }
+
+    #[test]
+    fn balancer_shifts_work_toward_the_late_lane() {
+        let mut b = SplitBalancer::default();
+        // CPU lane twice as slow: the device should take more next time.
+        b.observe(2_000, 1_000);
+        assert!(b.bias > 1.0);
+        assert!(b.refine(0.5) > 0.5);
+        // Symmetric correction pulls it back.
+        b.observe(1_000, 2_000);
+        assert!((b.bias - 1.0).abs() < 1e-9);
+        // Degenerate lanes carry no signal.
+        b.observe(0, 5_000);
+        assert!((b.bias - 1.0).abs() < 1e-9);
+        // The bias and the refined fraction are clamped.
+        for _ in 0..64 {
+            b.observe(1_000_000, 1);
+        }
+        assert!(b.bias <= b.limit);
+        assert!(b.refine(1.0) <= 0.98);
+        b.reset();
+        assert_eq!(b.bias, 1.0);
     }
 }

@@ -33,6 +33,25 @@ pub enum Resource {
 pub struct StageReq {
     pub resource: Resource,
     pub duration: VirtualNanos,
+    /// Host-core time that runs *concurrently* with this stage — the CPU
+    /// lane of a co-executed split intersection shadowing its GPU lane.
+    /// Always `<= duration` (the engine records a split step as the max
+    /// of its lanes). This core simulator ignores it; the richer
+    /// `griffin-server` simulator occupies a CPU core for the shadow so
+    /// co-execution's host-side pressure shows up under load.
+    pub cpu_shadow: VirtualNanos,
+}
+
+impl StageReq {
+    /// A stage with no concurrent host shadow (every stage except a
+    /// co-executed split intersection).
+    pub fn new(resource: Resource, duration: VirtualNanos) -> StageReq {
+        StageReq {
+            resource,
+            duration,
+            cpu_shadow: VirtualNanos::ZERO,
+        }
+    }
 }
 
 /// A query submitted to the simulation.
@@ -144,17 +163,11 @@ mod tests {
     }
 
     fn cpu_stage(d: u64) -> StageReq {
-        StageReq {
-            resource: Resource::Cpu,
-            duration: ns(d),
-        }
+        StageReq::new(Resource::Cpu, ns(d))
     }
 
     fn gpu_stage(d: u64) -> StageReq {
-        StageReq {
-            resource: Resource::Gpu,
-            duration: ns(d),
-        }
+        StageReq::new(Resource::Gpu, ns(d))
     }
 
     #[test]

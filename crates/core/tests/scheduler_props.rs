@@ -83,9 +83,9 @@ proptest! {
                 stages: durations[i]
                     .iter()
                     .enumerate()
-                    .map(|(k, &d)| StageReq {
-                        resource: if k % 2 == 0 { Resource::Cpu } else { Resource::Gpu },
-                        duration: VirtualNanos::from_nanos(d),
+                    .map(|(k, &d)| {
+                        let r = if k % 2 == 0 { Resource::Cpu } else { Resource::Gpu };
+                        StageReq::new(r, VirtualNanos::from_nanos(d))
                     })
                     .collect(),
             });
@@ -107,10 +107,7 @@ proptest! {
             .enumerate()
             .map(|(i, &d)| Job {
                 arrival: VirtualNanos::from_nanos(i as u64 * 500),
-                stages: vec![StageReq {
-                    resource: Resource::Cpu,
-                    duration: VirtualNanos::from_nanos(d),
-                }],
+                stages: vec![StageReq::new(Resource::Cpu, VirtualNanos::from_nanos(d))],
             })
             .collect();
         let few: u64 = ServingSim::new(2).run(&jobs).iter().map(|l| l.as_nanos()).sum();

@@ -86,6 +86,11 @@ pub struct WorkCounters {
     pub probes: u64,
     /// Skip-pointer probes.
     pub skip_probes: u64,
+    /// Skip-pointer probes *avoided* by galloping search relative to a
+    /// full-window binary search (informational — galloping's actual
+    /// probes are already charged via `skip_probes`, so this counter is
+    /// deliberately not priced by the cost model).
+    pub gallop_saved: u64,
     /// BM25 contributions evaluated.
     pub scored: u64,
     /// Elements inspected by top-k selection.
@@ -100,7 +105,7 @@ impl WorkCounters {
     /// Every counter with its field name, in declaration order — the
     /// stable enumeration telemetry uses to fold CPU work into a
     /// metrics registry without this crate knowing about telemetry.
-    pub fn named(&self) -> [(&'static str, u64); 12] {
+    pub fn named(&self) -> [(&'static str, u64); 13] {
         [
             ("pfor_elements", self.pfor_elements),
             ("pfor_exceptions", self.pfor_exceptions),
@@ -110,6 +115,7 @@ impl WorkCounters {
             ("merge_steps", self.merge_steps),
             ("probes", self.probes),
             ("skip_probes", self.skip_probes),
+            ("gallop_saved", self.gallop_saved),
             ("scored", self.scored),
             ("topk_scanned", self.topk_scanned),
             ("emitted", self.emitted),
@@ -126,6 +132,7 @@ impl WorkCounters {
         self.merge_steps += o.merge_steps;
         self.probes += o.probes;
         self.skip_probes += o.skip_probes;
+        self.gallop_saved += o.gallop_saved;
         self.scored += o.scored;
         self.topk_scanned += o.topk_scanned;
         self.emitted += o.emitted;

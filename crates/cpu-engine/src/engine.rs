@@ -125,6 +125,21 @@ impl CpuEngine {
         strategy: Strategy,
         w: &mut WorkCounters,
     ) -> Intermediate {
+        let mut scratch = intersect::QueryScratch::default();
+        self.intersect_step_with(index, inter, term, strategy, w, &mut scratch)
+    }
+
+    /// [`CpuEngine::intersect_step`] with a caller-provided decode scratch,
+    /// so a query loop reuses the block/tf buffers across operations.
+    pub fn intersect_step_with(
+        &self,
+        index: &InvertedIndex,
+        inter: &Intermediate,
+        term: TermId,
+        strategy: Strategy,
+        w: &mut WorkCounters,
+        scratch: &mut intersect::QueryScratch,
+    ) -> Intermediate {
         let list = index.list(term);
         let ratio = if inter.is_empty() {
             usize::MAX
@@ -143,7 +158,14 @@ impl CpuEngine {
         };
 
         let matches: Matches = match strategy {
-            Strategy::SkipBinary => intersect::skip_intersect(&inter.docids, &list.docs, w),
+            Strategy::SkipBinary => intersect::skip_intersect_range_with(
+                &inter.docids,
+                &list.docs,
+                0,
+                list.num_blocks(),
+                w,
+                scratch,
+            ),
             Strategy::Merge => {
                 let long = decode::decode_list(&list.docs, w);
                 intersect::merge_intersect(&inter.docids, &long, w)
@@ -154,9 +176,50 @@ impl CpuEngine {
             }
             Strategy::Auto => unreachable!("resolved above"),
         };
+        self.score_matches(index, inter, term, matches, w, scratch)
+    }
 
-        // Gather the new term's tfs for the survivors and accumulate score.
-        let tfs = intersect::gather_tfs(list, &matches.b_idx, w);
+    /// The CPU lane of a co-executed split: intersects `inter` (already
+    /// partitioned to this lane's docID range) against the `blocks`
+    /// sub-range of `term`'s list. Always skip-binary — the range
+    /// restriction *is* a skip-pointer seek. Scoring matches the
+    /// unsplit path bit-for-bit (idf uses the full list's document
+    /// frequency), so concatenating the two lanes' outputs reproduces the
+    /// unsplit result exactly.
+    pub fn intersect_step_range(
+        &self,
+        index: &InvertedIndex,
+        inter: &Intermediate,
+        term: TermId,
+        blocks: std::ops::Range<usize>,
+        w: &mut WorkCounters,
+        scratch: &mut intersect::QueryScratch,
+    ) -> Intermediate {
+        let list = index.list(term);
+        let matches = intersect::skip_intersect_range_with(
+            &inter.docids,
+            &list.docs,
+            blocks.start,
+            blocks.end,
+            w,
+            scratch,
+        );
+        self.score_matches(index, inter, term, matches, w, scratch)
+    }
+
+    /// Gathers the new term's tfs for the survivors and accumulates the
+    /// term's BM25 contributions onto the carried partial scores.
+    fn score_matches(
+        &self,
+        index: &InvertedIndex,
+        inter: &Intermediate,
+        term: TermId,
+        matches: Matches,
+        w: &mut WorkCounters,
+        scratch: &mut intersect::QueryScratch,
+    ) -> Intermediate {
+        let list = index.list(term);
+        let tfs = intersect::gather_tfs_with(list, &matches.b_idx, w, scratch);
         let idf = self.bm25.idf(index.num_docs(), list.len() as u32);
         let meta = index.meta();
         let scores: Vec<f32> = matches

@@ -112,35 +112,128 @@ pub fn binary_intersect_decoded(a: &[u32], b: &[u32], w: &mut WorkCounters) -> M
     out
 }
 
+/// Reusable per-query decode scratch: the candidate-block buffer and the
+/// tf-decode buffer that [`skip_intersect`]/[`gather_tfs`] would otherwise
+/// allocate fresh on every pairwise operation. The hybrid engine keeps one
+/// per query and threads it through the `_with` entry points; buffers are
+/// cleared (not shrunk) between operations, so the high-water capacity is
+/// paid once per query instead of once per op.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Decoded docids of the most recent candidate block.
+    pub block_buf: Vec<u32>,
+    /// Decoded term frequencies of the most recent tf block.
+    pub tf_buf: Vec<u32>,
+}
+
+/// Probes a binary-search halving loop would spend on an `n`-wide window:
+/// `ceil(log2(n + 1))`. Used only to report how much galloping saved.
+fn binary_probe_estimate(n: u64) -> u64 {
+    (u64::BITS - n.leading_zeros()) as u64
+}
+
+/// Galloping (exponential-then-binary) search over `skips[start..hi_block)`
+/// for the first block whose `last_docid >= v`; returns `hi_block` when no
+/// such block exists in the range.
+///
+/// Because the short list is sorted, consecutive targets land in the same
+/// or a nearby block, so the search probes `start` first and then doubles
+/// its stride — O(log distance) instead of O(log window). Probes are
+/// charged to `skip_probes` exactly like the plain binary search they
+/// replace; the probes *avoided* relative to binary-searching the whole
+/// window accumulate in `gallop_saved` (informational, not priced).
+fn gallop_skip_search(
+    skips: &[griffin_codec::SkipEntry],
+    start: usize,
+    hi_block: usize,
+    v: u32,
+    w: &mut WorkCounters,
+) -> usize {
+    debug_assert!(start < hi_block && hi_block <= skips.len());
+    let window = (hi_block - start) as u64;
+    let mut probes = 1u64;
+    if skips[start].last_docid >= v {
+        w.skip_probes += probes;
+        w.gallop_saved += binary_probe_estimate(window).saturating_sub(probes);
+        return start;
+    }
+    // skips[start] falls short: gallop forward with doubling strides until
+    // a pointer at or past v brackets the answer.
+    let mut step = 1usize;
+    let mut lo = start + 1; // smallest index not yet known to be < v
+    let mut hi = hi_block;
+    loop {
+        let idx = start + step;
+        if idx >= hi_block {
+            break;
+        }
+        probes += 1;
+        if skips[idx].last_docid >= v {
+            hi = idx;
+            break;
+        }
+        lo = idx + 1;
+        step *= 2;
+    }
+    while lo < hi {
+        probes += 1;
+        let mid = lo + (hi - lo) / 2;
+        if skips[mid].last_docid < v {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    w.skip_probes += probes;
+    w.gallop_saved += binary_probe_estimate(window).saturating_sub(probes);
+    lo
+}
+
 /// Skip-pointer intersection: `short` (decompressed) against `long`
 /// (compressed). Only candidate blocks of `long` are decompressed; a
 /// one-block cache exploits the monotone access pattern. Returned `b_idx`
 /// are global element indices into `long`.
 pub fn skip_intersect(short: &[u32], long: &BlockedList, w: &mut WorkCounters) -> Matches {
+    skip_intersect_range(short, long, 0, long.num_blocks(), w)
+}
+
+/// [`skip_intersect`] restricted to blocks `[lo_block, hi_block)` of the
+/// long list — the CPU lane of a co-executed split. `b_idx` stay *global*
+/// element indices, so partial results from disjoint ranges concatenate
+/// into exactly what the unrestricted call would return.
+pub fn skip_intersect_range(
+    short: &[u32],
+    long: &BlockedList,
+    lo_block: usize,
+    hi_block: usize,
+    w: &mut WorkCounters,
+) -> Matches {
+    let mut scratch = QueryScratch::default();
+    skip_intersect_range_with(short, long, lo_block, hi_block, w, &mut scratch)
+}
+
+/// [`skip_intersect_range`] with a caller-provided decode scratch.
+pub fn skip_intersect_range_with(
+    short: &[u32],
+    long: &BlockedList,
+    lo_block: usize,
+    hi_block: usize,
+    w: &mut WorkCounters,
+    scratch: &mut QueryScratch,
+) -> Matches {
     let mut out = Matches::default();
-    if long.num_blocks() == 0 {
+    let hi_block = hi_block.min(long.num_blocks());
+    if lo_block >= hi_block {
         return out;
     }
     let mut cached_block = usize::MAX;
-    let mut block_buf: Vec<u32> = Vec::new();
-    let mut skip_lo = 0usize; // blocks before this can't match (short sorted)
+    let block_buf = &mut scratch.block_buf;
+    let mut skip_lo = lo_block; // blocks before this can't match (short sorted)
 
     for (i, &v) in short.iter().enumerate() {
-        // Binary search the skip pointers for the first block whose
-        // last_docid >= v.
-        let mut lo = skip_lo;
-        let mut hi = long.num_blocks();
-        while lo < hi {
-            w.skip_probes += 1;
-            let mid = lo + (hi - lo) / 2;
-            if long.skips[mid].last_docid < v {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        if lo >= long.num_blocks() {
-            break; // v and everything after it is beyond the long list
+        let lo = gallop_skip_search(&long.skips, skip_lo, hi_block, v, w);
+        if lo >= hi_block {
+            break; // v and everything after it is beyond the range
         }
         skip_lo = lo;
         let skip = &long.skips[lo];
@@ -149,10 +242,10 @@ pub fn skip_intersect(short: &[u32], long: &BlockedList, w: &mut WorkCounters) -
         }
         if cached_block != lo {
             block_buf.clear();
-            decode_block(long, lo, &mut block_buf, w);
+            decode_block(long, lo, block_buf, w);
             cached_block = lo;
         }
-        if let Ok(pos) = counted_binary_search(&block_buf, 0, block_buf.len(), v, &mut w.probes) {
+        if let Ok(pos) = counted_binary_search(block_buf, 0, block_buf.len(), v, &mut w.probes) {
             out.push(v, i, skip.elem_start as usize + pos);
         }
     }
@@ -163,9 +256,20 @@ pub fn skip_intersect(short: &[u32], long: &BlockedList, w: &mut WorkCounters) -
 /// Gathers the term frequencies of `long`-side matches. `b_idx` must be
 /// ascending (which [`skip_intersect`]/[`merge_intersect`] guarantee).
 pub fn gather_tfs(list: &CompressedPostingList, b_idx: &[u32], w: &mut WorkCounters) -> Vec<u32> {
+    let mut scratch = QueryScratch::default();
+    gather_tfs_with(list, b_idx, w, &mut scratch)
+}
+
+/// [`gather_tfs`] with a caller-provided decode scratch.
+pub fn gather_tfs_with(
+    list: &CompressedPostingList,
+    b_idx: &[u32],
+    w: &mut WorkCounters,
+    scratch: &mut QueryScratch,
+) -> Vec<u32> {
     let mut out = Vec::with_capacity(b_idx.len());
     let mut cached_block = usize::MAX;
-    let mut tf_buf: Vec<u32> = Vec::new();
+    let tf_buf = &mut scratch.tf_buf;
     for &gi in b_idx {
         let gi = gi as usize;
         // Block index from the element index: blocks are block_len-sized
@@ -173,7 +277,7 @@ pub fn gather_tfs(list: &CompressedPostingList, b_idx: &[u32], w: &mut WorkCount
         let blk = gi / list.docs.block_len;
         if blk != cached_block {
             tf_buf.clear();
-            list.decode_block_into_tfs_only(blk, &mut tf_buf);
+            list.decode_block_into_tfs_only(blk, tf_buf);
             w.varint_elements += tf_buf.len() as u64;
             w.blocks_decoded += 1;
             cached_block = blk;
@@ -277,6 +381,181 @@ mod tests {
         assert!(binary_intersect_decoded(&empty, &some, &mut wc()).is_empty());
         let list = BlockedList::compress(&some, Codec::EliasFano, 128);
         assert!(skip_intersect(&empty, &list, &mut wc()).is_empty());
+    }
+
+    /// The pre-galloping skip search: a plain binary search over the full
+    /// remaining skip window. Kept verbatim as the reference the galloping
+    /// version must match element-for-element.
+    fn reference_skip_intersect(
+        short: &[u32],
+        long: &BlockedList,
+        w: &mut WorkCounters,
+    ) -> Matches {
+        let mut out = Matches::default();
+        if long.num_blocks() == 0 {
+            return out;
+        }
+        let mut cached_block = usize::MAX;
+        let mut block_buf: Vec<u32> = Vec::new();
+        let mut skip_lo = 0usize;
+        for (i, &v) in short.iter().enumerate() {
+            let mut lo = skip_lo;
+            let mut hi = long.num_blocks();
+            while lo < hi {
+                w.skip_probes += 1;
+                let mid = lo + (hi - lo) / 2;
+                if long.skips[mid].last_docid < v {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo >= long.num_blocks() {
+                break;
+            }
+            skip_lo = lo;
+            let skip = &long.skips[lo];
+            if v < skip.first_docid {
+                continue;
+            }
+            if cached_block != lo {
+                block_buf.clear();
+                decode_block(long, lo, &mut block_buf, w);
+                cached_block = lo;
+            }
+            if let Ok(pos) = counted_binary_search(&block_buf, 0, block_buf.len(), v, &mut w.probes)
+            {
+                out.push(v, i, skip.elem_start as usize + pos);
+            }
+        }
+        w.emitted += out.len() as u64;
+        out
+    }
+
+    /// SplitMix64 — deterministic pseudo-random stream for the property
+    /// sweeps (no external rand dependency).
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn random_sorted(rng: &mut u64, n: usize, max_gap: u64) -> Vec<u32> {
+        let mut cur = 0u64;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            cur += 1 + splitmix(rng) % max_gap;
+            out.push(cur as u32);
+        }
+        out
+    }
+
+    #[test]
+    fn galloping_search_is_bit_exact_with_binary_search() {
+        let mut rng = 0x5eed_u64;
+        for (codec, short_n, long_n, short_gap, long_gap) in [
+            (Codec::EliasFano, 40usize, 50_000usize, 5_000u64, 3u64),
+            (Codec::EliasFano, 2_000, 50_000, 60, 3),
+            (Codec::PforDelta, 500, 20_000, 7, 7), // dense overlap, tiny strides
+            (Codec::EliasFano, 1, 10_000, 1, 9),
+            (Codec::PforDelta, 3_000, 3_000, 4, 4), // comparable lengths
+        ] {
+            let long = random_sorted(&mut rng, long_n, long_gap);
+            let mut short = random_sorted(&mut rng, short_n, short_gap);
+            // Force some exact hits so the equal path is exercised too.
+            for (k, s) in short.iter_mut().enumerate() {
+                if k % 3 == 0 {
+                    *s = long[(splitmix(&mut rng) as usize) % long.len()];
+                }
+            }
+            short.sort_unstable();
+            short.dedup();
+            let compressed = BlockedList::compress(&long, codec, DEFAULT_BLOCK_LEN);
+
+            let mut w_ref = wc();
+            let expect = reference_skip_intersect(&short, &compressed, &mut w_ref);
+            let mut w_gallop = wc();
+            let got = skip_intersect(&short, &compressed, &mut w_gallop);
+
+            assert_eq!(got, expect, "codec {codec:?} short_n {short_n}");
+            // Same candidate blocks decoded, same in-block probes.
+            assert_eq!(w_gallop.blocks_decoded, w_ref.blocks_decoded);
+            assert_eq!(w_gallop.probes, w_ref.probes);
+        }
+    }
+
+    #[test]
+    fn galloping_saves_probes_on_clustered_short_lists() {
+        // A dense short list marches block-to-block: galloping finds each
+        // next block in O(1)-ish probes where binary search pays the full
+        // log(window) every time.
+        let long: Vec<u32> = (0..200_000u32).map(|i| i * 2).collect();
+        let short: Vec<u32> = (0..4_000u32).map(|i| i * 7).collect();
+        let compressed = BlockedList::compress(&long, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+
+        let mut w_ref = wc();
+        reference_skip_intersect(&short, &compressed, &mut w_ref);
+        let mut w_gallop = wc();
+        skip_intersect(&short, &compressed, &mut w_gallop);
+
+        assert!(
+            w_gallop.skip_probes < w_ref.skip_probes,
+            "gallop {} vs binary {}",
+            w_gallop.skip_probes,
+            w_ref.skip_probes
+        );
+        assert!(w_gallop.gallop_saved > 0);
+    }
+
+    #[test]
+    fn range_partitions_concatenate_to_the_full_result() {
+        let mut rng = 0xc0ffee_u64;
+        let long = random_sorted(&mut rng, 60_000, 5);
+        let short = random_sorted(&mut rng, 900, 300);
+        let compressed = BlockedList::compress(&long, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let nb = compressed.num_blocks();
+
+        let full = skip_intersect(&short, &compressed, &mut wc());
+        for split in [0usize, 1, nb / 3, nb / 2, nb - 1, nb] {
+            // Partition the short list at the boundary docid, mirroring the
+            // engine's split: GPU lane takes blocks [0, split), CPU lane
+            // [split, nb).
+            let boundary = if split < nb {
+                compressed.skips[split].first_docid
+            } else {
+                u32::MAX
+            };
+            let cut = short.partition_point(|&v| v < boundary);
+            let mut scratch = QueryScratch::default();
+            let lo_part = skip_intersect_range_with(
+                &short[..cut],
+                &compressed,
+                0,
+                split,
+                &mut wc(),
+                &mut scratch,
+            );
+            let hi_part = skip_intersect_range_with(
+                &short[cut..],
+                &compressed,
+                split,
+                nb,
+                &mut wc(),
+                &mut scratch,
+            );
+            let mut docids = lo_part.docids.clone();
+            docids.extend_from_slice(&hi_part.docids);
+            let mut b_idx = lo_part.b_idx.clone();
+            b_idx.extend_from_slice(&hi_part.b_idx);
+            // a_idx from the high lane are relative to short[cut..].
+            let mut a_idx = lo_part.a_idx.clone();
+            a_idx.extend(hi_part.a_idx.iter().map(|&a| a + cut as u32));
+            assert_eq!(docids, full.docids, "split at block {split}");
+            assert_eq!(b_idx, full.b_idx, "split at block {split}");
+            assert_eq!(a_idx, full.a_idx, "split at block {split}");
+        }
     }
 
     #[test]

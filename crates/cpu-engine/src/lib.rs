@@ -27,4 +27,5 @@ pub mod topk;
 
 pub use cost::{CpuConfig, CpuCostModel, WorkCounters};
 pub use engine::{CpuEngine, Intermediate, QueryOutput};
+pub use intersect::{Matches, QueryScratch};
 pub use rank::Bm25;

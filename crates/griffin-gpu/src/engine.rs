@@ -420,6 +420,24 @@ impl<'g> GpuEngine<'g> {
         Ok(postings)
     }
 
+    /// Ships only blocks `[lo_block, hi_block)` of `term`'s list — the GPU
+    /// slice of a co-executed split intersection. Range uploads bypass the
+    /// LRU cache (a slice is useless to any other query); the caller owns
+    /// the result and must free it with [`DevicePostings::free`].
+    pub fn upload_range(
+        &self,
+        index: &InvertedIndex,
+        term: TermId,
+        lo_block: usize,
+        hi_block: usize,
+    ) -> Result<DevicePostings, GpuError> {
+        let postings =
+            DevicePostings::upload_range(self.gpu, index.list(term), lo_block, hi_block)?;
+        let uploaded = self.gpu.record_event(StreamKind::Copy);
+        self.gpu.stream_wait(StreamKind::Compute, uploaded);
+        Ok(postings)
+    }
+
     /// Issues the upload without ordering it before subsequent compute:
     /// the returned event marks when the copy-stream transfer retires.
     fn upload_nowait(
@@ -540,7 +558,7 @@ impl<'g> GpuEngine<'g> {
                     tfs: tfs.clone(),
                     scores: scores.clone(),
                     doc_lens: self.doc_lens.clone(),
-                    p: self.params(n as u32),
+                    p: self.params(postings.df),
                     n,
                 },
                 LaunchConfig::cover(n, BLOCK_DIM),
@@ -597,7 +615,9 @@ impl<'g> GpuEngine<'g> {
                 len: 0,
             });
         }
-        let p = self.params(long_len as u32);
+        // idf from the list's document frequency — `postings.df`, not the
+        // resident element count, which is smaller for a range upload.
+        let p = self.params(postings.df);
 
         match strategy {
             GpuStrategy::MergePath => {

@@ -71,12 +71,44 @@ impl EfListImage {
     /// malformed words) — corrupt data must not reach the device.
     /// Passing a non-EF list is a programming error and panics.
     pub fn build(list: &BlockedList) -> Result<EfListImage, CodecError> {
+        EfListImage::build_range(list, 0, list.num_blocks())
+    }
+
+    /// Flattens blocks `[lo_block, hi_block)` of an EF [`BlockedList`]
+    /// into a self-contained device layout — the GPU lane of a
+    /// co-executed split ships only its slice's blocks over PCIe.
+    ///
+    /// All intra-image indices (`block_elem_start`, `word_block`) are
+    /// rebased to the range, so every kernel operates on the image exactly
+    /// as if it were a complete list; only `block_base` stays global,
+    /// because decode needs the true docID preceding each block. Element
+    /// positions produced by kernels are therefore range-local.
+    pub fn build_range(
+        list: &BlockedList,
+        lo_block: usize,
+        hi_block: usize,
+    ) -> Result<EfListImage, CodecError> {
         assert!(
             matches!(list.codec, Codec::EliasFano),
             "device lists must be Elias–Fano compressed (got {:?})",
             list.codec
         );
-        let nb = list.num_blocks();
+        assert!(
+            lo_block <= hi_block && hi_block <= list.num_blocks(),
+            "block range {lo_block}..{hi_block} out of bounds ({} blocks)",
+            list.num_blocks()
+        );
+        let nb = hi_block - lo_block;
+        let elem_base = list
+            .skips
+            .get(lo_block)
+            .map(|s| s.elem_start)
+            .unwrap_or(list.len() as u32);
+        let elem_end = if hi_block < list.num_blocks() {
+            list.skips[hi_block].elem_start
+        } else {
+            list.len() as u32
+        };
         let mut img = EfListImage {
             hb: Vec::new(),
             lb: Vec::new(),
@@ -88,19 +120,26 @@ impl EfListImage {
             word_block: Vec::new(),
             skip_first: Vec::with_capacity(nb),
             skip_last: Vec::with_capacity(nb),
-            len: list.len(),
+            len: (elem_end - elem_base) as usize,
         };
-        for (i, skip) in list.skips.iter().enumerate() {
+        for (local, (i, skip)) in list
+            .skips
+            .iter()
+            .enumerate()
+            .take(hi_block)
+            .skip(lo_block)
+            .enumerate()
+        {
             let words =
                 &list.words[skip.word_start as usize..(skip.word_start + skip.word_len) as usize];
             let blk = EfBlock::from_words(words)?;
             img.block_hb_start.push(img.hb.len() as u32);
             img.block_lb_start.push(img.lb.len() as u32);
-            img.block_elem_start.push(skip.elem_start);
+            img.block_elem_start.push(skip.elem_start - elem_base);
             img.block_b.push(blk.b);
             img.block_base.push(list.block_base(i));
             for _ in 0..blk.hb_words.len() {
-                img.word_block.push(i as u32);
+                img.word_block.push(local as u32);
             }
             img.hb.extend_from_slice(&blk.hb_words);
             img.lb.extend_from_slice(&blk.lb_words);
@@ -117,7 +156,22 @@ impl DeviceEfList {
     /// Fails on corrupt list data (validated host-side before the DMA)
     /// and on device faults during the transfer.
     pub fn upload(gpu: &Gpu, list: &BlockedList) -> Result<DeviceEfList, GpuError> {
-        let img = EfListImage::build(list)?;
+        DeviceEfList::upload_image(gpu, EfListImage::build(list)?)
+    }
+
+    /// Ships only blocks `[lo_block, hi_block)` — the GPU slice of a
+    /// range-partitioned co-executed intersection.
+    pub fn upload_range(
+        gpu: &Gpu,
+        list: &BlockedList,
+        lo_block: usize,
+        hi_block: usize,
+    ) -> Result<DeviceEfList, GpuError> {
+        DeviceEfList::upload_image(gpu, EfListImage::build_range(list, lo_block, hi_block)?)
+    }
+
+    fn upload_image(gpu: &Gpu, img: EfListImage) -> Result<DeviceEfList, GpuError> {
+        let num_blocks = img.block_hb_start.len();
         let hb_words = img.hb.len();
         let max_block_hb_words = img
             .block_hb_start
@@ -170,7 +224,7 @@ impl DeviceEfList {
             ])?;
         Ok(DeviceEfList {
             len,
-            num_blocks: list.num_blocks(),
+            num_blocks,
             hb,
             lb,
             block_hb_start,
@@ -211,14 +265,37 @@ pub struct DevicePostings {
     pub tf_words: DeviceBuffer<u32>,
     /// Per block: byte offset of its tf run (num_blocks + 1 entries).
     pub tf_offsets: DeviceBuffer<u32>,
+    /// Document frequency of the *full* posting list, even when only a
+    /// block range is resident — BM25's idf must not depend on where the
+    /// co-execution split landed.
+    pub df: u32,
 }
 
 impl DevicePostings {
     /// Ships docIDs and term frequencies to the device; a fault during
     /// the tf transfer releases the already-resident docID image.
     pub fn upload(gpu: &Gpu, list: &CompressedPostingList) -> Result<DevicePostings, GpuError> {
-        let docs = DeviceEfList::upload(gpu, &list.docs)?;
+        DevicePostings::upload_range(gpu, list, 0, list.docs.num_blocks())
+    }
+
+    /// Ships only blocks `[lo_block, hi_block)`: the EF docID slice plus
+    /// the matching window of the VByte tf stream (offsets rebased to the
+    /// slice). `df` still reports the full list's length.
+    pub fn upload_range(
+        gpu: &Gpu,
+        list: &CompressedPostingList,
+        lo_block: usize,
+        hi_block: usize,
+    ) -> Result<DevicePostings, GpuError> {
+        let docs = DeviceEfList::upload_range(gpu, &list.docs, lo_block, hi_block)?;
         let (tf_bytes, tf_offsets) = list.tf_raw();
+        let byte_lo = tf_offsets[lo_block] as usize;
+        let byte_hi = tf_offsets[hi_block] as usize;
+        let tf_bytes = &tf_bytes[byte_lo..byte_hi];
+        let local_offsets: Vec<u32> = tf_offsets[lo_block..=hi_block]
+            .iter()
+            .map(|&o| o - byte_lo as u32)
+            .collect();
         let mut tf_words = Vec::with_capacity(tf_bytes.len().div_ceil(4));
         for chunk in tf_bytes.chunks(4) {
             let mut w = 0u32;
@@ -227,10 +304,9 @@ impl DevicePostings {
             }
             tf_words.push(w);
         }
-        // `tf_words` was packed for this upload: move it into the pool.
-        // The (tiny, `num_blocks + 1`-entry) offsets are borrowed from the
-        // index and must be copied either way.
-        let [tf_words, tf_offsets] = match gpu.htod_packed_owned([tf_words, tf_offsets.to_vec()]) {
+        // Both staging arrays were built for this upload: move them into
+        // the device pool rather than copying.
+        let [tf_words, tf_offsets] = match gpu.htod_packed_owned([tf_words, local_offsets]) {
             Ok(bufs) => bufs,
             Err(e) => {
                 docs.free(gpu);
@@ -241,6 +317,7 @@ impl DevicePostings {
             docs,
             tf_words,
             tf_offsets,
+            df: list.len() as u32,
         })
     }
 
@@ -283,6 +360,50 @@ mod tests {
         }
         assert_eq!(img.skip_first[0], ids[0]);
         assert_eq!(*img.skip_last.last().unwrap(), *ids.last().unwrap());
+    }
+
+    #[test]
+    fn range_image_is_a_rebased_slice_of_the_full_image() {
+        let ids = docids(500); // 4 blocks at the default block length
+        let list = BlockedList::compress(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let full = EfListImage::build(&list).unwrap();
+        let (lo, hi) = (1, 3);
+        let img = EfListImage::build_range(&list, lo, hi).unwrap();
+        let elem_base = list.skips[lo].elem_start;
+        assert_eq!(img.len, (list.skips[hi].elem_start - elem_base) as usize);
+        assert_eq!(img.block_hb_start.len(), hi - lo);
+        // Rebased: element starts and word ownership are range-local…
+        assert_eq!(img.block_elem_start[0], 0);
+        for (b, &start) in img.block_hb_start.iter().enumerate() {
+            assert_eq!(img.word_block[start as usize], b as u32);
+        }
+        // …while per-block payloads and the global decode bases match the
+        // corresponding window of the full image.
+        assert_eq!(img.block_base[..], full.block_base[lo..hi]);
+        assert_eq!(img.block_b[..], full.block_b[lo..hi]);
+        assert_eq!(img.skip_first[..], full.skip_first[lo..hi]);
+        assert_eq!(img.skip_last[..], full.skip_last[lo..hi]);
+        // An empty range is valid and carries nothing.
+        let empty = EfListImage::build_range(&list, 2, 2).unwrap();
+        assert_eq!(empty.len, 0);
+        assert!(empty.hb.is_empty() && empty.block_base.is_empty());
+    }
+
+    #[test]
+    fn range_upload_ships_fewer_bytes_and_keeps_full_df() {
+        let ids = docids(2000);
+        let list = CompressedPostingList::from_docids(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+        let gpu = Gpu::new(DeviceConfig::test_tiny());
+        let full = DevicePostings::upload(&gpu, &list).unwrap();
+        let full_bytes = full.docs.bytes_shipped;
+        full.free(&gpu);
+        let nb = list.docs.num_blocks();
+        let part = DevicePostings::upload_range(&gpu, &list, nb / 2, nb).unwrap();
+        assert!(part.docs.bytes_shipped < full_bytes);
+        assert_eq!(part.df, list.len() as u32, "idf must see the whole list");
+        assert_eq!(part.docs.num_blocks, nb - nb / 2);
+        part.free(&gpu);
+        assert_eq!(gpu.mem_in_use(), 0);
     }
 
     #[test]

@@ -83,10 +83,7 @@ mod tests {
     fn cpu_job(arrival: u64, dur: u64) -> SimJob {
         SimJob {
             arrival: ns(arrival),
-            stages: vec![StageReq {
-                resource: Resource::Cpu,
-                duration: ns(dur),
-            }],
+            stages: vec![StageReq::new(Resource::Cpu, ns(dur))],
             cpu_fallback: None,
             deadline: None,
         }
@@ -95,10 +92,7 @@ mod tests {
     fn gpu_job(arrival: u64, dur: u64, fallback: Option<u64>) -> SimJob {
         SimJob {
             arrival: ns(arrival),
-            stages: vec![StageReq {
-                resource: Resource::Gpu,
-                duration: ns(dur),
-            }],
+            stages: vec![StageReq::new(Resource::Gpu, ns(dur))],
             cpu_fallback: fallback.map(ns),
             deadline: None,
         }
@@ -225,10 +219,7 @@ mod tests {
             .map(|_| PlannedQuery {
                 topk: Vec::new(),
                 service_time: ns(1_000),
-                stages: vec![StageReq {
-                    resource: Resource::Cpu,
-                    duration: ns(1_000),
-                }],
+                stages: vec![StageReq::new(Resource::Cpu, ns(1_000))],
                 cpu_fallback: None,
                 deadline: Some(ns(10_000)),
                 breaker_degraded: false,

@@ -26,6 +26,18 @@ pub fn resource_of(step: &StepTrace) -> Resource {
     }
 }
 
+/// Host-core time running concurrently with a GPU-lane step: the CPU
+/// lane of a co-executed split intersection. Zero for everything else —
+/// including a split whose GPU lane degenerated to nothing (the bridge
+/// sees that step on the CPU lane, so its host time is the stage itself,
+/// not a shadow).
+pub fn cpu_shadow_of(step: &StepTrace) -> VirtualNanos {
+    match step.op {
+        StepOp::SplitIntersect { cpu_lane, .. } if resource_of(step) == Resource::Gpu => cpu_lane,
+        _ => VirtualNanos::ZERO,
+    }
+}
+
 /// Converts a query's measured step trace into serving stages, merging
 /// consecutive steps on the same resource into one stage (a query holds
 /// its core/device across adjacent operations; only a resource *switch*
@@ -35,10 +47,14 @@ pub fn stages_of(out: &GriffinOutput) -> Vec<StageReq> {
     for step in &out.steps {
         let resource = resource_of(step);
         match stages.last_mut() {
-            Some(last) if last.resource == resource => last.duration += step.time,
+            Some(last) if last.resource == resource => {
+                last.duration += step.time;
+                last.cpu_shadow += cpu_shadow_of(step);
+            }
             _ => stages.push(StageReq {
                 resource,
                 duration: step.time,
+                cpu_shadow: cpu_shadow_of(step),
             }),
         }
     }
@@ -148,14 +164,8 @@ mod tests {
         assert_eq!(
             stages,
             vec![
-                StageReq {
-                    resource: Resource::Gpu,
-                    duration: VirtualNanos::from_nanos(350),
-                },
-                StageReq {
-                    resource: Resource::Cpu,
-                    duration: VirtualNanos::from_nanos(25),
-                },
+                StageReq::new(Resource::Gpu, VirtualNanos::from_nanos(350)),
+                StageReq::new(Resource::Cpu, VirtualNanos::from_nanos(25)),
             ]
         );
     }
@@ -168,6 +178,40 @@ mod tests {
         assert_eq!(resource_of(&down), Resource::Gpu);
         let cpu = step(StepOp::Intersect(1), Proc::Cpu, 10);
         assert_eq!(resource_of(&cpu), Resource::Cpu);
+    }
+
+    #[test]
+    fn split_intersections_carry_their_cpu_shadow() {
+        let split = |cpu: u64, gpu: u64, proc: Proc| StepTrace {
+            op: StepOp::SplitIntersect {
+                term: 1,
+                cpu_lane: VirtualNanos::from_nanos(cpu),
+                gpu_lane: VirtualNanos::from_nanos(gpu),
+            },
+            proc,
+            time: VirtualNanos::from_nanos(cpu.max(gpu)),
+            inter_len: 0,
+        };
+        // A GPU-lane split holds the device for max(lanes) and shadows a
+        // host core for its CPU lane.
+        let s = split(300, 400, Proc::Gpu);
+        assert_eq!(resource_of(&s), Resource::Gpu);
+        assert_eq!(cpu_shadow_of(&s), VirtualNanos::from_nanos(300));
+        // A split whose GPU lane degenerated is an ordinary CPU stage.
+        let c = split(300, 0, Proc::Cpu);
+        assert_eq!(resource_of(&c), Resource::Cpu);
+        assert_eq!(cpu_shadow_of(&c), VirtualNanos::ZERO);
+        // Merging accumulates shadows; shadow never exceeds the stage.
+        let out = output(vec![
+            step(StepOp::Init, Proc::Gpu, 100),
+            s,
+            split(200, 500, Proc::Gpu),
+        ]);
+        let stages = stages_of(&out);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].duration, VirtualNanos::from_nanos(1_000));
+        assert_eq!(stages[0].cpu_shadow, VirtualNanos::from_nanos(500));
+        assert!(stages[0].cpu_shadow <= stages[0].duration);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub mod sim;
 
 pub use admission::{AdmissionConfig, Outcome, OverloadPolicy, ServedQuery};
 pub use batch::BatchConfig;
-pub use bridge::{gpu_copy_fraction, resource_of, resource_totals, stages_of};
+pub use bridge::{cpu_shadow_of, gpu_copy_fraction, resource_of, resource_totals, stages_of};
 pub use health::{BreakerConfig, BreakerState, BreakerStats, GpuHealth};
 pub use server::{ArrivingQuery, GriffinServer, PlannedQuery, ServeReport, ServerConfig};
 pub use sim::{ServerSim, SimConfig, SimJob, SimReport, SimStats};

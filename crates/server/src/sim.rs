@@ -87,6 +87,9 @@ pub struct SimStats {
     pub gpu_overlap_saved: VirtualNanos,
     /// Deepest GPU queue observed (waiting + running stages).
     pub max_gpu_queue_depth: usize,
+    /// Host-core time consumed by the CPU lanes of co-executed split
+    /// intersections running in the shadow of their GPU stages.
+    pub cpu_shadow_busy: VirtualNanos,
 }
 
 impl SimStats {
@@ -124,6 +127,8 @@ struct QueuedStage {
     stage: usize,
     ready: VirtualNanos,
     duration: VirtualNanos,
+    /// Concurrent host-lane time (a co-executed split's CPU slice).
+    cpu_shadow: VirtualNanos,
 }
 
 /// The serving simulator. Create one per run.
@@ -189,10 +194,7 @@ impl ServerSim {
                     if wants_gpu && gpu_depth > self.config.admission.gpu_depth_threshold {
                         match (self.config.admission.policy, job.cpu_fallback) {
                             (OverloadPolicy::DegradeToCpuOnly, Some(fallback)) => {
-                                schedule = vec![StageReq {
-                                    resource: Resource::Cpu,
-                                    duration: fallback,
-                                }];
+                                schedule = vec![StageReq::new(Resource::Cpu, fallback)];
                                 outcome = Outcome::Degraded;
                                 stats.degraded += 1;
                             }
@@ -253,6 +255,7 @@ impl ServerSim {
                                 stage: stage_idx,
                                 ready: now,
                                 duration: stage.duration,
+                                cpu_shadow: stage.cpu_shadow,
                             });
                             heap.push(Reverse((now.max(gpu_free), EV_DISPATCH, 0, 0)));
                         }
@@ -291,8 +294,14 @@ impl ServerSim {
                         stats.gpu_time_saved += saved;
                         let effective = member.duration - saved;
                         let (copy, compute) = match &self.config.batching {
-                            Some(b) => b.split(effective),
-                            None => (VirtualNanos::ZERO, effective),
+                            // A co-executed split ships only its GPU
+                            // slice and pipelines that upload inside the
+                            // engine's own streams, so the packer has no
+                            // separate copy phase to overlap for it.
+                            Some(b) if member.cpu_shadow == VirtualNanos::ZERO => {
+                                b.split(effective)
+                            }
+                            _ => (VirtualNanos::ZERO, effective),
                         };
                         copy_done += copy;
                         let span_start = compute_end;
@@ -307,6 +316,33 @@ impl ServerSim {
                             start: span_start,
                             end,
                         });
+                        if member.cpu_shadow > VirtualNanos::ZERO {
+                            // The split's host lane runs concurrently
+                            // with its device slice on the earliest-free
+                            // core. It never delays the stage itself (the
+                            // recorded duration is already the max of the
+                            // lanes), but under load it consumes core
+                            // time other queries then queue behind.
+                            let core = cpu_free
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|&(_, &t)| t)
+                                .map(|(i, _)| i)
+                                .expect("at least one core");
+                            let s = span_start.max(cpu_free[core]);
+                            let e = s + member.cpu_shadow;
+                            cpu_free[core] = e;
+                            stats.cpu_shadow_busy += member.cpu_shadow;
+                            timeline.push(SpanEvent {
+                                resource: "cpu",
+                                lane: core,
+                                job: member.job,
+                                stage: member.stage,
+                                ready: span_start,
+                                start: s,
+                                end: e,
+                            });
+                        }
                         heap.push(Reverse((end, EV_READY, member.job, member.stage + 1)));
                         compute_end = end;
                     }
@@ -360,16 +396,20 @@ mod tests {
     }
 
     fn cpu(d: u64) -> StageReq {
-        StageReq {
-            resource: Resource::Cpu,
-            duration: ns(d),
-        }
+        StageReq::new(Resource::Cpu, ns(d))
     }
 
     fn gpu(d: u64) -> StageReq {
+        StageReq::new(Resource::Gpu, ns(d))
+    }
+
+    /// A co-executed split stage: GPU lane `d`, concurrent host lane
+    /// `shadow` (`shadow <= d` by the engine's max-of-lanes accounting).
+    fn split(d: u64, shadow: u64) -> StageReq {
         StageReq {
             resource: Resource::Gpu,
             duration: ns(d),
+            cpu_shadow: ns(shadow),
         }
     }
 
@@ -599,6 +639,33 @@ mod tests {
         assert_eq!(report.stats.gpu_launches, 3);
         assert_eq!(report.stats.max_batch_occupancy, 1);
         assert_eq!(report.stats.gpu_time_saved, VirtualNanos::ZERO);
+    }
+
+    #[test]
+    fn split_shadow_occupies_a_core_without_delaying_the_stage() {
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 1,
+            ..Default::default()
+        });
+        let report = sim.run(&[
+            job(0, vec![split(10_000, 8_000)]),
+            // Arrives after the split dispatched: its CPU stage queues
+            // behind the shadow on the single core.
+            job(1, vec![cpu(1_000)]),
+        ]);
+        // The split's own latency is its recorded max-of-lanes duration —
+        // the shadow runs inside the stage window, never extending it.
+        assert_eq!(report.queries[0].latency, Some(ns(10_000)));
+        assert_eq!(report.queries[1].latency, Some(ns(8_999)));
+        assert_eq!(report.stats.cpu_shadow_busy, ns(8_000));
+        let shadow: Vec<_> = report
+            .timeline
+            .spans
+            .iter()
+            .filter(|s| s.resource == "cpu" && s.job == 0)
+            .collect();
+        assert_eq!(shadow.len(), 1, "one host-lane span per split stage");
+        assert_eq!((shadow[0].start, shadow[0].end), (ns(0), ns(8_000)));
     }
 
     #[test]

@@ -121,6 +121,10 @@ impl Telemetry {
     /// stream model). Copy spans further split into one sub-lane per DMA
     /// direction — lane 0 for host-to-device, lane 1 for device-to-host —
     /// matching the per-direction copy engines of the modeled device.
+    /// The CPU lanes of co-executed split intersections appear as a
+    /// third `"cpu-lane"` resource (recorded by the engine — the device
+    /// observer cannot see host execution), so a split renders as host
+    /// and device work running side by side.
     /// Under overlap-enabled execution the copy lane's
     /// spans visibly run underneath the compute lane's; feed the result
     /// to [`Timeline::to_chrome_trace`] to inspect the pipeline in
@@ -143,13 +147,13 @@ impl Telemetry {
             }
         };
         for event in recorder.events() {
-            let (query, stream, lane, start, duration) = match event {
+            let (query, resource, lane, start, duration) = match event {
                 TraceEvent::KernelLaunch {
                     query,
                     start,
                     duration,
                     ..
-                } => (query, StreamKind::Compute, 0, start, duration),
+                } => (query, StreamKind::Compute.as_str(), 0, start, duration),
                 TraceEvent::PcieTransfer {
                     query,
                     direction,
@@ -158,12 +162,21 @@ impl Telemetry {
                     ..
                 } => {
                     let lane = usize::from(direction == "dtoh");
-                    (query, StreamKind::Copy, lane, start, duration)
+                    (query, StreamKind::Copy.as_str(), lane, start, duration)
                 }
+                // The host lane of a co-executed split: rendered as its
+                // own resource so Perfetto shows CPU work running under
+                // the device's compute/copy lanes.
+                TraceEvent::CpuLane {
+                    query,
+                    start,
+                    duration,
+                    ..
+                } => (query, "cpu-lane", 0, start, duration),
                 _ => continue,
             };
             timeline.push(SpanEvent {
-                resource: stream.as_str(),
+                resource,
                 lane,
                 job: query as usize,
                 stage: next_stage(query),

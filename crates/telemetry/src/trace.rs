@@ -35,13 +35,13 @@ pub enum TraceEvent {
         effective_threshold: f64,
         /// Whether placement-aware hysteresis inflated the threshold.
         hysteresis_applied: bool,
-        /// "cpu" or "gpu".
+        /// "cpu", "gpu", or "split" (co-execution on both).
         chosen: &'static str,
     },
     /// One engine step (Init / Intersect / Migrate / TopK).
     Step {
         query: u64,
-        /// "init", "intersect", "migrate", or "topk".
+        /// "init", "intersect", "split_intersect", "migrate", or "topk".
         op: &'static str,
         /// For "intersect": the planned term index; otherwise 0.
         arg: usize,
@@ -68,6 +68,17 @@ pub enum TraceEvent {
         /// "htod" or "dtoh".
         direction: &'static str,
         bytes: u64,
+        start: VirtualNanos,
+        duration: VirtualNanos,
+    },
+    /// A CPU lane of a co-executed split ran concurrently with device
+    /// work (the engine records it; the device observer cannot see host
+    /// execution). `start` is in device virtual time, so the lane lines
+    /// up with the kernels and transfers it overlapped.
+    CpuLane {
+        query: u64,
+        /// The operation the lane belonged to (e.g. "split_intersect").
+        op: &'static str,
         start: VirtualNanos,
         duration: VirtualNanos,
     },
@@ -154,6 +165,18 @@ impl TraceEvent {
                     .u64("query", *query)
                     .str("direction", direction)
                     .u64("bytes", *bytes)
+                    .u64("start_ns", start.as_nanos())
+                    .u64("duration_ns", duration.as_nanos());
+            }
+            TraceEvent::CpuLane {
+                query,
+                op,
+                start,
+                duration,
+            } => {
+                o.str("type", "cpu_lane")
+                    .u64("query", *query)
+                    .str("op", op)
                     .u64("start_ns", start.as_nanos())
                     .u64("duration_ns", duration.as_nanos());
             }

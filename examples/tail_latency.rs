@@ -44,22 +44,19 @@ fn main() {
         let cpu_out = griffin.process_query(&index, q, 10, ExecMode::CpuOnly);
         cpu_jobs.push(Job {
             arrival,
-            stages: vec![StageReq {
-                resource: Resource::Cpu,
-                duration: cpu_out.time,
-            }],
+            stages: vec![StageReq::new(Resource::Cpu, cpu_out.time)],
         });
 
         let hybrid_out = griffin.process_query(&index, q, 10, ExecMode::Hybrid);
         let stages: Vec<StageReq> = hybrid_out
             .steps
             .iter()
-            .map(|s| StageReq {
-                resource: match (s.proc, s.op) {
+            .map(|s| {
+                let resource = match (s.proc, s.op) {
                     (Proc::Gpu, _) | (_, StepOp::Migrate) => Resource::Gpu,
                     (Proc::Cpu, _) => Resource::Cpu,
-                },
-                duration: s.time,
+                };
+                StageReq::new(resource, s.time)
             })
             .collect();
         hybrid_jobs.push(Job { arrival, stages });

@@ -135,12 +135,12 @@ fn serving_simulation_consumes_hybrid_traces() {
         stages: out
             .steps
             .iter()
-            .map(|s| StageReq {
-                resource: match (s.proc, s.op) {
+            .map(|s| {
+                let resource = match (s.proc, s.op) {
                     (Proc::Gpu, _) | (_, StepOp::Migrate) => Resource::Gpu,
                     (Proc::Cpu, _) => Resource::Cpu,
-                },
-                duration: s.time,
+                };
+                StageReq::new(resource, s.time)
             })
             .collect(),
     };

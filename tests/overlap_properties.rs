@@ -88,10 +88,14 @@ fn overlap_on_and_off_are_bit_exact() {
             // may differ (the pipelined cost model moves the
             // profitability floor), so compare the intersection sizes —
             // those are properties of the query, not the schedule.
+            // A co-executed split is still one intersection: its
+            // post-step size matches the unsplit op's by construction.
             let sizes = |out: &GriffinOutput| -> Vec<usize> {
                 out.steps
                     .iter()
-                    .filter(|s| matches!(s.op, StepOp::Intersect(_)))
+                    .filter(|s| {
+                        matches!(s.op, StepOp::Intersect(_) | StepOp::SplitIntersect { .. })
+                    })
                     .map(|s| s.inter_len)
                     .collect()
             };

@@ -115,9 +115,9 @@ proptest! {
                 arrival: VirtualNanos::from_nanos(arrival),
                 stages: stages
                     .iter()
-                    .map(|&(r, d)| StageReq {
-                        resource: if r == 0 { Resource::Cpu } else { Resource::Gpu },
-                        duration: VirtualNanos::from_nanos(d),
+                    .map(|&(r, d)| {
+                        let res = if r == 0 { Resource::Cpu } else { Resource::Gpu };
+                        StageReq::new(res, VirtualNanos::from_nanos(d))
                     })
                     .collect(),
             })
