@@ -11,9 +11,11 @@
 //! * `--trace-json out.json` — the structured query trace, or (for the
 //!   serving experiments) a Chrome trace-event file loadable in Perfetto.
 
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use griffin_telemetry::{Telemetry, Timeline};
+use griffin_telemetry::{json, Telemetry, Timeline};
 
 use crate::report::Table;
 
@@ -22,18 +24,22 @@ use crate::report::Table;
 pub struct Artifacts {
     pub metrics_json: Option<PathBuf>,
     pub trace_json: Option<PathBuf>,
+    /// `--snapshot <path>`: where to dump the experiment's headline
+    /// numbers as a perf snapshot fragment (see [`crate::snapshot`]).
+    pub snapshot: Option<PathBuf>,
     tables_written: std::cell::Cell<usize>,
+    snapshot_metrics: RefCell<BTreeMap<String, f64>>,
 }
 
 impl Artifacts {
-    /// Parses `--metrics-json <path>` / `--trace-json <path>` from the
-    /// process arguments. Unknown arguments are ignored (the experiment
-    /// binaries are otherwise configured via `GRIFFIN_*` env vars); a
-    /// flag missing its value is a usage error.
+    /// Parses `--metrics-json <path>` / `--trace-json <path>` /
+    /// `--snapshot <path>` from the process arguments. Unknown arguments
+    /// are ignored (the experiment binaries are otherwise configured via
+    /// `GRIFFIN_*` env vars); a flag missing its value is a usage error.
     pub fn from_args() -> Artifacts {
         Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
             eprintln!("error: {e}");
-            eprintln!("usage: [--metrics-json <path>] [--trace-json <path>]");
+            eprintln!("usage: [--metrics-json <path>] [--trace-json <path>] [--snapshot <path>]");
             std::process::exit(2);
         })
     }
@@ -45,6 +51,7 @@ impl Artifacts {
             let slot = match arg.as_str() {
                 "--metrics-json" => &mut out.metrics_json,
                 "--trace-json" => &mut out.trace_json,
+                "--snapshot" => &mut out.snapshot,
                 _ => continue,
             };
             match args.next() {
@@ -100,6 +107,39 @@ impl Artifacts {
         if let Some(path) = &self.trace_json {
             write_artifact(path, &timeline.to_chrome_trace(), "Chrome trace JSON");
         }
+    }
+
+    /// Record one headline number for the perf snapshot. Values
+    /// accumulate regardless of flags (recording is cheap); they are
+    /// only written out when `--snapshot` was given. Recording the same
+    /// name twice keeps the latest value.
+    pub fn snapshot_metric(&self, name: &str, value: f64) {
+        self.snapshot_metrics
+            .borrow_mut()
+            .insert(name.to_owned(), value);
+    }
+
+    /// Record a virtual duration (as nanoseconds) for the snapshot.
+    pub fn snapshot_duration(&self, name: &str, d: griffin_gpu_sim::VirtualNanos) {
+        self.snapshot_metric(name, d.as_nanos() as f64);
+    }
+
+    /// Writes the accumulated snapshot metrics to the `--snapshot` path
+    /// as a fragment `{"experiment": ..., "metrics": {...}}` that
+    /// `run_all` merges into `BENCH_v<N>.json`.
+    pub fn write_snapshot(&self, experiment: &str) {
+        let Some(path) = &self.snapshot else {
+            return;
+        };
+        let metrics = self.snapshot_metrics.borrow();
+        let mut m = json::Object::new();
+        for (k, v) in metrics.iter() {
+            m.f64(k, *v);
+        }
+        let mut root = json::Object::new();
+        root.str("experiment", experiment)
+            .raw("metrics", &m.finish());
+        write_artifact(path, &root.finish(), "perf snapshot");
     }
 
     /// When `--metrics-json` is set, writes `table` as CSV next to the
@@ -163,5 +203,31 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(parse(&["--metrics-json"]).is_err());
+        assert!(parse(&["--snapshot"]).is_err());
+    }
+
+    #[test]
+    fn snapshot_flag_does_not_enable_telemetry() {
+        let a = parse(&["--snapshot", "s.json"]).unwrap();
+        assert_eq!(a.snapshot.as_deref(), Some(Path::new("s.json")));
+        assert!(!a.requested());
+        assert!(!a.telemetry().is_enabled());
+    }
+
+    #[test]
+    fn snapshot_metrics_round_trip_to_fragment() {
+        let dir = std::env::temp_dir().join("griffin_artifacts_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frag.json");
+        let a = parse(&["--snapshot", path.to_str().unwrap()]).unwrap();
+        a.snapshot_metric("x_ns", 123.0);
+        a.snapshot_metric("x_ns", 456.0); // latest wins
+        a.snapshot_metric("speedup", 2.5);
+        a.write_snapshot("exp_test");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\":\"exp_test\""));
+        assert!(text.contains("\"x_ns\":456.0"));
+        assert!(text.contains("\"speedup\":2.5"));
+        std::fs::remove_file(&path).ok();
     }
 }

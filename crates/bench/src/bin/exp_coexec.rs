@@ -257,6 +257,9 @@ fn main() {
         gain * 100.0
     );
 
+    artifacts.snapshot_metric("crossover_saved_pct", gain * 100.0);
+    artifacts.snapshot_duration("adaptive_at_crossover_ns", adaptive[crossover]);
+    artifacts.write_snapshot("exp_coexec");
     artifacts.write_metrics(&telemetry);
     artifacts.write_trace(&telemetry);
 }

@@ -219,6 +219,13 @@ fn main() {
     }
     t.print();
     artifacts.write_table(&t);
+    artifacts.snapshot_duration("clean_p99_ns", clean_p99);
+    let worst_inflation = results
+        .iter()
+        .map(|r| r.p99.as_nanos() as f64 / clean_p99.as_nanos().max(1) as f64)
+        .fold(0.0f64, f64::max);
+    artifacts.snapshot_metric("worst_p99_latency_inflation", worst_inflation);
+    artifacts.write_snapshot("exp_faults");
     println!("\n(the shape: every regime completes 100% of queries with exact answers;");
     println!(" faults only inflate the tail — retries absorb transients, migration");
     println!(" absorbs exhaustion, and the breaker caps the damage of a lost device)");

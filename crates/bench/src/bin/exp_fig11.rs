@@ -52,4 +52,7 @@ fn main() {
     artifacts.write_table(&t);
     artifacts.write_metrics(&telemetry);
     artifacts.write_trace(&telemetry);
+    artifacts.snapshot_metric("pct_terms_2", hist[2] as f64 / n as f64 * 100.0);
+    artifacts.snapshot_metric("pct_terms_3", hist[3] as f64 / n as f64 * 100.0);
+    artifacts.write_snapshot("exp_fig11");
 }

@@ -69,9 +69,14 @@ fn main() {
             ms(gpu_avg),
             speedup(gpu_avg.speedup_over(cpu_avg)),
         ]);
+        // Latest wins: the snapshot keeps the largest-size row.
+        artifacts.snapshot_duration("cpu_decode_ns", cpu_avg);
+        artifacts.snapshot_duration("gpu_decode_ns", gpu_avg);
+        artifacts.snapshot_metric("decode_speedup", gpu_avg.speedup_over(cpu_avg));
     }
     t.print();
     artifacts.write_table(&t);
+    artifacts.write_snapshot("exp_fig12");
     artifacts.write_metrics(&telemetry);
     artifacts.write_trace(&telemetry);
     println!("\n(paper's shape: speedup <2x at 1K-10K, rising to ~11-29.6x at 1M-10M)");

@@ -70,9 +70,13 @@ fn main() {
             ms(avg(2)),
             ms(avg(3)),
         ]);
+        // Latest wins: the snapshot keeps the largest-size row.
+        artifacts.snapshot_duration("cpu_merge_ns", avg(0));
+        artifacts.snapshot_duration("gpu_merge_ns", avg(2));
     }
     t.print();
     artifacts.write_table(&t);
+    artifacts.write_snapshot("exp_fig13");
     artifacts.write_metrics(&telemetry);
     artifacts.write_trace(&telemetry);
     println!("\n(paper's shape at the large sizes: GPU merge fastest, then GPU");

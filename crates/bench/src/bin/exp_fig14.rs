@@ -90,10 +90,13 @@ fn main() {
     artifacts.write_table(&t);
     artifacts.write_metrics(griffin.telemetry());
     artifacts.write_trace(griffin.telemetry());
-    let _ = total_n;
     println!(
         "\noverall: Griffin vs CPU-only = {}, Griffin vs GPU-only = {} (paper: ~10x, ~1.5x)",
         speedup(overall[0] / overall[2]),
         speedup(overall[1] / overall[2]),
     );
+    artifacts.snapshot_metric("hybrid_mean_ns", overall[2] / total_n as f64);
+    artifacts.snapshot_metric("vs_cpu_speedup", overall[0] / overall[2]);
+    artifacts.snapshot_metric("vs_gpu_speedup", overall[1] / overall[2]);
+    artifacts.write_snapshot("exp_fig14");
 }

@@ -147,9 +147,13 @@ fn main() {
             speedup(hyb_p.speedup_over(cpu_p)),
             format!("{paper_s}x"),
         ]);
+        // Latest wins: the snapshot keeps the highest percentile.
+        artifacts.snapshot_duration("griffin_tail_ns", hyb_p);
+        artifacts.snapshot_metric("tail_speedup", hyb_p.speedup_over(cpu_p));
     }
     t.print();
     artifacts.write_table(&t);
+    artifacts.write_snapshot("exp_fig15");
     artifacts.write_metrics(griffin.telemetry());
     artifacts.write_chrome_trace(&timeline);
     println!("\n(the shape: speedup grows with percentile — Griffin unclogs the");

@@ -70,9 +70,14 @@ fn main() {
             ms(bucket_time),
             ms(radix_time),
         ]);
+        // Latest wins: the snapshot keeps the largest-size row.
+        artifacts.snapshot_duration("cpu_partial_sort_ns", cpu_time);
+        artifacts.snapshot_duration("gpu_bucket_select_ns", bucket_time);
+        artifacts.snapshot_duration("gpu_radix_sort_ns", radix_time);
     }
     t.print();
     artifacts.write_table(&t);
+    artifacts.write_snapshot("exp_fig7");
     artifacts.write_metrics(&telemetry);
     artifacts.write_trace(&telemetry);
     println!("\n(paper's shape: CPU lowest at every size; GPU radix worst at scale)");

@@ -41,7 +41,8 @@ fn main() {
     );
 
     let mut crossover: Option<String> = None;
-    for group in RATIO_GROUPS {
+    let mut crossover_index = RATIO_GROUPS.len();
+    for (gi, group) in RATIO_GROUPS.into_iter().enumerate() {
         let mut gpu_total = VirtualNanos::ZERO;
         let mut cpu_total = VirtualNanos::ZERO;
         for _ in 0..pairs_per_group {
@@ -60,7 +61,11 @@ fn main() {
         let winner = if gpu_avg <= cpu_avg { "GPU" } else { "CPU" };
         if winner == "CPU" && crossover.is_none() {
             crossover = Some(group.label());
+            crossover_index = gi;
         }
+        // Latest wins: the snapshot keeps the highest-ratio group.
+        artifacts.snapshot_duration("gpu_intersect_ns", gpu_avg);
+        artifacts.snapshot_duration("cpu_intersect_ns", cpu_avg);
         t.row(&[
             group.label(),
             ms(gpu_avg),
@@ -77,4 +82,6 @@ fn main() {
         Some(g) => println!("\nfirst CPU-winning group: {g} (paper: [128,256))"),
         None => println!("\nGPU won every group — crossover above [512,1024)"),
     }
+    artifacts.snapshot_metric("crossover_group_index", crossover_index as f64);
+    artifacts.write_snapshot("exp_fig8");
 }

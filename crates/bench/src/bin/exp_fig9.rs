@@ -50,6 +50,11 @@ fn main() {
         }
         // The paper's guarantee: |R| < #blocks(S) forces skippable blocks.
         let guaranteed = (short_len_sum / pairs) < (total_blocks / pairs as u64) as usize;
+        // Latest wins: the snapshot keeps the highest-ratio group.
+        artifacts.snapshot_metric(
+            "blocks_skipped_pct",
+            100.0 * (1.0 - decoded as f64 / total_blocks as f64),
+        );
         t.row(&[
             group.label(),
             (total_blocks / pairs as u64).to_string(),
@@ -68,6 +73,7 @@ fn main() {
     }
     t.print();
     artifacts.write_table(&t);
+    artifacts.write_snapshot("exp_fig9");
     artifacts.write_metrics(&telemetry);
     artifacts.write_trace(&telemetry);
     println!("\n(§3.2: above λ = 128 skipping is guaranteed; below it, skipping");

@@ -203,6 +203,10 @@ fn main() {
     println!("\n(cache hits shrink the transfer share, so end-to-end gains sit");
     println!(" below the cold sweep's; the pipeline still wins, never loses)");
 
+    artifacts.snapshot_duration("hybrid_mean_on_ns", total_on / nq);
+    artifacts.snapshot_metric("overlap_saved_pct", gain);
+    artifacts.snapshot_metric("cache_hit_ratio", stats.hit_rate());
+    artifacts.write_snapshot("exp_overlap");
     artifacts.write_metrics(&telemetry);
     artifacts.write_trace(&telemetry);
 }

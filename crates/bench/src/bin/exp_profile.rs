@@ -1,0 +1,237 @@
+//! **Profile** — latency-forensics demo: per-query attribution
+//! profiles, the tail flight recorder, and SLO burn-rate monitoring
+//! over the serving simulation.
+//!
+//! Plans a hybrid query stream with telemetry on, replays it at high
+//! GPU utilization, then shows the forensics the serving layer
+//! recorded along the way:
+//!
+//! 1. a folded-stack (flamegraph) profile of the slowest *unloaded*
+//!    query — where its service time went (phase → processor → kernel);
+//! 2. the aggregate phase attribution across the whole stream;
+//! 3. the flight recorder's dominant-cause table for the tail queries
+//!    under load (queueing vs. compute vs. PCIe vs. lane imbalance);
+//! 4. the SLO monitor's burn rates.
+//!
+//! Every profile's self-times are asserted to sum exactly to the
+//! engine-reported query time — the attribution invariant the
+//! `profile_properties` suite pins down.
+//!
+//! `--smoke` shrinks the stream to CI size; `--snapshot` records the
+//! headline numbers.
+
+use std::collections::BTreeMap;
+
+use griffin::{ExecMode, Griffin, QueryRequest};
+use griffin_bench::report::{ms, Table};
+use griffin_bench::setup::{k20, scaled};
+use griffin_bench::Artifacts;
+use griffin_gpu_sim::{Gpu, VirtualNanos};
+use griffin_server::{AdmissionConfig, FlightConfig, GriffinServer, ServerConfig, SloConfig};
+use griffin_telemetry::Telemetry;
+use griffin_workload::{build_list_index, ListIndexSpec, QueryLogSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let artifacts = Artifacts::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Telemetry is the subject here, not an opt-in artifact: always on.
+    let telemetry = Telemetry::enabled();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let spec = ListIndexSpec {
+        num_terms: 64,
+        num_docs: if smoke { 1_000_000 } else { 8_000_000 },
+        max_list_len: if smoke { 200_000 } else { 2_000_000 },
+        ..Default::default()
+    };
+    eprintln!("building index...");
+    let (index, _) = build_list_index(&spec, &mut rng);
+    let queries = QueryLogSpec {
+        num_queries: if smoke { 60 } else { scaled(400) },
+        ..Default::default()
+    }
+    .generate(&index, &mut rng);
+
+    let gpu = Gpu::new(k20());
+    gpu.set_observer(telemetry.device_observer(gpu.config().warp_size));
+    let mut griffin = Griffin::new(&gpu, index.meta(), index.block_len());
+    griffin.set_telemetry(telemetry.clone());
+    griffin.scheduler.min_gpu_work = 64 * 1024;
+    griffin.scheduler.ratio_threshold = 16;
+
+    // ---- Plan with telemetry: every query gets a trace id. -----------
+    let mut server = GriffinServer::new(ServerConfig {
+        cpu_workers: 4,
+        admission: AdmissionConfig::default(),
+        batching: None,
+    });
+    server.set_telemetry(telemetry.clone());
+    server.set_flight_recorder(FlightConfig {
+        capacity: 16,
+        quantile: 0.9,
+        min_samples: 32,
+    });
+
+    eprintln!("planning {} hybrid queries...", queries.len());
+    let requests: Vec<QueryRequest> = queries
+        .iter()
+        .map(|q| QueryRequest::new(q.clone()).mode(ExecMode::Hybrid))
+        .collect();
+    let planned = server.plan(&griffin, &index, &requests);
+
+    // ---- Attribution invariant + aggregate phase breakdown. ----------
+    let profiles = telemetry.query_profiles();
+    let mut by_phase: BTreeMap<String, VirtualNanos> = BTreeMap::new();
+    let mut planned_total = VirtualNanos::ZERO;
+    for p in &planned {
+        let tq = p.trace_query.expect("telemetry was enabled");
+        let prof = profiles
+            .iter()
+            .find(|pr| pr.query == tq)
+            .expect("every planned query has a profile");
+        assert_eq!(
+            prof.attributed(),
+            prof.total,
+            "attribution tree must sum exactly (query {tq})"
+        );
+        assert_eq!(
+            prof.total, p.service_time,
+            "profile total must equal the engine's reported time (query {tq})"
+        );
+        planned_total += p.service_time;
+        for phase in &prof.root.children {
+            *by_phase.entry(phase.name.clone()).or_default() += phase.total;
+        }
+    }
+    println!(
+        "attribution check: {} profiles, self-times sum exactly to engine totals",
+        planned.len()
+    );
+
+    let mut t = Table::new(
+        "Aggregate latency attribution (all planned queries)",
+        &["phase", "total", "share %"],
+    );
+    for (phase, total) in &by_phase {
+        t.row(&[
+            phase.clone(),
+            ms(*total),
+            format!(
+                "{:.1}",
+                100.0 * total.as_nanos() as f64 / planned_total.as_nanos().max(1) as f64
+            ),
+        ]);
+    }
+    t.print();
+    artifacts.write_table(&t);
+
+    // ---- Folded-stack profile of the slowest unloaded query. ---------
+    let slowest = planned
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| p.service_time)
+        .expect("nonempty stream");
+    let prof = profiles
+        .iter()
+        .find(|pr| Some(pr.query) == slowest.1.trace_query)
+        .expect("profile exists");
+    println!(
+        "\nfolded-stack profile of the slowest unloaded query (#{} at {}):",
+        slowest.0,
+        ms(slowest.1.service_time)
+    );
+    print!("{}", prof.folded());
+    println!(
+        "(verdict: {})",
+        prof.dominant_cause(VirtualNanos::ZERO).one_line()
+    );
+
+    // ---- Replay under load; flight recorder catches the tail. --------
+    let mean_service = VirtualNanos::from_nanos(
+        planned
+            .iter()
+            .map(|p| p.service_time.as_nanos())
+            .sum::<u64>()
+            / planned.len().max(1) as u64,
+    );
+    server.set_slo(SloConfig::with_windows(
+        mean_service * 8,
+        0.95,
+        mean_service * 64,
+    ));
+    let mean_interarrival = mean_service.as_nanos() as f64 / 1.35; // overdriven
+    let mut now = VirtualNanos::ZERO;
+    let arrivals: Vec<VirtualNanos> = planned
+        .iter()
+        .map(|_| {
+            now += VirtualNanos::from_nanos_f64(-mean_interarrival * (1.0 - rng.gen::<f64>()).ln());
+            now
+        })
+        .collect();
+    eprintln!("replaying at high load...");
+    let report = server.replay(&planned, &arrivals);
+
+    let flights = server.flight_records();
+    let mut t2 = Table::new(
+        "Flight recorder: dominant cause of the slowest queries",
+        &["query", "latency", "queued", "service", "verdict"],
+    );
+    let mut slowest_flights = flights.clone();
+    slowest_flights.sort_by_key(|f| std::cmp::Reverse(f.latency));
+    for f in slowest_flights.iter().take(10) {
+        t2.row(&[
+            format!("#{}", f.query_index),
+            ms(f.latency),
+            ms(f.queue_wait),
+            ms(f.service),
+            f.verdict.one_line(),
+        ]);
+    }
+    t2.print();
+    artifacts.write_table(&t2);
+
+    let p50 = report
+        .latency_percentile(0.50)
+        .unwrap_or(VirtualNanos::ZERO);
+    let p99 = report
+        .latency_percentile(0.99)
+        .unwrap_or(VirtualNanos::ZERO);
+    println!("\nload: p50 {} p99 {}", ms(p50), ms(p99));
+    server.with_slo(|m| {
+        let now = arrivals.last().copied().unwrap_or(VirtualNanos::ZERO) + p99;
+        for w in &m.config().windows {
+            println!(
+                "SLO burn rate over {}: {:.2} (factor {})",
+                ms(w.long),
+                m.burn_rate(now, w.long),
+                w.factor
+            );
+        }
+        println!(
+            "early warning: {}",
+            if m.early_warning(now) {
+                "FIRING"
+            } else {
+                "quiet"
+            }
+        );
+    });
+
+    // ---- Snapshot + artifacts. ---------------------------------------
+    artifacts.snapshot_metric("queries", planned.len() as f64);
+    artifacts.snapshot_duration("mean_service_ns", mean_service);
+    artifacts.snapshot_duration("slowest_service_ns", slowest.1.service_time);
+    artifacts.snapshot_duration("loaded_p50_ns", p50);
+    artifacts.snapshot_duration("loaded_p99_ns", p99);
+    artifacts.snapshot_metric("flights_retained", flights.len() as f64);
+    for (phase, total) in &by_phase {
+        artifacts.snapshot_metric(
+            &format!("phase_share_{phase}_pct"),
+            100.0 * total.as_nanos() as f64 / planned_total.as_nanos().max(1) as f64,
+        );
+    }
+    artifacts.write_snapshot("exp_profile");
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
+}

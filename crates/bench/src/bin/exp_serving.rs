@@ -82,6 +82,7 @@ fn main() {
             cpu_fallback: fallback,
             deadline: None,
             breaker_degraded: false,
+            trace_query: None,
         };
         plan_gpu.push(planned(&gpu_only, Some(cpu.time)));
         plan_hyb.push(planned(&hyb, Some(cpu.time)));
@@ -188,12 +189,27 @@ fn main() {
                 format!("{:.2}", report.stats.mean_batch_occupancy()),
             ]);
             if name == "Hybrid+batch" {
+                // Latest wins: the snapshot keeps the hottest rate.
+                let zero = VirtualNanos::ZERO;
+                artifacts.snapshot_duration(
+                    "batch_p50_ns",
+                    report.latency_percentile(0.50).unwrap_or(zero),
+                );
+                artifacts.snapshot_duration(
+                    "batch_p99_ns",
+                    report.latency_percentile(0.99).unwrap_or(zero),
+                );
+                artifacts.snapshot_metric(
+                    "batch_miss_ratio",
+                    report.deadline_miss_rate().unwrap_or(0.0),
+                );
                 last_batch_report = Some(report);
             }
         }
     }
     t.print();
     artifacts.write_table(&t);
+    artifacts.write_snapshot("exp_serving");
     println!("\n(the shape: batching matters once the GPU queue is deep —");
     println!(" coalesced launches amortize fixed overheads and drain the tail)");
 

@@ -69,4 +69,9 @@ fn main() {
         "\nEF / PforDelta = {:.2}x (paper: 1.4x) — shape holds iff > 1",
         ef / pf
     );
+    artifacts.snapshot_metric("pfordelta_mean_ratio", pf);
+    artifacts.snapshot_metric("ef_mean_ratio", ef);
+    artifacts.snapshot_metric("ef_vs_pfordelta_ratio", ef / pf);
+    artifacts.snapshot_metric("ef_bits_per_int", stats[1].1.bits_per_int());
+    artifacts.write_snapshot("exp_table1");
 }

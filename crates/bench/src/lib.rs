@@ -16,7 +16,9 @@ pub mod artifacts;
 pub mod intersect_harness;
 pub mod report;
 pub mod setup;
+pub mod snapshot;
 
 pub use artifacts::Artifacts;
 pub use report::Table;
 pub use setup::{full_scale, k20, scale};
+pub use snapshot::Snapshot;

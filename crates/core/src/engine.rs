@@ -282,6 +282,12 @@ impl<'g> Griffin<'g> {
             StepOp::Exec => ("exec", 0),
             StepOp::FaultRecovery => ("fault_recovery", 0),
         };
+        let (cpu_lane, gpu_lane) = match s.op {
+            StepOp::SplitIntersect {
+                cpu_lane, gpu_lane, ..
+            } => (cpu_lane, gpu_lane),
+            _ => (VirtualNanos::ZERO, VirtualNanos::ZERO),
+        };
         let proc = s.proc.label();
         self.telemetry.record(|r| TraceEvent::Step {
             query: r.current_query(),
@@ -290,6 +296,8 @@ impl<'g> Griffin<'g> {
             proc,
             duration: s.time,
             inter_len: s.inter_len,
+            cpu_lane,
+            gpu_lane,
         });
         self.telemetry.observe_duration(
             &format!("griffin_step_ns{{op=\"{op}\",proc=\"{proc}\"}}"),

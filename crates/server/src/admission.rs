@@ -223,6 +223,7 @@ mod tests {
                 cpu_fallback: None,
                 deadline: Some(ns(10_000)),
                 breaker_degraded: false,
+                trace_query: None,
             })
             .collect();
         // All three arrive together into a single slot.

@@ -22,6 +22,11 @@
 //!   queries trips the GPU lane to CPU-only *degraded* planning (zero
 //!   drops); after a virtual-time cooldown, canary probes close it
 //!   again once the device behaves.
+//! * **Latency forensics** ([`FlightRecorder`], [`SloMonitor`]): a tail
+//!   flight recorder that retains the slowest queries with their
+//!   attribution profiles and one-line dominant-cause verdicts, and a
+//!   multi-window SLO burn-rate monitor whose early-warning signal the
+//!   admission/breaker layers can consume.
 //!
 //! The pipeline is **bit-exact when unloaded**: a single query replayed
 //! through the simulator finishes in exactly
@@ -74,15 +79,19 @@
 pub mod admission;
 pub mod batch;
 pub mod bridge;
+pub mod flight;
 pub mod health;
 pub mod server;
 pub mod sim;
+pub mod slo;
 
 pub use admission::{AdmissionConfig, Outcome, OverloadPolicy, ServedQuery};
 pub use batch::BatchConfig;
 pub use bridge::{cpu_shadow_of, gpu_copy_fraction, resource_of, resource_totals, stages_of};
+pub use flight::{verdict_from_stages, FlightConfig, FlightRecord, FlightRecorder};
 pub use health::{BreakerConfig, BreakerState, BreakerStats, GpuHealth};
 pub use server::{ArrivingQuery, GriffinServer, PlannedQuery, ServeReport, ServerConfig};
 pub use sim::{ServerSim, SimConfig, SimJob, SimReport, SimStats};
+pub use slo::{BurnWindow, SloConfig, SloMonitor};
 
 pub use griffin_telemetry::Timeline;

@@ -23,11 +23,14 @@ use griffin_gpu_sim::VirtualNanos;
 use griffin_index::InvertedIndex;
 use griffin_telemetry::Telemetry;
 
-use crate::admission::{OverloadPolicy, ServedQuery};
+use crate::admission::{Outcome, OverloadPolicy, ServedQuery};
 use crate::bridge::stages_of;
+use crate::flight::{verdict_from_stages, FlightConfig, FlightRecord, FlightRecorder};
 use crate::health::{BreakerConfig, BreakerState, BreakerStats, GpuHealth};
 use crate::sim::{ServerSim, SimConfig, SimJob, SimReport, SimStats};
+use crate::slo::{SloConfig, SloMonitor};
 use crate::Timeline;
+use griffin_telemetry::QueryProfile;
 
 /// Server configuration: the simulator knobs, re-exported at the
 /// serving layer. See [`SimConfig`].
@@ -59,6 +62,11 @@ pub struct PlannedQuery {
     /// True when the GPU health breaker was open and the query was
     /// planned on its CPU-only schedule despite requesting the GPU.
     pub breaker_degraded: bool,
+    /// The engine-trace query id this plan was measured under, when
+    /// planning ran with telemetry — keys the flight recorder into the
+    /// trace for latency attribution. `None` without telemetry (or for
+    /// hand-built plans).
+    pub trace_query: Option<u64>,
 }
 
 /// Everything one serving run produces.
@@ -109,6 +117,10 @@ pub struct GriffinServer {
     /// GPU circuit breaker fed by per-query fault outcomes during
     /// planning. Interior mutability keeps `plan`/`serve` on `&self`.
     health: RefCell<GpuHealth>,
+    /// Tail flight recorder, fed by `replay`. `None` until enabled.
+    flight: RefCell<Option<FlightRecorder>>,
+    /// SLO burn-rate monitor, fed by `replay`. `None` until enabled.
+    slo: RefCell<Option<SloMonitor>>,
 }
 
 impl GriffinServer {
@@ -117,6 +129,8 @@ impl GriffinServer {
             config,
             telemetry: Telemetry::disabled(),
             health: RefCell::new(GpuHealth::new(BreakerConfig::default())),
+            flight: RefCell::new(None),
+            slo: RefCell::new(None),
         }
     }
 
@@ -139,6 +153,37 @@ impl GriffinServer {
     /// metrics into it.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Enable the tail flight recorder (resets any previous one).
+    /// `replay` feeds every served query's latency into it and retains
+    /// the tail per [`FlightConfig`], with an attribution profile and
+    /// dominant-cause verdict for each retained flight.
+    pub fn set_flight_recorder(&mut self, config: FlightConfig) {
+        self.flight = RefCell::new(Some(FlightRecorder::new(config)));
+    }
+
+    /// Snapshot of the retained tail flights, oldest first (empty when
+    /// the recorder is disabled).
+    pub fn flight_records(&self) -> Vec<FlightRecord> {
+        self.flight
+            .borrow()
+            .as_ref()
+            .map(|f| f.records().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Enable the SLO burn-rate monitor (resets any previous one).
+    /// `replay` classifies every query against the latency SLO in
+    /// completion order and exports `griffin_slo_*` metrics.
+    pub fn set_slo(&mut self, config: SloConfig) {
+        self.slo = RefCell::new(Some(SloMonitor::new(config)));
+    }
+
+    /// Run `f` against the SLO monitor, if enabled — e.g. to poll
+    /// [`SloMonitor::early_warning`] between replays.
+    pub fn with_slo<T>(&self, f: impl FnOnce(&SloMonitor) -> T) -> Option<T> {
+        self.slo.borrow().as_ref().map(f)
     }
 
     pub fn telemetry(&self) -> &Telemetry {
@@ -188,6 +233,9 @@ impl GriffinServer {
                     degraded.mode = ExecMode::CpuOnly;
                     engine.run(index, &degraded)
                 };
+                // Key the plan to the trace id its measurement ran
+                // under (the fallback run below mints its own id).
+                let trace_query = engine.telemetry().recorder().map(|r| r.current_query());
                 let cpu_fallback = if wants_fallback && wants_gpu && gpu_allowed {
                     let fb = QueryRequest::new(req.terms.clone())
                         .k(req.k)
@@ -203,6 +251,7 @@ impl GriffinServer {
                     cpu_fallback,
                     deadline: req.deadline,
                     breaker_degraded: wants_gpu && !gpu_allowed,
+                    trace_query,
                 }
             })
             .collect();
@@ -269,10 +318,88 @@ impl GriffinServer {
             .collect();
         let report = ServerSim::new(self.config).run(&jobs);
         self.record(&report);
+        self.record_forensics(planned, arrivals, &report.queries);
         ServeReport {
             queries: report.queries,
             stats: report.stats,
             timeline: report.timeline,
+        }
+    }
+
+    /// Feed the replayed outcomes to the flight recorder and SLO
+    /// monitor, in completion order (virtual time), and export their
+    /// metrics. Purely observational: scheduling already happened.
+    fn record_forensics(
+        &self,
+        planned: &[PlannedQuery],
+        arrivals: &[VirtualNanos],
+        queries: &[ServedQuery],
+    ) {
+        let mut flight = self.flight.borrow_mut();
+        let mut slo = self.slo.borrow_mut();
+        if flight.is_none() && slo.is_none() {
+            return;
+        }
+        // Completion instants: arrival + latency for ran queries, the
+        // arrival itself for shed ones. Sort (stably, by index on ties)
+        // so the rolling monitors see virtual time move forward.
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        let instant = |i: usize| arrivals[i] + queries[i].latency.unwrap_or(VirtualNanos::ZERO);
+        order.sort_by_key(|&i| (instant(i), i));
+        let trace = self
+            .telemetry
+            .recorder()
+            .map(|r| r.events())
+            .unwrap_or_default();
+        let mut last = VirtualNanos::ZERO;
+        for &i in &order {
+            let q = &queries[i];
+            let p = &planned[i];
+            let now = instant(i);
+            last = now;
+            if let Some(m) = slo.as_mut() {
+                m.record_latency(now, q.latency);
+            }
+            let (Some(f), Some(latency)) = (flight.as_mut(), q.latency) else {
+                continue;
+            };
+            let service = match q.outcome {
+                Outcome::Degraded => p.cpu_fallback.unwrap_or(p.service_time),
+                _ => p.service_time,
+            };
+            let queue_wait = latency.saturating_sub(service);
+            let profile = p
+                .trace_query
+                .and_then(|tq| QueryProfile::from_trace(tq, &trace));
+            let verdict = match &profile {
+                Some(prof) => prof.dominant_cause(queue_wait),
+                None => verdict_from_stages(&p.stages, queue_wait, latency),
+            };
+            f.observe(FlightRecord {
+                query_index: i,
+                trace_query: p.trace_query,
+                outcome: q.outcome,
+                latency,
+                service,
+                queue_wait,
+                verdict,
+                profile,
+            });
+        }
+        if let Some(f) = flight.as_ref() {
+            self.telemetry
+                .gauge_set("griffin_flight_ring_len", f.len() as f64);
+            self.telemetry
+                .gauge_set("griffin_flight_retained_total", f.retained_total() as f64);
+            self.telemetry
+                .gauge_set("griffin_flight_evicted_total", f.evicted_total() as f64);
+            if let Some(t) = f.threshold() {
+                self.telemetry
+                    .gauge_set("griffin_flight_threshold_ns", t.as_nanos() as f64);
+            }
+        }
+        if let Some(m) = slo.as_ref() {
+            m.export(&self.telemetry, last);
         }
     }
 

@@ -11,7 +11,11 @@
 //!   PCIe transfer, stamped with device virtual time;
 //! * [`timeline`] — per-stage spans from the serving simulation, with
 //!   per-resource utilization, queue-depth curves, and Chrome
-//!   trace-event export (loadable in Perfetto).
+//!   trace-event export (loadable in Perfetto);
+//! * [`profile`] — a hierarchical span profiler that folds one query's
+//!   trace into an exact attribution tree (query → phase → processor →
+//!   kernel) whose self-times sum to the query's total latency, with
+//!   folded-stack/JSON export and a dominant-cause verdict.
 //!
 //! The entry point is the [`Telemetry`] handle. It is a cheap-clone
 //! `Option<Arc<Recorder>>`: [`Telemetry::disabled`] (the default) makes
@@ -22,6 +26,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod timeline;
 pub mod trace;
 
@@ -31,6 +36,7 @@ use griffin_gpu_sim::observe::{DeviceEvent, DeviceObserver};
 use griffin_gpu_sim::{StreamKind, VirtualNanos};
 
 pub use metrics::{Histogram, Registry};
+pub use profile::{Cause, ProfileNode, QueryProfile, Verdict};
 pub use timeline::{LaneUtilization, SpanEvent, Timeline};
 pub use trace::{Recorder, TraceEvent};
 
@@ -112,6 +118,16 @@ impl Telemetry {
     /// The structured trace as a JSON array (None when disabled).
     pub fn trace_json(&self) -> Option<String> {
         self.recorder.as_ref().map(|r| r.events_to_json())
+    }
+
+    /// Latency-attribution trees ([`QueryProfile`]) for every query
+    /// that completed in the trace, in query-id order (empty when
+    /// disabled).
+    pub fn query_profiles(&self) -> Vec<QueryProfile> {
+        self.recorder
+            .as_ref()
+            .map(|r| QueryProfile::all_from_trace(&r.events()))
+            .unwrap_or_default()
     }
 
     /// Rebuilds the device's two engine timelines from the recorded

@@ -1,0 +1,590 @@
+//! Hierarchical span profiler: exact latency attribution per query.
+//!
+//! [`QueryProfile::from_trace`] folds one query's slice of the recorded
+//! event stream into an attribution tree:
+//!
+//! ```text
+//! query
+//! ├── decode            (init steps)
+//! │   └── cpu | gpu
+//! ├── intersect
+//! │   └── gpu
+//! │       ├── kernel:…  (device kernels retired inside the step)
+//! │       └── pcie:htod (transfers overlapping the step — busy-only)
+//! ├── split             (co-executed split intersections)
+//! │   ├── cpu-lane
+//! │   └── gpu-lane
+//! ├── transfer          (migrate steps)
+//! ├── rank              (top-k)
+//! └── recovery          (fault recovery)
+//! ```
+//!
+//! Every node carries two durations:
+//!
+//! * `total` — virtual time *exactly attributed* to the node. Sibling
+//!   totals never exceed their parent's total, and the phase totals sum
+//!   exactly to the query total, so `Σ self_time` over the whole tree
+//!   equals `GriffinOutput::time` to the nanosecond (property-tested in
+//!   `tests/profile_properties.rs`). Where two lanes run concurrently
+//!   (split intersections, overlapped transfers) the *critical path*
+//!   owns the wall time: the dominant lane's total is the step duration
+//!   and the hidden lane's total is zero.
+//! * `busy` — observed busy time, which may overlap other nodes. The
+//!   hidden lane of a split and a copy-engine transfer underneath a
+//!   kernel both show their real busy time here even though their
+//!   attributed total is zero.
+//!
+//! The tree exports as folded-stack text ([`QueryProfile::folded`], one
+//! `a;b;c value` line per node — feed to any flamegraph renderer) and
+//! as JSON ([`QueryProfile::to_json`]). [`QueryProfile::dominant_cause`]
+//! reduces the tree to a one-line verdict naming the bucket that owns
+//! the largest share of the latency — the flight recorder attaches it
+//! to every retained tail query.
+
+use griffin_gpu_sim::VirtualNanos;
+
+use crate::json;
+use crate::trace::TraceEvent;
+
+/// One node of the attribution tree.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileNode {
+    /// Frame name: a phase (`"intersect"`), a processor (`"gpu"`,
+    /// `"cpu-lane"`), or a device child (`"kernel:gpu_merge_path"`,
+    /// `"pcie:htod"`).
+    pub name: String,
+    /// Wall time exactly attributed to this node (children included).
+    pub total: VirtualNanos,
+    /// Observed busy time; may overlap sibling nodes.
+    pub busy: VirtualNanos,
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    fn new(name: &str) -> ProfileNode {
+        ProfileNode {
+            name: name.to_owned(),
+            ..ProfileNode::default()
+        }
+    }
+
+    /// Attributed time not covered by any child (`total − Σ children`).
+    pub fn self_time(&self) -> VirtualNanos {
+        let children: VirtualNanos = self.children.iter().map(|c| c.total).sum();
+        self.total.saturating_sub(children)
+    }
+
+    /// Find or append a child named `name`.
+    fn child(&mut self, name: &str) -> &mut ProfileNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(ProfileNode::new(name));
+        self.children.last_mut().expect("just pushed")
+    }
+
+    /// Sum of `self_time` over this subtree; equals `total` by
+    /// construction (the invariant the property tests pin down).
+    pub fn self_sum(&self) -> VirtualNanos {
+        self.children
+            .iter()
+            .map(|c| c.self_sum())
+            .fold(self.self_time(), |a, b| a + b)
+    }
+
+    fn to_json_obj(&self) -> String {
+        let mut o = json::Object::new();
+        o.str("name", &self.name)
+            .u64("total_ns", self.total.as_nanos())
+            .u64("self_ns", self.self_time().as_nanos())
+            .u64("busy_ns", self.busy.as_nanos());
+        if !self.children.is_empty() {
+            let mut arr = json::Array::new();
+            for c in &self.children {
+                arr.raw(&c.to_json_obj());
+            }
+            o.raw("children", &arr.finish());
+        }
+        o.finish()
+    }
+
+    fn fold_into(&self, stack: &mut Vec<String>, out: &mut String) {
+        stack.push(self.name.clone());
+        let own = self.self_time();
+        if !own.is_zero() {
+            out.push_str(&stack.join(";"));
+            out.push(' ');
+            out.push_str(&own.as_nanos().to_string());
+            out.push('\n');
+        }
+        for c in &self.children {
+            c.fold_into(stack, out);
+        }
+        stack.pop();
+    }
+}
+
+/// The latency bucket a verdict blames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    /// Time between arrival and service start (serving layer only).
+    Queueing,
+    /// Device kernel execution.
+    GpuCompute,
+    /// Host-side execution (decode, CPU intersect, ranking).
+    CpuCompute,
+    /// PCIe transfers (migrations plus attributed copy time).
+    Pcie,
+    /// Fault recovery (salvage, rematerialisation, re-run lanes).
+    Recovery,
+    /// Wall time lost to unequal lanes in split intersections.
+    LaneImbalance,
+}
+
+impl Cause {
+    pub fn label(self) -> &'static str {
+        match self {
+            Cause::Queueing => "queueing",
+            Cause::GpuCompute => "gpu-compute",
+            Cause::CpuCompute => "cpu-compute",
+            Cause::Pcie => "pcie",
+            Cause::Recovery => "fault-recovery",
+            Cause::LaneImbalance => "lane-imbalance",
+        }
+    }
+}
+
+/// One-line dominant-cause verdict for a slow query.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    pub cause: Cause,
+    /// Virtual time in the winning bucket.
+    pub dominant: VirtualNanos,
+    /// The latency being explained (service + queueing).
+    pub total: VirtualNanos,
+}
+
+impl Verdict {
+    /// E.g. `"pcie (62% of 1.84ms)"`.
+    pub fn one_line(&self) -> String {
+        let pct = if self.total.is_zero() {
+            0.0
+        } else {
+            100.0 * self.dominant.as_nanos() as f64 / self.total.as_nanos() as f64
+        };
+        format!(
+            "{} ({pct:.0}% of {:.2}ms)",
+            self.cause.label(),
+            self.total.as_millis_f64()
+        )
+    }
+}
+
+/// The attribution tree for one query.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    pub query: u64,
+    /// `GriffinOutput::time` as recorded by the `QueryEnd` event.
+    pub total: VirtualNanos,
+    /// Root node, named `"query"`; `root.total == total`.
+    pub root: ProfileNode,
+    /// Σ over split steps of `step − min(cpu_lane, gpu_lane)`: wall time
+    /// that a perfectly balanced split would not have spent.
+    pub lane_waste: VirtualNanos,
+}
+
+/// Map an engine step op to its phase frame.
+fn phase_of(op: &str) -> &'static str {
+    match op {
+        "init" => "decode",
+        "intersect" => "intersect",
+        "split_intersect" => "split",
+        "migrate" => "transfer",
+        "topk" => "rank",
+        "exec" => "exec",
+        "fault_recovery" => "recovery",
+        _ => "other",
+    }
+}
+
+/// Device events pending attribution to the next engine step. The
+/// observer fires *during* a step — before the engine pushes the
+/// `Step` event — so device events between two `Step` events belong to
+/// the later one.
+#[derive(Default)]
+struct Pending {
+    /// `(frame name, duration)` in retirement order.
+    spans: Vec<(String, VirtualNanos)>,
+}
+
+impl Pending {
+    /// Attach the pending device spans under `node`, attributing exact
+    /// time against `budget` (the wall time `node` owns for this step)
+    /// in retirement order; whatever exceeds the budget — overlapped
+    /// copies, the wasted lane of a failed split — stays busy-only.
+    fn drain_into(&mut self, node: &mut ProfileNode, mut budget: VirtualNanos) {
+        for (name, duration) in self.spans.drain(..) {
+            let exact = duration.min(budget);
+            budget = budget.saturating_sub(exact);
+            let child = node.child(&name);
+            child.total += exact;
+            child.busy += duration;
+        }
+    }
+}
+
+impl QueryProfile {
+    /// Fold `events` into the attribution tree for query `query`.
+    /// Returns `None` when the trace holds no `QueryEnd` for it.
+    pub fn from_trace(query: u64, events: &[TraceEvent]) -> Option<QueryProfile> {
+        let mut root = ProfileNode::new("query");
+        let mut pending = Pending::default();
+        let mut lane_waste = VirtualNanos::ZERO;
+        let mut total = None;
+        for event in events {
+            match event {
+                TraceEvent::KernelLaunch {
+                    query: q,
+                    name,
+                    duration,
+                    ..
+                } if *q == query => {
+                    pending.spans.push((format!("kernel:{name}"), *duration));
+                }
+                TraceEvent::PcieTransfer {
+                    query: q,
+                    direction,
+                    duration,
+                    ..
+                } if *q == query => {
+                    pending.spans.push((format!("pcie:{direction}"), *duration));
+                }
+                TraceEvent::Step {
+                    query: q,
+                    op,
+                    proc,
+                    duration,
+                    cpu_lane,
+                    gpu_lane,
+                    ..
+                } if *q == query => {
+                    let phase = root.child(phase_of(op));
+                    phase.total += *duration;
+                    phase.busy += *duration;
+                    if *op == "split_intersect" {
+                        // Critical-path attribution: the dominant lane
+                        // owns the wall time, the hidden lane is busy-
+                        // only. `duration == max(cpu_lane, gpu_lane)`.
+                        let gpu_dominant = gpu_lane >= cpu_lane;
+                        lane_waste += duration.saturating_sub((*cpu_lane).min(*gpu_lane));
+                        let (gpu_total, cpu_total) = if gpu_dominant {
+                            (*duration, VirtualNanos::ZERO)
+                        } else {
+                            (VirtualNanos::ZERO, *duration)
+                        };
+                        let cpu = phase.child("cpu-lane");
+                        cpu.total += cpu_total;
+                        cpu.busy += *cpu_lane;
+                        let gpu = phase.child("gpu-lane");
+                        gpu.total += gpu_total;
+                        gpu.busy += *gpu_lane;
+                        pending.drain_into(gpu, gpu_total);
+                    } else {
+                        let lane = phase.child(proc);
+                        lane.total += *duration;
+                        lane.busy += *duration;
+                        if *proc == "gpu" {
+                            pending.drain_into(lane, *duration);
+                        } else if !pending.spans.is_empty() {
+                            // Device work retired while a CPU step was
+                            // recorded (e.g. the wasted device lane of a
+                            // failed split): keep it visible, busy-only.
+                            let gpu = phase.child("gpu");
+                            pending.drain_into(gpu, VirtualNanos::ZERO);
+                        }
+                    }
+                }
+                TraceEvent::QueryEnd {
+                    query: q, total: t, ..
+                } if *q == query => {
+                    total = Some(*t);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let total = total?;
+        // Device events after the last step (none today; defensive):
+        // keep them visible without breaking the exact sum.
+        if !pending.spans.is_empty() {
+            let tail = root.child("unattributed");
+            pending.drain_into(tail, VirtualNanos::ZERO);
+        }
+        root.total = total;
+        root.busy = total;
+        Some(QueryProfile {
+            query,
+            total,
+            root,
+            lane_waste,
+        })
+    }
+
+    /// Profiles for every query that completed in `events`, in id order.
+    pub fn all_from_trace(events: &[TraceEvent]) -> Vec<QueryProfile> {
+        let mut ids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::QueryEnd { query, .. } => Some(*query),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.iter()
+            .filter_map(|&q| QueryProfile::from_trace(q, events))
+            .collect()
+    }
+
+    /// Σ `self_time` over the tree; equals [`QueryProfile::total`] by
+    /// construction.
+    pub fn attributed(&self) -> VirtualNanos {
+        self.root.self_sum()
+    }
+
+    /// Folded-stack (flamegraph collapsed) text: one
+    /// `query;phase;proc;frame <self_ns>` line per node with nonzero
+    /// self time.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        self.root.fold_into(&mut Vec::new(), &mut out);
+        out
+    }
+
+    /// The tree as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut o = json::Object::new();
+        o.u64("query", self.query)
+            .u64("total_ns", self.total.as_nanos())
+            .u64("lane_waste_ns", self.lane_waste.as_nanos())
+            .raw("tree", &self.root.to_json_obj());
+        o.finish()
+    }
+
+    /// Total attributed to one top-level phase (zero if absent).
+    pub fn phase_total(&self, phase: &str) -> VirtualNanos {
+        self.root
+            .children
+            .iter()
+            .find(|c| c.name == phase)
+            .map(|c| c.total)
+            .unwrap_or(VirtualNanos::ZERO)
+    }
+
+    /// Exact time attributed to device frames with the given prefix
+    /// (`"kernel:"` or `"pcie:"`) anywhere in the tree.
+    fn device_total(node: &ProfileNode, prefix: &str) -> VirtualNanos {
+        let own = if node.name.starts_with(prefix) {
+            node.total
+        } else {
+            VirtualNanos::ZERO
+        };
+        node.children
+            .iter()
+            .map(|c| Self::device_total(c, prefix))
+            .fold(own, |a, b| a + b)
+    }
+
+    /// Reduce the tree to the bucket owning the largest share of
+    /// `queue_wait + total`. `queue_wait` is the serving-layer wait
+    /// before service began (pass [`VirtualNanos::ZERO`] for bare
+    /// engine runs). Ties break toward the earlier bucket in the fixed
+    /// order queueing, recovery, lane-imbalance, pcie, gpu-compute,
+    /// cpu-compute — rarer causes first, so a tie surfaces the more
+    /// actionable signal.
+    pub fn dominant_cause(&self, queue_wait: VirtualNanos) -> Verdict {
+        let recovery = self.phase_total("recovery");
+        let kernels = Self::device_total(&self.root, "kernel:");
+        let pcie = self.phase_total("transfer") + Self::device_total(&self.root, "pcie:");
+        // Device compute: exact kernel time plus the split gpu-lane
+        // remainder, excluding the transfer phase counted as PCIe.
+        let gpu_lane_total = self
+            .root
+            .children
+            .iter()
+            .flat_map(|p| p.children.iter())
+            .filter(|n| n.name == "gpu" || n.name == "gpu-lane")
+            .map(|n| n.total)
+            .fold(VirtualNanos::ZERO, |a, b| a + b);
+        let gpu_compute = kernels.max(gpu_lane_total.saturating_sub(pcie));
+        let cpu_compute = self
+            .root
+            .children
+            .iter()
+            .filter(|p| p.name != "recovery")
+            .flat_map(|p| p.children.iter())
+            .filter(|n| n.name == "cpu" || n.name == "cpu-lane")
+            .map(|n| n.total)
+            .fold(VirtualNanos::ZERO, |a, b| a + b);
+        let buckets = [
+            (Cause::Queueing, queue_wait),
+            (Cause::Recovery, recovery),
+            (Cause::LaneImbalance, self.lane_waste),
+            (Cause::Pcie, pcie),
+            (Cause::GpuCompute, gpu_compute),
+            (Cause::CpuCompute, cpu_compute),
+        ];
+        let (cause, dominant) = buckets
+            .iter()
+            .copied()
+            .max_by_key(|&(_, v)| v)
+            .expect("buckets nonempty");
+        // max_by_key returns the *last* max; prefer the first.
+        let (cause, dominant) = buckets
+            .iter()
+            .copied()
+            .find(|&(_, v)| v == dominant)
+            .unwrap_or((cause, dominant));
+        Verdict {
+            cause,
+            dominant,
+            total: self.total + queue_wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> VirtualNanos {
+        VirtualNanos::from_nanos(v)
+    }
+
+    fn step(op: &'static str, proc: &'static str, d: u64) -> TraceEvent {
+        TraceEvent::Step {
+            query: 0,
+            op,
+            arg: 0,
+            proc,
+            duration: ns(d),
+            inter_len: 0,
+            cpu_lane: VirtualNanos::ZERO,
+            gpu_lane: VirtualNanos::ZERO,
+        }
+    }
+
+    fn kernel(name: &'static str, d: u64) -> TraceEvent {
+        TraceEvent::KernelLaunch {
+            query: 0,
+            name,
+            start: VirtualNanos::ZERO,
+            duration: ns(d),
+            total_warps: 1,
+            divergence_rate: 0.0,
+            coalescing_factor: 1.0,
+            gmem_transactions: 0,
+        }
+    }
+
+    #[test]
+    fn attribution_sums_to_query_total() {
+        let events = vec![
+            TraceEvent::QueryStart { query: 0, terms: 3 },
+            step("init", "cpu", 100),
+            kernel("gpu_merge_path", 70),
+            step("intersect", "gpu", 90),
+            step("migrate", "gpu", 40),
+            step("topk", "cpu", 30),
+            TraceEvent::QueryEnd {
+                query: 0,
+                total: ns(260),
+                results: 5,
+            },
+        ];
+        let p = QueryProfile::from_trace(0, &events).unwrap();
+        assert_eq!(p.total, ns(260));
+        assert_eq!(p.attributed(), ns(260));
+        assert_eq!(p.phase_total("decode"), ns(100));
+        assert_eq!(p.phase_total("intersect"), ns(90));
+        let folded = p.folded();
+        assert!(folded.contains("query;intersect;gpu;kernel:gpu_merge_path 70"));
+        assert!(folded.contains("query;decode;cpu 100"));
+        // The 20ns the intersect step spent outside the kernel stays on
+        // the gpu frame's self time.
+        assert!(folded.contains("query;intersect;gpu 20"));
+        assert!(p.to_json().contains("\"total_ns\":260"));
+    }
+
+    #[test]
+    fn split_lanes_use_critical_path() {
+        let events = vec![
+            TraceEvent::QueryStart { query: 0, terms: 2 },
+            kernel("gpu_merge_path", 55),
+            TraceEvent::Step {
+                query: 0,
+                op: "split_intersect",
+                arg: 1,
+                proc: "gpu",
+                duration: ns(80),
+                inter_len: 9,
+                cpu_lane: ns(80),
+                gpu_lane: ns(60),
+            },
+            TraceEvent::QueryEnd {
+                query: 0,
+                total: ns(80),
+                results: 9,
+            },
+        ];
+        let p = QueryProfile::from_trace(0, &events).unwrap();
+        assert_eq!(p.attributed(), ns(80));
+        assert_eq!(p.lane_waste, ns(20));
+        let split = &p.root.children[0];
+        assert_eq!(split.name, "split");
+        let cpu = split
+            .children
+            .iter()
+            .find(|c| c.name == "cpu-lane")
+            .unwrap();
+        let gpu = split
+            .children
+            .iter()
+            .find(|c| c.name == "gpu-lane")
+            .unwrap();
+        // CPU lane dominates: it owns the wall time; the device lane
+        // (and its kernel) stay busy-only.
+        assert_eq!(cpu.total, ns(80));
+        assert_eq!(gpu.total, VirtualNanos::ZERO);
+        assert_eq!(gpu.busy, ns(60));
+        assert_eq!(gpu.children[0].busy, ns(55));
+        assert_eq!(gpu.children[0].total, VirtualNanos::ZERO);
+        let v = p.dominant_cause(VirtualNanos::ZERO);
+        assert_eq!(v.cause, Cause::CpuCompute);
+    }
+
+    #[test]
+    fn queueing_dominates_when_wait_exceeds_service() {
+        let events = vec![
+            TraceEvent::QueryStart { query: 3, terms: 2 },
+            step("init", "cpu", 10),
+            TraceEvent::QueryEnd {
+                query: 3,
+                total: ns(10),
+                results: 0,
+            },
+        ];
+        let p = QueryProfile::from_trace(3, &events).unwrap();
+        let v = p.dominant_cause(ns(500));
+        assert_eq!(v.cause, Cause::Queueing);
+        assert_eq!(v.total, ns(510));
+        assert!(v.one_line().starts_with("queueing (98% of"));
+    }
+
+    #[test]
+    fn missing_query_yields_none() {
+        assert!(QueryProfile::from_trace(9, &[]).is_none());
+        let only_start = vec![TraceEvent::QueryStart { query: 9, terms: 1 }];
+        assert!(QueryProfile::from_trace(9, &only_start).is_none());
+    }
+}

@@ -50,6 +50,14 @@ pub enum TraceEvent {
         duration: VirtualNanos,
         /// Intermediate length after the step.
         inter_len: usize,
+        /// Busy time of the host lane for "split_intersect" steps
+        /// (zero for every other op). Carried on the step itself so the
+        /// profiler can attribute the two concurrent lanes exactly,
+        /// without reassembling them from neighbouring events.
+        cpu_lane: VirtualNanos,
+        /// Busy time of the device lane for "split_intersect" steps
+        /// (zero for every other op).
+        gpu_lane: VirtualNanos,
     },
     /// A GPU kernel launch retired (from the device observer).
     KernelLaunch {
@@ -125,6 +133,8 @@ impl TraceEvent {
                 proc,
                 duration,
                 inter_len,
+                cpu_lane,
+                gpu_lane,
             } => {
                 o.str("type", "step")
                     .u64("query", *query)
@@ -133,6 +143,10 @@ impl TraceEvent {
                     .str("proc", proc)
                     .u64("duration_ns", duration.as_nanos())
                     .usize("inter_len", *inter_len);
+                if *op == "split_intersect" {
+                    o.u64("cpu_lane_ns", cpu_lane.as_nanos())
+                        .u64("gpu_lane_ns", gpu_lane.as_nanos());
+                }
             }
             TraceEvent::KernelLaunch {
                 query,
