@@ -1,0 +1,221 @@
+//! **Query language + block-max pruning** — the planner study.
+//!
+//! Two workloads over one Zipf text corpus:
+//!
+//! 1. a **mixed-operator log** (conjunctions, `OR` arms, negations,
+//!    quoted phrases, from [`MixedQuerySpec`]) parsed from query
+//!    *strings* and executed under all three modes. Asserted: every
+//!    mode returns the identical top-k, scores bit-for-bit — the
+//!    planner's fold-order contract (see `griffin::plan`) holds on the
+//!    hybrid per-step machinery too;
+//! 2. a **conjunctive Zipf top-10 log** run unpruned vs block-max
+//!    pruned in every mode. Asserted: pruning never changes a single
+//!    docID or score, skips >= 30% of the tf-block decodes the
+//!    unpruned scorer would pay, and is no slower in total virtual
+//!    time. The GPU lane's saving is counted in *resident blocks*:
+//!    the candidate-hull restriction uploads only the block range that
+//!    can intersect.
+//!
+//! `--smoke` shrinks the corpus and the query counts; `GRIFFIN_SCALE`
+//! scales the full run.
+
+use griffin::{ExecMode, Griffin, QueryRequest};
+use griffin_bench::report::{ms, Table};
+use griffin_bench::setup::{k20, scaled};
+use griffin_bench::Artifacts;
+use griffin_cpu::PruneStats;
+use griffin_gpu_sim::{Gpu, VirtualNanos};
+use griffin_workload::{build_text_index, CorpusSpec, MixedQuerySpec, QueryLogSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MODES: [(ExecMode, &str); 3] = [
+    (ExecMode::CpuOnly, "cpu-only"),
+    (ExecMode::GpuOnly, "gpu-only"),
+    (ExecMode::Hybrid, "hybrid"),
+];
+
+fn shape_of(q: &str) -> &'static str {
+    if q.contains('"') {
+        "phrase"
+    } else if q.contains(" OR ") {
+        "or"
+    } else if q.contains(" -") {
+        "not"
+    } else {
+        "and"
+    }
+}
+
+fn main() {
+    let artifacts = Artifacts::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let telemetry = artifacts.telemetry();
+
+    let spec = CorpusSpec {
+        num_docs: if smoke { 3_000 } else { scaled(20_000) },
+        vocab_size: if smoke { 1_500 } else { 4_000 },
+        avg_doc_len: 120,
+        // Real text is bursty (within-document tf has a heavy tail) and
+        // real indexes assign docIDs in URL order, clustering similar
+        // documents — both are what give block-max bounds their spread.
+        burstiness: 0.2,
+        length_skew: 1.0,
+        // Fine-grained blocks: block-max pruning trades a bigger skip
+        // table for tighter bounds (the BMW papers use 32-64, not the
+        // decode-friendly 128).
+        block_len: 32,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(61);
+    let index = build_text_index(&spec, &mut rng);
+
+    let gpu = Gpu::new(k20());
+    let mut griffin = Griffin::new(&gpu, index.meta(), index.block_len());
+    griffin.set_telemetry(telemetry.clone());
+
+    // ---- 1. Mixed-operator workload through the parser + planner. ----
+    let mixed = MixedQuerySpec {
+        num_queries: if smoke { 60 } else { scaled(300) },
+        ..Default::default()
+    }
+    .generate(&index, &mut rng);
+
+    // shape -> (count, per-mode total time)
+    let mut by_shape: std::collections::BTreeMap<&str, (usize, [VirtualNanos; 3])> =
+        Default::default();
+    for q in &mixed {
+        let outs: Vec<_> = MODES
+            .iter()
+            .map(|&(mode, _)| {
+                griffin
+                    .query(&index, q)
+                    .k(10)
+                    .mode(mode)
+                    .run()
+                    .unwrap_or_else(|e| panic!("generated query {q:?} failed to parse: {e}"))
+            })
+            .collect();
+        for out in &outs[1..] {
+            assert_eq!(
+                out.topk, outs[0].topk,
+                "modes disagree on {q:?}: the plan fold-order contract is broken"
+            );
+        }
+        let entry = by_shape
+            .entry(shape_of(q))
+            .or_insert((0, [VirtualNanos::ZERO; 3]));
+        entry.0 += 1;
+        for (slot, out) in entry.1.iter_mut().zip(&outs) {
+            *slot += out.time;
+        }
+    }
+
+    let mut t1 = Table::new(
+        "Query language: mixed-operator workload, mean virtual ms per query (bit-exact across modes)",
+        &["shape", "queries", "cpu-only", "gpu-only", "hybrid"],
+    );
+    for (shape, (n, totals)) in &by_shape {
+        let mut row = vec![shape.to_string(), n.to_string()];
+        row.extend(totals.iter().map(|&t| ms(t / *n as u64)));
+        t1.row(&row);
+    }
+    t1.print();
+    artifacts.write_table(&t1);
+
+    // ---- 2. Block-max pruning on a conjunctive Zipf top-10 log. ------
+    let conj = QueryLogSpec {
+        num_queries: if smoke { 80 } else { scaled(400) },
+        ..Default::default()
+    }
+    .generate(&index, &mut rng);
+
+    // Each (mode, pruned?) configuration runs the whole log on a fresh
+    // engine: cache warm-up and balancer state are self-consistent
+    // within a run, never inherited from the other configuration.
+    let run_log = |mode: ExecMode, pruned: bool| {
+        let gpu = Gpu::new(k20());
+        let mut engine = Griffin::new(&gpu, index.meta(), index.block_len());
+        engine.set_telemetry(telemetry.clone());
+        let mut total = VirtualNanos::ZERO;
+        let mut stats = PruneStats::default();
+        let mut topks = Vec::with_capacity(conj.len());
+        for q in &conj {
+            let req = QueryRequest::new(q.clone()).k(10).mode(mode).pruned(pruned);
+            let out = engine.run(&index, &req);
+            assert_eq!(out.gpu_faults, 0, "healthy device");
+            total += out.time;
+            if pruned {
+                stats.add(out.pruning.as_ref().expect("pruned run reports stats"));
+            }
+            topks.push(out.topk);
+        }
+        engine.gpu.shutdown();
+        assert_eq!(gpu.mem_in_use(), 0, "pruned uploads must not leak");
+        (total, stats, topks)
+    };
+
+    let mut t2 = Table::new(
+        "Block-max pruning: conjunctive Zipf log, k=10 (bit-exact vs unpruned)",
+        &["mode", "unpruned", "pruned", "saved %", "blocks skipped %"],
+    );
+    let mut cpu_stats = PruneStats::default();
+    let mut gpu_stats = PruneStats::default();
+    let mut headline_skip = 0.0;
+    let mut headline_saved = 0.0;
+    for &(mode, label) in &MODES {
+        let (t_plain, _, reference) = run_log(mode, false);
+        let (t_pruned, stats, topks) = run_log(mode, true);
+        assert_eq!(topks, reference, "pruning changed the top-k under {label}");
+        assert!(
+            t_pruned <= t_plain,
+            "pruned path slower than unpruned under {label}: {t_pruned:?} > {t_plain:?}"
+        );
+        let saved = (1.0 - t_pruned.as_nanos() as f64 / t_plain.as_nanos().max(1) as f64) * 100.0;
+        let skipped = stats.blocks_skipped_fraction() * 100.0;
+        t2.row(&[
+            label.to_string(),
+            ms(t_plain),
+            ms(t_pruned),
+            format!("{saved:+.1}"),
+            format!("{skipped:.1}"),
+        ]);
+        match mode {
+            ExecMode::CpuOnly => {
+                cpu_stats = stats;
+                headline_skip = stats.blocks_skipped_fraction();
+                headline_saved = saved;
+            }
+            ExecMode::GpuOnly => gpu_stats = stats,
+            ExecMode::Hybrid => {}
+        }
+    }
+    t2.print();
+    artifacts.write_table(&t2);
+
+    // The acceptance bar: on a Zipf top-10 workload the floor rises fast
+    // enough that most candidates' tf blocks never decode.
+    assert!(
+        headline_skip >= 0.30,
+        "expected >= 30% of tf blocks skipped on the Zipf top-10 log, got {:.1}%",
+        headline_skip * 100.0
+    );
+    println!(
+        "\n(pruning skipped {:.1}% of CPU tf-block decodes and kept {:.1}% of GPU\n block uploads resident, bit-exact in every mode)",
+        cpu_stats.blocks_skipped_fraction() * 100.0,
+        (1.0 - gpu_stats.blocks_skipped_fraction()) * 100.0
+    );
+
+    griffin.gpu.shutdown();
+    assert_eq!(gpu.mem_in_use(), 0, "pruned uploads must not leak");
+
+    artifacts.snapshot_metric("blocks_skipped_fraction", headline_skip);
+    artifacts.snapshot_metric("pruned_saved_pct", headline_saved);
+    artifacts.snapshot_metric(
+        "gpu_blocks_skipped_fraction",
+        gpu_stats.blocks_skipped_fraction(),
+    );
+    artifacts.write_snapshot("exp_queries");
+    artifacts.write_metrics(&telemetry);
+    artifacts.write_trace(&telemetry);
+}

@@ -54,6 +54,7 @@ fn main() {
         "exp_serving",
         "exp_faults",
         "exp_coexec",
+        "exp_queries",
         "exp_profile",
     ];
     let opts = Options::from_args();

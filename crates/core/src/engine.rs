@@ -4,13 +4,15 @@
 use std::cell::RefCell;
 
 use griffin_cpu::engine::Strategy;
-use griffin_cpu::{CpuEngine, Intermediate, QueryScratch, WorkCounters};
+use griffin_cpu::{setops, CpuEngine, Intermediate, PruneStats, QueryScratch, WorkCounters};
 use griffin_gpu::{DeviceIntermediate, GpuEngine, GpuError, GpuStrategy};
 use griffin_gpu_sim::{Gpu, StreamKind, VirtualNanos};
 use griffin_index::{CorpusMeta, InvertedIndex, TermId};
 use griffin_telemetry::{Telemetry, TraceEvent};
 
 use crate::cost::CostModel;
+use crate::plan::{PlanNode, Planner};
+use crate::query::Query;
 use crate::request::{QueryError, QueryRequest};
 use crate::sched::{Decision, DecisionTrace, Proc, Scheduler, SplitBalancer, SplitConfig};
 
@@ -69,6 +71,18 @@ pub enum StepOp {
     /// does not. Recovery time is part of the query's latency, so these
     /// steps keep the step-sum == total invariant under faults.
     FaultRecovery,
+    /// One pairwise union of two sub-plan results (an `OR` arm folding
+    /// in). Set operators run on the host; see [`crate::plan`].
+    Union,
+    /// Subtraction of a negated sub-plan's docids (`-term` / `NOT`).
+    Difference,
+    /// One pairwise intersection of two *sub-plan results* (a mixed
+    /// `AND`), as opposed to [`StepOp::Intersect`], which intersects the
+    /// running chain with a posting list.
+    IntersectSets,
+    /// The positional adjacency filter of a quoted phrase, run over the
+    /// phrase's term-intersection result.
+    PhraseCheck,
 }
 
 /// Result of a query under any mode.
@@ -89,6 +103,11 @@ pub struct GriffinOutput {
     /// Zero when fault injection is off or the query never touched the
     /// device.
     pub gpu_faults: u32,
+    /// Block-max pruning ledger, present when the query ran with
+    /// [`QueryRequest::pruned`] set and took a pruned path. `None` for
+    /// unpruned runs (and for query shapes the pruned path does not
+    /// cover, which fall back to unpruned execution).
+    pub pruning: Option<PruneStats>,
 }
 
 /// Where the intermediate currently lives.
@@ -281,6 +300,10 @@ impl<'g> Griffin<'g> {
             StepOp::TopK => ("topk", 0),
             StepOp::Exec => ("exec", 0),
             StepOp::FaultRecovery => ("fault_recovery", 0),
+            StepOp::Union => ("union", 0),
+            StepOp::Difference => ("difference", 0),
+            StepOp::IntersectSets => ("intersect_sets", 0),
+            StepOp::PhraseCheck => ("phrase_check", 0),
         };
         let (cpu_lane, gpu_lane) = match s.op {
             StepOp::SplitIntersect {
@@ -487,33 +510,51 @@ impl<'g> Griffin<'g> {
         out
     }
 
-    /// String-level convenience: looks the words up in the dictionary and
-    /// runs the conjunctive query under `mode`. A word missing from the
-    /// vocabulary is an error ([`QueryError::UnknownTerm`]) — conjunctive
-    /// semantics would silently empty the result otherwise. Use
-    /// [`Griffin::search_lenient`] for the forgiving behaviour.
+    /// Text-level convenience: parses `text` with the query grammar
+    /// (juxtaposition = `AND`, `OR`, `-word` / `NOT`, `"quoted phrases"`,
+    /// parentheses — see [`Query::parse`]) and runs it under `mode`. A
+    /// word missing from the vocabulary is an error
+    /// ([`QueryError::UnknownTerm`]); use
+    /// [`Griffin::query`]`.lenient(true)` for the forgiving behaviour.
     pub fn search(
         &self,
         index: &InvertedIndex,
-        words: &[&str],
+        text: &str,
         k: usize,
         mode: ExecMode,
     ) -> Result<GriffinOutput, QueryError> {
-        let mut terms = Vec::with_capacity(words.len());
-        for w in words {
-            match index.lookup(w) {
-                Some(t) => terms.push(t),
-                None => return Err(QueryError::UnknownTerm((*w).to_owned())),
-            }
-        }
-        Ok(self.run(index, &QueryRequest::new(terms).k(k).mode(mode)))
+        self.query(index, text).k(k).mode(mode).run()
     }
 
-    /// Like [`Griffin::search`], but words missing from the vocabulary
-    /// yield an empty result instead of an error (a conjunction with an
-    /// unmatched term matches nothing). This is the historical `search`
-    /// behaviour, kept for callers that treat out-of-vocabulary words as
-    /// ordinary no-hit queries.
+    /// Starts a fluent text search:
+    ///
+    /// ```ignore
+    /// let out = griffin.query(&idx, "gpu engine -legacy").k(10).lenient(true).run()?;
+    /// ```
+    ///
+    /// The builder mirrors [`QueryRequest`]'s setters plus
+    /// [`Search::lenient`], which controls how the parser treats
+    /// out-of-vocabulary words.
+    pub fn query<'a>(&'a self, index: &'a InvertedIndex, text: &'a str) -> Search<'a, 'g> {
+        Search {
+            griffin: self,
+            index,
+            text,
+            k: 10,
+            mode: ExecMode::Hybrid,
+            deadline: None,
+            pruned: false,
+            lenient: false,
+        }
+    }
+
+    /// Historical word-list entry point: every word missing from the
+    /// vocabulary yields an empty result instead of an error.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `query(index, text).lenient(true).run()` — the builder parses the full \
+                query grammar and folds the lenient behaviour into a setter"
+    )]
     pub fn search_lenient(
         &self,
         index: &InvertedIndex,
@@ -521,15 +562,16 @@ impl<'g> Griffin<'g> {
         k: usize,
         mode: ExecMode,
     ) -> GriffinOutput {
-        match self.search(index, words, k, mode) {
-            Ok(out) => out,
-            Err(QueryError::UnknownTerm(_)) => GriffinOutput {
-                topk: Vec::new(),
-                time: VirtualNanos::ZERO,
-                steps: Vec::new(),
-                gpu_faults: 0,
-            },
-        }
+        let query = Query::And(
+            words
+                .iter()
+                .map(|w| match index.lookup(w) {
+                    Some(t) => Query::Term(t),
+                    None => Query::Nothing,
+                })
+                .collect(),
+        );
+        self.run(index, &QueryRequest::from_query(query).k(k).mode(mode))
     }
 
     /// Processes one conjunctive query, returning the top-k and the
@@ -550,7 +592,6 @@ impl<'g> Griffin<'g> {
     /// `deadline` is carried for the serving layer; the engine itself
     /// always runs the query to completion.
     pub fn run(&self, index: &InvertedIndex, req: &QueryRequest) -> GriffinOutput {
-        let (terms, k) = (&req.terms[..], req.k);
         // GPU-touching modes run in an async window so transfers and
         // kernels pipeline across the device's copy and compute streams.
         // Every measured span ends at a synchronization point, so step
@@ -560,21 +601,35 @@ impl<'g> Griffin<'g> {
         if window {
             self.device.set_async(true);
         }
-        let out = self.run_inner(index, req, terms, k);
+        let out = self.run_inner(index, req);
         if window && !was_async {
             self.device.set_async(false);
         }
         out
     }
 
-    fn run_inner(
+    fn run_inner(&self, index: &InvertedIndex, req: &QueryRequest) -> GriffinOutput {
+        self.record_query(req.mode, req.query.num_terms(), || {
+            // Plain term conjunctions — the original query shape — take
+            // the fast path: the per-step AND-chain machinery (and the
+            // pruned variants) unchanged. Anything else lowers through
+            // the planner.
+            match req.query.as_term_conjunction() {
+                Some(terms) if req.pruned => self.run_pruned(index, &terms, req.k, req.mode),
+                Some(terms) => self.run_flat(index, &terms, req.k, req.mode),
+                None => self.run_plan(index, &req.query, req.k, req.mode),
+            }
+        })
+    }
+
+    fn run_flat(
         &self,
         index: &InvertedIndex,
-        req: &QueryRequest,
         terms: &[TermId],
         k: usize,
+        mode: ExecMode,
     ) -> GriffinOutput {
-        self.record_query(req.mode, terms.len(), || match req.mode {
+        match mode {
             ExecMode::CpuOnly => {
                 let out = self.cpu.process_query(index, terms, k);
                 self.record_cpu_work(&out.counters);
@@ -596,6 +651,7 @@ impl<'g> Griffin<'g> {
                     time: out.time,
                     steps,
                     gpu_faults: 0,
+                    pruning: None,
                 }
             }
             ExecMode::GpuOnly => {
@@ -634,6 +690,7 @@ impl<'g> Griffin<'g> {
                             time: exec_time + rank_time,
                             steps,
                             gpu_faults: log.faults,
+                            pruning: None,
                         }
                     }
                     Err(_) => {
@@ -660,12 +717,420 @@ impl<'g> Griffin<'g> {
                             time: total + out.time,
                             steps,
                             gpu_faults: log.faults,
+                            pruning: None,
                         }
                     }
                 }
             }
             ExecMode::Hybrid => self.process_hybrid(index, terms, k),
-        })
+        }
+    }
+
+    /// Block-max pruned execution for term conjunctions: the CPU path
+    /// defers tf decoding behind per-block BM25 upper bounds; the GPU
+    /// path restricts uploads to the candidate hull's blocks. Both are
+    /// bit-exact with the unpruned paths (the property suite checks
+    /// this); under [`ExecMode::Hybrid`] the planner cost-picks one of
+    /// the two wholesale — deferred scoring does not compose with
+    /// per-step migration, so a pruned query does not migrate
+    /// mid-chain.
+    fn run_pruned(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        k: usize,
+        mode: ExecMode,
+    ) -> GriffinOutput {
+        let place = match mode {
+            ExecMode::CpuOnly => Proc::Cpu,
+            ExecMode::GpuOnly => Proc::Gpu,
+            ExecMode::Hybrid => {
+                let mut dfs: Vec<usize> = terms.iter().map(|&t| index.doc_freq(t)).collect();
+                dfs.sort_unstable();
+                match dfs.get(1) {
+                    Some(&second) => {
+                        let d = self.scheduler.decide_traced(dfs[0], second, Proc::Cpu);
+                        self.record_decision(&d);
+                        // A split decision maps to the host path: pruned
+                        // chains keep their intermediate host-resident.
+                        d.chosen.proc()
+                    }
+                    None => Proc::Cpu,
+                }
+            }
+        };
+        match place {
+            Proc::Cpu => self.run_pruned_cpu(index, terms, k),
+            Proc::Gpu => {
+                let mut log = FaultLog::default();
+                let start = self.device.now();
+                match self.try_gpu(&mut log, || self.gpu.process_query_pruned(index, terms, k)) {
+                    Ok(p) => {
+                        let rank_time = self.cpu.model.time(&p.out.rank_work);
+                        self.record_cpu_work(&p.out.rank_work);
+                        let exec_time = self.device.now() - start;
+                        let mut steps = Vec::new();
+                        if exec_time > VirtualNanos::ZERO {
+                            steps.push(StepTrace {
+                                op: StepOp::Exec,
+                                proc: Proc::Gpu,
+                                time: exec_time,
+                                inter_len: p.out.topk.len(),
+                            });
+                        }
+                        if rank_time > VirtualNanos::ZERO {
+                            steps.push(StepTrace {
+                                op: StepOp::TopK,
+                                proc: Proc::Cpu,
+                                time: rank_time,
+                                inter_len: p.out.topk.len(),
+                            });
+                        }
+                        for s in &steps {
+                            self.record_step(s);
+                        }
+                        let matches = p.out.topk.len() as u64;
+                        GriffinOutput {
+                            topk: p.out.topk,
+                            time: exec_time + rank_time,
+                            steps,
+                            gpu_faults: log.faults,
+                            pruning: Some(PruneStats {
+                                tf_blocks_total: p.blocks_total,
+                                tf_blocks_decoded: p.blocks_resident,
+                                candidates: matches,
+                                verified: matches,
+                            }),
+                        }
+                    }
+                    Err(_) => {
+                        // Whole-query fallback, like the unpruned GpuOnly
+                        // path: wasted device attempts become a recovery
+                        // step, then the CPU pruned path runs from scratch.
+                        let wasted = self.device.now() - start;
+                        let mut steps = Vec::new();
+                        let mut total = VirtualNanos::ZERO;
+                        self.push_recovery_step(&mut steps, &mut total, wasted, 0);
+                        let mut out = self.run_pruned_cpu(index, terms, k);
+                        out.time += total;
+                        steps.append(&mut out.steps);
+                        out.steps = steps;
+                        out.gpu_faults += log.faults;
+                        out
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_pruned_cpu(&self, index: &InvertedIndex, terms: &[TermId], k: usize) -> GriffinOutput {
+        let out = self.cpu.process_query_pruned(index, terms, k);
+        self.record_cpu_work(&out.counters);
+        let steps = if out.time > VirtualNanos::ZERO {
+            vec![StepTrace {
+                op: StepOp::Exec,
+                proc: Proc::Cpu,
+                time: out.time,
+                inter_len: out.topk.len(),
+            }]
+        } else {
+            Vec::new()
+        };
+        for s in &steps {
+            self.record_step(s);
+        }
+        GriffinOutput {
+            topk: out.topk,
+            time: out.time,
+            steps,
+            gpu_faults: 0,
+            pruning: Some(out.stats),
+        }
+    }
+
+    /// Executes a non-conjunctive query by lowering it through the
+    /// cost-based planner and walking the plan DAG. Chains (and the
+    /// chain part of phrases) run on the processor machinery the mode
+    /// allows — including the hybrid per-step scheduler with its
+    /// migrations and co-executed splits — while set operators run on
+    /// the host (see [`crate::plan`] for why).
+    fn run_plan(
+        &self,
+        index: &InvertedIndex,
+        query: &Query,
+        k: usize,
+        mode: ExecMode,
+    ) -> GriffinOutput {
+        let planner = Planner {
+            index,
+            scheduler: &self.scheduler,
+        };
+        let plan = planner.plan(query);
+        for d in &plan.decisions {
+            self.record_decision(d);
+        }
+        if plan.root == PlanNode::Empty {
+            return GriffinOutput {
+                topk: Vec::new(),
+                time: VirtualNanos::ZERO,
+                steps: Vec::new(),
+                gpu_faults: 0,
+                pruning: None,
+            };
+        }
+        match mode {
+            ExecMode::CpuOnly => {
+                // Like the flat CpuOnly path, the whole tree runs
+                // opaquely on one engine: a single coarse Exec step.
+                let mut w = WorkCounters::default();
+                let host = {
+                    let mut scratch = self.scratch.borrow_mut();
+                    self.eval_plan_cpu(index, &plan.root, &mut w, &mut scratch)
+                };
+                let topk = griffin_cpu::topk::top_k(&host.docids, &host.scores, k, &mut w);
+                let time = self.cpu.model.time(&w);
+                self.record_cpu_work(&w);
+                let steps = if time > VirtualNanos::ZERO {
+                    vec![StepTrace {
+                        op: StepOp::Exec,
+                        proc: Proc::Cpu,
+                        time,
+                        inter_len: topk.len(),
+                    }]
+                } else {
+                    Vec::new()
+                };
+                for s in &steps {
+                    self.record_step(s);
+                }
+                GriffinOutput {
+                    topk,
+                    time,
+                    steps,
+                    gpu_faults: 0,
+                    pruning: None,
+                }
+            }
+            ExecMode::GpuOnly | ExecMode::Hybrid => {
+                let mut steps = Vec::new();
+                let mut total = VirtualNanos::ZERO;
+                let mut log = FaultLog::default();
+                let host = self
+                    .eval_plan_traced(index, &plan.root, mode, &mut log, &mut steps, &mut total);
+                self.gpu.drain_prefetch();
+                let mut w = WorkCounters::default();
+                let topk = griffin_cpu::topk::top_k(&host.docids, &host.scores, k, &mut w);
+                let t_rank = self.cpu.model.time(&w);
+                self.record_cpu_work(&w);
+                total += t_rank;
+                steps.push(StepTrace {
+                    op: StepOp::TopK,
+                    proc: Proc::Cpu,
+                    time: t_rank,
+                    inter_len: topk.len(),
+                });
+                self.record_step(steps.last().expect("just pushed"));
+                GriffinOutput {
+                    topk,
+                    time: total,
+                    steps,
+                    gpu_faults: log.faults,
+                    pruning: None,
+                }
+            }
+        }
+    }
+
+    /// Pure-CPU plan walk: all operators accumulate into one counter set
+    /// (priced as a single coarse step by the caller).
+    fn eval_plan_cpu(
+        &self,
+        index: &InvertedIndex,
+        node: &PlanNode,
+        w: &mut WorkCounters,
+        scratch: &mut QueryScratch,
+    ) -> Intermediate {
+        match node {
+            PlanNode::Empty => Intermediate::default(),
+            PlanNode::Chain { terms, .. } => self.cpu.eval_chain(index, terms, w, scratch),
+            PlanNode::Phrase { terms, .. } => {
+                let inter = self.cpu.eval_chain(index, terms, w, scratch);
+                setops::phrase_filter(index, terms, &inter, w, scratch)
+            }
+            PlanNode::Intersect { children, .. } => {
+                let mut acc = self.eval_plan_cpu(index, &children[0], w, scratch);
+                for c in &children[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    let part = self.eval_plan_cpu(index, c, w, scratch);
+                    acc = setops::intersect_sets(&acc, &part, w);
+                }
+                acc
+            }
+            PlanNode::Union { children, .. } => {
+                let mut acc = self.eval_plan_cpu(index, &children[0], w, scratch);
+                for c in &children[1..] {
+                    let part = self.eval_plan_cpu(index, c, w, scratch);
+                    acc = setops::union(&acc, &part, w);
+                }
+                acc
+            }
+            PlanNode::Difference { left, right, .. } => {
+                let l = self.eval_plan_cpu(index, left, w, scratch);
+                if l.is_empty() {
+                    return l;
+                }
+                let r = self.eval_plan_cpu(index, right, w, scratch);
+                setops::difference(&l, &r, w)
+            }
+        }
+    }
+
+    /// Traced plan walk for the GPU-capable modes: chains run on the
+    /// device ([`ExecMode::GpuOnly`]) or through the hybrid per-step
+    /// scheduler ([`ExecMode::Hybrid`]); set operators run on the host,
+    /// each recorded as its own step so durations still sum to the
+    /// total.
+    fn eval_plan_traced(
+        &self,
+        index: &InvertedIndex,
+        node: &PlanNode,
+        mode: ExecMode,
+        log: &mut FaultLog,
+        steps: &mut Vec<StepTrace>,
+        total: &mut VirtualNanos,
+    ) -> Intermediate {
+        let cpu_setop_step = |griffin: &Self,
+                              op: StepOp,
+                              out: &Intermediate,
+                              w: WorkCounters,
+                              total: &mut VirtualNanos,
+                              steps: &mut Vec<StepTrace>| {
+            let t = griffin.cpu.model.time(&w);
+            griffin.record_cpu_work(&w);
+            *total += t;
+            steps.push(StepTrace {
+                op,
+                proc: Proc::Cpu,
+                time: t,
+                inter_len: out.len(),
+            });
+            griffin.record_step(steps.last().expect("just pushed"));
+        };
+        match node {
+            PlanNode::Empty => Intermediate::default(),
+            PlanNode::Chain { terms, .. } => {
+                self.eval_chain_traced(index, terms, mode, log, steps, total)
+            }
+            PlanNode::Phrase { terms, .. } => {
+                let inter = self.eval_chain_traced(index, terms, mode, log, steps, total);
+                let mut w = WorkCounters::default();
+                let out = setops::phrase_filter(
+                    index,
+                    terms,
+                    &inter,
+                    &mut w,
+                    &mut self.scratch.borrow_mut(),
+                );
+                cpu_setop_step(self, StepOp::PhraseCheck, &out, w, total, steps);
+                out
+            }
+            PlanNode::Intersect { children, .. } => {
+                let mut acc = self.eval_plan_traced(index, &children[0], mode, log, steps, total);
+                for c in &children[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    let part = self.eval_plan_traced(index, c, mode, log, steps, total);
+                    let mut w = WorkCounters::default();
+                    acc = setops::intersect_sets(&acc, &part, &mut w);
+                    cpu_setop_step(self, StepOp::IntersectSets, &acc, w, total, steps);
+                }
+                acc
+            }
+            PlanNode::Union { children, .. } => {
+                let mut acc = self.eval_plan_traced(index, &children[0], mode, log, steps, total);
+                for c in &children[1..] {
+                    let part = self.eval_plan_traced(index, c, mode, log, steps, total);
+                    let mut w = WorkCounters::default();
+                    acc = setops::union(&acc, &part, &mut w);
+                    cpu_setop_step(self, StepOp::Union, &acc, w, total, steps);
+                }
+                acc
+            }
+            PlanNode::Difference { left, right, .. } => {
+                let l = self.eval_plan_traced(index, left, mode, log, steps, total);
+                if l.is_empty() {
+                    return l;
+                }
+                let r = self.eval_plan_traced(index, right, mode, log, steps, total);
+                let mut w = WorkCounters::default();
+                let out = setops::difference(&l, &r, &mut w);
+                cpu_setop_step(self, StepOp::Difference, &out, w, total, steps);
+                out
+            }
+        }
+    }
+
+    /// One chain operator under a GPU-capable mode. GpuOnly runs the
+    /// whole chain on the device (falling back to the CPU on an
+    /// exhausted fault, like the flat GpuOnly path); Hybrid runs the
+    /// per-step scheduler — migrations, splits, and all.
+    fn eval_chain_traced(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        mode: ExecMode,
+        log: &mut FaultLog,
+        steps: &mut Vec<StepTrace>,
+        total: &mut VirtualNanos,
+    ) -> Intermediate {
+        if mode == ExecMode::Hybrid {
+            return self.hybrid_chain(log, index, terms, steps, total);
+        }
+        if !log.gpu_disabled {
+            let start = self.device.now();
+            let attempt = self.try_gpu(log, || self.gpu.eval_chain(index, terms));
+            match attempt {
+                Ok(host) => {
+                    self.device.stream_sync(StreamKind::Compute);
+                    self.gpu.drain_prefetch();
+                    let t = self.device.now() - start;
+                    *total += t;
+                    steps.push(StepTrace {
+                        op: StepOp::Exec,
+                        proc: Proc::Gpu,
+                        time: t,
+                        inter_len: host.len(),
+                    });
+                    self.record_step(steps.last().expect("just pushed"));
+                    return host;
+                }
+                Err(_) => {
+                    self.gpu.drain_prefetch();
+                    let wasted = self.device.now() - start;
+                    self.push_recovery_step(steps, total, wasted, 0);
+                }
+            }
+        }
+        // CPU fallback (device disabled for this query, or the chain's
+        // attempts were exhausted above).
+        let mut w = WorkCounters::default();
+        let host = self
+            .cpu
+            .eval_chain(index, terms, &mut w, &mut self.scratch.borrow_mut());
+        let t = self.cpu.model.time(&w);
+        self.record_cpu_work(&w);
+        *total += t;
+        steps.push(StepTrace {
+            op: StepOp::Exec,
+            proc: Proc::Cpu,
+            time: t,
+            inter_len: host.len(),
+        });
+        self.record_step(steps.last().expect("just pushed"));
+        host
     }
 
     /// Executes one intersection as a CPU+GPU co-executed split.
@@ -890,14 +1355,57 @@ impl<'g> Griffin<'g> {
         let mut steps: Vec<StepTrace> = Vec::new();
         let mut total = VirtualNanos::ZERO;
         let mut log = FaultLog::default();
-        let planned = self.cpu.plan(index, terms);
-        let Some((&first, rest)) = planned.split_first() else {
+        let host = self.hybrid_chain(&mut log, index, terms, &mut steps, &mut total);
+        if steps.is_empty() && host.is_empty() {
+            // Nothing ran (an empty query): keep the historical
+            // zero-time, zero-step output.
             return GriffinOutput {
                 topk: Vec::new(),
                 time: VirtualNanos::ZERO,
                 steps,
-                gpu_faults: 0,
+                gpu_faults: log.faults,
+                pruning: None,
             };
+        }
+        let mut w = WorkCounters::default();
+        let topk = griffin_cpu::topk::top_k(&host.docids, &host.scores, k, &mut w);
+        let t_rank = self.cpu.model.time(&w);
+        self.record_cpu_work(&w);
+        total += t_rank;
+        steps.push(StepTrace {
+            op: StepOp::TopK,
+            proc: Proc::Cpu,
+            time: t_rank,
+            inter_len: topk.len(),
+        });
+        self.record_step(steps.last().expect("just pushed"));
+        GriffinOutput {
+            topk,
+            time: total,
+            steps,
+            gpu_faults: log.faults,
+            pruning: None,
+        }
+    }
+
+    /// The per-step hybrid AND-chain — the original engine's heart,
+    /// factored out so the plan executor can run it once per chain
+    /// operator. Plans the terms by document frequency, then decides
+    /// each pairwise intersection's processor (with migration, split
+    /// co-execution, prefetch, and fault recovery), and always returns
+    /// the intermediate host-resident (salvaging any device residency
+    /// at the end, like final ranking always did).
+    fn hybrid_chain(
+        &self,
+        log: &mut FaultLog,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        steps: &mut Vec<StepTrace>,
+        total: &mut VirtualNanos,
+    ) -> Intermediate {
+        let planned = self.cpu.plan(index, terms);
+        let Some((&first, rest)) = planned.split_first() else {
+            return Intermediate::default();
         };
 
         // Initial placement: decide on the first pairwise ratio (or the
@@ -919,7 +1427,7 @@ impl<'g> Griffin<'g> {
         let mut inter: Inter = match initial {
             Proc::Gpu => {
                 let start = self.device.now();
-                let attempt = self.try_gpu(&mut log, || {
+                let attempt = self.try_gpu(log, || {
                     let postings = self.gpu.upload(index, first)?;
                     let dev = self.gpu.init_intermediate(&postings);
                     self.gpu.release(postings);
@@ -944,7 +1452,7 @@ impl<'g> Griffin<'g> {
                         // covers the kernels this step scheduled.
                         self.device.stream_sync(StreamKind::Compute);
                         let t_up = self.device.now() - start;
-                        total += t_up;
+                        *total += t_up;
                         steps.push(StepTrace {
                             op: StepOp::Init,
                             proc: Proc::Gpu,
@@ -958,8 +1466,8 @@ impl<'g> Griffin<'g> {
                         // Nothing materialized yet: the recovery is just
                         // the wasted attempts plus a CPU init.
                         let wasted = self.device.now() - start;
-                        let (host, t_rec) = self.salvage(&mut log, index, &planned, 0, None);
-                        self.push_recovery_step(&mut steps, &mut total, wasted + t_rec, host.len());
+                        let (host, t_rec) = self.salvage(log, index, &planned, 0, None);
+                        self.push_recovery_step(steps, total, wasted + t_rec, host.len());
                         Inter::Host(host)
                     }
                 }
@@ -969,7 +1477,7 @@ impl<'g> Griffin<'g> {
                 let host = self.cpu.init_intermediate(index, first, &mut w);
                 let t = self.cpu.model.time(&w);
                 self.record_cpu_work(&w);
-                total += t;
+                *total += t;
                 steps.push(StepTrace {
                     op: StepOp::Init,
                     proc: Proc::Cpu,
@@ -1003,16 +1511,8 @@ impl<'g> Griffin<'g> {
                 let Inter::Host(host) = inter else {
                     unreachable!("split decisions require a host-resident intermediate")
                 };
-                let out = self.split_intersect(
-                    &mut log,
-                    index,
-                    i,
-                    term,
-                    host,
-                    gpu_fraction,
-                    &mut steps,
-                    &mut total,
-                );
+                let out =
+                    self.split_intersect(log, index, i, term, host, gpu_fraction, steps, total);
                 inter = Inter::Host(out);
                 continue;
             }
@@ -1023,7 +1523,7 @@ impl<'g> Griffin<'g> {
                 match (inter, target) {
                     (Inter::Host(h), Proc::Gpu) => {
                         let start = self.device.now();
-                        let shipped = self.try_gpu(&mut log, || {
+                        let shipped = self.try_gpu(log, || {
                             let score_bits: Vec<u32> =
                                 h.scores.iter().map(|s| s.to_bits()).collect();
                             let [docids, scores] =
@@ -1044,7 +1544,7 @@ impl<'g> Griffin<'g> {
                         match shipped {
                             Ok(dev) => {
                                 inter = Inter::Device(dev);
-                                total += t;
+                                *total += t;
                                 steps.push(StepTrace {
                                     op: StepOp::Migrate,
                                     proc: target,
@@ -1056,18 +1556,18 @@ impl<'g> Griffin<'g> {
                             Err(_) => {
                                 // The intermediate never left the host:
                                 // stay there and run the op on the CPU.
-                                self.push_recovery_step(&mut steps, &mut total, t, h.len());
+                                self.push_recovery_step(steps, total, t, h.len());
                                 inter = Inter::Host(h);
                                 target = Proc::Cpu;
                             }
                         }
                     }
                     (Inter::Device(dev), Proc::Cpu) => {
-                        let (host, t) = self.salvage(&mut log, index, &planned, i, Some(dev));
+                        let (host, t) = self.salvage(log, index, &planned, i, Some(dev));
                         if log.gpu_disabled {
-                            self.push_recovery_step(&mut steps, &mut total, t, host.len());
+                            self.push_recovery_step(steps, total, t, host.len());
                         } else {
-                            total += t;
+                            *total += t;
                             steps.push(StepTrace {
                                 op: StepOp::Migrate,
                                 proc: target,
@@ -1085,7 +1585,7 @@ impl<'g> Griffin<'g> {
             let (next, t, ran_on) = match (inter, target) {
                 (Inter::Device(dev), Proc::Gpu) => {
                     let start = self.device.now();
-                    let attempt = self.try_gpu(&mut log, || {
+                    let attempt = self.try_gpu(log, || {
                         let postings = self.gpu.upload(index, term)?;
                         let out = self.gpu.intersect_step(
                             &dev,
@@ -1123,14 +1623,8 @@ impl<'g> Griffin<'g> {
                             // pre-step intermediate, then run this
                             // intersection on the CPU.
                             let wasted = self.device.now() - start;
-                            let (host, t_rec) =
-                                self.salvage(&mut log, index, &planned, i, Some(dev));
-                            self.push_recovery_step(
-                                &mut steps,
-                                &mut total,
-                                wasted + t_rec,
-                                host.len(),
-                            );
+                            let (host, t_rec) = self.salvage(log, index, &planned, i, Some(dev));
+                            self.push_recovery_step(steps, total, wasted + t_rec, host.len());
                             let mut w = WorkCounters::default();
                             let out = self.cpu.intersect_step_with(
                                 index,
@@ -1161,7 +1655,7 @@ impl<'g> Griffin<'g> {
                 _ => unreachable!("intermediate was just migrated to the target"),
             };
             inter = next;
-            total += t;
+            *total += t;
             steps.push(StepTrace {
                 op: StepOp::Intersect(i + 1),
                 proc: ran_on,
@@ -1177,15 +1671,17 @@ impl<'g> Griffin<'g> {
         // on the copy stream.
         self.gpu.drain_prefetch();
 
-        // Results come home; ranking runs on the CPU (Fig. 7).
+        // The intermediate comes home: whatever follows the chain —
+        // set operations, phrase checks, or final ranking — runs on
+        // the CPU (Fig. 7).
         let completed = rest.len();
-        let host = match inter {
+        match inter {
             Inter::Device(dev) => {
-                let (host, t) = self.salvage(&mut log, index, &planned, completed, Some(dev));
+                let (host, t) = self.salvage(log, index, &planned, completed, Some(dev));
                 if log.gpu_disabled {
-                    self.push_recovery_step(&mut steps, &mut total, t, host.len());
+                    self.push_recovery_step(steps, total, t, host.len());
                 } else {
-                    total += t;
+                    *total += t;
                     steps.push(StepTrace {
                         op: StepOp::Migrate,
                         proc: Proc::Cpu,
@@ -1197,26 +1693,70 @@ impl<'g> Griffin<'g> {
                 host
             }
             Inter::Host(h) => h,
-        };
-        let mut w = WorkCounters::default();
-        let topk = griffin_cpu::topk::top_k(&host.docids, &host.scores, k, &mut w);
-        let t_rank = self.cpu.model.time(&w);
-        self.record_cpu_work(&w);
-        total += t_rank;
-        steps.push(StepTrace {
-            op: StepOp::TopK,
-            proc: Proc::Cpu,
-            time: t_rank,
-            inter_len: topk.len(),
-        });
-        self.record_step(steps.last().expect("just pushed"));
-
-        GriffinOutput {
-            topk,
-            time: total,
-            steps,
-            gpu_faults: log.faults,
         }
+    }
+}
+
+/// A fluent text search, created by [`Griffin::query`]. Collects the
+/// same knobs as [`QueryRequest`] plus the parser's lenient flag, then
+/// [`Search::run`] parses the text and executes the request.
+#[must_use = "a Search does nothing until .run() is called"]
+pub struct Search<'a, 'g> {
+    griffin: &'a Griffin<'g>,
+    index: &'a InvertedIndex,
+    text: &'a str,
+    k: usize,
+    mode: ExecMode,
+    deadline: Option<VirtualNanos>,
+    pruned: bool,
+    lenient: bool,
+}
+
+impl Search<'_, '_> {
+    /// How many results to return (default 10).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Which execution mode to run under (default [`ExecMode::Hybrid`]).
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// A serving deadline, carried for the scheduler's benefit.
+    pub fn deadline(mut self, d: VirtualNanos) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Opt into block-max top-k pruning (conjunctions only; other
+    /// query shapes ignore the flag and run the plan path).
+    pub fn pruned(mut self, pruned: bool) -> Self {
+        self.pruned = pruned;
+        self
+    }
+
+    /// Forgive out-of-vocabulary words: the parser maps them to a
+    /// match-nothing leaf instead of erroring, preserving the old
+    /// `search_lenient` behaviour. Syntax errors still error.
+    pub fn lenient(mut self, lenient: bool) -> Self {
+        self.lenient = lenient;
+        self
+    }
+
+    /// Parses the text and runs the query.
+    pub fn run(self) -> Result<GriffinOutput, QueryError> {
+        let q = Query::parse(self.index, self.text, self.lenient)?;
+        let mut req = QueryRequest::from_query(q)
+            .k(self.k)
+            .mode(self.mode)
+            .pruned(self.pruned);
+        if let Some(d) = self.deadline {
+            req = req.deadline(d);
+        }
+        Ok(self.griffin.run(self.index, &req))
     }
 }
 
@@ -1340,20 +1880,36 @@ mod tests {
         let gpu = Gpu::new(DeviceConfig::test_tiny());
         let griffin = Griffin::new(&gpu, idx.meta(), idx.block_len());
         let hits = griffin
-            .search(&idx, &["rust", "engine"], 10, ExecMode::Hybrid)
+            .search(&idx, "rust engine", 10, ExecMode::Hybrid)
             .expect("all words known");
         let mut docs: Vec<u32> = hits.topk.iter().map(|&(d, _)| d).collect();
         docs.sort_unstable();
         assert_eq!(docs, vec![1, 2]);
         // Unknown words are an error from `search`...
         let err = griffin
-            .search(&idx, &["rust", "nonexistent"], 10, ExecMode::Hybrid)
+            .search(&idx, "rust nonexistent", 10, ExecMode::Hybrid)
             .unwrap_err();
         assert_eq!(err, QueryError::UnknownTerm("nonexistent".into()));
-        // ...and an empty result from the lenient variant.
-        let none = griffin.search_lenient(&idx, &["rust", "nonexistent"], 10, ExecMode::Hybrid);
+        // ...and an empty result from the lenient builder (which also
+        // preserves the deprecated `search_lenient` behaviour).
+        let none = griffin
+            .query(&idx, "rust nonexistent")
+            .lenient(true)
+            .run()
+            .expect("lenient parses");
         assert!(none.topk.is_empty());
         assert_eq!(none.time, VirtualNanos::ZERO);
+        #[allow(deprecated)]
+        let legacy = griffin.search_lenient(&idx, &["rust", "nonexistent"], 10, ExecMode::Hybrid);
+        assert!(legacy.topk.is_empty());
+        assert_eq!(legacy.time, VirtualNanos::ZERO);
+        // The full grammar reaches the plan path: OR, negation, phrases.
+        let planned = griffin
+            .search(&idx, "\"rust gpu\" OR engine -cpu", 10, ExecMode::Hybrid)
+            .expect("grammar parses");
+        let mut docs: Vec<u32> = planned.topk.iter().map(|&(d, _)| d).collect();
+        docs.sort_unstable();
+        assert_eq!(docs, vec![0, 2]);
     }
 
     #[test]

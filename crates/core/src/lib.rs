@@ -23,12 +23,16 @@
 
 pub mod cost;
 pub mod engine;
+pub mod plan;
+pub mod query;
 pub mod request;
 pub mod sched;
 pub mod serving;
 
 pub use cost::CostModel;
-pub use engine::{ExecMode, Griffin, GriffinOutput, StepOp, StepTrace};
+pub use engine::{ExecMode, Griffin, GriffinOutput, Search, StepOp, StepTrace};
+pub use plan::{Plan, PlanNode, Planner};
+pub use query::Query;
 pub use request::{QueryError, QueryRequest};
 pub use sched::{Decision, DecisionTrace, Proc, Scheduler, SplitBalancer, SplitConfig};
 pub use serving::{Job, Resource, ServingSim, StageReq};

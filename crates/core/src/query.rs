@@ -1,0 +1,615 @@
+//! The query language: a small boolean/phrase AST and its text parser.
+//!
+//! [`Query`] generalizes the original conjunctive term list to a tree of
+//! operators — `AND` (juxtaposition), `OR`, negation (`-word` / `NOT`),
+//! and `"quoted phrases"` — that the planner ([`crate::plan`]) lowers
+//! into a physical plan DAG. The scoring semantics are fixed by the AST
+//! shape (see [`crate::plan`] for the exact f32 fold orders) so that
+//! every execution mode, split, and fault path produces bit-identical
+//! results.
+//!
+//! # Grammar
+//!
+//! ```text
+//! query  := or
+//! or     := and ('OR' and)*
+//! and    := unary+                      -- juxtaposition; 'AND' optional
+//! unary  := ('-' | 'NOT') primary | primary
+//! primary:= '(' or ')' | '"' word+ '"' | word
+//! ```
+//!
+//! `AND` binds tighter than `OR` (`a b OR c` is `(a AND b) OR c`), and a
+//! negation subtracts from the other conjuncts of its `AND` group
+//! (`a -b` keeps documents matching `a` but not `b`). A query with only
+//! negative conjuncts is rejected: it would enumerate the whole corpus.
+
+use griffin_index::{Dictionary, InvertedIndex, TermId};
+
+use crate::request::QueryError;
+
+/// A parsed query tree.
+///
+/// Construct one with [`Query::parse`] (text) or directly (programmatic),
+/// then [`Query::normalize`] to the canonical shape the engine executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A single term.
+    Term(TermId),
+    /// Conjunction: documents matching every child, scores summed.
+    And(Vec<Query>),
+    /// Disjunction: documents matching any child, scores summed where
+    /// children overlap.
+    Or(Vec<Query>),
+    /// Difference: documents matching the left child but not the right.
+    /// The right child only filters; it never contributes to scores.
+    Not(Box<Query>, Box<Query>),
+    /// The terms must appear at consecutive positions, in order. Scored
+    /// as the conjunction of its terms.
+    Phrase(Vec<TermId>),
+    /// Matches no documents. Produced by normalization (e.g. an unknown
+    /// word under lenient parsing) — never by the parser directly.
+    Nothing,
+}
+
+impl Query {
+    /// Canonicalizes the tree: flattens nested `And`/`Or`, unwraps
+    /// single-child operators, reduces trivial phrases, and propagates
+    /// [`Query::Nothing`] (a conjunction with an empty arm matches
+    /// nothing; a disjunction drops empty arms; a negative empty arm is
+    /// a no-op filter).
+    pub fn normalize(self) -> Query {
+        match self {
+            Query::Term(t) => Query::Term(t),
+            Query::Nothing => Query::Nothing,
+            Query::Phrase(ts) => match ts.len() {
+                0 => Query::Nothing,
+                1 => Query::Term(ts[0]),
+                _ => Query::Phrase(ts),
+            },
+            Query::And(children) => {
+                let mut flat = Vec::with_capacity(children.len());
+                for c in children {
+                    match c.normalize() {
+                        Query::Nothing => return Query::Nothing,
+                        Query::And(gs) => flat.extend(gs),
+                        g => flat.push(g),
+                    }
+                }
+                match flat.len() {
+                    0 => Query::Nothing,
+                    1 => flat.pop().expect("len checked"),
+                    _ => Query::And(flat),
+                }
+            }
+            Query::Or(children) => {
+                let mut flat = Vec::with_capacity(children.len());
+                for c in children {
+                    match c.normalize() {
+                        Query::Nothing => {}
+                        Query::Or(gs) => flat.extend(gs),
+                        g => flat.push(g),
+                    }
+                }
+                match flat.len() {
+                    0 => Query::Nothing,
+                    1 => flat.pop().expect("len checked"),
+                    _ => Query::Or(flat),
+                }
+            }
+            Query::Not(a, b) => {
+                let a = a.normalize();
+                let b = b.normalize();
+                match (a, b) {
+                    (Query::Nothing, _) => Query::Nothing,
+                    (a, Query::Nothing) => a,
+                    (a, b) => Query::Not(Box::new(a), Box::new(b)),
+                }
+            }
+        }
+    }
+
+    /// If the query is a plain conjunction of terms — the original query
+    /// shape — returns the terms. This is the engine's fast path: such
+    /// queries run through the per-step AND-chain machinery (including
+    /// co-executed splits and block-max pruning) unchanged.
+    pub fn as_term_conjunction(&self) -> Option<Vec<TermId>> {
+        match self {
+            Query::Term(t) => Some(vec![*t]),
+            Query::And(children) => {
+                let mut terms = Vec::with_capacity(children.len());
+                for c in children {
+                    match c {
+                        Query::Term(t) => terms.push(*t),
+                        _ => return None,
+                    }
+                }
+                Some(terms)
+            }
+            _ => None,
+        }
+    }
+
+    /// Total number of term occurrences in the tree (phrase terms count
+    /// individually). Used for telemetry and planner sizing.
+    pub fn num_terms(&self) -> usize {
+        match self {
+            Query::Term(_) => 1,
+            Query::Phrase(ts) => ts.len(),
+            Query::And(cs) | Query::Or(cs) => cs.iter().map(Query::num_terms).sum(),
+            Query::Not(a, b) => a.num_terms() + b.num_terms(),
+            Query::Nothing => 0,
+        }
+    }
+
+    /// Parses query text against the index vocabulary, returning the
+    /// normalized AST. With `lenient` set, words missing from the
+    /// vocabulary become [`Query::Nothing`] (an unmatched conjunct empties
+    /// its conjunction, an unmatched disjunct drops out); without it they
+    /// are a [`QueryError::UnknownTerm`]. Whitespace-only input is
+    /// [`QueryError::EmptyQuery`].
+    pub fn parse(index: &InvertedIndex, text: &str, lenient: bool) -> Result<Query, QueryError> {
+        let tokens = tokenize(text)?;
+        if tokens.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        let mut p = Parser {
+            index,
+            lenient,
+            tokens,
+            pos: 0,
+        };
+        let q = p.or_level()?;
+        if p.pos != p.tokens.len() {
+            return Err(QueryError::Parse(format!(
+                "unexpected {} after end of query",
+                p.tokens[p.pos].describe()
+            )));
+        }
+        Ok(q.normalize())
+    }
+
+    /// Renders the query back to parseable text using the index
+    /// dictionary. For any normalized query free of [`Query::Nothing`],
+    /// `parse(display(q))` yields `q` back (the round-trip property the
+    /// plan test-suite checks); `Nothing` renders as a non-parseable
+    /// placeholder.
+    pub fn display(&self, dict: &Dictionary) -> String {
+        self.render(dict, 0)
+    }
+
+    /// `min_prec`: 0 = or-level context, 1 = and-level, 2 = primary.
+    fn render(&self, dict: &Dictionary, min_prec: u8) -> String {
+        let wrap = |s: String, prec: u8| {
+            if min_prec > prec {
+                format!("({s})")
+            } else {
+                s
+            }
+        };
+        match self {
+            Query::Term(t) => dict.term(*t).to_owned(),
+            Query::Nothing => "<nothing>".to_owned(),
+            Query::Phrase(ts) => {
+                let words: Vec<&str> = ts.iter().map(|&t| dict.term(t)).collect();
+                format!("\"{}\"", words.join(" "))
+            }
+            Query::Or(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.render(dict, 1)).collect();
+                wrap(parts.join(" OR "), 0)
+            }
+            Query::And(cs) => {
+                let parts: Vec<String> = cs.iter().map(|c| c.render(dict, 2)).collect();
+                wrap(parts.join(" "), 1)
+            }
+            Query::Not(a, b) => {
+                let s = format!("{} -{}", a.render(dict, 2), b.render(dict, 2));
+                wrap(s, 1)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Phrase(Vec<String>),
+    Or,
+    And,
+    Minus,
+    LParen,
+    RParen,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Word(w) => format!("word {w:?}"),
+            Token::Phrase(_) => "phrase".to_owned(),
+            Token::Or => "'OR'".to_owned(),
+            Token::And => "'AND'".to_owned(),
+            Token::Minus => "'-'".to_owned(),
+            Token::LParen => "'('".to_owned(),
+            Token::RParen => "')'".to_owned(),
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, QueryError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '-' => {
+                chars.next();
+                tokens.push(Token::Minus);
+            }
+            '"' => {
+                chars.next();
+                let mut inner = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    inner.push(c);
+                }
+                if !closed {
+                    return Err(QueryError::Parse("unterminated quote".to_owned()));
+                }
+                let words: Vec<String> = inner.split_whitespace().map(str::to_owned).collect();
+                if words.is_empty() {
+                    return Err(QueryError::Parse("empty phrase".to_owned()));
+                }
+                tokens.push(Token::Phrase(words));
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || matches!(c, '(' | ')' | '"') {
+                        break;
+                    }
+                    word.push(c);
+                    chars.next();
+                }
+                match word.as_str() {
+                    "OR" => tokens.push(Token::Or),
+                    "AND" => tokens.push(Token::And),
+                    "NOT" => tokens.push(Token::Minus),
+                    _ => tokens.push(Token::Word(word)),
+                }
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    index: &'a InvertedIndex,
+    lenient: bool,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn or_level(&mut self) -> Result<Query, QueryError> {
+        let mut arms = vec![self.and_level()?];
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            arms.push(self.and_level()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().expect("len checked")
+        } else {
+            Query::Or(arms)
+        })
+    }
+
+    fn and_level(&mut self) -> Result<Query, QueryError> {
+        let mut positives = Vec::new();
+        let mut negatives = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::And) => {
+                    self.pos += 1;
+                    continue;
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    negatives.push(self.primary()?);
+                }
+                Some(Token::Word(_) | Token::Phrase(_) | Token::LParen) => {
+                    positives.push(self.primary()?);
+                }
+                _ => break,
+            }
+        }
+        if positives.is_empty() {
+            return Err(QueryError::Parse(if negatives.is_empty() {
+                "expected a term".to_owned()
+            } else {
+                "purely negative query: nothing to subtract from".to_owned()
+            }));
+        }
+        let base = if positives.len() == 1 {
+            positives.pop().expect("len checked")
+        } else {
+            Query::And(positives)
+        };
+        Ok(match negatives.len() {
+            0 => base,
+            1 => Query::Not(
+                Box::new(base),
+                Box::new(negatives.pop().expect("len checked")),
+            ),
+            _ => Query::Not(Box::new(base), Box::new(Query::Or(negatives))),
+        })
+    }
+
+    fn primary(&mut self) -> Result<Query, QueryError> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let q = self.or_level()?;
+                if self.peek() != Some(&Token::RParen) {
+                    return Err(QueryError::Parse("missing ')'".to_owned()));
+                }
+                self.pos += 1;
+                Ok(q)
+            }
+            Some(Token::Word(w)) => {
+                self.pos += 1;
+                self.lookup(&w)
+            }
+            Some(Token::Phrase(words)) => {
+                self.pos += 1;
+                let mut terms = Vec::with_capacity(words.len());
+                for w in &words {
+                    match self.lookup(w)? {
+                        Query::Term(t) => terms.push(t),
+                        // One unknown word (lenient) empties the phrase.
+                        _ => return Ok(Query::Nothing),
+                    }
+                }
+                Ok(Query::Phrase(terms))
+            }
+            other => Err(QueryError::Parse(match other {
+                Some(t) => format!("expected a term, found {}", t.describe()),
+                None => "expected a term, found end of query".to_owned(),
+            })),
+        }
+    }
+
+    fn lookup(&self, word: &str) -> Result<Query, QueryError> {
+        match self.index.lookup(word) {
+            Some(t) => Ok(Query::Term(t)),
+            None if self.lenient => Ok(Query::Nothing),
+            None => Err(QueryError::UnknownTerm(word.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_codec::Codec;
+    use griffin_index::IndexBuilder;
+
+    fn idx() -> InvertedIndex {
+        let mut b = IndexBuilder::new(Codec::EliasFano);
+        b.add_text("alpha beta gamma delta");
+        b.add_text("beta gamma epsilon");
+        b.add_text("alpha epsilon");
+        b.build()
+    }
+
+    fn t(idx: &InvertedIndex, w: &str) -> TermId {
+        idx.lookup(w).unwrap()
+    }
+
+    #[test]
+    fn parses_juxtaposition_as_and() {
+        let i = idx();
+        let q = Query::parse(&i, "alpha beta", false).unwrap();
+        assert_eq!(
+            q,
+            Query::And(vec![
+                Query::Term(t(&i, "alpha")),
+                Query::Term(t(&i, "beta")),
+            ])
+        );
+        // An explicit AND keyword parses identically.
+        assert_eq!(q, Query::parse(&i, "alpha AND beta", false).unwrap());
+    }
+
+    #[test]
+    fn or_binds_looser_than_and() {
+        let i = idx();
+        let q = Query::parse(&i, "alpha beta OR gamma", false).unwrap();
+        assert_eq!(
+            q,
+            Query::Or(vec![
+                Query::And(vec![
+                    Query::Term(t(&i, "alpha")),
+                    Query::Term(t(&i, "beta")),
+                ]),
+                Query::Term(t(&i, "gamma")),
+            ])
+        );
+    }
+
+    #[test]
+    fn negation_and_not_keyword() {
+        let i = idx();
+        let q = Query::parse(&i, "alpha -beta", false).unwrap();
+        assert_eq!(
+            q,
+            Query::Not(
+                Box::new(Query::Term(t(&i, "alpha"))),
+                Box::new(Query::Term(t(&i, "beta"))),
+            )
+        );
+        assert_eq!(q, Query::parse(&i, "alpha NOT beta", false).unwrap());
+        // Multiple negatives union before subtracting.
+        let q = Query::parse(&i, "alpha -beta -gamma", false).unwrap();
+        assert_eq!(
+            q,
+            Query::Not(
+                Box::new(Query::Term(t(&i, "alpha"))),
+                Box::new(Query::Or(vec![
+                    Query::Term(t(&i, "beta")),
+                    Query::Term(t(&i, "gamma")),
+                ])),
+            )
+        );
+    }
+
+    #[test]
+    fn phrases_and_parens() {
+        let i = idx();
+        let q = Query::parse(&i, "\"beta gamma\" (alpha OR epsilon)", false).unwrap();
+        assert_eq!(
+            q,
+            Query::And(vec![
+                Query::Phrase(vec![t(&i, "beta"), t(&i, "gamma")]),
+                Query::Or(vec![
+                    Query::Term(t(&i, "alpha")),
+                    Query::Term(t(&i, "epsilon")),
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        let i = idx();
+        assert_eq!(Query::parse(&i, "   ", false), Err(QueryError::EmptyQuery));
+        assert!(matches!(
+            Query::parse(&i, "-alpha", false),
+            Err(QueryError::Parse(_))
+        ));
+        assert!(matches!(
+            Query::parse(&i, "(alpha", false),
+            Err(QueryError::Parse(_))
+        ));
+        assert!(matches!(
+            Query::parse(&i, "\"alpha beta", false),
+            Err(QueryError::Parse(_))
+        ));
+        assert!(matches!(
+            Query::parse(&i, "alpha) beta", false),
+            Err(QueryError::Parse(_))
+        ));
+        assert_eq!(
+            Query::parse(&i, "alpha zeta", false),
+            Err(QueryError::UnknownTerm("zeta".to_owned()))
+        );
+    }
+
+    #[test]
+    fn lenient_maps_unknown_words_to_nothing() {
+        let i = idx();
+        // An unknown conjunct empties the conjunction...
+        assert_eq!(
+            Query::parse(&i, "alpha zeta", true).unwrap(),
+            Query::Nothing
+        );
+        // ...an unknown disjunct drops out...
+        assert_eq!(
+            Query::parse(&i, "alpha OR zeta", true).unwrap(),
+            Query::Term(t(&i, "alpha"))
+        );
+        // ...an unknown negative is a no-op filter...
+        assert_eq!(
+            Query::parse(&i, "alpha -zeta", true).unwrap(),
+            Query::Term(t(&i, "alpha"))
+        );
+        // ...and an unknown phrase word empties the phrase.
+        assert_eq!(
+            Query::parse(&i, "\"alpha zeta\" OR beta", true).unwrap(),
+            Query::Term(t(&i, "beta"))
+        );
+    }
+
+    #[test]
+    fn normalize_flattens_and_reduces() {
+        let a = Query::Term(TermId(0));
+        let b = Query::Term(TermId(1));
+        let c = Query::Term(TermId(2));
+        let nested = Query::And(vec![Query::And(vec![a.clone(), b.clone()]), c.clone()]);
+        assert_eq!(
+            nested.normalize(),
+            Query::And(vec![a.clone(), b.clone(), c.clone()])
+        );
+        assert_eq!(Query::Or(vec![a.clone()]).normalize(), a.clone());
+        assert_eq!(Query::Phrase(vec![TermId(0)]).normalize(), a.clone());
+        assert_eq!(Query::And(vec![]).normalize(), Query::Nothing);
+        assert_eq!(
+            Query::Not(Box::new(a.clone()), Box::new(Query::Nothing)).normalize(),
+            a.clone()
+        );
+        assert_eq!(
+            Query::Not(Box::new(Query::Nothing), Box::new(a.clone())).normalize(),
+            Query::Nothing
+        );
+    }
+
+    #[test]
+    fn as_term_conjunction_detects_the_fast_path() {
+        let i = idx();
+        let q = Query::parse(&i, "alpha beta gamma", false).unwrap();
+        assert_eq!(
+            q.as_term_conjunction(),
+            Some(vec![t(&i, "alpha"), t(&i, "beta"), t(&i, "gamma")])
+        );
+        assert_eq!(
+            Query::parse(&i, "alpha", false)
+                .unwrap()
+                .as_term_conjunction(),
+            Some(vec![t(&i, "alpha")])
+        );
+        assert!(Query::parse(&i, "alpha OR beta", false)
+            .unwrap()
+            .as_term_conjunction()
+            .is_none());
+        assert!(Query::parse(&i, "\"alpha beta\"", false)
+            .unwrap()
+            .as_term_conjunction()
+            .is_none());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let i = idx();
+        for text in [
+            "alpha beta",
+            "alpha OR beta",
+            "alpha beta OR gamma delta",
+            "alpha -beta",
+            "alpha -(beta OR gamma)",
+            "\"beta gamma\" (alpha OR epsilon)",
+            "(alpha OR beta) -\"beta gamma\"",
+            "alpha (beta OR gamma) -delta",
+        ] {
+            let q = Query::parse(&i, text, false).unwrap();
+            let shown = q.display(i.dictionary());
+            let again = Query::parse(&i, &shown, false).unwrap();
+            assert_eq!(q, again, "{text:?} displayed as {shown:?}");
+        }
+    }
+}

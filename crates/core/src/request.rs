@@ -2,19 +2,23 @@
 //! pipeline.
 //!
 //! [`QueryRequest`] carries everything that describes *what* to run — the
-//! terms, the result count, the execution mode, and an optional latency
-//! deadline — so that [`crate::engine::Griffin`] and `griffin-server`'s
-//! admission pipeline accept the same object. The old positional-argument
-//! methods remain as thin shims over [`crate::engine::Griffin::run`].
+//! query tree, the result count, the execution mode, an optional latency
+//! deadline, and the pruning switch — so that [`crate::engine::Griffin`]
+//! and `griffin-server`'s admission pipeline accept the same object. The
+//! old positional-argument methods remain as thin shims over
+//! [`crate::engine::Griffin::run`].
 
 use griffin_gpu_sim::VirtualNanos;
 use griffin_index::TermId;
 
 use crate::engine::ExecMode;
+use crate::query::Query;
 
-/// A fully specified conjunctive query.
+/// A fully specified query.
 ///
-/// Build one with [`QueryRequest::new`] plus the chainable setters:
+/// Build one with [`QueryRequest::new`] (a conjunction of terms, the
+/// original query shape) or [`QueryRequest::from_query`] (any [`Query`]
+/// tree, e.g. from [`Query::parse`]), plus the chainable setters:
 ///
 /// ```
 /// use griffin::{ExecMode, QueryRequest};
@@ -24,14 +28,14 @@ use crate::engine::ExecMode;
 /// let req = QueryRequest::new(vec![TermId(3), TermId(7)])
 ///     .k(20)
 ///     .mode(ExecMode::Hybrid)
+///     .pruned(true)
 ///     .deadline(VirtualNanos::from_millis(50));
 /// assert_eq!(req.k, 20);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
-    /// The conjunctive query terms (order does not matter; the engine
-    /// plans by ascending document frequency).
-    pub terms: Vec<TermId>,
+    /// The query tree, normalized (see [`Query::normalize`]).
+    pub query: Query,
     /// Number of results to return.
     pub k: usize,
     /// Which processors may execute the query.
@@ -40,17 +44,30 @@ pub struct QueryRequest {
     /// engine ignores it; the serving pipeline reports whether each
     /// query met its deadline.
     pub deadline: Option<VirtualNanos>,
+    /// Enables block-max top-k pruning for conjunctive queries: the
+    /// engine skips decoding term-frequency blocks whose BM25 upper
+    /// bound cannot beat the current k-th score. Results are bit-exact
+    /// with the unpruned path; only work and latency change. Ignored
+    /// (the unpruned path runs) for non-conjunctive query trees.
+    pub pruned: bool,
 }
 
 impl QueryRequest {
-    /// A request with the conventional defaults: top-10, [`ExecMode::Hybrid`],
-    /// no deadline.
+    /// A conjunctive request — the original query shape — with the
+    /// conventional defaults: top-10, [`ExecMode::Hybrid`], no deadline,
+    /// pruning off.
     pub fn new(terms: Vec<TermId>) -> QueryRequest {
+        QueryRequest::from_query(Query::And(terms.into_iter().map(Query::Term).collect()))
+    }
+
+    /// A request for an arbitrary query tree (normalized on entry).
+    pub fn from_query(query: Query) -> QueryRequest {
         QueryRequest {
-            terms,
+            query: query.normalize(),
             k: 10,
             mode: ExecMode::Hybrid,
             deadline: None,
+            pruned: false,
         }
     }
 
@@ -71,22 +88,37 @@ impl QueryRequest {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Enables or disables block-max top-k pruning (off by default).
+    pub fn pruned(mut self, on: bool) -> QueryRequest {
+        self.pruned = on;
+        self
+    }
 }
 
 /// Why a query could not be answered.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// A query word is absent from the index vocabulary. Conjunctive
     /// semantics would make the whole result empty; callers that prefer
-    /// the silent-empty behaviour use
-    /// [`crate::engine::Griffin::search_lenient`].
+    /// the silent-empty behaviour parse with `lenient` set (see
+    /// [`crate::query::Query::parse`] and
+    /// [`crate::engine::Search::lenient`]).
     UnknownTerm(String),
+    /// The query text does not follow the grammar (unbalanced parens,
+    /// an unterminated quote, a purely negative query, …).
+    Parse(String),
+    /// The query text contains no terms at all.
+    EmptyQuery,
 }
 
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::UnknownTerm(w) => write!(f, "unknown term: {w:?}"),
+            QueryError::Parse(msg) => write!(f, "query syntax error: {msg}"),
+            QueryError::EmptyQuery => write!(f, "empty query"),
         }
     }
 }
@@ -103,19 +135,42 @@ mod tests {
         assert_eq!(req.k, 10);
         assert_eq!(req.mode, ExecMode::Hybrid);
         assert_eq!(req.deadline, None);
+        assert!(!req.pruned);
 
         let req = req
             .k(3)
             .mode(ExecMode::CpuOnly)
+            .pruned(true)
             .deadline(VirtualNanos::from_micros(7));
         assert_eq!(req.k, 3);
         assert_eq!(req.mode, ExecMode::CpuOnly);
         assert_eq!(req.deadline, Some(VirtualNanos::from_micros(7)));
+        assert!(req.pruned);
     }
 
     #[test]
-    fn error_displays_the_word() {
-        let e = QueryError::UnknownTerm("zebra".into());
-        assert!(e.to_string().contains("zebra"));
+    fn new_builds_a_normalized_conjunction() {
+        let req = QueryRequest::new(vec![TermId(1), TermId(2)]);
+        assert_eq!(
+            req.query,
+            Query::And(vec![Query::Term(TermId(1)), Query::Term(TermId(2))])
+        );
+        // Degenerate shapes normalize.
+        assert_eq!(
+            QueryRequest::new(vec![TermId(5)]).query,
+            Query::Term(TermId(5))
+        );
+        assert_eq!(QueryRequest::new(vec![]).query, Query::Nothing);
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        assert!(QueryError::UnknownTerm("zebra".into())
+            .to_string()
+            .contains("zebra"));
+        assert!(QueryError::Parse("missing ')'".into())
+            .to_string()
+            .contains("missing ')'"));
+        assert!(QueryError::EmptyQuery.to_string().contains("empty"));
     }
 }

@@ -56,6 +56,67 @@ pub struct QueryOutput {
     pub counters: WorkCounters,
 }
 
+/// What block-max pruning saved (and didn't) on one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Term-frequency blocks the unpruned scorer would have decoded:
+    /// every block of the seed list plus, per chain step, the distinct
+    /// blocks its matches' tf gathers touch.
+    pub tf_blocks_total: u64,
+    /// tf blocks the pruned verifier actually decoded.
+    pub tf_blocks_decoded: u64,
+    /// Candidates surviving the docID-only chain.
+    pub candidates: u64,
+    /// Candidates fully scored before the bound dropped below the floor.
+    pub verified: u64,
+}
+
+impl PruneStats {
+    /// Fraction of the unpruned tf-decode work that pruning skipped.
+    pub fn blocks_skipped_fraction(&self) -> f64 {
+        if self.tf_blocks_total == 0 {
+            0.0
+        } else {
+            1.0 - self.tf_blocks_decoded as f64 / self.tf_blocks_total as f64
+        }
+    }
+
+    pub fn add(&mut self, o: &PruneStats) {
+        self.tf_blocks_total += o.tf_blocks_total;
+        self.tf_blocks_decoded += o.tf_blocks_decoded;
+        self.candidates += o.candidates;
+        self.verified += o.verified;
+    }
+}
+
+/// Result of a block-max pruned query: the same top-k the unpruned path
+/// produces (bit-exact), plus what the pruning saved.
+#[derive(Debug, Clone)]
+pub struct PrunedOutput {
+    pub topk: Vec<(u32, f32)>,
+    pub time: VirtualNanos,
+    pub counters: WorkCounters,
+    pub stats: PruneStats,
+}
+
+/// The outcome of the docID-only intersection chain: surviving documents
+/// with full per-list provenance, so deferred (score-at-the-end) paths can
+/// gather term frequencies and block bounds without re-searching.
+#[derive(Debug, Clone, Default)]
+pub struct ChainResult {
+    /// The df-ordered terms the chain ran over (the plan order — exact
+    /// scores must fold contributions in this order to match the
+    /// incremental pipeline bit-for-bit).
+    pub planned: Vec<TermId>,
+    /// Surviving docIDs, ascending.
+    pub docids: Vec<u32>,
+    /// `elem_idx[t][c]`: the global element index of candidate `c` inside
+    /// `planned[t]`'s posting list.
+    pub elem_idx: Vec<Vec<u32>>,
+    /// Distinct tf blocks an unpruned scorer would decode for this chain.
+    pub tf_blocks_total: u64,
+}
+
 /// The CPU query engine.
 #[derive(Debug, Clone, Default)]
 pub struct CpuEngine {
@@ -241,6 +302,226 @@ impl CpuEngine {
         }
     }
 
+    /// Evaluates a conjunctive chain to a scored [`Intermediate`] without
+    /// the final top-k — the building block the plan executor uses for
+    /// AND and phrase nodes whose results feed further set operators.
+    pub fn eval_chain(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        w: &mut WorkCounters,
+        scratch: &mut intersect::QueryScratch,
+    ) -> Intermediate {
+        let planned = self.plan(index, terms);
+        let Some((&first, rest)) = planned.split_first() else {
+            return Intermediate::default();
+        };
+        let mut inter = self.init_intermediate(index, first, w);
+        for &t in rest {
+            if inter.is_empty() {
+                break;
+            }
+            inter = self.intersect_step_with(index, &inter, t, Strategy::Auto, w, scratch);
+        }
+        inter
+    }
+
+    /// The docID-only SvS chain: same intersections (same strategy
+    /// choices, same docID-side work) as [`CpuEngine::process_query`], but
+    /// no tf decoding and no scoring. Provenance indices are carried so a
+    /// deferred scorer can reach any survivor's tf — and its block's score
+    /// upper bound — by direct lookup.
+    pub fn docid_chain(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        w: &mut WorkCounters,
+    ) -> ChainResult {
+        let planned = self.plan(index, terms);
+        let Some((&first, rest)) = planned.split_first() else {
+            return ChainResult::default();
+        };
+        let list0 = index.list(first);
+        let mut docids = Vec::with_capacity(list0.len());
+        for b in 0..list0.num_blocks() {
+            decode::decode_block(&list0.docs, b, &mut docids, w);
+        }
+        // The unpruned init decodes every seed block's tfs alongside.
+        let mut tf_blocks_total = list0.num_blocks() as u64;
+        let mut elem_idx: Vec<Vec<u32>> = vec![(0..docids.len() as u32).collect()];
+        let mut scratch = intersect::QueryScratch::default();
+        for &t in rest {
+            if docids.is_empty() {
+                break;
+            }
+            let list = index.list(t);
+            // Mirror intersect_step_with's Auto choice so the docID-side
+            // work counters match the unpruned chain exactly.
+            let ratio = list.len() / docids.len().max(1);
+            let m = if ratio >= self.merge_ratio_threshold {
+                intersect::skip_intersect_range_with(
+                    &docids,
+                    &list.docs,
+                    0,
+                    list.num_blocks(),
+                    w,
+                    &mut scratch,
+                )
+            } else {
+                let long = decode::decode_list(&list.docs, w);
+                intersect::merge_intersect(&docids, &long, w)
+            };
+            // Distinct tf blocks the unpruned score_matches would decode
+            // for this step's survivors (its gather is block-monotone).
+            let bl = list.docs.block_len;
+            let mut prev = usize::MAX;
+            for &gi in &m.b_idx {
+                let blk = gi as usize / bl;
+                if blk != prev {
+                    tf_blocks_total += 1;
+                    prev = blk;
+                }
+            }
+            for col in elem_idx.iter_mut() {
+                *col = m.a_idx.iter().map(|&ai| col[ai as usize]).collect();
+            }
+            elem_idx.push(m.b_idx.clone());
+            docids = m.docids;
+        }
+        ChainResult {
+            planned,
+            docids,
+            elem_idx,
+            tf_blocks_total,
+        }
+    }
+
+    /// Full conjunctive query with block-max top-k pruning: the docID-only
+    /// chain first, then candidates verified in descending order of an
+    /// optimistic score bound (the sum of their blocks' BM25 upper
+    /// bounds), stopping as soon as the bound falls below the k-th best
+    /// exact score. Exact scores fold contributions in plan order, so the
+    /// returned top-k is bit-identical to [`CpuEngine::process_query`] —
+    /// pruning changes only how many tf blocks get decoded.
+    pub fn process_query_pruned(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        k: usize,
+    ) -> PrunedOutput {
+        use std::collections::hash_map::Entry;
+        use std::collections::HashMap;
+
+        let mut w = WorkCounters::default();
+        let chain = self.docid_chain(index, terms, &mut w);
+        let n = chain.docids.len();
+        let mut stats = PruneStats {
+            tf_blocks_total: chain.tf_blocks_total,
+            candidates: n as u64,
+            ..Default::default()
+        };
+        if n == 0 || k == 0 {
+            return PrunedOutput {
+                topk: Vec::new(),
+                time: self.model.time(&w),
+                counters: w,
+                stats,
+            };
+        }
+
+        let nterms = chain.planned.len();
+        let meta = index.meta();
+        let idfs: Vec<f32> = chain
+            .planned
+            .iter()
+            .map(|&t| self.bm25.idf(index.num_docs(), index.doc_freq(t) as u32))
+            .collect();
+        // Optimistic bound per candidate: its blocks' upper bounds folded
+        // in the same left-associated plan order as the exact scorer.
+        // f32 addition is monotone, so exact <= bound holds bit-for-bit.
+        let ubs: Vec<f32> = (0..n)
+            .map(|c| {
+                let mut ub = 0.0f32;
+                for (t, &term) in chain.planned.iter().enumerate() {
+                    let bl = index.list(term).docs.block_len;
+                    let blk = chain.elem_idx[t][c] as usize / bl;
+                    let u = index.block_ubs(term)[blk];
+                    ub = if t == 0 { u } else { ub + u };
+                }
+                ub
+            })
+            .collect();
+        w.topk_scanned += (n * nterms) as u64; // the bound pass
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&x, &y| {
+            ubs[y as usize]
+                .total_cmp(&ubs[x as usize])
+                .then(chain.docids[x as usize].cmp(&chain.docids[y as usize]))
+        });
+        w.topk_scanned += n as u64; // the ordering pass
+
+        let cmp = |a: &(u32, f32), b: &(u32, f32)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
+        let mut heap: Vec<(u32, f32)> = Vec::with_capacity(k);
+        let mut tf_cache: HashMap<(usize, usize), Vec<u32>> = HashMap::new();
+        for &ci in &order {
+            let c = ci as usize;
+            w.topk_scanned += 1;
+            if heap.len() == k && ubs[c] < heap[k - 1].1 {
+                // Bounds only shrink from here (descending order) and the
+                // floor only rises: nothing left can enter the top-k.
+                // `<` is strict — a bound that ties the floor could hide
+                // an exact tie that wins on docID, so ties verify.
+                break;
+            }
+            stats.verified += 1;
+            let d = chain.docids[c];
+            let mut score = 0.0f32;
+            for (t, &term) in chain.planned.iter().enumerate() {
+                let list = index.list(term);
+                let bl = list.docs.block_len;
+                let gi = chain.elem_idx[t][c] as usize;
+                let blk = gi / bl;
+                let tfs = match tf_cache.entry((t, blk)) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(e) => {
+                        let mut buf = Vec::new();
+                        list.decode_block_into_tfs_only(blk, &mut buf);
+                        w.blocks_decoded += 1;
+                        w.varint_elements += buf.len() as u64;
+                        stats.tf_blocks_decoded += 1;
+                        e.insert(buf)
+                    }
+                };
+                let tf = tfs[gi - blk * bl];
+                let contribution =
+                    self.bm25
+                        .contribution(idfs[t], tf, meta.doc_len(d), meta.avg_doc_len);
+                score = if t == 0 {
+                    contribution
+                } else {
+                    score + contribution
+                };
+            }
+            w.scored += nterms as u64;
+            let cand = (d, score);
+            if heap.len() < k {
+                let pos = heap.partition_point(|e| cmp(e, &cand) == std::cmp::Ordering::Less);
+                heap.insert(pos, cand);
+            } else if cmp(&cand, &heap[k - 1]) == std::cmp::Ordering::Less {
+                heap.pop();
+                let pos = heap.partition_point(|e| cmp(e, &cand) == std::cmp::Ordering::Less);
+                heap.insert(pos, cand);
+            }
+        }
+        w.emitted += heap.len() as u64;
+        PrunedOutput {
+            topk: heap,
+            time: self.model.time(&w),
+            counters: w,
+            stats,
+        }
+    }
+
     /// Full conjunctive query: SvS over all terms, BM25, top-k.
     pub fn process_query(&self, index: &InvertedIndex, terms: &[TermId], k: usize) -> QueryOutput {
         let mut w = WorkCounters::default();
@@ -382,6 +663,175 @@ mod tests {
             t_skip,
             t_merge
         );
+    }
+
+    /// Text corpus with real tf and doc-length variance — the regime where
+    /// block-max pruning can actually discriminate. Small blocks keep the
+    /// bound granularity meaningful at unit-test corpus size.
+    fn varied_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new(Codec::EliasFano).with_block_len(32);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..1200 {
+            let len = 20 + (next() % 180) as usize;
+            let mut tokens = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Zipf-ish: low word IDs are much more frequent.
+                let r = next() % 1000;
+                let word = if r < 500 {
+                    next() % 10
+                } else if r < 850 {
+                    10 + next() % 60
+                } else {
+                    70 + next() % 400
+                };
+                tokens.push(format!("w{word}"));
+            }
+            let refs: Vec<&str> = tokens.iter().map(|s| s.as_str()).collect();
+            b.add_document(&refs);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn pruned_query_is_bit_exact_with_unpruned() {
+        let idx = varied_index();
+        let engine = CpuEngine::new();
+        for terms in [
+            vec!["w0", "w1"],
+            vec!["w0", "w12", "w3"],
+            vec!["w2", "w5", "w20"],
+            vec!["w1"],
+        ] {
+            let Some(q) = terms
+                .iter()
+                .map(|t| idx.lookup(t))
+                .collect::<Option<Vec<_>>>()
+            else {
+                continue;
+            };
+            for k in [1usize, 3, 10, 1000] {
+                let plain = engine.process_query(&idx, &q, k);
+                let pruned = engine.process_query_pruned(&idx, &q, k);
+                assert_eq!(plain.topk, pruned.topk, "terms {terms:?} k {k}");
+                assert!(
+                    pruned.stats.tf_blocks_decoded <= pruned.stats.tf_blocks_total,
+                    "decoded {} of {}",
+                    pruned.stats.tf_blocks_decoded,
+                    pruned.stats.tf_blocks_total
+                );
+            }
+        }
+    }
+
+    /// A corpus where the top scores concentrate in a few docID blocks:
+    /// every doc contains "hot" and "common" once, except one doc per 200
+    /// where "hot" repeats 30×. Blocks without a high-tf doc get a low
+    /// upper bound, so the verifier can stop after the hot blocks.
+    fn skewed_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new(Codec::EliasFano).with_block_len(32);
+        for i in 0..2000u32 {
+            let hot_tf = if i % 200 == 0 { 30 } else { 1 };
+            let mut tokens = vec!["common"];
+            tokens.extend(std::iter::repeat_n("hot", hot_tf));
+            tokens.resize(40, "filler");
+            b.add_document(&tokens);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn pruning_skips_tf_blocks_and_is_no_slower() {
+        let idx = skewed_index();
+        let engine = CpuEngine::new();
+        // Both terms are everywhere → 2000 candidates; only the 10 hot
+        // docs (and their block-mates) can beat the floor at k = 10.
+        let q = vec![idx.lookup("hot").unwrap(), idx.lookup("common").unwrap()];
+        let plain = engine.process_query(&idx, &q, 10);
+        let pruned = engine.process_query_pruned(&idx, &q, 10);
+        assert_eq!(plain.topk, pruned.topk);
+        assert!(
+            pruned.stats.verified < pruned.stats.candidates,
+            "verified {} of {} candidates",
+            pruned.stats.verified,
+            pruned.stats.candidates
+        );
+        assert!(
+            pruned.stats.blocks_skipped_fraction() > 0.0,
+            "stats {:?}",
+            pruned.stats
+        );
+        assert!(
+            pruned.time.as_nanos() <= plain.time.as_nanos(),
+            "pruned {} vs plain {}",
+            pruned.time,
+            plain.time
+        );
+    }
+
+    #[test]
+    fn pruned_handles_uniform_tf_ties() {
+        // from_docid_lists: tf = 1 everywhere, uniform doc lengths — all
+        // final scores identical, so nothing can be pruned and tie-breaks
+        // carry the whole result. Must still match bit-for-bit.
+        let lists = vec![
+            (0..600u32).map(|i| i * 2).collect::<Vec<_>>(),
+            (0..900u32).map(|i| i * 3).collect::<Vec<_>>(),
+        ];
+        let idx = InvertedIndex::from_docid_lists(&lists, 3000, Codec::EliasFano, 128);
+        let engine = CpuEngine::new();
+        let q = vec![idx.lookup("t0").unwrap(), idx.lookup("t1").unwrap()];
+        for k in [1usize, 5, 50] {
+            let plain = engine.process_query(&idx, &q, k);
+            let pruned = engine.process_query_pruned(&idx, &q, k);
+            assert_eq!(plain.topk, pruned.topk, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn pruned_empty_and_degenerate_cases() {
+        let idx = small_index();
+        let engine = CpuEngine::new();
+        let q = tids(&idx, &["travel", "merge"]); // empty intersection
+        assert!(engine.process_query_pruned(&idx, &q, 10).topk.is_empty());
+        let q = tids(&idx, &["austria"]);
+        assert!(engine.process_query_pruned(&idx, &q, 0).topk.is_empty());
+        assert!(engine.process_query_pruned(&idx, &[], 10).topk.is_empty());
+    }
+
+    #[test]
+    fn docid_chain_provenance_points_back() {
+        let idx = varied_index();
+        let engine = CpuEngine::new();
+        let q = vec![idx.lookup("w0").unwrap(), idx.lookup("w3").unwrap()];
+        let mut w = WorkCounters::default();
+        let chain = engine.docid_chain(&idx, &q, &mut w);
+        assert_eq!(chain.elem_idx.len(), chain.planned.len());
+        for (t, &term) in chain.planned.iter().enumerate() {
+            let (ids, _) = idx.list(term).decompress();
+            for (c, &d) in chain.docids.iter().enumerate() {
+                assert_eq!(ids[chain.elem_idx[t][c] as usize], d, "term {t} cand {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_chain_matches_process_query_prefix() {
+        let idx = small_index();
+        let engine = CpuEngine::new();
+        let q = tids(&idx, &["ppopp", "austria", "2018"]);
+        let mut w = WorkCounters::default();
+        let mut scratch = intersect::QueryScratch::default();
+        let inter = engine.eval_chain(&idx, &q, &mut w, &mut scratch);
+        let out = engine.process_query(&idx, &q, 100);
+        let mut expect: Vec<(u32, f32)> = inter.docids.into_iter().zip(inter.scores).collect();
+        expect.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        assert_eq!(out.topk, expect);
     }
 
     #[test]

@@ -23,9 +23,10 @@ pub mod decode;
 pub mod engine;
 pub mod intersect;
 pub mod rank;
+pub mod setops;
 pub mod topk;
 
 pub use cost::{CpuConfig, CpuCostModel, WorkCounters};
-pub use engine::{CpuEngine, Intermediate, QueryOutput};
+pub use engine::{ChainResult, CpuEngine, Intermediate, PruneStats, PrunedOutput, QueryOutput};
 pub use intersect::{Matches, QueryScratch};
 pub use rank::Bm25;

@@ -15,11 +15,7 @@ pub fn top_k(docids: &[u32], scores: &[f32], k: usize, w: &mut WorkCounters) -> 
     if k == 0 {
         return Vec::new();
     }
-    let cmp = |a: &(u32, f32), b: &(u32, f32)| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    };
+    let cmp = |a: &(u32, f32), b: &(u32, f32)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
     if k < n {
         items.select_nth_unstable_by(k - 1, cmp);
         items.truncate(k);
@@ -65,6 +61,24 @@ mod tests {
     fn zero_k_and_empty_input() {
         assert!(top_k(&[], &[], 10, &mut wc()).is_empty());
         assert!(top_k(&[1], &[1.0], 0, &mut wc()).is_empty());
+    }
+
+    #[test]
+    fn nan_scores_order_deterministically() {
+        // total_cmp gives NaN a fixed place in the order (positive NaN
+        // sorts above +inf, so first in a descending sort), so a poisoned
+        // score can never make the comparator inconsistent or the output
+        // flicker run to run — the old partial_cmp fallback treated NaN
+        // as equal to everything, which is not a total order.
+        let docids = vec![1u32, 2, 3, 4];
+        let scores = vec![1.0f32, f32::NAN, 2.0, f32::NAN];
+        let a = top_k(&docids, &scores, 3, &mut wc());
+        let b = top_k(&docids, &scores, 3, &mut wc());
+        assert_eq!(a.iter().map(|e| e.0).collect::<Vec<_>>(), vec![2, 4, 3]);
+        assert_eq!(
+            a.iter().map(|e| e.0).collect::<Vec<_>>(),
+            b.iter().map(|e| e.0).collect::<Vec<_>>()
+        );
     }
 
     #[test]

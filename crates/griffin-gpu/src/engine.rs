@@ -66,6 +66,34 @@ pub struct GpuQueryOutput {
     pub rank_work: WorkCounters,
 }
 
+/// Result of a hull-pruned GPU query ([`GpuEngine::process_query_pruned`]):
+/// the ordinary output plus the block-granularity pruning ledger.
+#[derive(Debug, Clone)]
+pub struct GpuPrunedOutput {
+    pub out: GpuQueryOutput,
+    /// Blocks across every processed list (the unpruned upload volume).
+    pub blocks_total: u64,
+    /// Blocks that actually shipped (inside the candidate hull).
+    pub blocks_resident: u64,
+}
+
+/// A device list obtained for one pruned-chain step: either the full
+/// list under the LRU cache's custody, or a hull slice this query owns
+/// (see [`GpuEngine::upload_hull`] for the choice).
+enum HullUpload {
+    Cached(Rc<DevicePostings>),
+    Slice(Box<DevicePostings>),
+}
+
+impl HullUpload {
+    fn postings(&self) -> &DevicePostings {
+        match self {
+            HullUpload::Cached(p) => p,
+            HullUpload::Slice(p) => p,
+        }
+    }
+}
+
 /// BM25 parameters in kernel-friendly form.
 #[derive(Clone, Copy)]
 struct ScoreParams {
@@ -826,11 +854,30 @@ impl<'g> GpuEngine<'g> {
         k: usize,
         rank_work: &mut WorkCounters,
     ) -> Result<Vec<(u32, f32)>, GpuError> {
+        let host = self.eval_chain(index, terms)?;
+        Ok(topk::top_k(&host.docids, &host.scores, k, rank_work))
+    }
+
+    /// Runs the conjunctive chain entirely on the device and ships the
+    /// surviving (docid, score) pairs home — [`GpuEngine::process_query`]
+    /// minus the final ranking. This is the plan executor's building
+    /// block for GPU-placed chain and phrase operators, whose results
+    /// feed further (host-side) set operations.
+    ///
+    /// The caller owns the async window and stream synchronization; any
+    /// prefetch left in flight (the chain can end early on an empty
+    /// intermediate) stays in the engine's custody until
+    /// [`GpuEngine::drain_prefetch`].
+    pub fn eval_chain(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+    ) -> Result<Intermediate, GpuError> {
         let gpu = self.gpu;
         let mut planned = terms.to_vec();
         planned.sort_by_key(|&t| index.doc_freq(t));
         let Some((&first, rest)) = planned.split_first() else {
-            return Ok(Vec::new());
+            return Ok(Intermediate::default());
         };
         let first_postings = self.upload(index, first)?;
         if let Some(&second) = rest.first() {
@@ -868,8 +915,187 @@ impl<'g> GpuEngine<'g> {
         }
         let host = self.download(&inter);
         inter.free(gpu);
+        host
+    }
+
+    /// Full GPU-only query with candidate-hull block pruning: before any
+    /// list ships, the host intersects the lists' *skip tables* to find
+    /// the docID hull `[max(first docids), min(last docids)]` that every
+    /// common document must fall in, then uploads only the blocks
+    /// overlapping that hull (range uploads, like a co-executed split's
+    /// device lane). Blocks outside the hull are pruned before decode —
+    /// they never cross PCIe. BM25 sees each list's full document
+    /// frequency, so scores are bit-exact with the unpruned path.
+    pub fn process_query_pruned(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        k: usize,
+    ) -> Result<GpuPrunedOutput, GpuError> {
+        let gpu = self.gpu;
+        let was_async = gpu.async_enabled();
+        if self.overlap.get() {
+            gpu.set_async(true);
+        }
+        let start = gpu.now();
+        let mut rank_work = WorkCounters::default();
+        let mut blocks_total = 0u64;
+        let mut blocks_resident = 0u64;
+        let result = self.pruned_query_inner(
+            index,
+            terms,
+            k,
+            &mut rank_work,
+            &mut blocks_total,
+            &mut blocks_resident,
+        );
+        gpu.sync();
+        if !was_async {
+            gpu.set_async(false);
+        }
+        let topk = result?;
+        let time = gpu.now() - start;
+        Ok(GpuPrunedOutput {
+            out: GpuQueryOutput {
+                topk,
+                time,
+                rank_work,
+            },
+            blocks_total,
+            blocks_resident,
+        })
+    }
+
+    fn pruned_query_inner(
+        &self,
+        index: &InvertedIndex,
+        terms: &[TermId],
+        k: usize,
+        rank_work: &mut WorkCounters,
+        blocks_total: &mut u64,
+        blocks_resident: &mut u64,
+    ) -> Result<Vec<(u32, f32)>, GpuError> {
+        let gpu = self.gpu;
+        let mut planned = terms.to_vec();
+        planned.sort_by_key(|&t| index.doc_freq(t));
+        let Some((&first, rest)) = planned.split_first() else {
+            return Ok(Vec::new());
+        };
+        // The hull from the host-resident skip tables: a common docID is
+        // in every list, so it is >= every list's first docID and <=
+        // every list's last.
+        let mut hull_lo = 0u32;
+        let mut hull_hi = u32::MAX;
+        for &t in &planned {
+            let skips = &index.list(t).docs.skips;
+            let (Some(head), Some(tail)) = (skips.first(), skips.last()) else {
+                return Ok(Vec::new());
+            };
+            hull_lo = hull_lo.max(head.first_docid);
+            hull_hi = hull_hi.min(tail.last_docid);
+        }
+        // Blocks of `t` overlapping the hull; every block outside is
+        // pruned before decode (it never ships).
+        let hull_blocks = |t: TermId| {
+            let skips = &index.list(t).docs.skips;
+            let lo = skips.partition_point(|s| s.last_docid < hull_lo);
+            let hi = skips.partition_point(|s| s.first_docid <= hull_hi);
+            (lo, hi.max(lo))
+        };
+        if hull_lo > hull_hi {
+            // The lists' ranges don't even overlap: the intersection is
+            // empty and nothing ships at all.
+            for &t in &planned {
+                *blocks_total += index.list(t).docs.num_blocks() as u64;
+            }
+            return Ok(Vec::new());
+        }
+
+        *blocks_total += index.list(first).docs.num_blocks() as u64;
+        let (lo, hi) = hull_blocks(first);
+        let first_postings = self.upload_hull(index, first, lo, hi, blocks_resident)?;
+        let inter = self.init_intermediate(first_postings.postings());
+        self.release_hull(first_postings);
+        let mut inter = inter?;
+        for &t in rest {
+            if inter.len == 0 {
+                break;
+            }
+            *blocks_total += index.list(t).docs.num_blocks() as u64;
+            let (lo, hi) = hull_blocks(t);
+            let postings = match self.upload_hull(index, t, lo, hi, blocks_resident) {
+                Ok(p) => p,
+                Err(e) => {
+                    inter.free(gpu);
+                    return Err(e);
+                }
+            };
+            let next = self.intersect_step(
+                &inter,
+                postings.postings(),
+                index.block_len(),
+                GpuStrategy::Auto,
+            );
+            self.release_hull(postings);
+            match next {
+                Ok(n) => {
+                    inter.free(gpu);
+                    inter = n;
+                }
+                Err(e) => {
+                    inter.free(gpu);
+                    return Err(e);
+                }
+            }
+        }
+        let host = self.download(&inter);
+        inter.free(gpu);
         let host = host?;
         Ok(topk::top_k(&host.docids, &host.scores, k, rank_work))
+    }
+
+    /// Ships a list for the pruned path, weighing the hull restriction
+    /// against the LRU cache:
+    ///
+    /// * already device-resident → use the cached full list (a hit costs
+    ///   nothing; a slice would re-cross PCIe);
+    /// * hull covers at least half the blocks → normal cached upload:
+    ///   the slice's saving is small and a full upload stays resident
+    ///   for the workload's later queries (Zipf reuse is exactly where
+    ///   the cache earns its keep);
+    /// * narrow hull → range upload of just the overlapping blocks,
+    ///   owned by this query and freed after its intersection.
+    ///
+    /// Correctness never depends on the choice: blocks outside the hull
+    /// contain no common docIDs, and BM25 sees the full-list document
+    /// frequency either way.
+    fn upload_hull(
+        &self,
+        index: &InvertedIndex,
+        term: TermId,
+        lo: usize,
+        hi: usize,
+        blocks_resident: &mut u64,
+    ) -> Result<HullUpload, GpuError> {
+        let num_blocks = index.list(term).docs.num_blocks();
+        let cached = self.cache.borrow().map.contains_key(&term);
+        if cached || (hi - lo) * 2 >= num_blocks {
+            *blocks_resident += num_blocks as u64;
+            return Ok(HullUpload::Cached(self.upload(index, term)?));
+        }
+        *blocks_resident += (hi - lo) as u64;
+        Ok(HullUpload::Slice(Box::new(
+            self.upload_range(index, term, lo, hi)?,
+        )))
+    }
+
+    /// Returns a [`HullUpload`] to its owner: cached lists to the LRU
+    /// cache's custody, slices to the allocator.
+    fn release_hull(&self, upload: HullUpload) {
+        match upload {
+            HullUpload::Cached(p) => self.release(p),
+            HullUpload::Slice(p) => p.free(self.gpu),
+        }
     }
 
     /// Frees engine-owned device state (the list cache and the doc-length

@@ -28,6 +28,8 @@ pub mod radix_sort;
 pub mod scan;
 pub mod transfer;
 
-pub use engine::{CacheStats, DeviceIntermediate, GpuEngine, GpuQueryOutput, GpuStrategy};
+pub use engine::{
+    CacheStats, DeviceIntermediate, GpuEngine, GpuPrunedOutput, GpuQueryOutput, GpuStrategy,
+};
 pub use error::GpuError;
 pub use transfer::{DeviceEfList, DevicePostings};

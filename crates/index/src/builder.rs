@@ -15,6 +15,9 @@ use crate::storage::InvertedIndex;
 pub struct IndexBuilder {
     dictionary: Dictionary,
     postings: Vec<Vec<Posting>>,
+    /// Token positions parallel to `postings`: `positions[t][i]` are the
+    /// in-document offsets behind `postings[t][i]` (phrase queries).
+    positions: Vec<Vec<Vec<u32>>>,
     doc_lens: Vec<u32>,
     next_docid: DocId,
     codec: Codec,
@@ -26,6 +29,7 @@ impl IndexBuilder {
         IndexBuilder {
             dictionary: Dictionary::new(),
             postings: Vec::new(),
+            positions: Vec::new(),
             doc_lens: Vec::new(),
             next_docid: 0,
             codec,
@@ -46,19 +50,24 @@ impl IndexBuilder {
         self.next_docid += 1;
         self.doc_lens.push(tokens.len() as u32);
 
-        let mut tf: HashMap<&str, u32> = HashMap::new();
-        for &t in tokens {
-            *tf.entry(t).or_insert(0) += 1;
+        let mut occ: HashMap<&str, Vec<u32>> = HashMap::new();
+        for (pos, &t) in tokens.iter().enumerate() {
+            occ.entry(t).or_default().push(pos as u32);
         }
         // Deterministic posting order regardless of hash iteration order.
-        let mut entries: Vec<(&str, u32)> = tf.into_iter().collect();
+        let mut entries: Vec<(&str, Vec<u32>)> = occ.into_iter().collect();
         entries.sort_unstable();
-        for (term, tf) in entries {
+        for (term, positions) in entries {
             let tid = self.dictionary.intern(term);
             if self.postings.len() <= tid.0 as usize {
                 self.postings.resize_with(tid.0 as usize + 1, Vec::new);
+                self.positions.resize_with(tid.0 as usize + 1, Vec::new);
             }
-            self.postings[tid.0 as usize].push(Posting { docid, tf });
+            self.postings[tid.0 as usize].push(Posting {
+                docid,
+                tf: positions.len() as u32,
+            });
+            self.positions[tid.0 as usize].push(positions);
         }
         docid
     }
@@ -69,12 +78,16 @@ impl IndexBuilder {
         self.add_document(&tokens)
     }
 
-    /// Compresses all posting lists and produces the final index.
+    /// Compresses all posting lists (with positions) and produces the
+    /// final index.
     pub fn build(self) -> InvertedIndex {
         let lists: Vec<CompressedPostingList> = self
             .postings
             .iter()
-            .map(|ps| CompressedPostingList::compress(ps, self.codec, self.block_len))
+            .zip(&self.positions)
+            .map(|(ps, pos)| {
+                CompressedPostingList::compress_with_positions(ps, pos, self.codec, self.block_len)
+            })
             .collect();
         InvertedIndex::new(
             self.dictionary,

@@ -15,10 +15,12 @@ pub mod builder;
 pub mod dictionary;
 pub mod document;
 pub mod posting;
+pub mod rank;
 pub mod storage;
 
 pub use builder::IndexBuilder;
 pub use dictionary::{Dictionary, TermId};
 pub use document::{CorpusMeta, DocId};
 pub use posting::{CompressedPostingList, Posting};
+pub use rank::Bm25;
 pub use storage::InvertedIndex;

@@ -1,5 +1,7 @@
 //! Posting lists: docIDs compressed with the configured codec, term
-//! frequencies VByte-compressed block-aligned with the docID blocks.
+//! frequencies VByte-compressed block-aligned with the docID blocks, and
+//! an optional in-document position stream (for phrase queries) with the
+//! same block alignment.
 
 use griffin_codec::{varint, BlockedList, Codec};
 
@@ -16,6 +18,8 @@ pub struct Posting {
 /// A compressed posting list: the docID side is a skip-indexed
 /// [`BlockedList`]; term frequencies are a VByte stream with one byte-range
 /// per docID block so a block decode yields matching (docid, tf) pairs.
+/// In-document positions ride in a third block-aligned stream: per posting
+/// a VByte count followed by delta-encoded positions (first absolute).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompressedPostingList {
     pub docs: BlockedList,
@@ -23,40 +27,99 @@ pub struct CompressedPostingList {
     tf_bytes: Vec<u8>,
     /// Byte offset of each block's tf run (length = num_blocks + 1).
     tf_offsets: Vec<u32>,
+    /// VByte position stream: per posting `count, pos_0, Δpos_1, …`.
+    pos_bytes: Vec<u8>,
+    /// Byte offset of each block's position run (length = num_blocks + 1).
+    pos_offsets: Vec<u32>,
 }
 
 impl CompressedPostingList {
     /// Compresses `postings` (sorted by docid, strictly increasing).
+    /// Every posting gets the single synthetic position 0; use
+    /// [`CompressedPostingList::compress_with_positions`] when real token
+    /// positions are known.
     pub fn compress(postings: &[Posting], codec: Codec, block_len: usize) -> Self {
+        Self::compress_at_position(postings, 0, codec, block_len)
+    }
+
+    /// Compresses `postings` giving every posting the single constant
+    /// position `pos` (synthetic workloads: list `i` at position `i`
+    /// makes a phrase over consecutive synthetic terms behave exactly
+    /// like their intersection — a testable identity).
+    pub fn compress_at_position(
+        postings: &[Posting],
+        pos: u32,
+        codec: Codec,
+        block_len: usize,
+    ) -> Self {
+        let positions: Vec<Vec<u32>> = postings.iter().map(|_| vec![pos]).collect();
+        Self::compress_with_positions(postings, &positions, codec, block_len)
+    }
+
+    /// Compresses `postings` with their in-document positions:
+    /// `positions[i]` are the strictly increasing token offsets of
+    /// `postings[i]`'s term in its document.
+    pub fn compress_with_positions(
+        postings: &[Posting],
+        positions: &[Vec<u32>],
+        codec: Codec,
+        block_len: usize,
+    ) -> Self {
+        assert_eq!(
+            postings.len(),
+            positions.len(),
+            "one position set per posting"
+        );
         let docids: Vec<u32> = postings.iter().map(|p| p.docid).collect();
         let docs = BlockedList::compress(&docids, codec, block_len);
         let mut tf_bytes = Vec::new();
         let mut tf_offsets = Vec::with_capacity(docs.num_blocks() + 1);
+        let mut pos_bytes = Vec::new();
+        let mut pos_offsets = Vec::with_capacity(docs.num_blocks() + 1);
         tf_offsets.push(0);
-        for chunk in postings.chunks(block_len) {
-            for p in chunk {
+        pos_offsets.push(0);
+        for (chunk, pos_chunk) in postings.chunks(block_len).zip(positions.chunks(block_len)) {
+            for (p, ps) in chunk.iter().zip(pos_chunk) {
                 varint::encode_u32(p.tf, &mut tf_bytes);
+                varint::encode_u32(ps.len() as u32, &mut pos_bytes);
+                let mut prev = 0u32;
+                for (j, &pos) in ps.iter().enumerate() {
+                    debug_assert!(j == 0 || pos > prev, "positions strictly increasing");
+                    varint::encode_u32(pos - if j == 0 { 0 } else { prev }, &mut pos_bytes);
+                    prev = pos;
+                }
             }
             tf_offsets.push(tf_bytes.len() as u32);
-        }
-        if postings.is_empty() {
-            // keep offsets consistent: a single 0..0 range set above
+            pos_offsets.push(pos_bytes.len() as u32);
         }
         CompressedPostingList {
             docs,
             tf_bytes,
             tf_offsets,
+            pos_bytes,
+            pos_offsets,
         }
     }
 
     /// Builds from bare docIDs with tf = 1 for every posting (synthetic
     /// workloads generate docID lists directly).
     pub fn from_docids(docids: &[u32], codec: Codec, block_len: usize) -> Self {
+        Self::from_docids_at_position(docids, 0, codec, block_len)
+    }
+
+    /// Like [`CompressedPostingList::from_docids`] but placing every
+    /// posting at the constant position `pos`.
+    pub fn from_docids_at_position(
+        docids: &[u32],
+        pos: u32,
+        codec: Codec,
+        block_len: usize,
+    ) -> Self {
         let postings: Vec<Posting> = docids
             .iter()
             .map(|&d| Posting { docid: d, tf: 1 })
             .collect();
-        Self::compress(&postings, codec, block_len)
+        Self::compress_at_position(&postings, pos, codec, block_len)
     }
 
     /// Number of postings.
@@ -97,6 +160,37 @@ impl CompressedPostingList {
             .expect("index-built tf side file is valid by construction");
     }
 
+    /// Decodes the in-document positions of the posting at `idx_in_block`
+    /// within block `i`, appending them to `out`. Returns the number of
+    /// VByte values read or skipped (so instrumented callers can charge
+    /// decode work).
+    pub fn positions_into(&self, i: usize, idx_in_block: usize, out: &mut Vec<u32>) -> usize {
+        let bytes = &self.pos_bytes[self.pos_offsets[i] as usize..self.pos_offsets[i + 1] as usize];
+        let mut cursor = 0usize;
+        let mut varints = 0usize;
+        let mut scratch: Vec<u32> = Vec::new();
+        for j in 0..=idx_in_block {
+            scratch.clear();
+            let after =
+                varint::decode_n(bytes, cursor, 1, &mut scratch).expect("valid position stream");
+            let count = scratch[0] as usize;
+            varints += 1;
+            scratch.clear();
+            let end =
+                varint::decode_n(bytes, after, count, &mut scratch).expect("valid position stream");
+            varints += count;
+            cursor = end;
+            if j == idx_in_block {
+                let mut acc = 0u32;
+                for (idx, &delta) in scratch.iter().enumerate() {
+                    acc = if idx == 0 { delta } else { acc + delta };
+                    out.push(acc);
+                }
+            }
+        }
+        varints
+    }
+
     /// Decodes the entire list into (docids, tfs).
     pub fn decompress(&self) -> (Vec<u32>, Vec<u32>) {
         let mut docids = Vec::with_capacity(self.len());
@@ -113,9 +207,16 @@ impl CompressedPostingList {
         (&self.tf_bytes, &self.tf_offsets)
     }
 
-    /// Total compressed size in bits (docs + tf side file).
+    /// Total compressed size in bits (docs + tf side file). Positions are
+    /// accounted separately by [`CompressedPostingList::pos_size_bits`] so
+    /// historical size metrics stay comparable.
     pub fn size_bits(&self) -> usize {
         self.docs.size_bits() + self.tf_bytes.len() * 8 + self.tf_offsets.len() * 32
+    }
+
+    /// Size of the position side file, in bits.
+    pub fn pos_size_bits(&self) -> usize {
+        self.pos_bytes.len() * 8 + self.pos_offsets.len() * 32
     }
 }
 
@@ -175,5 +276,43 @@ mod tests {
         assert_eq!(list.num_blocks(), 0);
         let (d, t) = list.decompress();
         assert!(d.is_empty() && t.is_empty());
+    }
+
+    #[test]
+    fn positions_roundtrip_across_blocks() {
+        let ps = postings(300);
+        let positions: Vec<Vec<u32>> = (0..300u32)
+            .map(|i| (0..(1 + i % 4)).map(|j| i + j * 5 + 1).collect())
+            .collect();
+        let list =
+            CompressedPostingList::compress_with_positions(&ps, &positions, Codec::EliasFano, 128);
+        let mut out = Vec::new();
+        for (i, want) in positions.iter().enumerate() {
+            out.clear();
+            let block = i / 128;
+            let varints = list.positions_into(block, i % 128, &mut out);
+            assert_eq!(&out, want, "posting {i}");
+            assert!(varints >= want.len());
+        }
+    }
+
+    #[test]
+    fn default_positions_are_a_constant_zero() {
+        let list = CompressedPostingList::from_docids(&[3, 9, 27], Codec::Varint, 128);
+        let mut out = Vec::new();
+        list.positions_into(0, 1, &mut out);
+        assert_eq!(out, vec![0]);
+        let at = CompressedPostingList::from_docids_at_position(&[3, 9, 27], 5, Codec::Varint, 128);
+        out.clear();
+        at.positions_into(0, 2, &mut out);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn position_size_is_separate_from_core_size() {
+        let ps = postings(200);
+        let a = CompressedPostingList::compress(&ps, Codec::EliasFano, 128);
+        assert!(a.pos_size_bits() > 0);
+        assert!(a.size_bits() > 0);
     }
 }

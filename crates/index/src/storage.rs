@@ -6,8 +6,15 @@ use griffin_codec::Codec;
 use crate::dictionary::{Dictionary, TermId};
 use crate::document::CorpusMeta;
 use crate::posting::CompressedPostingList;
+use crate::rank::Bm25;
 
 /// A searchable, compressed, in-memory inverted index.
+///
+/// Construction additionally bakes *block-max* metadata: for every
+/// posting-list block, the largest BM25 contribution any posting in the
+/// block can produce (under the recorded [`Bm25`] parameters). Top-k
+/// pruning compares these upper bounds against the current heap floor to
+/// skip blocks that cannot change the result.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
     dictionary: Dictionary,
@@ -15,6 +22,11 @@ pub struct InvertedIndex {
     meta: CorpusMeta,
     codec: Codec,
     block_len: usize,
+    /// Per term, per docID block: max BM25 contribution of any posting in
+    /// the block (aligned with `lists[t].docs.skips`).
+    block_ubs: Vec<Vec<f32>>,
+    /// The parameters the upper bounds were computed under.
+    bm25: Bm25,
 }
 
 impl InvertedIndex {
@@ -25,18 +37,25 @@ impl InvertedIndex {
         codec: Codec,
         block_len: usize,
     ) -> Self {
+        let bm25 = Bm25::default();
+        let block_ubs = compute_block_ubs(&lists, &meta, &bm25);
         InvertedIndex {
             dictionary,
             lists,
             meta,
             codec,
             block_len,
+            block_ubs,
+            bm25,
         }
     }
 
     /// Builds an index directly from generated docID lists (synthetic
     /// workloads): list `i` becomes the posting list of a term named
-    /// `t{i}`. Term frequencies default to 1.
+    /// `t{i}`, with every posting at in-document position `i`. Term
+    /// frequencies default to 1. The position convention makes a phrase
+    /// over consecutive synthetic terms (`"t3 t4"`) equivalent to their
+    /// intersection — a convenient testable identity.
     pub fn from_docid_lists(
         docid_lists: &[Vec<u32>],
         num_docs: u32,
@@ -49,16 +68,16 @@ impl InvertedIndex {
             .enumerate()
             .map(|(i, ids)| {
                 dictionary.intern(&format!("t{i}"));
-                CompressedPostingList::from_docids(ids, codec, block_len)
+                CompressedPostingList::from_docids_at_position(ids, i as u32, codec, block_len)
             })
             .collect();
-        InvertedIndex {
+        Self::new(
             dictionary,
             lists,
-            meta: CorpusMeta::uniform(num_docs, 300),
+            CorpusMeta::uniform(num_docs, 300),
             codec,
             block_len,
-        }
+        )
     }
 
     pub fn lookup(&self, term: &str) -> Option<TermId> {
@@ -99,10 +118,63 @@ impl InvertedIndex {
         self.block_len
     }
 
+    /// Per-block BM25 score upper bounds of a term's posting list,
+    /// aligned with its docID blocks.
+    pub fn block_ubs(&self, term: TermId) -> &[f32] {
+        &self.block_ubs[term.0 as usize]
+    }
+
+    /// The whole-list score upper bound of a term (MaxScore's per-term
+    /// bound): the max over its block upper bounds.
+    pub fn term_ub(&self, term: TermId) -> f32 {
+        self.block_ubs[term.0 as usize]
+            .iter()
+            .fold(0.0f32, |a, &b| a.max(b))
+    }
+
+    /// The BM25 parameters the block upper bounds were computed under.
+    /// Engines must only prune when they score with equal parameters.
+    pub fn bm25(&self) -> &Bm25 {
+        &self.bm25
+    }
+
     /// Total compressed size of all posting lists, in bits.
     pub fn size_bits(&self) -> u64 {
         self.lists.iter().map(|l| l.size_bits() as u64).sum()
     }
+}
+
+/// One decompression pass per list: the exact max contribution per block.
+/// Uses the same [`Bm25::contribution`] code path the engines score with,
+/// so `exact_score <= partial + ub[block]` holds bit-for-bit (f32 max of
+/// the very values the engine will compute).
+fn compute_block_ubs(
+    lists: &[CompressedPostingList],
+    meta: &CorpusMeta,
+    bm25: &Bm25,
+) -> Vec<Vec<f32>> {
+    let mut docids: Vec<u32> = Vec::new();
+    let mut tfs: Vec<u32> = Vec::new();
+    lists
+        .iter()
+        .map(|list| {
+            let idf = bm25.idf(meta.num_docs, list.len() as u32);
+            (0..list.num_blocks())
+                .map(|b| {
+                    docids.clear();
+                    tfs.clear();
+                    list.decode_block_into(b, &mut docids, &mut tfs);
+                    docids
+                        .iter()
+                        .zip(&tfs)
+                        .map(|(&d, &tf)| {
+                            bm25.contribution(idf, tf, meta.doc_len(d), meta.avg_doc_len)
+                        })
+                        .fold(f32::NEG_INFINITY, f32::max)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -129,5 +201,35 @@ mod tests {
         let idx = InvertedIndex::from_docid_lists(&lists, 2001, Codec::EliasFano, 128);
         assert!(idx.size_bits() > 0);
         assert!(idx.size_bits() < 1000 * 32);
+    }
+
+    #[test]
+    fn block_ubs_bound_every_contribution() {
+        let lists = vec![(0u32..1000).map(|i| i * 3 + 1).collect::<Vec<_>>()];
+        let idx = InvertedIndex::from_docid_lists(&lists, 5000, Codec::EliasFano, 128);
+        let t0 = idx.lookup("t0").unwrap();
+        let list = idx.list(t0);
+        let ubs = idx.block_ubs(t0);
+        assert_eq!(ubs.len(), list.num_blocks());
+        let bm = idx.bm25();
+        let idf = bm.idf(idx.num_docs(), list.len() as u32);
+        let (docids, tfs) = list.decompress();
+        for (i, (&d, &tf)) in docids.iter().zip(&tfs).enumerate() {
+            let c = bm.contribution(idf, tf, idx.meta().doc_len(d), idx.meta().avg_doc_len);
+            let block = i / idx.block_len();
+            assert!(c <= ubs[block], "posting {i} exceeds its block bound");
+        }
+        // Uniform tf + uniform doc length → the bound is tight.
+        assert!(ubs.iter().all(|&u| u > 0.0 && u.is_finite()));
+    }
+
+    #[test]
+    fn synthetic_positions_follow_the_list_index() {
+        let lists = vec![vec![4u32, 8], vec![4u32, 9]];
+        let idx = InvertedIndex::from_docid_lists(&lists, 100, Codec::EliasFano, 128);
+        let mut out = Vec::new();
+        idx.list(idx.lookup("t1").unwrap())
+            .positions_into(0, 0, &mut out);
+        assert_eq!(out, vec![1]);
     }
 }

@@ -121,6 +121,7 @@ mod tests {
             time,
             steps,
             gpu_faults: 0,
+            pruning: None,
         }
     }
 

@@ -237,9 +237,7 @@ impl GriffinServer {
                 // under (the fallback run below mints its own id).
                 let trace_query = engine.telemetry().recorder().map(|r| r.current_query());
                 let cpu_fallback = if wants_fallback && wants_gpu && gpu_allowed {
-                    let fb = QueryRequest::new(req.terms.clone())
-                        .k(req.k)
-                        .mode(ExecMode::CpuOnly);
+                    let fb = req.clone().mode(ExecMode::CpuOnly);
                     Some(engine.run(index, &fb).time)
                 } else {
                     None

@@ -55,12 +55,7 @@ fn assert_topk_matches_cpu(
     planned: &[PlannedQuery],
 ) {
     for (req, p) in requests.iter().zip(planned) {
-        let cpu = engine.run(
-            index,
-            &QueryRequest::new(req.terms.clone())
-                .k(req.k)
-                .mode(ExecMode::CpuOnly),
-        );
+        let cpu = engine.run(index, &req.clone().mode(ExecMode::CpuOnly));
         let ids = |topk: &[(u32, f32)]| topk.iter().map(|&(d, _)| d).collect::<Vec<_>>();
         assert_eq!(
             ids(&p.topk),

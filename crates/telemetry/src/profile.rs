@@ -15,6 +15,7 @@
 //! │   ├── cpu-lane
 //! │   └── gpu-lane
 //! ├── transfer          (migrate steps)
+//! ├── setop             (plan operators: union, difference, phrase check)
 //! ├── rank              (top-k)
 //! └── recovery          (fault recovery)
 //! ```
@@ -203,6 +204,9 @@ fn phase_of(op: &str) -> &'static str {
         "topk" => "rank",
         "exec" => "exec",
         "fault_recovery" => "recovery",
+        // Host-side plan operators (OR unions, NOT differences, mixed-AND
+        // set intersections, phrase adjacency checks) share one frame.
+        "union" | "difference" | "intersect_sets" | "phrase_check" => "setop",
         _ => "other",
     }
 }

@@ -6,7 +6,7 @@
 //! generator that synthesizes posting lists directly at the Fig. 10 scale
 //! without materializing documents.
 
-use griffin_codec::Codec;
+use griffin_codec::{Codec, DEFAULT_BLOCK_LEN};
 use griffin_index::{IndexBuilder, InvertedIndex};
 use rand::Rng;
 
@@ -20,6 +20,26 @@ pub struct CorpusSpec {
     pub vocab_size: usize,
     pub avg_doc_len: usize,
     pub codec: Codec,
+    /// Word burstiness (Church & Gale): the probability that a token
+    /// repeats a word already used in the same document instead of
+    /// drawing fresh from the vocabulary. Real text is bursty — a word
+    /// that appears once in a document tends to recur — which is what
+    /// gives term frequencies their heavy within-document tail (and
+    /// block-max scores something to discriminate on). 0 disables.
+    pub burstiness: f64,
+    /// Heavy-tailed document lengths (Pareto-ish, exponent `1/skew`)
+    /// with docIDs assigned in *length order* — a stand-in for the
+    /// URL-order docID assignment real indexes use, which clusters
+    /// similar documents. Length clustering is what gives per-block
+    /// score upper bounds their spread: BM25's length normalization
+    /// pushes whole blocks of long documents below the top-k floor.
+    /// 0 disables (uniform ±50% lengths, arrival-order docIDs).
+    pub length_skew: f64,
+    /// Posting-list block length. Block-max pruning trades index size
+    /// for bound tightness: smaller blocks mean finer per-block upper
+    /// bounds (the BMW literature favours 32-64 over the decode-friendly
+    /// 128). Defaults to the codec's [`DEFAULT_BLOCK_LEN`].
+    pub block_len: usize,
 }
 
 impl Default for CorpusSpec {
@@ -29,22 +49,50 @@ impl Default for CorpusSpec {
             vocab_size: 5_000,
             avg_doc_len: 120,
             codec: Codec::EliasFano,
+            burstiness: 0.0,
+            length_skew: 0.0,
+            block_len: DEFAULT_BLOCK_LEN,
         }
     }
 }
 
 /// Builds a text-derived index: documents of Zipf-drawn words
 /// ("w0", "w1", ...), doc lengths varying ±50% around the average.
+/// With [`CorpusSpec::burstiness`] set, repeats are drawn uniformly
+/// from the document's earlier tokens — a rich-get-richer process, so
+/// within-document term frequencies come out power-law-ish like real
+/// text rather than thin like independent draws.
 pub fn build_text_index<R: Rng + ?Sized>(spec: &CorpusSpec, rng: &mut R) -> InvertedIndex {
     let zipf = Zipf::new(spec.vocab_size as u64, 1.0);
-    let mut builder = IndexBuilder::new(spec.codec);
-    let mut tokens: Vec<String> = Vec::new();
+    let mut builder = IndexBuilder::new(spec.codec).with_block_len(spec.block_len);
+    let mut docs: Vec<Vec<String>> = Vec::with_capacity(spec.num_docs);
     for _ in 0..spec.num_docs {
-        let len = rng.gen_range(spec.avg_doc_len / 2..=spec.avg_doc_len * 3 / 2);
-        tokens.clear();
+        let len = if spec.length_skew > 0.0 {
+            // Pareto-ish tail: most documents short, a long tail of
+            // template-heavy giants, capped at 8x the average.
+            let u: f64 = rng.gen::<f64>().max(1e-9);
+            let heavy = spec.avg_doc_len as f64 * u.powf(-spec.length_skew) / 2.0;
+            (heavy as usize).clamp(spec.avg_doc_len / 4, spec.avg_doc_len * 8)
+        } else {
+            rng.gen_range(spec.avg_doc_len / 2..=spec.avg_doc_len * 3 / 2)
+        };
+        let mut tokens: Vec<String> = Vec::with_capacity(len);
         for _ in 0..len {
-            tokens.push(format!("w{}", zipf.sample(rng) - 1));
+            if !tokens.is_empty() && rng.gen::<f64>() < spec.burstiness {
+                let echo = rng.gen_range(0..tokens.len());
+                tokens.push(tokens[echo].clone());
+            } else {
+                tokens.push(format!("w{}", zipf.sample(rng) - 1));
+            }
         }
+        docs.push(tokens);
+    }
+    if spec.length_skew > 0.0 {
+        // URL-order stand-in: cluster similar (here: similar-length)
+        // documents so per-block bounds stay tight.
+        docs.sort_by_key(Vec::len);
+    }
+    for tokens in &docs {
         let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
         builder.add_document(&refs);
     }
@@ -109,6 +157,7 @@ mod tests {
             vocab_size: 300,
             avg_doc_len: 50,
             codec: Codec::EliasFano,
+            ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(1);
         let idx = build_text_index(&spec, &mut rng);

@@ -28,7 +28,7 @@ pub mod zipf;
 
 pub use corpus::{build_list_index, build_text_index, CorpusSpec, ListIndexSpec};
 pub use lists::{gen_correlated_lists, gen_docid_list, sample_list_len, GapProfile};
-pub use queries::QueryLogSpec;
+pub use queries::{MixedQuerySpec, QueryLogSpec, QueryShape};
 pub use ratio::{gen_ratio_pair, gen_ratio_pair_opts, PairShape, RatioGroup, RATIO_GROUPS};
 pub use stats::{percentile, size_cdf, LatencyStats};
 pub use zipf::Zipf;

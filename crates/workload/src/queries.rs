@@ -96,6 +96,131 @@ impl QueryLogSpec {
     }
 }
 
+/// Shape of a mixed-operator query log: text queries exercising the full
+/// grammar (conjunctions, `OR` arms, negations, quoted phrases) with
+/// term popularity drawn from the same df-ranked Zipf mixture as
+/// [`QueryLogSpec`]. The generator emits query *strings*, so the log
+/// also exercises the parser — the serving simulation and `exp_queries`
+/// feed these through [`Griffin::query`].
+///
+/// [`Griffin::query`]: ../../griffin/engine/struct.Griffin.html#method.query
+#[derive(Debug, Clone)]
+pub struct MixedQuerySpec {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Zipf exponent over df-ranked terms (see [`QueryLogSpec::term_bias`]).
+    pub term_bias: f64,
+    /// Popular-vs-uniform mixture (see [`QueryLogSpec::popular_mix`]).
+    pub popular_mix: f64,
+    /// Relative weight of plain conjunctions (`a b c`).
+    pub and_weight: f64,
+    /// Relative weight of disjunctions (`a OR b [OR c]`).
+    pub or_weight: f64,
+    /// Relative weight of negated conjunctions (`a b -c`).
+    pub not_weight: f64,
+    /// Relative weight of quoted phrases (`"a b" [c]`).
+    pub phrase_weight: f64,
+}
+
+impl Default for MixedQuerySpec {
+    fn default() -> Self {
+        // Web logs are mostly conjunctive; the operator tail is real but
+        // thin. The defaults keep conjunctions dominant while giving the
+        // planner a steady diet of every operator.
+        MixedQuerySpec {
+            num_queries: 1_000,
+            term_bias: 1.2,
+            popular_mix: 0.65,
+            and_weight: 0.55,
+            or_weight: 0.20,
+            not_weight: 0.15,
+            phrase_weight: 0.10,
+        }
+    }
+}
+
+/// The operator shape of one generated query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryShape {
+    And,
+    Or,
+    Not,
+    Phrase,
+}
+
+impl MixedQuerySpec {
+    /// Samples one query's operator shape from the weight mixture.
+    pub fn sample_shape<R: Rng + ?Sized>(&self, rng: &mut R) -> QueryShape {
+        let total = self.and_weight + self.or_weight + self.not_weight + self.phrase_weight;
+        let mut u = rng.gen::<f64>() * total;
+        for (shape, w) in [
+            (QueryShape::And, self.and_weight),
+            (QueryShape::Or, self.or_weight),
+            (QueryShape::Not, self.not_weight),
+        ] {
+            if u < w {
+                return shape;
+            }
+            u -= w;
+        }
+        QueryShape::Phrase
+    }
+
+    /// Generates the query log as parser-ready strings over the index's
+    /// vocabulary. Terms within a query are distinct; negated terms are
+    /// drawn popular-biased too (a negation only prunes if it matches).
+    pub fn generate<R: Rng + ?Sized>(&self, index: &InvertedIndex, rng: &mut R) -> Vec<String> {
+        let n_terms = index.num_terms();
+        assert!(n_terms >= 8, "index too small for mixed queries");
+        let mut by_df: Vec<u32> = (0..n_terms as u32).collect();
+        by_df.sort_by_key(|&t| std::cmp::Reverse(index.doc_freq(TermId(t))));
+        let zipf = Zipf::new(n_terms as u64, self.term_bias);
+        let dict = index.dictionary();
+
+        let pick_words = |rng: &mut R, want: usize| -> Vec<&str> {
+            let mut ids: Vec<TermId> = Vec::with_capacity(want);
+            while ids.len() < want.min(n_terms) {
+                let rank = if rng.gen::<f64>() < self.popular_mix {
+                    zipf.sample(rng) as usize - 1
+                } else {
+                    rng.gen_range(0..n_terms)
+                };
+                let t = TermId(by_df[rank]);
+                if !ids.contains(&t) {
+                    ids.push(t);
+                }
+            }
+            ids.iter().map(|&t| dict.term(t)).collect()
+        };
+
+        (0..self.num_queries)
+            .map(|_| match self.sample_shape(rng) {
+                QueryShape::And => {
+                    let n = rng.gen_range(2..=4);
+                    pick_words(rng, n).join(" ")
+                }
+                QueryShape::Or => {
+                    let n = rng.gen_range(2..=3);
+                    pick_words(rng, n).join(" OR ")
+                }
+                QueryShape::Not => {
+                    let w = pick_words(rng, 3);
+                    format!("{} {} -{}", w[0], w[1], w[2])
+                }
+                QueryShape::Phrase => {
+                    let with_extra = rng.gen_bool(0.5);
+                    let w = pick_words(rng, if with_extra { 3 } else { 2 });
+                    if with_extra {
+                        format!("\"{} {}\" {}", w[0], w[1], w[2])
+                    } else {
+                        format!("\"{} {}\"", w[0], w[1])
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +292,55 @@ mod tests {
         assert!(counts[99] * 3 > max_count, "popular term underused");
         // And the least frequent term should be rarer than the most.
         assert!(counts[0] < max_count);
+    }
+
+    #[test]
+    fn mixed_queries_cover_every_shape_and_stay_in_vocabulary() {
+        let idx = tiny_index(60);
+        let spec = MixedQuerySpec {
+            num_queries: 400,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let queries = spec.generate(&idx, &mut rng);
+        assert_eq!(queries.len(), 400);
+        let mut saw = (false, false, false);
+        for q in &queries {
+            if q.contains(" OR ") {
+                saw.0 = true;
+            }
+            if q.contains(" -") {
+                saw.1 = true;
+            }
+            if q.contains('"') {
+                saw.2 = true;
+            }
+            // Every bare word (quotes and '-' stripped) is in-vocabulary.
+            for w in q.split_whitespace() {
+                let w = w.trim_matches('"').trim_start_matches('-');
+                if w == "OR" {
+                    continue;
+                }
+                assert!(
+                    idx.lookup(w).is_some(),
+                    "out-of-vocabulary word {w:?} in {q:?}"
+                );
+            }
+        }
+        assert!(saw.0 && saw.1 && saw.2, "missing shapes: {saw:?}");
+    }
+
+    #[test]
+    fn mixed_queries_are_deterministic() {
+        let idx = tiny_index(30);
+        let spec = MixedQuerySpec {
+            num_queries: 50,
+            ..Default::default()
+        };
+        let a = spec.generate(&idx, &mut StdRng::seed_from_u64(4));
+        let b = spec.generate(&idx, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+        assert_ne!(a, spec.generate(&idx, &mut StdRng::seed_from_u64(5)));
     }
 
     #[test]
