@@ -56,6 +56,7 @@ fn main() {
         "exp_coexec",
         "exp_queries",
         "exp_profile",
+        "exp_fleet",
     ];
     let opts = Options::from_args();
     // Smoke runs shrink the sample counts too (children inherit the

@@ -103,11 +103,22 @@ pub struct GriffinOutput {
     /// Zero when fault injection is off or the query never touched the
     /// device.
     pub gpu_faults: u32,
+    /// True when GPU fault recovery was exhausted (or the device was
+    /// lost outright) and the query abandoned the device, finishing on
+    /// the CPU. Transient faults that a retry absorbed do *not* set
+    /// this — it is the "this device is actually unusable" signal that
+    /// circuit breakers should key on, as opposed to
+    /// [`gpu_faults`](Self::gpu_faults), which counts every hiccup.
+    pub gpu_abandoned: bool,
     /// Block-max pruning ledger, present when the query ran with
     /// [`QueryRequest::pruned`] set and took a pruned path. `None` for
     /// unpruned runs (and for query shapes the pruned path does not
     /// cover, which fall back to unpruned execution).
     pub pruning: Option<PruneStats>,
+    /// Fleet coverage accounting, present only when the answer came
+    /// through a scatter–gather coordinator (see [`crate::fleet`]). A
+    /// single-engine answer is always complete, hence `None`.
+    pub fleet: Option<crate::fleet::FleetInfo>,
 }
 
 /// Where the intermediate currently lives.
@@ -651,7 +662,9 @@ impl<'g> Griffin<'g> {
                     time: out.time,
                     steps,
                     gpu_faults: 0,
+                    gpu_abandoned: false,
                     pruning: None,
+                    fleet: None,
                 }
             }
             ExecMode::GpuOnly => {
@@ -690,7 +703,9 @@ impl<'g> Griffin<'g> {
                             time: exec_time + rank_time,
                             steps,
                             gpu_faults: log.faults,
+                            gpu_abandoned: log.gpu_disabled,
                             pruning: None,
+                            fleet: None,
                         }
                     }
                     Err(_) => {
@@ -717,7 +732,9 @@ impl<'g> Griffin<'g> {
                             time: total + out.time,
                             steps,
                             gpu_faults: log.faults,
+                            gpu_abandoned: log.gpu_disabled,
                             pruning: None,
+                            fleet: None,
                         }
                     }
                 }
@@ -795,12 +812,14 @@ impl<'g> Griffin<'g> {
                             time: exec_time + rank_time,
                             steps,
                             gpu_faults: log.faults,
+                            gpu_abandoned: log.gpu_disabled,
                             pruning: Some(PruneStats {
                                 tf_blocks_total: p.blocks_total,
                                 tf_blocks_decoded: p.blocks_resident,
                                 candidates: matches,
                                 verified: matches,
                             }),
+                            fleet: None,
                         }
                     }
                     Err(_) => {
@@ -816,6 +835,7 @@ impl<'g> Griffin<'g> {
                         steps.append(&mut out.steps);
                         out.steps = steps;
                         out.gpu_faults += log.faults;
+                        out.gpu_abandoned |= log.gpu_disabled;
                         out
                     }
                 }
@@ -844,7 +864,9 @@ impl<'g> Griffin<'g> {
             time: out.time,
             steps,
             gpu_faults: 0,
+            gpu_abandoned: false,
             pruning: Some(out.stats),
+            fleet: None,
         }
     }
 
@@ -875,7 +897,9 @@ impl<'g> Griffin<'g> {
                 time: VirtualNanos::ZERO,
                 steps: Vec::new(),
                 gpu_faults: 0,
+                gpu_abandoned: false,
                 pruning: None,
+                fleet: None,
             };
         }
         match mode {
@@ -908,7 +932,9 @@ impl<'g> Griffin<'g> {
                     time,
                     steps,
                     gpu_faults: 0,
+                    gpu_abandoned: false,
                     pruning: None,
+                    fleet: None,
                 }
             }
             ExecMode::GpuOnly | ExecMode::Hybrid => {
@@ -935,7 +961,9 @@ impl<'g> Griffin<'g> {
                     time: total,
                     steps,
                     gpu_faults: log.faults,
+                    gpu_abandoned: log.gpu_disabled,
                     pruning: None,
+                    fleet: None,
                 }
             }
         }
@@ -1364,7 +1392,9 @@ impl<'g> Griffin<'g> {
                 time: VirtualNanos::ZERO,
                 steps,
                 gpu_faults: log.faults,
+                gpu_abandoned: log.gpu_disabled,
                 pruning: None,
+                fleet: None,
             };
         }
         let mut w = WorkCounters::default();
@@ -1384,7 +1414,9 @@ impl<'g> Griffin<'g> {
             time: total,
             steps,
             gpu_faults: log.faults,
+            gpu_abandoned: log.gpu_disabled,
             pruning: None,
+            fleet: None,
         }
     }
 

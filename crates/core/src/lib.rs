@@ -23,6 +23,7 @@
 
 pub mod cost;
 pub mod engine;
+pub mod fleet;
 pub mod plan;
 pub mod query;
 pub mod request;
@@ -30,7 +31,9 @@ pub mod sched;
 pub mod serving;
 
 pub use cost::CostModel;
-pub use engine::{ExecMode, Griffin, GriffinOutput, Search, StepOp, StepTrace};
+pub use engine::{ExecMode, Griffin, GriffinOutput, RecoveryPolicy, Search, StepOp, StepTrace};
+pub use fleet::{merge_topk, FleetInfo, ShardOutcome, ShardStatus, ShardedIndex};
+pub use griffin_cpu::PruneStats;
 pub use plan::{Plan, PlanNode, Planner};
 pub use query::Query;
 pub use request::{QueryError, QueryRequest};

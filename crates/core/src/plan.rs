@@ -201,7 +201,11 @@ impl Planner<'_> {
         if terms.is_empty() {
             return PlanNode::Empty;
         }
-        terms.sort_by_key(|&t| self.index.doc_freq(t));
+        // scoring_df: the chain order fixes the score fold order, so a
+        // shard view must sort by the same global dfs as the unsharded
+        // index. The cost estimates below stay on local list lengths —
+        // they steer placement and latency, never results.
+        terms.sort_by_key(|&t| self.index.scoring_df(t));
         let est = self.index.doc_freq(terms[0]);
         let place = match terms.get(1) {
             Some(&second) => {

@@ -137,9 +137,14 @@ impl CpuEngine {
 
     /// Orders the query's terms by ascending document frequency (SvS starts
     /// with the two rarest terms). Unknown terms yield `None` (empty result).
+    ///
+    /// Uses [`InvertedIndex::scoring_df`], not the local list length: the
+    /// plan order fixes the f32 fold order of the scores, so a shard view
+    /// must sort by the same global dfs as the unsharded index or its
+    /// last-ulp score bits drift.
     pub fn plan(&self, index: &InvertedIndex, terms: &[TermId]) -> Vec<TermId> {
         let mut ts = terms.to_vec();
-        ts.sort_by_key(|&t| index.doc_freq(t));
+        ts.sort_by_key(|&t| index.scoring_df(t));
         ts
     }
 
@@ -162,7 +167,9 @@ impl CpuEngine {
             w.varint_elements += tfs.len() as u64;
             (ids, tfs)
         };
-        let idf = self.bm25.idf(index.num_docs(), list.len() as u32);
+        let idf = self
+            .bm25
+            .idf(index.num_docs(), index.scoring_df(term) as u32);
         let meta = index.meta();
         let scores: Vec<f32> = docids
             .iter()
@@ -281,7 +288,9 @@ impl CpuEngine {
     ) -> Intermediate {
         let list = index.list(term);
         let tfs = intersect::gather_tfs_with(list, &matches.b_idx, w, scratch);
-        let idf = self.bm25.idf(index.num_docs(), list.len() as u32);
+        let idf = self
+            .bm25
+            .idf(index.num_docs(), index.scoring_df(term) as u32);
         let meta = index.meta();
         let scores: Vec<f32> = matches
             .docids
@@ -434,7 +443,7 @@ impl CpuEngine {
         let idfs: Vec<f32> = chain
             .planned
             .iter()
-            .map(|&t| self.bm25.idf(index.num_docs(), index.doc_freq(t) as u32))
+            .map(|&t| self.bm25.idf(index.num_docs(), index.scoring_df(t) as u32))
             .collect();
         // Optimistic bound per candidate: its blocks' upper bounds folded
         // in the same left-associated plan order as the exact scorer.

@@ -459,8 +459,13 @@ impl<'g> GpuEngine<'g> {
         lo_block: usize,
         hi_block: usize,
     ) -> Result<DevicePostings, GpuError> {
-        let postings =
-            DevicePostings::upload_range(self.gpu, index.list(term), lo_block, hi_block)?;
+        let postings = DevicePostings::upload_range(
+            self.gpu,
+            index.list(term),
+            lo_block,
+            hi_block,
+            index.scoring_df(term) as u32,
+        )?;
         let uploaded = self.gpu.record_event(StreamKind::Copy);
         self.gpu.stream_wait(StreamKind::Compute, uploaded);
         Ok(postings)
@@ -486,7 +491,11 @@ impl<'g> GpuEngine<'g> {
         }
         cache.stats.misses += 1;
         drop(cache);
-        let postings = Rc::new(DevicePostings::upload(self.gpu, index.list(term))?);
+        let postings = Rc::new(DevicePostings::upload(
+            self.gpu,
+            index.list(term),
+            index.scoring_df(term) as u32,
+        )?);
         let uploaded = self.gpu.record_event(StreamKind::Copy);
         let bytes = postings.docs.bytes_shipped
             + postings.tf_words.size_bytes()
@@ -875,7 +884,9 @@ impl<'g> GpuEngine<'g> {
     ) -> Result<Intermediate, GpuError> {
         let gpu = self.gpu;
         let mut planned = terms.to_vec();
-        planned.sort_by_key(|&t| index.doc_freq(t));
+        // scoring_df, not the local list length: the sort fixes the f32
+        // score fold order, which must match across shard views.
+        planned.sort_by_key(|&t| index.scoring_df(t));
         let Some((&first, rest)) = planned.split_first() else {
             return Ok(Intermediate::default());
         };
@@ -977,7 +988,9 @@ impl<'g> GpuEngine<'g> {
     ) -> Result<Vec<(u32, f32)>, GpuError> {
         let gpu = self.gpu;
         let mut planned = terms.to_vec();
-        planned.sort_by_key(|&t| index.doc_freq(t));
+        // scoring_df, not the local list length: the sort fixes the f32
+        // score fold order, which must match across shard views.
+        planned.sort_by_key(|&t| index.scoring_df(t));
         let Some((&first, rest)) = planned.split_first() else {
             return Ok(Vec::new());
         };

@@ -393,7 +393,7 @@ mod tests {
             })
             .collect();
         let list = CompressedPostingList::compress(&postings, Codec::EliasFano, 128);
-        let dev = DevicePostings::upload(&gpu, &list).unwrap();
+        let dev = DevicePostings::upload(&gpu, &list, list.len() as u32).unwrap();
         let tf_buf = decode_tfs(&gpu, &dev).unwrap();
         let tfs = gpu.dtoh(&tf_buf).unwrap();
         let expect: Vec<u32> = postings.iter().map(|p| p.tf).collect();

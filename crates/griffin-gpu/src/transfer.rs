@@ -265,27 +265,36 @@ pub struct DevicePostings {
     pub tf_words: DeviceBuffer<u32>,
     /// Per block: byte offset of its tf run (num_blocks + 1 entries).
     pub tf_offsets: DeviceBuffer<u32>,
-    /// Document frequency of the *full* posting list, even when only a
-    /// block range is resident — BM25's idf must not depend on where the
-    /// co-execution split landed.
+    /// Document frequency BM25 scores this list with — the *full* list's
+    /// df even when only a block range is resident (idf must not depend
+    /// on where a co-execution split landed), and the whole-corpus df
+    /// when the list belongs to a shard view (idf must not depend on
+    /// where the shard boundary landed either).
     pub df: u32,
 }
 
 impl DevicePostings {
     /// Ships docIDs and term frequencies to the device; a fault during
-    /// the tf transfer releases the already-resident docID image.
-    pub fn upload(gpu: &Gpu, list: &CompressedPostingList) -> Result<DevicePostings, GpuError> {
-        DevicePostings::upload_range(gpu, list, 0, list.docs.num_blocks())
+    /// the tf transfer releases the already-resident docID image. `df`
+    /// is the document frequency the scorer must use — pass the index's
+    /// scoring df, which differs from `list.len()` on shard views.
+    pub fn upload(
+        gpu: &Gpu,
+        list: &CompressedPostingList,
+        df: u32,
+    ) -> Result<DevicePostings, GpuError> {
+        DevicePostings::upload_range(gpu, list, 0, list.docs.num_blocks(), df)
     }
 
     /// Ships only blocks `[lo_block, hi_block)`: the EF docID slice plus
     /// the matching window of the VByte tf stream (offsets rebased to the
-    /// slice). `df` still reports the full list's length.
+    /// slice). `df` still reports the scoring df of the whole list.
     pub fn upload_range(
         gpu: &Gpu,
         list: &CompressedPostingList,
         lo_block: usize,
         hi_block: usize,
+        df: u32,
     ) -> Result<DevicePostings, GpuError> {
         let docs = DeviceEfList::upload_range(gpu, &list.docs, lo_block, hi_block)?;
         let (tf_bytes, tf_offsets) = list.tf_raw();
@@ -317,7 +326,7 @@ impl DevicePostings {
             docs,
             tf_words,
             tf_offsets,
-            df: list.len() as u32,
+            df,
         })
     }
 
@@ -394,11 +403,12 @@ mod tests {
         let ids = docids(2000);
         let list = CompressedPostingList::from_docids(&ids, Codec::EliasFano, DEFAULT_BLOCK_LEN);
         let gpu = Gpu::new(DeviceConfig::test_tiny());
-        let full = DevicePostings::upload(&gpu, &list).unwrap();
+        let full = DevicePostings::upload(&gpu, &list, list.len() as u32).unwrap();
         let full_bytes = full.docs.bytes_shipped;
         full.free(&gpu);
         let nb = list.docs.num_blocks();
-        let part = DevicePostings::upload_range(&gpu, &list, nb / 2, nb).unwrap();
+        let part =
+            DevicePostings::upload_range(&gpu, &list, nb / 2, nb, list.len() as u32).unwrap();
         assert!(part.docs.bytes_shipped < full_bytes);
         assert_eq!(part.df, list.len() as u32, "idf must see the whole list");
         assert_eq!(part.docs.num_blocks, nb - nb / 2);
@@ -440,7 +450,7 @@ mod tests {
             },
         ));
         let gpu = Gpu::new(cfg);
-        let err = DevicePostings::upload(&gpu, &list).unwrap_err();
+        let err = DevicePostings::upload(&gpu, &list, list.len() as u32).unwrap_err();
         assert!(matches!(err, GpuError::Device(_)));
         assert_eq!(
             gpu.mem_in_use(),

@@ -16,6 +16,7 @@ pub mod dictionary;
 pub mod document;
 pub mod posting;
 pub mod rank;
+pub mod shard;
 pub mod storage;
 
 pub use builder::IndexBuilder;
@@ -23,4 +24,5 @@ pub use dictionary::{Dictionary, TermId};
 pub use document::{CorpusMeta, DocId};
 pub use posting::{CompressedPostingList, Posting};
 pub use rank::Bm25;
+pub use shard::{partition, ShardPlan};
 pub use storage::InvertedIndex;

@@ -27,6 +27,12 @@ pub struct InvertedIndex {
     block_ubs: Vec<Vec<f32>>,
     /// The parameters the upper bounds were computed under.
     bm25: Bm25,
+    /// For a shard view (see [`crate::shard`]): the *whole corpus*
+    /// document frequency of each term. BM25's idf — and the df-sorted
+    /// plan order it implies — must see global statistics on every
+    /// shard, or shard scores drift from the unsharded engine's.
+    /// `None` for a complete index, where the list length is the df.
+    scoring_dfs: Option<Vec<u32>>,
 }
 
 impl InvertedIndex {
@@ -37,8 +43,29 @@ impl InvertedIndex {
         codec: Codec,
         block_len: usize,
     ) -> Self {
+        Self::with_scoring_dfs(dictionary, lists, meta, codec, block_len, None)
+    }
+
+    /// Builds a docID-range *shard view*: the lists hold only this
+    /// shard's slice of each posting list (docIDs stay global), while
+    /// `meta` and `scoring_dfs` carry whole-corpus statistics so idf,
+    /// document lengths, and the df-sorted term order — and therefore
+    /// every f32 score bit — match the unsharded index exactly. The
+    /// block upper bounds are computed under the same global idf, so
+    /// block-max pruning stays exact on the shard.
+    pub fn with_scoring_dfs(
+        dictionary: Dictionary,
+        lists: Vec<CompressedPostingList>,
+        meta: CorpusMeta,
+        codec: Codec,
+        block_len: usize,
+        scoring_dfs: Option<Vec<u32>>,
+    ) -> Self {
+        if let Some(dfs) = &scoring_dfs {
+            assert_eq!(dfs.len(), lists.len(), "one scoring df per term");
+        }
         let bm25 = Bm25::default();
-        let block_ubs = compute_block_ubs(&lists, &meta, &bm25);
+        let block_ubs = compute_block_ubs(&lists, &meta, &bm25, scoring_dfs.as_deref());
         InvertedIndex {
             dictionary,
             lists,
@@ -47,6 +74,7 @@ impl InvertedIndex {
             block_len,
             block_ubs,
             bm25,
+            scoring_dfs,
         }
     }
 
@@ -93,9 +121,28 @@ impl InvertedIndex {
         &self.lists[term.0 as usize]
     }
 
-    /// Document frequency (list length) of a term.
+    /// Document frequency (list length) of a term. On a shard view this
+    /// is the *local* posting count — the right signal for work and
+    /// placement estimates, the wrong one for scoring (use
+    /// [`InvertedIndex::scoring_df`]).
     pub fn doc_freq(&self, term: TermId) -> usize {
         self.list(term).len()
+    }
+
+    /// The document frequency BM25 must score with: the whole-corpus df
+    /// on a shard view, the list length otherwise. Everything that feeds
+    /// idf — or decides the df-sorted fold order of a score — goes
+    /// through here, so sharding never moves a score bit.
+    pub fn scoring_df(&self, term: TermId) -> usize {
+        match &self.scoring_dfs {
+            Some(dfs) => dfs[term.0 as usize] as usize,
+            None => self.doc_freq(term),
+        }
+    }
+
+    /// Whether this index is a docID-range shard view of a larger corpus.
+    pub fn is_shard_view(&self) -> bool {
+        self.scoring_dfs.is_some()
     }
 
     pub fn num_terms(&self) -> usize {
@@ -152,13 +199,16 @@ fn compute_block_ubs(
     lists: &[CompressedPostingList],
     meta: &CorpusMeta,
     bm25: &Bm25,
+    scoring_dfs: Option<&[u32]>,
 ) -> Vec<Vec<f32>> {
     let mut docids: Vec<u32> = Vec::new();
     let mut tfs: Vec<u32> = Vec::new();
     lists
         .iter()
-        .map(|list| {
-            let idf = bm25.idf(meta.num_docs, list.len() as u32);
+        .enumerate()
+        .map(|(t, list)| {
+            let df = scoring_dfs.map_or(list.len() as u32, |dfs| dfs[t]);
+            let idf = bm25.idf(meta.num_docs, df);
             (0..list.num_blocks())
                 .map(|b| {
                     docids.clear();

@@ -121,7 +121,9 @@ mod tests {
             time,
             steps,
             gpu_faults: 0,
+            gpu_abandoned: false,
             pruning: None,
+            fleet: None,
         }
     }
 

@@ -27,6 +27,12 @@
 //!   attribution profiles and one-line dominant-cause verdicts, and a
 //!   multi-window SLO burn-rate monitor whose early-warning signal the
 //!   admission/breaker layers can consume.
+//! * **Sharded scatter–gather fleet** ([`Fleet`]): docID-range shards ×
+//!   replicas, each an engine with its own device and breaker; hedged
+//!   shard requests with cancellation accounting, replica failover, a
+//!   CPU-only degraded lane, retry budgets, and partial results with
+//!   explicit per-shard coverage. Complete answers are bit-exact with
+//!   the unsharded engine.
 //!
 //! The pipeline is **bit-exact when unloaded**: a single query replayed
 //! through the simulator finishes in exactly
@@ -79,6 +85,7 @@
 pub mod admission;
 pub mod batch;
 pub mod bridge;
+pub mod fleet;
 pub mod flight;
 pub mod health;
 pub mod server;
@@ -88,7 +95,11 @@ pub mod slo;
 pub use admission::{AdmissionConfig, Outcome, OverloadPolicy, ServedQuery};
 pub use batch::BatchConfig;
 pub use bridge::{cpu_shadow_of, gpu_copy_fraction, resource_of, resource_totals, stages_of};
-pub use flight::{verdict_from_stages, FlightConfig, FlightRecord, FlightRecorder};
+pub use fleet::{
+    Fleet, FleetConfig, FleetDevices, FleetReport, FleetServedQuery, FleetStats, HedgeConfig,
+    RetryBudgetConfig,
+};
+pub use flight::{verdict_from_stages, FlightConfig, FlightRecord, FlightRecorder, ShardVerdict};
 pub use health::{BreakerConfig, BreakerState, BreakerStats, GpuHealth};
 pub use server::{ArrivingQuery, GriffinServer, PlannedQuery, ServeReport, ServerConfig};
 pub use sim::{ServerSim, SimConfig, SimJob, SimReport, SimStats};

@@ -382,6 +382,7 @@ impl GriffinServer {
                 queue_wait,
                 verdict,
                 profile,
+                shards: Vec::new(),
             });
         }
         if let Some(f) = flight.as_ref() {

@@ -1,0 +1,338 @@
+//! Fleet scatter–gather invariants.
+//!
+//! Four pins hold the fleet layer together:
+//!
+//! 1. **Sharding is invisible** — for every (shards, replicas, k, mode)
+//!    combination, including forced co-execution splits and
+//!    armed-but-no-op fault plans on every device, the merged top-k is
+//!    bit-identical to the unsharded engine's answer.
+//! 2. **One replica is expendable** — killing any single replica before
+//!    any query leaves every answer exact at coverage 1.0; failover is
+//!    a latency event, never a results event.
+//! 3. **Hedges are never double-billed** — across any regime,
+//!    `busy_total == service_total − hedge_cancelled_saved`, and with
+//!    hedging disabled nothing is ever saved.
+//! 4. **Budget exhaustion degrades, never errors** — shrinking the
+//!    retry budget under deadline pressure only moves coverage, with
+//!    every shard still explicitly accounted in every answer.
+//!
+//! Set `GRIFFIN_FAULT_SEED` to explore other deterministic fault
+//! schedules (the CI chaos job sweeps a fixed set of seeds).
+
+use griffin_server::{
+    ArrivingQuery, Fleet, FleetConfig, FleetDevices, HedgeConfig, RetryBudgetConfig,
+};
+use griffin_suite::griffin::{
+    CostModel, FleetInfo, QueryRequest, ShardOutcome, ShardedIndex, SplitConfig,
+};
+use griffin_suite::griffin_gpu_sim::FaultPlan;
+use griffin_suite::prelude::*;
+
+fn fault_seed() -> u64 {
+    std::env::var("GRIFFIN_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF1EE7)
+}
+
+struct Fixture {
+    index: InvertedIndex,
+    queries: Vec<Vec<TermId>>,
+}
+
+fn fixture(num_docs: u32, max_list_len: usize, num_queries: usize) -> Fixture {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let spec = ListIndexSpec {
+        num_terms: 20,
+        num_docs,
+        max_list_len,
+        ..Default::default()
+    };
+    let (index, _) = build_list_index(&spec, &mut rng);
+    let queries = QueryLogSpec {
+        num_queries,
+        ..Default::default()
+    }
+    .generate(&index, &mut rng);
+    Fixture { index, queries }
+}
+
+fn requests(fx: &Fixture, k: usize, mode: ExecMode) -> Vec<QueryRequest> {
+    fx.queries
+        .iter()
+        .map(|q| QueryRequest::new(q.clone()).k(k).mode(mode))
+        .collect()
+}
+
+fn unsharded_answers(fx: &Fixture, reqs: &[QueryRequest]) -> Vec<Vec<(u32, f32)>> {
+    let gpu = Gpu::new(DeviceConfig::test_tiny());
+    let engine = Griffin::new(&gpu, fx.index.meta(), fx.index.block_len());
+    reqs.iter().map(|r| engine.run(&fx.index, r).topk).collect()
+}
+
+fn assert_accounting(fleet: &Fleet<'_>, ctx: &str) {
+    let stats = fleet.stats();
+    assert_eq!(
+        stats.busy_total,
+        stats.service_total - stats.hedge_cancelled_saved,
+        "hedge cancellation accounting diverged ({ctx})"
+    );
+}
+
+fn assert_statuses_complete(info: &FleetInfo, shards: usize, ctx: &str) {
+    assert_eq!(
+        info.shards.len(),
+        shards,
+        "a shard went unaccounted ({ctx})"
+    );
+    for (s, st) in info.shards.iter().enumerate() {
+        assert_eq!(st.shard, s, "shard statuses must be in shard order ({ctx})");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pin 1: sharding is invisible.
+// ---------------------------------------------------------------------
+
+#[test]
+fn merged_topk_is_bit_exact_across_the_grid() {
+    let fx = fixture(200_000, 40_000, 10);
+    let seed = fault_seed();
+    for &shards in &[1usize, 2, 3, 5] {
+        let sharded = ShardedIndex::build(&fx.index, shards);
+        for &replicas in &[1usize, 2] {
+            for &(k, mode) in &[
+                (1usize, ExecMode::Hybrid),
+                (10, ExecMode::Hybrid),
+                (10, ExecMode::CpuOnly),
+                (100, ExecMode::GpuOnly),
+            ] {
+                let devices = FleetDevices::new(shards, replicas, &DeviceConfig::test_tiny());
+                for gpu in devices.iter() {
+                    // Armed but no-op: the RNG is consulted, nothing fires.
+                    let plan = FaultPlan::seeded(seed);
+                    assert!(plan.is_noop());
+                    gpu.set_fault_plan(Some(plan));
+                }
+                let mut fleet = Fleet::new(&devices, &sharded, FleetConfig::default());
+                let reqs = requests(&fx, k, mode);
+                let expected = unsharded_answers(&fx, &reqs);
+                for (req, want) in reqs.iter().zip(&expected) {
+                    let out = fleet.run_query(req);
+                    assert_eq!(
+                        &out.topk, want,
+                        "fleet answer diverged (shards={shards} replicas={replicas} k={k} mode={mode:?})"
+                    );
+                    let info = out.fleet.expect("fleet answers carry coverage");
+                    assert_eq!(info.coverage, 1.0);
+                    assert_statuses_complete(&info, shards, "grid");
+                }
+                assert_accounting(&fleet, "grid");
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_splits_do_not_perturb_the_merge() {
+    let fx = fixture(400_000, 80_000, 8);
+    let sharded = ShardedIndex::build(&fx.index, 3);
+    let reqs = requests(&fx, 10, ExecMode::Hybrid);
+    let expected = unsharded_answers(&fx, &reqs);
+    for &fraction in &[0.0, 0.35, 1.0] {
+        let devices = FleetDevices::new(3, 2, &DeviceConfig::test_tiny());
+        let mut fleet = Fleet::new(&devices, &sharded, FleetConfig::default());
+        fleet.tune(|g| {
+            let model = CostModel::from_device(&DeviceConfig::test_tiny(), true);
+            g.scheduler.split = Some(SplitConfig::forced(model, fraction));
+        });
+        for (req, want) in reqs.iter().zip(&expected) {
+            let out = fleet.run_query(req);
+            assert_eq!(&out.topk, want, "split fraction {fraction} changed results");
+            assert_eq!(out.fleet.expect("coverage").coverage, 1.0);
+        }
+        assert_accounting(&fleet, "forced splits");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pin 2: one replica is expendable.
+// ---------------------------------------------------------------------
+
+#[test]
+fn killing_any_single_replica_changes_no_docids() {
+    let fx = fixture(200_000, 40_000, 6);
+    let shards = 3;
+    let replicas = 2;
+    let sharded = ShardedIndex::build(&fx.index, shards);
+    let reqs = requests(&fx, 10, ExecMode::Hybrid);
+    let expected = unsharded_answers(&fx, &reqs);
+
+    // Kill each (shard, replica) in turn at each query index: the
+    // survivor must carry the shard with no visible change.
+    for victim_s in 0..shards {
+        for victim_r in 0..replicas {
+            for kill_at in 0..reqs.len() {
+                let devices = FleetDevices::new(shards, replicas, &DeviceConfig::test_tiny());
+                let mut fleet = Fleet::new(&devices, &sharded, FleetConfig::default());
+                for (i, (req, want)) in reqs.iter().zip(&expected).enumerate() {
+                    if i == kill_at {
+                        fleet.kill_replica(victim_s, victim_r);
+                    }
+                    let out = fleet.run_query(req);
+                    assert_eq!(
+                        &out.topk, want,
+                        "kill ({victim_s},{victim_r}) at query {kill_at} changed results"
+                    );
+                    let info = out.fleet.expect("coverage");
+                    assert_eq!(
+                        info.coverage, 1.0,
+                        "one dead replica must not cost coverage"
+                    );
+                    assert!(info.complete());
+                }
+                assert_accounting(&fleet, "single kill");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pin 3: hedges are never double-billed.
+// ---------------------------------------------------------------------
+
+#[test]
+fn hedge_accounting_never_double_counts_device_time() {
+    let fx = fixture(400_000, 80_000, 64);
+    let sharded = ShardedIndex::build(&fx.index, 2);
+    let seed = fault_seed();
+    let arrivals: Vec<ArrivingQuery> = fx
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| ArrivingQuery {
+            request: QueryRequest::new(q.clone()).k(10).mode(ExecMode::GpuOnly),
+            arrival: VirtualNanos::from_nanos(i as u64 * 50_000),
+        })
+        .collect();
+
+    let run = |hedge_enabled: bool| {
+        let devices = FleetDevices::new(2, 2, &DeviceConfig::test_tiny());
+        for s in 0..2 {
+            // Replica 0 of each shard is the straggler: fault recovery
+            // inflates its service times so hedges have something to win.
+            devices
+                .device(s, 0)
+                .set_fault_plan(Some(FaultPlan::seeded(seed).with_fault_rate(0.4)));
+        }
+        let config = FleetConfig {
+            hedge: HedgeConfig {
+                enabled: hedge_enabled,
+                min_samples: 8,
+                ..HedgeConfig::default()
+            },
+            budget: RetryBudgetConfig {
+                per_query: 2,
+                burst: 16.0,
+                refill_per_query: 1.0,
+            },
+            ..FleetConfig::default()
+        };
+        let mut fleet = Fleet::new(&devices, &sharded, config);
+        let report = fleet.serve(&arrivals);
+        let stats = *fleet.stats();
+        assert_accounting(&fleet, "hedge regime");
+        for q in &report.queries {
+            let info = q.output.fleet.as_ref().expect("coverage");
+            assert_eq!(info.coverage, 1.0, "hedging never drops a shard");
+        }
+        stats
+    };
+
+    let hedged = run(true);
+    let unhedged = run(false);
+    assert_eq!(unhedged.hedges, 0);
+    assert_eq!(
+        unhedged.hedge_cancelled_saved,
+        VirtualNanos::ZERO,
+        "nothing to cancel with hedging off"
+    );
+    assert!(hedged.hedge_wins <= hedged.hedges);
+    // The regime is built so hedging actually engages; a vacuous pass
+    // here would mean the invariant was never exercised.
+    assert!(hedged.hedges > 0, "straggler regime must trigger hedges");
+}
+
+// ---------------------------------------------------------------------
+// Pin 4: budget exhaustion degrades, never errors.
+// ---------------------------------------------------------------------
+
+#[test]
+fn retry_budget_exhaustion_degrades_coverage_not_correctness() {
+    let fx = fixture(400_000, 80_000, 48);
+    let shards = 2;
+    let sharded = ShardedIndex::build(&fx.index, shards);
+    let seed = fault_seed();
+    let deadline = VirtualNanos::from_millis(2);
+    let arrivals: Vec<ArrivingQuery> = fx
+        .queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| ArrivingQuery {
+            request: QueryRequest::new(q.clone())
+                .k(10)
+                .mode(ExecMode::GpuOnly)
+                .deadline(deadline),
+            arrival: VirtualNanos::from_nanos(i as u64 * 100_000),
+        })
+        .collect();
+
+    let coverage_for = |per_query: u32, burst: f64| {
+        let devices = FleetDevices::new(shards, 2, &DeviceConfig::test_tiny());
+        for s in 0..shards {
+            devices
+                .device(s, 0)
+                .set_fault_plan(Some(FaultPlan::seeded(seed).with_fault_rate(0.5)));
+        }
+        let config = FleetConfig {
+            hedge: HedgeConfig {
+                min_samples: 8,
+                ..HedgeConfig::default()
+            },
+            budget: RetryBudgetConfig {
+                per_query,
+                burst,
+                refill_per_query: if per_query == 0 { 0.0 } else { 1.0 },
+            },
+            ..FleetConfig::default()
+        };
+        let mut fleet = Fleet::new(&devices, &sharded, config);
+        let report = fleet.serve(&arrivals);
+        assert_eq!(report.queries.len(), arrivals.len(), "every query answered");
+        for q in &report.queries {
+            let info = q.output.fleet.as_ref().expect("coverage");
+            assert_statuses_complete(info, shards, "budget");
+            for st in &info.shards {
+                assert_ne!(
+                    st.outcome,
+                    ShardOutcome::Missing,
+                    "replicas are alive; only deadline drops are allowed"
+                );
+            }
+        }
+        assert_accounting(&fleet, "budget");
+        report.mean_coverage()
+    };
+
+    let starved = coverage_for(0, 0.0);
+    let bounded = coverage_for(1, 4.0);
+    let generous = coverage_for(2, 16.0);
+    // Hedging only ever substitutes a faster answer, so more budget can
+    // only help coverage (tolerance for histogram-feedback jitter).
+    assert!(
+        bounded + 0.05 >= starved && generous + 0.05 >= starved,
+        "coverage must not collapse as budget grows (starved={starved:.3} bounded={bounded:.3} generous={generous:.3})"
+    );
+    assert!((0.0..=1.0).contains(&starved));
+}

@@ -189,6 +189,7 @@ fn record(i: usize, latency_ns: u64) -> FlightRecord {
             total: latency,
         },
         profile: None,
+        shards: Vec::new(),
     }
 }
 
