@@ -8,13 +8,17 @@
 //! a relative tolerance band (default 5%), direction-aware: `_ns`-style
 //! metrics regress *upward*, `speedup`/`ratio`-style metrics regress
 //! *downward*, anything else fails on drift in either direction.
-//! Metrics missing from one side are reported but do not fail the run
-//! (experiments come and go across PRs); cost-model constants are
-//! printed informationally when they change. Exits 1 when any metric
+//! Metrics present in only one snapshot are *skipped with a note*, never
+//! failed (experiments and metrics come and go across PRs, and new
+//! wall-clock fields must not break old baselines); cost-model constants
+//! are printed informationally when they change. Wall-clock snapshots
+//! carry a host fingerprint, and when the two fingerprints differ the
+//! numbers are not like-for-like: every metric comparison is skipped
+//! informationally instead of enforced. Exits 1 when any metric
 //! regressed beyond the band, 2 on usage/parse errors.
 
 use griffin_bench::report::Table;
-use griffin_bench::snapshot::{diff, DiffStatus, Snapshot};
+use griffin_bench::snapshot::{diff, hosts_comparable, DiffStatus, Snapshot};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +64,30 @@ fn main() {
         }
     }
 
+    // Wall-clock snapshots are only comparable on the host that produced
+    // them; a fingerprint mismatch turns the whole diff informational.
+    if !hosts_comparable(&baseline, &candidate) {
+        let show = |s: &Snapshot| {
+            if s.host.is_empty() {
+                "(no fingerprint)".to_owned()
+            } else {
+                s.host
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+        };
+        println!(
+            "note: host fingerprints differ — wall-clock numbers are not like-for-like; \
+             skipping all metric enforcement\n  baseline:  {}\n  candidate: {}",
+            show(&baseline),
+            show(&candidate)
+        );
+        println!("no regression check performed (cross-host wall-clock diff)");
+        return;
+    }
+
     let entries = diff(&baseline, &candidate, tolerance_pct);
     let mut t = Table::new(
         "Perf snapshot diff",
@@ -74,6 +102,7 @@ fn main() {
     );
     let mut regressions = 0usize;
     let mut improvements = 0usize;
+    let mut skipped = 0usize;
     for e in &entries {
         let fmt = |v: Option<f64>| v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into());
         let (label, interesting) = match e.status {
@@ -86,8 +115,14 @@ fn main() {
                 regressions += 1;
                 ("REGRESSED", true)
             }
-            DiffStatus::MissingInCandidate => ("missing", true),
-            DiffStatus::NewInCandidate => ("new", true),
+            DiffStatus::MissingInCandidate => {
+                skipped += 1;
+                ("skipped (baseline only)", true)
+            }
+            DiffStatus::NewInCandidate => {
+                skipped += 1;
+                ("skipped (candidate only)", true)
+            }
         };
         // Keep the table readable: print every non-ok row, skip the
         // (many) in-band rows.
@@ -110,7 +145,8 @@ fn main() {
         .count();
     t.print();
     println!(
-        "\n{} metrics compared: {in_band} in band, {improvements} improved, {regressions} regressed",
+        "\n{} metrics compared: {in_band} in band, {improvements} improved, {regressions} regressed, \
+         {skipped} skipped (present in only one snapshot — not a failure)",
         entries.len()
     );
     if regressions > 0 {

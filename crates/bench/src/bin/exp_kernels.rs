@@ -1,0 +1,311 @@
+//! `exp_kernels` — wall-clock CPU kernel microbench + cost-model
+//! calibration (the one experiment that measures *real* time).
+//!
+//! ```text
+//! cargo run -p griffin-bench --release --bin exp_kernels [--smoke] [--out BENCH_wallclock.json]
+//! ```
+//!
+//! Times the SIMD-dispatched CPU kernels (PforDelta/Elias–Fano block
+//! decode, skip intersection, linear merge, block-max bound fold) on
+//! deterministic workload-crate inputs, scalar path vs SIMD path
+//! (warmup + median-of-runs), and:
+//!
+//! * prints ns/elem / ns/probe per kernel with scalar÷SIMD speedups;
+//! * on an AVX2 host, **asserts** at least one kernel clears a 1.5×
+//!   SIMD speedup (auto-skipped with a note when AVX2 is absent);
+//! * verifies both paths produce bit-identical outputs on the bench
+//!   workload;
+//! * calibrates [`KernelMeasurements`] from the measured numbers and
+//!   writes `BENCH_wallclock.json` (versioned snapshot schema + host
+//!   fingerprint), then re-reads the file and checks the calibrated
+//!   [`CostModel`] round-trips exactly;
+//! * reports how the measured numbers move the CPU/GPU profitable-work
+//!   crossover relative to the hand-set defaults.
+//!
+//! Wall-clock numbers are host-specific, so this experiment is *not*
+//! part of `run_all`'s virtual-time snapshot; `bench_diff` refuses to
+//! enforce tolerance across differing host fingerprints.
+
+use griffin::{CostModel, KernelMeasurements};
+use griffin_bench::kernels::{host_fingerprint, measurements_from, median_ns, record_measurements};
+use griffin_bench::snapshot::Snapshot;
+use griffin_bench::{k20, scale, Table};
+use griffin_codec::{BlockedList, Codec, DEFAULT_BLOCK_LEN};
+use griffin_cpu::simd::{self, ForceMode, KernelPath};
+use griffin_cpu::{decode, intersect, set_info_counters, QueryScratch, WorkCounters};
+use griffin_workload::{gen_docid_list, GapProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct KernelRow {
+    name: &'static str,
+    unit: &'static str,
+    scalar: f64,
+    simd: f64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.scalar / self.simd.max(f64::MIN_POSITIVE)
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_wallclock.json".into())
+    };
+    // The kernels under test must carry zero informational-bookkeeping
+    // overhead; priced counters are never gated and stay on.
+    set_info_counters(false);
+
+    let (long_len, warmup, runs) = if smoke {
+        (200_000usize, 2usize, 5usize)
+    } else {
+        (2_000_000usize, 3usize, 15usize)
+    };
+    let short_len = long_len / 128; // the paper's crossover ratio
+    let num_docs = (long_len * 4) as u32;
+    let mut rng = StdRng::seed_from_u64(42);
+    let long = gen_docid_list(&mut rng, long_len, num_docs, GapProfile::Uniform);
+    let mid = gen_docid_list(&mut rng, long_len / 2, num_docs, GapProfile::Uniform);
+    let short = gen_docid_list(&mut rng, short_len, num_docs, GapProfile::Clustered);
+    let pfor = BlockedList::compress(&long, Codec::PforDelta, DEFAULT_BLOCK_LEN);
+    let ef = BlockedList::compress(&long, Codec::EliasFano, DEFAULT_BLOCK_LEN);
+
+    let host = host_fingerprint();
+    let simd_available = {
+        simd::set_forced(ForceMode::Simd);
+        let p = simd::active_path();
+        simd::set_forced(ForceMode::Auto);
+        p == KernelPath::Avx2
+    };
+    println!(
+        "host: {} [{}] — SIMD path: {}",
+        host.get("cpu_model").map(String::as_str).unwrap_or("?"),
+        host.get("features").map(String::as_str).unwrap_or("?"),
+        if simd_available {
+            "avx2"
+        } else {
+            "unavailable (scalar only)"
+        }
+    );
+
+    // Both paths must produce bit-identical outputs on the bench inputs.
+    for (name, list) in [("pfor", &pfor), ("ef", &ef)] {
+        assert_eq!(
+            decode_all(list, ForceMode::Scalar),
+            decode_all(list, ForceMode::Simd),
+            "{name}: scalar and SIMD decodes diverged"
+        );
+    }
+
+    let per_path = |mode: ForceMode, op: &mut dyn FnMut() -> u64| -> f64 {
+        simd::set_forced(mode);
+        let ns = median_ns(warmup, runs, op);
+        simd::set_forced(ForceMode::Auto);
+        ns
+    };
+
+    let mut rows = Vec::new();
+
+    // Block decode, ns per element.
+    for (name, list) in [("pfor_decode", &pfor), ("ef_decode", &ef)] {
+        let mut buf: Vec<u32> = Vec::with_capacity(DEFAULT_BLOCK_LEN);
+        let mut bench = || {
+            let mut w = WorkCounters::default();
+            let mut sink = 0u64;
+            for i in 0..list.num_blocks() {
+                buf.clear();
+                decode::decode_block(list, i, &mut buf, &mut w);
+                sink = sink.wrapping_add(u64::from(*buf.last().unwrap()));
+            }
+            sink
+        };
+        rows.push(KernelRow {
+            name: if name == "pfor_decode" {
+                "pfor_decode"
+            } else {
+                "ef_decode"
+            },
+            unit: "ns/elem",
+            scalar: per_path(ForceMode::Scalar, &mut bench) / long_len as f64,
+            simd: per_path(ForceMode::Simd, &mut bench) / long_len as f64,
+        });
+    }
+
+    // Skip intersection (gallop + block decode + in-block search), ns
+    // per short-list probe — the model's `cpu_skip_ns_per_probe` regime.
+    {
+        let mut scratch = QueryScratch::default();
+        let mut bench = || {
+            let mut w = WorkCounters::default();
+            let m = intersect::skip_intersect_range_with(
+                &short,
+                &pfor,
+                0,
+                pfor.num_blocks(),
+                &mut w,
+                &mut scratch,
+            );
+            m.len() as u64
+        };
+        rows.push(KernelRow {
+            name: "skip_intersect",
+            unit: "ns/probe",
+            scalar: per_path(ForceMode::Scalar, &mut bench) / short_len as f64,
+            simd: per_path(ForceMode::Simd, &mut bench) / short_len as f64,
+        });
+    }
+
+    // Linear merge over decoded lists, ns per long-list element — the
+    // model's `cpu_ns_per_elem` merge regime (minus decode, added below).
+    let merge_ns_per_elem = {
+        let mut bench = || {
+            let mut w = WorkCounters::default();
+            intersect::merge_intersect(&mid, &long, &mut w).len() as u64
+        };
+        let ns = median_ns(warmup, runs, &mut bench);
+        ns / long_len as f64
+    };
+    rows.push(KernelRow {
+        name: "merge",
+        unit: "ns/elem",
+        scalar: merge_ns_per_elem,
+        simd: merge_ns_per_elem, // scalar by design: comparable-length lists merge best linearly
+    });
+
+    // Block-max bound fold, ns per candidate·term.
+    {
+        let n = short_len.max(1024);
+        let nblocks = long_len / DEFAULT_BLOCK_LEN;
+        let block_ubs: Vec<f32> = (0..nblocks).map(|_| rng.gen_range(0.0f32..8.0)).collect();
+        let elem_idx: Vec<u32> = (0..n)
+            .map(|_| rng.gen_range(0..(nblocks * DEFAULT_BLOCK_LEN) as u32))
+            .collect();
+        let mut ubs = vec![0.0f32; n];
+        let mut bench = || {
+            simd::fold_term_bounds(&mut ubs, &elem_idx, DEFAULT_BLOCK_LEN, &block_ubs, true);
+            simd::fold_term_bounds(&mut ubs, &elem_idx, DEFAULT_BLOCK_LEN, &block_ubs, false);
+            ubs[0].to_bits() as u64
+        };
+        rows.push(KernelRow {
+            name: "bound_fold",
+            unit: "ns/cand·term",
+            scalar: per_path(ForceMode::Scalar, &mut bench) / (2 * n) as f64,
+            simd: per_path(ForceMode::Simd, &mut bench) / (2 * n) as f64,
+        });
+    }
+
+    let mut t = Table::new(
+        "Wall-clock kernel costs (median of runs)",
+        &["kernel", "unit", "scalar", "simd", "speedup"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.name.to_string(),
+            r.unit.to_string(),
+            format!("{:.3}", r.scalar),
+            format!("{:.3}", r.simd),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    t.print();
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+        .expect("rows nonempty");
+    if simd_available {
+        assert!(
+            best.speedup() >= 1.5,
+            "AVX2 host but best SIMD speedup is only {:.2}x ({}); expected >= 1.5x",
+            best.speedup(),
+            best.name
+        );
+        println!(
+            "SIMD speedup check: best {:.2}x on {} (>= 1.5x required) — ok",
+            best.speedup(),
+            best.name
+        );
+    } else {
+        println!("SIMD speedup check: skipped — AVX2 not available on this host");
+    }
+
+    // Calibrate from the path the engine will actually run (auto).
+    let decode_row = rows.iter().find(|r| r.name == "pfor_decode").unwrap();
+    let skip_row = rows.iter().find(|r| r.name == "skip_intersect").unwrap();
+    let auto = |r: &KernelRow| if simd_available { r.simd } else { r.scalar };
+    let m = KernelMeasurements {
+        cpu_decode_ns_per_elem: auto(decode_row),
+        cpu_merge_ns_per_elem: merge_ns_per_elem,
+        cpu_skip_ns_per_probe: auto(skip_row),
+    };
+
+    let mut snap = Snapshot {
+        version: 1,
+        label: "wallclock".into(),
+        scale: scale(),
+        smoke,
+        host,
+        ..Snapshot::default()
+    };
+    record_measurements(&mut snap, &m);
+    let e = snap.experiments.entry("exp_kernels".into()).or_default();
+    for r in &rows {
+        e.insert(format!("{}_scalar_{}", r.name, unit_key(r.unit)), r.scalar);
+        e.insert(format!("{}_simd_{}", r.name, unit_key(r.unit)), r.simd);
+        e.insert(format!("{}_speedup", r.name), r.speedup());
+    }
+    std::fs::write(&out_path, snap.to_json()).unwrap_or_else(|err| {
+        eprintln!("error: cannot write {out_path}: {err}");
+        std::process::exit(1);
+    });
+    println!("wrote wall-clock snapshot to {out_path}");
+
+    // Round-trip: calibrating from the re-read file must yield exactly
+    // the model calibrated from the in-memory measurements.
+    let text = std::fs::read_to_string(&out_path).expect("just wrote it");
+    let back = Snapshot::from_json(&text).expect("own snapshot parses");
+    let m2 = measurements_from(&back).expect("calibration metrics present");
+    let device = k20();
+    let calibrated = CostModel::from_device(&device, true).calibrated_from(&m2);
+    assert_eq!(
+        calibrated,
+        CostModel::from_device(&device, true).calibrated_from(&m),
+        "calibration must round-trip through {out_path}"
+    );
+    println!("calibration round-trip through {out_path}: ok");
+
+    let default_model = CostModel::from_device(&device, true);
+    println!(
+        "profitable-work crossover: {} elems (hand-set defaults) -> {} elems (calibrated: \
+         decode {:.2} + merge {:.2} ns/elem, skip {:.1} ns/probe)",
+        default_model.min_profitable_long_len(),
+        calibrated.min_profitable_long_len(),
+        m.cpu_decode_ns_per_elem,
+        m.cpu_merge_ns_per_elem,
+        m.cpu_skip_ns_per_probe,
+    );
+    set_info_counters(true);
+}
+
+fn decode_all(list: &BlockedList, mode: ForceMode) -> Vec<u32> {
+    simd::set_forced(mode);
+    let mut w = WorkCounters::default();
+    let out = decode::decode_list(list, &mut w);
+    simd::set_forced(ForceMode::Auto);
+    out
+}
+
+fn unit_key(unit: &str) -> &'static str {
+    match unit {
+        "ns/probe" => "ns_per_probe",
+        "ns/cand·term" => "ns_per_cand_term",
+        _ => "ns_per_elem",
+    }
+}

@@ -253,6 +253,7 @@ fn merge_snapshot(exps: &[&str], frag_dir: &std::path::Path, smoke: bool) -> Sna
         label: String::new(),
         scale: scale(),
         smoke,
+        host: Default::default(),
         cost_model: Default::default(),
         experiments: Default::default(),
     };

@@ -1,0 +1,170 @@
+//! Wall-clock kernel measurement for cost-model calibration.
+//!
+//! Everything else in this crate reports *virtual* time — deterministic,
+//! host-independent, computed from work counters. This module is the one
+//! deliberate exception: it times the real CPU kernels with
+//! `std::time::Instant` (warmup + median-of-runs over deterministic
+//! workload inputs) so [`griffin::KernelMeasurements`] can replace the
+//! hand-set CPU constants in [`griffin::CostModel`] with numbers measured
+//! on the host actually running the engine. Wall-clock results are only
+//! meaningful on the host that produced them, so snapshots carry a
+//! [`host_fingerprint`] and live in a separate `BENCH_wallclock.json`,
+//! never merged into the virtual-time `BENCH_v<N>.json`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use griffin::KernelMeasurements;
+
+use crate::snapshot::Snapshot;
+
+/// Identity of the measuring host: CPU model, architecture, and which
+/// SIMD features runtime detection found. Two wall-clock snapshots are
+/// comparable only when these match.
+pub fn host_fingerprint() -> BTreeMap<String, String> {
+    let mut h = BTreeMap::new();
+    h.insert("arch".into(), std::env::consts::ARCH.into());
+    h.insert("cpu_model".into(), cpu_model());
+    let mut features = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            features.push("sse4.2");
+        }
+    }
+    h.insert(
+        "features".into(),
+        if features.is_empty() {
+            "none".into()
+        } else {
+            features.join("+")
+        },
+    );
+    h
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_owned())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Times `op` with `warmup` discarded runs followed by `runs` measured
+/// runs, returning the **median** wall-clock nanoseconds per run. The
+/// median (not the mean) shrugs off scheduler hiccups and one-off cache
+/// warm effects; `op`'s return value is folded into a black-box sink so
+/// the optimizer cannot delete the work.
+pub fn median_ns(warmup: usize, runs: usize, mut op: impl FnMut() -> u64) -> f64 {
+    assert!(runs > 0);
+    let mut sink = 0u64;
+    for _ in 0..warmup {
+        sink = sink.wrapping_add(op());
+    }
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(op());
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    std::hint::black_box(sink);
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid] as f64
+    } else {
+        (samples[mid - 1] + samples[mid]) as f64 / 2.0
+    }
+}
+
+/// The experiment name wall-clock calibration metrics live under.
+pub const CALIBRATION_EXP: &str = "calibration";
+
+/// Records `m` into `snap` under the [`CALIBRATION_EXP`] experiment, so
+/// the measured constants ride the same snapshot schema (and diff
+/// tooling) as every other metric.
+pub fn record_measurements(snap: &mut Snapshot, m: &KernelMeasurements) {
+    let e = snap.experiments.entry(CALIBRATION_EXP.into()).or_default();
+    e.insert("cpu_decode_ns_per_elem".into(), m.cpu_decode_ns_per_elem);
+    e.insert("cpu_merge_ns_per_elem".into(), m.cpu_merge_ns_per_elem);
+    e.insert("cpu_skip_ns_per_probe".into(), m.cpu_skip_ns_per_probe);
+}
+
+/// Reads the calibration constants back out of a wall-clock snapshot —
+/// the inverse of [`record_measurements`], used to re-calibrate a
+/// [`griffin::CostModel`] from a stored `BENCH_wallclock.json`.
+pub fn measurements_from(snap: &Snapshot) -> Option<KernelMeasurements> {
+    let e = snap.experiments.get(CALIBRATION_EXP)?;
+    Some(KernelMeasurements {
+        cpu_decode_ns_per_elem: *e.get("cpu_decode_ns_per_elem")?,
+        cpu_merge_ns_per_elem: *e.get("cpu_merge_ns_per_elem")?,
+        cpu_skip_ns_per_probe: *e.get("cpu_skip_ns_per_probe")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin::CostModel;
+    use griffin_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn fingerprint_has_the_required_keys() {
+        let h = host_fingerprint();
+        assert!(h.contains_key("arch"));
+        assert!(h.contains_key("cpu_model"));
+        assert!(h.contains_key("features"));
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut i = 0u64;
+        // Not a timing assertion — just exercise the plumbing.
+        let ns = median_ns(2, 5, || {
+            i += 1;
+            std::hint::black_box(i)
+        });
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn measurements_round_trip_through_wallclock_snapshot() {
+        let m = KernelMeasurements {
+            cpu_decode_ns_per_elem: 1.25,
+            cpu_merge_ns_per_elem: 2.75,
+            cpu_skip_ns_per_probe: 55.5,
+        };
+        let mut snap = Snapshot {
+            version: 1,
+            label: "wallclock".into(),
+            scale: 1.0,
+            smoke: true,
+            host: host_fingerprint(),
+            ..Snapshot::default()
+        };
+        record_measurements(&mut snap, &m);
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        let m2 = measurements_from(&back).unwrap();
+        assert_eq!(m, m2);
+        // The acceptance bar: a model calibrated from the read-back
+        // measurements is identical to one calibrated pre-serialization.
+        let cfg = DeviceConfig::tesla_k20();
+        let a = CostModel::from_device(&cfg, true).calibrated_from(&m);
+        let b = CostModel::from_device(&cfg, true).calibrated_from(&m2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incomplete_snapshot_yields_none() {
+        let snap = Snapshot::default();
+        assert!(measurements_from(&snap).is_none());
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod artifacts;
 pub mod intersect_harness;
+pub mod kernels;
 pub mod report;
 pub mod setup;
 pub mod snapshot;

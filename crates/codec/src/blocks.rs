@@ -8,9 +8,9 @@
 //! ratio-128 analysis (§3.2) is built on.
 
 use crate::dgap;
-use crate::ef::EfBlock;
+use crate::ef::{EfBlock, EfBlockRef};
 use crate::error::CodecError;
-use crate::pfordelta::PforBlock;
+use crate::pfordelta::{PforBlock, PforBlockRef};
 use crate::varint;
 
 /// The block size used throughout the paper (and tied to its choice of 128
@@ -76,13 +76,13 @@ impl Codec {
     ) -> Result<(), CodecError> {
         match self {
             Codec::PforDelta => {
-                let blk = PforBlock::from_words(words)?;
+                let blk = PforBlockRef::parse(words)?;
                 let start = out.len();
                 blk.decode_into(out)?;
                 dgap::prefix_sum_in_place(&mut out[start..], base);
             }
             Codec::EliasFano => {
-                let blk = EfBlock::from_words(words)?;
+                let blk = EfBlockRef::parse(words)?;
                 blk.decode_into(base, out)?;
             }
             Codec::Varint => {
@@ -97,12 +97,8 @@ impl Codec {
                 if nbytes > (words.len() - 2) * 4 || count > nbytes {
                     return Err(CodecError::Truncated);
                 }
-                let mut bytes = Vec::with_capacity(nbytes);
-                for i in 0..nbytes {
-                    bytes.push((words[2 + i / 4] >> (8 * (i % 4))) as u8);
-                }
                 let start = out.len();
-                varint::decode_n(&bytes, 0, count, out)?;
+                varint::decode_words_n(&words[2..], nbytes, count, out)?;
                 dgap::prefix_sum_in_place(&mut out[start..], base);
             }
         }

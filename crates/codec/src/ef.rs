@@ -27,6 +27,74 @@ pub struct EfBlock {
     pub lb_words: Vec<u32>,
 }
 
+/// A borrowed view of an encoded Elias–Fano block: the [`EfBlock`] header
+/// fields with the high- and low-bits streams pointing into the serialized
+/// word stream. Parsing one is allocation-free — [`EfBlock::from_words`]
+/// copies both streams into fresh `Vec`s, which the per-block decode hot
+/// path cannot afford.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EfBlockRef<'a> {
+    /// Number of encoded values.
+    pub count: u32,
+    /// Low bits per value.
+    pub b: u32,
+    /// Unary-coded high-bits stream, 32-bit words, LSB-first.
+    pub hb_words: &'a [u32],
+    /// Packed low-bits stream, `count * b` bits.
+    pub lb_words: &'a [u32],
+}
+
+impl<'a> EfBlockRef<'a> {
+    /// Zero-copy inverse of [`EfBlock::to_words`]. Fails when the header
+    /// is impossible (low-bit width ≥ 32) or the stream is shorter than
+    /// the header claims.
+    pub fn parse(words: &'a [u32]) -> Result<EfBlockRef<'a>, CodecError> {
+        let header = *words.first().ok_or(CodecError::Truncated)?;
+        let count = header & 0xFFFF;
+        let b = (header >> 16) & 0x3F;
+        if b >= 32 {
+            return Err(CodecError::BadHeader);
+        }
+        let hb_len = (header >> 22) as usize;
+        let lb_len = ((count as usize) * b as usize).div_ceil(32);
+        if words.len() < 1 + hb_len + lb_len {
+            return Err(CodecError::Truncated);
+        }
+        Ok(EfBlockRef {
+            count,
+            b,
+            hb_words: &words[1..1 + hb_len],
+            lb_words: &words[1 + hb_len..1 + hb_len + lb_len],
+        })
+    }
+
+    /// Decodes all values, appending them to `out` with `base` added;
+    /// same semantics as [`EfBlock::decode_into`] (failure leaves `out`
+    /// untouched).
+    pub fn decode_into(&self, base: u32, out: &mut Vec<u32>) -> Result<(), CodecError> {
+        let start = out.len();
+        out.reserve(self.count as usize);
+        let mut hb = BitReader::new(self.hb_words);
+        let mut lb = BitReader::new(self.lb_words);
+        let mut high = 0u32;
+        for _ in 0..self.count {
+            let r = (|| -> Result<u32, CodecError> {
+                high = high.wrapping_add(hb.read_unary()?);
+                let low = if self.b > 0 { lb.read_bits(self.b)? } else { 0 };
+                Ok(base.wrapping_add((high << self.b) | low))
+            })();
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    out.truncate(start);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Chooses the low-bit width for `n` values in universe `[0, u]`.
 pub fn low_bits_for(n: usize, u: u32) -> u32 {
     if n == 0 || u == 0 {
@@ -79,6 +147,16 @@ impl EfBlock {
         }
     }
 
+    /// A borrowed view of this block (see [`EfBlockRef`]).
+    pub fn as_ref(&self) -> EfBlockRef<'_> {
+        EfBlockRef {
+            count: self.count,
+            b: self.b,
+            hb_words: &self.hb_words,
+            lb_words: &self.lb_words,
+        }
+    }
+
     /// Decodes all values, appending them to `out` with `base` added.
     ///
     /// Fails (leaving `out` exactly as it was) when the high- or low-bits
@@ -86,26 +164,7 @@ impl EfBlock {
     /// truncated block. Arithmetic wraps so bit-flipped input cannot panic
     /// on overflow; valid blocks are unaffected (encode never overflows).
     pub fn decode_into(&self, base: u32, out: &mut Vec<u32>) -> Result<(), CodecError> {
-        let start = out.len();
-        out.reserve(self.count as usize);
-        let mut hb = BitReader::new(&self.hb_words);
-        let mut lb = BitReader::new(&self.lb_words);
-        let mut high = 0u32;
-        for _ in 0..self.count {
-            let r = (|| -> Result<u32, CodecError> {
-                high = high.wrapping_add(hb.read_unary()?);
-                let low = if self.b > 0 { lb.read_bits(self.b)? } else { 0 };
-                Ok(base.wrapping_add((high << self.b) | low))
-            })();
-            match r {
-                Ok(v) => out.push(v),
-                Err(e) => {
-                    out.truncate(start);
-                    return Err(e);
-                }
-            }
-        }
-        Ok(())
+        self.as_ref().decode_into(base, out)
     }
 
     /// Random access to the `i`-th value (relative). Linear in the high-bits
@@ -156,24 +215,12 @@ impl EfBlock {
     /// Inverse of [`Self::to_words`]. Fails when the header is impossible
     /// (low-bit width ≥ 32) or the stream is shorter than the header claims.
     pub fn from_words(words: &[u32]) -> Result<EfBlock, CodecError> {
-        let header = *words.first().ok_or(CodecError::Truncated)?;
-        let count = header & 0xFFFF;
-        let b = (header >> 16) & 0x3F;
-        if b >= 32 {
-            return Err(CodecError::BadHeader);
-        }
-        let hb_len = (header >> 22) as usize;
-        let lb_len = ((count as usize) * b as usize).div_ceil(32);
-        if words.len() < 1 + hb_len + lb_len {
-            return Err(CodecError::Truncated);
-        }
-        let hb_words = words[1..1 + hb_len].to_vec();
-        let lb_words = words[1 + hb_len..1 + hb_len + lb_len].to_vec();
+        let r = EfBlockRef::parse(words)?;
         Ok(EfBlock {
-            count,
-            b,
-            hb_words,
-            lb_words,
+            count: r.count,
+            b: r.b,
+            hb_words: r.hb_words.to_vec(),
+            lb_words: r.lb_words.to_vec(),
         })
     }
 

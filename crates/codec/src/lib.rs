@@ -35,6 +35,7 @@ pub mod stats;
 pub mod varint;
 
 pub use blocks::{BlockedList, BlockedListIter, Codec, SkipEntry, DEFAULT_BLOCK_LEN};
-pub use ef::EfBlock;
+pub use ef::{EfBlock, EfBlockRef};
 pub use error::CodecError;
+pub use pfordelta::{PforBlock, PforBlockRef};
 pub use stats::CompressionStats;

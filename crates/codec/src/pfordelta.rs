@@ -31,6 +31,110 @@ pub struct PforBlock {
     pub exceptions: Vec<u32>,
 }
 
+/// A borrowed view of an encoded PforDelta block: the same header fields
+/// as [`PforBlock`], with the slot and exception arrays pointing into the
+/// serialized word stream instead of owning copies. Parsing one is
+/// allocation-free, which is what the query engine's per-block hot path
+/// needs — [`PforBlock::from_words`] copies two `Vec`s per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PforBlockRef<'a> {
+    pub count: u32,
+    /// Slot width in bits (32 ⇒ raw storage, no exceptions).
+    pub b: u32,
+    /// Index of the first exception (== `count` when there are none).
+    pub first_exception: u32,
+    /// Packed `count * b`-bit slot array.
+    pub slot_words: &'a [u32],
+    /// Uncompressed exception values, in chain (ascending index) order.
+    pub exceptions: &'a [u32],
+}
+
+impl<'a> PforBlockRef<'a> {
+    /// Zero-copy inverse of [`PforBlock::to_words`]. Fails when the
+    /// header is impossible (slot width above 32) or the stream is
+    /// shorter than the header claims.
+    pub fn parse(words: &'a [u32]) -> Result<PforBlockRef<'a>, CodecError> {
+        if words.len() < 2 {
+            return Err(CodecError::Truncated);
+        }
+        let count = words[0] & 0xFFFF;
+        let b = (words[0] >> 16) & 0x3F;
+        if b > 32 {
+            return Err(CodecError::BadHeader);
+        }
+        let first_exception = words[1] & 0xFFFF;
+        let num_exc = (words[1] >> 16) as usize;
+        let slot_len = (count as usize * b as usize).div_ceil(32);
+        if words.len() < 2 + slot_len + num_exc {
+            return Err(CodecError::Truncated);
+        }
+        Ok(PforBlockRef {
+            count,
+            b,
+            first_exception,
+            slot_words: &words[2..2 + slot_len],
+            exceptions: &words[2 + slot_len..2 + slot_len + num_exc],
+        })
+    }
+
+    /// Decodes the block, appending the original values to `out`; same
+    /// semantics as [`PforBlock::decode_into`] (failure leaves `out`
+    /// untouched).
+    pub fn decode_into(&self, out: &mut Vec<u32>) -> Result<(), CodecError> {
+        let start = out.len();
+        match self.decode_into_inner(out) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                out.truncate(start);
+                Err(e)
+            }
+        }
+    }
+
+    fn decode_into_inner(&self, out: &mut Vec<u32>) -> Result<(), CodecError> {
+        let n = self.count as usize;
+        out.reserve(n);
+        let start = out.len();
+        let mut r = BitReader::new(self.slot_words);
+        if self.b == 32 {
+            for _ in 0..n {
+                out.push(r.read_bits(32)?);
+            }
+            return Ok(());
+        }
+        for _ in 0..n {
+            out.push(r.read_bits(self.b)?);
+        }
+        // Walk the exception chain, patching values. The slot of exception
+        // `i` holds the offset to the next exception.
+        patch_exceptions(&mut out[start..], self.first_exception, self.exceptions)
+    }
+}
+
+/// Walks the exception chain over freshly unpacked slots, replacing each
+/// chain slot (which held the offset to the next exception) with its
+/// stored value. The walk is inherently serial — each hop depends on the
+/// slot just patched — which is exactly why the paper keeps PforDelta off
+/// the GPU; SIMD decode paths share this scalar patch step.
+pub fn patch_exceptions(
+    slots: &mut [u32],
+    first_exception: u32,
+    exceptions: &[u32],
+) -> Result<(), CodecError> {
+    let mut idx = first_exception as usize;
+    for (k, &value) in exceptions.iter().enumerate() {
+        if idx >= slots.len() {
+            return Err(CodecError::ExceptionChainOutOfBounds);
+        }
+        let offset = slots[idx];
+        slots[idx] = value;
+        if k + 1 < exceptions.len() {
+            idx = idx + offset as usize + 1;
+        }
+    }
+    Ok(())
+}
+
 /// Smallest `b` such that at least 90% (`REGULAR_COVERAGE`) of `values` fit in
 /// `b` bits. Returns 32 if the distribution is so heavy that full width is
 /// needed.
@@ -146,50 +250,24 @@ impl PforBlock {
         }
     }
 
+    /// A borrowed view of this block (see [`PforBlockRef`]).
+    pub fn as_ref(&self) -> PforBlockRef<'_> {
+        PforBlockRef {
+            count: self.count,
+            b: self.b,
+            first_exception: self.first_exception,
+            slot_words: &self.slot_words,
+            exceptions: &self.exceptions,
+        }
+    }
+
     /// Decodes the block, appending the original values to `out`.
     ///
     /// Fails (leaving `out` exactly as it was) when the slot stream is
     /// shorter than `count` values or the exception chain walks outside the
     /// block — both symptoms of corrupt or truncated input.
     pub fn decode_into(&self, out: &mut Vec<u32>) -> Result<(), CodecError> {
-        let start = out.len();
-        match self.decode_into_inner(out) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                out.truncate(start);
-                Err(e)
-            }
-        }
-    }
-
-    fn decode_into_inner(&self, out: &mut Vec<u32>) -> Result<(), CodecError> {
-        let n = self.count as usize;
-        out.reserve(n);
-        let start = out.len();
-        let mut r = BitReader::new(&self.slot_words);
-        if self.b == 32 {
-            for _ in 0..n {
-                out.push(r.read_bits(32)?);
-            }
-            return Ok(());
-        }
-        for _ in 0..n {
-            out.push(r.read_bits(self.b)?);
-        }
-        // Walk the exception chain, patching values. The slot of exception
-        // `i` holds the offset to the next exception.
-        let mut idx = self.first_exception as usize;
-        for (k, &value) in self.exceptions.iter().enumerate() {
-            if idx >= n {
-                return Err(CodecError::ExceptionChainOutOfBounds);
-            }
-            let offset = out[start + idx];
-            out[start + idx] = value;
-            if k + 1 < self.exceptions.len() {
-                idx = idx + offset as usize + 1;
-            }
-        }
-        Ok(())
+        self.as_ref().decode_into(out)
     }
 
     /// Encoded size in bits (word-granular, as stored).
@@ -211,28 +289,13 @@ impl PforBlock {
     /// Inverse of [`Self::to_words`]. Fails when the header is impossible
     /// (slot width above 32) or the stream is shorter than the header claims.
     pub fn from_words(words: &[u32]) -> Result<PforBlock, CodecError> {
-        if words.len() < 2 {
-            return Err(CodecError::Truncated);
-        }
-        let count = words[0] & 0xFFFF;
-        let b = (words[0] >> 16) & 0x3F;
-        if b > 32 {
-            return Err(CodecError::BadHeader);
-        }
-        let first_exception = words[1] & 0xFFFF;
-        let num_exc = (words[1] >> 16) as usize;
-        let slot_len = (count as usize * b as usize).div_ceil(32);
-        if words.len() < 2 + slot_len + num_exc {
-            return Err(CodecError::Truncated);
-        }
-        let slot_words = words[2..2 + slot_len].to_vec();
-        let exceptions = words[2 + slot_len..2 + slot_len + num_exc].to_vec();
+        let r = PforBlockRef::parse(words)?;
         Ok(PforBlock {
-            count,
-            b,
-            first_exception,
-            slot_words,
-            exceptions,
+            count: r.count,
+            b: r.b,
+            first_exception: r.first_exception,
+            slot_words: r.slot_words.to_vec(),
+            exceptions: r.exceptions.to_vec(),
         })
     }
 

@@ -73,6 +73,44 @@ pub fn decode_n(
     Ok(p)
 }
 
+/// Decodes exactly `n` values from a byte stream packed little-endian
+/// into 32-bit words (the [`crate::blocks`] framing), without
+/// materializing the byte array. `nbytes` bounds the readable bytes. On
+/// failure `out` is left exactly as it was.
+pub fn decode_words_n(
+    words: &[u32],
+    nbytes: usize,
+    n: usize,
+    out: &mut Vec<u32>,
+) -> Result<(), CodecError> {
+    let start = out.len();
+    out.reserve(n);
+    let mut p = 0usize;
+    'values: for _ in 0..n {
+        let mut v = 0u32;
+        let mut shift = 0u32;
+        loop {
+            if p >= nbytes || p / 4 >= words.len() {
+                out.truncate(start);
+                return Err(CodecError::Truncated);
+            }
+            let byte = (words[p / 4] >> (8 * (p % 4))) as u8;
+            p += 1;
+            v |= u32::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                out.push(v);
+                continue 'values;
+            }
+            shift += 7;
+            if shift >= 35 {
+                out.truncate(start);
+                return Err(CodecError::MalformedVarint);
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

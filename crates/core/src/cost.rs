@@ -64,6 +64,23 @@ const SERIAL_DECODE_GMEM_ACCESSES: f64 = 512.0;
 /// bandwidth bound.
 const DEVICE_CYCLES_PER_ELEM: f64 = 0.35;
 
+/// Wall-clock kernel measurements from the host, produced by the
+/// `exp_kernels` calibration bench in `griffin-bench` (warmup +
+/// median-of-runs over deterministic workloads). These are *measured*
+/// numbers for the host actually running the engine, as opposed to the
+/// hand-set defaults in [`CostModel::from_device`] that describe the
+/// paper's Xeon E5-2609v2.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelMeasurements {
+    /// Block decode cost per element, ns (PforDelta/EF mix as measured).
+    pub cpu_decode_ns_per_elem: f64,
+    /// Merge-loop cost per long-list element, ns (compare + advance).
+    pub cpu_merge_ns_per_elem: f64,
+    /// Skip-strategy cost per short-list probe, ns (gallop over the skip
+    /// array + candidate block decode amortized + in-block search).
+    pub cpu_skip_ns_per_probe: f64,
+}
+
 /// Per-step cost estimates for one GPU pairwise intersection, serial and
 /// pipelined.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,6 +149,19 @@ impl CostModel {
     pub fn with_cpu_skip_ns_per_probe(mut self, ns: f64) -> CostModel {
         self.cpu_skip_ns_per_probe = ns;
         self
+    }
+
+    /// Replaces the host-side estimates with measured wall-clock numbers.
+    ///
+    /// The model's `cpu_ns_per_elem` prices the *merge regime* — decode
+    /// the whole long list, then a linear merge — so the calibrated value
+    /// is the sum of the measured decode and merge slopes. The skip slope
+    /// maps directly. Everything device-side is left untouched: wall-clock
+    /// calibration moves the CPU curves, and with them the crossover that
+    /// the scheduler, split balancer, and pruning paths consult.
+    pub fn calibrated_from(self, m: &KernelMeasurements) -> CostModel {
+        self.with_cpu_ns_per_elem(m.cpu_decode_ns_per_elem + m.cpu_merge_ns_per_elem)
+            .with_cpu_skip_ns_per_probe(m.cpu_skip_ns_per_probe)
     }
 
     /// PCIe cost of shipping a `long_len`-element list, ns.
@@ -349,6 +379,30 @@ mod tests {
         );
         // And at an extreme ratio the skip search wins outright.
         assert_eq!(m.split_fraction(64, long_len), 0.0);
+    }
+
+    #[test]
+    fn calibration_moves_only_the_cpu_curves() {
+        let cfg = DeviceConfig::tesla_k20();
+        let base = CostModel::from_device(&cfg, true);
+        let m = KernelMeasurements {
+            cpu_decode_ns_per_elem: 1.5,
+            cpu_merge_ns_per_elem: 2.5,
+            cpu_skip_ns_per_probe: 40.0,
+        };
+        let cal = base.calibrated_from(&m);
+        assert_eq!(cal.cpu_ns_per_elem, 4.0);
+        assert_eq!(cal.cpu_skip_ns_per_probe, 40.0);
+        assert_eq!(cal.fixed_ns, base.fixed_ns);
+        assert_eq!(cal.gpu_ns_per_elem, base.gpu_ns_per_elem);
+        assert_eq!(cal.pcie_ns_per_elem, base.pcie_ns_per_elem);
+        // A faster measured CPU raises the profitable-work floor.
+        let fast = base.calibrated_from(&KernelMeasurements {
+            cpu_decode_ns_per_elem: 0.5,
+            cpu_merge_ns_per_elem: 0.5,
+            cpu_skip_ns_per_probe: 10.0,
+        });
+        assert!(fast.min_profitable_long_len() >= base.min_profitable_long_len());
     }
 
     #[test]

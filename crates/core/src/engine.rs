@@ -251,6 +251,21 @@ impl<'g> Griffin<'g> {
         self.overlap
     }
 
+    /// Re-derives the scheduler's cost model from measured host kernel
+    /// numbers (see [`crate::cost::KernelMeasurements`] and the
+    /// `exp_kernels` bench): the device-side estimates stay tied to the
+    /// configured device and the current overlap mode, the CPU curves
+    /// move to the measured slopes, and the profitable-work floor and
+    /// split solver both pick up the recalibrated crossover.
+    pub fn calibrate_cpu(&mut self, m: &crate::cost::KernelMeasurements) {
+        let model = CostModel::from_device(self.device.config(), self.overlap).calibrated_from(m);
+        self.scheduler.apply_cost_model(&model);
+        if let Some(split) = &mut self.scheduler.split {
+            split.model = model;
+        }
+        self.balancer.borrow_mut().reset();
+    }
+
     /// Enables or disables CPU+GPU co-execution (on by default). With it
     /// on, intersections whose length ratio falls near the scheduler's
     /// crossover may be *split*: the long list is range-partitioned, the
@@ -357,13 +372,27 @@ impl<'g> Griffin<'g> {
         );
     }
 
-    /// Fold CPU work counters into the registry.
+    /// Fold CPU work counters into the registry, along with the
+    /// cumulative kernel-dispatch totals (which SIMD path each CPU
+    /// kernel actually took). Dispatch totals are process-wide monotone
+    /// atomics, so they are folded as gauges of the running total —
+    /// race-tolerant when engines run in parallel.
     fn record_cpu_work(&self, w: &WorkCounters) {
         self.telemetry.with(|r| {
             for (name, v) in w.named() {
                 if v > 0 {
                     r.registry
                         .counter_add(&format!("griffin_cpu_work_total{{counter=\"{name}\"}}"), v);
+                }
+            }
+            for (kernel, path, total) in griffin_cpu::simd::dispatch_totals() {
+                if total > 0 {
+                    r.registry.gauge_set(
+                        &format!(
+                            "griffin_simd_dispatch_total{{kernel=\"{kernel}\",path=\"{path}\"}}"
+                        ),
+                        total as f64,
+                    );
                 }
             }
         });

@@ -30,7 +30,7 @@ pub mod request;
 pub mod sched;
 pub mod serving;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, KernelMeasurements};
 pub use engine::{ExecMode, Griffin, GriffinOutput, RecoveryPolicy, Search, StepOp, StepTrace};
 pub use fleet::{merge_topk, FleetInfo, ShardOutcome, ShardStatus, ShardedIndex};
 pub use griffin_cpu::PruneStats;

@@ -1,39 +1,51 @@
 //! Instrumented block decompression: bit-exact decoding that counts the
 //! work it performs for the cost model.
 
-use griffin_codec::pfordelta::PforBlock;
+use griffin_codec::ef::EfBlockRef;
+use griffin_codec::pfordelta::PforBlockRef;
 use griffin_codec::{BlockedList, Codec};
 use griffin_index::CompressedPostingList;
 
 use crate::cost::WorkCounters;
+use crate::simd;
 
 /// Decodes block `i` of `list`, appending docIDs to `out` and charging the
 /// counters for the codec-specific work.
+///
+/// PforDelta and Elias–Fano blocks are parsed once into borrowed views and
+/// decoded through the [`simd`] kernels (scalar or AVX2, chosen at
+/// runtime); counters are charged from the skip entry and the parsed
+/// header *before* decoding, so the charges are identical on every path.
 pub fn decode_block(list: &BlockedList, i: usize, out: &mut Vec<u32>, w: &mut WorkCounters) {
     let skip = &list.skips[i];
     let count = u64::from(skip.count);
     w.blocks_decoded += 1;
     w.bytes_touched += u64::from(skip.word_len) * 4 + count * 4;
+    let words = &list.words[skip.word_start as usize..(skip.word_start + skip.word_len) as usize];
     match list.codec {
         Codec::PforDelta => {
-            // Count the real exceptions in this block (the chain walk is
-            // the data-dependent, serializing part of PforDelta).
-            let words =
-                &list.words[skip.word_start as usize..(skip.word_start + skip.word_len) as usize];
+            // One parse serves both the exception count (the chain walk is
+            // the data-dependent, serializing part of PforDelta) and the
+            // decode itself — no second header pass, no owned copies.
             let blk =
-                PforBlock::from_words(words).expect("index-built list is valid by construction");
+                PforBlockRef::parse(words).expect("index-built list is valid by construction");
             w.pfor_elements += count;
             w.pfor_exceptions += blk.exceptions.len() as u64;
+            simd::decode_pfor(&blk, list.block_base(i), out)
+                .expect("index-built list is valid by construction");
         }
         Codec::EliasFano => {
             w.ef_elements += count;
+            let blk = EfBlockRef::parse(words).expect("index-built list is valid by construction");
+            simd::decode_ef(&blk, list.block_base(i), out)
+                .expect("index-built list is valid by construction");
         }
         Codec::Varint => {
             w.varint_elements += count;
+            list.decode_block_into(i, out)
+                .expect("index-built list is valid by construction");
         }
     }
-    list.decode_block_into(i, out)
-        .expect("index-built list is valid by construction");
 }
 
 /// Fully decompresses `list`, counting all work.

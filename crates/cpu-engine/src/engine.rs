@@ -12,6 +12,7 @@ use crate::cost::{CpuCostModel, WorkCounters};
 use crate::decode;
 use crate::intersect::{self, Matches};
 use crate::rank::Bm25;
+use crate::simd;
 use crate::topk;
 
 /// The running state of a query between pairwise intersections: the
@@ -448,18 +449,20 @@ impl CpuEngine {
         // Optimistic bound per candidate: its blocks' upper bounds folded
         // in the same left-associated plan order as the exact scorer.
         // f32 addition is monotone, so exact <= bound holds bit-for-bit.
-        let ubs: Vec<f32> = (0..n)
-            .map(|c| {
-                let mut ub = 0.0f32;
-                for (t, &term) in chain.planned.iter().enumerate() {
-                    let bl = index.list(term).docs.block_len;
-                    let blk = chain.elem_idx[t][c] as usize / bl;
-                    let u = index.block_ubs(term)[blk];
-                    ub = if t == 0 { u } else { ub + u };
-                }
-                ub
-            })
-            .collect();
+        // The fold runs term-by-term (a vectorizable gather + add per
+        // pass), which keeps every candidate's addition order identical
+        // to a candidate-by-candidate loop.
+        let mut ubs: Vec<f32> = vec![0.0; n];
+        for (t, &term) in chain.planned.iter().enumerate() {
+            let bl = index.list(term).docs.block_len;
+            simd::fold_term_bounds(
+                &mut ubs,
+                &chain.elem_idx[t],
+                bl,
+                index.block_ubs(term),
+                t == 0,
+            );
+        }
         w.topk_scanned += (n * nterms) as u64; // the bound pass
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_unstable_by(|&x, &y| {

@@ -154,7 +154,9 @@ fn gallop_skip_search(
     let mut probes = 1u64;
     if skips[start].last_docid >= v {
         w.skip_probes += probes;
-        w.gallop_saved += binary_probe_estimate(window).saturating_sub(probes);
+        if crate::cost::info_counters_enabled() {
+            w.gallop_saved += binary_probe_estimate(window).saturating_sub(probes);
+        }
         return start;
     }
     // skips[start] falls short: gallop forward with doubling strides until
@@ -185,7 +187,9 @@ fn gallop_skip_search(
         }
     }
     w.skip_probes += probes;
-    w.gallop_saved += binary_probe_estimate(window).saturating_sub(probes);
+    if crate::cost::info_counters_enabled() {
+        w.gallop_saved += binary_probe_estimate(window).saturating_sub(probes);
+    }
     lo
 }
 
@@ -245,7 +249,7 @@ pub fn skip_intersect_range_with(
             decode_block(long, lo, block_buf, w);
             cached_block = lo;
         }
-        if let Ok(pos) = counted_binary_search(block_buf, 0, block_buf.len(), v, &mut w.probes) {
+        if let Ok(pos) = crate::simd::find_in_sorted_block(block_buf, v, &mut w.probes) {
             out.push(v, i, skip.elem_start as usize + pos);
         }
     }

@@ -24,9 +24,11 @@ pub mod engine;
 pub mod intersect;
 pub mod rank;
 pub mod setops;
+pub mod simd;
 pub mod topk;
 
-pub use cost::{CpuConfig, CpuCostModel, WorkCounters};
+pub use cost::{set_info_counters, CpuConfig, CpuCostModel, WorkCounters};
 pub use engine::{ChainResult, CpuEngine, Intermediate, PruneStats, PrunedOutput, QueryOutput};
 pub use intersect::{Matches, QueryScratch};
 pub use rank::Bm25;
+pub use simd::{ForceMode, KernelPath};

@@ -1,0 +1,786 @@
+//! SIMD kernel layer with runtime feature detection.
+//!
+//! Every hot kernel of the CPU engine — PforDelta/Elias–Fano bit-unpacking,
+//! d-gap prefix sums, in-block membership search, and the block-max bound
+//! fold — exists here in two implementations: a scalar path that is the
+//! always-available reference, and an AVX2 path selected once per process
+//! via `is_x86_feature_detected!`. The paths are **bit-exact**: same
+//! outputs, same [`WorkCounters`](crate::cost::WorkCounters) charges, so
+//! virtual time stays host- and path-independent (Lemire, Boytsov & Kurz,
+//! "SIMD Compression and the Intersection of Sorted Integers", shifts
+//! wall-clock constants 2–5× — which is exactly why wall-clock calibration
+//! lives in `exp_kernels`, not here).
+//!
+//! Dispatch control:
+//! * `GRIFFIN_FORCE_SCALAR=1` in the environment pins the scalar path for
+//!   the whole process (read once, at first dispatch).
+//! * [`set_forced`] overrides programmatically (tests and the calibration
+//!   bench flip paths in-process to measure both).
+//!
+//! Which path actually ran is observable through [`dispatch_totals`]
+//! (cumulative, process-wide, relaxed atomics — race-tolerant by design so
+//! parallel tests never see torn readings).
+
+use griffin_codec::dgap;
+use griffin_codec::ef::EfBlockRef;
+use griffin_codec::pfordelta::{patch_exceptions, PforBlockRef};
+use griffin_codec::CodecError;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which kernel implementation a dispatch resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Portable scalar reference path.
+    Scalar,
+    /// 256-bit AVX2 path (x86-64 only, runtime-detected).
+    Avx2,
+}
+
+impl KernelPath {
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Programmatic dispatch override (see [`set_forced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ForceMode {
+    /// Honour the environment knob and runtime detection.
+    #[default]
+    Auto,
+    /// Always take the scalar path.
+    Scalar,
+    /// Take the SIMD path when the host supports it (silently falls back
+    /// to scalar when it does not — never unsound).
+    Simd,
+}
+
+static FORCED: AtomicU8 = AtomicU8::new(0);
+static DETECTED: OnceLock<KernelPath> = OnceLock::new();
+
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn detected() -> KernelPath {
+    *DETECTED.get_or_init(|| {
+        let force_scalar = std::env::var("GRIFFIN_FORCE_SCALAR")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        if !force_scalar && avx2_available() {
+            KernelPath::Avx2
+        } else {
+            KernelPath::Scalar
+        }
+    })
+}
+
+/// Overrides kernel dispatch for the whole process. `Auto` restores the
+/// environment-knob + feature-detection default.
+pub fn set_forced(mode: ForceMode) {
+    FORCED.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The path the next kernel dispatch will take.
+pub fn active_path() -> KernelPath {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => KernelPath::Scalar,
+        2 => {
+            if avx2_available() {
+                KernelPath::Avx2
+            } else {
+                KernelPath::Scalar
+            }
+        }
+        _ => detected(),
+    }
+}
+
+/// Kernels whose dispatches are counted (order = counter layout).
+pub const KERNEL_NAMES: [&str; 4] = ["decode_pfor", "decode_ef", "block_search", "bound_fold"];
+
+const K_PFOR: usize = 0;
+const K_EF: usize = 1;
+const K_SEARCH: usize = 2;
+const K_FOLD: usize = 3;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static DISPATCHES: [[AtomicU64; 2]; 4] = [[ZERO; 2], [ZERO; 2], [ZERO; 2], [ZERO; 2]];
+
+#[inline]
+fn note_dispatch(kernel: usize, path: KernelPath) {
+    let p = match path {
+        KernelPath::Scalar => 0,
+        KernelPath::Avx2 => 1,
+    };
+    DISPATCHES[kernel][p].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Cumulative process-wide dispatch counts: `(kernel, path, total)`.
+/// Totals only grow; readers fold them as gauges, never as deltas.
+pub fn dispatch_totals() -> Vec<(&'static str, &'static str, u64)> {
+    let mut out = Vec::with_capacity(8);
+    for (k, name) in KERNEL_NAMES.iter().enumerate() {
+        out.push((*name, "scalar", DISPATCHES[k][0].load(Ordering::Relaxed)));
+        out.push((*name, "avx2", DISPATCHES[k][1].load(Ordering::Relaxed)));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// b-bit unpack
+// ---------------------------------------------------------------------------
+
+/// Reads the `b`-bit slot starting at bit `bitpos` of an LSB-first packed
+/// word stream — the branch-free scalar twin of `BitReader::read_bits`.
+#[inline]
+fn read_packed(words: &[u32], bitpos: usize, b: u32) -> u32 {
+    let w = bitpos / 32;
+    let s = (bitpos % 32) as u32;
+    let mask = if b == 32 { u32::MAX } else { (1u32 << b) - 1 };
+    let lo = words[w] >> s;
+    if s + b <= 32 {
+        lo & mask
+    } else {
+        (lo | (words[w + 1] << (32 - s))) & mask
+    }
+}
+
+/// Appends `count` `b`-bit values unpacked from `words` to `out`.
+/// Precondition (guaranteed by block parse): `words` holds at least
+/// `count * b` bits.
+fn unpack_bits_into(words: &[u32], count: usize, b: u32, out: &mut Vec<u32>, path: KernelPath) {
+    if count == 0 {
+        return;
+    }
+    if b == 0 {
+        out.resize(out.len() + count, 0);
+        return;
+    }
+    if b == 32 {
+        out.extend_from_slice(&words[..count]);
+        return;
+    }
+    out.reserve(count);
+    let mut i = 0usize;
+    #[cfg(target_arch = "x86_64")]
+    if path == KernelPath::Avx2 {
+        // Full 8-value groups whose second gather word stays in bounds.
+        // The last group may straddle the final word; it goes scalar.
+        while i + 8 <= count && ((i + 7) * b as usize) / 32 + 1 < words.len() {
+            // SAFETY: AVX2 presence is the dispatch precondition; the
+            // loop guard bounds every gathered word index.
+            unsafe { unpack8_avx2(words, i, b, out) };
+            i += 8;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = path;
+    let mut bitpos = i * b as usize;
+    while i < count {
+        out.push(read_packed(words, bitpos, b));
+        bitpos += b as usize;
+        i += 1;
+    }
+}
+
+/// Unpacks values `i..i+8` (width `b`, `0 < b < 32`) in one shot: gather
+/// the straddled word pair per lane, variable-shift, mask. Shift counts of
+/// 32 yield 0 under `vpsllvd`/`vpsrlvd`, which makes the `s == 0` lane
+/// (no straddle) come out right without a branch.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn unpack8_avx2(words: &[u32], i: usize, b: u32, out: &mut Vec<u32>) {
+    use std::arch::x86_64::*;
+    let lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    let bitpos = _mm256_add_epi32(
+        _mm256_set1_epi32((i as u32 * b) as i32),
+        _mm256_mullo_epi32(lane, _mm256_set1_epi32(b as i32)),
+    );
+    let w = _mm256_srli_epi32::<5>(bitpos);
+    let s = _mm256_and_si256(bitpos, _mm256_set1_epi32(31));
+    let base = words.as_ptr() as *const i32;
+    let w0 = _mm256_i32gather_epi32::<4>(base, w);
+    let w1 = _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(w, _mm256_set1_epi32(1)));
+    let lo = _mm256_srlv_epi32(w0, s);
+    let hi = _mm256_sllv_epi32(w1, _mm256_sub_epi32(_mm256_set1_epi32(32), s));
+    let mask = _mm256_set1_epi32(((1u32 << b) - 1) as i32);
+    let v = _mm256_and_si256(_mm256_or_si256(lo, hi), mask);
+    let len = out.len();
+    debug_assert!(out.capacity() >= len + 8);
+    _mm256_storeu_si256(out.as_mut_ptr().add(len) as *mut __m256i, v);
+    out.set_len(len + 8);
+}
+
+// ---------------------------------------------------------------------------
+// prefix sum
+// ---------------------------------------------------------------------------
+
+/// In-place inclusive prefix sum with carry-in `base`, wrapping u32
+/// addition — semantically identical to `dgap::prefix_sum_in_place`
+/// (wrapping addition is associative, so the in-register scan regroups
+/// freely without changing any output bit).
+fn prefix_sum(buf: &mut [u32], base: u32, path: KernelPath) {
+    #[cfg(target_arch = "x86_64")]
+    if path == KernelPath::Avx2 && buf.len() >= 8 {
+        // SAFETY: AVX2 presence is the dispatch precondition.
+        unsafe { prefix_sum_avx2(buf, base) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = path;
+    dgap::prefix_sum_in_place(buf, base);
+}
+
+/// Hillis–Steele scan per 8-lane chunk: two in-lane shifted adds, one
+/// cross-lane fix (add element 3's running total to the upper lane), then
+/// the carry from the previous chunk broadcast-added on top.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn prefix_sum_avx2(buf: &mut [u32], base: u32) {
+    use std::arch::x86_64::*;
+    let mut carry = _mm256_set1_epi32(base as i32);
+    let mut i = 0usize;
+    while i + 8 <= buf.len() {
+        let p = buf.as_mut_ptr().add(i) as *mut __m256i;
+        let mut v = _mm256_loadu_si256(p as *const __m256i);
+        v = _mm256_add_epi32(v, _mm256_slli_si256::<4>(v));
+        v = _mm256_add_epi32(v, _mm256_slli_si256::<8>(v));
+        let lane_total = _mm256_permutevar8x32_epi32(v, _mm256_set1_epi32(3));
+        let upper_fix = _mm256_blend_epi32::<0b1111_0000>(_mm256_setzero_si256(), lane_total);
+        v = _mm256_add_epi32(v, upper_fix);
+        v = _mm256_add_epi32(v, carry);
+        _mm256_storeu_si256(p, v);
+        carry = _mm256_permutevar8x32_epi32(v, _mm256_set1_epi32(7));
+        i += 8;
+    }
+    if i < buf.len() {
+        let acc = if i == 0 { base } else { buf[i - 1] };
+        dgap::prefix_sum_in_place(&mut buf[i..], acc);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// block decode kernels
+// ---------------------------------------------------------------------------
+
+/// Decodes a parsed PforDelta block (unpack → exception patch → prefix
+/// sum with `base`), appending absolute docIDs to `out`. Errors leave
+/// `out` exactly as it was.
+pub fn decode_pfor(
+    blk: &PforBlockRef<'_>,
+    base: u32,
+    out: &mut Vec<u32>,
+) -> Result<(), CodecError> {
+    let path = active_path();
+    note_dispatch(K_PFOR, path);
+    decode_pfor_with(blk, base, out, path)
+}
+
+fn decode_pfor_with(
+    blk: &PforBlockRef<'_>,
+    base: u32,
+    out: &mut Vec<u32>,
+    path: KernelPath,
+) -> Result<(), CodecError> {
+    let start = out.len();
+    unpack_bits_into(blk.slot_words, blk.count as usize, blk.b, out, path);
+    // The exception chain is inherently serial (each slot points at the
+    // next) — the very data dependency the paper cites when rejecting
+    // PforDelta for the GPU. It stays scalar on every path.
+    if let Err(e) = patch_exceptions(&mut out[start..], blk.first_exception, blk.exceptions) {
+        out.truncate(start);
+        return Err(e);
+    }
+    prefix_sum(&mut out[start..], base, path);
+    Ok(())
+}
+
+/// Decodes a parsed Elias–Fano block, appending `base`-relative absolute
+/// values to `out`. Low bits unpack vectorized; the unary high-bits scan
+/// runs word-at-a-time via `trailing_zeros` (itself a 32× win over the
+/// bit-serial reference reader). Errors leave `out` exactly as it was.
+pub fn decode_ef(blk: &EfBlockRef<'_>, base: u32, out: &mut Vec<u32>) -> Result<(), CodecError> {
+    let path = active_path();
+    note_dispatch(K_EF, path);
+    decode_ef_with(blk, base, out, path)
+}
+
+fn decode_ef_with(
+    blk: &EfBlockRef<'_>,
+    base: u32,
+    out: &mut Vec<u32>,
+    path: KernelPath,
+) -> Result<(), CodecError> {
+    if path == KernelPath::Scalar {
+        return blk.decode_into(base, out);
+    }
+    let count = blk.count as usize;
+    let start = out.len();
+    unpack_bits_into(blk.lb_words, count, blk.b, out, path);
+    // k-th set bit at absolute unary position p encodes high value p - k
+    // (p+1 bits consumed = k+1 terminators + (p-k) zero gaps). Combining:
+    // value = base + ((high << b) | low) = base +w (high << b) +w low,
+    // exact because low < 2^b keeps the bit ranges disjoint.
+    let mut k = 0usize;
+    for (wi, &word) in blk.hb_words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            if k == count {
+                break;
+            }
+            let tz = bits.trailing_zeros();
+            let p = (wi * 32) as u32 + tz;
+            let high = p - k as u32;
+            out[start + k] = out[start + k].wrapping_add(base.wrapping_add(high << blk.b));
+            bits &= bits - 1;
+            k += 1;
+        }
+        if k == count {
+            break;
+        }
+    }
+    if k < count {
+        out.truncate(start);
+        return Err(CodecError::Truncated);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// in-block membership search
+// ---------------------------------------------------------------------------
+
+/// Probes a manual binary search of `hay[lo..hi)` for `target` would make,
+/// replayed purely on indices. For sorted `hay` with distinct elements,
+/// `hay[mid] < target ⟺ mid < p` and (on a hit) `hay[mid] == target ⟺
+/// mid == p`, so the count is exact without touching memory.
+fn binary_probe_count(len: usize, outcome: Result<usize, usize>) -> u64 {
+    let (mut lo, mut hi) = (0usize, len);
+    let mut probes = 0u64;
+    match outcome {
+        Ok(p) => {
+            while lo < hi {
+                probes += 1;
+                let mid = lo + (hi - lo) / 2;
+                match mid.cmp(&p) {
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid,
+                    std::cmp::Ordering::Equal => return probes,
+                }
+            }
+            probes
+        }
+        Err(p) => {
+            while lo < hi {
+                probes += 1;
+                let mid = lo + (hi - lo) / 2;
+                if mid < p {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            probes
+        }
+    }
+}
+
+/// Membership search in one decoded block (sorted, distinct docIDs):
+/// `Ok(pos)` on a hit, `Err(insertion_pos)` on a miss. Charges `probes`
+/// exactly as the scalar binary search would, whichever path executes —
+/// the invariant that keeps virtual time path-independent.
+pub fn find_in_sorted_block(hay: &[u32], target: u32, probes: &mut u64) -> Result<usize, usize> {
+    let path = active_path();
+    note_dispatch(K_SEARCH, path);
+    find_in_sorted_block_with(hay, target, probes, path)
+}
+
+fn find_in_sorted_block_with(
+    hay: &[u32],
+    target: u32,
+    probes: &mut u64,
+    path: KernelPath,
+) -> Result<usize, usize> {
+    #[cfg(target_arch = "x86_64")]
+    if path == KernelPath::Avx2 {
+        // SAFETY: AVX2 presence is the dispatch precondition.
+        let outcome = unsafe { partition_point_avx2(hay, target) };
+        *probes += binary_probe_count(hay.len(), outcome);
+        return outcome;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = path;
+    let (mut lo, mut hi) = (0usize, hay.len());
+    while lo < hi {
+        *probes += 1;
+        let mid = lo + (hi - lo) / 2;
+        match hay[mid].cmp(&target) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Branch-light linear scan, 8 lanes per step: unsigned compare via the
+/// sign-bias trick, movemask, early-exit on the first lane `>= target`.
+/// On a 128-element block this trades ~7 mispredicted binary-search
+/// branches for ≤16 predictable vector compares over contiguous memory.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn partition_point_avx2(hay: &[u32], target: u32) -> Result<usize, usize> {
+    use std::arch::x86_64::*;
+    let bias = _mm256_set1_epi32(i32::MIN);
+    let t = _mm256_xor_si256(_mm256_set1_epi32(target as i32), bias);
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let v = _mm256_loadu_si256(hay.as_ptr().add(i) as *const __m256i);
+        let lt = _mm256_cmpgt_epi32(t, _mm256_xor_si256(v, bias));
+        let mask = _mm256_movemask_ps(_mm256_castsi256_ps(lt)) as u32;
+        if mask != 0xFF {
+            // hay is sorted, so `lt` lanes form a low-bit run; the first
+            // non-lt lane is the partition point.
+            let p = i + mask.trailing_ones() as usize;
+            return if hay[p] == target { Ok(p) } else { Err(p) };
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        if hay[i] >= target {
+            return if hay[i] == target { Ok(i) } else { Err(i) };
+        }
+        i += 1;
+    }
+    Err(hay.len())
+}
+
+// ---------------------------------------------------------------------------
+// block-max bound fold
+// ---------------------------------------------------------------------------
+
+/// One term's pass of the block-max bound fold: for every candidate `c`,
+/// look up the BM25 upper bound of the block holding that candidate's
+/// element (`elem_idx[c] / block_len`) and fold it into `ubs[c]` — assign
+/// on the first term, IEEE f32 add after. Folding term-by-term keeps each
+/// candidate's per-term addition order identical to the scalar
+/// candidate-by-candidate loop, so bounds are bit-exact either way.
+pub fn fold_term_bounds(
+    ubs: &mut [f32],
+    elem_idx: &[u32],
+    block_len: usize,
+    block_ubs: &[f32],
+    first_term: bool,
+) {
+    assert_eq!(ubs.len(), elem_idx.len());
+    let path = active_path();
+    note_dispatch(K_FOLD, path);
+    fold_term_bounds_with(ubs, elem_idx, block_len, block_ubs, first_term, path)
+}
+
+fn fold_term_bounds_with(
+    ubs: &mut [f32],
+    elem_idx: &[u32],
+    block_len: usize,
+    block_ubs: &[f32],
+    first_term: bool,
+    path: KernelPath,
+) {
+    let mut i = 0usize;
+    #[cfg(target_arch = "x86_64")]
+    if path == KernelPath::Avx2 && block_len.is_power_of_two() && elem_idx.len() >= 8 {
+        // SAFETY: AVX2 presence is the dispatch precondition; every
+        // gathered index is a valid block number for this term's list.
+        unsafe {
+            i = fold_term_bounds_avx2(
+                ubs,
+                elem_idx,
+                block_len.trailing_zeros(),
+                block_ubs,
+                first_term,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = path;
+    for c in i..elem_idx.len() {
+        let u = block_ubs[elem_idx[c] as usize / block_len];
+        ubs[c] = if first_term { u } else { ubs[c] + u };
+    }
+}
+
+/// Vector body of the fold (power-of-two `block_len` only: the divide
+/// becomes a logical shift). Returns how many candidates were handled;
+/// the scalar tail finishes the rest.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fold_term_bounds_avx2(
+    ubs: &mut [f32],
+    elem_idx: &[u32],
+    shift: u32,
+    block_ubs: &[f32],
+    first_term: bool,
+) -> usize {
+    use std::arch::x86_64::*;
+    let count = _mm_cvtsi32_si128(shift as i32);
+    let mut i = 0usize;
+    while i + 8 <= elem_idx.len() {
+        let idx = _mm256_loadu_si256(elem_idx.as_ptr().add(i) as *const __m256i);
+        let blk = _mm256_srl_epi32(idx, count);
+        let u = _mm256_i32gather_ps::<4>(block_ubs.as_ptr(), blk);
+        let dst = ubs.as_mut_ptr().add(i);
+        let v = if first_term {
+            u
+        } else {
+            _mm256_add_ps(_mm256_loadu_ps(dst), u)
+        };
+        _mm256_storeu_ps(dst, v);
+        i += 8;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use griffin_codec::bitio::BitWriter;
+    use griffin_codec::pfordelta::PforBlock;
+    use griffin_codec::{Codec, EfBlock};
+
+    /// SplitMix64 — deterministic stream, no external rand.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn both_paths() -> Vec<KernelPath> {
+        let mut p = vec![KernelPath::Scalar];
+        if avx2_available() {
+            p.push(KernelPath::Avx2);
+        }
+        p
+    }
+
+    #[test]
+    fn unpack_matches_reference_for_every_width() {
+        let mut rng = 7u64;
+        for b in 0u32..=32 {
+            for count in [0usize, 1, 5, 7, 8, 9, 16, 31, 100, 128] {
+                let mask = if b == 32 { u32::MAX } else { (1u32 << b) - 1 };
+                let values: Vec<u32> = (0..count)
+                    .map(|_| splitmix(&mut rng) as u32 & mask)
+                    .collect();
+                let mut wtr = BitWriter::new();
+                for &v in &values {
+                    wtr.write_bits(v, b);
+                }
+                let words = wtr.finish();
+                for path in both_paths() {
+                    let mut out = vec![42u32]; // pre-existing content survives
+                    unpack_bits_into(&words, count, b, &mut out, path);
+                    assert_eq!(out[0], 42);
+                    assert_eq!(&out[1..], &values[..], "b={b} count={count} {path:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sum_paths_agree_including_wraparound() {
+        let mut rng = 11u64;
+        for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 100, 128, 1000] {
+            for base in [0u32, 1, u32::MAX - 3] {
+                let gaps: Vec<u32> = (0..n)
+                    .map(|i| {
+                        if i % 17 == 0 {
+                            u32::MAX - (splitmix(&mut rng) as u32 % 5)
+                        } else {
+                            splitmix(&mut rng) as u32 % 1000
+                        }
+                    })
+                    .collect();
+                let mut expect = gaps.clone();
+                dgap::prefix_sum_in_place(&mut expect, base);
+                for path in both_paths() {
+                    let mut got = gaps.clone();
+                    prefix_sum(&mut got, base, path);
+                    assert_eq!(got, expect, "n={n} base={base} {path:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pfor_decode_paths_match_codec_reference() {
+        let mut rng = 13u64;
+        for n in [1usize, 3, 8, 100, 128, 200] {
+            // Mix small gaps with huge outliers to force exceptions.
+            let gaps: Vec<u32> = (0..n)
+                .map(|i| {
+                    if i % 9 == 3 {
+                        1 << 30
+                    } else {
+                        1 + splitmix(&mut rng) as u32 % 60
+                    }
+                })
+                .collect();
+            let blk = PforBlock::encode(&gaps);
+            let mut words = Vec::new();
+            blk.to_words(&mut words);
+            let parsed = PforBlockRef::parse(&words).unwrap();
+            for base in [0u32, 1000] {
+                let mut expect = Vec::new();
+                Codec::PforDelta
+                    .decode_block(&words, base, &mut expect)
+                    .unwrap();
+                for path in both_paths() {
+                    let mut got = Vec::new();
+                    decode_pfor_with(&parsed, base, &mut got, path).unwrap();
+                    assert_eq!(got, expect, "n={n} base={base} {path:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ef_decode_paths_match_codec_reference() {
+        let mut rng = 17u64;
+        for n in [1usize, 2, 8, 100, 128, 300] {
+            let mut cur = 0u64;
+            let rel: Vec<u32> = (0..n)
+                .map(|_| {
+                    cur += 1 + splitmix(&mut rng) % 700;
+                    cur as u32
+                })
+                .collect();
+            let blk = EfBlock::encode(&rel);
+            let mut words = Vec::new();
+            blk.to_words(&mut words);
+            let parsed = EfBlockRef::parse(&words).unwrap();
+            for base in [0u32, 77] {
+                let mut expect = Vec::new();
+                Codec::EliasFano
+                    .decode_block(&words, base, &mut expect)
+                    .unwrap();
+                for path in both_paths() {
+                    let mut got = Vec::new();
+                    decode_ef_with(&parsed, base, &mut got, path).unwrap();
+                    assert_eq!(got, expect, "n={n} base={base} {path:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_search_paths_agree_on_result_and_probes() {
+        let mut rng = 19u64;
+        for n in [0usize, 1, 2, 7, 8, 9, 64, 127, 128] {
+            let mut cur = 0u64;
+            let hay: Vec<u32> = (0..n)
+                .map(|_| {
+                    cur += 1 + splitmix(&mut rng) % 9;
+                    cur as u32
+                })
+                .collect();
+            let mut targets: Vec<u32> = hay.clone(); // every hit
+            targets.extend([0u32, 1, u32::MAX]); // edges
+            for _ in 0..40 {
+                targets.push(splitmix(&mut rng) as u32 % (cur as u32 + 10).max(10));
+            }
+            for &t in &targets {
+                let mut p_scalar = 0u64;
+                let scalar = find_in_sorted_block_with(&hay, t, &mut p_scalar, KernelPath::Scalar);
+                if avx2_available() {
+                    let mut p_simd = 0u64;
+                    let simd = find_in_sorted_block_with(&hay, t, &mut p_simd, KernelPath::Avx2);
+                    assert_eq!(simd, scalar, "n={n} t={t}");
+                    assert_eq!(p_simd, p_scalar, "probe parity n={n} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_fold_paths_are_bit_exact() {
+        let mut rng = 23u64;
+        for block_len in [1usize, 64, 128, 100] {
+            // 100: non-power-of-two → SIMD path must fall back internally.
+            let nblocks = 50usize;
+            let block_ubs: Vec<f32> = (0..nblocks)
+                .map(|_| (splitmix(&mut rng) % 1000) as f32 / 64.0)
+                .collect();
+            for n in [0usize, 1, 8, 9, 100, 1000] {
+                let elem_idx: Vec<u32> = (0..n)
+                    .map(|_| (splitmix(&mut rng) as usize % (nblocks * block_len)) as u32)
+                    .collect();
+                for first in [true, false] {
+                    let mut expect = vec![0.5f32; n];
+                    fold_term_bounds_with(
+                        &mut expect,
+                        &elem_idx,
+                        block_len,
+                        &block_ubs,
+                        first,
+                        KernelPath::Scalar,
+                    );
+                    if avx2_available() {
+                        let mut got = vec![0.5f32; n];
+                        fold_term_bounds_with(
+                            &mut got,
+                            &elem_idx,
+                            block_len,
+                            &block_ubs,
+                            first,
+                            KernelPath::Avx2,
+                        );
+                        assert_eq!(
+                            got.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                            expect.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                            "block_len={block_len} n={n} first={first}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_mode_controls_dispatch() {
+        set_forced(ForceMode::Scalar);
+        assert_eq!(active_path(), KernelPath::Scalar);
+        set_forced(ForceMode::Simd);
+        if avx2_available() {
+            assert_eq!(active_path(), KernelPath::Avx2);
+        } else {
+            assert_eq!(active_path(), KernelPath::Scalar);
+        }
+        set_forced(ForceMode::Auto);
+    }
+
+    #[test]
+    fn dispatch_totals_grow_monotonically() {
+        let before: u64 = dispatch_totals().iter().map(|(_, _, n)| n).sum();
+        let hay: Vec<u32> = (0..128).map(|i| i * 3).collect();
+        let mut probes = 0u64;
+        let _ = find_in_sorted_block(&hay, 33, &mut probes);
+        let after: u64 = dispatch_totals().iter().map(|(_, _, n)| n).sum();
+        assert!(after > before);
+        assert_eq!(dispatch_totals().len(), 8);
+    }
+}

@@ -4,7 +4,7 @@
 //! A shard is a contiguous docID range. Every posting list is sliced to
 //! the range (docIDs stay global — no remapping), re-compressed with its
 //! positions, and packaged as an [`InvertedIndex`] that carries the
-//! *whole-corpus* [`CorpusMeta`] and per-term scoring dfs (see
+//! *whole-corpus* [`CorpusMeta`](crate::document::CorpusMeta) and per-term scoring dfs (see
 //! [`InvertedIndex::scoring_df`]). Because every document lives in
 //! exactly one shard and every shard scores with global statistics, the
 //! global top-k is a subset of the union of per-shard top-k's, and

@@ -32,7 +32,7 @@
 //!   and [`FleetConfig::partial_on_deadline`] is set, shards answering
 //!   after the deadline are left out of the merge — but never
 //!   silently: every shard appears in the answer's
-//!   [`FleetInfo`](griffin::FleetInfo) with an explicit outcome, and
+//!   [`FleetInfo`] with an explicit outcome, and
 //!   `coverage` says exactly how much of the corpus the top-k reflects.
 //!   A query is always answered; if no shard made the deadline the
 //!   coordinator waits for all of them rather than returning nothing.

@@ -356,7 +356,7 @@ proptest! {
             let gpu = Gpu::new(DeviceConfig::test_tiny());
             gpu.set_fault_plan(Some(plan.clone()));
             let mut griffin = Griffin::new(&gpu, fx.index.meta(), fx.index.block_len());
-            griffin.scheduler.split = Some(SplitConfig::forced(model.clone(), fraction));
+            griffin.scheduler.split = Some(SplitConfig::forced(model, fraction));
             let req = QueryRequest::from_query(q.clone()).k(10).mode(ExecMode::Hybrid);
             let out = griffin.run(&fx.index, &req);
             prop_assert_eq!(&out.topk, &expect, "fraction {} diverged on {:?}", fraction, q);
