@@ -80,6 +80,8 @@ fn main() {
             service_time: out.time,
             stages: stages_of(out),
             cpu_fallback: fallback,
+            stale_available: None,
+            coalesce_key: None,
             deadline: None,
             breaker_degraded: false,
             trace_query: None,
@@ -235,6 +237,7 @@ fn main() {
                 capacity: 64,
                 gpu_depth_threshold: depth_threshold,
                 policy: OverloadPolicy::Shed,
+                ..Default::default()
             },
         ),
         (
@@ -243,6 +246,7 @@ fn main() {
                 capacity: 64,
                 gpu_depth_threshold: depth_threshold,
                 policy: OverloadPolicy::DegradeToCpuOnly,
+                ..Default::default()
             },
         ),
     ];

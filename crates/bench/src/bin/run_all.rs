@@ -57,6 +57,7 @@ fn main() {
         "exp_queries",
         "exp_profile",
         "exp_fleet",
+        "exp_cache",
     ];
     let opts = Options::from_args();
     // Smoke runs shrink the sample counts too (children inherit the
@@ -271,6 +272,8 @@ fn merge_snapshot(exps: &[&str], frag_dir: &std::path::Path, smoke: bool) -> Sna
         .insert("cpu_ns_per_elem".into(), cm.cpu_ns_per_elem);
     snap.cost_model
         .insert("cpu_skip_ns_per_probe".into(), cm.cpu_skip_ns_per_probe);
+    snap.cost_model
+        .insert("cpu_decode_ns_per_elem".into(), cm.cpu_decode_ns_per_elem);
 
     for exp in exps {
         let path = frag_dir.join(format!("{exp}.snapshot.json"));

@@ -56,6 +56,13 @@ const TRANSFERS_PER_STEP: u64 = 7;
 /// decode in parallel* — a per-step floor, not a per-element slope.
 const SERIAL_DECODE_GMEM_ACCESSES: f64 = 512.0;
 
+/// Fraction of the host's per-probe skip cost that a host-cached decoded
+/// list removes. A skip probe is roughly half navigation (gallop over the
+/// skip array + in-block binary search) and half candidate-block decode;
+/// with the decoded list resident in the host cache the decode half
+/// vanishes (see `griffin_cpu::intersect::skip_intersect_range_cached`).
+const CACHED_SKIP_DISCOUNT: f64 = 0.5;
+
 /// Issue/latency-bound device cycles per long-list element across the
 /// decompress + merge passes. The kernels are not bandwidth-bound at
 /// these list sizes (calibrated against the simulator: ~0.5 ns/elem on
@@ -107,6 +114,11 @@ pub struct CostModel {
     /// paper CPU's 2.5 GHz. Override with
     /// [`CostModel::with_cpu_ns_per_elem`] if measurements disagree.
     pub cpu_ns_per_elem: f64,
+    /// The decode share of `cpu_ns_per_elem` — what a host-cached
+    /// (already-decoded) list saves per element in the merge regime.
+    /// Calibration sets it to the measured decode slope; the hand-set
+    /// default is a third of the merge-regime total.
+    pub cpu_decode_ns_per_elem: f64,
     /// Host cost per *short-list* element for a skip-pointer
     /// intersection (gallop over skips + one in-block binary search per
     /// probe): ~250 cycles at 2.5 GHz. The skip strategy's cost scales
@@ -134,6 +146,7 @@ impl CostModel {
                 * 1.0e9)
                 .max(DEVICE_CYCLES_PER_ELEM * ns_per_cycle),
             cpu_ns_per_elem: 12.0,
+            cpu_decode_ns_per_elem: 4.0,
             cpu_skip_ns_per_probe: 100.0,
             overlap,
         }
@@ -160,8 +173,11 @@ impl CostModel {
     /// calibration moves the CPU curves, and with them the crossover that
     /// the scheduler, split balancer, and pruning paths consult.
     pub fn calibrated_from(self, m: &KernelMeasurements) -> CostModel {
-        self.with_cpu_ns_per_elem(m.cpu_decode_ns_per_elem + m.cpu_merge_ns_per_elem)
-            .with_cpu_skip_ns_per_probe(m.cpu_skip_ns_per_probe)
+        let mut cal = self
+            .with_cpu_ns_per_elem(m.cpu_decode_ns_per_elem + m.cpu_merge_ns_per_elem)
+            .with_cpu_skip_ns_per_probe(m.cpu_skip_ns_per_probe);
+        cal.cpu_decode_ns_per_elem = m.cpu_decode_ns_per_elem;
+        cal
     }
 
     /// PCIe cost of shipping a `long_len`-element list, ns.
@@ -226,6 +242,32 @@ impl CostModel {
         merge.min(skip)
     }
 
+    /// Host merge-regime estimate when the long list's decoded form is
+    /// resident in the host cache: the decode slope drops out, only the
+    /// linear merge remains. Never more than [`CostModel::cpu_step_ns`].
+    pub fn cpu_step_host_resident_ns(&self, long_len: usize) -> f64 {
+        (self.cpu_ns_per_elem - self.cpu_decode_ns_per_elem).max(0.0) * long_len as f64
+    }
+
+    /// [`CostModel::cpu_intersect_ns`] when the long list is host-cached:
+    /// the merge arm loses its decode slope and the skip arm loses its
+    /// candidate-block-decode share (`CACHED_SKIP_DISCOUNT`). Never more
+    /// than the non-resident estimate.
+    pub fn cpu_intersect_host_resident_ns(&self, short_len: usize, long_len: usize) -> f64 {
+        let merge = self.cpu_step_host_resident_ns(long_len);
+        let skip = self.cpu_skip_ns_per_probe * CACHED_SKIP_DISCOUNT * short_len as f64;
+        merge.min(skip)
+    }
+
+    /// Device step estimate when the long list is already device-resident
+    /// (in the LRU cache or landing via prefetch): the PCIe terms drop
+    /// out entirely; launch, allocation, and the serial-decode floor
+    /// remain. Identical in serial and pipelined modes — there is no
+    /// transfer left to hide. Never more than [`CostModel::gpu_step_ns`].
+    pub fn gpu_step_device_resident_ns(&self, long_len: usize) -> f64 {
+        self.fixed_ns + self.serial_decode_ns + self.compute_ns(long_len)
+    }
+
     /// Solves for the GPU share of a docID-range split so that both
     /// lanes of a co-executed intersection finish together.
     ///
@@ -271,6 +313,51 @@ impl CostModel {
         // A lane owed less than one element of either list is no lane at
         // all (no short element means no possible match): snap to the
         // degenerate single-processor answer.
+        if f * l < 1.0 || f * s < 1.0 {
+            0.0
+        } else if (1.0 - f) * l < 1.0 || (1.0 - f) * s < 1.0 {
+            1.0
+        } else {
+            f
+        }
+    }
+
+    /// [`CostModel::split_fraction`] when the long list's decoded form
+    /// is host-cached. The CPU lane intersects against the resident
+    /// vector (no decode), so its curve drops and the balanced device
+    /// share shrinks — or collapses to 0 when the resident host beats
+    /// even an empty device slice's fixed overheads. The device lane is
+    /// *not* discounted: a split's range upload bypasses the device LRU
+    /// cache, so it pays full PCIe either way. Same bisection; `g(f)`
+    /// stays monotone because only the CPU curve's slope changed.
+    pub fn split_fraction_host_resident(&self, short_len: usize, long_len: usize) -> f64 {
+        if long_len == 0 {
+            return 0.0;
+        }
+        let l = long_len as f64;
+        let s = short_len as f64;
+        let g = |f: f64| {
+            let gpu_elems = (f * l).round() as usize;
+            let cpu_elems = long_len - gpu_elems.min(long_len);
+            let cpu_probes = ((1.0 - f) * s).round() as usize;
+            self.gpu_step_ns(gpu_elems) - self.cpu_intersect_host_resident_ns(cpu_probes, cpu_elems)
+        };
+        if g(0.0) >= 0.0 {
+            return 0.0;
+        }
+        if g(1.0) <= 0.0 {
+            return 1.0;
+        }
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if g(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let f = 0.5 * (lo + hi);
         if f * l < 1.0 || f * s < 1.0 {
             0.0
         } else if (1.0 - f) * l < 1.0 || (1.0 - f) * s < 1.0 {
@@ -403,6 +490,52 @@ mod tests {
             cpu_skip_ns_per_probe: 10.0,
         });
         assert!(fast.min_profitable_long_len() >= base.min_profitable_long_len());
+    }
+
+    #[test]
+    fn resident_costs_never_exceed_cold_costs() {
+        for cfg in [DeviceConfig::tesla_k20(), DeviceConfig::test_tiny()] {
+            for overlap in [false, true] {
+                let m = CostModel::from_device(&cfg, overlap);
+                for len in [0usize, 100, 10_000, 1 << 20] {
+                    assert!(m.cpu_step_host_resident_ns(len) <= m.cpu_step_ns(len));
+                    assert!(m.gpu_step_device_resident_ns(len) <= m.gpu_step_ns(len));
+                    let short = len / 16;
+                    assert!(
+                        m.cpu_intersect_host_resident_ns(short, len)
+                            <= m.cpu_intersect_ns(short, len)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_residency_shrinks_the_device_share() {
+        let cfg = DeviceConfig::tesla_k20();
+        let m = CostModel::from_device(&cfg, true);
+        let long_len = 4 * m.min_profitable_long_len();
+        for short_len in [long_len / 16, long_len / 64, long_len / 256] {
+            let cold = m.split_fraction(short_len, long_len);
+            let resident = m.split_fraction_host_resident(short_len, long_len);
+            assert!(
+                resident <= cold,
+                "a cheaper host lane must not grow the device share \
+                 ({cold} -> {resident} at short={short_len})"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_sets_the_decode_share() {
+        let cfg = DeviceConfig::tesla_k20();
+        let cal = CostModel::from_device(&cfg, true).calibrated_from(&KernelMeasurements {
+            cpu_decode_ns_per_elem: 1.5,
+            cpu_merge_ns_per_elem: 2.5,
+            cpu_skip_ns_per_probe: 40.0,
+        });
+        assert_eq!(cal.cpu_decode_ns_per_elem, 1.5);
+        assert_eq!(cal.cpu_step_host_resident_ns(1000), 2.5 * 1000.0);
     }
 
     #[test]

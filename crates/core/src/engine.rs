@@ -1,7 +1,7 @@
 //! The hybrid query engine: one query, two processors, per-operation
 //! migration (paper Fig. 1(d)).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use griffin_cpu::engine::Strategy;
 use griffin_cpu::{setops, CpuEngine, Intermediate, PruneStats, QueryScratch, WorkCounters};
@@ -14,7 +14,10 @@ use crate::cost::CostModel;
 use crate::plan::{PlanNode, Planner};
 use crate::query::Query;
 use crate::request::{QueryError, QueryRequest};
-use crate::sched::{Decision, DecisionTrace, Proc, Scheduler, SplitBalancer, SplitConfig};
+use crate::rescache::{CachedResult, ResultCache, ResultCacheStats, RESULT_CACHE_LOOKUP};
+use crate::sched::{
+    Decision, DecisionTrace, Proc, Residency, Scheduler, SplitBalancer, SplitConfig,
+};
 
 /// How a query is executed (the paper's three evaluated configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +122,12 @@ pub struct GriffinOutput {
     /// through a scatter–gather coordinator (see [`crate::fleet`]). A
     /// single-engine answer is always complete, hence `None`.
     pub fleet: Option<crate::fleet::FleetInfo>,
+    /// True when the answer came from the query result cache: the top-k
+    /// bits are exactly what execution produced when the entry was
+    /// stored, and [`GriffinOutput::time`] is the (much smaller) lookup
+    /// charge. Always false with the result cache disabled — the
+    /// default.
+    pub result_cache_hit: bool,
 }
 
 /// Where the intermediate currently lives.
@@ -202,6 +211,13 @@ pub struct Griffin<'g> {
     /// intersection (buffers are cleared between operations, never
     /// shrunk, so steady-state queries stop allocating).
     scratch: RefCell<QueryScratch>,
+    /// The top cache tier: whole-query results keyed on the canonical
+    /// request signature. `None` (the default) disables the tier
+    /// entirely; see [`Griffin::set_result_cache`].
+    result_cache: RefCell<Option<ResultCache>>,
+    /// Index generation stamped into every result-cache key, so bumping
+    /// it ([`Griffin::set_index_epoch`]) invalidates all cached answers.
+    index_epoch: Cell<u64>,
 }
 
 impl<'g> Griffin<'g> {
@@ -216,6 +232,8 @@ impl<'g> Griffin<'g> {
             overlap: true,
             balancer: RefCell::new(SplitBalancer::default()),
             scratch: RefCell::new(QueryScratch::default()),
+            result_cache: RefCell::new(None),
+            index_epoch: Cell::new(0),
         };
         griffin.set_overlap(true);
         griffin.set_coexec(true);
@@ -238,11 +256,14 @@ impl<'g> Griffin<'g> {
         } else {
             self.scheduler.min_gpu_work =
                 Scheduler::for_block_len(self.scheduler.ratio_threshold).min_gpu_work;
-            // The split solver must price the GPU lane the same way the
-            // engine will now run it: serially.
+            // The split solver and the cache-aware override must price
+            // the GPU lane the same way the engine will now run it:
+            // serially.
+            let serial = CostModel::from_device(self.device.config(), false);
             if let Some(split) = &mut self.scheduler.split {
-                split.model = CostModel::from_device(self.device.config(), false);
+                split.model = serial;
             }
+            self.scheduler.cache_model = Some(serial);
         }
     }
 
@@ -315,6 +336,177 @@ impl<'g> Griffin<'g> {
         self.device
     }
 
+    /// Enables the query result cache — the top tier of the cache
+    /// hierarchy — bounded to `max_entries` results and `budget_bytes`
+    /// total bytes. Passing zero for either bound disables the tier
+    /// (the construction default), restoring bit- and time-identical
+    /// execution for every query. See [`crate::rescache`].
+    pub fn set_result_cache(&self, max_entries: usize, budget_bytes: u64) {
+        *self.result_cache.borrow_mut() = if max_entries == 0 || budget_bytes == 0 {
+            None
+        } else {
+            Some(ResultCache::new(max_entries, budget_bytes))
+        };
+    }
+
+    /// Whether the query result cache is enabled.
+    pub fn result_cache_enabled(&self) -> bool {
+        self.result_cache.borrow().is_some()
+    }
+
+    /// Result-cache accounting, `None` while the tier is disabled.
+    pub fn result_cache_stats(&self) -> Option<ResultCacheStats> {
+        self.result_cache.borrow().as_ref().map(|c| c.stats())
+    }
+
+    /// Non-perturbing result-cache probe: the cached answer for `req`
+    /// at the current index epoch, without LRU or hit/miss effects.
+    /// This is the admission queue's stale-serve path — an overloaded
+    /// server may answer a shed query from here, explicitly flagged.
+    pub fn result_cache_peek(&self, req: &QueryRequest) -> Option<CachedResult> {
+        let guard = self.result_cache.borrow();
+        let cache = guard.as_ref()?;
+        cache
+            .peek(&req.cache_signature(self.index_epoch.get()))
+            .cloned()
+    }
+
+    /// The index generation stamped into result-cache keys.
+    pub fn index_epoch(&self) -> u64 {
+        self.index_epoch.get()
+    }
+
+    /// Declares a new index generation (segment merge, document
+    /// ingest, …): every cached answer and decoded list is invalidated.
+    /// The result cache keys on the epoch, so old entries can never be
+    /// served again; the host decoded-list tier is flushed outright
+    /// (its entries alias the old postings). The device LRU keys on
+    /// [`TermId`] against live postings the engine re-uploads per
+    /// query, so it is flushed by the serving layer when the device
+    /// copy actually goes stale.
+    pub fn set_index_epoch(&self, epoch: u64) {
+        self.index_epoch.set(epoch);
+        if let Some(cache) = self.result_cache.borrow_mut().as_mut() {
+            cache.clear();
+        }
+        self.cpu.clear_host_cache();
+    }
+
+    /// Where each of `term`'s copies currently lives, for cache-aware
+    /// scheduling: the host decoded-list tier and the device LRU (or an
+    /// in-flight prefetch) are probed without perturbing either.
+    fn residency(&self, term: TermId) -> Residency {
+        Residency {
+            host_cached: self.cpu.host_cache_contains(term),
+            device_cached: self.gpu.is_resident(term),
+        }
+    }
+
+    /// Folds all three cache tiers' accounting into the attached
+    /// telemetry registry under one naming scheme:
+    /// `griffin_cache_{device,host,result}_{hits,misses,evictions,bytes_resident}`.
+    /// Totals are process-cumulative, exported as gauges of the running
+    /// value (the same race-tolerant pattern as the SIMD dispatch
+    /// totals).
+    pub fn export_cache_metrics(&self) {
+        let dev = self.gpu.cache_stats();
+        let host = self.cpu.host_cache_stats();
+        let res = self.result_cache_stats().unwrap_or_default();
+        let tiers: [(&str, u64, u64, u64, u64); 3] = [
+            (
+                "device",
+                dev.hits,
+                dev.misses,
+                dev.evictions,
+                dev.bytes_resident,
+            ),
+            (
+                "host",
+                host.hits,
+                host.misses,
+                host.evictions,
+                host.bytes_resident,
+            ),
+            (
+                "result",
+                res.hits,
+                res.misses,
+                res.evictions,
+                res.bytes_resident,
+            ),
+        ];
+        self.telemetry.with(|r| {
+            for (tier, hits, misses, evictions, bytes) in tiers {
+                for (stat, v) in [
+                    ("hits", hits),
+                    ("misses", misses),
+                    ("evictions", evictions),
+                    ("bytes_resident", bytes),
+                ] {
+                    r.registry
+                        .gauge_set(&format!("griffin_cache_{tier}_{stat}"), v as f64);
+                }
+            }
+        });
+    }
+
+    /// Answers `req` from the result cache if it can: a hit returns the
+    /// stored top-k bit-for-bit, charges `min(lookup, original)` virtual
+    /// time as a single host step, and marks the output. `Query::Nothing`
+    /// is never cached — its execution is already free.
+    fn result_cache_lookup(&self, req: &QueryRequest) -> Option<GriffinOutput> {
+        if req.query == Query::Nothing {
+            return None;
+        }
+        let hit = {
+            let mut guard = self.result_cache.borrow_mut();
+            let cache = guard.as_mut()?;
+            cache.get(&req.cache_signature(self.index_epoch.get()))?
+        };
+        let time = hit.time.min(RESULT_CACHE_LOOKUP);
+        self.telemetry
+            .counter_add("griffin_result_cache_served_total", 1);
+        let steps = if time > VirtualNanos::ZERO {
+            vec![StepTrace {
+                op: StepOp::Exec,
+                proc: Proc::Cpu,
+                time,
+                inter_len: hit.topk.len(),
+            }]
+        } else {
+            Vec::new()
+        };
+        for s in &steps {
+            self.record_step(s);
+        }
+        Some(GriffinOutput {
+            topk: hit.topk,
+            time,
+            steps,
+            gpu_faults: 0,
+            gpu_abandoned: false,
+            pruning: None,
+            fleet: None,
+            result_cache_hit: true,
+        })
+    }
+
+    /// Stores an executed answer for future repeats of `req`.
+    fn result_cache_store(&self, req: &QueryRequest, out: &GriffinOutput) {
+        if req.query == Query::Nothing {
+            return;
+        }
+        if let Some(cache) = self.result_cache.borrow_mut().as_mut() {
+            cache.insert(
+                req.cache_signature(self.index_epoch.get()),
+                CachedResult {
+                    topk: out.topk.clone(),
+                    time: out.time,
+                },
+            );
+        }
+    }
+
     /// Record one executed step into the trace and the step-latency
     /// histograms.
     fn record_step(&self, s: &StepTrace) {
@@ -365,11 +557,25 @@ impl<'g> Griffin<'g> {
             effective_threshold: d.effective_threshold,
             hysteresis_applied: d.hysteresis_applied,
             chosen,
+            host_cached: d.residency.host_cached,
+            device_cached: d.residency.device_cached,
+            cache_flip: d.cache_flip,
         });
         self.telemetry.counter_add(
             &format!("griffin_sched_decisions_total{{proc=\"{chosen}\"}}"),
             1,
         );
+        if d.cache_flip {
+            // "Won by cache": the residency override changed the
+            // baseline placement for this operation.
+            self.telemetry.counter_add(
+                &format!(
+                    "griffin_sched_cache_flips_total{{from=\"{}\",to=\"{chosen}\"}}",
+                    d.baseline.label()
+                ),
+                1,
+            );
+        }
     }
 
     /// Fold CPU work counters into the registry, along with the
@@ -650,15 +856,22 @@ impl<'g> Griffin<'g> {
 
     fn run_inner(&self, index: &InvertedIndex, req: &QueryRequest) -> GriffinOutput {
         self.record_query(req.mode, req.query.num_terms(), || {
+            // Top cache tier first: a repeat of a cached request is
+            // answered without touching either engine.
+            if let Some(hit) = self.result_cache_lookup(req) {
+                return hit;
+            }
             // Plain term conjunctions — the original query shape — take
             // the fast path: the per-step AND-chain machinery (and the
             // pruned variants) unchanged. Anything else lowers through
             // the planner.
-            match req.query.as_term_conjunction() {
+            let out = match req.query.as_term_conjunction() {
                 Some(terms) if req.pruned => self.run_pruned(index, &terms, req.k, req.mode),
                 Some(terms) => self.run_flat(index, &terms, req.k, req.mode),
                 None => self.run_plan(index, &req.query, req.k, req.mode),
-            }
+            };
+            self.result_cache_store(req, &out);
+            out
         })
     }
 
@@ -694,6 +907,7 @@ impl<'g> Griffin<'g> {
                     gpu_abandoned: false,
                     pruning: None,
                     fleet: None,
+                    result_cache_hit: false,
                 }
             }
             ExecMode::GpuOnly => {
@@ -735,6 +949,7 @@ impl<'g> Griffin<'g> {
                             gpu_abandoned: log.gpu_disabled,
                             pruning: None,
                             fleet: None,
+                            result_cache_hit: false,
                         }
                     }
                     Err(_) => {
@@ -764,6 +979,7 @@ impl<'g> Griffin<'g> {
                             gpu_abandoned: log.gpu_disabled,
                             pruning: None,
                             fleet: None,
+                            result_cache_hit: false,
                         }
                     }
                 }
@@ -791,11 +1007,16 @@ impl<'g> Griffin<'g> {
             ExecMode::CpuOnly => Proc::Cpu,
             ExecMode::GpuOnly => Proc::Gpu,
             ExecMode::Hybrid => {
-                let mut dfs: Vec<usize> = terms.iter().map(|&t| index.doc_freq(t)).collect();
-                dfs.sort_unstable();
-                match dfs.get(1) {
+                let mut by_df: Vec<TermId> = terms.to_vec();
+                by_df.sort_unstable_by_key(|&t| index.doc_freq(t));
+                match by_df.get(1) {
                     Some(&second) => {
-                        let d = self.scheduler.decide_traced(dfs[0], second, Proc::Cpu);
+                        let d = self.scheduler.decide_traced_resident(
+                            index.doc_freq(by_df[0]),
+                            index.doc_freq(second),
+                            Proc::Cpu,
+                            self.residency(second),
+                        );
                         self.record_decision(&d);
                         // A split decision maps to the host path: pruned
                         // chains keep their intermediate host-resident.
@@ -849,6 +1070,7 @@ impl<'g> Griffin<'g> {
                                 verified: matches,
                             }),
                             fleet: None,
+                            result_cache_hit: false,
                         }
                     }
                     Err(_) => {
@@ -896,6 +1118,7 @@ impl<'g> Griffin<'g> {
             gpu_abandoned: false,
             pruning: Some(out.stats),
             fleet: None,
+            result_cache_hit: false,
         }
     }
 
@@ -929,6 +1152,7 @@ impl<'g> Griffin<'g> {
                 gpu_abandoned: false,
                 pruning: None,
                 fleet: None,
+                result_cache_hit: false,
             };
         }
         match mode {
@@ -964,6 +1188,7 @@ impl<'g> Griffin<'g> {
                     gpu_abandoned: false,
                     pruning: None,
                     fleet: None,
+                    result_cache_hit: false,
                 }
             }
             ExecMode::GpuOnly | ExecMode::Hybrid => {
@@ -993,6 +1218,7 @@ impl<'g> Griffin<'g> {
                     gpu_abandoned: log.gpu_disabled,
                     pruning: None,
                     fleet: None,
+                    result_cache_hit: false,
                 }
             }
         }
@@ -1424,6 +1650,7 @@ impl<'g> Griffin<'g> {
                 gpu_abandoned: log.gpu_disabled,
                 pruning: None,
                 fleet: None,
+                result_cache_hit: false,
             };
         }
         let mut w = WorkCounters::default();
@@ -1446,6 +1673,7 @@ impl<'g> Griffin<'g> {
             gpu_abandoned: log.gpu_disabled,
             pruning: None,
             fleet: None,
+            result_cache_hit: false,
         }
     }
 
@@ -1474,9 +1702,12 @@ impl<'g> Griffin<'g> {
         let first_len = index.doc_freq(first);
         let initial = match rest.first() {
             Some(&second) => {
-                let d = self
-                    .scheduler
-                    .decide_traced(first_len, index.doc_freq(second), Proc::Cpu);
+                let d = self.scheduler.decide_traced_resident(
+                    first_len,
+                    index.doc_freq(second),
+                    Proc::Cpu,
+                    self.residency(second),
+                );
                 self.record_decision(&d);
                 // A split keeps its intermediate host-resident, so its
                 // residency view places the init on the CPU.
@@ -1500,12 +1731,15 @@ impl<'g> Griffin<'g> {
                         // while the init kernels run, if the scheduler
                         // will keep that operation on the device.
                         if let Some(&second) = rest.first() {
-                            if self.scheduler.decide(
+                            // The prediction mirrors the next iteration's
+                            // real (residency-aware) decision.
+                            let d = self.scheduler.decide_traced_resident(
                                 dev_inter.len,
                                 index.doc_freq(second),
                                 Proc::Gpu,
-                            ) == Proc::Gpu
-                            {
+                                self.residency(second),
+                            );
+                            if d.chosen.proc() == Proc::Gpu {
                                 self.gpu.prefetch(index, second);
                             }
                         }
@@ -1558,9 +1792,12 @@ impl<'g> Griffin<'g> {
             let decision = if log.gpu_disabled {
                 Decision::Cpu
             } else {
-                let d = self
-                    .scheduler
-                    .decide_traced(inter.len(), long_len, inter.loc());
+                let d = self.scheduler.decide_traced_resident(
+                    inter.len(),
+                    long_len,
+                    inter.loc(),
+                    self.residency(term),
+                );
                 self.record_decision(&d);
                 d.chosen
             };
@@ -1666,14 +1903,16 @@ impl<'g> Griffin<'g> {
                             // prediction uses the same inputs as the next
                             // iteration's real decision.
                             if let Some(&next_term) = rest.get(i + 1) {
-                                if out.len > 0
-                                    && self.scheduler.decide(
+                                if out.len > 0 {
+                                    let d = self.scheduler.decide_traced_resident(
                                         out.len,
                                         index.doc_freq(next_term),
                                         Proc::Gpu,
-                                    ) == Proc::Gpu
-                                {
-                                    self.gpu.prefetch(index, next_term);
+                                        self.residency(next_term),
+                                    );
+                                    if d.chosen.proc() == Proc::Gpu {
+                                        self.gpu.prefetch(index, next_term);
+                                    }
                                 }
                             }
                             self.device.stream_sync(StreamKind::Compute);

@@ -27,6 +27,7 @@ pub mod fleet;
 pub mod plan;
 pub mod query;
 pub mod request;
+pub mod rescache;
 pub mod sched;
 pub mod serving;
 
@@ -37,5 +38,6 @@ pub use griffin_cpu::PruneStats;
 pub use plan::{Plan, PlanNode, Planner};
 pub use query::Query;
 pub use request::{QueryError, QueryRequest};
-pub use sched::{Decision, DecisionTrace, Proc, Scheduler, SplitBalancer, SplitConfig};
+pub use rescache::{CachedResult, ResultCache, ResultCacheStats, RESULT_CACHE_LOOKUP};
+pub use sched::{Decision, DecisionTrace, Proc, Residency, Scheduler, SplitBalancer, SplitConfig};
 pub use serving::{Job, Resource, ServingSim, StageReq};

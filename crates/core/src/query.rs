@@ -31,7 +31,10 @@ use crate::request::QueryError;
 ///
 /// Construct one with [`Query::parse`] (text) or directly (programmatic),
 /// then [`Query::normalize`] to the canonical shape the engine executes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The derived `Ord` is the structural order [`Query::canonicalize`]
+/// sorts commutative children by — any total order works for keying, so
+/// long as it is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Query {
     /// A single term.
     Term(TermId),
@@ -105,6 +108,69 @@ impl Query {
                     (a, b) => Query::Not(Box::new(a), Box::new(b)),
                 }
             }
+        }
+    }
+
+    /// Canonicalizes a *normalized* tree into the unique representative
+    /// of its semantic-equivalence class, for cache keying: the children
+    /// of the commutative operators (`And`, `Or`) are sorted by the
+    /// derived structural order and exact duplicates dropped, then
+    /// operators left with one child unwrap. Semantically equal queries —
+    /// operand order flipped under `AND`/`OR`, duplicated conjuncts,
+    /// redundant parenthesization — land on byte-identical trees, so one
+    /// result-cache entry serves all of them. `Not` and `Phrase` are
+    /// order-sensitive and keep their shape.
+    ///
+    /// This is a *keying* transform, applied where queries enter the
+    /// serving path ([`crate::QueryRequest::from_query`]), not inside
+    /// [`Query::normalize`]: the planner's f32 score folds follow AST
+    /// order, so the canonical order must be fixed before execution for
+    /// every spelling of a query to produce the same bits.
+    pub fn canonicalize(self) -> Query {
+        match self {
+            Query::And(children) => {
+                let mut cs: Vec<Query> = children.into_iter().map(Query::canonicalize).collect();
+                cs.sort();
+                cs.dedup();
+                match cs.len() {
+                    1 => cs.pop().expect("len checked"),
+                    _ => Query::And(cs),
+                }
+            }
+            Query::Or(children) => {
+                let mut cs: Vec<Query> = children.into_iter().map(Query::canonicalize).collect();
+                cs.sort();
+                cs.dedup();
+                match cs.len() {
+                    1 => cs.pop().expect("len checked"),
+                    _ => Query::Or(cs),
+                }
+            }
+            Query::Not(a, b) => Query::Not(Box::new(a.canonicalize()), Box::new(b.canonicalize())),
+            q => q,
+        }
+    }
+
+    /// Renders a compact, dictionary-free, injective byte key for the
+    /// result cache. Two queries share a key iff their trees are equal —
+    /// call [`Query::canonicalize`] first so semantic equals collide.
+    pub fn cache_key(&self) -> String {
+        match self {
+            Query::Term(t) => format!("t{}", t.0),
+            Query::Nothing => "0".to_owned(),
+            Query::Phrase(ts) => {
+                let ids: Vec<String> = ts.iter().map(|t| t.0.to_string()).collect();
+                format!("p({})", ids.join(","))
+            }
+            Query::And(cs) => {
+                let parts: Vec<String> = cs.iter().map(Query::cache_key).collect();
+                format!("a({})", parts.join(","))
+            }
+            Query::Or(cs) => {
+                let parts: Vec<String> = cs.iter().map(Query::cache_key).collect();
+                format!("o({})", parts.join(","))
+            }
+            Query::Not(a, b) => format!("n({},{})", a.cache_key(), b.cache_key()),
         }
     }
 
@@ -591,6 +657,60 @@ mod tests {
             .unwrap()
             .as_term_conjunction()
             .is_none());
+    }
+
+    #[test]
+    fn semantically_equal_queries_share_canonical_keys() {
+        let i = idx();
+        // Each group: every spelling must canonicalize to byte-identical
+        // trees and cache keys.
+        let groups: &[&[&str]] = &[
+            // Commutative operand order under AND (and the explicit keyword).
+            &["alpha beta", "beta alpha", "beta AND alpha"],
+            // ...and under OR.
+            &["alpha OR beta", "beta OR alpha"],
+            // Duplicate conjuncts collapse.
+            &["alpha alpha beta", "alpha beta", "beta alpha alpha"],
+            // Duplicate disjuncts collapse.
+            &["alpha OR beta OR alpha", "beta OR alpha"],
+            // Nested parens flatten to the same canonical form.
+            &["((alpha)) ((beta))", "(alpha beta)", "alpha beta"],
+            &["alpha (beta OR gamma)", "(gamma OR beta) alpha"],
+            // Order-sensitive shapes must NOT be conflated: phrase and
+            // negation keep their operand order (checked below).
+        ];
+        for group in groups {
+            let canon: Vec<Query> = group
+                .iter()
+                .map(|s| Query::parse(&i, s, false).unwrap().canonicalize())
+                .collect();
+            let keys: Vec<String> = canon.iter().map(Query::cache_key).collect();
+            for (c, k) in canon.iter().zip(&keys).skip(1) {
+                assert_eq!(c, &canon[0], "group {group:?} diverged structurally");
+                assert_eq!(k, &keys[0], "group {group:?} diverged in key");
+            }
+        }
+        // Phrases are positional: reversing the words is a different query.
+        let p1 = Query::parse(&i, "\"beta gamma\"", false)
+            .unwrap()
+            .canonicalize();
+        let p2 = Query::parse(&i, "\"gamma beta\"", false)
+            .unwrap()
+            .canonicalize();
+        assert_ne!(p1.cache_key(), p2.cache_key());
+        // Negation is asymmetric.
+        let n1 = Query::parse(&i, "alpha -beta", false)
+            .unwrap()
+            .canonicalize();
+        let n2 = Query::parse(&i, "beta -alpha", false)
+            .unwrap()
+            .canonicalize();
+        assert_ne!(n1.cache_key(), n2.cache_key());
+        // The key is injective on distinct canonical trees even when
+        // term-id digit strings could run together.
+        let a = Query::And(vec![Query::Term(TermId(1)), Query::Term(TermId(23))]);
+        let b = Query::And(vec![Query::Term(TermId(12)), Query::Term(TermId(3))]);
+        assert_ne!(a.cache_key(), b.cache_key());
     }
 
     #[test]

@@ -61,6 +61,10 @@ impl QueryRequest {
     }
 
     /// A request for an arbitrary query tree (normalized on entry).
+    /// Execution keeps the normalized spelling as written — the
+    /// planner's f32 fold orders are spelling-stable — while
+    /// [`QueryRequest::cache_signature`] canonicalizes on top, so every
+    /// spelling of a query shares one result-cache key.
     pub fn from_query(query: Query) -> QueryRequest {
         QueryRequest {
             query: query.normalize(),
@@ -69,6 +73,27 @@ impl QueryRequest {
             deadline: None,
             pruned: false,
         }
+    }
+
+    /// The result-cache key for this request: the canonical query
+    /// rendering ([`Query::canonicalize`], so semantically equal
+    /// spellings collide) plus every knob that changes the answer or its
+    /// modelled time — `k`, the execution mode, the pruning switch — and
+    /// the index epoch, so segment churn invalidates for free. The
+    /// deadline is deliberately excluded (it only labels the result,
+    /// never changes it). Spellings of commutative shapes that differ
+    /// only in `OR`-arm order can differ in float fold order by a ULP;
+    /// conflating them is the intended cache semantics — a hit returns
+    /// the bits of the spelling that executed first.
+    pub fn cache_signature(&self, index_epoch: u64) -> String {
+        format!(
+            "{}|k{}|m{:?}|p{}|e{}",
+            self.query.clone().canonicalize().cache_key(),
+            self.k,
+            self.mode,
+            self.pruned as u8,
+            index_epoch
+        )
     }
 
     /// Sets the number of results to return.

@@ -74,6 +74,25 @@ impl Decision {
     }
 }
 
+/// Cache residency of the long list at decision time, probed from the
+/// host decoded-list cache and the device LRU. The scheduler folds this
+/// into its cost comparison: a host-cached list loses its CPU decode
+/// term, a device-cached list loses its PCIe term.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Residency {
+    /// The long list's decoded docIDs sit in the host decoded-list cache.
+    pub host_cached: bool,
+    /// The long list is device-resident (LRU cache or in-flight prefetch).
+    pub device_cached: bool,
+}
+
+impl Residency {
+    /// No tier holds the list — the residency-blind decision stands.
+    pub fn cold() -> Residency {
+        Residency::default()
+    }
+}
+
 /// Everything that went into (and came out of) one scheduling decision,
 /// surfaced for telemetry and the ablation experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +106,15 @@ pub struct DecisionTrace {
     pub effective_threshold: f64,
     /// Whether hysteresis inflated the threshold for this decision.
     pub hysteresis_applied: bool,
+    /// The long list's cache residency at decision time (all-cold for
+    /// residency-blind calls).
+    pub residency: Residency,
+    /// What the residency-blind rule chose — the decision every run
+    /// makes when the caches are off.
+    pub baseline: Decision,
+    /// Whether residency changed the outcome: a processor flip or a
+    /// split-fraction shift "won by cache".
+    pub cache_flip: bool,
     pub chosen: Decision,
 }
 
@@ -213,6 +241,11 @@ pub struct Scheduler {
     /// pick-one behaviour. The bare scheduler constructors leave this
     /// off; [`crate::Griffin`] enables it by default.
     pub split: Option<SplitConfig>,
+    /// Cost model for cache-aware overrides ([`Scheduler::decide_traced_resident`]).
+    /// Installed by [`Scheduler::apply_cost_model`]; `None` (the bare
+    /// constructors) makes residency a no-op and every decision
+    /// residency-blind.
+    pub cache_model: Option<crate::cost::CostModel>,
 }
 
 impl Scheduler {
@@ -224,6 +257,7 @@ impl Scheduler {
             hysteresis: 2.0,
             min_gpu_work: 8_192,
             split: None,
+            cache_model: None,
         }
     }
 
@@ -236,6 +270,7 @@ impl Scheduler {
             hysteresis: 1.0,
             min_gpu_work: 0,
             split: None,
+            cache_model: None,
         }
     }
 
@@ -248,6 +283,7 @@ impl Scheduler {
     /// does not change.
     pub fn apply_cost_model(&mut self, model: &crate::cost::CostModel) {
         self.min_gpu_work = model.min_profitable_long_len();
+        self.cache_model = Some(*model);
         if let Some(split) = &mut self.split {
             split.model = *model;
         }
@@ -304,8 +340,91 @@ impl Scheduler {
             ratio,
             effective_threshold: threshold,
             hysteresis_applied,
+            residency: Residency::cold(),
+            baseline: chosen,
+            cache_flip: false,
             chosen,
         }
+    }
+
+    /// [`Scheduler::decide_traced`], then a residency-gated override: the
+    /// baseline (residency-blind) decision is computed first with the
+    /// rules above, and only when a cache tier actually holds the long
+    /// list is it re-examined under the resident cost curves —
+    ///
+    /// * baseline **GPU** + host-cached: flip to CPU when the resident
+    ///   host cost (no decode) undercuts the device step;
+    /// * baseline **CPU** + device-cached: flip to GPU when the resident
+    ///   device step (no PCIe) undercuts the host;
+    /// * baseline **Split** + host-cached: re-solve the fraction with the
+    ///   resident CPU-lane curve — the device share shrinks, possibly to
+    ///   a pure-CPU decision. (Device residency leaves splits alone: a
+    ///   split's range upload bypasses the device cache.)
+    ///
+    /// With an all-cold [`Residency`], no installed cost model, or a
+    /// forced split fraction, the baseline stands untouched — so every
+    /// caches-off run decides exactly as [`Scheduler::decide_traced`].
+    pub fn decide_traced_resident(
+        &self,
+        short_len: usize,
+        long_len: usize,
+        current: Proc,
+        residency: Residency,
+    ) -> DecisionTrace {
+        let mut trace = self.decide_traced(short_len, long_len, current);
+        trace.residency = residency;
+        let Some(model) = &self.cache_model else {
+            return trace;
+        };
+        if (!residency.host_cached && !residency.device_cached) || short_len == 0 || long_len == 0 {
+            return trace;
+        }
+        let overridden = match trace.baseline {
+            Decision::Gpu if residency.host_cached => {
+                let cpu = model.cpu_intersect_host_resident_ns(short_len, long_len);
+                let gpu = if residency.device_cached {
+                    model.gpu_step_device_resident_ns(long_len)
+                } else {
+                    model.gpu_step_ns(long_len)
+                };
+                (cpu < gpu).then_some(Decision::Cpu)
+            }
+            Decision::Cpu if residency.device_cached => {
+                let gpu = model.gpu_step_device_resident_ns(long_len);
+                let cpu = if residency.host_cached {
+                    model.cpu_intersect_host_resident_ns(short_len, long_len)
+                } else {
+                    model.cpu_intersect_ns(short_len, long_len)
+                };
+                (gpu < cpu).then_some(Decision::Gpu)
+            }
+            Decision::Split { gpu_fraction } if residency.host_cached => {
+                let forced = self
+                    .split
+                    .as_ref()
+                    .is_some_and(|s| s.forced_fraction.is_some());
+                if forced {
+                    None
+                } else {
+                    let f = model.split_fraction_host_resident(short_len, long_len);
+                    if f <= 0.01 {
+                        Some(Decision::Cpu)
+                    } else if f >= 0.99 {
+                        Some(Decision::Gpu)
+                    } else if (f - gpu_fraction).abs() > 1e-9 {
+                        Some(Decision::Split { gpu_fraction: f })
+                    } else {
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
+        if let Some(chosen) = overridden {
+            trace.chosen = chosen;
+            trace.cache_flip = true;
+        }
+        trace
     }
 
     /// Evaluates the co-execution rule: `Some(Decision::Split)` when this
@@ -499,6 +618,160 @@ mod tests {
         s.min_gpu_work = 1 << 20;
         let d = s.decide_traced(4_096, 4_096 * 128, Proc::Cpu);
         assert!(matches!(d.chosen, Decision::Cpu));
+    }
+
+    #[test]
+    fn cold_residency_is_the_baseline() {
+        let cfg = griffin_gpu_sim::DeviceConfig::tesla_k20();
+        let model = crate::cost::CostModel::from_device(&cfg, true);
+        let mut s = split_scheduler();
+        s.apply_cost_model(&model);
+        for (short, long, cur) in [
+            (10_000, 100_000, Proc::Cpu),
+            (1_000, 1_000_000, Proc::Cpu),
+            (8_192, 8_192 * 128, Proc::Cpu),
+            (1_000, 150_000, Proc::Gpu),
+            (0, 1_000_000, Proc::Gpu),
+        ] {
+            let blind = s.decide_traced(short, long, cur);
+            let cold = s.decide_traced_resident(short, long, cur, Residency::cold());
+            assert_eq!(
+                blind, cold,
+                "cold residency must not perturb ({short},{long})"
+            );
+            assert!(!cold.cache_flip);
+            assert_eq!(cold.baseline, cold.chosen);
+        }
+    }
+
+    #[test]
+    fn host_residency_can_flip_gpu_to_cpu() {
+        let cfg = griffin_gpu_sim::DeviceConfig::tesla_k20();
+        let model = crate::cost::CostModel::from_device(&cfg, true);
+        let mut s = Scheduler::for_block_len(128);
+        s.apply_cost_model(&model);
+        // Find a low-ratio operation the blind rule sends to the GPU but
+        // whose resident host cost undercuts the device step: at ratio 8
+        // the host merge pays decode + merge, so dropping the decode
+        // share swings the comparison for modest list lengths.
+        let mut flipped = None;
+        for exp in 13..24 {
+            let long = 1usize << exp;
+            let short = long / 8;
+            let t = s.decide_traced(short, long, Proc::Cpu);
+            if t.chosen != Decision::Gpu {
+                continue;
+            }
+            let r = s.decide_traced_resident(
+                short,
+                long,
+                Proc::Cpu,
+                Residency {
+                    host_cached: true,
+                    device_cached: false,
+                },
+            );
+            if r.cache_flip {
+                assert_eq!(r.chosen, Decision::Cpu);
+                assert_eq!(r.baseline, Decision::Gpu);
+                flipped = Some((short, long));
+                break;
+            }
+        }
+        assert!(
+            flipped.is_some(),
+            "no Gpu→Cpu flip found across the sweep — residency override inert"
+        );
+    }
+
+    #[test]
+    fn device_residency_can_flip_cpu_to_gpu() {
+        let cfg = griffin_gpu_sim::DeviceConfig::tesla_k20();
+        let model = crate::cost::CostModel::from_device(&cfg, true);
+        let mut s = Scheduler::for_block_len(128);
+        s.apply_cost_model(&model);
+        // An operation the floor keeps off the device despite a low
+        // ratio: resident, the PCIe term is gone and the device wins.
+        // The window sits just under `min_gpu_work` (the floor's doubling
+        // scan overshoots the true crossover), so scan densely below it.
+        let floor = s.min_gpu_work;
+        let step = (floor / 256).max(1);
+        let mut flipped = false;
+        let mut long = floor.saturating_sub(1);
+        while long >= 256 {
+            let short = long / 4;
+            let t = s.decide_traced(short, long, Proc::Cpu);
+            assert_eq!(t.chosen, Decision::Cpu, "below the floor is CPU-only");
+            let r = s.decide_traced_resident(
+                short,
+                long,
+                Proc::Cpu,
+                Residency {
+                    host_cached: false,
+                    device_cached: true,
+                },
+            );
+            if r.cache_flip {
+                assert_eq!(r.chosen, Decision::Gpu);
+                flipped = true;
+                break;
+            }
+            long -= step;
+        }
+        assert!(flipped, "no Cpu→Gpu flip found below the work floor");
+    }
+
+    #[test]
+    fn host_residency_shrinks_split_fractions() {
+        let cfg = griffin_gpu_sim::DeviceConfig::tesla_k20();
+        let model = crate::cost::CostModel::from_device(&cfg, true);
+        let mut s = split_scheduler();
+        s.apply_cost_model(&model);
+        let (short, long) = (8_192, 8_192 * 128);
+        let blind = s.decide_traced(short, long, Proc::Cpu);
+        let Decision::Split { gpu_fraction: cold } = blind.chosen else {
+            panic!("expected a baseline split, got {:?}", blind.chosen);
+        };
+        let r = s.decide_traced_resident(
+            short,
+            long,
+            Proc::Cpu,
+            Residency {
+                host_cached: true,
+                device_cached: false,
+            },
+        );
+        match r.chosen {
+            Decision::Split { gpu_fraction } => {
+                assert!(
+                    gpu_fraction <= cold,
+                    "resident host lane must not grow the device share ({cold} -> {gpu_fraction})"
+                );
+                assert!(r.cache_flip == (gpu_fraction != cold));
+            }
+            Decision::Cpu => assert!(r.cache_flip),
+            other => panic!("host residency produced {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forced_fractions_ignore_residency() {
+        let cfg = griffin_gpu_sim::DeviceConfig::tesla_k20();
+        let model = crate::cost::CostModel::from_device(&cfg, true);
+        let mut s = Scheduler::for_block_len(128);
+        s.split = Some(SplitConfig::forced(model, 0.25));
+        s.apply_cost_model(&model);
+        let r = s.decide_traced_resident(
+            100_000,
+            400_000,
+            Proc::Cpu,
+            Residency {
+                host_cached: true,
+                device_cached: true,
+            },
+        );
+        assert_eq!(r.chosen, Decision::Split { gpu_fraction: 0.25 });
+        assert!(!r.cache_flip);
     }
 
     #[test]

@@ -5,12 +5,17 @@
 //! [`CpuEngine::intersect_step`]) so Griffin's hybrid scheduler can run any
 //! single step on the CPU while others run on the GPU.
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use griffin_codec::BlockedList;
 use griffin_gpu_sim::VirtualNanos;
 use griffin_index::{InvertedIndex, TermId};
 
 use crate::cost::{CpuCostModel, WorkCounters};
 use crate::decode;
 use crate::intersect::{self, Matches};
+use crate::listcache::{HostCacheStats, HostListCache};
 use crate::rank::Bm25;
 use crate::simd;
 use crate::topk;
@@ -125,6 +130,11 @@ pub struct CpuEngine {
     pub bm25: Bm25,
     /// `Auto` switches from merge to skip-binary at this long/short ratio.
     pub merge_ratio_threshold: usize,
+    /// Host-side decoded-list cache (term → decoded docIDs). Budget 0
+    /// (the default) disables it; see [`HostListCache`] for the bit- and
+    /// time-exactness invariants. Interior-mutable because every query
+    /// entry point takes `&self`.
+    host_cache: RefCell<HostListCache>,
 }
 
 impl CpuEngine {
@@ -133,7 +143,78 @@ impl CpuEngine {
             model: CpuCostModel::default(),
             bm25: Bm25::default(),
             merge_ratio_threshold: 16,
+            host_cache: RefCell::new(HostListCache::default()),
         }
+    }
+
+    /// Configures the host decoded-list cache's byte budget. 0 (the
+    /// default) disables the tier entirely.
+    pub fn set_host_cache_budget(&self, bytes: u64) {
+        self.host_cache.borrow_mut().set_budget(bytes);
+    }
+
+    /// Whether the host decoded-list cache is participating (budget > 0).
+    pub fn host_cache_enabled(&self) -> bool {
+        self.host_cache.borrow().enabled()
+    }
+
+    /// Non-counting residency probe for the cache-aware scheduler.
+    pub fn host_cache_contains(&self, term: TermId) -> bool {
+        self.host_cache.borrow().contains(term)
+    }
+
+    /// Hit/miss/eviction/bytes accounting for the host tier.
+    pub fn host_cache_stats(&self) -> HostCacheStats {
+        self.host_cache.borrow().stats()
+    }
+
+    /// Decoded bytes (plus overhead) resident in the host tier.
+    pub fn host_cache_bytes(&self) -> u64 {
+        self.host_cache.borrow().bytes_resident()
+    }
+
+    /// Drops every cached decoded list (index epoch change).
+    pub fn clear_host_cache(&self) {
+        self.host_cache.borrow_mut().clear();
+    }
+
+    /// Pre-decodes `term`'s docID list into the host cache without
+    /// charging the work to any query (an offline warming step, like the
+    /// device tier's prefetch). Returns whether the list is now resident.
+    pub fn warm_host_cache(&self, index: &InvertedIndex, term: TermId) -> bool {
+        if !self.host_cache.borrow().enabled() {
+            return false;
+        }
+        if self.host_cache.borrow().contains(term) {
+            return true;
+        }
+        let mut w = WorkCounters::default();
+        let decoded = Arc::new(decode::decode_list(&index.list(term).docs, &mut w));
+        self.host_cache.borrow_mut().insert(term, decoded);
+        self.host_cache.borrow().contains(term)
+    }
+
+    /// Counting cache consult: hit bumps LRU, miss is recorded. Call only
+    /// on paths that would otherwise decode the list.
+    fn cached_decoded(&self, term: TermId) -> Option<Arc<Vec<u32>>> {
+        self.host_cache.borrow_mut().get(term)
+    }
+
+    /// The full decoded docID list for `term`: from the host cache on a
+    /// hit (no decode charges), else decoded — charging `w` exactly as the
+    /// pre-cache code did — and offered to the cache.
+    fn decoded_list(
+        &self,
+        term: TermId,
+        list: &BlockedList,
+        w: &mut WorkCounters,
+    ) -> Arc<Vec<u32>> {
+        if let Some(d) = self.cached_decoded(term) {
+            return d;
+        }
+        let d = Arc::new(decode::decode_list(list, w));
+        self.host_cache.borrow_mut().insert(term, Arc::clone(&d));
+        d
     }
 
     /// Orders the query's terms by ascending document frequency (SvS starts
@@ -227,20 +308,30 @@ impl CpuEngine {
         };
 
         let matches: Matches = match strategy {
-            Strategy::SkipBinary => intersect::skip_intersect_range_with(
-                &inter.docids,
-                &list.docs,
-                0,
-                list.num_blocks(),
-                w,
-                scratch,
-            ),
+            Strategy::SkipBinary => match self.cached_decoded(term) {
+                Some(decoded) => intersect::skip_intersect_range_cached(
+                    &inter.docids,
+                    &list.docs,
+                    &decoded,
+                    0,
+                    list.num_blocks(),
+                    w,
+                ),
+                None => intersect::skip_intersect_range_with(
+                    &inter.docids,
+                    &list.docs,
+                    0,
+                    list.num_blocks(),
+                    w,
+                    scratch,
+                ),
+            },
             Strategy::Merge => {
-                let long = decode::decode_list(&list.docs, w);
+                let long = self.decoded_list(term, &list.docs, w);
                 intersect::merge_intersect(&inter.docids, &long, w)
             }
             Strategy::PureBinary => {
-                let long = decode::decode_list(&list.docs, w);
+                let long = self.decoded_list(term, &list.docs, w);
                 intersect::binary_intersect_decoded(&inter.docids, &long, w)
             }
             Strategy::Auto => unreachable!("resolved above"),
@@ -265,14 +356,26 @@ impl CpuEngine {
         scratch: &mut intersect::QueryScratch,
     ) -> Intermediate {
         let list = index.list(term);
-        let matches = intersect::skip_intersect_range_with(
-            &inter.docids,
-            &list.docs,
-            blocks.start,
-            blocks.end,
-            w,
-            scratch,
-        );
+        // Consult-only: a split lane touches just a block sub-range, so a
+        // miss does not decode the whole list and must not populate.
+        let matches = match self.cached_decoded(term) {
+            Some(decoded) => intersect::skip_intersect_range_cached(
+                &inter.docids,
+                &list.docs,
+                &decoded,
+                blocks.start,
+                blocks.end,
+                w,
+            ),
+            None => intersect::skip_intersect_range_with(
+                &inter.docids,
+                &list.docs,
+                blocks.start,
+                blocks.end,
+                w,
+                scratch,
+            ),
+        };
         self.score_matches(index, inter, term, matches, w, scratch)
     }
 
@@ -369,16 +472,26 @@ impl CpuEngine {
             // work counters match the unpruned chain exactly.
             let ratio = list.len() / docids.len().max(1);
             let m = if ratio >= self.merge_ratio_threshold {
-                intersect::skip_intersect_range_with(
-                    &docids,
-                    &list.docs,
-                    0,
-                    list.num_blocks(),
-                    w,
-                    &mut scratch,
-                )
+                match self.cached_decoded(t) {
+                    Some(decoded) => intersect::skip_intersect_range_cached(
+                        &docids,
+                        &list.docs,
+                        &decoded,
+                        0,
+                        list.num_blocks(),
+                        w,
+                    ),
+                    None => intersect::skip_intersect_range_with(
+                        &docids,
+                        &list.docs,
+                        0,
+                        list.num_blocks(),
+                        w,
+                        &mut scratch,
+                    ),
+                }
             } else {
-                let long = decode::decode_list(&list.docs, w);
+                let long = self.decoded_list(t, &list.docs, w);
                 intersect::merge_intersect(&docids, &long, w)
             };
             // Distinct tf blocks the unpruned score_matches would decode

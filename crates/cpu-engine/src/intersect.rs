@@ -257,6 +257,54 @@ pub fn skip_intersect_range_with(
     out
 }
 
+/// [`skip_intersect_range_with`] against a *host-cached decoded copy* of
+/// the long list: identical galloping skip search and in-block binary
+/// probes, but candidate "blocks" are slices of `decoded` instead of
+/// being decompressed on demand.
+///
+/// `decoded` must be the full decode of `long` (what
+/// [`crate::decode::decode_list`] returns). The probe sequence mirrors
+/// the decoding variant exactly — same `skip_probes`, same in-block
+/// `probes`, same `emitted` — and only the per-block decode charges
+/// (`blocks_decoded`, `bytes_touched`, codec element counts) are
+/// omitted, so the result is bit-identical and the modelled time is
+/// provably never higher.
+pub fn skip_intersect_range_cached(
+    short: &[u32],
+    long: &BlockedList,
+    decoded: &[u32],
+    lo_block: usize,
+    hi_block: usize,
+    w: &mut WorkCounters,
+) -> Matches {
+    let mut out = Matches::default();
+    let hi_block = hi_block.min(long.num_blocks());
+    if lo_block >= hi_block {
+        return out;
+    }
+    debug_assert_eq!(decoded.len(), long.len(), "decoded copy must be complete");
+    let mut skip_lo = lo_block; // blocks before this can't match (short sorted)
+
+    for (i, &v) in short.iter().enumerate() {
+        let lo = gallop_skip_search(&long.skips, skip_lo, hi_block, v, w);
+        if lo >= hi_block {
+            break; // v and everything after it is beyond the range
+        }
+        skip_lo = lo;
+        let skip = &long.skips[lo];
+        if v < skip.first_docid {
+            continue; // falls in the gap before this block
+        }
+        let start = skip.elem_start as usize;
+        let block = &decoded[start..start + skip.count as usize];
+        if let Ok(pos) = crate::simd::find_in_sorted_block(block, v, &mut w.probes) {
+            out.push(v, i, start + pos);
+        }
+    }
+    w.emitted += out.len() as u64;
+    out
+}
+
 /// Gathers the term frequencies of `long`-side matches. `b_idx` must be
 /// ascending (which [`skip_intersect`]/[`merge_intersect`] guarantee).
 pub fn gather_tfs(list: &CompressedPostingList, b_idx: &[u32], w: &mut WorkCounters) -> Vec<u32> {
@@ -559,6 +607,40 @@ mod tests {
             assert_eq!(docids, full.docids, "split at block {split}");
             assert_eq!(b_idx, full.b_idx, "split at block {split}");
             assert_eq!(a_idx, full.a_idx, "split at block {split}");
+        }
+    }
+
+    #[test]
+    fn cached_range_intersect_is_bit_exact_and_skips_decode() {
+        let mut rng = 0xcafe_u64;
+        let long = random_sorted(&mut rng, 60_000, 5);
+        let short = random_sorted(&mut rng, 900, 300);
+        for codec in [Codec::EliasFano, Codec::PforDelta] {
+            let compressed = BlockedList::compress(&long, codec, DEFAULT_BLOCK_LEN);
+            let nb = compressed.num_blocks();
+            for (lo, hi) in [(0usize, nb), (0, nb / 2), (nb / 3, nb), (nb / 2, nb / 2)] {
+                let mut w_dec = wc();
+                let mut scratch = QueryScratch::default();
+                let expect = skip_intersect_range_with(
+                    &short,
+                    &compressed,
+                    lo,
+                    hi,
+                    &mut w_dec,
+                    &mut scratch,
+                );
+                let mut w_cached = wc();
+                let got =
+                    skip_intersect_range_cached(&short, &compressed, &long, lo, hi, &mut w_cached);
+                assert_eq!(got, expect, "codec {codec:?} range {lo}..{hi}");
+                // Identical search work, zero decode work.
+                assert_eq!(w_cached.skip_probes, w_dec.skip_probes);
+                assert_eq!(w_cached.probes, w_dec.probes);
+                assert_eq!(w_cached.emitted, w_dec.emitted);
+                assert_eq!(w_cached.blocks_decoded, 0);
+                assert_eq!(w_cached.bytes_touched, 0);
+                assert_eq!(w_cached.pfor_elements + w_cached.ef_elements, 0);
+            }
         }
     }
 

@@ -1,0 +1,284 @@
+//! Host-side decoded-list cache: the middle tier of Griffin's cache
+//! hierarchy (device LRU below, query result cache above).
+//!
+//! Decoding a compressed posting list (PforDelta / Elias–Fano block
+//! unpacking) dominates the CPU's merge-regime cost, and under Zipf
+//! traffic the same hot lists decode over and over. This cache keeps the
+//! *decoded docID vectors* of recently used lists behind `Arc`s so the
+//! CPU engine can skip decompression entirely on a hit: the merge and
+//! pure-binary strategies intersect against the cached vector, and the
+//! skip strategy (including the split path's CPU lane) binary-searches
+//! slices of it instead of decoding candidate blocks.
+//!
+//! The cache is a byte-budgeted LRU. A budget of 0 (the default)
+//! disables it completely — every consult misses without counting, every
+//! insert is dropped — so an engine with the cache off is bit- and
+//! time-identical to one built before the cache existed. With the cache
+//! on, results stay bit-exact (the cached vector *is* the decode output)
+//! and virtual time is strictly no worse: the cached intersection paths
+//! charge exactly the counters of their decoding twins minus the decode
+//! work (see `intersect::skip_intersect_range_cached`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use griffin_index::TermId;
+
+/// Fixed per-entry bookkeeping charged against the byte budget on top of
+/// the decoded payload (map slot, `Arc` header, LRU stamp).
+const ENTRY_OVERHEAD_BYTES: u64 = 64;
+
+/// Hit/miss/eviction accounting, mirroring the device tier's
+/// `CacheStats` so all tiers export under one metric scheme.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostCacheStats {
+    /// Consults answered from the cache.
+    pub hits: u64,
+    /// Consults that had to decode (only counted while the cache is
+    /// enabled: a disabled cache is invisible, not "always missing").
+    pub misses: u64,
+    /// Entries displaced to fit newer ones within the byte budget.
+    pub evictions: u64,
+    /// Decoded bytes (plus per-entry overhead) currently resident.
+    pub bytes_resident: u64,
+}
+
+impl HostCacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    decoded: Arc<Vec<u32>>,
+    last_used: u64,
+    bytes: u64,
+}
+
+/// Byte-budgeted LRU over decoded posting lists. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct HostListCache {
+    map: HashMap<TermId, Entry>,
+    clock: u64,
+    bytes: u64,
+    budget: u64,
+    stats: HostCacheStats,
+}
+
+impl HostListCache {
+    pub fn new(budget_bytes: u64) -> HostListCache {
+        HostListCache {
+            budget: budget_bytes,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the cache participates at all (budget > 0).
+    pub fn enabled(&self) -> bool {
+        self.budget > 0
+    }
+
+    /// The configured byte budget (0 = disabled).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Reconfigures the byte budget. Shrinking evicts LRU-first until the
+    /// resident set fits; setting 0 clears the cache entirely.
+    pub fn set_budget(&mut self, budget_bytes: u64) {
+        self.budget = budget_bytes;
+        if budget_bytes == 0 {
+            self.clear();
+        } else {
+            self.evict_to_fit(0);
+        }
+    }
+
+    /// Looks up a decoded list, bumping its LRU stamp. Counts a hit or a
+    /// miss — call this only on paths that would otherwise decode.
+    pub fn get(&mut self, term: TermId) -> Option<Arc<Vec<u32>>> {
+        if !self.enabled() {
+            return None;
+        }
+        self.clock += 1;
+        match self.map.get_mut(&term) {
+            Some(e) => {
+                e.last_used = self.clock;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.decoded))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-counting residency probe for the cache-aware scheduler: does
+    /// not touch LRU order or the hit/miss ledger.
+    pub fn contains(&self, term: TermId) -> bool {
+        self.enabled() && self.map.contains_key(&term)
+    }
+
+    /// Offers a freshly decoded list to the cache. Dropped when the cache
+    /// is disabled or the list alone exceeds the budget; otherwise
+    /// LRU-evicts until it fits.
+    pub fn insert(&mut self, term: TermId, decoded: Arc<Vec<u32>>) {
+        if !self.enabled() {
+            return;
+        }
+        let bytes = (decoded.len() * std::mem::size_of::<u32>()) as u64 + ENTRY_OVERHEAD_BYTES;
+        if bytes > self.budget {
+            return;
+        }
+        self.clock += 1;
+        if let Some(old) = self.map.remove(&term) {
+            self.bytes -= old.bytes;
+        }
+        self.evict_to_fit(bytes);
+        self.bytes += bytes;
+        self.map.insert(
+            term,
+            Entry {
+                decoded,
+                last_used: self.clock,
+                bytes,
+            },
+        );
+        self.stats.bytes_resident = self.bytes;
+    }
+
+    /// Evicts least-recently-used entries until `incoming` more bytes fit
+    /// inside the budget.
+    fn evict_to_fit(&mut self, incoming: u64) {
+        while self.bytes + incoming > self.budget && !self.map.is_empty() {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&t, _)| t)
+                .expect("non-empty map has a minimum");
+            let e = self.map.remove(&victim).expect("victim is present");
+            self.bytes -= e.bytes;
+            self.stats.evictions += 1;
+        }
+        self.stats.bytes_resident = self.bytes;
+    }
+
+    /// Drops every entry (index epoch changed: TermIds may be remapped).
+    /// The hit/miss/eviction history is kept; residency goes to zero.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+        self.stats.bytes_resident = 0;
+    }
+
+    /// Decoded bytes (plus overhead) currently resident.
+    pub fn bytes_resident(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of lists currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Snapshot of the accounting so far.
+    pub fn stats(&self) -> HostCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(n: usize) -> Arc<Vec<u32>> {
+        Arc::new((0..n as u32).collect())
+    }
+
+    #[test]
+    fn disabled_cache_is_invisible() {
+        let mut c = HostListCache::default();
+        assert!(!c.enabled());
+        assert_eq!(c.get(TermId(0)), None);
+        c.insert(TermId(0), arc(10));
+        assert_eq!(c.get(TermId(0)), None);
+        let s = c.stats();
+        assert_eq!(
+            (s.hits, s.misses, s.evictions, s.bytes_resident),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn hits_after_insert_and_lru_eviction() {
+        // Budget fits two 100-element lists (400 B + 64 B overhead each).
+        let mut c = HostListCache::new(1_000);
+        c.insert(TermId(1), arc(100));
+        c.insert(TermId(2), arc(100));
+        assert!(c.get(TermId(1)).is_some()); // bump 1: now 2 is LRU
+        c.insert(TermId(3), arc(100)); // evicts 2
+        assert!(c.contains(TermId(1)));
+        assert!(!c.contains(TermId(2)));
+        assert!(c.contains(TermId(3)));
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes_resident <= 1_000);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let mut c = HostListCache::new(2_000);
+        for t in 0..50u32 {
+            c.insert(TermId(t), arc(64 + (t as usize % 7) * 32));
+            assert!(
+                c.bytes_resident() <= 2_000,
+                "resident {} over budget after insert {t}",
+                c.bytes_resident()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_lists_are_refused() {
+        let mut c = HostListCache::new(100);
+        c.insert(TermId(1), arc(1_000));
+        assert!(!c.contains(TermId(1)));
+        assert_eq!(c.bytes_resident(), 0);
+    }
+
+    #[test]
+    fn shrinking_budget_evicts_and_zero_clears() {
+        let mut c = HostListCache::new(10_000);
+        for t in 0..8u32 {
+            c.insert(TermId(t), arc(128));
+        }
+        c.set_budget(600);
+        assert!(c.bytes_resident() <= 600);
+        assert!(c.len() < 8);
+        c.set_budget(0);
+        assert!(c.is_empty());
+        assert_eq!(c.bytes_resident(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_count_or_reorder() {
+        let mut c = HostListCache::new(1_000);
+        c.insert(TermId(1), arc(100));
+        let before = c.stats();
+        assert!(c.contains(TermId(1)));
+        assert!(!c.contains(TermId(9)));
+        assert_eq!(c.stats(), before);
+    }
+}

@@ -291,6 +291,10 @@ pub struct CacheStats {
     pub prefetch_issued: u64,
     /// Prefetches consumed by a later operation (the rest were wasted).
     pub prefetch_consumed: u64,
+    /// Resident lists displaced to fit newer ones within the budget.
+    pub evictions: u64,
+    /// Device bytes currently held by cached lists.
+    pub bytes_resident: u64,
 }
 
 impl CacheStats {
@@ -342,6 +346,7 @@ impl ListCache {
             let Some(t) = victim else { break };
             let e = self.map.remove(&t).expect("victim exists");
             self.bytes -= e.bytes;
+            self.stats.evictions += 1;
             let postings = Rc::try_unwrap(e.postings).expect("count was 1");
             postings.free(gpu);
         }
@@ -396,9 +401,27 @@ impl<'g> GpuEngine<'g> {
         self.overlap.get()
     }
 
-    /// Snapshot of the list-cache and prefetch counters.
+    /// Snapshot of the list-cache and prefetch counters. `bytes_resident`
+    /// reflects the cache's custody at snapshot time.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.borrow().stats
+        let cache = self.cache.borrow();
+        let mut s = cache.stats;
+        s.bytes_resident = cache.bytes;
+        s
+    }
+
+    /// Non-counting residency probe for the cache-aware scheduler: does
+    /// this term's full list sit in the device cache right now? Does not
+    /// bump LRU order or touch the hit/miss ledger. An unconsumed
+    /// prefetch counts — the list is (or will be) device-resident before
+    /// any kernel the current decision schedules.
+    pub fn is_resident(&self, term: TermId) -> bool {
+        self.cache.borrow().map.contains_key(&term)
+            || self
+                .prefetched
+                .borrow()
+                .iter()
+                .any(|p| p.term == term && p.result.is_ok())
     }
 
     /// Sets the device-cache budget in bytes (0 disables caching and

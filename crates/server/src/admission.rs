@@ -32,6 +32,12 @@ pub struct AdmissionConfig {
     pub gpu_depth_threshold: usize,
     /// The overload response.
     pub policy: OverloadPolicy,
+    /// Answer queries that would otherwise be shed from the result
+    /// cache when a (possibly stale) cached answer exists
+    /// ([`crate::sim::SimJob::stale_available`]). The outcome is
+    /// explicitly flagged [`Outcome::ServedStale`] — a client can always
+    /// tell a stale answer from a fresh one; nothing is silently stale.
+    pub serve_stale: bool,
 }
 
 impl Default for AdmissionConfig {
@@ -42,6 +48,7 @@ impl Default for AdmissionConfig {
             capacity: usize::MAX,
             gpu_depth_threshold: usize::MAX,
             policy: OverloadPolicy::DegradeToCpuOnly,
+            serve_stale: false,
         }
     }
 }
@@ -55,6 +62,15 @@ pub enum Outcome {
     Degraded,
     /// Rejected at admission; never ran.
     Shed,
+    /// Rejected at admission but answered from the result cache with a
+    /// possibly stale entry ([`AdmissionConfig::serve_stale`]). The
+    /// latency is the cache-lookup cost; the flag is the contract —
+    /// staleness is always visible to the caller.
+    ServedStale,
+    /// Coalesced onto an identical in-flight query (single-flight): it
+    /// consumed no execution resources and completed when its leader
+    /// did.
+    Coalesced,
 }
 
 /// Per-query serving result.
@@ -86,6 +102,8 @@ mod tests {
             stages: vec![StageReq::new(Resource::Cpu, ns(dur))],
             cpu_fallback: None,
             deadline: None,
+            stale_available: None,
+            coalesce_key: None,
         }
     }
 
@@ -95,6 +113,8 @@ mod tests {
             stages: vec![StageReq::new(Resource::Gpu, ns(dur))],
             cpu_fallback: fallback.map(ns),
             deadline: None,
+            stale_available: None,
+            coalesce_key: None,
         }
     }
 
@@ -169,6 +189,7 @@ mod tests {
             capacity: usize::MAX,
             gpu_depth_threshold: 0,
             policy,
+            ..Default::default()
         };
 
         let shed = sim(overloaded(OverloadPolicy::Shed)).run(&burst());
@@ -194,6 +215,7 @@ mod tests {
             capacity: usize::MAX,
             gpu_depth_threshold: 0,
             policy: OverloadPolicy::DegradeToCpuOnly,
+            ..Default::default()
         });
         // The second query has no measured CPU-only schedule (e.g. it
         // was planned GpuOnly), so degrade cannot apply.
@@ -221,6 +243,8 @@ mod tests {
                 service_time: ns(1_000),
                 stages: vec![StageReq::new(Resource::Cpu, ns(1_000))],
                 cpu_fallback: None,
+                stale_available: None,
+                coalesce_key: None,
                 deadline: Some(ns(10_000)),
                 breaker_degraded: false,
                 trace_query: None,

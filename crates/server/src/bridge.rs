@@ -124,6 +124,7 @@ mod tests {
             gpu_abandoned: false,
             pruning: None,
             fleet: None,
+            result_cache_hit: false,
         }
     }
 

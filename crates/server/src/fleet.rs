@@ -47,7 +47,7 @@
 
 use griffin::{
     merge_topk, ExecMode, FleetInfo, Griffin, GriffinOutput, Proc, PruneStats, QueryRequest,
-    ShardOutcome, ShardStatus, ShardedIndex, StepOp, StepTrace,
+    ResultCacheStats, ShardOutcome, ShardStatus, ShardedIndex, StepOp, StepTrace,
 };
 use griffin_gpu_sim::{DeviceConfig, Gpu, VirtualNanos};
 use griffin_telemetry::{Cause, Histogram, Telemetry, Verdict};
@@ -136,6 +136,16 @@ pub struct FleetConfig {
     pub partial_on_deadline: bool,
     /// Attach a tail flight recorder with per-shard verdicts.
     pub flight: Option<FlightConfig>,
+    /// Per-replica result-cache sizing `(max_entries, budget_bytes)`,
+    /// applied to every replica engine at construction. Each replica
+    /// caches its own shard's answers — hits never cross shard
+    /// boundaries, so replicas of a hot shard warm independently.
+    /// `None` (the default) leaves the tier off.
+    pub result_cache: Option<(usize, u64)>,
+    /// Per-replica host decoded-list cache byte budget, applied to
+    /// every replica's CPU engine at construction. `None` keeps the
+    /// engine default.
+    pub host_cache_bytes: Option<u64>,
 }
 
 impl Default for FleetConfig {
@@ -146,6 +156,8 @@ impl Default for FleetConfig {
             budget: RetryBudgetConfig::default(),
             partial_on_deadline: true,
             flight: None,
+            result_cache: None,
+            host_cache_bytes: None,
         }
     }
 }
@@ -354,8 +366,15 @@ impl<'g> Fleet<'g> {
         for s in 0..shards {
             let shard = index.shard(s);
             for r in 0..replicas_per_shard {
+                let engine = Griffin::new(devices.device(s, r), shard.meta(), shard.block_len());
+                if let Some((entries, bytes)) = config.result_cache {
+                    engine.set_result_cache(entries, bytes);
+                }
+                if let Some(bytes) = config.host_cache_bytes {
+                    engine.cpu.set_host_cache_budget(bytes);
+                }
                 replicas.push(Replica {
-                    engine: Griffin::new(devices.device(s, r), shard.meta(), shard.block_len()),
+                    engine,
                     health: GpuHealth::new(config.breaker),
                     alive: true,
                     busy_until: VirtualNanos::ZERO,
@@ -398,6 +417,22 @@ impl<'g> Fleet<'g> {
 
     pub fn replicas_per_shard(&self) -> usize {
         self.replicas_per_shard
+    }
+
+    /// Summed result-cache accounting across every replica engine (all
+    /// zeros while the per-replica tier is off —
+    /// [`FleetConfig::result_cache`]).
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        let mut total = ResultCacheStats::default();
+        for rep in &self.replicas {
+            if let Some(s) = rep.engine.result_cache_stats() {
+                total.hits += s.hits;
+                total.misses += s.misses;
+                total.evictions += s.evictions;
+                total.bytes_resident += s.bytes_resident;
+            }
+        }
+        total
     }
 
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
@@ -564,6 +599,7 @@ impl<'g> Fleet<'g> {
             gpu_abandoned,
             pruning,
             fleet: Some(info),
+            result_cache_hit: false,
         };
         (output, answered_at)
     }
@@ -866,6 +902,7 @@ impl<'g> Fleet<'g> {
                 cause,
                 dominant: service,
                 total: latency,
+                cache_flips: 0,
             },
             profile: None,
             shards,

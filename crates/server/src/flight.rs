@@ -206,6 +206,7 @@ pub fn verdict_from_stages(
         cause,
         dominant,
         total: latency,
+        cache_flips: 0,
     }
 }
 

@@ -18,7 +18,7 @@
 use std::cell::RefCell;
 
 use griffin::serving::StageReq;
-use griffin::{ExecMode, Griffin, QueryRequest};
+use griffin::{ExecMode, Griffin, QueryRequest, RESULT_CACHE_LOOKUP};
 use griffin_gpu_sim::VirtualNanos;
 use griffin_index::InvertedIndex;
 use griffin_telemetry::Telemetry;
@@ -35,6 +35,18 @@ use griffin_telemetry::QueryProfile;
 /// Server configuration: the simulator knobs, re-exported at the
 /// serving layer. See [`SimConfig`].
 pub type ServerConfig = SimConfig;
+
+/// FNV-1a over the cache-signature string: a tiny, dependency-free
+/// hash whose values are stable run-to-run (std's SipHash keys are an
+/// implementation detail), so single-flight keys are reproducible.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// A query with its (virtual) arrival instant.
 #[derive(Debug, Clone)]
@@ -57,6 +69,17 @@ pub struct PlannedQuery {
     /// Measured CPU-only service time, when the request could degrade
     /// (planned with a non-CpuOnly mode).
     pub cpu_fallback: Option<VirtualNanos>,
+    /// Virtual cost of answering this request from the engine's result
+    /// cache, when the cache held an entry at planning time (probed
+    /// *before* the plan ran, so only an earlier identical request can
+    /// have seeded it). Feeds [`crate::sim::SimJob::stale_available`]
+    /// for the serve-stale overload policy. `None` while the result
+    /// cache is off — the default, which keeps replay byte-identical.
+    pub stale_available: Option<VirtualNanos>,
+    /// Single-flight identity: a hash of the request's cache signature,
+    /// populated only while the engine's result cache is enabled. Jobs
+    /// sharing the key coalesce in the simulator instead of stampeding.
+    pub coalesce_key: Option<u64>,
     /// Carried from the request.
     pub deadline: Option<VirtualNanos>,
     /// True when the GPU health breaker was open and the query was
@@ -217,6 +240,17 @@ impl GriffinServer {
         let planned = requests
             .iter()
             .map(|req| {
+                // Probe the result cache before planning runs the
+                // query (which would seed its own entry): a Some here
+                // means an earlier identical request already cached the
+                // answer — exactly what an overloaded replay could
+                // serve stale.
+                let cache_on = engine.result_cache_enabled();
+                let stale_available = engine
+                    .result_cache_peek(req)
+                    .map(|hit| hit.time.min(RESULT_CACHE_LOOKUP));
+                let coalesce_key =
+                    cache_on.then(|| fnv1a(&req.cache_signature(engine.index_epoch())));
                 let wants_gpu = req.mode != ExecMode::CpuOnly;
                 let gpu_allowed = !wants_gpu || self.breaker_allows(engine.device().now());
                 let out = if gpu_allowed {
@@ -247,6 +281,8 @@ impl GriffinServer {
                     service_time: out.time,
                     stages: stages_of(&out),
                     cpu_fallback,
+                    stale_available,
+                    coalesce_key,
                     deadline: req.deadline,
                     breaker_degraded: wants_gpu && !gpu_allowed,
                     trace_query,
@@ -312,6 +348,8 @@ impl GriffinServer {
                 stages: p.stages.clone(),
                 cpu_fallback: p.cpu_fallback,
                 deadline: p.deadline,
+                stale_available: p.stale_available,
+                coalesce_key: p.coalesce_key,
             })
             .collect();
         let report = ServerSim::new(self.config).run(&jobs);
@@ -427,6 +465,10 @@ impl GriffinServer {
             "griffin_server_deadline_missed_total",
             s.deadline_missed as u64,
         );
+        self.telemetry
+            .counter_add("griffin_server_served_stale_total", s.served_stale as u64);
+        self.telemetry
+            .counter_add("griffin_server_coalesced_total", s.coalesced as u64);
         self.telemetry
             .counter_add("griffin_server_gpu_launches_total", s.gpu_launches);
         self.telemetry

@@ -20,7 +20,7 @@
 //! bit-exactness guarantee.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use griffin::serving::{Resource, StageReq};
 use griffin_gpu_sim::VirtualNanos;
@@ -41,6 +41,18 @@ pub struct SimJob {
     pub cpu_fallback: Option<VirtualNanos>,
     /// Latency budget relative to arrival.
     pub deadline: Option<VirtualNanos>,
+    /// Virtual cost of answering this query from the result cache, when
+    /// the cache held a (possibly stale) entry at planning time. `None`
+    /// means no cached answer exists. Only consulted when
+    /// [`AdmissionConfig::serve_stale`] is on and the query would
+    /// otherwise be shed.
+    pub stale_available: Option<VirtualNanos>,
+    /// Single-flight identity: jobs sharing a key are the same canonical
+    /// query. While one holder of a key is in flight, later arrivals
+    /// with the same key coalesce onto it — they consume no capacity or
+    /// execution resources and complete when the leader does
+    /// ([`Outcome::Coalesced`]). `None` opts out of coalescing.
+    pub coalesce_key: Option<u64>,
 }
 
 /// Simulator configuration.
@@ -90,6 +102,12 @@ pub struct SimStats {
     /// Host-core time consumed by the CPU lanes of co-executed split
     /// intersections running in the shadow of their GPU stages.
     pub cpu_shadow_busy: VirtualNanos,
+    /// Queries that would have been shed but were answered (flagged)
+    /// from the result cache instead ([`Outcome::ServedStale`]).
+    pub served_stale: usize,
+    /// Queries that coalesced onto an identical in-flight leader
+    /// instead of executing ([`Outcome::Coalesced`]).
+    pub coalesced: usize,
 }
 
 impl SimStats {
@@ -169,6 +187,10 @@ impl ServerSim {
         let mut gpu_queue: VecDeque<QueuedStage> = VecDeque::new();
         let mut running_batch = 0usize;
         let mut in_flight = 0usize;
+        // Single-flight bookkeeping: which job currently leads each
+        // coalesce key, and which followers ride on each leader.
+        let mut leaders: HashMap<u64, usize> = HashMap::new();
+        let mut followers: Vec<Vec<usize>> = vec![Vec::new(); jobs.len()];
 
         let mut stats = SimStats::default();
         let mut timeline = Timeline::default();
@@ -182,12 +204,27 @@ impl ServerSim {
                     stats.max_gpu_queue_depth = stats.max_gpu_queue_depth.max(gpu_depth);
                     let wants_gpu = job.stages.iter().any(|s| s.resource == Resource::Gpu);
 
-                    if in_flight >= self.config.admission.capacity {
-                        stats.shed += 1;
-                        if job.deadline.is_some() {
-                            stats.deadline_missed += 1;
+                    // Single-flight: an identical query already in
+                    // flight absorbs this arrival — no capacity slot, no
+                    // stages, no stampede. It completes when the leader
+                    // does.
+                    if let Some(key) = job.coalesce_key {
+                        if let Some(&leader) = leaders.get(&key) {
+                            followers[leader].push(j);
+                            results[j].outcome = Outcome::Coalesced;
+                            stats.coalesced += 1;
+                            continue;
                         }
-                        continue; // results[j] already says Shed.
+                    }
+
+                    if in_flight >= self.config.admission.capacity {
+                        Self::shed_or_stale(
+                            &self.config.admission,
+                            job,
+                            &mut results[j],
+                            &mut stats,
+                        );
+                        continue; // results[j] says Shed (or ServedStale).
                     }
                     let mut schedule = job.stages.clone();
                     let mut outcome = Outcome::Completed;
@@ -199,10 +236,12 @@ impl ServerSim {
                                 stats.degraded += 1;
                             }
                             _ => {
-                                stats.shed += 1;
-                                if job.deadline.is_some() {
-                                    stats.deadline_missed += 1;
-                                }
+                                Self::shed_or_stale(
+                                    &self.config.admission,
+                                    job,
+                                    &mut results[j],
+                                    &mut stats,
+                                );
                                 continue;
                             }
                         }
@@ -211,6 +250,9 @@ impl ServerSim {
                     in_flight += 1;
                     results[j].outcome = outcome;
                     schedules[j] = Some(schedule);
+                    if let Some(key) = job.coalesce_key {
+                        leaders.insert(key, j);
+                    }
                     heap.push(Reverse((now, EV_READY, j, 0)));
                 }
                 EV_READY => {
@@ -223,6 +265,21 @@ impl ServerSim {
                         results[j].deadline_met = jobs[j].deadline.map(|d| latency <= d);
                         if results[j].deadline_met == Some(false) {
                             stats.deadline_missed += 1;
+                        }
+                        // Release the single-flight key and complete
+                        // every coalesced follower at this instant.
+                        if let Some(key) = jobs[j].coalesce_key {
+                            if leaders.get(&key) == Some(&j) {
+                                leaders.remove(&key);
+                            }
+                        }
+                        for &f in &followers[j] {
+                            let fl = now - jobs[f].arrival;
+                            results[f].latency = Some(fl);
+                            results[f].deadline_met = jobs[f].deadline.map(|d| fl <= d);
+                            if results[f].deadline_met == Some(false) {
+                                stats.deadline_missed += 1;
+                            }
                         }
                         continue;
                     }
@@ -363,6 +420,35 @@ impl ServerSim {
         }
     }
 
+    /// Sheds one arrival — unless the serve-stale policy is on and the
+    /// result cache held an answer at planning time, in which case the
+    /// query is answered from the cache at its lookup cost, explicitly
+    /// flagged [`Outcome::ServedStale`]. The latency is the lookup cost
+    /// alone: the cache probe bypasses the queues that shed it.
+    fn shed_or_stale(
+        admission: &AdmissionConfig,
+        job: &SimJob,
+        result: &mut ServedQuery,
+        stats: &mut SimStats,
+    ) {
+        if admission.serve_stale {
+            if let Some(cost) = job.stale_available {
+                result.outcome = Outcome::ServedStale;
+                result.latency = Some(cost);
+                result.deadline_met = job.deadline.map(|d| cost <= d);
+                stats.served_stale += 1;
+                if result.deadline_met == Some(false) {
+                    stats.deadline_missed += 1;
+                }
+                return;
+            }
+        }
+        stats.shed += 1;
+        if job.deadline.is_some() {
+            stats.deadline_missed += 1;
+        }
+    }
+
     /// Pops the next launch off the queue head: a single stage, or — with
     /// batching enabled and a *small* stage at the head — the maximal run
     /// of adjacent small stages up to `max_batch`.
@@ -419,6 +505,8 @@ mod tests {
             stages,
             cpu_fallback: None,
             deadline: None,
+            stale_available: None,
+            coalesce_key: None,
         }
     }
 
@@ -553,6 +641,7 @@ mod tests {
                 capacity: usize::MAX,
                 gpu_depth_threshold: 0,
                 policy: OverloadPolicy::DegradeToCpuOnly,
+                ..Default::default()
             },
             batching: None,
         });
@@ -576,12 +665,117 @@ mod tests {
                 capacity: usize::MAX,
                 gpu_depth_threshold: 0,
                 policy: OverloadPolicy::Shed,
+                ..Default::default()
             },
             batching: None,
         });
         let report = sim.run(&[job(0, vec![gpu(1_000_000)]), job(10, vec![gpu(100)])]);
         assert_eq!(report.queries[1].outcome, Outcome::Shed);
         assert_eq!(report.stats.shed, 1);
+    }
+
+    #[test]
+    fn serve_stale_answers_shed_queries_from_the_cache() {
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 1,
+            admission: AdmissionConfig {
+                capacity: 1,
+                serve_stale: true,
+                ..Default::default()
+            },
+            batching: None,
+        });
+        // B arrives while A fills the only slot. With a cached answer
+        // it is served stale at the lookup cost instead of shed.
+        let mut b = job(10, vec![cpu(100)]);
+        b.stale_available = Some(ns(2_000));
+        b.deadline = Some(ns(5_000));
+        let report = sim.run(&[job(0, vec![cpu(1_000_000)]), b]);
+        assert_eq!(report.queries[1].outcome, Outcome::ServedStale);
+        assert_eq!(report.queries[1].latency, Some(ns(2_000)));
+        assert_eq!(report.queries[1].deadline_met, Some(true));
+        assert_eq!(report.stats.served_stale, 1);
+        assert_eq!(report.stats.shed, 0);
+    }
+
+    #[test]
+    fn serve_stale_needs_both_policy_and_cached_answer() {
+        let capacity_one = |serve_stale| SimConfig {
+            cpu_workers: 1,
+            admission: AdmissionConfig {
+                capacity: 1,
+                serve_stale,
+                ..Default::default()
+            },
+            batching: None,
+        };
+        // Policy off: a cached answer does not prevent the shed.
+        let mut b = job(10, vec![cpu(100)]);
+        b.stale_available = Some(ns(2_000));
+        let report =
+            ServerSim::new(capacity_one(false)).run(&[job(0, vec![cpu(1_000_000)]), b.clone()]);
+        assert_eq!(report.queries[1].outcome, Outcome::Shed);
+        // Policy on but no cached answer: still shed.
+        b.stale_available = None;
+        let report = ServerSim::new(capacity_one(true)).run(&[job(0, vec![cpu(1_000_000)]), b]);
+        assert_eq!(report.queries[1].outcome, Outcome::Shed);
+        assert_eq!(report.stats.served_stale, 0);
+    }
+
+    #[test]
+    fn identical_inflight_queries_coalesce_on_the_leader() {
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 4,
+            ..Default::default()
+        });
+        // Three arrivals of the same query while the first is in
+        // flight; a fourth arrives after completion and runs itself.
+        let mut jobs: Vec<SimJob> = vec![
+            job(0, vec![cpu(1_000)]),
+            job(100, vec![cpu(1_000)]),
+            job(200, vec![cpu(1_000)]),
+            job(5_000, vec![cpu(1_000)]),
+        ];
+        for jb in &mut jobs {
+            jb.coalesce_key = Some(42);
+        }
+        let report = sim.run(&jobs);
+        assert_eq!(report.queries[0].outcome, Outcome::Completed);
+        assert_eq!(report.queries[1].outcome, Outcome::Coalesced);
+        assert_eq!(report.queries[2].outcome, Outcome::Coalesced);
+        // Followers complete at the leader's instant (t = 1000),
+        // measured from their own arrivals.
+        assert_eq!(report.queries[1].latency, Some(ns(900)));
+        assert_eq!(report.queries[2].latency, Some(ns(800)));
+        // The key was released at completion: the late arrival leads
+        // its own flight.
+        assert_eq!(report.queries[3].outcome, Outcome::Completed);
+        assert_eq!(report.stats.coalesced, 2);
+        assert_eq!(report.stats.admitted, 2);
+    }
+
+    #[test]
+    fn coalesced_followers_consume_no_capacity() {
+        // Capacity 1: the leader takes the slot, nine identical
+        // followers still get answers; a *different* query is shed.
+        let sim = ServerSim::new(SimConfig {
+            cpu_workers: 1,
+            admission: AdmissionConfig {
+                capacity: 1,
+                ..Default::default()
+            },
+            batching: None,
+        });
+        let mut jobs: Vec<SimJob> = (0..11).map(|i| job(i, vec![cpu(10_000)])).collect();
+        for jb in jobs.iter_mut() {
+            jb.coalesce_key = Some(7);
+        }
+        jobs[10].coalesce_key = Some(8); // a different query: no slot left
+        let report = sim.run(&jobs);
+        assert_eq!(report.stats.coalesced, 9);
+        assert_eq!(report.stats.shed, 1);
+        assert_eq!(report.queries[10].outcome, Outcome::Shed);
+        assert!(report.queries[..10].iter().all(|q| q.latency.is_some()));
     }
 
     #[test]

@@ -163,18 +163,28 @@ pub struct Verdict {
     pub dominant: VirtualNanos,
     /// The latency being explained (service + queueing).
     pub total: VirtualNanos,
+    /// Operations whose placement the cache-aware scheduler flipped
+    /// (host- or device-resident operands changing the baseline
+    /// decision) — the query was partly "won by cache".
+    pub cache_flips: u32,
 }
 
 impl Verdict {
-    /// E.g. `"pcie (62% of 1.84ms)"`.
+    /// E.g. `"pcie (62% of 1.84ms)"`, with a `", won-by-cache×2"`
+    /// suffix when cache residency flipped placements.
     pub fn one_line(&self) -> String {
         let pct = if self.total.is_zero() {
             0.0
         } else {
             100.0 * self.dominant.as_nanos() as f64 / self.total.as_nanos() as f64
         };
+        let cache = if self.cache_flips > 0 {
+            format!(", won-by-cache×{}", self.cache_flips)
+        } else {
+            String::new()
+        };
         format!(
-            "{} ({pct:.0}% of {:.2}ms)",
+            "{} ({pct:.0}% of {:.2}ms{cache})",
             self.cause.label(),
             self.total.as_millis_f64()
         )
@@ -192,6 +202,10 @@ pub struct QueryProfile {
     /// Σ over split steps of `step − min(cpu_lane, gpu_lane)`: wall time
     /// that a perfectly balanced split would not have spent.
     pub lane_waste: VirtualNanos,
+    /// Scheduler decisions for this query that the cache-aware override
+    /// flipped away from the cold baseline (operand residency in the
+    /// host or device tier made the other processor cheaper).
+    pub cache_flips: u32,
 }
 
 /// Map an engine step op to its phase frame.
@@ -244,9 +258,17 @@ impl QueryProfile {
         let mut root = ProfileNode::new("query");
         let mut pending = Pending::default();
         let mut lane_waste = VirtualNanos::ZERO;
+        let mut cache_flips = 0u32;
         let mut total = None;
         for event in events {
             match event {
+                TraceEvent::SchedDecision {
+                    query: q,
+                    cache_flip: true,
+                    ..
+                } if *q == query => {
+                    cache_flips += 1;
+                }
                 TraceEvent::KernelLaunch {
                     query: q,
                     name,
@@ -331,6 +353,7 @@ impl QueryProfile {
             total,
             root,
             lane_waste,
+            cache_flips,
         })
     }
 
@@ -371,6 +394,7 @@ impl QueryProfile {
         o.u64("query", self.query)
             .u64("total_ns", self.total.as_nanos())
             .u64("lane_waste_ns", self.lane_waste.as_nanos())
+            .u64("cache_flips", self.cache_flips as u64)
             .raw("tree", &self.root.to_json_obj());
         o.finish()
     }
@@ -453,6 +477,7 @@ impl QueryProfile {
             cause,
             dominant,
             total: self.total + queue_wait,
+            cache_flips: self.cache_flips,
         }
     }
 }
@@ -583,6 +608,37 @@ mod tests {
         assert_eq!(v.cause, Cause::Queueing);
         assert_eq!(v.total, ns(510));
         assert!(v.one_line().starts_with("queueing (98% of"));
+    }
+
+    #[test]
+    fn cache_flips_reach_the_verdict() {
+        let events = vec![
+            TraceEvent::QueryStart { query: 0, terms: 2 },
+            TraceEvent::SchedDecision {
+                query: 0,
+                short_len: 100,
+                long_len: 5_000,
+                ratio: 50.0,
+                effective_threshold: 128.0,
+                hysteresis_applied: false,
+                chosen: "cpu",
+                host_cached: true,
+                device_cached: false,
+                cache_flip: true,
+            },
+            step("intersect", "cpu", 40),
+            TraceEvent::QueryEnd {
+                query: 0,
+                total: ns(40),
+                results: 1,
+            },
+        ];
+        let p = QueryProfile::from_trace(0, &events).unwrap();
+        assert_eq!(p.cache_flips, 1);
+        assert!(p.to_json().contains("\"cache_flips\":1"));
+        let v = p.dominant_cause(VirtualNanos::ZERO);
+        assert_eq!(v.cache_flips, 1);
+        assert!(v.one_line().contains("won-by-cache×1"));
     }
 
     #[test]

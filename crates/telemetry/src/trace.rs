@@ -37,6 +37,13 @@ pub enum TraceEvent {
         hysteresis_applied: bool,
         /// "cpu", "gpu", or "split" (co-execution on both).
         chosen: &'static str,
+        /// The long operand's decoded docIDs sit in the host cache.
+        host_cached: bool,
+        /// The long operand is device-resident (LRU or prefetch).
+        device_cached: bool,
+        /// The cache-aware override changed the baseline decision —
+        /// this operation was "won by cache".
+        cache_flip: bool,
     },
     /// One engine step (Init / Intersect / Migrate / TopK).
     Step {
@@ -116,6 +123,9 @@ impl TraceEvent {
                 effective_threshold,
                 hysteresis_applied,
                 chosen,
+                host_cached,
+                device_cached,
+                cache_flip,
             } => {
                 o.str("type", "sched_decision")
                     .u64("query", *query)
@@ -124,7 +134,10 @@ impl TraceEvent {
                     .f64("ratio", *ratio)
                     .f64("effective_threshold", *effective_threshold)
                     .bool("hysteresis_applied", *hysteresis_applied)
-                    .str("chosen", chosen);
+                    .str("chosen", chosen)
+                    .bool("host_cached", *host_cached)
+                    .bool("device_cached", *device_cached)
+                    .bool("cache_flip", *cache_flip);
             }
             TraceEvent::Step {
                 query,
@@ -287,6 +300,9 @@ mod tests {
             effective_threshold: 128.0,
             hysteresis_applied: false,
             chosen: "gpu",
+            host_cached: false,
+            device_cached: true,
+            cache_flip: true,
         });
         r.push(TraceEvent::QueryEnd {
             query: q,

@@ -187,6 +187,7 @@ fn record(i: usize, latency_ns: u64) -> FlightRecord {
             cause: Cause::CpuCompute,
             dominant: latency,
             total: latency,
+            cache_flips: 0,
         },
         profile: None,
         shards: Vec::new(),
